@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation D3: parallel-DDS parameters — the multi-radius thread
+ * groups of Algorithm 2 versus a single perturbation radius, the
+ * iteration budget, and the warm-start seeds.
+ */
+
+#include "bench_common.hh"
+#include "search/dds.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+/** A decision-quantum-shaped landscape. */
+struct Landscape
+{
+    Matrix bips{16, kNumJobConfigs};
+    Matrix power{16, kNumJobConfigs};
+    ObjectiveContext ctx;
+
+    explicit Landscape(double budget)
+    {
+        for (std::size_t j = 0; j < 16; ++j) {
+            const std::size_t src = j % trainingTables().bips.rows();
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+                bips(j, c) = trainingTables().bips(src, c);
+                power(j, c) = trainingTables().power(src, c);
+            }
+        }
+        ctx.bips = &bips;
+        ctx.power = &power;
+        ctx.powerBudgetW = budget;
+        ctx.cacheBudgetWays = 28.0;
+    }
+};
+
+double
+meanObjective(const DdsOptions &base, const Landscape &land,
+              std::size_t trials)
+{
+    double sum = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        DdsOptions options = base;
+        options.seed = 100 + t;
+        sum += parallelDds(land.ctx, options).metrics.objective;
+    }
+    return sum / static_cast<double>(trials);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("abl_dds_params", "D3: parallel DDS parameter ablation",
+           "paper: r = {0.2,0.3,0.4,0.5} thread groups, 40 "
+           "iterations, 10 points/iteration, 50 initial points");
+
+    constexpr std::size_t kTrials = 5;
+    for (double budget : {45.0, 30.0, 20.0}) {
+        const Landscape land(budget);
+        std::printf("\nbatch power budget %.0f W (mean objective "
+                    "over %zu seeds):\n", budget, kTrials);
+
+        DdsOptions paper;
+        std::printf("  %-34s %.4f\n", "paper parameters (multi-r)",
+                    meanObjective(paper, land, kTrials));
+
+        DdsOptions single_r = paper;
+        single_r.rValues = {0.2};
+        std::printf("  %-34s %.4f\n", "single radius r=0.2",
+                    meanObjective(single_r, land, kTrials));
+        single_r.rValues = {0.5};
+        std::printf("  %-34s %.4f\n", "single radius r=0.5",
+                    meanObjective(single_r, land, kTrials));
+
+        DdsOptions few_iters = paper;
+        few_iters.maxIterations = 10;
+        std::printf("  %-34s %.4f\n", "10 iterations",
+                    meanObjective(few_iters, land, kTrials));
+        DdsOptions many_iters = paper;
+        many_iters.maxIterations = 160;
+        std::printf("  %-34s %.4f\n", "160 iterations",
+                    meanObjective(many_iters, land, kTrials));
+
+        DdsOptions few_points = paper;
+        few_points.pointsPerIteration = 2;
+        std::printf("  %-34s %.4f\n", "2 points/iteration",
+                    meanObjective(few_points, land, kTrials));
+    }
+    return 0;
+}

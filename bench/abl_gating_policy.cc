@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation D6: victim-selection order for core-level gating. The
+ * paper evaluated descending power, ascending power, ascending
+ * BIPS/W and ascending BIPS, and found descending power best — this
+ * bench reruns that comparison on our substrate.
+ */
+
+#include "baselines/core_gating.hh"
+#include "bench_common.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("abl_gating_policy", "D6: core-gating victim order",
+           "paper: descending power performs best of the four orders");
+
+    const GatingPolicy policies[] = {
+        GatingPolicy::DescendingPower, GatingPolicy::AscendingPower,
+        GatingPolicy::AscendingBipsPerWatt,
+        GatingPolicy::AscendingBips};
+
+    std::printf("%-16s", "policy \\ cap");
+    const std::vector<double> caps = {0.7, 0.6, 0.5};
+    for (double cap : caps)
+        std::printf(" %9.0f%%", cap * 100.0);
+    std::printf("\n");
+
+    std::vector<double> desc_power_totals(caps.size(), 0.0);
+    for (const auto policy : policies) {
+        std::printf("%-16s", gatingPolicyName(policy));
+        for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+            double total = 0.0;
+            for (std::size_t lc = 0; lc < lcApps().size(); ++lc) {
+                const WorkloadMix &mix = evaluationMixes()[lc * 10];
+                MulticoreSim sim(params(), mix, 9100 + lc);
+                CoreGatingScheduler sched(params(), mix, false,
+                                          policy);
+                total += runColocation(sim, sched,
+                                       driverOptions(caps[ci], 0.8))
+                             .totalBatchInstructions;
+            }
+            if (policy == GatingPolicy::DescendingPower)
+                desc_power_totals[ci] = total;
+            std::printf(" %9.2e", total);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(values are batch instructions summed over the 5 "
+                "services' first mixes)\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation D5: profiling-sample placement. The paper profiles each
+ * job on the widest and narrowest configurations; this bench compares
+ * that pair against random pairs and adjacent (uninformative) pairs.
+ */
+
+#include "bench_common.hh"
+#include "cf/engine.hh"
+#include "common/stats.hh"
+#include "sim/ground_truth.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+double
+medianError(const BatchTruth &truth, std::size_t app,
+            std::size_t sample_a, std::size_t sample_b)
+{
+    CfEngine engine(trainingTables().bips, 1, kNumJobConfigs);
+    engine.observe(0, sample_a, truth.bips(app, sample_a));
+    engine.observe(0, sample_b, truth.bips(app, sample_b));
+    const Matrix pred = engine.predict();
+    std::vector<double> errors;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        if (c == sample_a || c == sample_b)
+            continue;
+        errors.push_back(std::abs(
+            relativeErrorPct(pred(0, c), truth.bips(app, c))));
+    }
+    return percentile(errors, 50.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("abl_samples", "D5: profiling-sample placement",
+           "paper samples the widest ({6,6,6}) and narrowest "
+           "({2,2,2}) configurations");
+
+    const auto &split = specSplit();
+    const BatchTruth truth = batchTruthTables(split.test, params());
+    const std::size_t wide = JobConfig(CoreConfig::widest(), 1).index();
+    const std::size_t narrow =
+        JobConfig(CoreConfig::narrowest(), 1).index();
+
+    double extremes = 0.0, random_pair = 0.0, adjacent = 0.0;
+    Rng rng(9090);
+    for (std::size_t a = 0; a < split.test.size(); ++a) {
+        extremes += medianError(truth, a, wide, narrow);
+
+        const auto r1 = static_cast<std::size_t>(
+            rng.uniformInt(0, kNumJobConfigs - 1));
+        std::size_t r2 = r1;
+        while (r2 == r1) {
+            r2 = static_cast<std::size_t>(
+                rng.uniformInt(0, kNumJobConfigs - 1));
+        }
+        random_pair += medianError(truth, a, r1, r2);
+
+        // Two adjacent mid-range configurations (least informative).
+        const std::size_t mid = kNumJobConfigs / 2;
+        adjacent += medianError(truth, a, mid, mid + 1);
+    }
+    const double n = static_cast<double>(split.test.size());
+
+    std::printf("%-28s %14s\n", "sample placement",
+                "median |error|");
+    std::printf("%-28s %13.1f%%\n", "widest + narrowest (paper)",
+                extremes / n);
+    std::printf("%-28s %13.1f%%\n", "random pair", random_pair / n);
+    std::printf("%-28s %13.1f%%\n", "adjacent mid-range pair",
+                adjacent / n);
+    std::printf("\nextreme pair is best: %s\n",
+                extremes <= random_pair && extremes <= adjacent
+                    ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation D1: latent rank of the PQ factorization. The paper's
+ * Algorithm 1 uses rank = m*p (108); we default to 12. This bench
+ * shows the accuracy/time trade-off that justifies the deviation.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "cf/engine.hh"
+#include "common/stats.hh"
+#include "sim/ground_truth.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("abl_sgd_rank", "D1: SGD latent rank sweep",
+           "paper uses rank = m*p = 108; we default to 12");
+
+    const auto &split = specSplit();
+    const BatchTruth test_truth =
+        batchTruthTables(split.test, params());
+    const std::size_t wide = JobConfig(CoreConfig::widest(), 1).index();
+    const std::size_t narrow =
+        JobConfig(CoreConfig::narrowest(), 1).index();
+
+    std::printf("%6s %14s %12s %14s\n", "rank", "median|err|",
+                "p95|err|", "predict time");
+    for (std::size_t rank : {4u, 8u, 12u, 24u, 48u, 108u}) {
+        std::vector<double> errors;
+        double millis = 0.0;
+        for (std::size_t a = 0; a < split.test.size(); ++a) {
+            SgdOptions options;
+            options.rank = rank;
+            CfEngine engine(trainingTables().bips, 1, kNumJobConfigs,
+                            options);
+            engine.observe(0, wide, test_truth.bips(a, wide));
+            engine.observe(0, narrow, test_truth.bips(a, narrow));
+            const auto start = std::chrono::steady_clock::now();
+            const Matrix pred = engine.predict();
+            millis += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+                if (c == wide || c == narrow)
+                    continue;
+                errors.push_back(std::abs(relativeErrorPct(
+                    pred(0, c), test_truth.bips(a, c))));
+            }
+        }
+        std::printf("%6zu %13.1f%% %11.1f%% %12.2fms\n", rank,
+                    percentile(errors, 50.0), percentile(errors, 95.0),
+                    millis / static_cast<double>(split.test.size()));
+    }
+    return 0;
+}

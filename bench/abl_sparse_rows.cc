@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablations D2 and D7: how sparse live rows are reconstructed.
+ *
+ * D2 (paper): lock-free Hogwild parallel SGD trades ~1% accuracy for
+ * a multi-x speedup over serial SGD.
+ * D7 (ours): very sparse rows are predicted by neighborhood blending
+ * instead of factor fold-in; the factor-only and no-fold-in variants
+ * show why.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "cf/engine.hh"
+#include "common/stats.hh"
+#include "sim/ground_truth.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    SgdOptions options;
+};
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("abl_sparse_rows",
+           "D2/D7: sparse-row reconstruction variants",
+           "paper: Hogwild ~3.5x faster at ~1% accuracy cost; ours: "
+           "neighborhood blending for 2-sample rows");
+
+    const auto &split = specSplit();
+    const BatchTruth truth = batchTruthTables(split.test, params());
+    const std::size_t wide = JobConfig(CoreConfig::widest(), 1).index();
+    const std::size_t narrow =
+        JobConfig(CoreConfig::narrowest(), 1).index();
+
+    std::vector<Variant> variants;
+    variants.push_back({"default (blend + fold-in)", {}});
+    {
+        SgdOptions o;
+        o.rowBlendThreshold = 0;
+        variants.push_back({"factor fold-in only", o});
+    }
+    {
+        SgdOptions o;
+        o.rowBlendThreshold = 0;
+        o.foldInRows = false;
+        variants.push_back({"raw SGD (no fold-in)", o});
+    }
+    {
+        SgdOptions o;
+        o.threads = 4;
+        variants.push_back({"default + Hogwild(4)", o});
+    }
+    {
+        SgdOptions o;
+        o.svdWarmStart = true;
+        variants.push_back({"default + SVD warm start", o});
+    }
+
+    std::printf("%-28s %14s %12s %12s\n", "variant", "median|err|",
+                "p95|err|", "time/app");
+    for (const auto &variant : variants) {
+        std::vector<double> errors;
+        double millis = 0.0;
+        for (std::size_t a = 0; a < split.test.size(); ++a) {
+            CfEngine engine(trainingTables().bips, 1, kNumJobConfigs,
+                            variant.options);
+            engine.observe(0, wide, truth.bips(a, wide));
+            engine.observe(0, narrow, truth.bips(a, narrow));
+            const auto start = std::chrono::steady_clock::now();
+            const Matrix pred = engine.predict();
+            millis += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+                if (c == wide || c == narrow)
+                    continue;
+                errors.push_back(std::abs(relativeErrorPct(
+                    pred(0, c), truth.bips(a, c))));
+            }
+        }
+        std::printf("%-28s %13.1f%% %11.1f%% %10.2fms\n",
+                    variant.name, percentile(errors, 50.0),
+                    percentile(errors, 95.0),
+                    millis /
+                        static_cast<double>(split.test.size()));
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fig 5b: SGD reconstruction error at runtime.
+ *
+ * Unlike Fig 5a this includes everything that makes online inference
+ * hard: co-scheduled interference, 1 ms profiling samples, phase
+ * drift. For each colocation we run CuttleSys and, on every slice
+ * after warm-up, compare the prediction the scheduler made for each
+ * job's *chosen* configuration against what the slice then measured.
+ */
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+void
+printBox(const char *metric, const std::vector<double> &errors)
+{
+    const BoxPlot box = boxPlot(errors);
+    std::printf("%-12s p5=%7.1f%%  q1=%6.1f%%  med=%6.1f%%  "
+                "q3=%6.1f%%  p95=%6.1f%%  outliers=%zu\n",
+                metric, box.p5, box.q1, box.median, box.q3, box.p95,
+                box.outliers.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("fig05b_accuracy_runtime",
+           "prediction error at runtime, with colocation (box plots)",
+           "median near 0, quartiles within 10%; wider p5/p95 and "
+           "more outliers than isolation (phase changes, contention)");
+
+    std::vector<double> bips_err, power_err, tail_err;
+
+    std::size_t mix_index = 0;
+    for (std::size_t lc = 0; lc < lcApps().size(); ++lc) {
+        for (std::size_t m = 0; m < mixesPerLc(); ++m, ++mix_index) {
+            const WorkloadMix &mix = evaluationMixes()[lc * 10 + m];
+            MulticoreSim sim(params(), mix, 4000 + mix_index);
+            auto scheduler = makeCuttleSys(mix);
+
+            // Drive slice by slice so predictions can be compared to
+            // the very next measurement.
+            const DriverOptions opts = driverOptions(0.7, 0.8);
+            const std::size_t slices = static_cast<std::size_t>(
+                opts.durationSec / params().timesliceSec);
+            SliceDecision prev_decision;
+            SliceMeasurement prev_measurement;
+            bool have_prev = false;
+            for (std::size_t s = 0; s < slices; ++s) {
+                sim.setLcLoadFraction(0.8);
+                SliceContext ctx;
+                ctx.sliceIndex = s;
+                ctx.timeSec = sim.now();
+                ctx.powerBudgetW = 0.7 * maxPowerW();
+                ctx.lcQosSec = mix.lc.qosSeconds();
+                ctx.previous = have_prev ? &prev_measurement : nullptr;
+                ctx.previousDecision =
+                    have_prev ? &prev_decision : nullptr;
+                ctx.profiles = sim.profileJobs(
+                    have_prev ? prev_decision.lcCores : 16);
+                const SliceDecision decision = scheduler->decide(ctx);
+                const SliceMeasurement measured = sim.runSlice(
+                    decision, params().timesliceSec -
+                              2.0 * params().sampleSec);
+
+                if (s >= 3) {
+                    for (std::size_t j = 0; j < mix.batch.size();
+                         ++j) {
+                        if (!decision.batchActive[j] ||
+                            measured.batchBips[j] <= 0.0)
+                            continue;
+                        const std::size_t c =
+                            decision.batchConfigs[j].index();
+                        bips_err.push_back(relativeErrorPct(
+                            scheduler->lastBipsPrediction()(1 + j, c),
+                            measured.batchBips[j]));
+                        power_err.push_back(relativeErrorPct(
+                            scheduler->lastPowerPrediction()(1 + j,
+                                                             c),
+                            measured.batchPower[j]));
+                    }
+                    if (measured.lcCompleted > 50 &&
+                        measured.lcTailLatency > 0.0) {
+                        tail_err.push_back(relativeErrorPct(
+                            scheduler->lastLatencyPrediction()(
+                                0, decision.lcConfig.index()),
+                            measured.lcTailLatency));
+                    }
+                }
+                prev_decision = decision;
+                prev_measurement = measured;
+                have_prev = true;
+            }
+        }
+    }
+
+    printBox("throughput", bips_err);
+    printBox("tail", tail_err);
+    printBox("power", power_err);
+
+    const BoxPlot bips_box = boxPlot(bips_err);
+    const BoxPlot power_box = boxPlot(power_err);
+    std::printf("\nPaper-shape checks:\n");
+    std::printf("throughput quartiles within 10%%: %s\n",
+                bips_box.q1 >= -10.0 && bips_box.q3 <= 10.0
+                    ? "yes" : "NO");
+    std::printf("power quartiles within 10%%: %s\n",
+                power_box.q1 >= -10.0 && power_box.q3 <= 10.0
+                    ? "yes" : "NO");
+    std::printf("samples: %zu throughput, %zu tail, %zu power\n",
+                bips_err.size(), tail_err.size(), power_err.size());
+    return 0;
+}

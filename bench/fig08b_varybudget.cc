@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig 8b: CuttleSys under a varying power budget (90% -> 60% -> 90%)
+ * at a constant 80% load. The LC service keeps the power it needs for
+ * QoS; the batch configurations absorb the budget swing.
+ */
+
+#include "bench_common.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("fig08b_varybudget",
+           "power budget 90% -> 60% -> 90% at constant 80% load",
+           "LC config and power stay ~constant; batch cores downsize "
+           "under the tight budget and recover after");
+
+    const WorkloadMix &mix = evaluationMixes()[0];
+    MulticoreSim sim(params(), mix, 701);
+    auto sched = makeCuttleSys(mix);
+
+    DriverOptions opts = driverOptions(0.9, 0.8, 2.0);
+    opts.powerPattern =
+        LoadPattern::steps({{0.0, 0.9}, {0.6, 0.6}, {1.4, 0.9}});
+    const RunResult r = runColocation(sim, *sched, opts);
+
+    std::printf("%6s %8s %9s %8s %8s %8s %10s\n", "t(s)", "budget",
+                "P(W)", "p99/QoS", "gmean", "lcP(W)", "lcConfig");
+    for (const auto &s : r.slices) {
+        std::printf("%6.1f %8.1f %9.1f %8.2f %8.2f %8.1f %10s\n",
+                    s.measurement.timeSec, s.powerBudgetW,
+                    s.measurement.totalPower,
+                    s.measurement.lcTailLatency /
+                        mix.lc.qosSeconds(),
+                    gmeanBatchBips(s.measurement),
+                    s.measurement.lcPower,
+                    s.decision.lcConfig.toString().c_str());
+    }
+
+    // Shape checks: batch throughput must drop during the 60% window
+    // and recover after; QoS must hold throughout.
+    double gm_tight = 0.0, gm_loose = 0.0;
+    std::size_t n_tight = 0, n_loose = 0;
+    for (const auto &s : r.slices) {
+        if (s.measurement.timeSec < 0.2)
+            continue; // warm-up
+        if (s.powerBudgetW < 0.75 * maxPowerW()) {
+            gm_tight += gmeanBatchBips(s.measurement);
+            ++n_tight;
+        } else {
+            gm_loose += gmeanBatchBips(s.measurement);
+            ++n_loose;
+        }
+    }
+    gm_tight /= std::max<std::size_t>(n_tight, 1);
+    gm_loose /= std::max<std::size_t>(n_loose, 1);
+    std::printf("\nmean batch gmean at 90%% budget: %.2f, at 60%%: "
+                "%.2f (must drop under the tight budget)\n",
+                gm_loose, gm_tight);
+    std::printf("QoS violations: %zu (paper: none)\n",
+                r.qosViolations);
+    return 0;
+}

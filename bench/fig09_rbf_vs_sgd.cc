@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fig 9 + Section VIII-E: Flicker's inference and runtime compared
+ * against CuttleSys's.
+ *
+ * Part 1 (Fig 9): prediction error of the RBF surrogate fitted to 3
+ * samples versus SGD reconstruction from 2 samples, for throughput
+ * and power across the 27 core configurations. The paper reports RBF
+ * outliers reaching ~600% while SGD stays within tens of percent.
+ *
+ * Part 2 (Section VIII-E): QoS behavior of the two Flicker
+ * evaluation methods — manage-all (9 x 10 ms samples) and batch-only
+ * (LC pinned wide) — versus CuttleSys on the same colocation. The
+ * paper reports violations of over an order of magnitude for method
+ * A and ~1.5x for method B.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "cf/engine.hh"
+#include "common/stats.hh"
+#include "flicker/design3mm3.hh"
+#include "flicker/flicker.hh"
+#include "flicker/rbf.hh"
+#include "sim/core_model.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+std::size_t
+oneWayIndex(std::size_t core_index)
+{
+    return JobConfig(CoreConfig::fromIndex(core_index), 1).index();
+}
+
+void
+printBox(const char *metric, const std::vector<double> &errors)
+{
+    const BoxPlot box = boxPlot(errors);
+    double worst = 0.0;
+    for (double e : errors)
+        worst = std::max(worst, std::abs(e));
+    std::printf("%-16s q1=%7.1f%% med=%7.1f%% q3=%7.1f%% "
+                "p95=%8.1f%%  worst=%8.1f%%\n",
+                metric, box.q1, box.median, box.q3, box.p95, worst);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("fig09_rbf_vs_sgd",
+           "RBF (3 samples) vs SGD (2 samples) prediction error; "
+           "Flicker QoS (Section VIII-E)",
+           "RBF outliers up to ~600%; SGD bounded. Flicker QoS "
+           "violations: >10x (manage-all), ~1.5x (batch-only)");
+
+    // ---- Part 1: inference accuracy ---------------------------------
+    const auto &test_apps = specSplit().test;
+    const BatchTruth truth = batchTruthTables(test_apps, params());
+    const std::vector<std::size_t> three_samples = {0, 13, 26};
+
+    std::vector<double> rbf_bips_err, rbf_power_err;
+    std::vector<double> sgd_bips_err, sgd_power_err;
+    for (std::size_t a = 0; a < test_apps.size(); ++a) {
+        // RBF from 3 samples over the 27 core configs (1 LLC way).
+        std::vector<double> bips27(kNumCoreConfigs),
+            power27(kNumCoreConfigs);
+        for (std::size_t k = 0; k < kNumCoreConfigs; ++k) {
+            bips27[k] = truth.bips(a, oneWayIndex(k));
+            power27[k] = truth.power(a, oneWayIndex(k));
+        }
+        std::vector<double> bips_samples, power_samples;
+        for (auto k : three_samples) {
+            bips_samples.push_back(bips27[k]);
+            power_samples.push_back(power27[k]);
+        }
+        const auto rbf_bips =
+            rbfPredictCurve(three_samples, bips_samples);
+        const auto rbf_power =
+            rbfPredictCurve(three_samples, power_samples);
+
+        // SGD from 2 samples (the runtime's own configuration pair).
+        CfEngine bips_engine(trainingTables().bips, 1, kNumJobConfigs);
+        CfEngine power_engine(trainingTables().power, 1,
+                              kNumJobConfigs);
+        bips_engine.observe(0, oneWayIndex(0), bips27[0]);
+        bips_engine.observe(0, oneWayIndex(kNumCoreConfigs - 1),
+                            bips27[kNumCoreConfigs - 1]);
+        power_engine.observe(0, oneWayIndex(0), power27[0]);
+        power_engine.observe(0, oneWayIndex(kNumCoreConfigs - 1),
+                             power27[kNumCoreConfigs - 1]);
+        const Matrix sgd_bips = bips_engine.predict();
+        const Matrix sgd_power = power_engine.predict();
+
+        for (std::size_t k = 0; k < kNumCoreConfigs; ++k) {
+            const bool rbf_sampled =
+                std::find(three_samples.begin(), three_samples.end(),
+                          k) != three_samples.end();
+            if (!rbf_sampled) {
+                rbf_bips_err.push_back(
+                    relativeErrorPct(rbf_bips[k], bips27[k]));
+                rbf_power_err.push_back(
+                    relativeErrorPct(rbf_power[k], power27[k]));
+            }
+            if (k != 0 && k != kNumCoreConfigs - 1) {
+                sgd_bips_err.push_back(relativeErrorPct(
+                    sgd_bips(0, oneWayIndex(k)), bips27[k]));
+                sgd_power_err.push_back(relativeErrorPct(
+                    sgd_power(0, oneWayIndex(k)), power27[k]));
+            }
+        }
+    }
+
+    printBox("throughput RBF", rbf_bips_err);
+    printBox("throughput SGD", sgd_bips_err);
+    printBox("power RBF", rbf_power_err);
+    printBox("power SGD", sgd_power_err);
+
+    double rbf_worst = 0.0, sgd_worst = 0.0;
+    for (double e : rbf_bips_err)
+        rbf_worst = std::max(rbf_worst, std::abs(e));
+    for (double e : sgd_bips_err)
+        sgd_worst = std::max(sgd_worst, std::abs(e));
+    std::printf("SGD beats RBF at equal information: %s "
+                "(worst-case %.0f%% vs %.0f%%)\n",
+                sgd_worst < rbf_worst ? "yes" : "NO", sgd_worst,
+                rbf_worst);
+
+    // ---- Part 2: Flicker runtime QoS ---------------------------------
+    std::printf("\nSection VIII-E — Flicker on xapian + SPEC mix "
+                "(worst p99/QoS after warm-up):\n");
+    const WorkloadMix &mix = evaluationMixes()[0];
+    const DriverOptions opts = driverOptions(0.7, 0.8, 1.0);
+
+    auto worst_ratio = [&](const RunResult &r) {
+        double worst = 0.0;
+        for (std::size_t s = 2; s < r.slices.size(); ++s) {
+            worst = std::max(worst,
+                             r.slices[s].measurement.lcTailLatency /
+                                 mix.lc.qosSeconds());
+        }
+        return worst;
+    };
+
+    {
+        MulticoreSim sim(params(), mix, 901);
+        FlickerOptions fopts;
+        fopts.method = FlickerMethod::ManageAll;
+        const RunResult r = runFlicker(sim, opts, fopts);
+        std::printf("  Flicker manage-all: worst p99/QoS = %.1fx  "
+                    "(paper: >10x)\n", worst_ratio(r));
+    }
+    {
+        MulticoreSim sim(params(), mix, 901);
+        FlickerOptions fopts;
+        fopts.method = FlickerMethod::BatchOnly;
+        const RunResult r = runFlicker(sim, opts, fopts);
+        std::printf("  Flicker batch-only: worst p99/QoS = %.1fx  "
+                    "(paper: ~1.5x)\n", worst_ratio(r));
+    }
+    {
+        MulticoreSim sim(params(), mix, 901);
+        auto sched = makeCuttleSys(mix);
+        const RunResult r = runColocation(sim, *sched, opts);
+        std::printf("  CuttleSys:          worst p99/QoS = %.1fx  "
+                    "(paper: QoS met)\n", worst_ratio(r));
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section VII-A: maximum sustainable load of each TailBench service
+ * on the 16-core reference system (knee point before saturation).
+ */
+
+#include "bench_common.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("table0_maxqps",
+           "max QPS per latency-critical service (16-core knee point)",
+           "xapian 22k, masstree 17k, imgdnn 8k, moses 8k, silo 24k");
+
+    struct PaperRow { const char *name; double qps; };
+    const PaperRow paper[] = {
+        {"xapian", 22000}, {"masstree", 17000}, {"imgdnn", 8000},
+        {"moses", 8000},   {"silo", 24000},
+    };
+
+    std::printf("%-10s %12s %12s %10s %10s\n", "service",
+                "measured", "paper", "ratio", "QoS(ms)");
+    for (const auto &app : lcApps()) {
+        double paper_qps = 0.0;
+        for (const auto &row : paper) {
+            if (app.name == row.name)
+                paper_qps = row.qps;
+        }
+        std::printf("%-10s %10.0f/s %10.0f/s %9.2fx %10.1f\n",
+                    app.name.c_str(), app.maxQps, paper_qps,
+                    app.maxQps / paper_qps, app.qosMs);
+    }
+    std::printf("\nOrdering check (paper: silo > xapian > masstree "
+                ">> imgdnn ~ moses):\n");
+    const auto &apps = lcApps();
+    auto by_name = [&](const char *n) {
+        for (const auto &a : apps) {
+            if (a.name == n)
+                return a.maxQps;
+        }
+        return 0.0;
+    };
+    std::printf("  silo > imgdnn: %s\n",
+                by_name("silo") > by_name("imgdnn") ? "yes" : "NO");
+    std::printf("  silo > moses:  %s\n",
+                by_name("silo") > by_name("moses") ? "yes" : "NO");
+    std::printf("  xapian > imgdnn: %s\n",
+                by_name("xapian") > by_name("imgdnn") ? "yes" : "NO");
+    return 0;
+}

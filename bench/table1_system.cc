@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table I: the simulated system's configuration, plus the derived
+ * power envelope the power caps are fractions of.
+ */
+
+#include "bench_common.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("table1_system", "simulated system parameters (Table I)",
+           "32 cores, 144 ROB, 192/144 regs, 48 IQ/LQ/SQ, 64MB "
+           "32-way LLC, 22nm 0.8V 4GHz");
+
+    std::printf("%s\n", params().toString().c_str());
+
+    std::printf("Derived power envelope:\n");
+    std::printf("  systemMaxPower (Section VII-A reference): %.1f W\n",
+                maxPowerW());
+    for (double cap : {0.9, 0.8, 0.7, 0.6, 0.5}) {
+        std::printf("  %3.0f%% power cap: %.1f W\n", cap * 100.0,
+                    cap * maxPowerW());
+    }
+
+    std::printf("\nConfiguration space: %zu core configs x %zu cache "
+                "allocations = %zu joint configs per job\n",
+                kNumCoreConfigs, kNumCacheAllocs, kNumJobConfigs);
+    return 0;
+}

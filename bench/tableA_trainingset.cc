@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Section VIII-A2: training-set-size sensitivity. The paper selected
+ * the fewest offline-characterized applications (16) that keep
+ * reconstruction inaccuracy under ~10%; 8 apps give ~20% inaccuracy,
+ * 24 apps ~8% at ~18% more SGD time.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "cf/engine.hh"
+#include "common/stats.hh"
+#include "sim/ground_truth.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+std::size_t
+oneWayRank()
+{
+    for (std::size_t i = 0; i < kNumCacheAllocs; ++i) {
+        if (kCacheAllocWays[i] == 1.0)
+            return i;
+    }
+    return 1;
+}
+
+struct Outcome
+{
+    double medianAbsErrPct = 0.0;
+    double p95AbsErrPct = 0.0;
+    double sgdMillis = 0.0;
+};
+
+Outcome
+evaluateTrainingSize(std::size_t train_count)
+{
+    const TrainTestSplit split = splitSpecGallery(train_count);
+    const BatchTruth train_truth =
+        batchTruthTables(split.train, params(), true, 0.01);
+    const BatchTruth test_truth =
+        batchTruthTables(split.test, params());
+
+    const std::size_t wide =
+        JobConfig(CoreConfig::widest(), oneWayRank()).index();
+    const std::size_t narrow =
+        JobConfig(CoreConfig::narrowest(), oneWayRank()).index();
+
+    std::vector<double> errors;
+    double millis = 0.0;
+    for (std::size_t a = 0; a < split.test.size(); ++a) {
+        CfEngine engine(train_truth.bips, 1, kNumJobConfigs);
+        engine.observe(0, wide, test_truth.bips(a, wide));
+        engine.observe(0, narrow, test_truth.bips(a, narrow));
+        const auto start = std::chrono::steady_clock::now();
+        const Matrix pred = engine.predict();
+        millis += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+            if (c == wide || c == narrow)
+                continue;
+            errors.push_back(std::abs(relativeErrorPct(
+                pred(0, c), test_truth.bips(a, c))));
+        }
+    }
+    Outcome out;
+    out.medianAbsErrPct = percentile(errors, 50.0);
+    out.p95AbsErrPct = percentile(errors, 95.0);
+    out.sgdMillis = millis / static_cast<double>(split.test.size());
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("tableA_trainingset",
+           "training-set size vs reconstruction inaccuracy "
+           "(Section VIII-A2)",
+           "8 apps -> ~20% inaccuracy; 16 -> ~10%; 24 -> ~8% with "
+           "+18% SGD time");
+
+    std::printf("%8s %14s %12s %14s\n", "train", "median|err|",
+                "p95|err|", "SGD time/app");
+    Outcome baseline;
+    for (std::size_t n : {8u, 16u, 24u}) {
+        const Outcome out = evaluateTrainingSize(n);
+        if (n == 16)
+            baseline = out;
+        std::printf("%8zu %13.1f%% %11.1f%% %12.2fms\n", n,
+                    out.medianAbsErrPct, out.p95AbsErrPct,
+                    out.sgdMillis);
+    }
+
+    const Outcome small = evaluateTrainingSize(8);
+    const Outcome large = evaluateTrainingSize(24);
+    std::printf("\nShape checks:\n");
+    std::printf("  8-app error > 16-app error: %s\n",
+                small.medianAbsErrPct > baseline.medianAbsErrPct
+                    ? "yes" : "NO");
+    std::printf("  24-app error <= 16-app error: %s\n",
+                large.medianAbsErrPct <=
+                        baseline.medianAbsErrPct + 1.0
+                    ? "yes" : "NO");
+    std::printf("  24-app SGD time >= 16-app: %s (%.0f%% more)\n",
+                large.sgdMillis >= baseline.sgdMillis ? "yes" : "NO",
+                (large.sgdMillis / baseline.sgdMillis - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: colocate one latency-critical service with a batch mix
+ * on the simulated 32-core reconfigurable multicore and let CuttleSys
+ * manage it for one second under a 70% power cap.
+ *
+ * Walks the full public API surface in order:
+ *   1. pick application profiles from the gallery,
+ *   2. calibrate the LC service's max load,
+ *   3. characterize the offline training applications,
+ *   4. build the simulator and the CuttleSys scheduler,
+ *   5. run and inspect per-timeslice results.
+ */
+
+#include <cstdio>
+
+#include "apps/gallery.hh"
+#include "common/logging.hh"
+#include "apps/mix.hh"
+#include "core/cuttlesys.hh"
+#include "core/training.hh"
+#include "lcsim/calibrate.hh"
+#include "power/power_model.hh"
+#include "sim/driver.hh"
+
+using namespace cuttlesys;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const SystemParams params; // Table I defaults
+
+    // 1. Applications: xapian (websearch) + 16 SPEC-like batch jobs
+    //    drawn from the apps the runtime was NOT trained on.
+    const TrainTestSplit split = splitSpecGallery();
+    WorkloadMix mix;
+    mix.lc = profileByName("xapian");
+    mix.batch = makeBatchMix(split.test, 16, /*seed=*/1);
+
+    // 2. Calibrate the service's knee-point load on the 16-core
+    //    reference system (Section VII-A).
+    std::vector<AppProfile> services = {mix.lc};
+    calibrateMaxQps(services, params);
+    mix.lc = services.front();
+    std::printf("xapian max load: %.0f QPS (QoS: p99 <= %.1f ms)\n",
+                mix.lc.maxQps, mix.lc.qosMs);
+
+    // 3. Offline characterization of the "known" applications
+    //    (Section V). In a deployment this happens once.
+    std::vector<AppProfile> known_services = tailbenchGallery();
+    calibrateMaxQps(known_services, params);
+    const TrainingTables tables =
+        buildTrainingTables(split.train, known_services, params);
+
+    // 4. The machine and the resource manager.
+    MulticoreSim sim(params, mix, /*seed=*/42);
+    CuttleSysScheduler scheduler(params, tables, mix.batch.size(),
+                                 mix.lc.qosSeconds());
+
+    // 5. One second at 80% load under a 70% power cap.
+    DriverOptions opts;
+    opts.durationSec = 1.0;
+    opts.loadPattern = LoadPattern::constant(0.8);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = systemMaxPower(split.test, params);
+    const RunResult result = runColocation(sim, scheduler, opts);
+
+    std::printf("\n%6s %10s %8s %10s %12s\n", "t(s)", "p99(ms)",
+                "P(W)", "lcConfig", "batch gmean");
+    for (const auto &slice : result.slices) {
+        std::printf("%6.1f %9.2f%s %8.1f %10s %12.2f\n",
+                    slice.measurement.timeSec,
+                    slice.measurement.lcTailLatency * 1e3,
+                    slice.qosViolated ? "*" : " ",
+                    slice.measurement.totalPower,
+                    slice.decision.lcConfig.toString().c_str(),
+                    gmeanBatchBips(slice.measurement));
+    }
+    std::printf("\nbudget: %.1f W | batch instructions: %.2e | QoS "
+                "violations: %zu\n",
+                0.7 * opts.maxPowerW, result.totalBatchInstructions,
+                result.qosViolations);
+    return 0;
+}

@@ -1,0 +1,22 @@
+#include "apps/app_profile.hh"
+
+#include <cstddef>
+
+namespace cuttlesys {
+
+double
+residualFactor(const AppProfile &profile, std::size_t joint_index)
+{
+    // SplitMix64-style avalanche over (seed, config index).
+    std::uint64_t x = profile.seed * 0x9e3779b97f4a7c15ULL +
+                      (static_cast<std::uint64_t>(joint_index) + 1) *
+                      0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    // Map to [0, 1) using the top 53 bits, then to [1-s, 1+s].
+    const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    return 1.0 + profile.residualScale * (2.0 * u - 1.0);
+}
+
+} // namespace cuttlesys

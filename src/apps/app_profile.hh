@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Application behavior profiles.
+ *
+ * The paper's evaluation runs SPEC CPU2006 and TailBench binaries under
+ * zsim. The scheduler, however, never inspects those binaries: it only
+ * observes (throughput, tail latency, power) per configuration. We
+ * therefore replace each binary with a *profile* — a small set of
+ * parameters that drives an analytical core model (src/sim) and a
+ * queueing simulator (src/lcsim) to produce exactly those observables.
+ *
+ * The parameterization is chosen so the resulting app x configuration
+ * matrices have the two properties the paper's techniques rely on:
+ *  - different applications bottleneck on different core sections
+ *    (Fig 1's characterization), and
+ *  - the matrices are approximately low-rank (few latent parameters),
+ *    which is what makes collaborative filtering work — while a
+ *    deterministic per-(app, config) residual keeps them from being
+ *    exactly low-rank, so reconstruction error stays non-trivial.
+ */
+
+#ifndef CUTTLESYS_APPS_APP_PROFILE_HH
+#define CUTTLESYS_APPS_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cuttlesys {
+
+/** Workload class, which decides the performance metric. */
+enum class AppClass
+{
+    Batch,           //!< throughput (BIPS) metric
+    LatencyCritical, //!< tail-latency (p99) metric
+};
+
+/**
+ * Behavioral profile of one application.
+ *
+ * CPI model (see sim/core_model.hh for the full equations):
+ *   cpi = cpiBase * (1 + sum over sections s of
+ *                        sens_s * ((6 / width_s)^exp_s - 1))
+ *       + (apki / 1000) * (llcLat + missRatio(ways) * dramLat)
+ *         * memOverlap * lsCoupling(widthLS)
+ * with missRatio(ways) = mrFloor + (mrCeil - mrFloor) * 2^(-ways / mrLambda).
+ */
+struct AppProfile
+{
+    std::string name;
+    AppClass cls = AppClass::Batch;
+
+    // --- core-section sensitivity -----------------------------------
+    double cpiBase = 0.30;  //!< CPI on an ideal (infinitely wide) core
+    double feSens = 0.1;    //!< front-end stall sensitivity
+    double beSens = 0.1;    //!< back-end stall sensitivity
+    double lsSens = 0.1;    //!< load/store-queue stall sensitivity
+    double feExp = 1.3;     //!< front-end narrowing exponent
+    double beExp = 1.3;     //!< back-end narrowing exponent
+    double lsExp = 1.3;     //!< load/store narrowing exponent
+
+    // --- memory behavior ---------------------------------------------
+    double apki = 5.0;      //!< LLC accesses per kilo-instruction
+    double mrCeil = 0.6;    //!< LLC miss ratio with ~0 ways
+    double mrFloor = 0.1;   //!< LLC miss ratio with many ways
+    double mrLambda = 2.0;  //!< MRC decay constant (ways per halving)
+    double memOverlap = 0.4; //!< fraction of miss latency exposed (MLP)
+
+    // --- power behavior ------------------------------------------------
+    double activity = 1.0;  //!< dynamic-energy activity factor
+
+    // --- latency-critical request model (LC apps only) ----------------
+    double requestMInstr = 4.0; //!< mean instructions per request (1e6)
+    double requestCv = 0.7;     //!< coefficient of variation of work
+    double qosMs = 5.0;         //!< p99 latency target (ms)
+    /**
+     * Calibrated knee-point load on the reference 16-core system
+     * (queries/s); 0 until lcsim::findMaxQps() has been run.
+     */
+    double maxQps = 0.0;
+
+    // --- model residual -------------------------------------------------
+    /**
+     * Scale of the deterministic per-(app, config) multiplicative
+     * residual applied to IPC (breaks exact low-rankness).
+     */
+    double residualScale = 0.03;
+    std::uint64_t seed = 1;  //!< residual hash seed, unique per app
+
+    bool isLatencyCritical() const
+    {
+        return cls == AppClass::LatencyCritical;
+    }
+
+    /** Mean per-request work in instructions (LC apps). */
+    double requestInstructions() const { return requestMInstr * 1e6; }
+
+    /** p99 target in seconds (LC apps). */
+    double qosSeconds() const { return qosMs * 1e-3; }
+};
+
+/**
+ * Deterministic residual factor for (app, joint-config) pairs.
+ *
+ * A hash of (profile.seed, joint_index) mapped into
+ * [1 - scale, 1 + scale]. The same pair always gives the same factor,
+ * so it acts as model error, not measurement noise.
+ */
+double residualFactor(const AppProfile &profile, std::size_t joint_index);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_APPS_APP_PROFILE_HH

@@ -1,0 +1,213 @@
+#include "apps/gallery.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/** Compact row for the batch-profile table below. */
+struct BatchRow
+{
+    const char *name;
+    double cpi_base;
+    double fe_sens, be_sens, ls_sens;
+    double fe_exp, be_exp, ls_exp;
+    double apki;
+    double mr_ceil, mr_floor, mr_lambda;
+    double overlap;
+    double activity;
+};
+
+/**
+ * SPEC CPU2006 stand-in parameters.
+ *
+ * Memory-bound codes (mcf, lbm, milc, libquantum, omnetpp, soplex,
+ * GemsFDTD, leslie3d, bwaves, sphinx3, xalancbmk) get high apki, steep
+ * MRCs and low compute sensitivity; compute-bound codes (gamess,
+ * povray, namd, calculix, h264ref, hmmer, gromacs) the reverse; the
+ * branchy integer codes (perlbench, sjeng, gobmk, gcc) are front-end
+ * heavy. Activity scales dynamic power (FP-heavy codes run hotter).
+ */
+constexpr BatchRow kSpecRows[] = {
+    //                 cpi   fe    be    ls   feE  beE  lsE  apki mrC  mrF  lam  ovl  act
+    {"perlbench",      0.34, 0.152, 0.064, 0.048, 1.5, 1.2, 1.1, 4.0, 0.45, 0.06, 1.6, 0.35, 0.95},
+    {"bzip2",          0.36, 0.08, 0.088, 0.08, 1.3, 1.3, 1.2, 8.0, 0.55, 0.12, 2.2, 0.40, 0.90},
+    {"gcc",            0.38, 0.136, 0.072, 0.064, 1.4, 1.2, 1.2, 9.0, 0.60, 0.10, 2.6, 0.40, 0.92},
+    {"mcf",            0.42, 0.032, 0.04, 0.104, 1.1, 1.1, 1.4, 34.0, 0.82, 0.34, 3.2, 0.52, 0.70},
+    {"cactusADM",      0.40, 0.04, 0.12, 0.088, 1.1, 1.4, 1.3, 14.0, 0.58, 0.16, 2.8, 0.46, 1.15},
+    {"namd",           0.30, 0.048, 0.16, 0.048, 1.1, 1.5, 1.1, 2.5, 0.35, 0.05, 1.4, 0.30, 1.20},
+    {"soplex",         0.38, 0.048, 0.064, 0.096, 1.1, 1.2, 1.3, 22.0, 0.70, 0.22, 3.0, 0.48, 0.85},
+    {"hmmer",          0.30, 0.064, 0.168, 0.04, 1.2, 1.5, 1.1, 2.0, 0.30, 0.04, 1.2, 0.28, 1.10},
+    {"libquantum",     0.34, 0.024, 0.048, 0.088, 1.0, 1.1, 1.3, 28.0, 0.88, 0.62, 6.0, 0.55, 0.75},
+    {"lbm",            0.36, 0.024, 0.072, 0.112, 1.0, 1.2, 1.4, 30.0, 0.85, 0.50, 5.0, 0.58, 0.95},
+    {"bwaves",         0.36, 0.032, 0.096, 0.096, 1.0, 1.3, 1.3, 20.0, 0.72, 0.30, 4.0, 0.50, 1.05},
+    {"zeusmp",         0.34, 0.04, 0.112, 0.072, 1.1, 1.3, 1.2, 12.0, 0.55, 0.14, 2.6, 0.44, 1.10},
+    {"leslie3d",       0.36, 0.032, 0.104, 0.088, 1.0, 1.3, 1.3, 18.0, 0.66, 0.22, 3.4, 0.48, 1.08},
+    {"milc",           0.38, 0.024, 0.08, 0.096, 1.0, 1.2, 1.3, 26.0, 0.78, 0.38, 4.2, 0.52, 0.92},
+    {"h264ref",        0.30, 0.104, 0.136, 0.048, 1.3, 1.4, 1.1, 3.5, 0.40, 0.06, 1.6, 0.32, 1.12},
+    {"sjeng",          0.34, 0.16, 0.08, 0.04, 1.5, 1.2, 1.0, 3.0, 0.42, 0.08, 1.8, 0.30, 0.88},
+    {"GemsFDTD",       0.38, 0.032, 0.088, 0.104, 1.0, 1.2, 1.3, 24.0, 0.75, 0.30, 3.8, 0.52, 1.00},
+    {"omnetpp",        0.40, 0.072, 0.048, 0.088, 1.2, 1.1, 1.3, 21.0, 0.74, 0.26, 3.0, 0.46, 0.78},
+    {"xalancbmk",      0.38, 0.12, 0.056, 0.072, 1.4, 1.1, 1.2, 16.0, 0.64, 0.18, 2.6, 0.42, 0.82},
+    {"sphinx3",        0.34, 0.056, 0.096, 0.08, 1.2, 1.3, 1.2, 15.0, 0.60, 0.16, 2.8, 0.44, 0.96},
+    {"astar",          0.36, 0.064, 0.056, 0.088, 1.2, 1.1, 1.3, 12.0, 0.58, 0.18, 2.4, 0.42, 0.80},
+    {"gromacs",        0.30, 0.048, 0.152, 0.048, 1.1, 1.4, 1.1, 4.0, 0.38, 0.06, 1.6, 0.32, 1.15},
+    {"gamess",         0.28, 0.072, 0.176, 0.032, 1.2, 1.5, 1.0, 1.5, 0.25, 0.03, 1.0, 0.25, 1.18},
+    {"gobmk",          0.34, 0.144, 0.072, 0.048, 1.5, 1.2, 1.1, 4.5, 0.44, 0.08, 1.8, 0.32, 0.86},
+    {"povray",         0.28, 0.08, 0.168, 0.032, 1.2, 1.5, 1.0, 1.0, 0.22, 0.03, 1.0, 0.24, 1.16},
+    {"specrand",       0.30, 0.04, 0.048, 0.04, 1.1, 1.1, 1.1, 0.8, 0.20, 0.04, 1.0, 0.22, 0.60},
+    {"calculix",       0.30, 0.056, 0.16, 0.04, 1.1, 1.5, 1.1, 3.0, 0.34, 0.05, 1.4, 0.30, 1.14},
+    {"wrf",            0.34, 0.048, 0.12, 0.064, 1.1, 1.3, 1.2, 10.0, 0.52, 0.12, 2.4, 0.42, 1.06},
+};
+
+/** Compact row for the latency-critical profile table below. */
+struct LcRow
+{
+    const char *name;
+    double cpi_base;
+    double fe_sens, be_sens, ls_sens;
+    double fe_exp, be_exp, ls_exp;
+    double apki;
+    double mr_ceil, mr_floor, mr_lambda;
+    double overlap;
+    double activity;
+    double req_minstr;
+    double req_cv;
+    double qos_ms;
+};
+
+/**
+ * TailBench stand-ins, tuned to Fig 1's findings:
+ *  - xapian: tail latency dominated by the load-store queue (needs a
+ *    six-way LS); least power at {2,2,6}.
+ *  - imgdnn, silo, masstree: low latency once FE and LS are >= 4-way.
+ *  - moses: primarily front-end bound; least power at {6,2,4}.
+ * Request work is sized so the 16-core knee-point loads land near the
+ * paper's max QPS (xapian 22k, masstree 17k, imgdnn 8k, moses 8k,
+ * silo 24k).
+ */
+constexpr LcRow kTailbenchRows[] = {
+    //            cpi   fe    be    ls   feE  beE  lsE  apki  mrC   mrF  lam  ovl  act   MI   cv   qos
+    {"xapian",    0.36, 0.12, 0.10, 0.55, 1.1, 1.1, 1.7, 18.0, 0.62, 0.18, 2.6, 0.48, 0.85, 3.6, 0.9, 10.0},
+    {"masstree",  0.32, 0.30, 0.10, 0.30, 1.4, 1.1, 1.4, 14.0, 0.55, 0.14, 2.2, 0.44, 0.80, 5.2, 0.6,  4.0},
+    {"imgdnn",    0.28, 0.28, 0.26, 0.26, 1.4, 1.3, 1.4,  6.0, 0.40, 0.08, 1.8, 0.36, 1.10, 14.0, 0.4,  6.0},
+    {"moses",     0.34, 0.48, 0.12, 0.16, 1.6, 1.1, 1.2,  8.0, 0.48, 0.10, 2.0, 0.38, 0.90, 12.0, 0.7, 12.0},
+    {"silo",      0.30, 0.16, 0.12, 0.28, 1.2, 1.1, 1.3, 10.0, 0.50, 0.12, 2.0, 0.40, 0.78, 3.2, 0.5,  3.0},
+};
+
+AppProfile
+fromBatchRow(const BatchRow &row, std::uint64_t seed)
+{
+    AppProfile p;
+    p.name = row.name;
+    p.cls = AppClass::Batch;
+    p.cpiBase = row.cpi_base;
+    p.feSens = row.fe_sens;
+    p.beSens = row.be_sens;
+    p.lsSens = row.ls_sens;
+    p.feExp = row.fe_exp;
+    p.beExp = row.be_exp;
+    p.lsExp = row.ls_exp;
+    p.apki = row.apki;
+    p.mrCeil = row.mr_ceil;
+    p.mrFloor = row.mr_floor;
+    p.mrLambda = row.mr_lambda;
+    p.memOverlap = row.overlap;
+    p.activity = row.activity;
+    p.seed = seed;
+    return p;
+}
+
+AppProfile
+fromLcRow(const LcRow &row, std::uint64_t seed)
+{
+    AppProfile p;
+    p.name = row.name;
+    p.cls = AppClass::LatencyCritical;
+    p.cpiBase = row.cpi_base;
+    p.feSens = row.fe_sens;
+    p.beSens = row.be_sens;
+    p.lsSens = row.ls_sens;
+    p.feExp = row.fe_exp;
+    p.beExp = row.be_exp;
+    p.lsExp = row.ls_exp;
+    p.apki = row.apki;
+    p.mrCeil = row.mr_ceil;
+    p.mrFloor = row.mr_floor;
+    p.mrLambda = row.mr_lambda;
+    p.memOverlap = row.overlap;
+    p.activity = row.activity;
+    p.requestMInstr = row.req_minstr;
+    p.requestCv = row.req_cv;
+    p.qosMs = row.qos_ms;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+specGallery()
+{
+    std::vector<AppProfile> gallery;
+    gallery.reserve(std::size(kSpecRows));
+    std::uint64_t seed = 101;
+    for (const auto &row : kSpecRows)
+        gallery.push_back(fromBatchRow(row, seed++));
+    return gallery;
+}
+
+std::vector<AppProfile>
+tailbenchGallery()
+{
+    std::vector<AppProfile> gallery;
+    gallery.reserve(std::size(kTailbenchRows));
+    std::uint64_t seed = 901;
+    for (const auto &row : kTailbenchRows)
+        gallery.push_back(fromLcRow(row, seed++));
+    return gallery;
+}
+
+AppProfile
+profileByName(const std::string &name)
+{
+    for (const auto &p : specGallery()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const auto &p : tailbenchGallery()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown application profile '", name, "'");
+}
+
+TrainTestSplit
+splitSpecGallery(std::size_t train_count, std::uint64_t seed)
+{
+    auto gallery = specGallery();
+    CS_ASSERT(train_count <= gallery.size(),
+              "train count ", train_count, " exceeds gallery size ",
+              gallery.size());
+    Rng rng(seed);
+    auto train_idx = rng.sampleWithoutReplacement(gallery.size(),
+                                                  train_count);
+    std::vector<bool> in_train(gallery.size(), false);
+    for (auto i : train_idx)
+        in_train[i] = true;
+
+    TrainTestSplit split;
+    for (std::size_t i = 0; i < gallery.size(); ++i) {
+        if (in_train[i])
+            split.train.push_back(gallery[i]);
+        else
+            split.test.push_back(gallery[i]);
+    }
+    return split;
+}
+
+} // namespace cuttlesys

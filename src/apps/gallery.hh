@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The application gallery: profiles standing in for the paper's
+ * workloads.
+ *
+ * Batch: the 28 SPEC CPU2006 benchmarks listed in Section VII-A.
+ * Latency-critical: the 5 TailBench services (xapian, masstree,
+ * imgdnn, moses, silo).
+ *
+ * Parameter values are hand-calibrated to the qualitative behavior the
+ * paper (and the SPEC/TailBench characterization literature) reports:
+ * e.g. mcf/lbm/libquantum are memory-bound with steep miss-ratio
+ * curves, povray/gamess are compute-bound, xapian's tail latency is
+ * load-store-bound, moses is front-end-bound (Fig 1).
+ */
+
+#ifndef CUTTLESYS_APPS_GALLERY_HH
+#define CUTTLESYS_APPS_GALLERY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_profile.hh"
+
+namespace cuttlesys {
+
+/** All 28 SPEC CPU2006-like batch profiles, fixed order. */
+std::vector<AppProfile> specGallery();
+
+/** All 5 TailBench-like latency-critical profiles, fixed order. */
+std::vector<AppProfile> tailbenchGallery();
+
+/**
+ * Look up a profile by name in either gallery.
+ * @throws FatalError for unknown names.
+ */
+AppProfile profileByName(const std::string &name);
+
+/**
+ * The canonical train/test split of Section VII-A: @p train_count
+ * (default 16) SPEC apps selected for offline characterization; the
+ * remaining apps form the pool test mixes are drawn from.
+ *
+ * The selection is a deterministic pseudo-random function of @p seed,
+ * mirroring the paper's "randomly selected 16".
+ */
+struct TrainTestSplit
+{
+    std::vector<AppProfile> train;
+    std::vector<AppProfile> test;
+};
+
+TrainTestSplit splitSpecGallery(std::size_t train_count = 16,
+                                std::uint64_t seed = 2020);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_APPS_GALLERY_HH

@@ -1,0 +1,69 @@
+#include "apps/generator.hh"
+
+#include <sstream>
+
+#include "common/rng.hh"
+
+namespace cuttlesys {
+
+AppProfile
+randomBatchProfile(Rng &rng, const std::string &name)
+{
+    AppProfile p;
+    p.name = name;
+    p.cls = AppClass::Batch;
+    p.cpiBase = rng.uniform(0.26, 0.44);
+
+    // Split a total compute-sensitivity budget across the three
+    // sections so apps bottleneck in different places.
+    const double budget = rng.uniform(0.08, 0.40);
+    double w_fe = rng.uniform(0.05, 1.0);
+    double w_be = rng.uniform(0.05, 1.0);
+    double w_ls = rng.uniform(0.05, 1.0);
+    const double w_sum = w_fe + w_be + w_ls;
+    p.feSens = budget * w_fe / w_sum;
+    p.beSens = budget * w_be / w_sum;
+    p.lsSens = budget * w_ls / w_sum;
+    p.feExp = rng.uniform(1.0, 1.6);
+    p.beExp = rng.uniform(1.0, 1.6);
+    p.lsExp = rng.uniform(1.0, 1.7);
+
+    p.apki = rng.uniform(0.8, 34.0);
+    p.mrFloor = rng.uniform(0.03, 0.4);
+    p.mrCeil = p.mrFloor + rng.uniform(0.15, 0.5);
+    p.mrLambda = rng.uniform(1.0, 6.0);
+    p.memOverlap = rng.uniform(0.22, 0.58);
+    p.activity = rng.uniform(0.6, 1.2);
+    p.seed = rng();
+    return p;
+}
+
+AppProfile
+randomLcProfile(Rng &rng, const std::string &name)
+{
+    AppProfile p = randomBatchProfile(rng, name);
+    p.cls = AppClass::LatencyCritical;
+    p.requestMInstr = rng.uniform(2.0, 16.0);
+    p.requestCv = rng.uniform(0.3, 1.0);
+    p.qosMs = rng.uniform(2.0, 14.0);
+    return p;
+}
+
+std::vector<AppProfile>
+randomBatchProfiles(Rng &rng, std::size_t count,
+                    const std::string &prefix)
+{
+    std::vector<AppProfile> profiles;
+    profiles.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::ostringstream name;
+        name << prefix;
+        name.fill('0');
+        name.width(2);
+        name << i;
+        profiles.push_back(randomBatchProfile(rng, name.str()));
+    }
+    return profiles;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Random application-profile synthesis.
+ *
+ * Property-based tests and the training-set-size sensitivity study
+ * need arbitrary-but-plausible applications beyond the fixed gallery.
+ * Profiles are drawn from the same latent ranges the gallery was
+ * hand-calibrated within, so every generated profile exercises the
+ * core model inside its validated envelope.
+ */
+
+#ifndef CUTTLESYS_APPS_GENERATOR_HH
+#define CUTTLESYS_APPS_GENERATOR_HH
+
+#include <vector>
+
+#include "apps/app_profile.hh"
+
+namespace cuttlesys {
+
+class Rng;
+
+/** Draw one random batch profile. */
+AppProfile randomBatchProfile(Rng &rng, const std::string &name);
+
+/** Draw one random latency-critical profile. */
+AppProfile randomLcProfile(Rng &rng, const std::string &name);
+
+/** Draw @p count random batch profiles named "<prefix>NN". */
+std::vector<AppProfile> randomBatchProfiles(Rng &rng, std::size_t count,
+                                            const std::string &prefix =
+                                                "synth");
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_APPS_GENERATOR_HH

@@ -1,0 +1,55 @@
+#include "apps/mix.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+
+std::vector<AppProfile>
+makeBatchMix(const std::vector<AppProfile> &pool, std::size_t size,
+             std::uint64_t seed)
+{
+    CS_ASSERT(!pool.empty(), "cannot build a mix from an empty pool");
+    Rng rng(seed);
+    std::vector<AppProfile> mix;
+    mix.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1));
+        AppProfile app = pool[pick];
+        // Distinguish repeated picks: unique residual stream per slot.
+        app.seed = app.seed * 0x100000001b3ULL + i + seed;
+        mix.push_back(std::move(app));
+    }
+    return mix;
+}
+
+std::vector<WorkloadMix>
+makeEvaluationMixes(const std::vector<AppProfile> &lc_apps,
+                    const std::vector<AppProfile> &pool,
+                    std::size_t mixes_per_lc, std::size_t mix_size,
+                    std::uint64_t seed)
+{
+    std::vector<WorkloadMix> mixes;
+    mixes.reserve(lc_apps.size() * mixes_per_lc);
+    for (std::size_t li = 0; li < lc_apps.size(); ++li) {
+        for (std::size_t mi = 0; mi < mixes_per_lc; ++mi) {
+            WorkloadMix mix;
+            std::ostringstream name;
+            name << lc_apps[li].name << "/mix";
+            name.fill('0');
+            name.width(2);
+            name << mi;
+            mix.name = name.str();
+            mix.lc = lc_apps[li];
+            mix.batch = makeBatchMix(pool, mix_size,
+                                     seed + li * 1000 + mi);
+            mixes.push_back(std::move(mix));
+        }
+    }
+    return mixes;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload-mix construction (Section VII-A).
+ *
+ * The paper evaluates 50 colocations: each of the 5 TailBench services
+ * paired with 10 multiprogrammed 16-app mixes drawn from the SPEC
+ * benchmarks *not* used for offline training. A mix may repeat an
+ * application (each core draws independently), exactly as in the
+ * paper's "randomly selecting one of the remaining SPECCPU2006
+ * benchmarks to run on each core".
+ */
+
+#ifndef CUTTLESYS_APPS_MIX_HH
+#define CUTTLESYS_APPS_MIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_profile.hh"
+
+namespace cuttlesys {
+
+/** One colocation: a latency-critical service plus a batch mix. */
+struct WorkloadMix
+{
+    std::string name;        //!< e.g. "xapian/mix03"
+    AppProfile lc;           //!< the latency-critical service
+    std::vector<AppProfile> batch; //!< one profile per batch core
+};
+
+/**
+ * Build one batch mix of @p size apps drawn (with replacement) from
+ * @p pool. Repeated apps get distinct residual seeds so two copies of
+ * "mcf" do not produce byte-identical rows.
+ */
+std::vector<AppProfile> makeBatchMix(const std::vector<AppProfile> &pool,
+                                     std::size_t size,
+                                     std::uint64_t seed);
+
+/**
+ * Build the full 50-mix evaluation set: every TailBench profile (with
+ * @p calibrated max-QPS values already filled in by the caller) paired
+ * with @p mixes_per_lc mixes of @p mix_size apps from @p pool.
+ */
+std::vector<WorkloadMix>
+makeEvaluationMixes(const std::vector<AppProfile> &lc_apps,
+                    const std::vector<AppProfile> &pool,
+                    std::size_t mixes_per_lc = 10,
+                    std::size_t mix_size = 16,
+                    std::uint64_t seed = 7177);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_APPS_MIX_HH

@@ -1,0 +1,194 @@
+#include "baselines/asymmetric.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/no_gating.hh"
+#include "common/logging.hh"
+#include "power/power_model.hh"
+#include "sim/core_model.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+JobConfig
+bigConfig()
+{
+    return JobConfig(CoreConfig::widest(), unpartitionedBatchRank());
+}
+
+JobConfig
+smallConfig()
+{
+    return JobConfig(CoreConfig::narrowest(), unpartitionedBatchRank());
+}
+
+/** Oracle estimate of the LC cluster's power on big cores. */
+double
+lcClusterPower(const MulticoreSim &sim, const SliceContext &ctx,
+               const JobConfig &lc_config, std::size_t lc_cores)
+{
+    if (ctx.previous && ctx.previous->lcPower > 0.0)
+        return ctx.previous->lcPower;
+    const AppProfile &lc = sim.mix().lc;
+    const double ipc = coreIpc(lc, lc_config, sim.params());
+    const double util = 0.8; // pre-measurement estimate
+    return corePower(lc, lc_config.core(), ipc * util, sim.params(),
+                     false) * static_cast<double>(lc_cores);
+}
+
+/** Gate active jobs in descending power order until under budget. */
+void
+gateToBudget(SliceDecision &d, const std::vector<double> &power,
+             double fixed_power, double budget)
+{
+    double total = fixed_power;
+    for (std::size_t j = 0; j < power.size(); ++j) {
+        if (d.batchActive[j])
+            total += power[j];
+    }
+    while (total > budget) {
+        std::size_t victim = power.size();
+        double worst = -1.0;
+        for (std::size_t j = 0; j < power.size(); ++j) {
+            if (d.batchActive[j] && power[j] > worst) {
+                worst = power[j];
+                victim = j;
+            }
+        }
+        if (victim == power.size())
+            break;
+        d.batchActive[victim] = false;
+        total -= power[victim];
+        total += gatedCorePower();
+    }
+}
+
+} // namespace
+
+AsymmetricOracleScheduler::AsymmetricOracleScheduler(
+    const MulticoreSim &sim, std::size_t lc_cores)
+    : sim_(sim), lcCores_(lc_cores)
+{
+}
+
+SliceDecision
+AsymmetricOracleScheduler::decide(const SliceContext &ctx)
+{
+    const std::size_t B = sim_.numBatchJobs();
+    const JobConfig big = bigConfig();
+    const JobConfig small = smallConfig();
+
+    SliceDecision d;
+    d.reconfigurable = false;
+    d.lcCores = lcCores_;
+    d.lcConfig = JobConfig(CoreConfig::widest(), unpartitionedLcRank());
+    d.batchConfigs.assign(B, small);
+    d.batchActive.assign(B, true);
+
+    // Oracle ground truth for every job on both core types.
+    std::vector<double> bips_big(B), bips_small(B);
+    std::vector<double> power_big(B), power_small(B);
+    for (std::size_t j = 0; j < B; ++j) {
+        bips_big[j] = sim_.truthBatchBips(j, big, false);
+        bips_small[j] = sim_.truthBatchBips(j, small, false);
+        power_big[j] = sim_.truthBatchPower(j, big, false);
+        power_small[j] = sim_.truthBatchPower(j, small, false);
+    }
+
+    const double fixed = lcClusterPower(sim_, ctx, d.lcConfig,
+                                        lcCores_) +
+                         llcPower(sim_.params());
+
+    // Try every big-core count k with two candidate placements (by
+    // absolute gain and by gain per extra watt) and keep the feasible
+    // assignment with the highest total throughput.
+    std::vector<std::size_t> by_gain(B), by_efficiency(B);
+    std::iota(by_gain.begin(), by_gain.end(), 0);
+    by_efficiency = by_gain;
+    std::sort(by_gain.begin(), by_gain.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return bips_big[a] - bips_small[a] >
+                         bips_big[b] - bips_small[b];
+              });
+    std::sort(by_efficiency.begin(), by_efficiency.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const double da =
+                      std::max(power_big[a] - power_small[a], 1e-6);
+                  const double db =
+                      std::max(power_big[b] - power_small[b], 1e-6);
+                  return (bips_big[a] - bips_small[a]) / da >
+                         (bips_big[b] - bips_small[b]) / db;
+              });
+
+    double best_bips = -1.0;
+    std::vector<bool> best_on_big(B, false);
+    for (const auto &order : {by_gain, by_efficiency}) {
+        std::vector<bool> on_big(B, false);
+        double power = fixed;
+        double bips = 0.0;
+        for (std::size_t j = 0; j < B; ++j) {
+            power += power_small[j];
+            bips += bips_small[j];
+        }
+        // k = 0 first, then promote one job at a time.
+        for (std::size_t k = 0; k <= B; ++k) {
+            if (power <= ctx.powerBudgetW && bips > best_bips) {
+                best_bips = bips;
+                best_on_big = on_big;
+            }
+            if (k == B)
+                break;
+            const std::size_t j = order[k];
+            on_big[j] = true;
+            power += power_big[j] - power_small[j];
+            bips += bips_big[j] - bips_small[j];
+        }
+    }
+
+    if (best_bips < 0.0) {
+        // Even the all-small placement busts the budget: gate cores
+        // in descending order of power.
+        gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
+        return d;
+    }
+
+    for (std::size_t j = 0; j < B; ++j)
+        d.batchConfigs[j] = best_on_big[j] ? big : small;
+    return d;
+}
+
+StaticAsymmetricScheduler::StaticAsymmetricScheduler(
+    const MulticoreSim &sim, std::size_t lc_cores)
+    : sim_(sim), lcCores_(lc_cores)
+{
+}
+
+SliceDecision
+StaticAsymmetricScheduler::decide(const SliceContext &ctx)
+{
+    const std::size_t B = sim_.numBatchJobs();
+    const JobConfig small = smallConfig();
+
+    SliceDecision d;
+    d.reconfigurable = false;
+    d.lcCores = lcCores_;
+    d.lcConfig = JobConfig(CoreConfig::widest(), unpartitionedLcRank());
+    // The 16 big cores host the LC service; every batch job gets one
+    // of the 16 small cores.
+    d.batchConfigs.assign(B, small);
+    d.batchActive.assign(B, true);
+
+    std::vector<double> power_small(B);
+    for (std::size_t j = 0; j < B; ++j)
+        power_small[j] = sim_.truthBatchPower(j, small, false);
+
+    const double fixed = lcClusterPower(sim_, ctx, d.lcConfig,
+                                        lcCores_) +
+                         llcPower(sim_.params());
+    gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
+    return d;
+}
+
+} // namespace cuttlesys

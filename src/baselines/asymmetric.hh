@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Asymmetric-multicore baselines (Section VII-C).
+ *
+ * Two fixed core types: big = {6,6,6} and small = {2,2,2}, both
+ * fixed-function (no reconfiguration penalties). The LC service runs
+ * on big cores to meet QoS.
+ *
+ * - AsymmetricOracleScheduler: the paper's deliberately unrealistic
+ *   upper bound. It knows every job's true (BIPS, power) on both core
+ *   types, picks the optimal number of batch jobs to place on big
+ *   cores each timeslice (placing the jobs that gain the most from a
+ *   big core there), pays no scheduling or migration overheads, and
+ *   gates cores (descending power) when even the all-small placement
+ *   exceeds the budget.
+ *
+ * - StaticAsymmetricScheduler: a realistic 50% big / 50% small chip.
+ *   The 16 big cores are consumed by the LC service, so every batch
+ *   job runs on a small core; gating still applies under tight caps.
+ */
+
+#ifndef CUTTLESYS_BASELINES_ASYMMETRIC_HH
+#define CUTTLESYS_BASELINES_ASYMMETRIC_HH
+
+#include "sim/multicore.hh"
+#include "sim/scheduler.hh"
+
+namespace cuttlesys {
+
+/** Oracle-like asymmetric multicore. */
+class AsymmetricOracleScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param sim the simulator, used as the oracle's ground truth
+     * @param lc_cores big cores pinned to the LC service
+     */
+    AsymmetricOracleScheduler(const MulticoreSim &sim,
+                              std::size_t lc_cores = 16);
+
+    std::string name() const override { return "asymm-oracle"; }
+    bool wantsProfiling() const override { return false; }
+    bool usesReconfigurableCores() const override { return false; }
+
+    SliceDecision decide(const SliceContext &ctx) override;
+
+  private:
+    const MulticoreSim &sim_;
+    std::size_t lcCores_;
+};
+
+/** Fixed 50% big / 50% small asymmetric multicore. */
+class StaticAsymmetricScheduler : public Scheduler
+{
+  public:
+    StaticAsymmetricScheduler(const MulticoreSim &sim,
+                              std::size_t lc_cores = 16);
+
+    std::string name() const override { return "asymm-50/50"; }
+    bool wantsProfiling() const override { return false; }
+    bool usesReconfigurableCores() const override { return false; }
+
+    SliceDecision decide(const SliceContext &ctx) override;
+
+  private:
+    const MulticoreSim &sim_;
+    std::size_t lcCores_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_BASELINES_ASYMMETRIC_HH

@@ -1,0 +1,198 @@
+#include "baselines/core_gating.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/no_gating.hh"
+#include "cache/partition.hh"
+#include "common/logging.hh"
+#include "power/power_model.hh"
+
+namespace cuttlesys {
+
+const char *
+gatingPolicyName(GatingPolicy policy)
+{
+    switch (policy) {
+      case GatingPolicy::DescendingPower:      return "desc-power";
+      case GatingPolicy::AscendingPower:       return "asc-power";
+      case GatingPolicy::AscendingBipsPerWatt: return "asc-bips/watt";
+      case GatingPolicy::AscendingBips:        return "asc-bips";
+    }
+    return "?";
+}
+
+CoreGatingScheduler::CoreGatingScheduler(const SystemParams &params,
+                                         const WorkloadMix &mix,
+                                         bool way_partitioning,
+                                         GatingPolicy policy,
+                                         std::size_t lc_cores)
+    : params_(params), mix_(mix), wayPartitioning_(way_partitioning),
+      policy_(policy), lcCores_(lc_cores)
+{
+    CS_ASSERT(!mix_.batch.empty(), "no batch jobs");
+}
+
+std::string
+CoreGatingScheduler::name() const
+{
+    std::string n = "core-gating";
+    if (wayPartitioning_)
+        n += "+wp";
+    if (policy_ != GatingPolicy::DescendingPower) {
+        n += "(";
+        n += gatingPolicyName(policy_);
+        n += ")";
+    }
+    return n;
+}
+
+CoreGatingScheduler::Estimates
+CoreGatingScheduler::estimate(const SliceContext &ctx) const
+{
+    const std::size_t B = mix_.batch.size();
+    Estimates est;
+    est.power.assign(B, 0.0);
+    est.bips.assign(B, 0.0);
+
+    for (std::size_t j = 0; j < B; ++j) {
+        if (!ctx.profiles.empty()) {
+            est.power[j] = ctx.profiles[1 + j].powerWide;
+            est.bips[j] = ctx.profiles[1 + j].bipsWide;
+        }
+        // Steady-state measurements refine the 1 ms sample.
+        if (ctx.previous && ctx.previousDecision &&
+            j < ctx.previous->batchPower.size() &&
+            ctx.previousDecision->batchActive[j] &&
+            ctx.previous->batchPower[j] > 0.0) {
+            est.power[j] = ctx.previous->batchPower[j];
+            est.bips[j] = ctx.previous->batchBips[j];
+        }
+    }
+
+    if (ctx.previous && ctx.previous->lcPower > 0.0) {
+        est.lcPower = ctx.previous->lcPower;
+    } else if (!ctx.profiles.empty()) {
+        est.lcPower = ctx.profiles[0].powerWide *
+                      static_cast<double>(lcCores_);
+    }
+    return est;
+}
+
+SliceDecision
+CoreGatingScheduler::decide(const SliceContext &ctx)
+{
+    const std::size_t B = mix_.batch.size();
+    const Estimates est = estimate(ctx);
+
+    SliceDecision d;
+    d.reconfigurable = false;
+    d.lcCores = lcCores_;
+    d.lcConfig = JobConfig(CoreConfig::widest(), unpartitionedLcRank());
+    d.batchConfigs.assign(B, JobConfig(CoreConfig::widest(),
+                                       unpartitionedBatchRank()));
+    d.batchActive.assign(B, true);
+
+    // --- choose cores to gate until the budget is met -----------------
+    auto metric = [&](std::size_t j) {
+        switch (policy_) {
+          case GatingPolicy::DescendingPower:
+            return -est.power[j]; // gate highest power first
+          case GatingPolicy::AscendingPower:
+            return est.power[j];
+          case GatingPolicy::AscendingBipsPerWatt:
+            return est.bips[j] / std::max(est.power[j], 1e-6);
+          case GatingPolicy::AscendingBips:
+            return est.bips[j];
+        }
+        return 0.0;
+    };
+    std::vector<std::size_t> order(B);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return metric(a) < metric(b);
+              });
+
+    double total = est.lcPower + llcPower(params_);
+    for (std::size_t j = 0; j < B; ++j)
+        total += est.power[j];
+
+    std::size_t gated = 0;
+    std::size_t last_victim = B;
+    for (std::size_t j : order) {
+        if (total <= ctx.powerBudgetW)
+            break;
+        d.batchActive[j] = false;
+        total -= est.power[j];
+        total += gatedCorePower();
+        ++gated;
+        last_victim = j;
+    }
+
+    // Refine the final victim: among the still-active jobs, gate the
+    // one that meets the budget with the smallest slack instead
+    // (Section VII-B).
+    if (gated > 0 && last_victim < B && total <= ctx.powerBudgetW) {
+        const double without_last =
+            total + est.power[last_victim] - gatedCorePower();
+        std::size_t best = last_victim;
+        double best_slack = ctx.powerBudgetW - total;
+        for (std::size_t j = 0; j < B; ++j) {
+            if (!d.batchActive[j])
+                continue;
+            const double alt = without_last - est.power[j] +
+                               gatedCorePower();
+            const double slack = ctx.powerBudgetW - alt;
+            if (slack >= 0.0 && slack < best_slack) {
+                best_slack = slack;
+                best = j;
+            }
+        }
+        if (best != last_victim) {
+            d.batchActive[last_victim] = true;
+            d.batchActive[best] = false;
+        }
+    }
+
+    // --- UCP way-partitioning across the active batch jobs -------------
+    // The LC service keeps its full reserved allocation (QoS has
+    // priority over utility); UCP distributes the remaining ways
+    // among the active batch jobs.
+    if (wayPartitioning_) {
+        std::vector<AppProfile> active_apps;
+        std::vector<std::size_t> active_idx;
+        for (std::size_t j = 0; j < B; ++j) {
+            if (d.batchActive[j]) {
+                active_apps.push_back(mix_.batch[j]);
+                active_idx.push_back(j);
+            }
+        }
+        const std::size_t reserved = static_cast<std::size_t>(
+            kCacheAllocWays[unpartitionedLcRank()]);
+        const std::size_t batch_ways =
+            params_.llcWays > reserved ? params_.llcWays - reserved
+                                       : 0;
+        if (!active_apps.empty() &&
+            batch_ways >= active_apps.size()) {
+            const WayPartition part =
+                ucpPartition(active_apps, batch_ways);
+            auto to_rank = [](double ways) {
+                std::size_t rank = 0;
+                for (std::size_t i = 0; i < kNumCacheAllocs; ++i) {
+                    if (kCacheAllocWays[i] <= ways + 1e-9)
+                        rank = i;
+                }
+                return rank;
+            };
+            for (std::size_t k = 0; k < active_idx.size(); ++k) {
+                d.batchConfigs[active_idx[k]] =
+                    JobConfig(CoreConfig::widest(),
+                              to_rank(part.allocation[k]));
+            }
+        }
+    }
+    return d;
+}
+
+} // namespace cuttlesys

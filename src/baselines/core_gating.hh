@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Core-level gating baseline (Section VII-B).
+ *
+ * Fixed {6,6,6} cores with per-core power gating (C6), the mechanism
+ * shipping in real servers. The LC service's cores are never gated.
+ * Each slice the scheduler estimates per-job power from the profiling
+ * sample (refined by steady-state measurements) and gates batch cores
+ * until the budget is met, choosing victims by a configurable policy;
+ * the paper evaluated four orders and found descending power best.
+ * When gating the last core needed to meet the budget, the scheduler
+ * searches the active cores for the one whose gating meets the budget
+ * with the smallest slack.
+ *
+ * The way-partitioned variant additionally runs UCP (Qureshi & Patt)
+ * across the LC service and the active batch jobs — a hardware
+ * mechanism (shadow tags), so it legitimately sees miss-ratio curves.
+ */
+
+#ifndef CUTTLESYS_BASELINES_CORE_GATING_HH
+#define CUTTLESYS_BASELINES_CORE_GATING_HH
+
+#include <vector>
+
+#include "apps/mix.hh"
+#include "sim/scheduler.hh"
+
+namespace cuttlesys {
+
+/** Victim-selection order for gating (Section VII-B). */
+enum class GatingPolicy
+{
+    DescendingPower, //!< paper's best-performing choice (default)
+    AscendingPower,
+    AscendingBipsPerWatt,
+    AscendingBips,
+};
+
+const char *gatingPolicyName(GatingPolicy policy);
+
+/** Core-level gating, optionally with UCP way-partitioning. */
+class CoreGatingScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param params system parameters
+     * @param mix the colocation (used only by the UCP hardware model)
+     * @param way_partitioning enable the +wp variant
+     * @param policy victim order
+     */
+    CoreGatingScheduler(const SystemParams &params,
+                        const WorkloadMix &mix,
+                        bool way_partitioning = false,
+                        GatingPolicy policy =
+                            GatingPolicy::DescendingPower,
+                        std::size_t lc_cores = 16);
+
+    std::string name() const override;
+    bool wantsProfiling() const override { return true; }
+    bool usesReconfigurableCores() const override { return false; }
+
+    SliceDecision decide(const SliceContext &ctx) override;
+
+  private:
+    /** Latest per-job power/BIPS estimates from samples+feedback. */
+    struct Estimates
+    {
+        std::vector<double> power;
+        std::vector<double> bips;
+        double lcPower = 0.0;
+    };
+
+    Estimates estimate(const SliceContext &ctx) const;
+
+    SystemParams params_;
+    WorkloadMix mix_;
+    bool wayPartitioning_;
+    GatingPolicy policy_;
+    std::size_t lcCores_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_BASELINES_CORE_GATING_HH

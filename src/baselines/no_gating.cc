@@ -1,0 +1,45 @@
+#include "baselines/no_gating.hh"
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+std::size_t
+unpartitionedBatchRank()
+{
+    for (std::size_t i = 0; i < kNumCacheAllocs; ++i) {
+        if (kCacheAllocWays[i] == 1.0)
+            return i;
+    }
+    panic("no 1-way cache allocation");
+}
+
+std::size_t
+unpartitionedLcRank()
+{
+    return kNumCacheAllocs - 1; // largest allocation (4 ways)
+}
+
+NoGatingScheduler::NoGatingScheduler(std::size_t num_batch_jobs,
+                                     std::size_t lc_cores)
+    : numBatchJobs_(num_batch_jobs), lcCores_(lc_cores)
+{
+    CS_ASSERT(num_batch_jobs > 0, "no batch jobs");
+}
+
+SliceDecision
+NoGatingScheduler::decide(const SliceContext &ctx)
+{
+    (void)ctx;
+    SliceDecision d;
+    d.reconfigurable = false;
+    d.lcCores = lcCores_;
+    d.lcConfig = JobConfig(CoreConfig::widest(), unpartitionedLcRank());
+    d.batchConfigs.assign(numBatchJobs_,
+                          JobConfig(CoreConfig::widest(),
+                                    unpartitionedBatchRank()));
+    d.batchActive.assign(numBatchJobs_, true);
+    return d;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * No-gating reference (the denominator of Fig 5c): every core runs
+ * the widest fixed configuration with no cache partitioning and the
+ * power budget is ignored. Fixed-function cores pay no
+ * reconfiguration penalties.
+ */
+
+#ifndef CUTTLESYS_BASELINES_NO_GATING_HH
+#define CUTTLESYS_BASELINES_NO_GATING_HH
+
+#include "sim/scheduler.hh"
+
+namespace cuttlesys {
+
+/** All cores wide, all the time. */
+class NoGatingScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param num_batch_jobs batch jobs in the mix
+     * @param lc_cores cores pinned to the LC service
+     */
+    NoGatingScheduler(std::size_t num_batch_jobs,
+                      std::size_t lc_cores = 16);
+
+    std::string name() const override { return "no-gating"; }
+    bool wantsProfiling() const override { return false; }
+    bool usesReconfigurableCores() const override { return false; }
+
+    SliceDecision decide(const SliceContext &ctx) override;
+
+  private:
+    std::size_t numBatchJobs_;
+    std::size_t lcCores_;
+};
+
+/**
+ * Cache ranks used by all fixed-core baselines without way
+ * partitioning: an unpartitioned LLC shared by 32 cores gives each
+ * batch job roughly one way's worth of effective capacity, while the
+ * LC service (half the chip) holds several ways' worth.
+ */
+std::size_t unpartitionedBatchRank();
+std::size_t unpartitionedLcRank();
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_BASELINES_NO_GATING_HH

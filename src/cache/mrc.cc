@@ -1,0 +1,39 @@
+#include "cache/mrc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+double
+missRatio(const AppProfile &app, double ways)
+{
+    CS_ASSERT(ways >= 0.0, "negative way allocation");
+    CS_ASSERT(app.mrCeil >= app.mrFloor && app.mrFloor >= 0.0 &&
+              app.mrCeil <= 1.0,
+              "mis-specified miss-ratio curve for ", app.name);
+    const double decay = std::exp2(-ways / app.mrLambda);
+    return app.mrFloor + (app.mrCeil - app.mrFloor) * decay;
+}
+
+double
+mpki(const AppProfile &app, double ways)
+{
+    return app.apki * missRatio(app, ways);
+}
+
+std::vector<double>
+marginalHitUtility(const AppProfile &app, std::size_t max_ways)
+{
+    std::vector<double> utility;
+    utility.reserve(max_ways);
+    for (std::size_t w = 0; w < max_ways; ++w) {
+        const double before = mpki(app, static_cast<double>(w));
+        const double after = mpki(app, static_cast<double>(w + 1));
+        utility.push_back(before - after);
+    }
+    return utility;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * LLC miss-ratio curves.
+ *
+ * The cache behavior the scheduler cares about is one function per
+ * application: LLC miss ratio as a function of allocated ways. We model
+ * it as an exponential-decay working-set curve
+ *
+ *   missRatio(w) = mrFloor + (mrCeil - mrFloor) * 2^(-w / mrLambda)
+ *
+ * which matches the convex, saturating shape of measured SPEC miss
+ * curves (Qureshi & Patt's UCP paper) and supports the fractional
+ * 0.5-way allocations the runtime uses for way sharing.
+ */
+
+#ifndef CUTTLESYS_CACHE_MRC_HH
+#define CUTTLESYS_CACHE_MRC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_profile.hh"
+
+namespace cuttlesys {
+
+/** LLC miss ratio of @p app when allocated @p ways ways (>= 0). */
+double missRatio(const AppProfile &app, double ways);
+
+/**
+ * Misses per kilo-instruction for @p app at @p ways ways
+ * (apki * missRatio).
+ */
+double mpki(const AppProfile &app, double ways);
+
+/**
+ * Marginal-utility table for UCP-style partitioning: entry w is the
+ * number of extra LLC *hits* per kilo-instruction gained by growing
+ * the allocation from w to w+1 ways, for w in [0, max_ways).
+ */
+std::vector<double> marginalHitUtility(const AppProfile &app,
+                                       std::size_t max_ways);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CACHE_MRC_HH

@@ -1,0 +1,93 @@
+#include "cache/partition.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/mrc.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+double
+WayPartition::totalWays() const
+{
+    double total = 0.0;
+    for (double w : allocation)
+        total += w;
+    return total;
+}
+
+bool
+WayPartition::fits(double capacity) const
+{
+    return totalWays() <= capacity + 1e-9;
+}
+
+bool
+realizable(const WayPartition &partition, double capacity)
+{
+    if (!partition.fits(capacity))
+        return false;
+    std::size_t half_way_jobs = 0;
+    for (double w : partition.allocation) {
+        if (w < 0.0)
+            return false;
+        const double frac = w - std::floor(w);
+        if (frac == 0.0)
+            continue;
+        if (std::abs(frac - 0.5) < 1e-9) {
+            ++half_way_jobs;
+        } else {
+            return false; // only 0.5-way fractions are realizable
+        }
+    }
+    // Two half-way jobs share one physical way; an odd count leaves a
+    // half-way unusable but is still realizable (it occupies a full
+    // physical way). Always OK.
+    return true;
+}
+
+WayPartition
+ucpPartition(const std::vector<AppProfile> &apps, std::size_t capacity,
+             std::size_t min_ways)
+{
+    WayPartition partition;
+    if (apps.empty())
+        return partition;
+    CS_ASSERT(min_ways * apps.size() <= capacity,
+              "UCP: cannot give ", apps.size(), " apps ", min_ways,
+              " ways each out of ", capacity);
+
+    const std::size_t n = apps.size();
+    std::vector<std::size_t> ways(n, min_ways);
+    std::size_t remaining = capacity - min_ways * n;
+
+    // Precompute marginal utilities; curves are convex, so repeatedly
+    // granting the globally best next way is the UCP lookahead result.
+    std::vector<std::vector<double>> utility(n);
+    for (std::size_t i = 0; i < n; ++i)
+        utility[i] = marginalHitUtility(apps[i], capacity);
+
+    while (remaining > 0) {
+        std::size_t best_app = 0;
+        double best_gain = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ways[i] >= capacity)
+                continue;
+            const double gain = utility[i][ways[i]];
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_app = i;
+            }
+        }
+        ++ways[best_app];
+        --remaining;
+    }
+
+    partition.allocation.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        partition.allocation[i] = static_cast<double>(ways[i]);
+    return partition;
+}
+
+} // namespace cuttlesys

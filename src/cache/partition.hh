@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LLC way-partition bookkeeping and utility-based partitioning (UCP).
+ *
+ * Two consumers:
+ *  - CuttleSys validates that the sum of per-job way allocations fits
+ *    the LLC associativity (Eq. 3) and maps 0.5-way jobs in pairs onto
+ *    shared physical ways.
+ *  - The core-gating + way-partitioning baseline uses UCP
+ *    (Qureshi & Patt, MICRO'06 lookahead algorithm) to split ways
+ *    among active jobs, since that mechanism ships in real servers.
+ */
+
+#ifndef CUTTLESYS_CACHE_PARTITION_HH
+#define CUTTLESYS_CACHE_PARTITION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_profile.hh"
+
+namespace cuttlesys {
+
+/**
+ * A way-partition over a set of jobs: allocation[i] is the (possibly
+ * fractional, >= 0) number of ways given to job i.
+ */
+struct WayPartition
+{
+    std::vector<double> allocation;
+
+    /** Total allocated ways. */
+    double totalWays() const;
+
+    /** True iff the partition fits @p capacity ways. */
+    bool fits(double capacity) const;
+};
+
+/**
+ * Validate a CuttleSys-style allocation vector against the LLC
+ * associativity; 0.5-way jobs must be pairable (an even count), since
+ * two of them share one physical way.
+ *
+ * @return true when the allocation is realizable.
+ */
+bool realizable(const WayPartition &partition, double capacity);
+
+/**
+ * UCP lookahead partitioning: distribute @p capacity whole ways among
+ * @p apps to maximize total hits, each app receiving at least
+ * @p min_ways. Greedy by maximal marginal utility per way, which is
+ * exactly the UCP lookahead rule for convex utility curves.
+ */
+WayPartition ucpPartition(const std::vector<AppProfile> &apps,
+                          std::size_t capacity,
+                          std::size_t min_ways = 1);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CACHE_PARTITION_HH

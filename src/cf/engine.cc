@@ -1,0 +1,86 @@
+#include "cf/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+CfEngine::CfEngine(const Matrix &training_rows, std::size_t num_jobs,
+                   std::size_t cols, SgdOptions options)
+    : trainingRows_(training_rows.rows()), numJobs_(num_jobs),
+      ratings_(training_rows.rows() + num_jobs, cols),
+      options_(options)
+{
+    CS_ASSERT(num_jobs > 0, "engine needs at least one live job");
+    CS_ASSERT(training_rows.rows() == 0 ||
+              training_rows.cols() == cols,
+              "training table width ", training_rows.cols(),
+              " != ", cols);
+    for (std::size_t r = 0; r < trainingRows_; ++r) {
+        for (std::size_t c = 0; c < cols; ++c)
+            ratings_.set(r, c, training_rows(r, c));
+    }
+}
+
+void
+CfEngine::observe(std::size_t job, std::size_t config, double value)
+{
+    CS_ASSERT(job < numJobs_, "live job ", job, " out of range");
+    ratings_.set(trainingRows_ + job, config, value);
+}
+
+void
+CfEngine::clearJob(std::size_t job)
+{
+    CS_ASSERT(job < numJobs_, "live job ", job, " out of range");
+    ratings_.clearRow(trainingRows_ + job);
+}
+
+std::size_t
+CfEngine::observationsForJob(std::size_t job) const
+{
+    CS_ASSERT(job < numJobs_, "live job ", job, " out of range");
+    return ratings_.observedInRow(trainingRows_ + job);
+}
+
+void
+CfEngine::setTrainingContext(const std::vector<double> &context)
+{
+    CS_ASSERT(context.size() == trainingRows_,
+              "training context length ", context.size(), " != ",
+              trainingRows_);
+    rowContext_.assign(trainingRows_ + numJobs_, -1.0);
+    std::copy(context.begin(), context.end(), rowContext_.begin());
+}
+
+void
+CfEngine::setJobContext(std::size_t job, double context)
+{
+    CS_ASSERT(job < numJobs_, "live job ", job, " out of range");
+    if (rowContext_.empty())
+        rowContext_.assign(trainingRows_ + numJobs_, -1.0);
+    rowContext_[trainingRows_ + job] = context;
+}
+
+Matrix
+CfEngine::predict() const
+{
+    const SgdResult result = reconstruct(
+        ratings_, options_,
+        rowContext_.empty() ? nullptr : &rowContext_);
+    lastIterations_ = result.iterations;
+
+    Matrix jobs(numJobs_, cols());
+    for (std::size_t j = 0; j < numJobs_; ++j) {
+        const std::size_t row = trainingRows_ + j;
+        for (std::size_t c = 0; c < cols(); ++c) {
+            jobs(j, c) = ratings_.observed(row, c)
+                ? ratings_.value(row, c)
+                : result.reconstructed(row, c);
+        }
+    }
+    return jobs;
+}
+
+} // namespace cuttlesys

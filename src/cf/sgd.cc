@@ -1,0 +1,442 @@
+#include "cf/sgd.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/** One observed training sample in normalized space. */
+struct Sample
+{
+    std::uint32_t row;
+    std::uint32_t col;
+    double target;
+};
+
+/**
+ * Reference scale of the log transform. Tail latencies live in the
+ * 1e-4..1 s range, so the transform must bend well below 1.0 or it
+ * degenerates to the identity; 0.1 ms is safely below any tail we
+ * care to distinguish.
+ */
+constexpr double kLogScale = 1e-4;
+
+/** Forward transform of a raw rating into learning space. */
+double
+transformValue(double v, bool log_transform)
+{
+    return log_transform ? std::log1p(std::max(v, 0.0) / kLogScale)
+                         : v;
+}
+
+/** Inverse transform back into physical units (non-negative). */
+double
+untransformValue(double y, bool log_transform)
+{
+    if (log_transform)
+        return std::expm1(std::max(y, 0.0)) * kLogScale;
+    return std::max(y, 0.0);
+}
+
+/** Per-row scales of the transformed values. */
+std::vector<double>
+transformedRowScales(const RatingMatrix &ratings, bool log_transform)
+{
+    std::vector<double> scales(ratings.rows(), 1.0);
+    for (std::size_t r = 0; r < ratings.rows(); ++r) {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t c = 0; c < ratings.cols(); ++c) {
+            if (!ratings.observed(r, c))
+                continue;
+            sum += std::abs(transformValue(ratings.value(r, c),
+                                           log_transform));
+            ++n;
+        }
+        if (n > 0 && sum / static_cast<double>(n) > 1e-12)
+            scales[r] = sum / static_cast<double>(n);
+    }
+    return scales;
+}
+
+/** Gather normalized training samples. */
+std::vector<Sample>
+gatherSamples(const RatingMatrix &ratings,
+              const std::vector<double> &scales, bool log_transform)
+{
+    std::vector<Sample> samples;
+    samples.reserve(ratings.observedCount());
+    for (std::size_t r = 0; r < ratings.rows(); ++r) {
+        for (std::size_t c = 0; c < ratings.cols(); ++c) {
+            if (!ratings.observed(r, c))
+                continue;
+            Sample s;
+            s.row = static_cast<std::uint32_t>(r);
+            s.col = static_cast<std::uint32_t>(c);
+            s.target = transformValue(ratings.value(r, c),
+                                      log_transform) / scales[r];
+            samples.push_back(s);
+        }
+    }
+    return samples;
+}
+
+double
+rmse(const std::vector<Sample> &samples, const Matrix &q,
+     const Matrix &p, std::size_t rank)
+{
+    if (samples.empty())
+        return 0.0;
+    double ss = 0.0;
+    for (const Sample &s : samples) {
+        const double *qr = q.rowPtr(s.row);
+        const double *pc = p.rowPtr(s.col);
+        double pred = 0.0;
+        for (std::size_t k = 0; k < rank; ++k)
+            pred += qr[k] * pc[k];
+        const double err = s.target - pred;
+        ss += err * err;
+    }
+    return std::sqrt(ss / static_cast<double>(samples.size()));
+}
+
+/** Apply one SGD update for a sample (shared, possibly racy). */
+inline void
+sgdUpdate(const Sample &s, Matrix &q, Matrix &p, std::size_t rank,
+          double eta, double lambda)
+{
+    double *qr = q.rowPtr(s.row);
+    double *pc = p.rowPtr(s.col);
+    double pred = 0.0;
+    for (std::size_t k = 0; k < rank; ++k)
+        pred += qr[k] * pc[k];
+    const double err = s.target - pred;
+    for (std::size_t k = 0; k < rank; ++k) {
+        const double qk = qr[k];
+        const double pk = pc[k];
+        qr[k] = qk + eta * (err * pk - lambda * qk);
+        pc[k] = pk + eta * (err * qk - lambda * pk);
+    }
+}
+
+/** SVD warm start: factor the mean-filled normalized matrix. */
+void
+svdWarmStart(const RatingMatrix &ratings,
+             const std::vector<double> &scales, bool log_transform,
+             std::size_t rank, Matrix &q, Matrix &p)
+{
+    const std::size_t rows = ratings.rows();
+    const std::size_t cols = ratings.cols();
+
+    Matrix filled(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        double row_mean = 0.0;
+        std::size_t n = 0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (ratings.observed(r, c)) {
+                row_mean += transformValue(ratings.value(r, c),
+                                           log_transform) / scales[r];
+                ++n;
+            }
+        }
+        row_mean = n ? row_mean / static_cast<double>(n) : 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            filled(r, c) = ratings.observed(r, c)
+                ? transformValue(ratings.value(r, c), log_transform) /
+                  scales[r]
+                : row_mean;
+        }
+    }
+
+    // jacobiSvd needs m >= n; transpose when the matrix is wide.
+    const bool wide = rows < cols;
+    const SvdResult svd =
+        jacobiSvd(wide ? filled.transpose() : filled);
+    // filled = U S V^T (tall) or filled = V S U^T (wide case).
+    const Matrix &row_side = wide ? svd.v : svd.u;
+    const Matrix &col_side = wide ? svd.u : svd.v;
+    for (std::size_t k = 0; k < rank; ++k) {
+        const double s = k < svd.singularValues.size()
+            ? std::sqrt(svd.singularValues[k]) : 0.0;
+        for (std::size_t r = 0; r < rows; ++r)
+            q(r, k) = row_side(r, k) * s;
+        for (std::size_t c = 0; c < cols; ++c)
+            p(c, k) = col_side(c, k) * s;
+    }
+}
+
+
+/**
+ * Neighborhood prediction for very sparse rows: align every dense row
+ * to the sparse row's observations with a level offset (in transform
+ * space), weight rows by how well their shape matches after
+ * alignment, and predict the weighted average of the aligned rows.
+ */
+void
+blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
+                const std::vector<double> *row_context, Matrix &out)
+{
+    const std::size_t rows = ratings.rows();
+    const std::size_t cols = ratings.cols();
+
+    // Neighbor rows must be fully observed (training rows are; live
+    // rows never come close).
+    std::vector<std::size_t> dense;
+    for (std::size_t r = 0; r < rows; ++r) {
+        if (ratings.observedInRow(r) == cols)
+            dense.push_back(r);
+    }
+    if (dense.empty())
+        return;
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t n_obs = ratings.observedInRow(r);
+        if (n_obs == 0 || n_obs >= options.rowBlendThreshold ||
+            n_obs == cols)
+            continue;
+
+        // The sparse row's observations in transform space.
+        std::vector<std::pair<std::size_t, double>> obs;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (ratings.observed(r, c)) {
+                obs.emplace_back(c, transformValue(
+                    ratings.value(r, c), options.logTransform));
+            }
+        }
+
+        // Per dense row: level offset + post-alignment shape error.
+        std::vector<double> offsets(dense.size(), 0.0);
+        std::vector<double> distances(dense.size(), 0.0);
+        for (std::size_t t = 0; t < dense.size(); ++t) {
+            const std::size_t dr = dense[t];
+            double offset = 0.0;
+            for (const auto &[c, y] : obs) {
+                offset += y - transformValue(ratings.value(dr, c),
+                                             options.logTransform);
+            }
+            offset /= static_cast<double>(obs.size());
+            double err = 0.0;
+            for (const auto &[c, y] : obs) {
+                const double aligned =
+                    transformValue(ratings.value(dr, c),
+                                   options.logTransform) + offset;
+                err += (y - aligned) * (y - aligned);
+            }
+            offsets[t] = offset;
+            // Distance mixes post-alignment shape error with the
+            // level shift itself: a row needing a large shift is a
+            // worse neighbor (in log space the level encodes load),
+            // which matters most when one observation leaves every
+            // row with zero shape error.
+            distances[t] =
+                std::sqrt(err / static_cast<double>(obs.size())) +
+                0.5 * std::abs(offset);
+            // Context gap (e.g. utilization): the decisive signal
+            // when the observed cells alone cannot identify the row.
+            if (row_context && (*row_context)[r] >= 0.0 &&
+                (*row_context)[dr] >= 0.0) {
+                distances[t] += kContextDistanceWeight *
+                    std::abs((*row_context)[r] - (*row_context)[dr]);
+            }
+        }
+
+        // Gaussian kernel over shape distance; the bandwidth is a
+        // quarter of the mean spread so the prediction concentrates
+        // on the handful of nearest rows (kNN-like) instead of
+        // averaging the whole table — log-space averaging across
+        // dissimilar rows systematically underestimates the saturated
+        // configurations.
+        double min_d = distances[0];
+        for (double d : distances)
+            min_d = std::min(min_d, d);
+        double bandwidth = 0.0;
+        for (double d : distances)
+            bandwidth += d - min_d;
+        bandwidth = std::max(0.25 * bandwidth /
+                             static_cast<double>(distances.size()),
+                             1e-3);
+
+        std::vector<double> weights(dense.size());
+        double weight_sum = 0.0;
+        for (std::size_t t = 0; t < dense.size(); ++t) {
+            const double z = (distances[t] - min_d) / bandwidth;
+            weights[t] = std::exp(-0.5 * z * z);
+            weight_sum += weights[t];
+        }
+
+        for (std::size_t c = 0; c < cols; ++c) {
+            double value = 0.0;
+            for (std::size_t t = 0; t < dense.size(); ++t) {
+                value += weights[t] *
+                    (transformValue(ratings.value(dense[t], c),
+                                    options.logTransform) +
+                     offsets[t]);
+            }
+            out(r, c) =
+                untransformValue(value / weight_sum,
+                                 options.logTransform);
+        }
+    }
+}
+
+} // namespace
+
+SgdResult
+reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
+            const std::vector<double> *row_context)
+{
+    CS_ASSERT(!row_context || row_context->size() == ratings.rows(),
+              "row context length mismatch");
+    CS_ASSERT(options.rank > 0, "rank must be positive");
+    CS_ASSERT(options.threads >= 1, "need at least one thread");
+
+    const std::size_t rows = ratings.rows();
+    const std::size_t cols = ratings.cols();
+    const std::size_t rank =
+        std::min(options.rank, std::min(rows, cols));
+
+    const auto scales =
+        transformedRowScales(ratings, options.logTransform);
+    auto samples =
+        gatherSamples(ratings, scales, options.logTransform);
+
+    Rng rng(options.seed);
+    const double init = 1.0 / std::sqrt(static_cast<double>(rank));
+    Matrix q = Matrix::random(rows, rank, rng, 0.0, init);
+    Matrix p = Matrix::random(cols, rank, rng, 0.0, init);
+    if (options.svdWarmStart && !samples.empty()) {
+        svdWarmStart(ratings, scales, options.logTransform, rank, q, p);
+    }
+
+    SgdResult result;
+    if (!samples.empty()) {
+        double prev_rmse = rmse(samples, q, p, rank);
+        if (options.threads == 1) {
+            for (std::size_t iter = 0; iter < options.maxIterations;
+                 ++iter) {
+                std::shuffle(samples.begin(), samples.end(), rng);
+                for (const Sample &s : samples) {
+                    sgdUpdate(s, q, p, rank, options.learningRate,
+                              options.regularization);
+                }
+                ++result.iterations;
+                const double cur = rmse(samples, q, p, rank);
+                if (prev_rmse - cur <
+                    options.convergenceTol * std::max(prev_rmse, 1e-12))
+                    break;
+                prev_rmse = cur;
+            }
+        } else {
+            // Lock-free parallel SGD (Hogwild): threads update the
+            // shared factors without synchronization; conflicting
+            // writes are rare because each sample touches one Q row
+            // and one P row.
+            const std::size_t nthreads =
+                std::min(options.threads, samples.size());
+            std::atomic<bool> stop{false};
+            std::atomic<std::size_t> iters{0};
+            double shared_prev = prev_rmse;
+            std::barrier sync(static_cast<std::ptrdiff_t>(nthreads));
+
+            auto worker = [&](std::size_t tid) {
+                Rng local(options.seed + 7919 * (tid + 1));
+                const std::size_t chunk =
+                    (samples.size() + nthreads - 1) / nthreads;
+                const std::size_t begin = tid * chunk;
+                const std::size_t end =
+                    std::min(samples.size(), begin + chunk);
+                std::vector<std::size_t> order(end - begin);
+                for (std::size_t i = 0; i < order.size(); ++i)
+                    order[i] = begin + i;
+
+                for (std::size_t iter = 0;
+                     iter < options.maxIterations; ++iter) {
+                    std::shuffle(order.begin(), order.end(), local);
+                    for (std::size_t idx : order) {
+                        sgdUpdate(samples[idx], q, p, rank,
+                                  options.learningRate,
+                                  options.regularization);
+                    }
+                    sync.arrive_and_wait();
+                    if (tid == 0) {
+                        iters.fetch_add(1);
+                        const double cur = rmse(samples, q, p, rank);
+                        if (shared_prev - cur <
+                            options.convergenceTol *
+                            std::max(shared_prev, 1e-12))
+                            stop.store(true);
+                        shared_prev = cur;
+                    }
+                    sync.arrive_and_wait();
+                    if (stop.load())
+                        break;
+                }
+            };
+
+            std::vector<std::thread> pool;
+            pool.reserve(nthreads);
+            for (std::size_t t = 0; t < nthreads; ++t)
+                pool.emplace_back(worker, t);
+            for (auto &th : pool)
+                th.join();
+            result.iterations = iters.load();
+        }
+        if (options.foldInRows) {
+            // Closed-form ridge refit of each row's factors against
+            // the learned P: (P_o^T P_o + lambda I) q = P_o^T y over
+            // that row's observed columns.
+            std::vector<std::vector<const Sample *>> by_row(rows);
+            for (const Sample &s : samples)
+                by_row[s.row].push_back(&s);
+            for (std::size_t r = 0; r < rows; ++r) {
+                if (by_row[r].empty())
+                    continue;
+                Matrix a(rank, rank);
+                std::vector<double> b(rank, 0.0);
+                for (const Sample *s : by_row[r]) {
+                    const double *pc = p.rowPtr(s->col);
+                    for (std::size_t i = 0; i < rank; ++i) {
+                        b[i] += pc[i] * s->target;
+                        for (std::size_t j = 0; j < rank; ++j)
+                            a(i, j) += pc[i] * pc[j];
+                    }
+                }
+                const double ridge =
+                    std::max(options.regularization, 1e-6);
+                for (std::size_t i = 0; i < rank; ++i)
+                    a(i, i) += ridge;
+                const auto qr = solveLinearSystem(a, b);
+                for (std::size_t i = 0; i < rank; ++i)
+                    q(r, i) = qr[i];
+            }
+        }
+        result.trainRmse = rmse(samples, q, p, rank);
+    }
+
+    result.reconstructed = Matrix(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double *qr = q.rowPtr(r);
+        for (std::size_t c = 0; c < cols; ++c) {
+            const double *pc = p.rowPtr(c);
+            double pred = 0.0;
+            for (std::size_t k = 0; k < rank; ++k)
+                pred += qr[k] * pc[k];
+            result.reconstructed(r, c) = untransformValue(
+                pred * scales[r], options.logTransform);
+        }
+    }
+    if (options.rowBlendThreshold > 0)
+        blendSparseRows(ratings, options, row_context,
+                        result.reconstructed);
+    return result;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * PQ-reconstruction with Stochastic Gradient Descent (Algorithm 1).
+ *
+ * Factorizes the sparse rating matrix R (apps x configurations) as
+ * Q x P^T and fills in the missing entries from the factors. Three
+ * fidelity knobs from the paper:
+ *  - an SVD warm start for the factors (Section V constructs Q and P
+ *    from the singular vectors of the observed matrix),
+ *  - an iteration cap / convergence threshold trade-off
+ *    (Section V: "the fewer the iterations, the lower the overhead,
+ *    but the higher the prediction inaccuracy"),
+ *  - a lock-free Hogwild-style parallel variant that trades ~1%
+ *    accuracy for a multi-x speedup (Section V cites [95], [96]).
+ *
+ * Values are learned row-normalized (and optionally in log space,
+ * which suits tail latencies that span orders of magnitude).
+ */
+
+#ifndef CUTTLESYS_CF_SGD_HH
+#define CUTTLESYS_CF_SGD_HH
+
+#include <cstdint>
+
+#include "cf/rating_matrix.hh"
+#include "common/matrix.hh"
+
+namespace cuttlesys {
+
+/** Hyper-parameters of the reconstruction. */
+struct SgdOptions
+{
+    /**
+     * Latent rank of the factors. The paper's Algorithm 1 uses the
+     * full rank m*p; a rank of 12-16 reconstructs our matrices to the
+     * same accuracy at a fraction of the cost (design decision D1,
+     * ablated in bench/abl_sgd_rank).
+     */
+    std::size_t rank = 12;
+    double learningRate = 0.03;    //!< eta
+    double regularization = 0.02;  //!< lambda
+    std::size_t maxIterations = 120;
+    /** Stop when the relative train-RMSE improvement drops below. */
+    double convergenceTol = 1e-4;
+    /** Worker threads; > 1 selects the lock-free parallel variant. */
+    std::size_t threads = 1;
+    bool svdWarmStart = false;
+    /**
+     * After SGD, re-solve each row's latent vector by ridge
+     * regression against the learned configuration factors P (the
+     * standard recommender fold-in step). Sparse rows — a live job
+     * with its two profiling samples — barely move their randomly
+     * initialized factors during SGD; the closed-form fold-in makes
+     * their predictions follow the configuration structure the
+     * training rows established.
+     */
+    bool foldInRows = true;
+    /**
+     * Rows with fewer observations than this are predicted by
+     * similarity-weighted blending of the dense (training) rows —
+     * neighborhood collaborative filtering — instead of the factor
+     * fold-in. A couple of samples cannot identify a point in a
+     * rank-12 factor space, but they can identify which training
+     * rows the job resembles. 0 disables the blend path.
+     */
+    std::size_t rowBlendThreshold = 6;
+    /** Learn log(1 + v) instead of v (for tail latencies). */
+    bool logTransform = false;
+    std::uint64_t seed = 5;
+};
+
+/** Output of one reconstruction. */
+struct SgdResult
+{
+    Matrix reconstructed;    //!< full rows x cols prediction
+    std::size_t iterations = 0;
+    double trainRmse = 0.0;  //!< RMSE on observed (normalized) cells
+};
+
+/**
+ * Reconstruct every entry of @p ratings. Observed cells are also
+ * replaced by their model prediction in the returned matrix; callers
+ * that prefer exact observed values can overwrite them.
+ *
+ * @param row_context optional per-row side information (one value per
+ *        row, e.g. the measured utilization a tail-latency row was
+ *        collected at). The neighborhood blend adds the context gap
+ *        to its row distance, which disambiguates rows whose observed
+ *        cells look alike but whose hidden cells differ wildly — the
+ *        exact situation of tail latencies at different loads, where
+ *        the best configurations' latencies are nearly load-invariant
+ *        but the cliffs move by orders of magnitude. Negative entries
+ *        mean "no context for this row".
+ *
+ * Predictions of physical quantities are clamped to be non-negative.
+ */
+SgdResult reconstruct(const RatingMatrix &ratings,
+                      const SgdOptions &options = {},
+                      const std::vector<double> *row_context = nullptr);
+
+/** Weight of one unit of context gap in the blend's row distance. */
+inline constexpr double kContextDistanceWeight = 1.5;
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CF_SGD_HH

@@ -1,0 +1,49 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace cuttlesys {
+
+namespace {
+
+std::atomic<bool> informOn{true};
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+informEnabled()
+{
+    return informOn.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !informEnabled())
+        return;
+    std::cerr << logLevelName(level) << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace cuttlesys

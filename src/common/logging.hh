@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors that
+ * make continuing impossible (bad configuration, invalid arguments),
+ * and warn()/inform() report conditions without stopping execution.
+ */
+
+#ifndef CUTTLESYS_COMMON_LOGGING_HH
+#define CUTTLESYS_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cuttlesys {
+
+/** Severity level attached to a log record. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/** Convert a log level to its printable tag. */
+const char *logLevelName(LogLevel level);
+
+namespace detail {
+
+/** Fold any streamable argument pack into a single string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit a formatted record to stderr. */
+void emitLog(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Error thrown by fatal(): the caller supplied an unusable input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Error thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * argument) and throw FatalError. Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concatMessage(std::forward<Args>(args)...);
+    detail::emitLog(LogLevel::Fatal, msg);
+    throw FatalError(msg);
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * throw PanicError. Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concatMessage(std::forward<Args>(args)...);
+    detail::emitLog(LogLevel::Panic, msg);
+    throw PanicError(msg);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Inform,
+                    detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Globally enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** @return whether inform() output is currently enabled. */
+bool informEnabled();
+
+/**
+ * panic() unless the given condition holds.
+ *
+ * Used to state invariants inside the library; unlike assert() it is
+ * active in all build types, which matters for a simulator whose
+ * correctness claims rest on these checks.
+ */
+#define CS_ASSERT(cond, ...)                                          \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::cuttlesys::panic("assertion '", #cond, "' failed at ",  \
+                               __FILE__, ":", __LINE__, ": ",         \
+                               ##__VA_ARGS__);                        \
+        }                                                             \
+    } while (0)
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_COMMON_LOGGING_HH

@@ -1,0 +1,85 @@
+#include "config/core_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+std::size_t
+widthRank(int width)
+{
+    for (std::size_t i = 0; i < kSectionWidths.size(); ++i) {
+        if (kSectionWidths[i] == width)
+            return i;
+    }
+    fatal("illegal section width ", width, "; must be 2, 4 or 6");
+}
+
+CoreConfig::CoreConfig(int fe, int be, int ls)
+    : fe_(fe), be_(be), ls_(ls)
+{
+    // widthRank() validates and throws on illegal widths.
+    widthRank(fe);
+    widthRank(be);
+    widthRank(ls);
+}
+
+CoreConfig
+CoreConfig::fromIndex(std::size_t index)
+{
+    CS_ASSERT(index < kNumCoreConfigs,
+              "core-config index ", index, " out of range");
+    const std::size_t ls = index % kWidthsPerSection;
+    const std::size_t be = (index / kWidthsPerSection) % kWidthsPerSection;
+    const std::size_t fe = index / (kWidthsPerSection * kWidthsPerSection);
+    return CoreConfig(kSectionWidths[fe], kSectionWidths[be],
+                      kSectionWidths[ls]);
+}
+
+CoreConfig
+CoreConfig::widest()
+{
+    return CoreConfig(6, 6, 6);
+}
+
+CoreConfig
+CoreConfig::narrowest()
+{
+    return CoreConfig(2, 2, 2);
+}
+
+int
+CoreConfig::width(Section s) const
+{
+    switch (s) {
+      case Section::FrontEnd:  return fe_;
+      case Section::BackEnd:   return be_;
+      case Section::LoadStore: return ls_;
+    }
+    panic("unreachable section value");
+}
+
+std::size_t
+CoreConfig::index() const
+{
+    return widthRank(fe_) * kWidthsPerSection * kWidthsPerSection +
+           widthRank(be_) * kWidthsPerSection +
+           widthRank(ls_);
+}
+
+bool
+CoreConfig::dominates(const CoreConfig &other) const
+{
+    return fe_ >= other.fe_ && be_ >= other.be_ && ls_ >= other.ls_;
+}
+
+std::string
+CoreConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << "{" << fe_ << "," << be_ << "," << ls_ << "}";
+    return oss.str();
+}
+
+} // namespace cuttlesys

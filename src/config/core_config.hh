@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reconfigurable-core configuration points.
+ *
+ * A core is divided into three sections that can each be power-gated
+ * down independently (Section III of the paper):
+ *   - front-end  (FE): fetch, decode, rename, dispatch, ROB
+ *   - back-end   (BE): issue queues, register files, functional units
+ *   - load-store (LS): load/store queues
+ * Each section runs six-, four-, or two-wide, giving 3^3 = 27 core
+ * configurations, written {FE,BE,LS} (e.g. {6,2,4}).
+ */
+
+#ifndef CUTTLESYS_CONFIG_CORE_CONFIG_HH
+#define CUTTLESYS_CONFIG_CORE_CONFIG_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace cuttlesys {
+
+/** Pipeline sections that can be independently resized. */
+enum class Section { FrontEnd = 0, BackEnd = 1, LoadStore = 2 };
+
+/** Number of resizable sections per core. */
+inline constexpr std::size_t kNumSections = 3;
+
+/** Legal widths for every section, narrowest first. */
+inline constexpr std::array<int, 3> kSectionWidths = {2, 4, 6};
+
+/** Number of legal widths per section. */
+inline constexpr std::size_t kWidthsPerSection = kSectionWidths.size();
+
+/** Total number of core configurations (m in the paper): 27. */
+inline constexpr std::size_t kNumCoreConfigs =
+    kWidthsPerSection * kWidthsPerSection * kWidthsPerSection;
+
+/**
+ * One {FE,BE,LS} configuration of a reconfigurable core.
+ *
+ * Configurations are also addressable by a dense index in
+ * [0, kNumCoreConfigs); the index orders FE as the most significant
+ * digit and LS as the least significant, with wider = larger digit, so
+ * index 0 is {2,2,2} and index 26 is {6,6,6}.
+ */
+class CoreConfig
+{
+  public:
+    /** Default: the widest configuration {6,6,6}. */
+    CoreConfig() = default;
+
+    /**
+     * Build from explicit widths.
+     * @throws FatalError if any width is not in {2, 4, 6}.
+     */
+    CoreConfig(int fe, int be, int ls);
+
+    /** Decode a dense index in [0, kNumCoreConfigs). */
+    static CoreConfig fromIndex(std::size_t index);
+
+    /** The widest configuration {6,6,6}. */
+    static CoreConfig widest();
+
+    /** The narrowest configuration {2,2,2}. */
+    static CoreConfig narrowest();
+
+    int frontEnd() const { return fe_; }
+    int backEnd() const { return be_; }
+    int loadStore() const { return ls_; }
+
+    /** Width of a section selected at runtime. */
+    int width(Section s) const;
+
+    /** Dense index in [0, kNumCoreConfigs). */
+    std::size_t index() const;
+
+    /** Sum of section widths; a crude size proxy used in tests. */
+    int totalWidth() const { return fe_ + be_ + ls_; }
+
+    /** True if every section of this config is >= that of other. */
+    bool dominates(const CoreConfig &other) const;
+
+    /** Paper-style name, e.g. "{6,2,4}". */
+    std::string toString() const;
+
+    bool operator==(const CoreConfig &other) const = default;
+
+  private:
+    int fe_ = 6;
+    int be_ = 6;
+    int ls_ = 6;
+};
+
+/**
+ * Map a width in {2, 4, 6} to its rank in kSectionWidths (0, 1, 2).
+ * @throws FatalError for any other width.
+ */
+std::size_t widthRank(int width);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CONFIG_CORE_CONFIG_HH

@@ -1,0 +1,45 @@
+#include "config/job_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+JobConfig::JobConfig()
+    : core_(CoreConfig::widest()), cacheRank_(kNumCacheAllocs - 1)
+{
+}
+
+JobConfig::JobConfig(CoreConfig core, std::size_t cache_rank)
+    : core_(core), cacheRank_(cache_rank)
+{
+    CS_ASSERT(cache_rank < kNumCacheAllocs,
+              "cache rank ", cache_rank, " out of range");
+}
+
+JobConfig
+JobConfig::fromIndex(std::size_t joint_index)
+{
+    CS_ASSERT(joint_index < kNumJobConfigs,
+              "joint config index ", joint_index, " out of range");
+    const std::size_t cache_rank = joint_index % kNumCacheAllocs;
+    const std::size_t core_index = joint_index / kNumCacheAllocs;
+    return JobConfig(CoreConfig::fromIndex(core_index), cache_rank);
+}
+
+std::size_t
+JobConfig::index() const
+{
+    return core_.index() * kNumCacheAllocs + cacheRank_;
+}
+
+std::string
+JobConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << core_.toString() << "/" << cacheWays() << "w";
+    return oss.str();
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Joint core + cache configuration points.
+ *
+ * Each job is assigned one of p = 4 LLC way allocations {1/2, 1, 2, 4}
+ * (Section VIII-A2 of the paper) on top of one of m = 27 core
+ * configurations, for m*p = 108 joint configurations. The search
+ * algorithms (DDS, GA) operate directly on the dense joint index
+ * [0, 108).
+ */
+
+#ifndef CUTTLESYS_CONFIG_JOB_CONFIG_HH
+#define CUTTLESYS_CONFIG_JOB_CONFIG_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "config/core_config.hh"
+
+namespace cuttlesys {
+
+/**
+ * Legal per-job LLC allocations, in cache ways. A 0.5-way allocation
+ * means two jobs share one physical way (the paper handles the
+ * resulting interference through the runtime matrix updates).
+ */
+inline constexpr std::array<double, 4> kCacheAllocWays = {0.5, 1.0, 2.0,
+                                                          4.0};
+
+/** Number of per-job cache allocation choices (p in the paper). */
+inline constexpr std::size_t kNumCacheAllocs = kCacheAllocWays.size();
+
+/** Total joint configurations per job (m*p = 108). */
+inline constexpr std::size_t kNumJobConfigs =
+    kNumCoreConfigs * kNumCacheAllocs;
+
+/**
+ * A joint (core configuration, cache allocation) decision for one job.
+ *
+ * The dense joint index interleaves cache as the least-significant
+ * digit: jointIndex = coreIndex * kNumCacheAllocs + cacheRank.
+ */
+class JobConfig
+{
+  public:
+    /** Default: widest core, largest cache allocation. */
+    JobConfig();
+
+    /** Build from parts. @p cache_rank indexes kCacheAllocWays. */
+    JobConfig(CoreConfig core, std::size_t cache_rank);
+
+    /** Decode a dense joint index in [0, kNumJobConfigs). */
+    static JobConfig fromIndex(std::size_t joint_index);
+
+    const CoreConfig &core() const { return core_; }
+    std::size_t cacheRank() const { return cacheRank_; }
+
+    /** Allocated LLC ways (possibly fractional: 0.5). */
+    double cacheWays() const { return kCacheAllocWays[cacheRank_]; }
+
+    /** Dense joint index in [0, kNumJobConfigs). */
+    std::size_t index() const;
+
+    /** e.g. "{6,2,4}/2w". */
+    std::string toString() const;
+
+    bool operator==(const JobConfig &other) const = default;
+
+  private:
+    CoreConfig core_;
+    std::size_t cacheRank_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CONFIG_JOB_CONFIG_HH

@@ -1,0 +1,33 @@
+#include "config/params.hh"
+
+#include <sstream>
+
+namespace cuttlesys {
+
+std::string
+SystemParams::toString() const
+{
+    std::ostringstream oss;
+    oss << "System configuration (Table I)\n"
+        << "  cores:            " << numCores << " reconfigurable\n"
+        << "  ROB:              " << robEntries << " entries\n"
+        << "  registers:        " << intRegisters << " int, "
+        << fpRegisters << " fp\n"
+        << "  IQ/LQ/SQ:         " << issueQueueEntries << "/"
+        << loadQueueEntries << "/" << storeQueueEntries << " entries\n"
+        << "  LLC:              " << llcSizeMB << " MB shared, "
+        << llcWays << "-way, " << llcLatencyCycles << " cycles\n"
+        << "  DRAM latency:     " << dramLatencyCycles << " cycles\n"
+        << "  technology:       " << technologyNm << " nm, "
+        << vdd << " V, " << frequencyGHz << " GHz\n"
+        << "  reconfig penalty: " << reconfigFreqPenalty * 100.0
+        << "% frequency, " << reconfigEnergyPenalty * 100.0
+        << "% energy/cycle, " << reconfigAreaPenalty * 100.0
+        << "% area\n"
+        << "  timeslice:        " << timesliceSec * 1e3 << " ms, "
+        << numProfilingSamples << "x" << sampleSec * 1e3
+        << " ms profiling samples\n";
+    return oss.str();
+}
+
+} // namespace cuttlesys

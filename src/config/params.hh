@@ -1,0 +1,73 @@
+/**
+ * @file
+ * System-wide architectural parameters (Table I of the paper) and the
+ * runtime constants CuttleSys is evaluated with. Everything that a
+ * bench or test sweeps is carried in a SystemParams value so that
+ * experiments can diverge from the defaults without global state.
+ */
+
+#ifndef CUTTLESYS_CONFIG_PARAMS_HH
+#define CUTTLESYS_CONFIG_PARAMS_HH
+
+#include <cstddef>
+#include <string>
+
+namespace cuttlesys {
+
+/**
+ * Architectural and runtime parameters of the simulated system.
+ * Defaults reproduce Table I and Section VII/VIII of the paper.
+ */
+struct SystemParams
+{
+    // --- chip organization ------------------------------------------
+    std::size_t numCores = 32;     //!< evaluation multicore size
+    std::size_t llcWays = 32;      //!< shared LLC associativity
+    double llcSizeMB = 64.0;       //!< shared L2/LLC capacity
+    int llcLatencyCycles = 20;     //!< LLC hit latency
+    int dramLatencyCycles = 200;   //!< DRAM access latency
+
+    // --- core pipeline (widest {6,6,6} configuration) ---------------
+    int robEntries = 144;
+    int intRegisters = 192;
+    int fpRegisters = 144;
+    int issueQueueEntries = 48;
+    int loadQueueEntries = 48;
+    int storeQueueEntries = 48;
+
+    // --- clocks and technology --------------------------------------
+    double frequencyGHz = 4.0;     //!< nominal fixed-core frequency
+    double vdd = 0.8;              //!< supply voltage (22 nm)
+    int technologyNm = 22;
+
+    // --- reconfiguration overheads (AnyCore RTL analysis, Sec. VII) --
+    double reconfigFreqPenalty = 0.0167;  //!< 1.67% slower clock
+    double reconfigEnergyPenalty = 0.18;  //!< 18% energy per cycle
+    double reconfigAreaPenalty = 0.19;    //!< 19% extra area
+
+    // --- runtime timing (Sections IV-B, VIII-A) ----------------------
+    double timesliceSec = 0.100;   //!< decision quantum (100 ms)
+    double sampleSec = 0.001;      //!< one profiling sample (1 ms)
+    std::size_t numProfilingSamples = 2; //!< widest + narrowest
+
+    // --- QoS policy ---------------------------------------------------
+    /**
+     * Relative latency slack required before a relocated core is
+     * yielded back to batch jobs (Section VIII-D3: 20%).
+     */
+    double qosSlack = 0.20;
+
+    /** @return per-core share of the LLC in ways (1 for 32/32). */
+    double waysPerCore() const
+    {
+        return static_cast<double>(llcWays) /
+               static_cast<double>(numCores);
+    }
+
+    /** Pretty-print as the Table I block. */
+    std::string toString() const;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CONFIG_PARAMS_HH

@@ -1,0 +1,554 @@
+#include "core/cuttlesys.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/logging.hh"
+#include "power/power_model.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/** Rank of the 1.0-way allocation (profiling samples use 1 way). */
+std::size_t
+oneWayRank()
+{
+    for (std::size_t i = 0; i < kNumCacheAllocs; ++i) {
+        if (kCacheAllocWays[i] == 1.0)
+            return i;
+    }
+    panic("no 1-way cache allocation");
+}
+
+/** Minimum completions for a p99 measurement to be trustworthy. */
+constexpr std::size_t kMinTailSamples = 20;
+
+/**
+ * Highest estimated utilization at which a candidate LC
+ * configuration is still considered tail-safe: multi-server queues
+ * keep bounded p99 only comfortably below saturation.
+ */
+constexpr double kSaturationGuard = 0.88;
+
+/**
+ * Latency observations required before the reconstruction's tail
+ * predictions are trusted for configurations far from the observed
+ * ones. With fewer samples a row's fold-in is optimistic somewhere
+ * in 108 configurations, and the scan's preference for cheap
+ * configurations selects exactly those errors (winner's curse);
+ * until then only the measurement-grounded queueing path may
+ * downsize.
+ */
+constexpr std::size_t kMinLatencyObsForCf = 1;
+
+/**
+ * Greedy marginal-utility warm start for the batch search: start every
+ * job at its cheapest configuration, then repeatedly buy the upgrade
+ * with the best log-throughput gain per unit of (power + exchange-rate
+ * scaled cache) cost until the budgets are exhausted. For concave
+ * allocation curves this lands near the optimum; DDS then refines it
+ * globally.
+ */
+Point
+greedyKnapsackPoint(const Matrix &bips, const Matrix &power,
+                    double power_budget, double cache_budget)
+{
+    const std::size_t jobs = bips.rows();
+    const std::size_t configs = bips.cols();
+    Point x(jobs);
+
+    double used_power = 0.0;
+    double used_ways = 0.0;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        std::size_t cheapest = 0;
+        for (std::size_t c = 1; c < configs; ++c) {
+            if (power(j, c) < power(j, cheapest))
+                cheapest = c;
+        }
+        x[j] = static_cast<std::uint16_t>(cheapest);
+        used_power += power(j, cheapest);
+        used_ways += JobConfig::fromIndex(cheapest).cacheWays();
+    }
+
+    // Ways are priced far below their power-equivalent exchange rate:
+    // the hard feasibility checks below keep both budgets respected,
+    // and when power is the binding constraint the leftover LLC ways
+    // should flow to whoever's miss curve wants them rather than sit
+    // unused.
+    const double way_rate =
+        cache_budget > 0.0 ? 0.1 * power_budget / cache_budget : 1e9;
+    auto log_bips = [&](std::size_t j, std::size_t c) {
+        return std::log(std::max(bips(j, c), 1e-6));
+    };
+
+    for (std::size_t round = 0; round < jobs * configs; ++round) {
+        double best_gain = 0.0;
+        std::size_t best_job = jobs;
+        std::size_t best_cfg = 0;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const std::size_t cur = x[j];
+            for (std::size_t c = 0; c < configs; ++c) {
+                const double benefit =
+                    log_bips(j, c) - log_bips(j, cur);
+                if (benefit <= 0.0)
+                    continue;
+                const double d_power = power(j, c) - power(j, cur);
+                const double d_ways =
+                    JobConfig::fromIndex(c).cacheWays() -
+                    JobConfig::fromIndex(cur).cacheWays();
+                if (used_power + d_power > power_budget ||
+                    used_ways + d_ways > cache_budget)
+                    continue;
+                const double cost = std::max(d_power, 0.0) +
+                                    way_rate * std::max(d_ways, 0.0) +
+                                    1e-6;
+                const double gain = benefit / cost;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_job = j;
+                    best_cfg = c;
+                }
+            }
+        }
+        if (best_job == jobs)
+            break;
+        used_power +=
+            power(best_job, best_cfg) - power(best_job, x[best_job]);
+        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
+                     JobConfig::fromIndex(x[best_job]).cacheWays();
+        x[best_job] = static_cast<std::uint16_t>(best_cfg);
+    }
+    return x;
+}
+
+} // namespace
+
+CuttleSysOptions::CuttleSysOptions()
+{
+    // Three reconstruction instances run concurrently; each is itself
+    // the lock-free parallel SGD (Section V).
+    sgdBips.threads = 4;
+    sgdPower.threads = 4;
+    sgdLatency.threads = 2;
+    sgdBips.seed = 501;
+    sgdPower.seed = 502;
+    sgdLatency.seed = 503;
+    // Tail latencies span orders of magnitude across configurations;
+    // learn them in log space.
+    sgdLatency.logTransform = true;
+}
+
+CuttleSysScheduler::CuttleSysScheduler(const SystemParams &params,
+                                       const TrainingTables &tables,
+                                       std::size_t num_batch_jobs,
+                                       double lc_qos_sec,
+                                       CuttleSysOptions options)
+    : params_(params), numBatchJobs_(num_batch_jobs),
+      lcQos_(lc_qos_sec), options_(std::move(options)),
+      bipsEngine_(tables.bips, 1 + num_batch_jobs, kNumJobConfigs,
+                  options_.sgdBips),
+      powerEngine_(tables.power, 1 + num_batch_jobs, kNumJobConfigs,
+                   options_.sgdPower),
+      latencyEngine_(tables.latency, 1, kNumJobConfigs,
+                     options_.sgdLatency),
+      lcCores_(options_.initialLcCores),
+      configIdxWide_(JobConfig(CoreConfig::widest(), oneWayRank())
+                         .index()),
+      configIdxNarrow_(JobConfig(CoreConfig::narrowest(), oneWayRank())
+                           .index())
+{
+    CS_ASSERT(num_batch_jobs > 0, "no batch jobs to manage");
+    CS_ASSERT(lc_qos_sec > 0.0, "QoS target must be positive");
+    if (!tables.latencyRowUtil.empty())
+        latencyEngine_.setTrainingContext(tables.latencyRowUtil);
+}
+
+void
+CuttleSysScheduler::ingest(const SliceContext &ctx)
+{
+    // --- fresh profiling samples (Section IV-B step 1) ---------------
+    if (!ctx.profiles.empty()) {
+        CS_ASSERT(ctx.profiles.size() == 1 + numBatchJobs_,
+                  "unexpected profile count");
+        const ProfilePair &lc = ctx.profiles[0];
+        powerEngine_.observe(0, configIdxWide_, lc.powerWide);
+        powerEngine_.observe(0, configIdxNarrow_, lc.powerNarrow);
+        // The LC job's per-core BIPS samples pin its service-capacity
+        // curve (used by the saturation guard in chooseLcConfig).
+        bipsEngine_.observe(0, configIdxWide_, lc.bipsWide);
+        bipsEngine_.observe(0, configIdxNarrow_, lc.bipsNarrow);
+        for (std::size_t j = 0; j < numBatchJobs_; ++j) {
+            const ProfilePair &pair = ctx.profiles[1 + j];
+            bipsEngine_.observe(1 + j, configIdxWide_, pair.bipsWide);
+            bipsEngine_.observe(1 + j, configIdxNarrow_,
+                                pair.bipsNarrow);
+            powerEngine_.observe(1 + j, configIdxWide_,
+                                 pair.powerWide);
+            powerEngine_.observe(1 + j, configIdxNarrow_,
+                                 pair.powerNarrow);
+        }
+    }
+
+    // --- steady-state feedback from the previous slice ----------------
+    if (!ctx.previous || !ctx.previousDecision)
+        return;
+    const SliceMeasurement &m = *ctx.previous;
+    const SliceDecision &d = *ctx.previousDecision;
+
+    // Batch jobs report (BIPS, power) at the configuration they ran;
+    // skip slices where jobs time-multiplexed (shared cores), since
+    // the measured throughput then reflects the share, not the config.
+    const bool full_core =
+        params_.numCores - d.lcCores >= numBatchJobs_;
+    for (std::size_t j = 0;
+         j < numBatchJobs_ && j < d.batchConfigs.size(); ++j) {
+        if (!d.batchActive[j] || !full_core)
+            continue;
+        const std::size_t cfg = d.batchConfigs[j].index();
+        if (j < m.batchBips.size() && m.batchBips[j] > 0.0)
+            bipsEngine_.observe(1 + j, cfg, m.batchBips[j]);
+        if (j < m.batchPower.size() && m.batchPower[j] > 0.0)
+            powerEngine_.observe(1 + j, cfg, m.batchPower[j]);
+    }
+
+    // The LC job's tail latency is measured over the whole previous
+    // slice (Section IV-B). Latency history is only comparable at
+    // similar load, so a big load swing invalidates it.
+    const double load_estimate = static_cast<double>(m.lcCompleted) /
+                                 params_.timesliceSec;
+    if (lastLoadEstimate_ >= 0.0) {
+        const double rel = std::abs(load_estimate - lastLoadEstimate_) /
+                           std::max(lastLoadEstimate_, 1.0);
+        if (rel > options_.loadChangeThreshold)
+            latencyEngine_.clearJob(0);
+    }
+    lastLoadEstimate_ = load_estimate;
+
+    // A slice that starts with a QoS-violation backlog measures the
+    // drain, not the configuration: skip those tails so they do not
+    // poison the matrix.
+    const bool polluted = previousSliceViolated_;
+    previousSliceViolated_ = m.lcTailLatency > lcQos_;
+    if (!polluted && m.lcCompleted >= kMinTailSamples &&
+        m.lcTailLatency > 0.0) {
+        latencyEngine_.observe(0, d.lcConfig.index(),
+                               m.lcTailLatency);
+    }
+    if (m.lcPower > 0.0 && d.lcCores > 0) {
+        powerEngine_.observe(0, d.lcConfig.index(),
+                             m.lcPower /
+                             static_cast<double>(d.lcCores));
+    }
+
+    // The live row's utilization context: measured busy fraction,
+    // mapped to the reference configuration through the service-rate
+    // ratio so it is comparable with the training rows' contexts.
+    if (m.lcUtilization > 0.0 && predBips_.rows() > 0) {
+        const double ref_bips = predBips_(
+            0, JobConfig(CoreConfig::widest(), kNumCacheAllocs - 1)
+                   .index());
+        const double cur_bips = predBips_(0, d.lcConfig.index());
+        double util_ref = m.lcUtilization;
+        if (ref_bips > 0.0 && cur_bips > 0.0)
+            util_ref *= cur_bips / ref_bips;
+        latencyEngine_.setJobContext(0, std::min(util_ref, 1.0));
+    }
+}
+
+void
+CuttleSysScheduler::reconstructAll()
+{
+    // Three reconstruction instances, one per metric, run in parallel
+    // on the same server (Section V).
+    std::thread bips_thread([&] { predBips_ = bipsEngine_.predict(); });
+    std::thread power_thread(
+        [&] { predPower_ = powerEngine_.predict(); });
+    predLatency_ = latencyEngine_.predict();
+    bips_thread.join();
+    power_thread.join();
+}
+
+JobConfig
+CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
+{
+    const JobConfig safest(CoreConfig::widest(), kNumCacheAllocs - 1);
+
+    const bool was_safest =
+        ctx.previousDecision &&
+        ctx.previousDecision->lcConfig == safest;
+    const bool measured_violation =
+        ctx.previous && ctx.previous->lcTailLatency > lcQos_;
+
+    // A measured violation overrides the predictions: escalate to the
+    // widest configuration immediately (Fig 8a's recovery arc), and
+    // if even the widest configuration is violating, reclaim one core
+    // per timeslice from the batch jobs (Section VI-A). This check
+    // precedes the cold-start fallback: during a sustained overload
+    // the latency history stays empty (drain slices are never
+    // ingested), yet relocation must still make progress.
+    if (measured_violation) {
+        // Reclaim only while the cluster is genuinely saturated: a
+        // violation measured during a backlog drain (utilization
+        // already below 1) does not need more cores, just time.
+        if (was_safest && lcCores_ + 1 < params_.numCores &&
+            ctx.previous->lcUtilization > 0.95) {
+            ++lcCores_;
+        }
+        return safest;
+    }
+
+    // Yield relocated cores back once the measured latency has enough
+    // slack (Section VIII-D3) — checked before the cold-start
+    // fallback so cores return even while latency history is empty
+    // (a load drop clears it).
+    if (lcCores_ > options_.initialLcCores && ctx.previous &&
+        ctx.previous->lcCompleted >= kMinTailSamples &&
+        ctx.previous->lcTailLatency <=
+            lcQos_ * (1.0 - params_.qosSlack)) {
+        --lcCores_;
+    }
+
+    // Cold start: no latency history yet -> run safe.
+    if (latencyEngine_.observationsForJob(0) == 0)
+        return safest;
+
+    // Saturation guard: from the previous slice's measured busy
+    // fraction and the LC job's reconstructed per-core BIPS curve,
+    // estimate the utilization a candidate configuration would run
+    // at; configurations that would saturate cannot meet any tail
+    // target regardless of what the reconstruction predicts.
+    double util_prev = 0.0;
+    double bips_prev = 0.0;
+    if (ctx.previous && ctx.previousDecision) {
+        util_prev = ctx.previous->lcUtilization;
+        bips_prev = predBips_(0, ctx.previousDecision->lcConfig
+                                     .index());
+    }
+    auto saturates = [&](std::size_t c) {
+        if (util_prev <= 0.0 || bips_prev <= 0.0)
+            return false;
+        const double cap = predBips_(0, c);
+        if (cap <= 0.0)
+            return true;
+        return util_prev * bips_prev / cap > kSaturationGuard;
+    };
+
+    // Measurement-grounded queueing estimate of a candidate's tail:
+    // scale the measured tail by the service-time inflation
+    // bips_prev / bips(c) and the heavy-traffic queueing factor
+    // (1 - rho_prev) / (1 - rho_c). This lets the runtime downsize
+    // the LC configuration even before the reconstruction has
+    // latency samples near the candidate (the exploration path).
+    const double tail_prev =
+        (ctx.previous && ctx.previous->lcCompleted >= kMinTailSamples)
+            ? ctx.previous->lcTailLatency : 0.0;
+    auto queueEstimate = [&](std::size_t c) -> double {
+        if (tail_prev <= 0.0 || bips_prev <= 0.0 || util_prev <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        // The estimate is only trustworthy along the core-width
+        // dimension (the BIPS row is pinned by per-slice profiling
+        // samples there); cache-allocation changes must earn their
+        // way through the reconstruction instead.
+        if (ctx.previousDecision &&
+            JobConfig::fromIndex(c).cacheRank() !=
+                ctx.previousDecision->lcConfig.cacheRank())
+            return std::numeric_limits<double>::infinity();
+        const double cap = predBips_(0, c);
+        if (cap <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        const double speed = bips_prev / cap;
+        const double rho_prev = std::min(util_prev, 0.98);
+        const double rho_c = std::min(util_prev * speed, 0.99);
+        return tail_prev * speed * (1.0 - rho_prev) / (1.0 - rho_c);
+    };
+
+    // Scan the predicted tail latencies (Section VI-A): QoS-feasible
+    // configs (with a safety margin absorbing prediction error),
+    // preferring the smallest cache allocation, then the least
+    // predicted power.
+    const double bar = lcQos_ * options_.latencyMargin;
+    const double queue_bar = lcQos_ * options_.queueMargin;
+    std::optional<std::size_t> best;
+    const bool cf_trusted =
+        latencyEngine_.observationsForJob(0) >= kMinLatencyObsForCf;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        // Two independent feasibility paths: the reconstruction's
+        // tail prediction (structural knowledge from the latency
+        // training rows), or the measurement-grounded queueing
+        // estimate. The saturation guard belongs to the queueing
+        // path only — it derives from the same BIPS ratio the
+        // estimate uses.
+        // Both paths respect the saturation guard: the LC job's
+        // reconstructed BIPS curve is anchored by per-slice profiling
+        // samples and the service's own offline rows, so the
+        // utilization estimate is reliable.
+        if (saturates(c))
+            continue;
+        const bool cf_ok = cf_trusted && predLatency_(0, c) <= bar;
+        const bool queue_ok = queueEstimate(c) <= queue_bar;
+        if (!cf_ok && !queue_ok)
+            continue;
+        if (!best) {
+            best = c;
+            continue;
+        }
+        const JobConfig cand = JobConfig::fromIndex(c);
+        const JobConfig cur = JobConfig::fromIndex(*best);
+        if (cand.cacheWays() < cur.cacheWays() ||
+            (cand.cacheWays() == cur.cacheWays() &&
+             predPower_(0, c) < predPower_(0, *best))) {
+            best = c;
+        }
+    }
+
+    if (const char *dbg = std::getenv("CS_DEBUG_SCAN");
+        dbg && dbg[0] == '1') {
+        const std::size_t probe[] = {
+            JobConfig(CoreConfig(6, 2, 6), 3).index(),
+            JobConfig(CoreConfig(4, 2, 6), 3).index(),
+            JobConfig(CoreConfig(6, 6, 6), 2).index(),
+        };
+        std::cerr << "scan: util_prev=" << util_prev
+                  << " bips_prev=" << bips_prev
+                  << " tail_prev=" << tail_prev * 1e3 << "ms"
+                  << " cf_trusted=" << cf_trusted << "\n";
+        for (std::size_t c : probe) {
+            std::cerr << "  " << JobConfig::fromIndex(c).toString()
+                      << " predLat=" << predLatency_(0, c) * 1e3
+                      << "ms predBips=" << predBips_(0, c)
+                      << " qEst=" << queueEstimate(c) * 1e3
+                      << "ms sat=" << saturates(c) << "\n";
+        }
+        if (best) {
+            std::cerr << "  chosen "
+                      << JobConfig::fromIndex(*best).toString()
+                      << "\n";
+        }
+    }
+
+    if (!best)
+        return safest;
+    return JobConfig::fromIndex(*best);
+}
+
+void
+CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
+                                       const JobConfig &lc_config,
+                                       SliceDecision &decision)
+{
+    // Budgets left after the LC job's share (Section VI-A: the LC
+    // configuration is fixed during the batch search).
+    const double lc_power =
+        predPower_(0, lc_config.index()) *
+        static_cast<double>(lcCores_);
+    const double power_budget =
+        (ctx.powerBudgetW - lc_power - llcPower(params_)) *
+        options_.powerHeadroom;
+    const double cache_budget =
+        static_cast<double>(params_.llcWays) - lc_config.cacheWays();
+
+    // Batch rows of the predictions, contiguous for the objective.
+    Matrix bips(numBatchJobs_, kNumJobConfigs);
+    Matrix power(numBatchJobs_, kNumJobConfigs);
+    for (std::size_t j = 0; j < numBatchJobs_; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+            bips(j, c) = predBips_(1 + j, c);
+            power(j, c) = predPower_(1 + j, c);
+        }
+    }
+
+    ObjectiveContext obj;
+    obj.bips = &bips;
+    obj.power = &power;
+    obj.powerBudgetW = power_budget;
+    obj.cacheBudgetWays = cache_budget;
+    obj.penaltyPower = options_.penaltyPower;
+    obj.penaltyCache = options_.penaltyCache;
+
+    // Seed the search with a greedy warm start and the previous
+    // slice's decision so DDS refines instead of rediscovering.
+    DdsOptions dds = options_.dds;
+    if (options_.searchWarmStart) {
+        dds.seedPoints.push_back(greedyKnapsackPoint(
+            bips, power, power_budget, cache_budget));
+        if (ctx.previousDecision &&
+            ctx.previousDecision->batchConfigs.size() ==
+                numBatchJobs_) {
+            Point prev(numBatchJobs_);
+            for (std::size_t j = 0; j < numBatchJobs_; ++j) {
+                prev[j] = static_cast<std::uint16_t>(
+                    ctx.previousDecision->batchConfigs[j].index());
+            }
+            dds.seedPoints.push_back(std::move(prev));
+        }
+    }
+
+    SearchResult found;
+    switch (options_.searchAlgo) {
+      case SearchAlgo::ParallelDds:
+        found = parallelDds(obj, dds);
+        break;
+      case SearchAlgo::SerialDds:
+        found = serialDds(obj, dds);
+        break;
+      case SearchAlgo::Ga: {
+          GaOptions ga = options_.ga;
+          ga.seed = options_.ga.seed + 31 * ctx.sliceIndex;
+          ga.seedPoints = dds.seedPoints; // same warm starts as DDS
+          found = geneticSearch(obj, ga);
+          break;
+      }
+    }
+
+    decision.batchConfigs.resize(numBatchJobs_);
+    decision.batchActive.assign(numBatchJobs_, true);
+    for (std::size_t j = 0; j < numBatchJobs_; ++j)
+        decision.batchConfigs[j] = JobConfig::fromIndex(found.best[j]);
+
+    // Cap enforcement (Section VI-B): gate cores in descending order
+    // of predicted power until the budget is met.
+    double batch_power = 0.0;
+    for (std::size_t j = 0; j < numBatchJobs_; ++j)
+        batch_power += power(j, decision.batchConfigs[j].index());
+
+    while (batch_power > power_budget) {
+        std::size_t victim = numBatchJobs_;
+        double victim_power = -1.0;
+        for (std::size_t j = 0; j < numBatchJobs_; ++j) {
+            if (!decision.batchActive[j])
+                continue;
+            const double p = power(j, decision.batchConfigs[j].index());
+            if (p > victim_power) {
+                victim_power = p;
+                victim = j;
+            }
+        }
+        if (victim == numBatchJobs_)
+            break; // everything is gated already
+        decision.batchActive[victim] = false;
+        batch_power -= victim_power;
+    }
+}
+
+SliceDecision
+CuttleSysScheduler::decide(const SliceContext &ctx)
+{
+    ingest(ctx);
+    reconstructAll();
+
+    SliceDecision decision;
+    decision.reconfigurable = true;
+    decision.overheadSec = options_.overheadSec;
+
+    decision.lcConfig = chooseLcConfig(ctx);
+    decision.lcCores = lcCores_;
+    chooseBatchConfigs(ctx, decision.lcConfig, decision);
+    return decision;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The CuttleSys runtime (Sections IV-VI) — the paper's contribution.
+ *
+ * Per 100 ms decision quantum:
+ *  1. Fold the fresh 2 x 1 ms profiling samples and the previous
+ *     slice's steady-state measurements into the three rating
+ *     matrices (throughput, tail latency, power).
+ *  2. Reconstruct all missing entries with PQ/SGD (three instances,
+ *     run in parallel — Section V).
+ *  3. Fix the LC job's configuration by scanning its predicted tail
+ *     latencies: the least-power configuration with the smallest
+ *     cache allocation that meets QoS (Section VI-A). If none
+ *     qualifies, first escalate to the widest configuration, then
+ *     reclaim one core per timeslice from the batch jobs; relocated
+ *     cores are yielded back once measured latency has >= 20% slack
+ *     (Section VIII-D3).
+ *  4. Run parallel DDS over the batch jobs' joint configurations to
+ *     maximize geometric-mean throughput under the remaining power
+ *     and LLC-way budgets (soft penalties).
+ *  5. Enforce the cap: if predictions still exceed the budget, gate
+ *     batch cores in descending order of predicted power
+ *     (Section VI-B).
+ */
+
+#ifndef CUTTLESYS_CORE_CUTTLESYS_HH
+#define CUTTLESYS_CORE_CUTTLESYS_HH
+
+#include <memory>
+#include <optional>
+
+#include "cf/engine.hh"
+#include "search/dds.hh"
+#include "search/ga.hh"
+#include "sim/scheduler.hh"
+
+namespace cuttlesys {
+
+/** Offline-characterization tables handed to the runtime. */
+struct TrainingTables
+{
+    Matrix bips;     //!< known apps x 108 configs
+    Matrix power;    //!< known apps x 108 configs
+    Matrix latency;  //!< (LC app, load) rows x 108 configs, seconds
+    /**
+     * Utilization each latency row was characterized at (busy
+     * fraction at the reference widest/4-way configuration) — the
+     * side channel that disambiguates load levels (see
+     * cf::reconstruct's row_context).
+     */
+    std::vector<double> latencyRowUtil;
+};
+
+/** Which optimizer explores the batch configuration space. */
+enum class SearchAlgo
+{
+    ParallelDds, //!< the paper's contribution (default)
+    SerialDds,   //!< textbook DDS (ablation)
+    Ga,          //!< Flicker's optimizer (Fig 10 comparison)
+};
+
+/** Runtime tuning knobs. */
+struct CuttleSysOptions
+{
+    SgdOptions sgdBips;
+    SgdOptions sgdLatency;
+    SgdOptions sgdPower;
+    DdsOptions dds;
+    GaOptions ga; //!< used when searchAlgo == SearchAlgo::Ga
+    double penaltyPower = 2.0;
+    double penaltyCache = 2.0;
+    SearchAlgo searchAlgo = SearchAlgo::ParallelDds;
+    /**
+     * Seed the search with the greedy knapsack point and the previous
+     * slice's decision. Disable to evaluate the raw optimizers as the
+     * paper does (Fig 10).
+     */
+    bool searchWarmStart = true;
+    /**
+     * Scheduling overhead charged to each slice (Table II: 4.8 ms
+     * SGD + 1.3 ms DDS); the previous configuration keeps running
+     * while the runtime thinks. Set 0 to idealize.
+     */
+    double overheadSec = 0.0061;
+    std::size_t initialLcCores = 16;
+    /** Relative load change that invalidates latency history. */
+    double loadChangeThreshold = 0.15;
+    /**
+     * Safety margin on predicted tails: a configuration is considered
+     * QoS-feasible only if its predicted p99 <= margin * QoS, which
+     * absorbs reconstruction error (Fig 5's 10-20% percentiles).
+     */
+    double latencyMargin = 0.75;
+    /**
+     * Margin for the measurement-grounded queueing estimate used to
+     * explore configurations the reconstruction has no latency
+     * samples near (tighter than latencyMargin because it is a
+     * first-order model).
+     */
+    double queueMargin = 0.65;
+    /**
+     * Fraction of the remaining power budget handed to the batch
+     * search: measured chip power runs a little above the predicted
+     * sum (memory contention, noise), so leave headroom.
+     */
+    double powerHeadroom = 0.97;
+
+    CuttleSysOptions();
+};
+
+/** The CuttleSys resource manager. */
+class CuttleSysScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param params system parameters
+     * @param tables offline training tables (Section V)
+     * @param num_batch_jobs batch jobs under management
+     * @param lc_qos_sec the LC service's p99 target
+     */
+    CuttleSysScheduler(const SystemParams &params,
+                       const TrainingTables &tables,
+                       std::size_t num_batch_jobs, double lc_qos_sec,
+                       CuttleSysOptions options = {});
+
+    std::string name() const override { return "CuttleSys"; }
+    bool wantsProfiling() const override { return true; }
+    bool usesReconfigurableCores() const override { return true; }
+
+    SliceDecision decide(const SliceContext &ctx) override;
+
+    /** Predictions from the most recent decide(), for accuracy
+     *  studies (rows: batch jobs; cols: joint configs). */
+    const Matrix &lastBipsPrediction() const { return predBips_; }
+    const Matrix &lastPowerPrediction() const { return predPower_; }
+    /** Predicted LC tail per config (1 x 108), seconds. */
+    const Matrix &lastLatencyPrediction() const { return predLatency_; }
+
+    /** Current LC core count (after any relocation). */
+    std::size_t lcCores() const { return lcCores_; }
+
+    CuttleSysOptions &options() { return options_; }
+
+  private:
+    /** Fold profiling samples + previous measurements into engines. */
+    void ingest(const SliceContext &ctx);
+
+    /** Run the three reconstructions (in parallel). */
+    void reconstructAll();
+
+    /** Pick the LC configuration; may bump/yield lcCores_. */
+    JobConfig chooseLcConfig(const SliceContext &ctx);
+
+    /** DDS over batch jobs + cap enforcement. */
+    void chooseBatchConfigs(const SliceContext &ctx,
+                            const JobConfig &lc_config,
+                            SliceDecision &decision);
+
+    SystemParams params_;
+    std::size_t numBatchJobs_;
+    double lcQos_;
+    CuttleSysOptions options_;
+
+    CfEngine bipsEngine_;     //!< rows: batch jobs
+    CfEngine powerEngine_;    //!< rows: LC job + batch jobs
+    CfEngine latencyEngine_;  //!< rows: the LC job
+
+    Matrix predBips_;
+    Matrix predPower_;   //!< row 0 = LC, rows 1.. = batch
+    Matrix predLatency_;
+
+    std::size_t lcCores_;
+    double lastLoadEstimate_ = -1.0;
+    bool previousSliceViolated_ = false;
+    std::size_t configIdxWide_;
+    std::size_t configIdxNarrow_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CORE_CUTTLESYS_HH

@@ -1,0 +1,54 @@
+#include "core/training.hh"
+
+#include <algorithm>
+
+#include "sim/core_model.hh"
+#include "sim/ground_truth.hh"
+
+namespace cuttlesys {
+
+TrainingTables
+buildTrainingTables(const std::vector<AppProfile> &train_batch,
+                    const std::vector<AppProfile> &train_lc,
+                    const SystemParams &params,
+                    const TrainingOptions &options)
+{
+    TrainingTables tables;
+    // Throughput/power rows cover every known application — the
+    // training batch apps AND the previously-seen LC services — so
+    // the latent space spans service-like behavior (e.g. xapian's
+    // LS-bound, BE-insensitive curve) as well as SPEC-like behavior.
+    std::vector<AppProfile> known = train_batch;
+    known.insert(known.end(), train_lc.begin(), train_lc.end());
+    const BatchTruth truth =
+        batchTruthTables(known, params, true, options.noise);
+    tables.bips = truth.bips;
+    tables.power = truth.power;
+
+    LcCurveOptions curve_opts;
+    curve_opts.servers = options.lcServers;
+    tables.latency = lcTailTrainingTable(train_lc,
+                                         options.latencyLoads, params,
+                                         curve_opts);
+
+    // Utilization context per latency row, at the reference
+    // configuration the profiling anchors use (widest core, largest
+    // cache allocation).
+    const JobConfig reference(CoreConfig::widest(),
+                              kNumCacheAllocs - 1);
+    for (const auto &app : train_lc) {
+        const double ips = coreIps(app, reference, params);
+        for (double fraction : options.latencyLoads) {
+            const double util =
+                std::min(1.0, fraction * app.maxQps *
+                                  app.requestInstructions() /
+                                  (static_cast<double>(
+                                       options.lcServers) *
+                                   ips));
+            tables.latencyRowUtil.push_back(util);
+        }
+    }
+    return tables;
+}
+
+} // namespace cuttlesys

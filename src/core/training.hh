@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Offline training-table construction (Section V).
+ *
+ * The reconstruction algorithm "requires the power and performance of
+ * a small number of representative applications to be collected
+ * offline, on all core configurations and cache allocations". This
+ * helper performs that one-time characterization against the
+ * simulator: throughput and power rows for the training batch apps,
+ * and measured tail-latency rows for previously-seen LC services
+ * across a grid of loads.
+ */
+
+#ifndef CUTTLESYS_CORE_TRAINING_HH
+#define CUTTLESYS_CORE_TRAINING_HH
+
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "config/params.hh"
+#include "core/cuttlesys.hh"
+
+namespace cuttlesys {
+
+/** Knobs of the offline characterization run. */
+struct TrainingOptions
+{
+    /** Load grid (fractions of max QPS) for the latency rows. */
+    std::vector<double> latencyLoads = {0.2, 0.4, 0.6, 0.8};
+    /** Measurement noise of the offline characterization. */
+    double noise = 0.01;
+    /** LC servers during latency characterization. */
+    std::size_t lcServers = 16;
+};
+
+/**
+ * Build the three training tables.
+ *
+ * @param train_batch the "known" batch applications (paper: 16)
+ * @param train_lc previously-seen LC services (exclude the live one
+ *        to keep train and test disjoint); must be calibrated
+ */
+TrainingTables
+buildTrainingTables(const std::vector<AppProfile> &train_batch,
+                    const std::vector<AppProfile> &train_lc,
+                    const SystemParams &params,
+                    const TrainingOptions &options = {});
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CORE_TRAINING_HH

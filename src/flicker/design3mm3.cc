@@ -1,0 +1,35 @@
+#include "flicker/design3mm3.hh"
+
+namespace cuttlesys {
+
+std::vector<CoreConfig>
+design3mm3()
+{
+    // Taguchi L9(3^3): rows are (FE, BE, LS) level triples where each
+    // pair of columns is a full 3x3 factorial.
+    static constexpr int kLevels[9][3] = {
+        {0, 0, 0}, {0, 1, 1}, {0, 2, 2},
+        {1, 0, 1}, {1, 1, 2}, {1, 2, 0},
+        {2, 0, 2}, {2, 1, 0}, {2, 2, 1},
+    };
+    std::vector<CoreConfig> design;
+    design.reserve(9);
+    for (const auto &row : kLevels) {
+        design.emplace_back(kSectionWidths[row[0]],
+                            kSectionWidths[row[1]],
+                            kSectionWidths[row[2]]);
+    }
+    return design;
+}
+
+std::vector<std::size_t>
+design3mm3Indices()
+{
+    std::vector<std::size_t> indices;
+    indices.reserve(9);
+    for (const auto &config : design3mm3())
+        indices.push_back(config.index());
+    return indices;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * 3MM3 sampling design (Section VIII-E; Wu & Hamada).
+ *
+ * Flicker characterizes each application by profiling nine core
+ * configurations chosen by a three-level, three-factor orthogonal
+ * design (an L9 array over the FE/BE/LS widths): every width level
+ * appears three times per factor and every pair of factors covers all
+ * nine level combinations exactly once.
+ */
+
+#ifndef CUTTLESYS_FLICKER_DESIGN3MM3_HH
+#define CUTTLESYS_FLICKER_DESIGN3MM3_HH
+
+#include <vector>
+
+#include "config/core_config.hh"
+
+namespace cuttlesys {
+
+/** The nine sampled core configurations of the 3MM3/L9 design. */
+std::vector<CoreConfig> design3mm3();
+
+/** The same nine configurations as dense core-config indices. */
+std::vector<std::size_t> design3mm3Indices();
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_FLICKER_DESIGN3MM3_HH

@@ -1,0 +1,202 @@
+#include "flicker/flicker.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/no_gating.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "flicker/design3mm3.hh"
+#include "flicker/rbf.hh"
+#include "power/power_model.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/** Joint index of (core config, 1 LLC way). */
+std::size_t
+jointIndexOneWay(std::size_t core_index)
+{
+    return JobConfig(CoreConfig::fromIndex(core_index),
+                     unpartitionedBatchRank()).index();
+}
+
+/**
+ * Expand a 27-entry per-core-config curve into the 108-entry joint
+ * space the shared search machinery expects. Non-1-way allocations
+ * get poisoned values (tiny throughput, huge power) so the GA never
+ * selects them — Flicker has no cache dimension.
+ */
+void
+expandCurve(const std::vector<double> &curve27, Matrix &bips_like,
+            std::size_t row, double poison)
+{
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+        bips_like(row, c) = poison;
+    for (std::size_t k = 0; k < kNumCoreConfigs; ++k)
+        bips_like(row, jointIndexOneWay(k)) = std::max(curve27[k], 0.0);
+}
+
+} // namespace
+
+double
+flickerSampleSec(FlickerMethod method)
+{
+    // Tail latency needs >= 10 ms to produce a meaningful sample;
+    // batch throughput/power only needs 1 ms (Section VIII-E).
+    return method == FlickerMethod::ManageAll ? 0.010 : 0.001;
+}
+
+RunResult
+runFlicker(MulticoreSim &sim, const DriverOptions &opts,
+           const FlickerOptions &fopts)
+{
+    CS_ASSERT(opts.maxPowerW > 0.0, "maxPowerW must be set");
+    const SystemParams &params = sim.params();
+    const std::size_t B = sim.numBatchJobs();
+    const auto design = design3mm3Indices();
+    const double sample_sec = flickerSampleSec(fopts.method);
+    const bool manage_all = fopts.method == FlickerMethod::ManageAll;
+    const std::size_t num_slices = static_cast<std::size_t>(
+        std::round(opts.durationSec / params.timesliceSec));
+
+    RunResult result;
+    result.slices.reserve(num_slices);
+    double gmean_sum = 0.0;
+    double power_sum = 0.0;
+
+    // Previous slice's chosen configuration (start wide).
+    SliceDecision chosen;
+    chosen.reconfigurable = true;
+    chosen.lcCores = fopts.lcCores;
+    chosen.lcConfig =
+        JobConfig(CoreConfig::widest(), unpartitionedLcRank());
+    chosen.batchConfigs.assign(
+        B, JobConfig(CoreConfig::widest(), unpartitionedBatchRank()));
+    chosen.batchActive.assign(B, true);
+
+    for (std::size_t s = 0; s < num_slices; ++s) {
+        const double t = sim.now();
+        sim.setLcLoadFraction(opts.loadPattern.at(t));
+        const double budget = opts.powerPattern.at(t) * opts.maxPowerW;
+
+        // --- 3MM3 sampling phase ------------------------------------
+        // bips_samples[j][k], power_samples[j][k]: job j at design k.
+        std::vector<std::vector<double>> bips_samples(
+            B, std::vector<double>(design.size(), 0.0));
+        std::vector<std::vector<double>> power_samples = bips_samples;
+        std::vector<double> lc_tput_samples(design.size(), 0.0);
+        std::vector<double> lc_power_samples(design.size(), 0.0);
+
+        SliceMeasurement merged;
+        double instr_total = 0.0;
+        double power_seconds = 0.0;
+        double elapsed = 0.0;
+        bool first_window = true;
+
+        for (std::size_t k = 0; k < design.size(); ++k) {
+            SliceDecision probe = chosen;
+            probe.overheadSec = 0.0;
+            const JobConfig cfg(CoreConfig::fromIndex(design[k]),
+                                unpartitionedBatchRank());
+            probe.batchConfigs.assign(B, cfg);
+            probe.batchActive.assign(B, true);
+            if (manage_all)
+                probe.lcConfig = cfg;
+
+            merged = sim.runSlice(probe, sample_sec, first_window);
+            first_window = false;
+            elapsed += sample_sec;
+            instr_total += merged.batchInstructions;
+            power_seconds += merged.totalPower * sample_sec;
+
+            for (std::size_t j = 0; j < B; ++j) {
+                bips_samples[j][k] = merged.batchBips[j];
+                power_samples[j][k] = merged.batchPower[j];
+            }
+            lc_tput_samples[k] = static_cast<double>(merged.lcCompleted);
+            lc_power_samples[k] =
+                merged.lcPower / static_cast<double>(fopts.lcCores);
+        }
+
+        // --- RBF surrogate fitting + GA ------------------------------
+        const std::size_t rows = manage_all ? B + 1 : B;
+        Matrix bips(rows, kNumJobConfigs);
+        Matrix power(rows, kNumJobConfigs);
+        for (std::size_t j = 0; j < B; ++j) {
+            expandCurve(rbfPredictCurve(design, bips_samples[j]), bips,
+                        j, 1e-6);
+            expandCurve(rbfPredictCurve(design, power_samples[j]),
+                        power, j, 1e6);
+        }
+        double lc_fixed_power = 0.0;
+        if (manage_all) {
+            expandCurve(rbfPredictCurve(design, lc_tput_samples), bips,
+                        B, 1e-6);
+            auto lc_power_curve =
+                rbfPredictCurve(design, lc_power_samples);
+            for (auto &p : lc_power_curve)
+                p *= static_cast<double>(fopts.lcCores);
+            expandCurve(lc_power_curve, power, B, 1e6);
+        } else {
+            // LC pinned wide: charge its measured power to the budget.
+            lc_fixed_power = merged.lcPower;
+        }
+
+        ObjectiveContext obj;
+        obj.bips = &bips;
+        obj.power = &power;
+        obj.powerBudgetW = budget - llcPower(params) - lc_fixed_power;
+        obj.cacheBudgetWays = static_cast<double>(params.llcWays);
+
+        GaOptions ga = fopts.ga;
+        ga.seed = fopts.ga.seed + s;
+        const SearchResult found = geneticSearch(obj, ga);
+
+        chosen.batchConfigs.resize(B);
+        chosen.batchActive.assign(B, true);
+        for (std::size_t j = 0; j < B; ++j)
+            chosen.batchConfigs[j] = JobConfig::fromIndex(found.best[j]);
+        chosen.lcConfig = manage_all
+            ? JobConfig::fromIndex(found.best[B])
+            : JobConfig(CoreConfig::widest(), unpartitionedLcRank());
+
+        // --- GA overhead + steady state -------------------------------
+        const double remaining = params.timesliceSec - elapsed;
+        CS_ASSERT(remaining > fopts.gaOverheadSec,
+                  "profiling consumed the whole timeslice");
+        chosen.overheadSec = fopts.gaOverheadSec;
+        const SliceMeasurement steady =
+            sim.runSlice(chosen, remaining, false);
+        instr_total += steady.batchInstructions;
+        power_seconds += steady.totalPower * remaining;
+
+        // --- record ----------------------------------------------------
+        SliceRecord record;
+        record.decision = chosen;
+        record.measurement = steady; // tail covers the whole slice
+        record.measurement.batchInstructions = instr_total;
+        record.measurement.totalPower =
+            power_seconds / params.timesliceSec;
+        record.loadFraction = opts.loadPattern.at(t);
+        record.powerBudgetW = budget;
+        record.qosViolated = record.measurement.lcTailLatency >
+                             sim.mix().lc.qosSeconds();
+
+        result.totalBatchInstructions += instr_total;
+        result.qosViolations += record.qosViolated ? 1 : 0;
+        result.powerViolations +=
+            record.measurement.totalPower > budget * 1.02 ? 1 : 0;
+        gmean_sum += gmeanBatchBips(record.measurement);
+        power_sum += record.measurement.totalPower;
+        result.slices.push_back(std::move(record));
+    }
+
+    result.meanGmeanBips =
+        gmean_sum / static_cast<double>(num_slices);
+    result.meanPowerW = power_sum / static_cast<double>(num_slices);
+    return result;
+}
+
+} // namespace cuttlesys

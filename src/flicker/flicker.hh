@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The Flicker baseline runtime (Petrica et al., ISCA'13), evaluated
+ * the two ways Section VIII-E describes.
+ *
+ * Flicker targets multiprogrammed batch mixes: it profiles each job on
+ * the nine 3MM3 core configurations, fits RBF surrogates for
+ * throughput and power, and runs a Genetic Algorithm to pick per-core
+ * configurations under the power budget. It has no notion of tail
+ * latency and no cache partitioning (everything runs at one LLC way).
+ *
+ *  - Method A ("manage-all"): Flicker manages every core including
+ *    the LC service's. Tail-latency samples need >= 10 ms to mean
+ *    anything, so profiling costs 9 x 10 ms = 90 ms of each 100 ms
+ *    slice, plus 2 ms of GA, leaving 8 ms of steady state — and the
+ *    LC service spends most of the slice in arbitrary configurations.
+ *    The paper reports QoS violations of more than an order of
+ *    magnitude.
+ *
+ *  - Method B ("batch-only"): the LC cores are pinned to {6,6,6} and
+ *    Flicker manages only the batch cores with 9 x 1 ms samples +
+ *    2 ms GA. QoS violations drop to ~1.5x but persist, and the
+ *    pinned LC cores shrink the budget left for batch work.
+ */
+
+#ifndef CUTTLESYS_FLICKER_FLICKER_HH
+#define CUTTLESYS_FLICKER_FLICKER_HH
+
+#include "search/ga.hh"
+#include "sim/driver.hh"
+#include "sim/multicore.hh"
+
+namespace cuttlesys {
+
+/** Which Section VIII-E evaluation variant to run. */
+enum class FlickerMethod { ManageAll, BatchOnly };
+
+/** Flicker runtime knobs. */
+struct FlickerOptions
+{
+    FlickerMethod method = FlickerMethod::BatchOnly;
+    GaOptions ga;
+    std::size_t lcCores = 16;
+    /** GA search time charged per slice (Section VIII-E: 2 ms). */
+    double gaOverheadSec = 0.002;
+};
+
+/** Sample period per profiled configuration for a method. */
+double flickerSampleSec(FlickerMethod method);
+
+/**
+ * Run Flicker on @p sim for the driver-configured duration. Returns
+ * the same RunResult as runColocation so benches can compare schemes
+ * directly. Slice tail latencies cover the *whole* slice including
+ * the sampling sub-periods, which is where Flicker's QoS violations
+ * come from.
+ */
+RunResult runFlicker(MulticoreSim &sim, const DriverOptions &opts,
+                     const FlickerOptions &fopts = {});
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_FLICKER_FLICKER_HH

@@ -1,0 +1,117 @@
+#include "flicker/rbf.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/matrix.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+double
+cubicKernel(double r)
+{
+    return r * r * r;
+}
+
+double
+distance(const std::array<double, 3> &a, const std::array<double, 3> &b)
+{
+    double ss = 0.0;
+    for (std::size_t k = 0; k < 3; ++k)
+        ss += (a[k] - b[k]) * (a[k] - b[k]);
+    return std::sqrt(ss);
+}
+
+} // namespace
+
+std::array<double, 3>
+embedConfig(const CoreConfig &config)
+{
+    // Normalize widths to [1/3, 1] so the three axes are comparable.
+    return {config.frontEnd() / 6.0, config.backEnd() / 6.0,
+            config.loadStore() / 6.0};
+}
+
+RbfSurrogate
+RbfSurrogate::fit(const std::vector<std::array<double, 3>> &points,
+                  const std::vector<double> &values, bool linear_tail)
+{
+    CS_ASSERT(points.size() == values.size(),
+              "points/values length mismatch");
+    CS_ASSERT(points.size() >= 1, "need at least one sample");
+    const std::size_t n = points.size();
+    const std::size_t m = linear_tail ? 4 : 1;
+    CS_ASSERT(n >= m, "need at least ", m,
+              " samples for the chosen polynomial tail");
+
+    // Saddle-point system: [ Phi  P ] [lambda]   [f]
+    //                      [ P^T  0 ] [ c    ] = [0]
+    Matrix a(n + m, n + m);
+    std::vector<double> rhs(n + m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) = cubicKernel(distance(points[i], points[j]));
+        a(i, n) = 1.0;
+        if (linear_tail) {
+            for (std::size_t k = 0; k < 3; ++k)
+                a(i, n + 1 + k) = points[i][k];
+        }
+        rhs[i] = values[i];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        a(n, j) = 1.0;
+        if (linear_tail) {
+            for (std::size_t k = 0; k < 3; ++k)
+                a(n + 1 + k, j) = points[j][k];
+        }
+    }
+
+    const std::vector<double> sol = solveLinearSystem(a, rhs);
+
+    RbfSurrogate s;
+    s.points_ = points;
+    s.lambda_.assign(sol.begin(), sol.begin() + n);
+    s.poly_.assign(sol.begin() + n, sol.end());
+    s.linearTail_ = linear_tail;
+    return s;
+}
+
+double
+RbfSurrogate::predict(const std::array<double, 3> &x) const
+{
+    double value = poly_[0];
+    if (linearTail_) {
+        for (std::size_t k = 0; k < 3; ++k)
+            value += poly_[1 + k] * x[k];
+    }
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        value += lambda_[i] * cubicKernel(distance(x, points_[i]));
+    return value;
+}
+
+std::vector<double>
+rbfPredictCurve(const std::vector<std::size_t> &sample_indices,
+                const std::vector<double> &sample_values)
+{
+    CS_ASSERT(sample_indices.size() == sample_values.size(),
+              "sample index/value mismatch");
+    std::vector<std::array<double, 3>> points;
+    points.reserve(sample_indices.size());
+    for (std::size_t idx : sample_indices)
+        points.push_back(embedConfig(CoreConfig::fromIndex(idx)));
+
+    // A linear tail needs enough well-spread samples; the paper's
+    // 9-point 3MM3 design qualifies, a 3-sample fit does not.
+    const bool linear_tail = sample_indices.size() >= 6;
+    const RbfSurrogate s =
+        RbfSurrogate::fit(points, sample_values, linear_tail);
+
+    std::vector<double> curve(kNumCoreConfigs);
+    for (std::size_t c = 0; c < kNumCoreConfigs; ++c)
+        curve[c] = s.predict(embedConfig(CoreConfig::fromIndex(c)));
+    return curve;
+}
+
+} // namespace cuttlesys

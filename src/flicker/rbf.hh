@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Radial-basis-function surrogate fitting — Flicker's inference step
+ * (Section VIII-E; Gutmann 2001, Regis & Shoemaker 2007).
+ *
+ * Given sampled (configuration, value) pairs, fits the interpolant
+ *   s(x) = sum_i lambda_i * phi(||x - x_i||) + p(x),
+ * phi(r) = r^3 (cubic), with p either a constant or a linear tail,
+ * by solving the standard saddle-point system with LU. Configurations
+ * are embedded in R^3 as their (FE, BE, LS) widths.
+ */
+
+#ifndef CUTTLESYS_FLICKER_RBF_HH
+#define CUTTLESYS_FLICKER_RBF_HH
+
+#include <array>
+#include <vector>
+
+#include "config/core_config.hh"
+
+namespace cuttlesys {
+
+/** A fitted cubic-RBF interpolant over R^3. */
+class RbfSurrogate
+{
+  public:
+    /**
+     * Fit to samples.
+     * @param points sample locations (distinct)
+     * @param values sample values
+     * @param linear_tail use a 4-term linear polynomial tail
+     *        (requires >= 4 well-spread samples) instead of a
+     *        constant
+     * @throws FatalError on duplicate points / singular systems
+     */
+    static RbfSurrogate fit(
+        const std::vector<std::array<double, 3>> &points,
+        const std::vector<double> &values, bool linear_tail);
+
+    /** Evaluate the interpolant. */
+    double predict(const std::array<double, 3> &x) const;
+
+  private:
+    RbfSurrogate() = default;
+
+    std::vector<std::array<double, 3>> points_;
+    std::vector<double> lambda_;
+    std::vector<double> poly_; //!< 1 (constant) or 4 (linear) terms
+    bool linearTail_ = false;
+};
+
+/** Embed a core configuration in R^3 (normalized widths). */
+std::array<double, 3> embedConfig(const CoreConfig &config);
+
+/**
+ * Fit a surrogate to samples of a per-core-configuration curve and
+ * predict all 27 configurations.
+ *
+ * @param sample_indices core-config indices that were profiled
+ * @param sample_values measured values at those configs
+ * @return predicted values for all kNumCoreConfigs configs
+ */
+std::vector<double>
+rbfPredictCurve(const std::vector<std::size_t> &sample_indices,
+                const std::vector<double> &sample_values);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_FLICKER_RBF_HH

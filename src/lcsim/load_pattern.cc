@@ -1,0 +1,70 @@
+#include "lcsim/load_pattern.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+LoadPattern
+LoadPattern::constant(double fraction)
+{
+    CS_ASSERT(fraction >= 0.0, "negative load fraction");
+    LoadPattern p(Kind::Constant);
+    p.lo_ = p.hi_ = fraction;
+    return p;
+}
+
+LoadPattern
+LoadPattern::diurnal(double lo, double hi, double period)
+{
+    CS_ASSERT(lo >= 0.0 && hi >= lo, "bad diurnal bounds");
+    CS_ASSERT(period > 0.0, "period must be positive");
+    LoadPattern p(Kind::Diurnal);
+    p.lo_ = lo;
+    p.hi_ = hi;
+    p.period_ = period;
+    return p;
+}
+
+LoadPattern
+LoadPattern::steps(std::vector<std::pair<double, double>> steps)
+{
+    CS_ASSERT(!steps.empty(), "steps pattern needs at least one step");
+    CS_ASSERT(std::is_sorted(steps.begin(), steps.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.first < b.first;
+                             }),
+              "steps must be sorted by time");
+    LoadPattern p(Kind::Steps);
+    p.steps_ = std::move(steps);
+    return p;
+}
+
+double
+LoadPattern::at(double t) const
+{
+    switch (kind_) {
+      case Kind::Constant:
+        return lo_;
+      case Kind::Diurnal: {
+          // Starts at the minimum (phase -pi/2).
+          const double phase = 2.0 * M_PI * t / period_ - M_PI / 2.0;
+          return lo_ + (hi_ - lo_) * 0.5 * (1.0 + std::sin(phase));
+      }
+      case Kind::Steps: {
+          double value = steps_.front().second;
+          for (const auto &[start, fraction] : steps_) {
+              if (t >= start)
+                  value = fraction;
+              else
+                  break;
+          }
+          return value;
+      }
+    }
+    panic("unreachable load-pattern kind");
+}
+
+} // namespace cuttlesys

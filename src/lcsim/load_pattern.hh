@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Input-load traces for the dynamic-behavior experiments (Fig 8).
+ *
+ * A LoadPattern maps simulated time to offered load, expressed as a
+ * fraction of the service's calibrated max QPS. Three shapes cover
+ * the paper's experiments: constant load (Figs 5-7, 8b), a diurnal
+ * sine sweep (Fig 8a), and piecewise steps (Fig 8c and the power-cap
+ * trace of Fig 8b reused for budgets).
+ */
+
+#ifndef CUTTLESYS_LCSIM_LOAD_PATTERN_HH
+#define CUTTLESYS_LCSIM_LOAD_PATTERN_HH
+
+#include <utility>
+#include <vector>
+
+namespace cuttlesys {
+
+/** Time-varying load (or budget) trace; values are fractions. */
+class LoadPattern
+{
+  public:
+    /** Constant fraction for all time. */
+    static LoadPattern constant(double fraction);
+
+    /**
+     * Diurnal sine: fraction oscillates between @p lo and @p hi with
+     * the given @p period (seconds), starting at the minimum.
+     */
+    static LoadPattern diurnal(double lo, double hi, double period);
+
+    /**
+     * Piecewise-constant steps: @p steps is a list of (start time,
+     * fraction), sorted by time; the value before the first step is
+     * the first step's fraction.
+     */
+    static LoadPattern
+    steps(std::vector<std::pair<double, double>> steps);
+
+    /** Fraction at time @p t (seconds). */
+    double at(double t) const;
+
+  private:
+    enum class Kind { Constant, Diurnal, Steps };
+
+    LoadPattern(Kind kind) : kind_(kind) {}
+
+    Kind kind_;
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    double period_ = 1.0;
+    std::vector<std::pair<double, double>> steps_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_LCSIM_LOAD_PATTERN_HH

@@ -1,0 +1,157 @@
+#include "lcsim/mgk_approx.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |relative error| < 1.15e-9 over (0, 1)).
+ */
+double
+inverseNormalCdf(double p)
+{
+    CS_ASSERT(p > 0.0 && p < 1.0, "quantile probability out of range");
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - p_low) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+            r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+            r + 1.0);
+}
+
+/** Lognormal quantile given the distribution's mean and CV. */
+double
+lognormalQuantile(double mean, double cv, double p)
+{
+    if (cv <= 0.0)
+        return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * inverseNormalCdf(p));
+}
+
+} // namespace
+
+double
+mgkUtilization(const MgkSystem &system)
+{
+    CS_ASSERT(system.servers > 0, "need at least one server");
+    CS_ASSERT(system.meanServiceSec > 0.0, "service time must be > 0");
+    return system.arrivalRate * system.meanServiceSec /
+           static_cast<double>(system.servers);
+}
+
+double
+erlangC(std::size_t servers, double rho)
+{
+    CS_ASSERT(servers > 0, "need at least one server");
+    CS_ASSERT(rho >= 0.0 && rho < 1.0,
+              "Erlang-C requires rho in [0, 1), got ", rho);
+    // Erlang-B via the stable recurrence, then convert to Erlang-C.
+    const double a = rho * static_cast<double>(servers);
+    double blocking = 1.0;
+    for (std::size_t n = 1; n <= servers; ++n) {
+        blocking = a * blocking /
+                   (static_cast<double>(n) + a * blocking);
+    }
+    return blocking / (1.0 - rho * (1.0 - blocking));
+}
+
+double
+mgkMeanWait(const MgkSystem &system)
+{
+    const double rho = mgkUtilization(system);
+    if (rho >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    const double c = erlangC(system.servers, rho);
+    const double mmk_wait = c * system.meanServiceSec /
+        (static_cast<double>(system.servers) * (1.0 - rho));
+    // Lee-Longton two-moment correction for general service times.
+    const double c2 = system.serviceCv * system.serviceCv;
+    return mmk_wait * (1.0 + c2) / 2.0;
+}
+
+double
+mgkResponsePercentile(const MgkSystem &system, double pct)
+{
+    CS_ASSERT(pct > 0.0 && pct < 100.0, "percentile out of range");
+    const double rho = mgkUtilization(system);
+    if (rho >= 1.0)
+        return std::numeric_limits<double>::infinity();
+
+    const double service_q =
+        lognormalQuantile(system.meanServiceSec, system.serviceCv,
+                          pct / 100.0);
+
+    // Waiting time: zero with probability 1 - C; conditional wait
+    // approximately exponential with mean Wq / C.
+    const double c = erlangC(system.servers, rho);
+    const double tail_prob = 1.0 - pct / 100.0;
+    double wait_q = 0.0;
+    if (tail_prob < c) {
+        const double conditional_mean = mgkMeanWait(system) / c;
+        wait_q = conditional_mean * std::log(c / tail_prob);
+    }
+    // Additive quantile combination: a slight overestimate (the two
+    // components rarely peak together), which is the safe direction
+    // for a p99 estimator.
+    return service_q + wait_q;
+}
+
+double
+approxTailLatency(const AppProfile &app, double qps,
+                  std::size_t servers, double ips_per_core, double pct)
+{
+    CS_ASSERT(app.isLatencyCritical(),
+              "tail approximation needs an LC profile");
+    CS_ASSERT(ips_per_core > 0.0, "service rate must be positive");
+    MgkSystem system;
+    system.arrivalRate = qps;
+    system.servers = servers;
+    system.meanServiceSec = app.requestInstructions() / ips_per_core;
+    system.serviceCv = app.requestCv;
+    return mgkResponsePercentile(system, pct);
+}
+
+} // namespace cuttlesys

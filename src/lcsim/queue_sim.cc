@@ -1,0 +1,146 @@
+#include "lcsim/queue_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace cuttlesys {
+
+LcQueueSim::LcQueueSim(AppProfile profile, std::size_t num_servers,
+                       double ips_per_core, std::uint64_t seed)
+    : profile_(std::move(profile)), numServers_(num_servers),
+      ips_(ips_per_core), rng_(seed)
+{
+    CS_ASSERT(numServers_ > 0, "LC service needs at least one core");
+    CS_ASSERT(ips_ > 0.0, "service rate must be positive");
+}
+
+void
+LcQueueSim::setLoadQps(double qps)
+{
+    CS_ASSERT(qps >= 0.0, "negative load");
+    qps_ = qps;
+    if (qps_ > 0.0)
+        nextArrival_ = now_ + rng_.exponential(qps_);
+    else
+        nextArrival_ = -1.0;
+}
+
+void
+LcQueueSim::setIpsPerCore(double ips)
+{
+    CS_ASSERT(ips > 0.0, "service rate must be positive");
+    ips_ = ips;
+}
+
+void
+LcQueueSim::setServers(std::size_t num_servers)
+{
+    CS_ASSERT(num_servers > 0, "LC service needs at least one core");
+    numServers_ = num_servers;
+    dispatch();
+}
+
+void
+LcQueueSim::scheduleNextArrival()
+{
+    if (qps_ > 0.0)
+        nextArrival_ = now_ + rng_.exponential(qps_);
+    else
+        nextArrival_ = -1.0;
+}
+
+void
+LcQueueSim::dispatch()
+{
+    while (!pending_.empty() && inService_.size() < numServers_) {
+        const Pending req = pending_.front();
+        pending_.pop_front();
+        const double service = req.instructions / ips_;
+        inService_.emplace(now_ + service, req.arrival);
+    }
+}
+
+void
+LcQueueSim::run(double duration)
+{
+    CS_ASSERT(duration >= 0.0, "negative run duration");
+    const double end = now_ + duration;
+
+    while (true) {
+        // Next event: arrival or earliest completion.
+        double t_event = end;
+        enum class Kind { None, Arrival, Completion } kind = Kind::None;
+
+        if (nextArrival_ >= 0.0 && nextArrival_ < t_event) {
+            t_event = nextArrival_;
+            kind = Kind::Arrival;
+        }
+        if (!inService_.empty() && inService_.top().first < t_event) {
+            t_event = inService_.top().first;
+            kind = Kind::Completion;
+        }
+
+        // Integrate busy time up to the event (or the horizon).
+        const double busy_cores = static_cast<double>(
+            std::min(inService_.size(), numServers_));
+        busyTime_ += busy_cores * (t_event - lastAccounted_);
+        lastAccounted_ = t_event;
+        now_ = t_event;
+
+        if (kind == Kind::None)
+            break;
+
+        if (kind == Kind::Arrival) {
+            Pending req;
+            req.arrival = now_;
+            req.instructions = rng_.lognormalMeanCv(
+                profile_.requestInstructions(), profile_.requestCv);
+            pending_.push_back(req);
+            dispatch();
+            scheduleNextArrival();
+        } else {
+            const auto [completion, arrival] = inService_.top();
+            inService_.pop();
+            window_.push_back(completion - arrival);
+            dispatch();
+        }
+    }
+}
+
+double
+LcQueueSim::tailLatency(double pct) const
+{
+    if (window_.empty())
+        return 0.0;
+    return percentile(window_, pct);
+}
+
+double
+LcQueueSim::meanLatency() const
+{
+    if (window_.empty())
+        return 0.0;
+    return mean(window_);
+}
+
+double
+LcQueueSim::utilization() const
+{
+    const double elapsed = now_ - windowStart_;
+    if (elapsed <= 0.0)
+        return 0.0;
+    return busyTime_ / (static_cast<double>(numServers_) * elapsed);
+}
+
+void
+LcQueueSim::clearWindow()
+{
+    window_.clear();
+    windowStart_ = now_;
+    busyTime_ = 0.0;
+    lastAccounted_ = now_;
+}
+
+} // namespace cuttlesys

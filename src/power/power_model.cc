@@ -1,0 +1,99 @@
+#include "power/power_model.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "sim/core_model.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+// Static power per width unit, W (FE carries the ROB/rename arrays,
+// BE the issue queues/register files/FUs, LS the LD/ST queues).
+constexpr double kStaticPerFeWidth = 0.080;
+constexpr double kStaticPerBeWidth = 0.100;
+constexpr double kStaticPerLsWidth = 0.045;
+
+// Width-independent core overhead (L1 caches, TLBs, core clocking), W.
+constexpr double kCoreFixedStatic = 0.15;
+
+// Dynamic energy scaling: P_dyn = activity * ipc * freqGHz * kEpiBase
+//   * (kEpiFloor + (1 - kEpiFloor) * totalWidth / 18).
+// Wider datapaths burn more energy per instruction (larger arrays,
+// more bypass), narrower ones less.
+constexpr double kEpiBase = 0.275;
+constexpr double kEpiFloor = 0.25;
+
+// C6 (core-gated) residual power, W.
+constexpr double kGatedPower = 0.05;
+
+// Shared LLC/uncore: static watts per way plus a fixed uncore term.
+constexpr double kLlcPerWay = 0.10;
+constexpr double kUncoreFixed = 4.0;
+
+} // namespace
+
+double
+coreStaticPower(const CoreConfig &config)
+{
+    return kCoreFixedStatic +
+           kStaticPerFeWidth * config.frontEnd() +
+           kStaticPerBeWidth * config.backEnd() +
+           kStaticPerLsWidth * config.loadStore();
+}
+
+double
+coreDynamicPower(const AppProfile &app, const CoreConfig &config,
+                 double ipc, const SystemParams &params)
+{
+    CS_ASSERT(ipc >= 0.0, "negative IPC");
+    const double width_ratio =
+        static_cast<double>(config.totalWidth()) / 18.0;
+    const double epi =
+        kEpiBase * (kEpiFloor + (1.0 - kEpiFloor) * width_ratio);
+    return app.activity * ipc * params.frequencyGHz * epi;
+}
+
+double
+corePower(const AppProfile &app, const CoreConfig &config, double ipc,
+          const SystemParams &params, bool reconfigurable)
+{
+    const double base = coreStaticPower(config) +
+                        coreDynamicPower(app, config, ipc, params);
+    const double penalty =
+        reconfigurable ? (1.0 + params.reconfigEnergyPenalty) : 1.0;
+    return base * penalty;
+}
+
+double
+gatedCorePower()
+{
+    return kGatedPower;
+}
+
+double
+llcPower(const SystemParams &params)
+{
+    return kUncoreFixed + kLlcPerWay * params.llcWays;
+}
+
+double
+systemMaxPower(const std::vector<AppProfile> &apps,
+               const SystemParams &params)
+{
+    CS_ASSERT(!apps.empty(), "systemMaxPower needs at least one app");
+    const std::size_t equal_rank = 1; // 1 way per core (32 cores/32 ways)
+    const JobConfig widest(CoreConfig::widest(), equal_rank);
+
+    std::vector<double> per_core;
+    per_core.reserve(apps.size());
+    for (const auto &app : apps) {
+        const double ipc = coreIpc(app, widest, params);
+        per_core.push_back(corePower(app, widest.core(), ipc, params,
+                                     true));
+    }
+    return mean(per_core) * static_cast<double>(params.numCores) +
+           llcPower(params);
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chip power model (McPAT stand-in; see DESIGN.md).
+ *
+ * Per-core power is split into a static part, set by the provisioned
+ * section widths (downsized sections are power-gated, removing both
+ * leakage and clock power — the mechanism reconfigurable cores rely
+ * on), and a dynamic part proportional to achieved IPC, frequency and
+ * an application activity factor. Reconfigurable cores pay the
+ * paper's 18% energy-per-cycle penalty relative to fixed cores
+ * (AnyCore RTL analysis, Section VII). Absolute values are sized for
+ * a 22 nm, 4 GHz server core: ~3.8 W at {6,6,6} under full load,
+ * ~1.1 W at {2,2,2}, 50 mW when core-gated (C6).
+ */
+
+#ifndef CUTTLESYS_POWER_POWER_MODEL_HH
+#define CUTTLESYS_POWER_POWER_MODEL_HH
+
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "config/job_config.hh"
+#include "config/params.hh"
+
+namespace cuttlesys {
+
+/** Static (leakage + clock-tree) power of a core configuration, W. */
+double coreStaticPower(const CoreConfig &config);
+
+/**
+ * Dynamic power of @p app achieving @p ipc on @p config, W. The IPC
+ * argument lets callers fold in utilization: an LC core that is busy
+ * 40% of the time passes 0.4x its busy IPC.
+ */
+double coreDynamicPower(const AppProfile &app, const CoreConfig &config,
+                        double ipc, const SystemParams &params);
+
+/**
+ * Total power of one active core, W, including the reconfiguration
+ * energy penalty when @p reconfigurable.
+ */
+double corePower(const AppProfile &app, const CoreConfig &config,
+                 double ipc, const SystemParams &params,
+                 bool reconfigurable = true);
+
+/** Power of a core-gated (C6) core, W. */
+double gatedCorePower();
+
+/** Static power of the shared LLC and uncore, W. */
+double llcPower(const SystemParams &params);
+
+/**
+ * The system's reference maximum power (Section VII-A): the average
+ * per-core power across @p apps, each running on a reconfigurable
+ * core in the widest configuration with an equal LLC share, scaled to
+ * all cores, plus the LLC. Power caps in the evaluation are fractions
+ * of this value.
+ */
+double systemMaxPower(const std::vector<AppProfile> &apps,
+                      const SystemParams &params);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_POWER_POWER_MODEL_HH

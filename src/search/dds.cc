@@ -1,0 +1,261 @@
+#include "search/dds.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/** Uniformly random point over the configuration space. */
+Point
+randomPoint(const ObjectiveContext &ctx, Rng &rng)
+{
+    Point x(ctx.numJobs());
+    for (auto &v : x) {
+        v = static_cast<std::uint16_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(ctx.numConfigs()) - 1));
+    }
+    return x;
+}
+
+/**
+ * Perturb one dimension by r * #confs * N(0,1), reflecting out-of-
+ * range values about the violated bound (Algorithm 2 lines 13-15).
+ */
+std::uint16_t
+perturbDim(std::uint16_t value, double r, std::size_t num_configs,
+           Rng &rng)
+{
+    const double n = static_cast<double>(num_configs);
+    double v = static_cast<double>(value) + r * n * rng.normal();
+    // Reflect until inside [0, n); the loop terminates because each
+    // reflection strictly shrinks |v|'s distance to the interval.
+    for (int guard = 0; guard < 64; ++guard) {
+        if (v < 0.0) {
+            v = -v;
+        } else if (v >= n) {
+            v = 2.0 * (n - 1.0) - v;
+        } else {
+            break;
+        }
+    }
+    v = std::clamp(v, 0.0, n - 1.0);
+    return static_cast<std::uint16_t>(std::lround(v));
+}
+
+/** Dimension-selection probability at iteration i (1-based). */
+double
+selectionProbability(std::size_t i, std::size_t max_iter)
+{
+    if (max_iter <= 1)
+        return 1.0;
+    return 1.0 - std::log(static_cast<double>(i)) /
+           std::log(static_cast<double>(max_iter));
+}
+
+/** Generate one DDS candidate from @p base. */
+Point
+makeCandidate(const Point &base, double p, double r,
+              const ObjectiveContext &ctx,
+              const std::vector<bool> &pinned, Rng &rng)
+{
+    Point x = base;
+    bool any = false;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+        if (!pinned.empty() && pinned[d])
+            continue;
+        if (rng.uniform() < p) {
+            x[d] = perturbDim(x[d], r, ctx.numConfigs(), rng);
+            any = true;
+        }
+    }
+    if (!any) {
+        // Always perturb at least one free dimension.
+        std::vector<std::size_t> free_dims;
+        for (std::size_t d = 0; d < x.size(); ++d) {
+            if (pinned.empty() || !pinned[d])
+                free_dims.push_back(d);
+        }
+        if (!free_dims.empty()) {
+            const std::size_t d = free_dims[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(
+                                   free_dims.size()) - 1))];
+            x[d] = perturbDim(x[d], r, ctx.numConfigs(), rng);
+        }
+    }
+    return x;
+}
+
+void
+recordTrace(SearchTrace *trace, const PointMetrics &m)
+{
+    if (trace)
+        trace->explored.push_back(m);
+}
+
+} // namespace
+
+SearchResult
+serialDds(const ObjectiveContext &ctx, const DdsOptions &options,
+          SearchTrace *trace)
+{
+    CS_ASSERT(options.maxIterations >= 1, "need at least one iteration");
+    CS_ASSERT(!options.rValues.empty(), "need a perturbation radius");
+    Rng rng(options.seed);
+
+    SearchResult result;
+    // Initial pool: caller-provided seed points plus random samples.
+    auto consider = [&](Point x) {
+        const PointMetrics m = evaluatePoint(x, ctx);
+        ++result.evaluations;
+        recordTrace(trace, m);
+        if (result.best.empty() ||
+            m.objective > result.metrics.objective) {
+            result.best = std::move(x);
+            result.metrics = m;
+        }
+    };
+    for (const Point &seed : options.seedPoints) {
+        CS_ASSERT(seed.size() == ctx.numJobs(),
+                  "seed point dimensionality mismatch");
+        consider(seed);
+    }
+    for (std::size_t i = 0; i < std::max<std::size_t>(
+             options.initialRandomPoints, 1); ++i) {
+        consider(randomPoint(ctx, rng));
+    }
+
+    const double r = options.rValues.front();
+    for (std::size_t i = 1; i <= options.maxIterations; ++i) {
+        const double p = selectionProbability(i, options.maxIterations);
+        Point x = makeCandidate(result.best, p, r, ctx, options.pinned,
+                                rng);
+        const PointMetrics m = evaluatePoint(x, ctx);
+        ++result.evaluations;
+        recordTrace(trace, m);
+        if (m.objective > result.metrics.objective) {
+            result.best = std::move(x);
+            result.metrics = m;
+        }
+    }
+    if (trace)
+        trace->best = result.metrics;
+    return result;
+}
+
+SearchResult
+parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
+            SearchTrace *trace)
+{
+    CS_ASSERT(options.maxIterations >= 1, "need at least one iteration");
+    CS_ASSERT(!options.rValues.empty(), "need perturbation radii");
+    const std::size_t nthreads = std::max<std::size_t>(options.threads,
+                                                       1);
+    Rng rng(options.seed);
+
+    // Initial points: seeds plus random samples (Alg 2 lines 5-6).
+    Point xbest;
+    PointMetrics best_metrics;
+    std::size_t evaluations = 0;
+    auto consider = [&](Point x) {
+        const PointMetrics m = evaluatePoint(x, ctx);
+        ++evaluations;
+        if (xbest.empty() || m.objective > best_metrics.objective) {
+            xbest = std::move(x);
+            best_metrics = m;
+        }
+    };
+    for (const Point &seed : options.seedPoints) {
+        CS_ASSERT(seed.size() == ctx.numJobs(),
+                  "seed point dimensionality mismatch");
+        consider(seed);
+    }
+    for (std::size_t i = 0; i < std::max<std::size_t>(
+             options.initialRandomPoints, 1); ++i) {
+        consider(randomPoint(ctx, rng));
+    }
+
+    struct ThreadState
+    {
+        Point localBest;
+        PointMetrics localMetrics;
+        std::size_t evaluations = 0;
+        std::vector<PointMetrics> trace;
+    };
+    std::vector<ThreadState> states(nthreads);
+    std::barrier sync(static_cast<std::ptrdiff_t>(nthreads));
+
+    auto worker = [&](std::size_t tid) {
+        // Thread groups use different perturbation radii: the first
+        // T/4 threads r1, the next T/4 r2, ... (Section VI-B).
+        const std::size_t r_idx =
+            std::min(tid * options.rValues.size() / nthreads,
+                     options.rValues.size() - 1);
+        const double r = options.rValues[r_idx];
+        Rng local(options.seed + 7919 * (tid + 1));
+        ThreadState &st = states[tid];
+
+        for (std::size_t i = 1; i <= options.maxIterations; ++i) {
+            st.localBest = xbest;
+            st.localMetrics = best_metrics;
+            const double p =
+                selectionProbability(i, options.maxIterations);
+            for (std::size_t j = 0; j < options.pointsPerIteration;
+                 ++j) {
+                Point xnew = makeCandidate(st.localBest, p, r, ctx,
+                                           options.pinned, local);
+                const PointMetrics m = evaluatePoint(xnew, ctx);
+                ++st.evaluations;
+                if (trace)
+                    st.trace.push_back(m);
+                if (m.objective > st.localMetrics.objective) {
+                    st.localBest = std::move(xnew);
+                    st.localMetrics = m;
+                }
+            }
+            sync.arrive_and_wait();
+            if (tid == 0) {
+                for (const auto &other : states) {
+                    if (!other.localBest.empty() &&
+                        other.localMetrics.objective >
+                        best_metrics.objective) {
+                        xbest = other.localBest;
+                        best_metrics = other.localMetrics;
+                    }
+                }
+            }
+            sync.arrive_and_wait();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &th : pool)
+        th.join();
+
+    SearchResult result;
+    result.best = std::move(xbest);
+    result.metrics = best_metrics;
+    result.evaluations = evaluations;
+    for (auto &st : states) {
+        result.evaluations += st.evaluations;
+        if (trace) {
+            trace->explored.insert(trace->explored.end(),
+                                   st.trace.begin(), st.trace.end());
+        }
+    }
+    if (trace)
+        trace->best = result.metrics;
+    return result;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamically Dimensioned Search (Section VI, Algorithm 2).
+ *
+ * DDS (Tolson & Shoemaker 2007) searches high-dimensional spaces by
+ * perturbing the current best point in a random subset of dimensions,
+ * with the subset shrinking as the search progresses — broad
+ * exploration early, fine refinement late. We provide:
+ *
+ *  - serialDds(): the textbook single-threaded algorithm, and
+ *  - parallelDds(): the paper's new parallel variant, where thread
+ *    groups use different perturbation radii r = {0.2,0.3,0.4,0.5}
+ *    so threads do not re-explore the same neighborhood, each thread
+ *    generates pointsPerIteration candidates per round, and a barrier
+ *    reduction picks the next shared best point.
+ *
+ * Default parameters reproduce Fig 6's table.
+ */
+
+#ifndef CUTTLESYS_SEARCH_DDS_HH
+#define CUTTLESYS_SEARCH_DDS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "search/objective.hh"
+
+namespace cuttlesys {
+
+/** DDS tuning knobs (defaults = Fig 6). */
+struct DdsOptions
+{
+    std::size_t initialRandomPoints = 50;
+    std::vector<double> rValues = {0.2, 0.3, 0.4, 0.5};
+    std::size_t pointsPerIteration = 10;
+    std::size_t maxIterations = 40;
+    std::size_t threads = 8;   //!< parallelDds worker count
+    std::uint64_t seed = 9;
+    /**
+     * Dimensions may be pinned (the LC job's configuration is fixed
+     * before the search); pinned entries of the seed point are never
+     * perturbed. Empty = all dimensions free.
+     */
+    std::vector<bool> pinned;
+    /**
+     * Points evaluated alongside the random initial pool (Algorithm 2
+     * line 5 seeds structured points). The runtime passes the
+     * previous slice's decision and a greedy warm start so the search
+     * refines instead of rediscovering.
+     */
+    std::vector<Point> seedPoints;
+};
+
+/** Search outcome. */
+struct SearchResult
+{
+    Point best;
+    PointMetrics metrics;
+    std::size_t evaluations = 0;
+};
+
+/** Single-threaded DDS. @p trace, if non-null, records exploration. */
+SearchResult serialDds(const ObjectiveContext &ctx,
+                       const DdsOptions &options = {},
+                       SearchTrace *trace = nullptr);
+
+/** The paper's parallel DDS (Algorithm 2). */
+SearchResult parallelDds(const ObjectiveContext &ctx,
+                         const DdsOptions &options = {},
+                         SearchTrace *trace = nullptr);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SEARCH_DDS_HH

@@ -1,0 +1,54 @@
+#include "search/exhaustive.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+SearchResult
+exhaustiveSearch(const ObjectiveContext &ctx, std::size_t max_points,
+                 SearchTrace *trace)
+{
+    const std::size_t jobs = ctx.numJobs();
+    const std::size_t configs = ctx.numConfigs();
+
+    double space = 1.0;
+    for (std::size_t j = 0; j < jobs; ++j)
+        space *= static_cast<double>(configs);
+    if (space > static_cast<double>(max_points)) {
+        fatal("exhaustive search over ", space,
+              " points exceeds the limit of ", max_points);
+    }
+
+    SearchResult result;
+    Point x(jobs, 0);
+    while (true) {
+        const PointMetrics m = evaluatePoint(x, ctx);
+        ++result.evaluations;
+        if (trace)
+            trace->explored.push_back(m);
+        if (result.best.empty() ||
+            m.objective > result.metrics.objective) {
+            result.best = x;
+            result.metrics = m;
+        }
+        // Odometer increment.
+        std::size_t d = 0;
+        while (d < jobs) {
+            if (static_cast<std::size_t>(x[d]) + 1 < configs) {
+                ++x[d];
+                break;
+            }
+            x[d] = 0;
+            ++d;
+        }
+        if (d == jobs)
+            break;
+    }
+    if (trace)
+        trace->best = result.metrics;
+    return result;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Exhaustive search over the joint configuration space.
+ *
+ * Only tractable for a handful of jobs ((m*p)^B points), but that is
+ * exactly what the validation tests and the Fig 10a reference front
+ * need: a guaranteed optimum to compare DDS and GA against.
+ */
+
+#ifndef CUTTLESYS_SEARCH_EXHAUSTIVE_HH
+#define CUTTLESYS_SEARCH_EXHAUSTIVE_HH
+
+#include "search/dds.hh"
+#include "search/objective.hh"
+
+namespace cuttlesys {
+
+/**
+ * Enumerate every point and return the optimum.
+ * @throws FatalError when the space exceeds @p max_points.
+ */
+SearchResult exhaustiveSearch(const ObjectiveContext &ctx,
+                              std::size_t max_points = 20'000'000,
+                              SearchTrace *trace = nullptr);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SEARCH_EXHAUSTIVE_HH

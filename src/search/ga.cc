@@ -1,0 +1,121 @@
+#include "search/ga.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+struct Individual
+{
+    Point genes;
+    PointMetrics metrics;
+};
+
+Point
+randomPoint(const ObjectiveContext &ctx, Rng &rng)
+{
+    Point x(ctx.numJobs());
+    for (auto &v : x) {
+        v = static_cast<std::uint16_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(ctx.numConfigs()) - 1));
+    }
+    return x;
+}
+
+/** Tournament selection: best of k random individuals. */
+const Individual &
+tournament(const std::vector<Individual> &pop, std::size_t k, Rng &rng)
+{
+    const Individual *best = nullptr;
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto idx = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(pop.size()) - 1));
+        if (!best ||
+            pop[idx].metrics.objective > best->metrics.objective)
+            best = &pop[idx];
+    }
+    return *best;
+}
+
+} // namespace
+
+SearchResult
+geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
+              SearchTrace *trace)
+{
+    CS_ASSERT(options.population >= 2, "population too small");
+    CS_ASSERT(options.elites < options.population,
+              "elites must be fewer than the population");
+    Rng rng(options.seed);
+
+    SearchResult result;
+    auto evaluate = [&](const Point &x) {
+        const PointMetrics m = evaluatePoint(x, ctx);
+        ++result.evaluations;
+        if (trace)
+            trace->explored.push_back(m);
+        return m;
+    };
+
+    std::vector<Individual> pop(options.population);
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+        pop[i].genes = i < options.seedPoints.size()
+            ? options.seedPoints[i]
+            : randomPoint(ctx, rng);
+        CS_ASSERT(pop[i].genes.size() == ctx.numJobs(),
+                  "seed point dimensionality mismatch");
+        pop[i].metrics = evaluate(pop[i].genes);
+    }
+
+    auto by_fitness = [](const Individual &a, const Individual &b) {
+        return a.metrics.objective > b.metrics.objective;
+    };
+    std::sort(pop.begin(), pop.end(), by_fitness);
+
+    for (std::size_t gen = 0; gen < options.generations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(options.population);
+        for (std::size_t e = 0; e < options.elites; ++e)
+            next.push_back(pop[e]);
+
+        while (next.size() < options.population) {
+            Point child = tournament(pop, options.tournamentSize,
+                                     rng).genes;
+            if (rng.uniform() < options.crossoverRate) {
+                const Point &other =
+                    tournament(pop, options.tournamentSize, rng).genes;
+                for (std::size_t d = 0; d < child.size(); ++d) {
+                    if (rng.bernoulli(0.5))
+                        child[d] = other[d];
+                }
+            }
+            for (std::size_t d = 0; d < child.size(); ++d) {
+                if (!options.pinned.empty() && options.pinned[d])
+                    continue;
+                if (rng.uniform() < options.mutationRate) {
+                    child[d] = static_cast<std::uint16_t>(
+                        rng.uniformInt(0, static_cast<std::int64_t>(
+                                              ctx.numConfigs()) - 1));
+                }
+            }
+            Individual ind;
+            ind.metrics = evaluate(child);
+            ind.genes = std::move(child);
+            next.push_back(std::move(ind));
+        }
+        pop = std::move(next);
+        std::sort(pop.begin(), pop.end(), by_fitness);
+    }
+
+    result.best = pop.front().genes;
+    result.metrics = pop.front().metrics;
+    if (trace)
+        trace->best = result.metrics;
+    return result;
+}
+
+} // namespace cuttlesys

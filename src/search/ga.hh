@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Genetic Algorithm space exploration — Flicker's optimizer
+ * (Section VIII-E), used as the comparison point for DDS in Fig 10.
+ *
+ * A standard generational GA over configuration vectors: tournament
+ * selection, uniform crossover, per-gene reset mutation, elitism.
+ * Defaults give it the same evaluation budget as the default parallel
+ * DDS so the Fig 10 comparison is compute-fair.
+ */
+
+#ifndef CUTTLESYS_SEARCH_GA_HH
+#define CUTTLESYS_SEARCH_GA_HH
+
+#include <cstdint>
+
+#include "search/dds.hh"
+#include "search/objective.hh"
+
+namespace cuttlesys {
+
+/** GA tuning knobs. */
+struct GaOptions
+{
+    std::size_t population = 50;
+    std::size_t generations = 65;
+    std::size_t tournamentSize = 3;
+    double crossoverRate = 0.9;
+    /** Per-gene probability of resetting to a random config. */
+    double mutationRate = 0.05;
+    std::size_t elites = 2;
+    std::uint64_t seed = 13;
+    std::vector<bool> pinned; //!< as in DdsOptions
+    /** Individuals injected into the initial population (replacing
+     *  random ones), mirroring DdsOptions::seedPoints for fair
+     *  algorithm comparisons. */
+    std::vector<Point> seedPoints;
+};
+
+/** Run the GA; same result/trace contract as the DDS entry points. */
+SearchResult geneticSearch(const ObjectiveContext &ctx,
+                           const GaOptions &options = {},
+                           SearchTrace *trace = nullptr);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SEARCH_GA_HH

@@ -1,0 +1,53 @@
+#include "search/objective.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+PointMetrics
+evaluatePoint(const Point &x, const ObjectiveContext &ctx)
+{
+    CS_ASSERT(ctx.bips && ctx.power, "objective context not wired");
+    CS_ASSERT(x.size() == ctx.numJobs(),
+              "point dimensionality ", x.size(), " != jobs ",
+              ctx.numJobs());
+
+    PointMetrics m;
+    double log_sum = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        const std::size_t c = x[j];
+        CS_ASSERT(c < ctx.numConfigs(), "config index out of range");
+        const double bips = std::max((*ctx.bips)(j, c), 1e-6);
+        log_sum += std::log(bips);
+        m.powerW += (*ctx.power)(j, c);
+        m.cacheWays += JobConfig::fromIndex(c).cacheWays();
+    }
+    m.gmeanBips =
+        std::exp(log_sum / static_cast<double>(x.size()));
+
+    const double power_excess =
+        std::max(0.0, m.powerW - ctx.powerBudgetW);
+    const double cache_excess =
+        std::max(0.0, m.cacheWays - ctx.cacheBudgetWays);
+    m.feasible = power_excess == 0.0 && cache_excess == 0.0;
+
+    if (ctx.hardConstraints && !m.feasible) {
+        m.objective = -1e9;
+    } else {
+        m.objective = m.gmeanBips -
+                      ctx.penaltyPower * power_excess -
+                      ctx.penaltyCache * cache_excess;
+    }
+    return m;
+}
+
+double
+objectiveValue(const Point &x, const ObjectiveContext &ctx)
+{
+    return evaluatePoint(x, ctx).objective;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The design-space-exploration objective (Section VI-A).
+ *
+ * A candidate point assigns each batch job one joint configuration
+ * index. The objective is the geometric mean of predicted batch
+ * throughput, with *soft* penalties for exceeding the power budget
+ * and the LLC way budget — the paper argues for soft penalties so
+ * points slightly over budget still guide the search (design decision
+ * D4; bench/abl_penalty ablates hard clamping).
+ *
+ * The latency-critical job's configuration is fixed before the search
+ * (Section VI-A), so its power and cache ways are already subtracted
+ * from the budgets handed to this objective.
+ */
+
+#ifndef CUTTLESYS_SEARCH_OBJECTIVE_HH
+#define CUTTLESYS_SEARCH_OBJECTIVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "config/job_config.hh"
+
+namespace cuttlesys {
+
+/** A candidate: one joint-config index per batch job. */
+using Point = std::vector<std::uint16_t>;
+
+/** Inputs the objective is evaluated against. */
+struct ObjectiveContext
+{
+    const Matrix *bips = nullptr;   //!< jobs x configs predictions
+    const Matrix *power = nullptr;  //!< jobs x configs predictions
+    double powerBudgetW = 0.0;      //!< watts left for batch cores
+    double cacheBudgetWays = 0.0;   //!< LLC ways left for batch jobs
+    double penaltyPower = 2.0;      //!< soft-penalty weight (Fig 6)
+    double penaltyCache = 2.0;
+    /** Hard-penalty mode for the D4 ablation: infeasible points get
+     *  a large negative objective instead of a graded one. */
+    bool hardConstraints = false;
+
+    /** Number of joint configurations (columns). */
+    std::size_t numConfigs() const { return bips->cols(); }
+
+    /** Number of batch jobs (rows / point dimensionality). */
+    std::size_t numJobs() const { return bips->rows(); }
+};
+
+/** Summary metrics of one evaluated point. */
+struct PointMetrics
+{
+    double gmeanBips = 0.0;
+    double powerW = 0.0;
+    double cacheWays = 0.0;
+    double objective = 0.0;
+    bool feasible = false;
+};
+
+/** Evaluate a candidate point. */
+PointMetrics evaluatePoint(const Point &x, const ObjectiveContext &ctx);
+
+/** Shorthand: just the scalar objective. */
+double objectiveValue(const Point &x, const ObjectiveContext &ctx);
+
+/**
+ * Optional exploration trace for Fig 10a: every evaluated point's
+ * (power, 1/throughput) pair plus the winner.
+ */
+struct SearchTrace
+{
+    std::vector<PointMetrics> explored;
+    PointMetrics best;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SEARCH_OBJECTIVE_HH

@@ -1,0 +1,97 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/mrc.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+/** Stall-CPI contribution of one section at the given width. */
+double
+sectionStall(double sens, double exp, int width)
+{
+    return sens * (std::pow(6.0 / static_cast<double>(width), exp) - 1.0);
+}
+
+} // namespace
+
+double
+coreFrequencyGHz(const SystemParams &params, bool reconfigurable)
+{
+    const double penalty =
+        reconfigurable ? (1.0 - params.reconfigFreqPenalty) : 1.0;
+    return params.frequencyGHz * penalty;
+}
+
+double
+coreIpc(const AppProfile &app, const JobConfig &config,
+        const SystemParams &params, double mem_scale)
+{
+    CS_ASSERT(mem_scale >= 1.0, "mem_scale must be >= 1 (got ",
+              mem_scale, ")");
+    const CoreConfig &core = config.core();
+
+    // Section stalls scale the base CPI (a lost issue slot costs in
+    // proportion to how fast the core would otherwise run): ILP-rich
+    // codes degrade toward the narrower width cap rather than
+    // collapsing, which is what measured reconfigurable-core data
+    // (Flicker, AnyCore) shows.
+    double stall = 0.0;
+    stall += sectionStall(app.feSens, app.feExp, core.frontEnd());
+    stall += sectionStall(app.beSens, app.beExp, core.backEnd());
+    stall += sectionStall(app.lsSens, app.lsExp, core.loadStore());
+    double cpi = app.cpiBase * (1.0 + stall);
+
+    const double mr = missRatio(app, config.cacheWays());
+    const double miss_lat = static_cast<double>(params.llcLatencyCycles) +
+        mr * static_cast<double>(params.dramLatencyCycles) * mem_scale;
+    const double mlp = app.memOverlap *
+        (1.0 + kLsMemCoupling * (6.0 / core.loadStore() - 1.0));
+    cpi += app.apki / 1000.0 * miss_lat * mlp;
+
+    double ipc = 1.0 / cpi;
+
+    // A section cannot retire more instructions per cycle than its
+    // provisioned width sustains.
+    const double cap = kWidthCapUtilization *
+        static_cast<double>(std::min(core.frontEnd(), core.backEnd()));
+    ipc = std::min(ipc, cap);
+
+    // Deterministic model residual, keyed by the joint configuration.
+    ipc *= residualFactor(app, config.index());
+    return ipc;
+}
+
+double
+coreIps(const AppProfile &app, const JobConfig &config,
+        const SystemParams &params, double mem_scale, bool reconfigurable)
+{
+    return coreIpc(app, config, params, mem_scale) *
+           coreFrequencyGHz(params, reconfigurable) * 1e9;
+}
+
+double
+coreBips(const AppProfile &app, const JobConfig &config,
+         const SystemParams &params, double mem_scale,
+         bool reconfigurable)
+{
+    return coreIps(app, config, params, mem_scale, reconfigurable) / 1e9;
+}
+
+double
+missBandwidthGBs(const AppProfile &app, const JobConfig &config,
+                 const SystemParams &params, double mem_scale,
+                 bool reconfigurable)
+{
+    const double ips = coreIps(app, config, params, mem_scale,
+                               reconfigurable);
+    const double misses_per_sec =
+        ips / 1000.0 * mpki(app, config.cacheWays());
+    return misses_per_sec * 64.0 / 1e9;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical performance model of one reconfigurable core.
+ *
+ * Replaces zsim's cycle-level core simulation (see DESIGN.md for the
+ * substitution argument). CPI is additively decomposed per the
+ * classic interval-analysis view:
+ *
+ *   cpi(app, {wFE,wBE,wLS}, ways) =
+ *       cpiBase * (1 + sum over sections s of
+ *                      sens_s * ((6 / w_s)^exp_s - 1))
+ *     + (apki / 1000) * (llcLat + missRatio(ways) * dramLat * memScale)
+ *       * memOverlap * (1 + kLsMemCoupling * (6 / wLS - 1))
+ *
+ * The final term couples the load/store queue width to memory-level
+ * parallelism: a narrower LSQ exposes more of the miss latency, which
+ * is what makes memory-heavy services like xapian LS-bound (Fig 1).
+ * IPC is additionally capped by the narrower of the FE/BE widths
+ * (a 2-wide front end cannot sustain IPC > 2) and scaled by the
+ * deterministic per-(app, config) residual.
+ */
+
+#ifndef CUTTLESYS_SIM_CORE_MODEL_HH
+#define CUTTLESYS_SIM_CORE_MODEL_HH
+
+#include "apps/app_profile.hh"
+#include "config/job_config.hh"
+#include "config/params.hh"
+
+namespace cuttlesys {
+
+/** LSQ-width to memory-level-parallelism coupling strength. */
+inline constexpr double kLsMemCoupling = 0.18;
+
+/** Width-cap utilization: peak sustainable IPC = this * min(FE, BE). */
+inline constexpr double kWidthCapUtilization = 0.95;
+
+/**
+ * Core clock in GHz; reconfigurable cores pay the paper's 1.67%
+ * frequency penalty relative to fixed-function cores.
+ */
+double coreFrequencyGHz(const SystemParams &params,
+                        bool reconfigurable = true);
+
+/**
+ * Instructions per cycle of @p app on core configuration @p config
+ * with @p ways LLC ways.
+ *
+ * @param mem_scale multiplies the DRAM latency; the multicore
+ *        simulator uses it to model memory-bandwidth contention
+ *        between co-scheduled jobs (1.0 = uncontended).
+ */
+double coreIpc(const AppProfile &app, const JobConfig &config,
+               const SystemParams &params, double mem_scale = 1.0);
+
+/**
+ * Instructions per second: coreIpc * frequency, including the
+ * reconfiguration frequency penalty when @p reconfigurable.
+ */
+double coreIps(const AppProfile &app, const JobConfig &config,
+               const SystemParams &params, double mem_scale = 1.0,
+               bool reconfigurable = true);
+
+/** Billions of instructions per second (the paper's BIPS). */
+double coreBips(const AppProfile &app, const JobConfig &config,
+                const SystemParams &params, double mem_scale = 1.0,
+                bool reconfigurable = true);
+
+/**
+ * LLC miss bandwidth this job generates, in GB/s, assuming 64-byte
+ * lines. Input to the memory-contention fixpoint in MulticoreSim.
+ */
+double missBandwidthGBs(const AppProfile &app, const JobConfig &config,
+                        const SystemParams &params,
+                        double mem_scale = 1.0,
+                        bool reconfigurable = true);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SIM_CORE_MODEL_HH

@@ -1,0 +1,97 @@
+#include "sim/driver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace cuttlesys {
+
+double
+gmeanBatchBips(const SliceMeasurement &m, double floor_bips)
+{
+    if (m.batchBips.empty())
+        return 0.0;
+    std::vector<double> floored;
+    floored.reserve(m.batchBips.size());
+    for (double b : m.batchBips)
+        floored.push_back(std::max(b, floor_bips));
+    return geomean(floored);
+}
+
+RunResult
+runColocation(MulticoreSim &sim, Scheduler &scheduler,
+              const DriverOptions &opts)
+{
+    CS_ASSERT(opts.maxPowerW > 0.0, "maxPowerW must be set");
+    const SystemParams &params = sim.params();
+    const std::size_t num_slices = static_cast<std::size_t>(
+        std::round(opts.durationSec / params.timesliceSec));
+    CS_ASSERT(num_slices > 0, "run shorter than one timeslice");
+
+    RunResult result;
+    result.slices.reserve(num_slices);
+
+    SliceDecision prev_decision;
+    SliceMeasurement prev_measurement;
+    bool have_prev = false;
+    double gmean_sum = 0.0;
+    double power_sum = 0.0;
+
+    for (std::size_t s = 0; s < num_slices; ++s) {
+        const double t = sim.now();
+        const double load_fraction = opts.loadPattern.at(t);
+        sim.setLcLoadFraction(load_fraction);
+        const double budget = opts.powerPattern.at(t) * opts.maxPowerW;
+
+        SliceContext ctx;
+        ctx.sliceIndex = s;
+        ctx.timeSec = t;
+        ctx.powerBudgetW = budget;
+        ctx.lcQosSec = sim.mix().lc.qosSeconds();
+        ctx.previous = have_prev ? &prev_measurement : nullptr;
+        ctx.previousDecision = have_prev ? &prev_decision : nullptr;
+
+        double remaining = params.timesliceSec;
+        if (scheduler.wantsProfiling()) {
+            const std::size_t lc_cores =
+                have_prev ? prev_decision.lcCores : 16;
+            ctx.profiles = sim.profileJobs(
+                lc_cores, scheduler.usesReconfigurableCores());
+            remaining -= params.sampleSec *
+                static_cast<double>(params.numProfilingSamples);
+        }
+
+        SliceDecision decision = scheduler.decide(ctx);
+        SliceMeasurement measurement = sim.runSlice(decision, remaining);
+
+        SliceRecord record;
+        record.loadFraction = load_fraction;
+        record.powerBudgetW = budget;
+        record.qosViolated =
+            measurement.lcTailLatency > sim.mix().lc.qosSeconds();
+        record.decision = decision;
+        record.measurement = measurement;
+
+        result.totalBatchInstructions += measurement.batchInstructions;
+        result.qosViolations += record.qosViolated ? 1 : 0;
+        // Small tolerance: the budget is enforced on predicted power;
+        // measurement noise alone should not count as a violation.
+        result.powerViolations +=
+            measurement.totalPower > budget * 1.02 ? 1 : 0;
+        gmean_sum += gmeanBatchBips(measurement);
+        power_sum += measurement.totalPower;
+
+        prev_decision = decision;
+        prev_measurement = measurement;
+        have_prev = true;
+        result.slices.push_back(std::move(record));
+    }
+
+    result.meanGmeanBips = gmean_sum / static_cast<double>(num_slices);
+    result.meanPowerW = power_sum / static_cast<double>(num_slices);
+    return result;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Evaluation driver: runs a scheduler against a colocation.
+ *
+ * Implements the per-timeslice loop of Fig 3: set the offered load
+ * and power budget from their traces, run the profiling pass if the
+ * scheduler wants one, obtain the decision, execute the slice, and
+ * record everything the figures need (instructions, tail latency,
+ * power, chosen configurations).
+ */
+
+#ifndef CUTTLESYS_SIM_DRIVER_HH
+#define CUTTLESYS_SIM_DRIVER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "lcsim/load_pattern.hh"
+#include "sim/multicore.hh"
+#include "sim/scheduler.hh"
+
+namespace cuttlesys {
+
+/** Driver configuration for one run. */
+struct DriverOptions
+{
+    double durationSec = 1.0;   //!< total simulated time
+    LoadPattern loadPattern = LoadPattern::constant(0.8);
+    /** Power budget trace, as a fraction of maxPowerW. */
+    LoadPattern powerPattern = LoadPattern::constant(0.7);
+    double maxPowerW = 0.0;     //!< reference max power (Section VII-A)
+};
+
+/** Everything recorded about one executed timeslice. */
+struct SliceRecord
+{
+    SliceDecision decision;
+    SliceMeasurement measurement;
+    double loadFraction = 0.0;
+    double powerBudgetW = 0.0;
+    bool qosViolated = false;
+};
+
+/** Aggregate outcome of a run. */
+struct RunResult
+{
+    std::vector<SliceRecord> slices;
+    double totalBatchInstructions = 0.0;
+    std::size_t qosViolations = 0;   //!< slices with p99 > QoS
+    std::size_t powerViolations = 0; //!< slices with power > budget
+    double meanPowerW = 0.0;
+
+    /** Mean over slices of the geometric-mean batch BIPS. */
+    double meanGmeanBips = 0.0;
+};
+
+/**
+ * Run @p scheduler on @p sim for the configured duration.
+ * The simulator should be freshly constructed (time 0).
+ */
+RunResult runColocation(MulticoreSim &sim, Scheduler &scheduler,
+                        const DriverOptions &opts);
+
+/**
+ * Geometric-mean batch throughput of one measurement, with gated jobs
+ * floored at @p floor_bips so the gmean stays defined (the paper
+ * switches to instruction totals for cross-scheme comparison for
+ * exactly this reason).
+ */
+double gmeanBatchBips(const SliceMeasurement &m,
+                      double floor_bips = 1e-3);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SIM_DRIVER_HH

@@ -1,0 +1,108 @@
+#include "sim/ground_truth.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "lcsim/queue_sim.hh"
+#include "power/power_model.hh"
+#include "sim/core_model.hh"
+
+namespace cuttlesys {
+
+BatchTruth
+batchTruthTables(const std::vector<AppProfile> &apps,
+                 const SystemParams &params, bool reconfigurable,
+                 double noise, std::uint64_t seed)
+{
+    BatchTruth truth;
+    truth.bips = Matrix(apps.size(), kNumJobConfigs);
+    truth.power = Matrix(apps.size(), kNumJobConfigs);
+    Rng rng(seed);
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+            const JobConfig config = JobConfig::fromIndex(c);
+            const double ipc = coreIpc(apps[a], config, params);
+            const double bips =
+                ipc * coreFrequencyGHz(params, reconfigurable);
+            const double power = corePower(apps[a], config.core(), ipc,
+                                           params, reconfigurable);
+            const double nb =
+                noise > 0.0 ? 1.0 + rng.normal(0.0, noise) : 1.0;
+            const double np =
+                noise > 0.0 ? 1.0 + rng.normal(0.0, noise) : 1.0;
+            truth.bips(a, c) = bips * nb;
+            truth.power(a, c) = power * np;
+        }
+    }
+    return truth;
+}
+
+std::vector<double>
+lcTailCurve(const AppProfile &app, double qps,
+            const SystemParams &params, const LcCurveOptions &opts)
+{
+    CS_ASSERT(app.isLatencyCritical(), "lcTailCurve needs an LC app");
+    std::vector<double> curve(kNumJobConfigs, 0.0);
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        const JobConfig config = JobConfig::fromIndex(c);
+        const double ips = coreIps(app, config, params, 1.0,
+                                   opts.reconfigurable);
+        LcQueueSim sim(app, opts.servers, ips, opts.seed + c);
+        sim.setLoadQps(qps);
+        sim.run(opts.warmupSec);
+        sim.clearWindow();
+        sim.run(opts.measureSec);
+        // An empty window means the system is so saturated nothing
+        // completed; report the whole backlog age as the tail.
+        curve[c] = sim.completedInWindow() > 0
+            ? sim.tailLatency(99.0)
+            : opts.warmupSec + opts.measureSec;
+    }
+    return curve;
+}
+
+std::vector<double>
+lcPowerCurve(const AppProfile &app, double qps,
+             const SystemParams &params, const LcCurveOptions &opts)
+{
+    CS_ASSERT(app.isLatencyCritical(), "lcPowerCurve needs an LC app");
+    std::vector<double> curve(kNumJobConfigs, 0.0);
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        const JobConfig config = JobConfig::fromIndex(c);
+        const double ips = coreIps(app, config, params, 1.0,
+                                   opts.reconfigurable);
+        const double util = std::min(
+            1.0, qps * app.requestInstructions() /
+                 (static_cast<double>(opts.servers) * ips));
+        const double ipc = coreIpc(app, config, params);
+        curve[c] = corePower(app, config.core(), ipc * util, params,
+                             opts.reconfigurable);
+    }
+    return curve;
+}
+
+Matrix
+lcTailTrainingTable(const std::vector<AppProfile> &apps,
+                    const std::vector<double> &load_fractions,
+                    const SystemParams &params,
+                    const LcCurveOptions &opts)
+{
+    Matrix table(apps.size() * load_fractions.size(), kNumJobConfigs);
+    std::size_t row = 0;
+    for (const auto &app : apps) {
+        CS_ASSERT(app.maxQps > 0.0, app.name,
+                  " is not calibrated; run calibrateMaxQps first");
+        for (double fraction : load_fractions) {
+            const auto curve =
+                lcTailCurve(app, fraction * app.maxQps, params, opts);
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+                table(row, c) = curve[c];
+            ++row;
+        }
+    }
+    return table;
+}
+
+} // namespace cuttlesys

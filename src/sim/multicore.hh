@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The 32-core multicore simulator.
+ *
+ * Stands in for the paper's zsim+McPAT testbed. One latency-critical
+ * service occupies a cluster of cores (16 at t=0, changeable through
+ * core relocation); each of the 16 batch jobs owns one of the
+ * remaining cores (time-multiplexing proportionally when relocation
+ * leaves fewer cores than jobs). Per 100 ms timeslice the simulator:
+ *
+ *  - executes the 2 ms profiling schedule (half the cores widest, half
+ *    narrowest, then swapped — Section VIII-A1) and returns noisy
+ *    1 ms samples of throughput and power,
+ *  - runs the remaining slice at the scheduler's chosen
+ *    configurations, with LLC-way-partition-aware miss ratios and a
+ *    memory-bandwidth contention fixpoint coupling the jobs,
+ *  - drives the LC service's discrete-event queue to produce the
+ *    slice's p99, and
+ *  - accounts instructions, per-job power and chip power.
+ *
+ * Slow multiplicative phase drift on each job's memory intensity
+ * models the "applications changing execution phases" the paper cites
+ * as a source of runtime mispredictions (Section VIII-B).
+ */
+
+#ifndef CUTTLESYS_SIM_MULTICORE_HH
+#define CUTTLESYS_SIM_MULTICORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/mix.hh"
+#include "common/rng.hh"
+#include "config/job_config.hh"
+#include "config/params.hh"
+#include "lcsim/queue_sim.hh"
+
+namespace cuttlesys {
+
+/** A scheduler's decision for one timeslice. */
+struct SliceDecision
+{
+    JobConfig lcConfig;              //!< config of every LC core
+    std::size_t lcCores = 16;        //!< cores assigned to the LC app
+    std::vector<JobConfig> batchConfigs; //!< per batch job
+    std::vector<bool> batchActive;   //!< false = core gated off
+    /**
+     * Whether cores pay reconfiguration overheads. Fixed-core designs
+     * (core gating, asymmetric multicores) set this false.
+     */
+    bool reconfigurable = true;
+    /**
+     * Scheduler bookkeeping time (profiling + inference + search)
+     * charged at the head of the slice, seconds.
+     */
+    double overheadSec = 0.0;
+};
+
+/** What the system measured during one timeslice. */
+struct SliceMeasurement
+{
+    double timeSec = 0.0;        //!< slice start time
+    double lcLoadQps = 0.0;      //!< offered load during the slice
+    double lcTailLatency = 0.0;  //!< p99 over the slice, seconds
+    double lcUtilization = 0.0;  //!< LC cluster busy fraction
+    std::size_t lcCompleted = 0; //!< requests completed in the slice
+    std::vector<double> batchBips;  //!< measured BIPS per batch job
+    std::vector<double> batchPower; //!< per-job core power, W
+    double lcPower = 0.0;        //!< LC cluster power, W
+    double totalPower = 0.0;     //!< chip power incl. LLC, W
+    double batchInstructions = 0.0; //!< total batch instructions
+    std::vector<double> batchJobInstructions; //!< per-job instructions
+};
+
+/** The 2-sample profiling data for one job (Section VIII-A1). */
+struct ProfilePair
+{
+    double bipsWide = 0.0;    //!< BIPS at {6,6,6}, 1 LLC way
+    double bipsNarrow = 0.0;  //!< BIPS at {2,2,2}, 1 LLC way
+    double powerWide = 0.0;   //!< core power at {6,6,6}, W
+    double powerNarrow = 0.0; //!< core power at {2,2,2}, W
+};
+
+/** Simulator of one colocation on the 32-core machine. */
+class MulticoreSim
+{
+  public:
+    MulticoreSim(SystemParams params, WorkloadMix mix,
+                 std::uint64_t seed = 1);
+
+    /** Number of batch jobs in the mix. */
+    std::size_t numBatchJobs() const { return mix_.batch.size(); }
+
+    const SystemParams &params() const { return params_; }
+    const WorkloadMix &mix() const { return mix_; }
+
+    /** Offered LC load for subsequent slices, as queries/s. */
+    void setLcLoadQps(double qps);
+
+    /** Offered LC load as a fraction of the calibrated max QPS. */
+    void setLcLoadFraction(double fraction);
+
+    double lcLoadQps() const { return lcLoadQps_; }
+
+    /**
+     * Execute the profiling schedule (2 x 1 ms) and return noisy
+     * samples for the LC job (index 0 of the conceptual job list) and
+     * every batch job. Advances simulated time by 2 ms and serves LC
+     * requests at the (degraded) profiling configurations meanwhile.
+     */
+    std::vector<ProfilePair> profileJobs(std::size_t lc_cores,
+                                         bool reconfigurable = true);
+
+    /**
+     * Run @p duration seconds of the current timeslice under
+     * @p decision (pass the slice length minus any profiling time the
+     * caller already consumed; a negative value means one full
+     * timeslice). If the decision carries scheduler overhead, the
+     * first overheadSec run under the *previous* decision — the new
+     * configuration only takes effect once the scheduler has computed
+     * it (Fig 3's timeline). The LC queue carries over between
+     * slices; batch instruction counters accumulate.
+     */
+    SliceMeasurement runSlice(const SliceDecision &decision,
+                              double duration = -1.0,
+                              bool fresh_lc_window = true);
+
+    /** Current simulated time, seconds. */
+    double now() const { return now_; }
+
+    /** Cumulative batch instructions since construction. */
+    double totalBatchInstructions() const { return totalBatchInstr_; }
+
+    /**
+     * Ground-truth (noise-free, uncontended, phase-at-time-now) BIPS
+     * of batch job @p job at @p config. Exposed for oracle baselines
+     * and accuracy studies.
+     */
+    double truthBatchBips(std::size_t job, const JobConfig &config,
+                          bool reconfigurable = true) const;
+
+    /** Ground-truth core power of batch job @p job at @p config. */
+    double truthBatchPower(std::size_t job, const JobConfig &config,
+                           bool reconfigurable = true) const;
+
+    /**
+     * Phase-drift multiplier applied to a job's memory intensity at
+     * time @p t. Job 0 is the LC app; batch jobs are 1-based.
+     */
+    double phaseScale(std::size_t job_index, double t) const;
+
+    /** Measurement-noise level of a full-slice observation. */
+    static constexpr double kSliceNoise = 0.01;
+    /** Measurement-noise level of a 1 ms profiling sample. */
+    static constexpr double kSampleNoise = 0.04;
+
+  private:
+    /**
+     * Memory-contention fixpoint: the factor by which DRAM latency is
+     * inflated given every job's configuration and activity.
+     */
+    double contentionScale(const SliceDecision &decision,
+                           double lc_utilization) const;
+
+    /** Effective profile of a job with phase drift applied at t. */
+    AppProfile driftedProfile(std::size_t job_index, double t) const;
+
+    SystemParams params_;
+    WorkloadMix mix_;
+    Rng rng_;
+
+    double now_ = 0.0;
+    double lcLoadQps_ = 0.0;
+    std::unique_ptr<LcQueueSim> lcSim_;
+
+    /** Accumulator for one phase of a slice (overhead vs. steady). */
+    struct PhaseTotals;
+
+    /** Execute @p dur seconds under @p decision, folding into totals. */
+    void runPhase(const SliceDecision &decision, double dur,
+                  PhaseTotals &totals);
+
+    std::vector<double> phaseOffsets_; //!< per job (0 = LC)
+    std::vector<double> batchInstr_;   //!< cumulative per batch job
+    double totalBatchInstr_ = 0.0;
+    std::optional<SliceDecision> lastDecision_;
+};
+
+/** Memory subsystem contention constants (see DESIGN.md). */
+inline constexpr double kPeakMemBandwidthGBs = 80.0;
+inline constexpr double kMemContentionStrength = 0.5;
+
+/** Phase-drift defaults (amplitude, period seconds). */
+inline constexpr double kPhaseDriftAmplitude = 0.08;
+inline constexpr double kPhaseDriftPeriodSec = 0.7;
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SIM_MULTICORE_HH

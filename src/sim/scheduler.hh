@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The scheduler interface every resource manager implements.
+ *
+ * CuttleSys, core-level gating, the asymmetric-multicore oracle and
+ * Flicker all plug into the same evaluation driver: once per 100 ms
+ * timeslice they observe the previous slice's measurements (and, if
+ * they asked for it, the fresh 2 x 1 ms profiling samples) and emit a
+ * SliceDecision. Schedulers never see application profiles — only
+ * observable metrics — except oracles, which are deliberately
+ * omniscient.
+ */
+
+#ifndef CUTTLESYS_SIM_SCHEDULER_HH
+#define CUTTLESYS_SIM_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/multicore.hh"
+
+namespace cuttlesys {
+
+/** Everything a scheduler can observe when deciding a slice. */
+struct SliceContext
+{
+    std::size_t sliceIndex = 0;
+    double timeSec = 0.0;
+    double powerBudgetW = 0.0;  //!< this slice's cap (can change)
+    double lcQosSec = 0.0;      //!< the LC service's p99 target
+    /** Fresh profiling samples (index 0 = LC job); empty if the
+     *  scheduler's wantsProfiling() returned false. */
+    std::vector<ProfilePair> profiles;
+    const SliceMeasurement *previous = nullptr;  //!< null in slice 0
+    const SliceDecision *previousDecision = nullptr;
+};
+
+/** A per-timeslice resource manager. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Display name used in bench output. */
+    virtual std::string name() const = 0;
+
+    /** Whether the driver should run the profiling pass each slice. */
+    virtual bool wantsProfiling() const { return true; }
+
+    /** Whether decisions use reconfigurable cores (pay overheads). */
+    virtual bool usesReconfigurableCores() const { return true; }
+
+    /** Decide the configuration for the upcoming slice. */
+    virtual SliceDecision decide(const SliceContext &ctx) = 0;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_SIM_SCHEDULER_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the application gallery and the train/test split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/gallery.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(GalleryTest, SpecGalleryHas28Apps)
+{
+    const auto gallery = specGallery();
+    EXPECT_EQ(gallery.size(), 28u);
+    std::set<std::string> names;
+    for (const auto &app : gallery) {
+        EXPECT_EQ(app.cls, AppClass::Batch);
+        names.insert(app.name);
+    }
+    EXPECT_EQ(names.size(), 28u) << "duplicate names in gallery";
+    EXPECT_TRUE(names.count("mcf"));
+    EXPECT_TRUE(names.count("povray"));
+    EXPECT_TRUE(names.count("libquantum"));
+}
+
+TEST(GalleryTest, TailbenchGalleryHas5Services)
+{
+    const auto gallery = tailbenchGallery();
+    ASSERT_EQ(gallery.size(), 5u);
+    for (const auto &app : gallery) {
+        EXPECT_EQ(app.cls, AppClass::LatencyCritical);
+        EXPECT_GT(app.qosMs, 0.0);
+        EXPECT_GT(app.requestMInstr, 0.0);
+        EXPECT_DOUBLE_EQ(app.maxQps, 0.0) << "uncalibrated by default";
+    }
+    EXPECT_EQ(gallery[0].name, "xapian");
+    EXPECT_EQ(gallery[4].name, "silo");
+}
+
+TEST(GalleryTest, ProfilesAreSane)
+{
+    auto all = specGallery();
+    const auto lc = tailbenchGallery();
+    all.insert(all.end(), lc.begin(), lc.end());
+    for (const auto &app : all) {
+        EXPECT_GT(app.cpiBase, 0.0) << app.name;
+        EXPECT_GE(app.feSens, 0.0) << app.name;
+        EXPECT_GE(app.beSens, 0.0) << app.name;
+        EXPECT_GE(app.lsSens, 0.0) << app.name;
+        EXPECT_GT(app.apki, 0.0) << app.name;
+        EXPECT_GT(app.mrCeil, app.mrFloor) << app.name;
+        EXPECT_LE(app.mrCeil, 1.0) << app.name;
+        EXPECT_GE(app.mrFloor, 0.0) << app.name;
+        EXPECT_GT(app.mrLambda, 0.0) << app.name;
+        EXPECT_GT(app.memOverlap, 0.0) << app.name;
+        EXPECT_LE(app.memOverlap, 1.0) << app.name;
+        EXPECT_GT(app.activity, 0.0) << app.name;
+    }
+}
+
+TEST(GalleryTest, SeedsAreUniquePerApp)
+{
+    auto all = specGallery();
+    const auto lc = tailbenchGallery();
+    all.insert(all.end(), lc.begin(), lc.end());
+    std::set<std::uint64_t> seeds;
+    for (const auto &app : all)
+        seeds.insert(app.seed);
+    EXPECT_EQ(seeds.size(), all.size());
+}
+
+TEST(GalleryTest, XapianIsLoadStoreBound)
+{
+    // Fig 1: xapian's tail latency is dominated by the LSQ width.
+    const AppProfile xapian = profileByName("xapian");
+    EXPECT_GT(xapian.lsSens, xapian.feSens);
+    EXPECT_GT(xapian.lsSens, xapian.beSens);
+}
+
+TEST(GalleryTest, MosesIsFrontEndBound)
+{
+    const AppProfile moses = profileByName("moses");
+    EXPECT_GT(moses.feSens, moses.beSens);
+    EXPECT_GT(moses.feSens, moses.lsSens);
+}
+
+TEST(GalleryTest, McfIsMoreMemoryBoundThanPovray)
+{
+    const AppProfile mcf = profileByName("mcf");
+    const AppProfile povray = profileByName("povray");
+    EXPECT_GT(mcf.apki, 5.0 * povray.apki);
+    EXPECT_GT(mcf.mrCeil, povray.mrCeil);
+}
+
+TEST(GalleryTest, ProfileByNameThrowsForUnknown)
+{
+    EXPECT_THROW(profileByName("doom3"), FatalError);
+}
+
+TEST(GalleryTest, SplitSizesAndDisjointness)
+{
+    const auto split = splitSpecGallery(16);
+    EXPECT_EQ(split.train.size(), 16u);
+    EXPECT_EQ(split.test.size(), 12u);
+    std::set<std::string> train_names, test_names;
+    for (const auto &a : split.train)
+        train_names.insert(a.name);
+    for (const auto &a : split.test) {
+        test_names.insert(a.name);
+        EXPECT_FALSE(train_names.count(a.name))
+            << a.name << " leaked between train and test";
+    }
+}
+
+TEST(GalleryTest, SplitIsDeterministicPerSeed)
+{
+    const auto a = splitSpecGallery(16, 99);
+    const auto b = splitSpecGallery(16, 99);
+    ASSERT_EQ(a.train.size(), b.train.size());
+    for (std::size_t i = 0; i < a.train.size(); ++i)
+        EXPECT_EQ(a.train[i].name, b.train[i].name);
+}
+
+TEST(GalleryTest, SplitSupportsPaperSensitivitySizes)
+{
+    // Section VIII-A2 sweeps 8/16/24 training apps.
+    for (std::size_t n : {8u, 16u, 24u}) {
+        const auto split = splitSpecGallery(n);
+        EXPECT_EQ(split.train.size(), n);
+        EXPECT_EQ(split.test.size(), 28u - n);
+    }
+}
+
+TEST(GalleryTest, SplitRejectsOversizedTrainSet)
+{
+    EXPECT_THROW(splitSpecGallery(29), PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Property tests over randomly generated application profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/generator.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+namespace {
+
+/** Parameterized over generator seeds. */
+class GeneratorPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(GeneratorPropertyTest, BatchProfilesAreWellFormed)
+{
+    Rng rng(GetParam());
+    const AppProfile p = randomBatchProfile(rng, "p");
+    EXPECT_EQ(p.cls, AppClass::Batch);
+    EXPECT_GT(p.cpiBase, 0.0);
+    EXPECT_GE(p.feSens, 0.0);
+    EXPECT_GE(p.beSens, 0.0);
+    EXPECT_GE(p.lsSens, 0.0);
+    EXPECT_LE(p.feSens + p.beSens + p.lsSens, 0.76);
+    EXPECT_GT(p.apki, 0.0);
+    EXPECT_GT(p.mrCeil, p.mrFloor);
+    EXPECT_LE(p.mrCeil, 1.0);
+    EXPECT_GT(p.mrLambda, 0.0);
+    EXPECT_GT(p.memOverlap, 0.0);
+    EXPECT_LE(p.memOverlap, 1.0);
+}
+
+TEST_P(GeneratorPropertyTest, LcProfilesAreWellFormed)
+{
+    Rng rng(GetParam());
+    const AppProfile p = randomLcProfile(rng, "lc");
+    EXPECT_TRUE(p.isLatencyCritical());
+    EXPECT_GT(p.requestMInstr, 0.0);
+    EXPECT_GT(p.requestCv, 0.0);
+    EXPECT_GT(p.qosMs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+TEST(GeneratorTest, BatchBatchNamesAreSequential)
+{
+    Rng rng(7);
+    const auto profiles = randomBatchProfiles(rng, 3, "syn");
+    ASSERT_EQ(profiles.size(), 3u);
+    EXPECT_EQ(profiles[0].name, "syn00");
+    EXPECT_EQ(profiles[2].name, "syn02");
+}
+
+TEST(GeneratorTest, SeedsDiffer)
+{
+    Rng rng(9);
+    const auto profiles = randomBatchProfiles(rng, 10);
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        for (std::size_t j = i + 1; j < profiles.size(); ++j)
+            EXPECT_NE(profiles[i].seed, profiles[j].seed);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for workload-mix construction (Section VII-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/gallery.hh"
+#include "apps/mix.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(MixTest, MixHasRequestedSize)
+{
+    const auto pool = splitSpecGallery().test;
+    const auto mix = makeBatchMix(pool, 16, 1);
+    EXPECT_EQ(mix.size(), 16u);
+}
+
+TEST(MixTest, MixDrawsOnlyFromPool)
+{
+    const auto pool = splitSpecGallery().test;
+    std::set<std::string> pool_names;
+    for (const auto &app : pool)
+        pool_names.insert(app.name);
+    const auto mix = makeBatchMix(pool, 16, 2);
+    for (const auto &app : mix)
+        EXPECT_TRUE(pool_names.count(app.name)) << app.name;
+}
+
+TEST(MixTest, RepeatedAppsGetDistinctSeeds)
+{
+    const auto pool = splitSpecGallery().test;
+    const auto mix = makeBatchMix(pool, 16, 3);
+    std::set<std::uint64_t> seeds;
+    for (const auto &app : mix)
+        seeds.insert(app.seed);
+    EXPECT_EQ(seeds.size(), mix.size())
+        << "each slot must have a unique residual stream";
+}
+
+TEST(MixTest, DeterministicPerSeed)
+{
+    const auto pool = splitSpecGallery().test;
+    const auto a = makeBatchMix(pool, 16, 42);
+    const auto b = makeBatchMix(pool, 16, 42);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].name, b[i].name);
+}
+
+TEST(MixTest, DifferentSeedsGiveDifferentMixes)
+{
+    const auto pool = splitSpecGallery().test;
+    const auto a = makeBatchMix(pool, 16, 1);
+    const auto b = makeBatchMix(pool, 16, 2);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].name == b[i].name ? 1 : 0;
+    EXPECT_LT(same, a.size());
+}
+
+TEST(MixTest, EmptyPoolIsRejected)
+{
+    EXPECT_THROW(makeBatchMix({}, 4, 1), PanicError);
+}
+
+TEST(MixTest, EvaluationSetIs50Mixes)
+{
+    // 5 TailBench services x 10 mixes (Section VII-A).
+    const auto lc = tailbenchGallery();
+    const auto pool = splitSpecGallery().test;
+    const auto mixes = makeEvaluationMixes(lc, pool);
+    EXPECT_EQ(mixes.size(), 50u);
+
+    std::set<std::string> names;
+    std::size_t xapian_mixes = 0;
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.batch.size(), 16u);
+        EXPECT_TRUE(mix.lc.isLatencyCritical());
+        names.insert(mix.name);
+        xapian_mixes += mix.lc.name == "xapian" ? 1 : 0;
+    }
+    EXPECT_EQ(names.size(), 50u) << "mix names must be unique";
+    EXPECT_EQ(xapian_mixes, 10u);
+}
+
+TEST(MixTest, EvaluationMixNamesEncodeService)
+{
+    const auto lc = tailbenchGallery();
+    const auto pool = splitSpecGallery().test;
+    const auto mixes = makeEvaluationMixes(lc, pool, 2, 4);
+    EXPECT_EQ(mixes.front().name, "xapian/mix00");
+    EXPECT_EQ(mixes.back().name, "silo/mix01");
+}
+
+} // namespace
+} // namespace cuttlesys

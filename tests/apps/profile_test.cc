@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for AppProfile helpers and the deterministic residual.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_profile.hh"
+#include "config/job_config.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(ProfileTest, RequestUnits)
+{
+    AppProfile p;
+    p.requestMInstr = 3.5;
+    p.qosMs = 8.0;
+    EXPECT_DOUBLE_EQ(p.requestInstructions(), 3.5e6);
+    EXPECT_DOUBLE_EQ(p.qosSeconds(), 0.008);
+}
+
+TEST(ProfileTest, ClassPredicates)
+{
+    AppProfile p;
+    EXPECT_FALSE(p.isLatencyCritical());
+    p.cls = AppClass::LatencyCritical;
+    EXPECT_TRUE(p.isLatencyCritical());
+}
+
+TEST(ResidualTest, DeterministicPerPair)
+{
+    AppProfile p;
+    p.seed = 77;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+        EXPECT_DOUBLE_EQ(residualFactor(p, c), residualFactor(p, c));
+}
+
+TEST(ResidualTest, BoundedByScale)
+{
+    AppProfile p;
+    p.seed = 123;
+    p.residualScale = 0.05;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        const double f = residualFactor(p, c);
+        EXPECT_GE(f, 0.95);
+        EXPECT_LE(f, 1.05);
+    }
+}
+
+TEST(ResidualTest, VariesAcrossConfigs)
+{
+    AppProfile p;
+    p.seed = 5;
+    double lo = 2.0, hi = 0.0;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        const double f = residualFactor(p, c);
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    EXPECT_GT(hi - lo, 0.01) << "residual should not be constant";
+}
+
+TEST(ResidualTest, VariesAcrossSeeds)
+{
+    AppProfile a, b;
+    a.seed = 1;
+    b.seed = 2;
+    int same = 0;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+        same += residualFactor(a, c) == residualFactor(b, c) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(ResidualTest, ZeroScaleGivesUnity)
+{
+    AppProfile p;
+    p.residualScale = 0.0;
+    for (std::size_t c = 0; c < 20; ++c)
+        EXPECT_DOUBLE_EQ(residualFactor(p, c), 1.0);
+}
+
+} // namespace
+} // namespace cuttlesys

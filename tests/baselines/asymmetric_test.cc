@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the asymmetric-multicore baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/asymmetric.hh"
+#include "sim/driver.hh"
+#include "../sim/sim_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+DriverOptions
+cappedOptions(double cap_fraction)
+{
+    DriverOptions opts;
+    opts.durationSec = 0.5;
+    opts.loadPattern = LoadPattern::constant(0.5);
+    opts.powerPattern = LoadPattern::constant(cap_fraction);
+    opts.maxPowerW = 150.0;
+    return opts;
+}
+
+TEST(AsymmetricOracleTest, UsesOnlyBigAndSmallCores)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 1);
+    AsymmetricOracleScheduler sched(sim);
+    const RunResult r = runColocation(sim, sched, cappedOptions(0.7));
+    for (const auto &slice : r.slices) {
+        EXPECT_FALSE(slice.decision.reconfigurable);
+        for (const auto &config : slice.decision.batchConfigs) {
+            const bool big = config.core() == CoreConfig::widest();
+            const bool small =
+                config.core() == CoreConfig::narrowest();
+            EXPECT_TRUE(big || small) << config.toString();
+        }
+    }
+}
+
+TEST(AsymmetricOracleTest, RelaxedBudgetPutsEveryJobOnBigCores)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 2);
+    AsymmetricOracleScheduler sched(sim);
+    const RunResult r = runColocation(sim, sched, cappedOptions(1.3));
+    for (const auto &config : r.slices.back().decision.batchConfigs)
+        EXPECT_EQ(config.core(), CoreConfig::widest());
+}
+
+TEST(AsymmetricOracleTest, TighterBudgetDemotesJobsToSmallCores)
+{
+    const SystemParams params;
+    auto big_count = [&](double cap) {
+        MulticoreSim sim(params, makeTestMix(), 3);
+        AsymmetricOracleScheduler sched(sim);
+        const RunResult r = runColocation(sim, sched,
+                                          cappedOptions(cap));
+        std::size_t big = 0;
+        for (const auto &c : r.slices.back().decision.batchConfigs)
+            big += c.core() == CoreConfig::widest() ? 1 : 0;
+        return big;
+    };
+    const std::size_t at_90 = big_count(0.9);
+    const std::size_t at_60 = big_count(0.6);
+    EXPECT_GT(at_90, at_60);
+}
+
+TEST(AsymmetricOracleTest, StaysUnderBudget)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 4);
+    AsymmetricOracleScheduler sched(sim);
+    const RunResult r = runColocation(sim, sched, cappedOptions(0.7));
+    for (std::size_t s = 1; s < r.slices.size(); ++s) {
+        EXPECT_LT(r.slices[s].measurement.totalPower,
+                  0.7 * 150.0 * 1.12);
+    }
+}
+
+TEST(AsymmetricOracleTest, BeatsStatic5050AtRelaxedCaps)
+{
+    // The oracle can promote batch jobs to big cores; the static
+    // 50/50 chip cannot (its big cores are taken by the LC service).
+    const SystemParams params;
+    MulticoreSim oracle_sim(params, makeTestMix(0, 16, 5), 5);
+    MulticoreSim static_sim(params, makeTestMix(0, 16, 5), 5);
+    AsymmetricOracleScheduler oracle(oracle_sim);
+    StaticAsymmetricScheduler fixed(static_sim);
+    const RunResult r_oracle =
+        runColocation(oracle_sim, oracle, cappedOptions(0.9));
+    const RunResult r_static =
+        runColocation(static_sim, fixed, cappedOptions(0.9));
+    EXPECT_GT(r_oracle.totalBatchInstructions,
+              1.1 * r_static.totalBatchInstructions);
+}
+
+TEST(StaticAsymmetricTest, BatchAlwaysOnSmallCores)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 6);
+    StaticAsymmetricScheduler sched(sim);
+    const RunResult r = runColocation(sim, sched, cappedOptions(0.9));
+    for (const auto &config : r.slices.back().decision.batchConfigs)
+        EXPECT_EQ(config.core(), CoreConfig::narrowest());
+}
+
+TEST(StaticAsymmetricTest, MatchesOracleWhenNoBigCoreFits)
+{
+    // Section VIII-C: once the cap is tight enough that the oracle
+    // also runs every batch job on small cores, the two converge.
+    // Find such a cap by checking the oracle's own decisions.
+    const SystemParams params;
+    double cap = 0.55;
+    for (; cap > 0.25; cap -= 0.05) {
+        MulticoreSim probe_sim(params, makeTestMix(0, 16, 9), 7);
+        AsymmetricOracleScheduler probe(probe_sim);
+        const RunResult r =
+            runColocation(probe_sim, probe, cappedOptions(cap));
+        bool any_big = false;
+        for (const auto &c : r.slices.back().decision.batchConfigs)
+            any_big |= c.core() == CoreConfig::widest();
+        if (!any_big)
+            break;
+    }
+    ASSERT_GT(cap, 0.25) << "no cap forced the oracle all-small";
+
+    MulticoreSim oracle_sim(params, makeTestMix(0, 16, 9), 7);
+    MulticoreSim static_sim(params, makeTestMix(0, 16, 9), 7);
+    AsymmetricOracleScheduler oracle(oracle_sim);
+    StaticAsymmetricScheduler fixed(static_sim);
+    const RunResult r_oracle =
+        runColocation(oracle_sim, oracle, cappedOptions(cap));
+    const RunResult r_static =
+        runColocation(static_sim, fixed, cappedOptions(cap));
+    EXPECT_NEAR(r_oracle.totalBatchInstructions /
+                    r_static.totalBatchInstructions,
+                1.0, 0.12);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the core-level gating baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/core_gating.hh"
+#include "sim/driver.hh"
+#include "../sim/sim_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+DriverOptions
+cappedOptions(double cap_fraction, double max_power = 150.0)
+{
+    DriverOptions opts;
+    opts.durationSec = 0.5;
+    opts.loadPattern = LoadPattern::constant(0.5);
+    opts.powerPattern = LoadPattern::constant(cap_fraction);
+    opts.maxPowerW = max_power;
+    return opts;
+}
+
+TEST(CoreGatingTest, NamesEncodeVariant)
+{
+    const SystemParams params;
+    const WorkloadMix mix = makeTestMix();
+    EXPECT_EQ(CoreGatingScheduler(params, mix, false).name(),
+              "core-gating");
+    EXPECT_EQ(CoreGatingScheduler(params, mix, true).name(),
+              "core-gating+wp");
+    EXPECT_EQ(CoreGatingScheduler(params, mix, false,
+                                  GatingPolicy::AscendingBips)
+                  .name(),
+              "core-gating(asc-bips)");
+}
+
+TEST(CoreGatingTest, MeetsTightPowerBudgetByGating)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 1);
+    CoreGatingScheduler sched(params, sim.mix());
+    const RunResult result = runColocation(sim, sched,
+                                           cappedOptions(0.6));
+    // After the first (estimate-free) slice, power must track budget.
+    for (std::size_t s = 1; s < result.slices.size(); ++s) {
+        EXPECT_LT(result.slices[s].measurement.totalPower,
+                  0.6 * 150.0 * 1.10)
+            << "slice " << s;
+    }
+    // And some cores must actually be gated.
+    std::size_t gated = 0;
+    for (bool on : result.slices.back().decision.batchActive)
+        gated += on ? 0 : 1;
+    EXPECT_GT(gated, 0u);
+}
+
+TEST(CoreGatingTest, RelaxedBudgetKeepsAllCoresOn)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 2);
+    CoreGatingScheduler sched(params, sim.mix());
+    const RunResult result = runColocation(sim, sched,
+                                           cappedOptions(1.2));
+    for (bool on : result.slices.back().decision.batchActive)
+        EXPECT_TRUE(on);
+}
+
+TEST(CoreGatingTest, TighterBudgetGatesMoreCores)
+{
+    const SystemParams params;
+    auto gated_count = [&](double cap) {
+        MulticoreSim sim(params, makeTestMix(), 3);
+        CoreGatingScheduler sched(params, sim.mix());
+        const RunResult r = runColocation(sim, sched,
+                                          cappedOptions(cap));
+        std::size_t gated = 0;
+        for (bool on : r.slices.back().decision.batchActive)
+            gated += on ? 0 : 1;
+        return gated;
+    };
+    EXPECT_GT(gated_count(0.5), gated_count(0.8));
+}
+
+TEST(CoreGatingTest, CoresStayWideAndFixed)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 4);
+    CoreGatingScheduler sched(params, sim.mix());
+    const RunResult result = runColocation(sim, sched,
+                                           cappedOptions(0.7));
+    const auto &d = result.slices.back().decision;
+    EXPECT_FALSE(d.reconfigurable);
+    for (const auto &config : d.batchConfigs)
+        EXPECT_EQ(config.core(), CoreConfig::widest());
+}
+
+TEST(CoreGatingTest, DescendingPowerGatesHottestFirst)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 5);
+    CoreGatingScheduler sched(params, sim.mix());
+    // Prime with one slice so estimates exist, then force a cap that
+    // gates exactly some cores.
+    DriverOptions opts = cappedOptions(0.65);
+    const RunResult result = runColocation(sim, sched, opts);
+    const auto &slice = result.slices.back();
+    const auto &m_prev =
+        result.slices[result.slices.size() - 2].measurement;
+    // Every gated job should have had higher measured power than the
+    // cheapest surviving job (modulo the smallest-slack refinement,
+    // allow one exception).
+    double min_active = 1e9;
+    for (std::size_t j = 0; j < 16; ++j) {
+        if (slice.decision.batchActive[j] && m_prev.batchPower[j] > 0)
+            min_active = std::min(min_active, m_prev.batchPower[j]);
+    }
+    std::size_t exceptions = 0;
+    for (std::size_t j = 0; j < 16; ++j) {
+        if (!slice.decision.batchActive[j] &&
+            m_prev.batchPower[j] < min_active)
+            ++exceptions;
+    }
+    EXPECT_LE(exceptions, 1u);
+}
+
+TEST(CoreGatingTest, WayPartitioningAssignsValidRanks)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 6);
+    CoreGatingScheduler sched(params, sim.mix(), true);
+    const RunResult result = runColocation(sim, sched,
+                                           cappedOptions(0.7));
+    const auto &d = result.slices.back().decision;
+    double total_ways = d.lcConfig.cacheWays();
+    for (std::size_t j = 0; j < 16; ++j) {
+        if (d.batchActive[j])
+            total_ways += d.batchConfigs[j].cacheWays();
+    }
+    // Clamping to the {0.5,1,2,4} table keeps us under associativity.
+    EXPECT_LE(total_ways, static_cast<double>(params.llcWays));
+}
+
+TEST(CoreGatingTest, WayPartitioningHelpsThroughput)
+{
+    const SystemParams params;
+    MulticoreSim plain_sim(params, makeTestMix(0, 16, 77), 7);
+    MulticoreSim wp_sim(params, makeTestMix(0, 16, 77), 7);
+    CoreGatingScheduler plain(params, plain_sim.mix(), false);
+    CoreGatingScheduler wp(params, wp_sim.mix(), true);
+    const RunResult r_plain =
+        runColocation(plain_sim, plain, cappedOptions(0.7));
+    const RunResult r_wp =
+        runColocation(wp_sim, wp, cappedOptions(0.7));
+    // UCP partitions by marginal utility; it should not lose, and
+    // usually wins (Fig 5c shows +wp above plain gating).
+    EXPECT_GT(r_wp.totalBatchInstructions,
+              0.97 * r_plain.totalBatchInstructions);
+}
+
+TEST(CoreGatingTest, AllFourPoliciesProduceValidDecisions)
+{
+    const SystemParams params;
+    for (GatingPolicy policy : {GatingPolicy::DescendingPower,
+                                GatingPolicy::AscendingPower,
+                                GatingPolicy::AscendingBipsPerWatt,
+                                GatingPolicy::AscendingBips}) {
+        MulticoreSim sim(params, makeTestMix(), 8);
+        CoreGatingScheduler sched(params, sim.mix(), false, policy);
+        const RunResult r = runColocation(sim, sched,
+                                          cappedOptions(0.6));
+        EXPECT_EQ(r.slices.size(), 5u) << gatingPolicyName(policy);
+        EXPECT_GT(r.totalBatchInstructions, 0.0)
+            << gatingPolicyName(policy);
+    }
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the no-gating reference scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/no_gating.hh"
+#include "sim/driver.hh"
+#include "../sim/sim_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(NoGatingTest, RunsEverythingWideAndFixed)
+{
+    NoGatingScheduler sched(16);
+    SliceContext ctx;
+    const SliceDecision d = sched.decide(ctx);
+    EXPECT_FALSE(d.reconfigurable);
+    EXPECT_EQ(d.lcCores, 16u);
+    EXPECT_EQ(d.lcConfig.core(), CoreConfig::widest());
+    ASSERT_EQ(d.batchConfigs.size(), 16u);
+    for (std::size_t j = 0; j < 16; ++j) {
+        EXPECT_EQ(d.batchConfigs[j].core(), CoreConfig::widest());
+        EXPECT_TRUE(d.batchActive[j]);
+    }
+    EXPECT_FALSE(sched.wantsProfiling());
+    EXPECT_FALSE(sched.usesReconfigurableCores());
+}
+
+TEST(NoGatingTest, IgnoresPowerBudget)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 1);
+    NoGatingScheduler sched(16);
+    DriverOptions opts;
+    opts.durationSec = 0.3;
+    opts.maxPowerW = 150.0;
+    opts.powerPattern = LoadPattern::constant(0.3); // tiny budget
+    const RunResult result = runColocation(sim, sched, opts);
+    // It simply blows the budget: that is the point of the reference.
+    EXPECT_GT(result.meanPowerW, 0.3 * 150.0);
+    EXPECT_EQ(result.slices.size(), 3u);
+}
+
+TEST(NoGatingTest, UnpartitionedRanks)
+{
+    EXPECT_DOUBLE_EQ(kCacheAllocWays[unpartitionedBatchRank()], 1.0);
+    EXPECT_DOUBLE_EQ(kCacheAllocWays[unpartitionedLcRank()], 4.0);
+}
+
+} // namespace
+} // namespace cuttlesys

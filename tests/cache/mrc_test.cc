@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the miss-ratio-curve model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/gallery.hh"
+#include "cache/mrc.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace {
+
+AppProfile
+sampleApp()
+{
+    AppProfile p;
+    p.apki = 20.0;
+    p.mrCeil = 0.8;
+    p.mrFloor = 0.2;
+    p.mrLambda = 2.0;
+    return p;
+}
+
+TEST(MrcTest, ZeroWaysGivesCeiling)
+{
+    const AppProfile p = sampleApp();
+    EXPECT_DOUBLE_EQ(missRatio(p, 0.0), 0.8);
+}
+
+TEST(MrcTest, ManyWaysApproachFloor)
+{
+    const AppProfile p = sampleApp();
+    EXPECT_NEAR(missRatio(p, 64.0), 0.2, 1e-6);
+}
+
+TEST(MrcTest, LambdaIsTheHalvingScale)
+{
+    const AppProfile p = sampleApp();
+    // At exactly lambda ways, the excess over the floor has halved.
+    EXPECT_DOUBLE_EQ(missRatio(p, 2.0), 0.2 + 0.6 * 0.5);
+    EXPECT_DOUBLE_EQ(missRatio(p, 4.0), 0.2 + 0.6 * 0.25);
+}
+
+TEST(MrcTest, MonotoneNonIncreasingInWays)
+{
+    for (const auto &app : specGallery()) {
+        double prev = missRatio(app, 0.0);
+        for (double w = 0.5; w <= 32.0; w += 0.5) {
+            const double cur = missRatio(app, w);
+            EXPECT_LE(cur, prev + 1e-12) << app.name << " at " << w;
+            prev = cur;
+        }
+    }
+}
+
+TEST(MrcTest, BoundedByFloorAndCeil)
+{
+    for (const auto &app : specGallery()) {
+        for (double w : {0.0, 0.5, 1.0, 2.0, 4.0, 32.0}) {
+            const double mr = missRatio(app, w);
+            EXPECT_GE(mr, app.mrFloor - 1e-12) << app.name;
+            EXPECT_LE(mr, app.mrCeil + 1e-12) << app.name;
+        }
+    }
+}
+
+TEST(MrcTest, NegativeWaysPanics)
+{
+    EXPECT_THROW(missRatio(sampleApp(), -1.0), PanicError);
+}
+
+TEST(MrcTest, MpkiScalesWithApki)
+{
+    AppProfile p = sampleApp();
+    const double base = mpki(p, 2.0);
+    p.apki *= 2.0;
+    EXPECT_DOUBLE_EQ(mpki(p, 2.0), 2.0 * base);
+}
+
+TEST(MrcTest, MarginalUtilityIsNonNegativeAndDecreasing)
+{
+    const AppProfile p = sampleApp();
+    const auto utility = marginalHitUtility(p, 16);
+    ASSERT_EQ(utility.size(), 16u);
+    for (std::size_t w = 0; w < utility.size(); ++w) {
+        EXPECT_GE(utility[w], 0.0);
+        if (w > 0) {
+            EXPECT_LE(utility[w], utility[w - 1] + 1e-12)
+                << "convexity violated at way " << w;
+        }
+    }
+}
+
+TEST(MrcTest, MarginalUtilitySumsToTotalGain)
+{
+    const AppProfile p = sampleApp();
+    const auto utility = marginalHitUtility(p, 16);
+    double sum = 0.0;
+    for (double u : utility)
+        sum += u;
+    EXPECT_NEAR(sum, mpki(p, 0.0) - mpki(p, 16.0), 1e-9);
+}
+
+} // namespace
+} // namespace cuttlesys

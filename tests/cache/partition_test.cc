@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for way-partition bookkeeping and UCP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/gallery.hh"
+#include "cache/mrc.hh"
+#include "cache/partition.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(WayPartitionTest, TotalsAndFits)
+{
+    WayPartition p;
+    p.allocation = {1.0, 2.0, 0.5, 4.0};
+    EXPECT_DOUBLE_EQ(p.totalWays(), 7.5);
+    EXPECT_TRUE(p.fits(8.0));
+    EXPECT_TRUE(p.fits(7.5));
+    EXPECT_FALSE(p.fits(7.0));
+}
+
+TEST(WayPartitionTest, RealizableAcceptsHalfWays)
+{
+    WayPartition p;
+    p.allocation = {0.5, 0.5, 1.0, 2.0};
+    EXPECT_TRUE(realizable(p, 32.0));
+}
+
+TEST(WayPartitionTest, RealizableRejectsOddFractions)
+{
+    WayPartition p;
+    p.allocation = {0.25, 1.0};
+    EXPECT_FALSE(realizable(p, 32.0));
+}
+
+TEST(WayPartitionTest, RealizableRejectsNegative)
+{
+    WayPartition p;
+    p.allocation = {-1.0, 2.0};
+    EXPECT_FALSE(realizable(p, 32.0));
+}
+
+TEST(WayPartitionTest, RealizableRejectsOverCapacity)
+{
+    WayPartition p;
+    p.allocation = {20.0, 20.0};
+    EXPECT_FALSE(realizable(p, 32.0));
+}
+
+TEST(UcpTest, UsesFullCapacity)
+{
+    auto gallery = specGallery();
+    const std::vector<AppProfile> apps(gallery.begin(),
+                                       gallery.begin() + 8);
+    const WayPartition p = ucpPartition(apps, 32);
+    EXPECT_DOUBLE_EQ(p.totalWays(), 32.0);
+    for (double w : p.allocation)
+        EXPECT_GE(w, 1.0);
+}
+
+TEST(UcpTest, EmptyAppsGiveEmptyPartition)
+{
+    const WayPartition p = ucpPartition({}, 32);
+    EXPECT_TRUE(p.allocation.empty());
+}
+
+TEST(UcpTest, RejectsInfeasibleMinimum)
+{
+    const auto apps = specGallery(); // 28 apps
+    EXPECT_THROW(ucpPartition(apps, 16, 1), PanicError);
+}
+
+TEST(UcpTest, CacheHungryAppGetsMoreWays)
+{
+    // mcf (steep, tall MRC) should out-earn povray (flat MRC).
+    std::vector<AppProfile> apps = {profileByName("mcf"),
+                                    profileByName("povray")};
+    const WayPartition p = ucpPartition(apps, 16);
+    EXPECT_GT(p.allocation[0], p.allocation[1]);
+}
+
+TEST(UcpTest, GreedyMatchesExhaustiveOnTwoApps)
+{
+    // For two apps and convex curves, compare against brute force.
+    std::vector<AppProfile> apps = {profileByName("soplex"),
+                                    profileByName("gcc")};
+    const std::size_t capacity = 12;
+    const WayPartition greedy = ucpPartition(apps, capacity);
+
+    double best_hits = -1.0;
+    std::size_t best_w0 = 0;
+    for (std::size_t w0 = 1; w0 + 1 <= capacity - 1; ++w0) {
+        const std::size_t w1 = capacity - w0;
+        const double hits =
+            (mpki(apps[0], 0) - mpki(apps[0], w0)) +
+            (mpki(apps[1], 0) - mpki(apps[1], w1));
+        if (hits > best_hits) {
+            best_hits = hits;
+            best_w0 = w0;
+        }
+    }
+    EXPECT_DOUBLE_EQ(greedy.allocation[0],
+                     static_cast<double>(best_w0));
+}
+
+TEST(UcpTest, DeterministicOutput)
+{
+    auto gallery = specGallery();
+    const std::vector<AppProfile> apps(gallery.begin(),
+                                       gallery.begin() + 6);
+    const WayPartition a = ucpPartition(apps, 32);
+    const WayPartition b = ucpPartition(apps, 32);
+    EXPECT_EQ(a.allocation, b.allocation);
+}
+
+} // namespace
+} // namespace cuttlesys

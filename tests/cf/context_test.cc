@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for row-context-aware reconstruction (the utilization side
+ * channel that disambiguates tail-latency rows at different loads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/engine.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+namespace {
+
+/**
+ * Synthetic tail-latency-like table: rows are (app, load) pairs where
+ * the anchor column is nearly load-invariant but the remaining
+ * columns explode with load — the structure that makes context
+ * necessary.
+ */
+struct LoadFixture
+{
+    static constexpr std::size_t kCols = 24;
+    static constexpr std::size_t kAnchor = 0;
+
+    Matrix table{6, kCols};
+    std::vector<double> context;
+
+    LoadFixture()
+    {
+        // Two apps x three loads {0.2, 0.5, 0.8}.
+        const double loads[] = {0.2, 0.5, 0.8};
+        std::size_t row = 0;
+        for (int app = 0; app < 2; ++app) {
+            for (double load : loads) {
+                for (std::size_t c = 0; c < kCols; ++c)
+                    table(row, c) = value(app, load, c);
+                context.push_back(load);
+                ++row;
+            }
+        }
+    }
+
+    static double
+    value(int app, double load, std::size_t c)
+    {
+        // Anchor: ~load-invariant; other columns blow up with load,
+        // faster for "weaker" configurations (larger c), with an
+        // app-specific shape.
+        const double base = 0.002 * (1.0 + 0.1 * app);
+        if (c == kAnchor)
+            return base * (1.0 + 0.2 * load);
+        const double weakness =
+            static_cast<double>(c) / kCols * (1.0 + 0.3 * app);
+        return base * (1.0 + weakness * 60.0 *
+                                 std::pow(load, 3.0));
+    }
+};
+
+TEST(ContextTest, ContextDisambiguatesLoadLevel)
+{
+    const LoadFixture f;
+    SgdOptions options;
+    options.logTransform = true;
+
+    // Live row: app 0 at load 0.75, one anchor observation. Without
+    // context the anchor cannot tell 0.2 from 0.8; with context the
+    // prediction must track the high-load rows.
+    auto run = [&](bool with_context) {
+        CfEngine engine(f.table, 1, LoadFixture::kCols, options);
+        if (with_context) {
+            engine.setTrainingContext(f.context);
+            engine.setJobContext(0, 0.75);
+        }
+        engine.observe(0, LoadFixture::kAnchor,
+                       LoadFixture::value(0, 0.75,
+                                          LoadFixture::kAnchor));
+        const Matrix pred = engine.predict();
+        double err = 0.0;
+        for (std::size_t c = 1; c < LoadFixture::kCols; ++c) {
+            const double truth = LoadFixture::value(0, 0.75, c);
+            err += std::abs(std::log(pred(0, c) / truth));
+        }
+        return err / (LoadFixture::kCols - 1);
+    };
+
+    const double err_with = run(true);
+    const double err_without = run(false);
+    EXPECT_LT(err_with, 0.6) << "mean |log error| with context";
+    EXPECT_LT(err_with, 0.5 * err_without)
+        << "context must cut the log error substantially";
+}
+
+TEST(ContextTest, ContextValidatesLength)
+{
+    const LoadFixture f;
+    CfEngine engine(f.table, 1, LoadFixture::kCols);
+    EXPECT_THROW(engine.setTrainingContext({1.0, 2.0}), PanicError);
+    EXPECT_THROW(engine.setJobContext(1, 0.5), PanicError);
+}
+
+TEST(ContextTest, JobContextWithoutTrainingContextIsAccepted)
+{
+    const LoadFixture f;
+    CfEngine engine(f.table, 1, LoadFixture::kCols);
+    engine.setJobContext(0, 0.5);
+    engine.observe(0, 0, 0.002);
+    EXPECT_NO_THROW(engine.predict());
+}
+
+TEST(ContextTest, NegativeContextMeansUnknownAndIsIgnored)
+{
+    const LoadFixture f;
+    SgdOptions options;
+    options.logTransform = true;
+
+    // Training context present but live context unset (-1 default):
+    // must behave like the no-context case, not crash or skew.
+    CfEngine engine(f.table, 1, LoadFixture::kCols, options);
+    engine.setTrainingContext(f.context);
+    engine.observe(0, LoadFixture::kAnchor, 0.002);
+    const Matrix pred = engine.predict();
+    for (std::size_t c = 0; c < LoadFixture::kCols; ++c)
+        EXPECT_GE(pred(0, c), 0.0);
+}
+
+TEST(ContextTest, ReconstructRejectsWrongContextLength)
+{
+    RatingMatrix ratings(3, 4);
+    ratings.set(0, 0, 1.0);
+    std::vector<double> bad_context = {0.1, 0.2};
+    EXPECT_THROW(reconstruct(ratings, {}, &bad_context), PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

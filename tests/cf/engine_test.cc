@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the runtime-facing reconstruction engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/engine.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+namespace {
+
+Matrix
+lowRankTraining(std::size_t rows, std::size_t cols, std::size_t rank,
+                Rng &rng)
+{
+    const Matrix a = Matrix::random(rows, rank, rng, 0.2, 1.0);
+    const Matrix b = Matrix::random(rank, cols, rng, 0.2, 1.0);
+    return a.multiply(b);
+}
+
+TEST(CfEngineTest, ObservedCellsPassThrough)
+{
+    Rng rng(1);
+    const Matrix training = lowRankTraining(8, 12, 3, rng);
+    CfEngine engine(training, 2, 12);
+    engine.observe(0, 3, 42.0);
+    engine.observe(1, 5, 7.0);
+    const Matrix pred = engine.predict();
+    EXPECT_DOUBLE_EQ(pred(0, 3), 42.0);
+    EXPECT_DOUBLE_EQ(pred(1, 5), 7.0);
+}
+
+TEST(CfEngineTest, PredictsHeldOutCellsFromStructure)
+{
+    Rng rng(2);
+    const std::size_t cols = 24;
+    const Matrix all = lowRankTraining(12, cols, 3, rng);
+    // Rows 0..9 are training; rows 10, 11 are live jobs.
+    Matrix training(10, cols);
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            training(r, c) = all(r, c);
+
+    CfEngine engine(training, 2, cols);
+    engine.options().rank = 6;
+    for (std::size_t c = 0; c < cols; c += 4) {
+        engine.observe(0, c, all(10, c));
+        engine.observe(1, c, all(11, c));
+    }
+    const Matrix pred = engine.predict();
+    double err = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = 0; j < 2; ++j) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c % 4 == 0)
+                continue;
+            err += std::abs(pred(j, c) - all(10 + j, c)) /
+                   all(10 + j, c);
+            ++n;
+        }
+    }
+    EXPECT_LT(err / n, 0.15);
+}
+
+TEST(CfEngineTest, ObservationBookkeeping)
+{
+    Rng rng(3);
+    const Matrix training = lowRankTraining(4, 8, 2, rng);
+    CfEngine engine(training, 3, 8);
+    EXPECT_EQ(engine.numJobs(), 3u);
+    EXPECT_EQ(engine.cols(), 8u);
+    EXPECT_EQ(engine.observationsForJob(0), 0u);
+    engine.observe(0, 1, 1.0);
+    engine.observe(0, 2, 2.0);
+    EXPECT_EQ(engine.observationsForJob(0), 2u);
+    engine.clearJob(0);
+    EXPECT_EQ(engine.observationsForJob(0), 0u);
+}
+
+TEST(CfEngineTest, WorksWithoutTrainingRows)
+{
+    CfEngine engine(Matrix(), 2, 10);
+    engine.observe(0, 0, 5.0);
+    const Matrix pred = engine.predict();
+    EXPECT_DOUBLE_EQ(pred(0, 0), 5.0);
+    EXPECT_GE(pred(1, 4), 0.0);
+}
+
+TEST(CfEngineTest, InvalidUsePanics)
+{
+    Rng rng(4);
+    const Matrix training = lowRankTraining(2, 6, 2, rng);
+    EXPECT_THROW(CfEngine(training, 0, 6), PanicError);
+    EXPECT_THROW(CfEngine(training, 1, 7), PanicError);
+    CfEngine engine(training, 1, 6);
+    EXPECT_THROW(engine.observe(1, 0, 1.0), PanicError);
+    EXPECT_THROW(engine.clearJob(2), PanicError);
+}
+
+TEST(CfEngineTest, LastIterationsUpdatedByPredict)
+{
+    Rng rng(5);
+    const Matrix training = lowRankTraining(6, 10, 2, rng);
+    CfEngine engine(training, 1, 10);
+    engine.observe(0, 0, training(0, 0));
+    EXPECT_EQ(engine.lastIterations(), 0u);
+    engine.predict();
+    EXPECT_GE(engine.lastIterations(), 1u);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the sparse rating matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/rating_matrix.hh"
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(RatingMatrixTest, StartsEmpty)
+{
+    RatingMatrix r(3, 4);
+    EXPECT_EQ(r.rows(), 3u);
+    EXPECT_EQ(r.cols(), 4u);
+    EXPECT_EQ(r.observedCount(), 0u);
+    EXPECT_FALSE(r.observed(0, 0));
+}
+
+TEST(RatingMatrixTest, SetAndRead)
+{
+    RatingMatrix r(2, 2);
+    r.set(1, 0, 3.5);
+    EXPECT_TRUE(r.observed(1, 0));
+    EXPECT_DOUBLE_EQ(r.value(1, 0), 3.5);
+    EXPECT_EQ(r.observedCount(), 1u);
+    EXPECT_EQ(r.observedInRow(1), 1u);
+    EXPECT_EQ(r.observedInRow(0), 0u);
+}
+
+TEST(RatingMatrixTest, OverwriteDoesNotDoubleCount)
+{
+    RatingMatrix r(2, 2);
+    r.set(0, 0, 1.0);
+    r.set(0, 0, 2.0);
+    EXPECT_EQ(r.observedCount(), 1u);
+    EXPECT_DOUBLE_EQ(r.value(0, 0), 2.0);
+}
+
+TEST(RatingMatrixTest, ReadingUnobservedPanics)
+{
+    RatingMatrix r(2, 2);
+    EXPECT_THROW(r.value(0, 0), PanicError);
+}
+
+TEST(RatingMatrixTest, NonFiniteValuePanics)
+{
+    RatingMatrix r(2, 2);
+    EXPECT_THROW(r.set(0, 0, std::nan("")), PanicError);
+    EXPECT_THROW(r.set(0, 0, INFINITY), PanicError);
+}
+
+TEST(RatingMatrixTest, ClearSingleCell)
+{
+    RatingMatrix r(2, 2);
+    r.set(0, 1, 4.0);
+    r.clear(0, 1);
+    EXPECT_FALSE(r.observed(0, 1));
+    EXPECT_EQ(r.observedCount(), 0u);
+    r.clear(0, 1); // idempotent
+    EXPECT_EQ(r.observedCount(), 0u);
+}
+
+TEST(RatingMatrixTest, ClearRow)
+{
+    RatingMatrix r(2, 3);
+    r.set(0, 0, 1.0);
+    r.set(0, 2, 2.0);
+    r.set(1, 1, 3.0);
+    r.clearRow(0);
+    EXPECT_EQ(r.observedInRow(0), 0u);
+    EXPECT_EQ(r.observedInRow(1), 1u);
+}
+
+TEST(RatingMatrixTest, SetRowFillsEverything)
+{
+    RatingMatrix r(2, 3);
+    r.setRow(1, {1.0, 2.0, 3.0});
+    EXPECT_EQ(r.observedInRow(1), 3u);
+    EXPECT_DOUBLE_EQ(r.value(1, 2), 3.0);
+    EXPECT_THROW(r.setRow(0, {1.0}), PanicError);
+}
+
+TEST(RatingMatrixTest, ObservedCellsInRowMajorOrder)
+{
+    RatingMatrix r(2, 3);
+    r.set(1, 0, 1.0);
+    r.set(0, 2, 2.0);
+    const auto cells = r.observedCells();
+    ASSERT_EQ(cells.size(), 2u);
+    const std::pair<std::size_t, std::size_t> first{0, 2};
+    const std::pair<std::size_t, std::size_t> second{1, 0};
+    EXPECT_EQ(cells[0], first);
+    EXPECT_EQ(cells[1], second);
+}
+
+TEST(RatingMatrixTest, RowScalesUseMeanAbsObserved)
+{
+    RatingMatrix r(3, 4);
+    r.set(0, 0, 2.0);
+    r.set(0, 1, 4.0);
+    // Row 1 unobserved; row 2 has tiny values.
+    r.set(2, 0, 1e-15);
+    const auto scales = r.rowScales(7.0);
+    EXPECT_DOUBLE_EQ(scales[0], 3.0);
+    EXPECT_DOUBLE_EQ(scales[1], 7.0); // fallback
+    EXPECT_DOUBLE_EQ(scales[2], 7.0); // degenerate -> fallback
+}
+
+TEST(RatingMatrixTest, EmptyDimensionsPanics)
+{
+    EXPECT_THROW(RatingMatrix(0, 3), PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input ", 42), FatalError);
+}
+
+TEST(LoggingTest, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug ", 1, " of ", 2), PanicError);
+}
+
+TEST(LoggingTest, ErrorMessagesCarryConcatenatedArgs)
+{
+    try {
+        fatal("value=", 7, " name=", "x");
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()), "value=7 name=x");
+    }
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(CS_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(LoggingTest, AssertThrowsOnFalseWithLocation)
+{
+    try {
+        CS_ASSERT(false, "the detail");
+        FAIL() << "CS_ASSERT must throw";
+    } catch (const PanicError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("false"), std::string::npos);
+        EXPECT_NE(msg.find("the detail"), std::string::npos);
+        EXPECT_NE(msg.find("logging_test.cc"), std::string::npos);
+    }
+}
+
+TEST(LoggingTest, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Inform), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Fatal), "fatal");
+    EXPECT_STREQ(logLevelName(LogLevel::Panic), "panic");
+}
+
+TEST(LoggingTest, InformToggle)
+{
+    setInformEnabled(false);
+    EXPECT_FALSE(informEnabled());
+    setInformEnabled(true);
+    EXPECT_TRUE(informEnabled());
+}
+
+TEST(LoggingTest, WarnDoesNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning"));
+    EXPECT_NO_THROW(inform("just info"));
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the 27-point core configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "config/core_config.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(CoreConfigTest, DefaultIsWidest)
+{
+    const CoreConfig c;
+    EXPECT_EQ(c, CoreConfig::widest());
+    EXPECT_EQ(c.frontEnd(), 6);
+    EXPECT_EQ(c.backEnd(), 6);
+    EXPECT_EQ(c.loadStore(), 6);
+}
+
+TEST(CoreConfigTest, RejectsIllegalWidths)
+{
+    EXPECT_THROW(CoreConfig(3, 2, 2), FatalError);
+    EXPECT_THROW(CoreConfig(2, 0, 2), FatalError);
+    EXPECT_THROW(CoreConfig(2, 2, 8), FatalError);
+}
+
+TEST(CoreConfigTest, IndexRoundTripsAllConfigs)
+{
+    std::set<std::size_t> seen;
+    for (std::size_t i = 0; i < kNumCoreConfigs; ++i) {
+        const CoreConfig c = CoreConfig::fromIndex(i);
+        EXPECT_EQ(c.index(), i);
+        seen.insert(c.index());
+    }
+    EXPECT_EQ(seen.size(), kNumCoreConfigs);
+}
+
+TEST(CoreConfigTest, IndexOrderingEndpoints)
+{
+    EXPECT_EQ(CoreConfig::fromIndex(0), CoreConfig::narrowest());
+    EXPECT_EQ(CoreConfig::fromIndex(kNumCoreConfigs - 1),
+              CoreConfig::widest());
+}
+
+TEST(CoreConfigTest, FromIndexOutOfRangePanics)
+{
+    EXPECT_THROW(CoreConfig::fromIndex(kNumCoreConfigs), PanicError);
+}
+
+TEST(CoreConfigTest, SectionAccessor)
+{
+    const CoreConfig c(6, 4, 2);
+    EXPECT_EQ(c.width(Section::FrontEnd), 6);
+    EXPECT_EQ(c.width(Section::BackEnd), 4);
+    EXPECT_EQ(c.width(Section::LoadStore), 2);
+    EXPECT_EQ(c.totalWidth(), 12);
+}
+
+TEST(CoreConfigTest, Dominates)
+{
+    EXPECT_TRUE(CoreConfig::widest().dominates(CoreConfig::narrowest()));
+    EXPECT_TRUE(CoreConfig(6, 4, 4).dominates(CoreConfig(4, 4, 2)));
+    EXPECT_FALSE(CoreConfig(6, 2, 6).dominates(CoreConfig(2, 4, 2)));
+    EXPECT_TRUE(CoreConfig(4, 4, 4).dominates(CoreConfig(4, 4, 4)));
+}
+
+TEST(CoreConfigTest, ToStringMatchesPaperNotation)
+{
+    EXPECT_EQ(CoreConfig(6, 2, 4).toString(), "{6,2,4}");
+}
+
+TEST(CoreConfigTest, WidthRank)
+{
+    EXPECT_EQ(widthRank(2), 0u);
+    EXPECT_EQ(widthRank(4), 1u);
+    EXPECT_EQ(widthRank(6), 2u);
+    EXPECT_THROW(widthRank(5), FatalError);
+}
+
+/** Property sweep: index encoding is consistent with digit order. */
+class CoreConfigIndexTest
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(CoreConfigIndexTest, WiderConfigsHaveHigherIndexPerSection)
+{
+    const std::size_t i = GetParam();
+    const CoreConfig c = CoreConfig::fromIndex(i);
+    // Bumping any single section's width strictly increases the index.
+    for (const Section s : {Section::FrontEnd, Section::BackEnd,
+                            Section::LoadStore}) {
+        if (c.width(s) == 6)
+            continue;
+        const int wider = c.width(s) == 2 ? 4 : 6;
+        const CoreConfig bumped(
+            s == Section::FrontEnd ? wider : c.frontEnd(),
+            s == Section::BackEnd ? wider : c.backEnd(),
+            s == Section::LoadStore ? wider : c.loadStore());
+        EXPECT_GT(bumped.index(), c.index());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, CoreConfigIndexTest,
+                         ::testing::Range<std::size_t>(
+                             0, kNumCoreConfigs));
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the joint (core, cache) configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "config/job_config.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(JobConfigTest, SpaceSizeIs108)
+{
+    EXPECT_EQ(kNumJobConfigs, 108u);
+    EXPECT_EQ(kNumCacheAllocs, 4u);
+}
+
+TEST(JobConfigTest, DefaultIsWidestWithMaxCache)
+{
+    const JobConfig c;
+    EXPECT_EQ(c.core(), CoreConfig::widest());
+    EXPECT_DOUBLE_EQ(c.cacheWays(), 4.0);
+}
+
+TEST(JobConfigTest, CacheAllocTable)
+{
+    EXPECT_DOUBLE_EQ(kCacheAllocWays[0], 0.5);
+    EXPECT_DOUBLE_EQ(kCacheAllocWays[1], 1.0);
+    EXPECT_DOUBLE_EQ(kCacheAllocWays[2], 2.0);
+    EXPECT_DOUBLE_EQ(kCacheAllocWays[3], 4.0);
+}
+
+TEST(JobConfigTest, IndexRoundTripsAllConfigs)
+{
+    std::set<std::size_t> seen;
+    for (std::size_t i = 0; i < kNumJobConfigs; ++i) {
+        const JobConfig c = JobConfig::fromIndex(i);
+        EXPECT_EQ(c.index(), i);
+        seen.insert(i);
+    }
+    EXPECT_EQ(seen.size(), kNumJobConfigs);
+}
+
+TEST(JobConfigTest, IndexInterleavingMatchesSpec)
+{
+    // jointIndex = coreIndex * 4 + cacheRank.
+    const JobConfig c(CoreConfig(4, 2, 6), 2);
+    EXPECT_EQ(c.index(), CoreConfig(4, 2, 6).index() * 4 + 2);
+}
+
+TEST(JobConfigTest, RejectsBadCacheRank)
+{
+    EXPECT_THROW(JobConfig(CoreConfig::widest(), 4), PanicError);
+}
+
+TEST(JobConfigTest, FromIndexOutOfRangePanics)
+{
+    EXPECT_THROW(JobConfig::fromIndex(kNumJobConfigs), PanicError);
+}
+
+TEST(JobConfigTest, ToStringIncludesWays)
+{
+    const JobConfig c(CoreConfig(6, 2, 4), 1);
+    EXPECT_EQ(c.toString(), "{6,2,4}/1w");
+}
+
+TEST(JobConfigTest, EqualityComparesBothParts)
+{
+    const JobConfig a(CoreConfig(4, 4, 4), 1);
+    const JobConfig b(CoreConfig(4, 4, 4), 2);
+    const JobConfig c(CoreConfig(4, 4, 2), 1);
+    EXPECT_EQ(a, a);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+}
+
+} // namespace
+} // namespace cuttlesys

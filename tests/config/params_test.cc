@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the Table I system parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/params.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(ParamsTest, DefaultsMatchTableI)
+{
+    const SystemParams p;
+    EXPECT_EQ(p.numCores, 32u);
+    EXPECT_EQ(p.llcWays, 32u);
+    EXPECT_DOUBLE_EQ(p.llcSizeMB, 64.0);
+    EXPECT_EQ(p.llcLatencyCycles, 20);
+    EXPECT_EQ(p.dramLatencyCycles, 200);
+    EXPECT_EQ(p.robEntries, 144);
+    EXPECT_EQ(p.intRegisters, 192);
+    EXPECT_EQ(p.fpRegisters, 144);
+    EXPECT_EQ(p.issueQueueEntries, 48);
+    EXPECT_DOUBLE_EQ(p.frequencyGHz, 4.0);
+    EXPECT_DOUBLE_EQ(p.vdd, 0.8);
+    EXPECT_EQ(p.technologyNm, 22);
+}
+
+TEST(ParamsTest, ReconfigurationOverheadsMatchSectionVII)
+{
+    const SystemParams p;
+    EXPECT_DOUBLE_EQ(p.reconfigFreqPenalty, 0.0167);
+    EXPECT_DOUBLE_EQ(p.reconfigEnergyPenalty, 0.18);
+    EXPECT_DOUBLE_EQ(p.reconfigAreaPenalty, 0.19);
+}
+
+TEST(ParamsTest, RuntimeTimingDefaults)
+{
+    const SystemParams p;
+    EXPECT_DOUBLE_EQ(p.timesliceSec, 0.100);
+    EXPECT_DOUBLE_EQ(p.sampleSec, 0.001);
+    EXPECT_EQ(p.numProfilingSamples, 2u);
+    EXPECT_DOUBLE_EQ(p.qosSlack, 0.20);
+}
+
+TEST(ParamsTest, WaysPerCore)
+{
+    SystemParams p;
+    EXPECT_DOUBLE_EQ(p.waysPerCore(), 1.0);
+    p.numCores = 16;
+    EXPECT_DOUBLE_EQ(p.waysPerCore(), 2.0);
+}
+
+TEST(ParamsTest, ToStringMentionsKeyParameters)
+{
+    const std::string s = SystemParams().toString();
+    EXPECT_NE(s.find("32"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_NE(s.find("Table I"), std::string::npos);
+}
+
+} // namespace
+} // namespace cuttlesys

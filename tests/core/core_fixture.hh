@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared fixture for CuttleSys runtime tests: training tables built
+ * once per test binary (offline characterization is expensive).
+ */
+
+#ifndef CUTTLESYS_TESTS_CORE_FIXTURE_HH
+#define CUTTLESYS_TESTS_CORE_FIXTURE_HH
+
+#include "core/training.hh"
+#include "../sim/sim_fixture.hh"
+
+namespace cuttlesys {
+
+/**
+ * Training tables: batch rows from the canonical 16-app train split;
+ * latency rows from all five TailBench services at a load grid (the
+ * runtime has seen every service before, but never at the load the
+ * experiments drive — Section V's recommender analogy).
+ */
+inline const TrainingTables &
+testTrainingTables(std::size_t = 0)
+{
+    static const TrainingTables tables = [] {
+        TrainingOptions opts;
+        opts.latencyLoads = {0.25, 0.55, 0.85};
+        SystemParams params;
+        return buildTrainingTables(splitSpecGallery().train,
+                                   calibratedTailbench(), params,
+                                   opts);
+    }();
+    return tables;
+}
+
+/** CuttleSys options tuned for test speed (fewer SGD iterations). */
+inline CuttleSysOptions
+fastCuttleSysOptions()
+{
+    CuttleSysOptions options;
+    options.sgdBips.maxIterations = 40;
+    options.sgdPower.maxIterations = 40;
+    options.sgdLatency.maxIterations = 40;
+    options.dds.maxIterations = 25;
+    options.dds.threads = 4;
+    return options;
+}
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_TESTS_CORE_FIXTURE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the 3MM3/L9 sampling design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "flicker/design3mm3.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(Design3mm3Test, NineDistinctConfigs)
+{
+    const auto design = design3mm3();
+    ASSERT_EQ(design.size(), 9u);
+    std::set<std::size_t> indices;
+    for (const auto &config : design)
+        indices.insert(config.index());
+    EXPECT_EQ(indices.size(), 9u);
+}
+
+TEST(Design3mm3Test, EveryLevelAppearsThreeTimesPerFactor)
+{
+    const auto design = design3mm3();
+    for (const Section section : {Section::FrontEnd, Section::BackEnd,
+                                  Section::LoadStore}) {
+        std::map<int, int> counts;
+        for (const auto &config : design)
+            ++counts[config.width(section)];
+        EXPECT_EQ(counts[2], 3);
+        EXPECT_EQ(counts[4], 3);
+        EXPECT_EQ(counts[6], 3);
+    }
+}
+
+TEST(Design3mm3Test, PairwiseColumnsAreFullFactorial)
+{
+    // Orthogonality: every (FE, BE), (FE, LS), (BE, LS) pair covers
+    // all nine level combinations exactly once.
+    const auto design = design3mm3();
+    auto check_pair = [&](Section a, Section b) {
+        std::set<std::pair<int, int>> combos;
+        for (const auto &config : design)
+            combos.insert({config.width(a), config.width(b)});
+        EXPECT_EQ(combos.size(), 9u);
+    };
+    check_pair(Section::FrontEnd, Section::BackEnd);
+    check_pair(Section::FrontEnd, Section::LoadStore);
+    check_pair(Section::BackEnd, Section::LoadStore);
+}
+
+TEST(Design3mm3Test, IndicesMatchConfigs)
+{
+    const auto design = design3mm3();
+    const auto indices = design3mm3Indices();
+    ASSERT_EQ(indices.size(), design.size());
+    for (std::size_t i = 0; i < design.size(); ++i)
+        EXPECT_EQ(indices[i], design[i].index());
+}
+
+TEST(Design3mm3Test, CoversExtremes)
+{
+    const auto design = design3mm3();
+    bool has_narrowest = false;
+    for (const auto &config : design)
+        has_narrowest |= config == CoreConfig::narrowest();
+    EXPECT_TRUE(has_narrowest);
+}
+
+} // namespace
+} // namespace cuttlesys

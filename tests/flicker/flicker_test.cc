@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Flicker baseline runtime (Section VIII-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "flicker/flicker.hh"
+#include "../sim/sim_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+DriverOptions
+options()
+{
+    DriverOptions opts;
+    opts.durationSec = 0.5;
+    opts.loadPattern = LoadPattern::constant(0.8);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = 150.0;
+    return opts;
+}
+
+TEST(FlickerTest, SamplePeriodsMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(flickerSampleSec(FlickerMethod::ManageAll), 0.010);
+    EXPECT_DOUBLE_EQ(flickerSampleSec(FlickerMethod::BatchOnly), 0.001);
+}
+
+TEST(FlickerTest, BatchOnlyRunsAndPinsLcWide)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 1);
+    FlickerOptions fopts;
+    fopts.method = FlickerMethod::BatchOnly;
+    const RunResult r = runFlicker(sim, options(), fopts);
+    EXPECT_EQ(r.slices.size(), 5u);
+    for (const auto &slice : r.slices)
+        EXPECT_EQ(slice.decision.lcConfig.core(), CoreConfig::widest());
+    EXPECT_GT(r.totalBatchInstructions, 0.0);
+    EXPECT_NEAR(sim.now(), 0.5, 1e-6);
+}
+
+TEST(FlickerTest, ManageAllViolatesQosWorseThanBatchOnly)
+{
+    // The paper's key observation: managing the LC service like a
+    // batch job wrecks its tail latency.
+    const SystemParams params;
+    MulticoreSim all_sim(params, makeTestMix(), 2);
+    MulticoreSim batch_sim(params, makeTestMix(), 2);
+    FlickerOptions all_opts, batch_opts;
+    all_opts.method = FlickerMethod::ManageAll;
+    batch_opts.method = FlickerMethod::BatchOnly;
+    const RunResult r_all = runFlicker(all_sim, options(), all_opts);
+    const RunResult r_batch =
+        runFlicker(batch_sim, options(), batch_opts);
+
+    double worst_all = 0.0, worst_batch = 0.0;
+    const double qos = all_sim.mix().lc.qosSeconds();
+    for (const auto &s : r_all.slices) {
+        worst_all = std::max(worst_all,
+                             s.measurement.lcTailLatency / qos);
+    }
+    for (const auto &s : r_batch.slices) {
+        worst_batch = std::max(worst_batch,
+                               s.measurement.lcTailLatency / qos);
+    }
+    EXPECT_GT(worst_all, worst_batch);
+    EXPECT_GT(worst_all, 2.0) << "manage-all should violate badly";
+}
+
+TEST(FlickerTest, DecisionsUseOnlyOneWayAllocations)
+{
+    // Flicker has no cache dimension: the GA must stay on 1-way
+    // joint configurations.
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 3);
+    const RunResult r = runFlicker(sim, options());
+    for (const auto &slice : r.slices)
+        for (const auto &config : slice.decision.batchConfigs)
+            EXPECT_DOUBLE_EQ(config.cacheWays(), 1.0);
+}
+
+TEST(FlickerTest, RespectsPowerBudgetLoosely)
+{
+    // GA + soft penalties keep Flicker near (not strictly under) the
+    // cap; a gross violation indicates the objective is broken.
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 4);
+    const RunResult r = runFlicker(sim, options());
+    for (std::size_t s = 1; s < r.slices.size(); ++s) {
+        EXPECT_LT(r.slices[s].measurement.totalPower,
+                  0.7 * 150.0 * 1.25);
+    }
+}
+
+} // namespace
+} // namespace cuttlesys

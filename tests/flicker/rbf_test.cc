@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the RBF surrogate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "config/params.hh"
+#include "flicker/design3mm3.hh"
+#include "flicker/rbf.hh"
+#include "sim/core_model.hh"
+#include "apps/gallery.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(RbfTest, InterpolatesSamplesExactly)
+{
+    const std::vector<std::array<double, 3>> points = {
+        {0.3, 0.3, 0.3}, {0.6, 0.3, 0.9}, {0.9, 0.9, 0.3},
+        {0.3, 0.9, 0.6}, {0.6, 0.6, 0.6},
+    };
+    const std::vector<double> values = {1.0, 2.0, 1.5, 0.5, 3.0};
+    const RbfSurrogate s = RbfSurrogate::fit(points, values, true);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_NEAR(s.predict(points[i]), values[i], 1e-8);
+}
+
+TEST(RbfTest, ReproducesLinearFunctionsExactly)
+{
+    // A cubic RBF with a linear tail reproduces affine data.
+    auto f = [](const std::array<double, 3> &x) {
+        return 1.0 + 2.0 * x[0] - 0.5 * x[1] + 3.0 * x[2];
+    };
+    std::vector<std::array<double, 3>> points;
+    std::vector<double> values;
+    for (const auto &config : design3mm3()) {
+        points.push_back(embedConfig(config));
+        values.push_back(f(points.back()));
+    }
+    const RbfSurrogate s = RbfSurrogate::fit(points, values, true);
+    for (std::size_t c = 0; c < kNumCoreConfigs; ++c) {
+        const auto x = embedConfig(CoreConfig::fromIndex(c));
+        EXPECT_NEAR(s.predict(x), f(x), 1e-7);
+    }
+}
+
+TEST(RbfTest, NinePointDesignPredictsSmoothCurvesWell)
+{
+    // Fit Flicker's 9-sample design to the true BIPS curve of a SPEC
+    // app and check the error on the other 18 configs is moderate.
+    const SystemParams params;
+    AppProfile app = profileByName("gcc");
+    app.residualScale = 0.0;
+
+    std::vector<double> truth(kNumCoreConfigs);
+    for (std::size_t c = 0; c < kNumCoreConfigs; ++c) {
+        truth[c] = coreBips(app, JobConfig(CoreConfig::fromIndex(c), 1),
+                            params);
+    }
+    const auto design = design3mm3Indices();
+    std::vector<double> samples;
+    for (auto idx : design)
+        samples.push_back(truth[idx]);
+    const auto curve = rbfPredictCurve(design, samples);
+
+    double worst = 0.0;
+    for (std::size_t c = 0; c < kNumCoreConfigs; ++c) {
+        worst = std::max(worst,
+                         std::abs(curve[c] - truth[c]) / truth[c]);
+    }
+    EXPECT_LT(worst, 0.25);
+}
+
+TEST(RbfTest, ThreeSamplesExtrapolateBadly)
+{
+    // Fig 9's point: RBF from 3 samples produces wild errors.
+    const SystemParams params;
+    AppProfile app = profileByName("mcf");
+    app.residualScale = 0.0;
+
+    std::vector<double> truth(kNumCoreConfigs);
+    for (std::size_t c = 0; c < kNumCoreConfigs; ++c) {
+        truth[c] = coreBips(app, JobConfig(CoreConfig::fromIndex(c), 1),
+                            params);
+    }
+    const std::vector<std::size_t> three = {0, 13, 26};
+    std::vector<double> samples;
+    for (auto idx : three)
+        samples.push_back(truth[idx]);
+    const auto curve = rbfPredictCurve(three, samples);
+
+    double worst = 0.0;
+    for (std::size_t c = 0; c < kNumCoreConfigs; ++c) {
+        worst = std::max(worst,
+                         std::abs(curve[c] - truth[c]) / truth[c]);
+    }
+    // Much worse than the 9-point fit; exact magnitude varies.
+    EXPECT_GT(worst, 0.2);
+}
+
+TEST(RbfTest, DuplicatePointsAreRejected)
+{
+    const std::vector<std::array<double, 3>> points = {
+        {0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}};
+    EXPECT_THROW(RbfSurrogate::fit(points, {1.0, 2.0}, false),
+                 FatalError);
+}
+
+TEST(RbfTest, ValidatesInputs)
+{
+    EXPECT_THROW(RbfSurrogate::fit({{0.1, 0.2, 0.3}}, {1.0, 2.0},
+                                   false),
+                 PanicError);
+    EXPECT_THROW(RbfSurrogate::fit({{0.1, 0.2, 0.3}}, {1.0}, true),
+                 PanicError);
+}
+
+TEST(RbfTest, EmbeddingNormalizesWidths)
+{
+    const auto x = embedConfig(CoreConfig(6, 4, 2));
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 4.0 / 6.0);
+    EXPECT_DOUBLE_EQ(x[2], 2.0 / 6.0);
+}
+
+} // namespace
+} // namespace cuttlesys

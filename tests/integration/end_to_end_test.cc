@@ -1,0 +1,180 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline (calibration ->
+ * training -> colocation -> scheduling) compared across schemes,
+ * checking the paper's headline qualitative results on a single mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/asymmetric.hh"
+#include "baselines/core_gating.hh"
+#include "baselines/no_gating.hh"
+#include "core/cuttlesys.hh"
+#include "power/power_model.hh"
+#include "sim/driver.hh"
+#include "../core/core_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+struct SchemeResult
+{
+    double instructions = 0.0;
+    std::size_t qosViolations = 0;
+};
+
+/** Run one scheme on a fresh copy of the same colocation. */
+template <typename MakeScheduler>
+SchemeResult
+runScheme(MakeScheduler make, double cap, std::uint64_t seed = 90)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(0, 16, 55), seed);
+    DriverOptions opts;
+    opts.durationSec = 1.0;
+    opts.loadPattern = LoadPattern::constant(0.8);
+    opts.powerPattern = LoadPattern::constant(cap);
+    opts.maxPowerW = systemMaxPower(splitSpecGallery().test,
+                                    params);
+    auto scheduler = make(sim, params);
+    const RunResult r = runColocation(sim, *scheduler, opts);
+    SchemeResult out;
+    out.instructions = r.totalBatchInstructions;
+    // Ignore the warm-up slices for QoS accounting (see
+    // CuttleSysTest.MeetsQosAtHighLoad).
+    for (std::size_t s = 3; s < r.slices.size(); ++s)
+        out.qosViolations += r.slices[s].qosViolated ? 1 : 0;
+    return out;
+}
+
+auto
+makeCuttleSys()
+{
+    return [](MulticoreSim &sim, const SystemParams &params) {
+        return std::make_unique<CuttleSysScheduler>(
+            params, testTrainingTables(0), sim.numBatchJobs(),
+            sim.mix().lc.qosSeconds(), fastCuttleSysOptions());
+    };
+}
+
+auto
+makeGating(bool wp)
+{
+    return [wp](MulticoreSim &sim, const SystemParams &params)
+               -> std::unique_ptr<Scheduler> {
+        return std::make_unique<CoreGatingScheduler>(params,
+                                                     sim.mix(), wp);
+    };
+}
+
+auto
+makeOracle()
+{
+    return [](MulticoreSim &sim, const SystemParams &)
+               -> std::unique_ptr<Scheduler> {
+        return std::make_unique<AsymmetricOracleScheduler>(sim);
+    };
+}
+
+TEST(EndToEndTest, CuttleSysMeetsQosUnderTightCap)
+{
+    const SchemeResult r = runScheme(makeCuttleSys(), 0.6);
+    EXPECT_EQ(r.qosViolations, 0u);
+    EXPECT_GT(r.instructions, 0.0);
+}
+
+TEST(EndToEndTest, CuttleSysBeatsCoreGatingAtTightCaps)
+{
+    // The paper's headline: up to 2.46x more instructions than
+    // core-level gating under stringent power caps. Our substrate
+    // reproduces the direction and the monotone divergence, not the
+    // absolute factor (see EXPERIMENTS.md).
+    const SchemeResult cuttle = runScheme(makeCuttleSys(), 0.5);
+    const SchemeResult gating = runScheme(makeGating(false), 0.5);
+    EXPECT_GT(cuttle.instructions, 1.1 * gating.instructions);
+}
+
+TEST(EndToEndTest, AdvantageOverGatingGrowsAsCapsTighten)
+{
+    // Fig 5c's shape: the CuttleSys/gating ratio increases
+    // monotonically as the power cap drops.
+    const double loose = runScheme(makeCuttleSys(), 0.8).instructions /
+                         runScheme(makeGating(false), 0.8).instructions;
+    const double tight = runScheme(makeCuttleSys(), 0.5).instructions /
+                         runScheme(makeGating(false), 0.5).instructions;
+    EXPECT_GT(tight, loose);
+}
+
+TEST(EndToEndTest, CuttleSysCompetitiveWithOracleAsymmetric)
+{
+    // The paper reports CuttleSys beating its oracle-like asymmetric
+    // multicore by up to 1.55x at stringent caps. Our substrate gives
+    // that oracle strictly more advantages (no reconfiguration
+    // penalties, no scheduling overheads, noise-free knowledge of the
+    // drifting truth), so we check CuttleSys stays in its
+    // neighborhood at tight caps; the realistic static 50/50
+    // asymmetric chip is beaten outright below.
+    const SchemeResult cuttle = runScheme(makeCuttleSys(), 0.5);
+    const SchemeResult oracle = runScheme(makeOracle(), 0.5);
+    EXPECT_GT(cuttle.instructions, 0.6 * oracle.instructions);
+}
+
+TEST(EndToEndTest, CuttleSysBeatsStaticAsymmetric)
+{
+    // Section VIII-C: CuttleSys outperforms the realistic 50% big /
+    // 50% small multicore (whose big cores are consumed by the LC
+    // service) by 1.5-1.7x at moderate caps.
+    const SchemeResult cuttle = runScheme(makeCuttleSys(), 0.7);
+    const SchemeResult fixed = runScheme(
+        [](MulticoreSim &sim, const SystemParams &)
+            -> std::unique_ptr<Scheduler> {
+            return std::make_unique<StaticAsymmetricScheduler>(sim);
+        },
+        0.7);
+    EXPECT_GT(cuttle.instructions, 1.2 * fixed.instructions);
+}
+
+TEST(EndToEndTest, FixedCoresWinAtRelaxedCaps)
+{
+    // Section VIII-C: at the 90% cap fixed-core designs can keep all
+    // cores wide while CuttleSys pays reconfiguration overheads.
+    const SchemeResult cuttle = runScheme(makeCuttleSys(), 0.9);
+    const SchemeResult oracle = runScheme(makeOracle(), 0.9);
+    EXPECT_GT(oracle.instructions, 0.95 * cuttle.instructions);
+}
+
+TEST(EndToEndTest, BaselinesMeetQosToo)
+{
+    // Core gating and the oracle pin the LC service to wide cores, so
+    // they should not violate QoS either (Section VIII-C).
+    const SchemeResult gating = runScheme(makeGating(false), 0.7);
+    const SchemeResult oracle = runScheme(makeOracle(), 0.7);
+    EXPECT_EQ(gating.qosViolations, 0u);
+    EXPECT_EQ(oracle.qosViolations, 0u);
+}
+
+TEST(EndToEndTest, GatingOrderingHoldsAcrossCaps)
+{
+    // no-gating >= everything in raw instructions (it ignores the
+    // budget); CuttleSys >= gating at tight caps.
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(0, 16, 55), 91);
+    DriverOptions opts;
+    opts.durationSec = 0.5;
+    opts.powerPattern = LoadPattern::constant(0.6);
+    opts.maxPowerW = systemMaxPower(splitSpecGallery().test, params);
+    NoGatingScheduler nogate(16);
+    const RunResult r_nogate = runColocation(sim, nogate, opts);
+
+    const SchemeResult gating = runScheme(makeGating(false), 0.6);
+    EXPECT_GT(r_nogate.totalBatchInstructions / 2.0,
+              gating.instructions / 2.0 * 0.5)
+        << "sanity: both schemes executed meaningful work";
+    EXPECT_GT(r_nogate.totalBatchInstructions * 2.0,
+              gating.instructions)
+        << "no-gating is an upper bound";
+}
+
+} // namespace
+} // namespace cuttlesys

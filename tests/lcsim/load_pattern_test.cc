@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for load/budget traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "lcsim/load_pattern.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(LoadPatternTest, ConstantIsConstant)
+{
+    const LoadPattern p = LoadPattern::constant(0.8);
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.8);
+    EXPECT_DOUBLE_EQ(p.at(123.4), 0.8);
+}
+
+TEST(LoadPatternTest, ConstantRejectsNegative)
+{
+    EXPECT_THROW(LoadPattern::constant(-0.1), PanicError);
+}
+
+TEST(LoadPatternTest, DiurnalStartsAtMinimum)
+{
+    const LoadPattern p = LoadPattern::diurnal(0.2, 1.0, 1.0);
+    EXPECT_NEAR(p.at(0.0), 0.2, 1e-12);
+    EXPECT_NEAR(p.at(0.5), 1.0, 1e-12);
+    EXPECT_NEAR(p.at(1.0), 0.2, 1e-12);
+}
+
+TEST(LoadPatternTest, DiurnalStaysInBounds)
+{
+    const LoadPattern p = LoadPattern::diurnal(0.2, 1.0, 0.7);
+    for (double t = 0.0; t < 2.0; t += 0.01) {
+        EXPECT_GE(p.at(t), 0.2 - 1e-12);
+        EXPECT_LE(p.at(t), 1.0 + 1e-12);
+    }
+}
+
+TEST(LoadPatternTest, DiurnalIsPeriodic)
+{
+    const LoadPattern p = LoadPattern::diurnal(0.1, 0.9, 0.5);
+    for (double t = 0.0; t < 0.5; t += 0.05)
+        EXPECT_NEAR(p.at(t), p.at(t + 0.5), 1e-9);
+}
+
+TEST(LoadPatternTest, DiurnalValidation)
+{
+    EXPECT_THROW(LoadPattern::diurnal(0.8, 0.2, 1.0), PanicError);
+    EXPECT_THROW(LoadPattern::diurnal(0.2, 0.8, 0.0), PanicError);
+}
+
+TEST(LoadPatternTest, StepsSwitchAtBoundaries)
+{
+    // Fig 8b's budget trace: 90% -> 60% at 0.3 s -> 90% at 0.7 s.
+    const LoadPattern p = LoadPattern::steps(
+        {{0.0, 0.9}, {0.3, 0.6}, {0.7, 0.9}});
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.9);
+    EXPECT_DOUBLE_EQ(p.at(0.29), 0.9);
+    EXPECT_DOUBLE_EQ(p.at(0.3), 0.6);
+    EXPECT_DOUBLE_EQ(p.at(0.69), 0.6);
+    EXPECT_DOUBLE_EQ(p.at(0.7), 0.9);
+    EXPECT_DOUBLE_EQ(p.at(5.0), 0.9);
+}
+
+TEST(LoadPatternTest, StepsBeforeFirstUseFirstValue)
+{
+    const LoadPattern p = LoadPattern::steps({{1.0, 0.5}});
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.5);
+}
+
+TEST(LoadPatternTest, StepsValidation)
+{
+    EXPECT_THROW(LoadPattern::steps({}), PanicError);
+    EXPECT_THROW(LoadPattern::steps({{1.0, 0.5}, {0.5, 0.7}}),
+                 PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

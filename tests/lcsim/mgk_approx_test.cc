@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the analytical M/G/k approximation, including the
+ * cross-validation against the discrete-event simulator that makes
+ * both more trustworthy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/gallery.hh"
+#include "common/logging.hh"
+#include "lcsim/mgk_approx.hh"
+#include "lcsim/queue_sim.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(ErlangCTest, KnownValues)
+{
+    // Single server: C equals rho (M/M/1 queueing probability).
+    EXPECT_NEAR(erlangC(1, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(erlangC(1, 0.9), 0.9, 1e-12);
+    // Textbook value: k = 2, rho = 0.75 (a = 1.5) -> C ~ 0.6429.
+    EXPECT_NEAR(erlangC(2, 0.75), 0.642857, 1e-5);
+}
+
+TEST(ErlangCTest, MonotoneInUtilization)
+{
+    double prev = 0.0;
+    for (double rho = 0.1; rho < 0.95; rho += 0.1) {
+        const double c = erlangC(8, rho);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(ErlangCTest, PoolingReducesQueueing)
+{
+    // At equal utilization, more servers queue less.
+    EXPECT_GT(erlangC(2, 0.7), erlangC(8, 0.7));
+    EXPECT_GT(erlangC(8, 0.7), erlangC(32, 0.7));
+}
+
+TEST(ErlangCTest, ValidatesInputs)
+{
+    EXPECT_THROW(erlangC(0, 0.5), PanicError);
+    EXPECT_THROW(erlangC(4, 1.0), PanicError);
+    EXPECT_THROW(erlangC(4, -0.1), PanicError);
+}
+
+TEST(MgkTest, UtilizationAndSaturation)
+{
+    MgkSystem system;
+    system.arrivalRate = 1000.0;
+    system.servers = 4;
+    system.meanServiceSec = 0.002;
+    system.serviceCv = 0.5;
+    EXPECT_NEAR(mgkUtilization(system), 0.5, 1e-12);
+
+    system.arrivalRate = 2100.0; // rho > 1
+    EXPECT_TRUE(std::isinf(mgkMeanWait(system)));
+    EXPECT_TRUE(std::isinf(mgkResponsePercentile(system, 99.0)));
+}
+
+TEST(MgkTest, VariabilityRaisesWaits)
+{
+    MgkSystem smooth, bursty;
+    smooth.arrivalRate = bursty.arrivalRate = 3000.0;
+    smooth.servers = bursty.servers = 8;
+    smooth.meanServiceSec = bursty.meanServiceSec = 0.002;
+    smooth.serviceCv = 0.2;
+    bursty.serviceCv = 1.0;
+    // Two-moment scaling: (1 + 1.0) / (1 + 0.04) ~ 1.92x.
+    EXPECT_GT(mgkMeanWait(bursty), 1.8 * mgkMeanWait(smooth));
+}
+
+TEST(MgkTest, PercentileMonotoneInPctAndLoad)
+{
+    MgkSystem system;
+    system.servers = 8;
+    system.meanServiceSec = 0.001;
+    system.serviceCv = 0.6;
+
+    system.arrivalRate = 5000.0;
+    EXPECT_LT(mgkResponsePercentile(system, 50.0),
+              mgkResponsePercentile(system, 95.0));
+    EXPECT_LT(mgkResponsePercentile(system, 95.0),
+              mgkResponsePercentile(system, 99.0));
+
+    // Non-decreasing in load (flat at very low loads where the
+    // queueing term vanishes), strictly higher near saturation.
+    double prev = 0.0;
+    for (double qps = 1000.0; qps < 7900.0; qps += 1000.0) {
+        system.arrivalRate = qps;
+        const double p99 = mgkResponsePercentile(system, 99.0);
+        EXPECT_GE(p99, prev) << "at " << qps;
+        prev = p99;
+    }
+    system.arrivalRate = 1000.0;
+    const double low = mgkResponsePercentile(system, 99.0);
+    system.arrivalRate = 7500.0;
+    EXPECT_GT(mgkResponsePercentile(system, 99.0), 1.5 * low);
+}
+
+/**
+ * Cross-validation sweep: the approximation must track the DES p99
+ * within a factor band across loads and pool sizes.
+ */
+class MgkVsDesTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>>
+{};
+
+TEST_P(MgkVsDesTest, ApproximationTracksSimulation)
+{
+    const auto [servers, rho] = GetParam();
+    AppProfile app = profileByName("silo");
+    app.requestCv = 0.5;
+    const double ips = 5e9;
+    const double mean_service = app.requestInstructions() / ips;
+    const double qps =
+        rho * static_cast<double>(servers) / mean_service;
+
+    LcQueueSim sim(app, servers, ips, 20250 + servers);
+    sim.setLoadQps(qps);
+    sim.run(0.5);
+    sim.clearWindow();
+    sim.run(3.0);
+    ASSERT_GT(sim.completedInWindow(), 1000u);
+    const double des_p99 = sim.tailLatency(99.0);
+
+    const double approx_p99 =
+        approxTailLatency(app, qps, servers, ips);
+    // Two-moment approximations are good to tens of percent; the
+    // additive quantile combination biases high (the safe side).
+    EXPECT_GT(approx_p99, 0.55 * des_p99)
+        << "rho=" << rho << " k=" << servers;
+    EXPECT_LT(approx_p99, 2.5 * des_p99)
+        << "rho=" << rho << " k=" << servers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, MgkVsDesTest,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 16),
+                       ::testing::Values(0.3, 0.5, 0.7, 0.85)));
+
+TEST(MgkTest, RejectsBatchApps)
+{
+    EXPECT_THROW(approxTailLatency(profileByName("gcc"), 100.0, 4,
+                                   1e9),
+                 PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

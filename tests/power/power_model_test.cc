@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/gallery.hh"
+#include "common/logging.hh"
+#include "power/power_model.hh"
+#include "sim/core_model.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(PowerModelTest, StaticPowerGrowsWithWidth)
+{
+    const double narrow = coreStaticPower(CoreConfig::narrowest());
+    const double wide = coreStaticPower(CoreConfig::widest());
+    EXPECT_GT(wide, narrow);
+    EXPECT_GT(narrow, 0.0);
+}
+
+TEST(PowerModelTest, StaticPowerMonotonePerSection)
+{
+    for (std::size_t i = 0; i < kNumCoreConfigs; ++i) {
+        const CoreConfig c = CoreConfig::fromIndex(i);
+        for (std::size_t j = 0; j < kNumCoreConfigs; ++j) {
+            const CoreConfig d = CoreConfig::fromIndex(j);
+            if (c.dominates(d) && !(c == d))
+                EXPECT_GT(coreStaticPower(c), coreStaticPower(d));
+        }
+    }
+}
+
+TEST(PowerModelTest, DynamicPowerScalesWithIpc)
+{
+    const SystemParams params;
+    const AppProfile app = profileByName("gcc");
+    const CoreConfig c = CoreConfig::widest();
+    const double p1 = coreDynamicPower(app, c, 1.0, params);
+    const double p2 = coreDynamicPower(app, c, 2.0, params);
+    EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+    EXPECT_DOUBLE_EQ(coreDynamicPower(app, c, 0.0, params), 0.0);
+}
+
+TEST(PowerModelTest, DynamicPowerScalesWithActivity)
+{
+    const SystemParams params;
+    AppProfile app = profileByName("gcc");
+    const CoreConfig c = CoreConfig::widest();
+    const double base = coreDynamicPower(app, c, 1.5, params);
+    app.activity *= 1.5;
+    EXPECT_NEAR(coreDynamicPower(app, c, 1.5, params), 1.5 * base,
+                1e-12);
+}
+
+TEST(PowerModelTest, ReconfigurablePays18PercentPenalty)
+{
+    const SystemParams params;
+    const AppProfile app = profileByName("namd");
+    const CoreConfig c = CoreConfig::widest();
+    const double fixed = corePower(app, c, 2.0, params, false);
+    const double reconf = corePower(app, c, 2.0, params, true);
+    EXPECT_NEAR(reconf / fixed, 1.18, 1e-12);
+}
+
+TEST(PowerModelTest, AbsoluteScaleIsServerLike)
+{
+    // ~4 W per big busy core, ~1 W per narrow core at 22 nm / 4 GHz.
+    const SystemParams params;
+    const AppProfile app = profileByName("gcc");
+    const double big =
+        corePower(app, CoreConfig::widest(), 2.0, params, false);
+    const double small =
+        corePower(app, CoreConfig::narrowest(), 0.9, params, false);
+    EXPECT_GT(big, 2.5);
+    EXPECT_LT(big, 6.0);
+    EXPECT_GT(small, 0.5);
+    EXPECT_LT(small, 2.0);
+    EXPECT_GT(big, 2.0 * small);
+}
+
+TEST(PowerModelTest, GatedPowerIsTiny)
+{
+    EXPECT_GT(gatedCorePower(), 0.0);
+    EXPECT_LT(gatedCorePower(), 0.2);
+}
+
+TEST(PowerModelTest, LlcPowerScalesWithWays)
+{
+    SystemParams params;
+    const double base = llcPower(params);
+    params.llcWays = 64;
+    EXPECT_GT(llcPower(params), base);
+}
+
+TEST(PowerModelTest, SystemMaxPowerIsPlausible)
+{
+    const SystemParams params;
+    const auto apps = specGallery();
+    const double max_power = systemMaxPower(apps, params);
+    // 32 busy reconfigurable cores plus the LLC: order 100-200 W.
+    EXPECT_GT(max_power, 60.0);
+    EXPECT_LT(max_power, 250.0);
+}
+
+TEST(PowerModelTest, SystemMaxPowerRejectsEmptyApps)
+{
+    EXPECT_THROW(systemMaxPower({}, SystemParams()), PanicError);
+}
+
+TEST(PowerModelTest, WiderConfigBurnsMorePowerAtSameIpc)
+{
+    const SystemParams params;
+    const AppProfile app = profileByName("hmmer");
+    const double wide =
+        corePower(app, CoreConfig::widest(), 1.5, params);
+    const double narrow =
+        corePower(app, CoreConfig::narrowest(), 1.5, params);
+    EXPECT_GT(wide, narrow);
+}
+
+} // namespace
+} // namespace cuttlesys

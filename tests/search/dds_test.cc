@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for serial and parallel DDS (Algorithm 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "search/dds.hh"
+#include "search/exhaustive.hh"
+#include "search_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(DdsTest, SerialFindsNearOptimalOnSmallSpace)
+{
+    SearchFixture f(2, 10.0);
+    const SearchResult optimum = exhaustiveSearch(f.ctx);
+
+    DdsOptions options;
+    options.maxIterations = 300;
+    const SearchResult found = serialDds(f.ctx, options);
+    EXPECT_GE(found.metrics.objective,
+              0.95 * optimum.metrics.objective);
+}
+
+TEST(DdsTest, ParallelFindsNearOptimalOnSmallSpace)
+{
+    SearchFixture f(2, 10.0);
+    const SearchResult optimum = exhaustiveSearch(f.ctx);
+
+    DdsOptions options;
+    options.threads = 4;
+    const SearchResult found = parallelDds(f.ctx, options);
+    EXPECT_GE(found.metrics.objective,
+              0.97 * optimum.metrics.objective);
+}
+
+TEST(DdsTest, ParallelIsDeterministic)
+{
+    // The barrier reduction makes parallel DDS schedule-independent.
+    SearchFixture f(16, 40.0);
+    DdsOptions options;
+    options.threads = 8;
+    const SearchResult a = parallelDds(f.ctx, options);
+    const SearchResult b = parallelDds(f.ctx, options);
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_DOUBLE_EQ(a.metrics.objective, b.metrics.objective);
+}
+
+TEST(DdsTest, MoreIterationsNeverHurt)
+{
+    SearchFixture f(16, 40.0);
+    DdsOptions few, many;
+    few.maxIterations = 5;
+    many.maxIterations = 80;
+    const double obj_few =
+        parallelDds(f.ctx, few).metrics.objective;
+    const double obj_many =
+        parallelDds(f.ctx, many).metrics.objective;
+    EXPECT_GE(obj_many, obj_few - 1e-9);
+}
+
+TEST(DdsTest, BeatsPureRandomSamplingAtEqualBudget)
+{
+    SearchFixture f(16, 40.0);
+    DdsOptions options;
+    options.threads = 8;
+    const SearchResult dds = parallelDds(f.ctx, options);
+
+    DdsOptions random_only;
+    random_only.initialRandomPoints = dds.evaluations;
+    random_only.maxIterations = 1;
+    random_only.pointsPerIteration = 0;
+    random_only.threads = 1;
+    const SearchResult rand = parallelDds(f.ctx, random_only);
+    EXPECT_GT(dds.metrics.objective, rand.metrics.objective);
+}
+
+TEST(DdsTest, ResultIsValidPoint)
+{
+    SearchFixture f(16, 40.0);
+    const SearchResult found = parallelDds(f.ctx, {});
+    ASSERT_EQ(found.best.size(), 16u);
+    for (auto v : found.best)
+        EXPECT_LT(v, kNumJobConfigs);
+}
+
+TEST(DdsTest, PinnedDimensionsStayFixed)
+{
+    SearchFixture f(4, 40.0);
+    DdsOptions options;
+    options.pinned = {true, false, false, false};
+    // The initial random points are not pinned; check only that
+    // perturbation respects pins by fixing a tiny initial pool and
+    // verifying the pinned dim survives from the best initial point.
+    options.initialRandomPoints = 1;
+    options.seed = 5;
+    const SearchResult found = serialDds(f.ctx, options);
+    // Re-derive the single initial point with the same RNG stream.
+    Rng rng(options.seed);
+    const auto expected = static_cast<std::uint16_t>(
+        rng.uniformInt(0, kNumJobConfigs - 1));
+    EXPECT_EQ(found.best[0], expected);
+}
+
+TEST(DdsTest, TraceRecordsExploredPoints)
+{
+    SearchFixture f(8, 40.0);
+    DdsOptions options;
+    options.threads = 2;
+    SearchTrace trace;
+    const SearchResult found = parallelDds(f.ctx, options, &trace);
+    EXPECT_EQ(trace.explored.size(),
+              options.maxIterations * options.pointsPerIteration *
+                  options.threads);
+    EXPECT_DOUBLE_EQ(trace.best.objective, found.metrics.objective);
+    // Evaluations = initial pool + traced candidates.
+    EXPECT_EQ(found.evaluations,
+              options.initialRandomPoints + trace.explored.size());
+}
+
+TEST(DdsTest, ThreadGroupsUseDistinctRadii)
+{
+    // With 8 threads and 4 radii the search must still work when
+    // threads < radii (clamping) and threads > radii (grouping).
+    SearchFixture f(8, 40.0);
+    for (std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+        DdsOptions options;
+        options.threads = threads;
+        options.maxIterations = 10;
+        const SearchResult found = parallelDds(f.ctx, options);
+        EXPECT_EQ(found.best.size(), 8u) << threads << " threads";
+    }
+}
+
+TEST(DdsTest, HandlesSingleIterationEdge)
+{
+    SearchFixture f(4, 40.0);
+    DdsOptions options;
+    options.maxIterations = 1;
+    EXPECT_NO_THROW(serialDds(f.ctx, options));
+    EXPECT_NO_THROW(parallelDds(f.ctx, options));
+}
+
+TEST(DdsTest, TightBudgetYieldsFeasibleOrLeastViolatingPoint)
+{
+    // With a budget only the narrowest configs can meet, DDS should
+    // steer toward low-power points.
+    SearchFixture f(16, 20.0);
+    const SearchResult found = parallelDds(f.ctx, {});
+    // The all-widest point costs ~3.5 W per job (>= 50 W); the found
+    // point must be far cheaper.
+    EXPECT_LT(found.metrics.powerW, 30.0);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the exhaustive reference search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "search/exhaustive.hh"
+#include "search_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(ExhaustiveTest, FindsTrueOptimumOnOneJob)
+{
+    SearchFixture f(1, 100.0);
+    const SearchResult result = exhaustiveSearch(f.ctx);
+    EXPECT_EQ(result.evaluations, kNumJobConfigs);
+
+    // Verify against a manual scan.
+    double best = -1e18;
+    for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+        best = std::max(best,
+                        objectiveValue({static_cast<std::uint16_t>(c)},
+                                       f.ctx));
+    }
+    EXPECT_DOUBLE_EQ(result.metrics.objective, best);
+}
+
+TEST(ExhaustiveTest, CoversWholeSpaceOnTwoJobs)
+{
+    SearchFixture f(2, 100.0);
+    const SearchResult result = exhaustiveSearch(f.ctx);
+    EXPECT_EQ(result.evaluations, kNumJobConfigs * kNumJobConfigs);
+    EXPECT_EQ(result.best.size(), 2u);
+}
+
+TEST(ExhaustiveTest, NoPointBeatsTheReportedOptimum)
+{
+    SearchFixture f(2, 8.0); // tight budget: penalties active
+    const SearchResult result = exhaustiveSearch(f.ctx);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        Point x{static_cast<std::uint16_t>(
+                    rng.uniformInt(0, kNumJobConfigs - 1)),
+                static_cast<std::uint16_t>(
+                    rng.uniformInt(0, kNumJobConfigs - 1))};
+        EXPECT_LE(objectiveValue(x, f.ctx),
+                  result.metrics.objective + 1e-12);
+    }
+}
+
+TEST(ExhaustiveTest, RefusesHugeSpaces)
+{
+    SearchFixture f(16, 100.0);
+    EXPECT_THROW(exhaustiveSearch(f.ctx), FatalError);
+}
+
+TEST(ExhaustiveTest, TraceRecordsEveryPoint)
+{
+    SearchFixture f(1, 100.0);
+    SearchTrace trace;
+    exhaustiveSearch(f.ctx, 20'000'000, &trace);
+    EXPECT_EQ(trace.explored.size(), kNumJobConfigs);
+}
+
+} // namespace
+} // namespace cuttlesys

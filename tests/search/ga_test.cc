@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the GA baseline optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "search/exhaustive.hh"
+#include "search/ga.hh"
+#include "search_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(GaTest, FindsNearOptimalOnSmallSpace)
+{
+    SearchFixture f(2, 10.0);
+    const SearchResult optimum = exhaustiveSearch(f.ctx);
+    const SearchResult found = geneticSearch(f.ctx);
+    EXPECT_GE(found.metrics.objective,
+              0.9 * optimum.metrics.objective);
+}
+
+TEST(GaTest, DeterministicPerSeed)
+{
+    SearchFixture f(16, 40.0);
+    const SearchResult a = geneticSearch(f.ctx);
+    const SearchResult b = geneticSearch(f.ctx);
+    EXPECT_EQ(a.best, b.best);
+}
+
+TEST(GaTest, MoreGenerationsNeverHurt)
+{
+    SearchFixture f(16, 40.0);
+    GaOptions few, many;
+    few.generations = 2;
+    many.generations = 60;
+    EXPECT_GE(geneticSearch(f.ctx, many).metrics.objective,
+              geneticSearch(f.ctx, few).metrics.objective - 1e-9);
+}
+
+TEST(GaTest, ElitismPreservesBestAcrossGenerations)
+{
+    // Fitness of the reported best must be at least the best of the
+    // initial random population (elites are never lost).
+    SearchFixture f(8, 30.0);
+    GaOptions options;
+    options.generations = 1;
+    const SearchResult one = geneticSearch(f.ctx, options);
+    options.generations = 20;
+    const SearchResult twenty = geneticSearch(f.ctx, options);
+    EXPECT_GE(twenty.metrics.objective, one.metrics.objective - 1e-9);
+}
+
+TEST(GaTest, EvaluationBudgetIsPopulationTimesGenerations)
+{
+    SearchFixture f(4, 30.0);
+    GaOptions options;
+    options.population = 20;
+    options.generations = 10;
+    options.elites = 2;
+    const SearchResult found = geneticSearch(f.ctx, options);
+    // Initial pop + (pop - elites) per generation.
+    EXPECT_EQ(found.evaluations, 20u + 10u * 18u);
+}
+
+TEST(GaTest, InvalidOptionsPanics)
+{
+    SearchFixture f(2, 30.0);
+    GaOptions options;
+    options.population = 1;
+    EXPECT_THROW(geneticSearch(f.ctx, options), PanicError);
+    options.population = 10;
+    options.elites = 10;
+    EXPECT_THROW(geneticSearch(f.ctx, options), PanicError);
+}
+
+TEST(GaTest, TraceMatchesEvaluations)
+{
+    SearchFixture f(4, 30.0);
+    SearchTrace trace;
+    const SearchResult found = geneticSearch(f.ctx, {}, &trace);
+    EXPECT_EQ(trace.explored.size(), found.evaluations);
+}
+
+} // namespace
+} // namespace cuttlesys

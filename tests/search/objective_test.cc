@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the search objective (Section VI-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "search/objective.hh"
+
+namespace cuttlesys {
+namespace {
+
+/** Small context: 2 jobs over the full 108-config space. */
+struct Fixture
+{
+    Matrix bips{2, kNumJobConfigs, 1.0};
+    Matrix power{2, kNumJobConfigs, 1.0};
+    ObjectiveContext ctx;
+
+    Fixture()
+    {
+        Rng rng(1);
+        for (std::size_t j = 0; j < 2; ++j) {
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+                bips(j, c) = rng.uniform(0.5, 5.0);
+                power(j, c) = rng.uniform(1.0, 4.0);
+            }
+        }
+        ctx.bips = &bips;
+        ctx.power = &power;
+        ctx.powerBudgetW = 100.0;
+        ctx.cacheBudgetWays = 32.0;
+    }
+};
+
+TEST(ObjectiveTest, GmeanAndTotalsComputed)
+{
+    Fixture f;
+    const Point x{0, 4};
+    const PointMetrics m = evaluatePoint(x, f.ctx);
+    EXPECT_NEAR(m.gmeanBips,
+                std::sqrt(f.bips(0, 0) * f.bips(1, 4)), 1e-12);
+    EXPECT_DOUBLE_EQ(m.powerW, f.power(0, 0) + f.power(1, 4));
+    EXPECT_DOUBLE_EQ(m.cacheWays,
+                     JobConfig::fromIndex(0).cacheWays() +
+                         JobConfig::fromIndex(4).cacheWays());
+    EXPECT_TRUE(m.feasible);
+    EXPECT_DOUBLE_EQ(m.objective, m.gmeanBips);
+}
+
+TEST(ObjectiveTest, SoftPowerPenaltyScalesWithExcess)
+{
+    Fixture f;
+    f.ctx.powerBudgetW = 3.0; // any point exceeds this a bit
+    const Point x{0, 0};
+    const PointMetrics m = evaluatePoint(x, f.ctx);
+    EXPECT_FALSE(m.feasible);
+    EXPECT_NEAR(m.objective,
+                m.gmeanBips -
+                    f.ctx.penaltyPower * (m.powerW - 3.0),
+                1e-12);
+}
+
+TEST(ObjectiveTest, CachePenaltyAppliesIndependently)
+{
+    Fixture f;
+    f.ctx.cacheBudgetWays = 1.0;
+    // Pick two 4-way configs: 8 ways total, 7 over budget.
+    const std::size_t idx = JobConfig(CoreConfig::widest(), 3).index();
+    const Point x{static_cast<std::uint16_t>(idx),
+                  static_cast<std::uint16_t>(idx)};
+    const PointMetrics m = evaluatePoint(x, f.ctx);
+    EXPECT_FALSE(m.feasible);
+    EXPECT_NEAR(m.objective,
+                m.gmeanBips - f.ctx.penaltyCache * 7.0, 1e-12);
+}
+
+TEST(ObjectiveTest, HardConstraintsRejectInfeasible)
+{
+    Fixture f;
+    f.ctx.powerBudgetW = 0.1;
+    f.ctx.hardConstraints = true;
+    const PointMetrics m = evaluatePoint({0, 0}, f.ctx);
+    EXPECT_LT(m.objective, -1e8);
+}
+
+TEST(ObjectiveTest, FeasiblePointUnaffectedByHardMode)
+{
+    Fixture f;
+    const PointMetrics soft = evaluatePoint({3, 7}, f.ctx);
+    f.ctx.hardConstraints = true;
+    const PointMetrics hard = evaluatePoint({3, 7}, f.ctx);
+    EXPECT_DOUBLE_EQ(soft.objective, hard.objective);
+}
+
+TEST(ObjectiveTest, DimensionMismatchPanics)
+{
+    Fixture f;
+    EXPECT_THROW(evaluatePoint({0}, f.ctx), PanicError);
+    EXPECT_THROW(evaluatePoint({0, 1, 2}, f.ctx), PanicError);
+}
+
+TEST(ObjectiveTest, ZeroThroughputIsFloored)
+{
+    Fixture f;
+    f.bips(0, 0) = 0.0;
+    const PointMetrics m = evaluatePoint({0, 0}, f.ctx);
+    EXPECT_GT(m.gmeanBips, 0.0); // geometric mean stays defined
+}
+
+TEST(ObjectiveTest, ObjectiveValueMatchesEvaluate)
+{
+    Fixture f;
+    const Point x{10, 20};
+    EXPECT_DOUBLE_EQ(objectiveValue(x, f.ctx),
+                     evaluatePoint(x, f.ctx).objective);
+}
+
+} // namespace
+} // namespace cuttlesys

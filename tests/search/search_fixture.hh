@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared fixture for search-algorithm tests: a synthetic objective
+ * landscape with a known exhaustive optimum.
+ */
+
+#ifndef CUTTLESYS_TESTS_SEARCH_FIXTURE_HH
+#define CUTTLESYS_TESTS_SEARCH_FIXTURE_HH
+
+#include "common/matrix.hh"
+#include "common/rng.hh"
+#include "search/objective.hh"
+
+namespace cuttlesys {
+
+/** Random-but-structured landscape over @p jobs jobs. */
+struct SearchFixture
+{
+    Matrix bips;
+    Matrix power;
+    ObjectiveContext ctx;
+
+    explicit SearchFixture(std::size_t jobs, double power_budget,
+                           std::uint64_t seed = 17)
+        : bips(jobs, kNumJobConfigs), power(jobs, kNumJobConfigs)
+    {
+        Rng rng(seed);
+        for (std::size_t j = 0; j < jobs; ++j) {
+            // Correlate throughput and power with the config index so
+            // the landscape has structure (wider = faster = hotter),
+            // plus noise so it is not trivial.
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+                const double size =
+                    static_cast<double>(c) / kNumJobConfigs;
+                bips(j, c) =
+                    0.5 + 3.0 * size + rng.uniform(0.0, 0.8);
+                power(j, c) =
+                    1.0 + 2.5 * size + rng.uniform(0.0, 0.5);
+            }
+        }
+        ctx.bips = &bips;
+        ctx.power = &power;
+        ctx.powerBudgetW = power_budget;
+        ctx.cacheBudgetWays = 32.0;
+    }
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_TESTS_SEARCH_FIXTURE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for warm-start seed points in DDS and GA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "search/dds.hh"
+#include "search/ga.hh"
+#include "search_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+Point
+allConfig(std::size_t jobs, std::uint16_t value)
+{
+    return Point(jobs, value);
+}
+
+TEST(SeedTest, DdsResultNeverWorseThanSeed)
+{
+    SearchFixture f(16, 40.0);
+    // Hand DDS a decent point; the result must be at least as good.
+    const Point seed = allConfig(16, 40);
+    const double seed_obj = objectiveValue(seed, f.ctx);
+
+    DdsOptions options;
+    options.seedPoints = {seed};
+    options.maxIterations = 5;
+    options.initialRandomPoints = 1;
+    const SearchResult result = parallelDds(f.ctx, options);
+    EXPECT_GE(result.metrics.objective, seed_obj);
+}
+
+TEST(SeedTest, SerialDdsAcceptsSeeds)
+{
+    SearchFixture f(8, 30.0);
+    DdsOptions options;
+    options.seedPoints = {allConfig(8, 10), allConfig(8, 80)};
+    const SearchResult result = serialDds(f.ctx, options);
+    EXPECT_EQ(result.best.size(), 8u);
+    // Evaluations include the seeds.
+    EXPECT_GE(result.evaluations,
+              options.initialRandomPoints + 2 +
+                  options.maxIterations);
+}
+
+TEST(SeedTest, GaInjectsSeedsIntoPopulation)
+{
+    SearchFixture f(8, 30.0);
+    // A strong seed should put the GA at least at the seed's level
+    // even with zero generations of evolution.
+    const Point seed = allConfig(8, 60);
+    const double seed_obj = objectiveValue(seed, f.ctx);
+    GaOptions options;
+    options.generations = 0;
+    options.seedPoints = {seed};
+    const SearchResult result = geneticSearch(f.ctx, options);
+    EXPECT_GE(result.metrics.objective, seed_obj);
+}
+
+TEST(SeedTest, MismatchedSeedDimensionalityPanics)
+{
+    SearchFixture f(4, 30.0);
+    DdsOptions dds;
+    dds.seedPoints = {allConfig(3, 0)};
+    EXPECT_THROW(parallelDds(f.ctx, dds), PanicError);
+    EXPECT_THROW(serialDds(f.ctx, dds), PanicError);
+    GaOptions ga;
+    ga.seedPoints = {allConfig(5, 0)};
+    EXPECT_THROW(geneticSearch(f.ctx, ga), PanicError);
+}
+
+TEST(SeedTest, SeededSearchStillDeterministic)
+{
+    SearchFixture f(8, 30.0);
+    DdsOptions options;
+    options.seedPoints = {allConfig(8, 25)};
+    const SearchResult a = parallelDds(f.ctx, options);
+    const SearchResult b = parallelDds(f.ctx, options);
+    EXPECT_EQ(a.best, b.best);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the analytical core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/gallery.hh"
+#include "common/logging.hh"
+#include "sim/core_model.hh"
+
+namespace cuttlesys {
+namespace {
+
+JobConfig
+cfg(int fe, int be, int ls, std::size_t cache_rank = 3)
+{
+    return JobConfig(CoreConfig(fe, be, ls), cache_rank);
+}
+
+TEST(CoreModelTest, FrequencyPenaltyApplied)
+{
+    const SystemParams params;
+    EXPECT_DOUBLE_EQ(coreFrequencyGHz(params, false), 4.0);
+    EXPECT_NEAR(coreFrequencyGHz(params, true), 4.0 * (1.0 - 0.0167),
+                1e-12);
+}
+
+TEST(CoreModelTest, IpcIsPositiveAndBounded)
+{
+    const SystemParams params;
+    for (const auto &app : specGallery()) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+            const JobConfig config = JobConfig::fromIndex(c);
+            const double ipc = coreIpc(app, config, params);
+            EXPECT_GT(ipc, 0.0) << app.name;
+            const double cap = kWidthCapUtilization *
+                std::min(config.core().frontEnd(),
+                         config.core().backEnd());
+            // The residual can nudge IPC past the cap by its scale.
+            EXPECT_LE(ipc, cap * (1.0 + app.residualScale) + 1e-12)
+                << app.name << " " << config.toString();
+        }
+    }
+}
+
+TEST(CoreModelTest, WidestDominatesNarrowest)
+{
+    const SystemParams params;
+    for (const auto &app : specGallery()) {
+        const double wide = coreIpc(app, cfg(6, 6, 6), params);
+        const double narrow = coreIpc(app, cfg(2, 2, 2), params);
+        EXPECT_GT(wide, narrow) << app.name;
+    }
+}
+
+TEST(CoreModelTest, MoreCacheNeverHurtsMuch)
+{
+    // Monotone in ways up to the residual jitter.
+    const SystemParams params;
+    for (const auto &app : specGallery()) {
+        AppProfile clean = app;
+        clean.residualScale = 0.0;
+        for (std::size_t rank = 0; rank + 1 < kNumCacheAllocs; ++rank) {
+            const double less = coreIpc(
+                clean, JobConfig(CoreConfig::widest(), rank), params);
+            const double more = coreIpc(
+                clean, JobConfig(CoreConfig::widest(), rank + 1),
+                params);
+            EXPECT_GE(more, less) << app.name;
+        }
+    }
+}
+
+TEST(CoreModelTest, MemContentionSlowsMemoryBoundApps)
+{
+    const SystemParams params;
+    const AppProfile mcf = profileByName("mcf");
+    const double clean = coreIpc(mcf, cfg(6, 6, 6, 1), params, 1.0);
+    const double contended = coreIpc(mcf, cfg(6, 6, 6, 1), params, 2.0);
+    EXPECT_LT(contended, clean * 0.85);
+
+    const AppProfile povray = profileByName("povray");
+    const double pv_clean = coreIpc(povray, cfg(6, 6, 6, 1), params);
+    const double pv_cont =
+        coreIpc(povray, cfg(6, 6, 6, 1), params, 2.0);
+    // Compute-bound apps barely notice memory contention.
+    EXPECT_GT(pv_cont, pv_clean * 0.93);
+}
+
+TEST(CoreModelTest, InvalidMemScalePanics)
+{
+    const SystemParams params;
+    EXPECT_THROW(coreIpc(profileByName("gcc"), cfg(6, 6, 6), params,
+                         0.5),
+                 PanicError);
+}
+
+TEST(CoreModelTest, LsWidthMattersMoreForMemoryBoundApps)
+{
+    // The LS/MLP coupling: shrinking the LSQ hurts mcf (memory-bound)
+    // proportionally more than gamess (compute-bound).
+    const SystemParams params;
+    AppProfile mcf = profileByName("mcf");
+    AppProfile gamess = profileByName("gamess");
+    // Remove direct LS sensitivity to isolate the MLP coupling term.
+    mcf.lsSens = gamess.lsSens = 0.0;
+    mcf.residualScale = gamess.residualScale = 0.0;
+
+    const double mcf_drop = coreIpc(mcf, cfg(6, 6, 2), params) /
+                            coreIpc(mcf, cfg(6, 6, 6), params);
+    const double gamess_drop = coreIpc(gamess, cfg(6, 6, 2), params) /
+                               coreIpc(gamess, cfg(6, 6, 6), params);
+    EXPECT_LT(mcf_drop, gamess_drop);
+}
+
+TEST(CoreModelTest, BipsIsIpcTimesFrequency)
+{
+    const SystemParams params;
+    const AppProfile app = profileByName("namd");
+    const JobConfig config = cfg(4, 4, 4, 2);
+    EXPECT_NEAR(coreBips(app, config, params),
+                coreIpc(app, config, params) *
+                    coreFrequencyGHz(params, true),
+                1e-12);
+    EXPECT_NEAR(coreIps(app, config, params),
+                coreBips(app, config, params) * 1e9, 1e-3);
+}
+
+TEST(CoreModelTest, MissBandwidthScalesWithMissRate)
+{
+    const SystemParams params;
+    const AppProfile mcf = profileByName("mcf");
+    const AppProfile povray = profileByName("povray");
+    EXPECT_GT(missBandwidthGBs(mcf, cfg(6, 6, 6, 1), params),
+              5.0 * missBandwidthGBs(povray, cfg(6, 6, 6, 1), params));
+}
+
+TEST(CoreModelTest, RealisticAbsoluteIpcRange)
+{
+    const SystemParams params;
+    for (const auto &app : specGallery()) {
+        const double ipc = coreIpc(app, cfg(6, 6, 6), params);
+        EXPECT_GT(ipc, 0.2) << app.name;
+        EXPECT_LT(ipc, 4.0) << app.name;
+    }
+}
+
+/** Parameterized monotonicity: widening any one section never slows
+ *  a (residual-free) app down. */
+class SectionMonotonicityTest
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(SectionMonotonicityTest, WideningASectionNeverHurts)
+{
+    const SystemParams params;
+    auto gallery = specGallery();
+    AppProfile app = gallery[GetParam() % gallery.size()];
+    app.residualScale = 0.0;
+
+    for (std::size_t i = 0; i < kNumCoreConfigs; ++i) {
+        const CoreConfig c = CoreConfig::fromIndex(i);
+        for (std::size_t j = 0; j < kNumCoreConfigs; ++j) {
+            const CoreConfig d = CoreConfig::fromIndex(j);
+            if (!d.dominates(c) || d == c)
+                continue;
+            EXPECT_GE(coreIpc(app, JobConfig(d, 2), params),
+                      coreIpc(app, JobConfig(c, 2), params))
+                << app.name << ": " << d.toString() << " vs "
+                << c.toString();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, SectionMonotonicityTest,
+                         ::testing::Range<std::size_t>(0, 28, 4));
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the evaluation driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/no_gating.hh"
+#include "common/logging.hh"
+#include "sim/driver.hh"
+#include "sim_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+/** Minimal test scheduler that records what it was shown. */
+class RecordingScheduler : public Scheduler
+{
+  public:
+    explicit RecordingScheduler(std::size_t batch_jobs)
+        : batchJobs_(batch_jobs)
+    {}
+
+    std::string name() const override { return "recording"; }
+    bool wantsProfiling() const override { return profiling; }
+    bool usesReconfigurableCores() const override { return true; }
+
+    SliceDecision
+    decide(const SliceContext &ctx) override
+    {
+        contexts.push_back(ctx.sliceIndex);
+        budgets.push_back(ctx.powerBudgetW);
+        sawProfiles.push_back(!ctx.profiles.empty());
+        sawPrevious.push_back(ctx.previous != nullptr);
+        return allWideDecision(batchJobs_);
+    }
+
+    bool profiling = true;
+    std::vector<std::size_t> contexts;
+    std::vector<double> budgets;
+    std::vector<bool> sawProfiles;
+    std::vector<bool> sawPrevious;
+
+  private:
+    std::size_t batchJobs_;
+};
+
+DriverOptions
+basicOptions()
+{
+    DriverOptions opts;
+    opts.durationSec = 0.5;
+    opts.loadPattern = LoadPattern::constant(0.5);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = 150.0;
+    return opts;
+}
+
+TEST(DriverTest, RunsExpectedSliceCount)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 1);
+    RecordingScheduler sched(16);
+    const RunResult result = runColocation(sim, sched, basicOptions());
+    EXPECT_EQ(result.slices.size(), 5u);
+    EXPECT_EQ(sched.contexts.size(), 5u);
+    EXPECT_NEAR(sim.now(), 0.5, 1e-9);
+}
+
+TEST(DriverTest, ContextCarriesProfilesAndHistory)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 2);
+    RecordingScheduler sched(16);
+    runColocation(sim, sched, basicOptions());
+    EXPECT_TRUE(sched.sawProfiles[0]);
+    EXPECT_FALSE(sched.sawPrevious[0]);
+    for (std::size_t s = 1; s < 5; ++s) {
+        EXPECT_TRUE(sched.sawProfiles[s]);
+        EXPECT_TRUE(sched.sawPrevious[s]);
+    }
+}
+
+TEST(DriverTest, BudgetFollowsPowerPattern)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 3);
+    RecordingScheduler sched(16);
+    DriverOptions opts = basicOptions();
+    opts.powerPattern =
+        LoadPattern::steps({{0.0, 0.9}, {0.25, 0.6}});
+    runColocation(sim, sched, opts);
+    EXPECT_NEAR(sched.budgets[0], 0.9 * 150.0, 1e-9);
+    EXPECT_NEAR(sched.budgets[4], 0.6 * 150.0, 1e-9);
+}
+
+TEST(DriverTest, SkipsProfilingWhenUnwanted)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 4);
+    RecordingScheduler sched(16);
+    sched.profiling = false;
+    const RunResult with_less = runColocation(sim, sched,
+                                              basicOptions());
+    EXPECT_FALSE(sched.sawProfiles[0]);
+    EXPECT_GT(with_less.totalBatchInstructions, 0.0);
+}
+
+TEST(DriverTest, AggregatesInstructionsAcrossSlices)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 5);
+    RecordingScheduler sched(16);
+    const RunResult result = runColocation(sim, sched, basicOptions());
+    double sum = 0.0;
+    for (const auto &slice : result.slices)
+        sum += slice.measurement.batchInstructions;
+    EXPECT_DOUBLE_EQ(result.totalBatchInstructions, sum);
+    EXPECT_GT(result.meanPowerW, 0.0);
+    EXPECT_GT(result.meanGmeanBips, 0.0);
+}
+
+TEST(DriverTest, CountsQosViolations)
+{
+    // Running everything narrow at near-saturation load must violate.
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 6);
+
+    class NarrowScheduler : public Scheduler
+    {
+      public:
+        std::string name() const override { return "narrow"; }
+        bool wantsProfiling() const override { return false; }
+        SliceDecision decide(const SliceContext &) override
+        {
+            SliceDecision d = allWideDecision(16);
+            d.lcConfig = JobConfig(CoreConfig::narrowest(), 0);
+            return d;
+        }
+    } sched;
+
+    DriverOptions opts = basicOptions();
+    opts.loadPattern = LoadPattern::constant(0.9);
+    const RunResult result = runColocation(sim, sched, opts);
+    EXPECT_GT(result.qosViolations, 2u);
+}
+
+TEST(DriverTest, GmeanFloorsGatedJobs)
+{
+    SliceMeasurement m;
+    m.batchBips = {2.0, 0.0, 8.0};
+    const double g = gmeanBatchBips(m, 1e-3);
+    EXPECT_GT(g, 0.0);
+    EXPECT_NEAR(g, std::cbrt(2.0 * 1e-3 * 8.0), 1e-12);
+}
+
+TEST(DriverTest, RejectsUnsetMaxPower)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 7);
+    RecordingScheduler sched(16);
+    DriverOptions opts = basicOptions();
+    opts.maxPowerW = 0.0;
+    EXPECT_THROW(runColocation(sim, sched, opts), PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the 32-core multicore simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/power_model.hh"
+#include "sim_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(MulticoreTest, ConstructionValidatesMix)
+{
+    const SystemParams params;
+    WorkloadMix bad = makeTestMix();
+    bad.lc.cls = AppClass::Batch;
+    EXPECT_THROW(MulticoreSim(params, bad, 1), PanicError);
+
+    WorkloadMix empty = makeTestMix();
+    empty.batch.clear();
+    EXPECT_THROW(MulticoreSim(params, empty, 1), PanicError);
+}
+
+TEST(MulticoreTest, SliceAdvancesTimeAndAccumulatesInstructions)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 1);
+    sim.setLcLoadFraction(0.5);
+    const auto m = sim.runSlice(allWideDecision(16));
+    EXPECT_NEAR(sim.now(), 0.1, 1e-9);
+    EXPECT_GT(m.batchInstructions, 0.0);
+    EXPECT_DOUBLE_EQ(sim.totalBatchInstructions(),
+                     m.batchInstructions);
+    EXPECT_EQ(m.batchBips.size(), 16u);
+    EXPECT_EQ(m.batchJobInstructions.size(), 16u);
+}
+
+TEST(MulticoreTest, BatchBipsAreRealistic)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 2);
+    sim.setLcLoadFraction(0.5);
+    const auto m = sim.runSlice(allWideDecision(16));
+    for (double b : m.batchBips) {
+        EXPECT_GT(b, 0.3);
+        EXPECT_LT(b, 25.0);
+    }
+}
+
+TEST(MulticoreTest, LcTailRespondsToLoad)
+{
+    const SystemParams params;
+    MulticoreSim low(params, makeTestMix(), 3);
+    MulticoreSim high(params, makeTestMix(), 3);
+    low.setLcLoadFraction(0.2);
+    high.setLcLoadFraction(0.95);
+    SliceMeasurement m_low, m_high;
+    for (int s = 0; s < 5; ++s) {
+        m_low = low.runSlice(allWideDecision(16));
+        m_high = high.runSlice(allWideDecision(16));
+    }
+    EXPECT_GT(m_high.lcTailLatency, m_low.lcTailLatency);
+    EXPECT_GT(m_high.lcUtilization, m_low.lcUtilization);
+    EXPECT_GT(m_high.lcCompleted, m_low.lcCompleted);
+}
+
+TEST(MulticoreTest, NarrowLcConfigRaisesTailAtHighLoad)
+{
+    const SystemParams params;
+    MulticoreSim wide(params, makeTestMix(), 4);
+    MulticoreSim narrow(params, makeTestMix(), 4);
+    wide.setLcLoadFraction(0.8);
+    narrow.setLcLoadFraction(0.8);
+    auto wide_dec = allWideDecision(16);
+    auto narrow_dec = allWideDecision(16);
+    narrow_dec.lcConfig = JobConfig(CoreConfig::narrowest(), 0);
+    SliceMeasurement m_wide, m_narrow;
+    for (int s = 0; s < 5; ++s) {
+        m_wide = wide.runSlice(wide_dec);
+        m_narrow = narrow.runSlice(narrow_dec);
+    }
+    EXPECT_GT(m_narrow.lcTailLatency, 2.0 * m_wide.lcTailLatency);
+}
+
+TEST(MulticoreTest, GatedJobsExecuteNothingAndSavePower)
+{
+    const SystemParams params;
+    MulticoreSim all_on(params, makeTestMix(), 5);
+    MulticoreSim half_off(params, makeTestMix(), 5);
+    all_on.setLcLoadFraction(0.5);
+    half_off.setLcLoadFraction(0.5);
+
+    auto on_dec = allWideDecision(16);
+    auto off_dec = allWideDecision(16);
+    for (std::size_t j = 0; j < 8; ++j)
+        off_dec.batchActive[j] = false;
+
+    const auto m_on = all_on.runSlice(on_dec);
+    const auto m_off = half_off.runSlice(off_dec);
+    for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_DOUBLE_EQ(m_off.batchJobInstructions[j], 0.0);
+        EXPECT_DOUBLE_EQ(m_off.batchPower[j], 0.0);
+    }
+    EXPECT_LT(m_off.totalPower, m_on.totalPower - 5.0);
+    EXPECT_LT(m_off.batchInstructions, m_on.batchInstructions);
+}
+
+TEST(MulticoreTest, NarrowConfigsDrawLessPower)
+{
+    const SystemParams params;
+    MulticoreSim wide(params, makeTestMix(), 6);
+    MulticoreSim narrow(params, makeTestMix(), 6);
+    wide.setLcLoadFraction(0.5);
+    narrow.setLcLoadFraction(0.5);
+    auto narrow_dec = allWideDecision(16);
+    narrow_dec.lcConfig = JobConfig(CoreConfig::narrowest(), 3);
+    narrow_dec.batchConfigs.assign(
+        16, JobConfig(CoreConfig::narrowest(), 1));
+    const auto m_wide = wide.runSlice(allWideDecision(16));
+    const auto m_narrow = narrow.runSlice(narrow_dec);
+    EXPECT_LT(m_narrow.totalPower, 0.7 * m_wide.totalPower);
+}
+
+TEST(MulticoreTest, ChipPowerIsSumOfParts)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 7);
+    sim.setLcLoadFraction(0.5);
+    const auto m = sim.runSlice(allWideDecision(16));
+    double batch_total = 0.0;
+    for (double p : m.batchPower)
+        batch_total += p;
+    // Noise on the per-job reports makes this approximate.
+    EXPECT_NEAR(m.totalPower,
+                m.lcPower + batch_total + llcPower(params),
+                0.05 * m.totalPower);
+}
+
+TEST(MulticoreTest, TimeMultiplexingScalesThroughput)
+{
+    // 20 batch jobs on 16 cores: each gets 0.8 of a core.
+    const SystemParams params;
+    WorkloadMix mix16 = makeTestMix(0, 16, 21);
+    WorkloadMix mix20 = makeTestMix(0, 20, 21);
+    MulticoreSim a(params, mix16, 8);
+    MulticoreSim b(params, mix20, 8);
+    a.setLcLoadFraction(0.3);
+    b.setLcLoadFraction(0.3);
+    const auto m16 = a.runSlice(allWideDecision(16));
+    const auto m20 = b.runSlice(allWideDecision(20));
+    // Total instructions stay roughly flat (same 16 cores busy).
+    EXPECT_NEAR(m20.batchInstructions / m16.batchInstructions, 1.0,
+                0.35);
+    // But per-job throughput drops by the sharing factor.
+    EXPECT_LT(m20.batchJobInstructions[0],
+              m16.batchJobInstructions[0]);
+}
+
+TEST(MulticoreTest, ProfilingReturnsPairsForEveryJob)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 9);
+    sim.setLcLoadFraction(0.5);
+    const auto pairs = sim.profileJobs(16);
+    ASSERT_EQ(pairs.size(), 17u);
+    EXPECT_NEAR(sim.now(), 0.002, 1e-9);
+    for (std::size_t j = 1; j < pairs.size(); ++j) {
+        EXPECT_GT(pairs[j].bipsWide, pairs[j].bipsNarrow)
+            << "job " << j;
+        EXPECT_GT(pairs[j].powerWide, pairs[j].powerNarrow)
+            << "job " << j;
+    }
+    EXPECT_GT(pairs[0].powerWide, 0.0);
+}
+
+TEST(MulticoreTest, ProfilingSamplesAreNoisy)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 10);
+    sim.setLcLoadFraction(0.5);
+    const auto p1 = sim.profileJobs(16);
+    const auto p2 = sim.profileJobs(16);
+    // Same configs, different noise draws (and slight phase drift).
+    EXPECT_NE(p1[1].bipsWide, p2[1].bipsWide);
+    EXPECT_NEAR(p1[1].bipsWide, p2[1].bipsWide,
+                0.3 * p1[1].bipsWide);
+}
+
+TEST(MulticoreTest, OverheadRunsUnderPreviousDecision)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 11);
+    sim.setLcLoadFraction(0.5);
+    // Slice 1: all gated. Slice 2: all active but with overhead; the
+    // overhead window must execute under slice 1's (gated) decision,
+    // costing instructions versus a zero-overhead slice 2.
+    auto gated = allWideDecision(16);
+    gated.batchActive.assign(16, false);
+    sim.runSlice(gated);
+    auto active = allWideDecision(16);
+    active.overheadSec = 0.05;
+    const auto with_overhead = sim.runSlice(active);
+
+    MulticoreSim fresh(params, makeTestMix(), 11);
+    fresh.setLcLoadFraction(0.5);
+    fresh.runSlice(gated);
+    auto no_overhead = allWideDecision(16);
+    const auto without = fresh.runSlice(no_overhead);
+    EXPECT_LT(with_overhead.batchInstructions,
+              0.7 * without.batchInstructions);
+}
+
+TEST(MulticoreTest, TruthAccessorsAreNoiseFree)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 12);
+    const JobConfig config(CoreConfig(4, 4, 4), 1);
+    EXPECT_DOUBLE_EQ(sim.truthBatchBips(0, config),
+                     sim.truthBatchBips(0, config));
+    EXPECT_GT(sim.truthBatchBips(0, config), 0.0);
+    EXPECT_GT(sim.truthBatchPower(0, config), 0.0);
+    EXPECT_THROW(sim.truthBatchBips(16, config), PanicError);
+}
+
+TEST(MulticoreTest, PhaseDriftIsBoundedAndSmooth)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 13);
+    for (std::size_t j = 0; j < 17; ++j) {
+        for (double t = 0.0; t < 2.0; t += 0.05) {
+            const double s = sim.phaseScale(j, t);
+            EXPECT_GE(s, 1.0 - kPhaseDriftAmplitude - 1e-12);
+            EXPECT_LE(s, 1.0 + kPhaseDriftAmplitude + 1e-12);
+        }
+    }
+}
+
+TEST(MulticoreTest, DecisionShapeValidated)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 14);
+    sim.setLcLoadFraction(0.5);
+    SliceDecision bad = allWideDecision(16);
+    bad.batchConfigs.pop_back();
+    EXPECT_THROW(sim.runSlice(bad), PanicError);
+
+    SliceDecision bad_cores = allWideDecision(16);
+    bad_cores.lcCores = 32;
+    EXPECT_THROW(sim.runSlice(bad_cores), PanicError);
+}
+
+TEST(MulticoreTest, UncalibratedLoadFractionPanics)
+{
+    const SystemParams params;
+    WorkloadMix mix = makeTestMix();
+    mix.lc.maxQps = 0.0;
+    MulticoreSim sim(params, mix, 15);
+    EXPECT_THROW(sim.setLcLoadFraction(0.5), PanicError);
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared fixture for simulator-level tests: a calibrated colocation
+ * (one TailBench-like LC service + a small batch mix).
+ */
+
+#ifndef CUTTLESYS_TESTS_SIM_FIXTURE_HH
+#define CUTTLESYS_TESTS_SIM_FIXTURE_HH
+
+#include <vector>
+
+#include "apps/gallery.hh"
+#include "apps/mix.hh"
+#include "config/params.hh"
+#include "lcsim/calibrate.hh"
+#include "sim/multicore.hh"
+
+namespace cuttlesys {
+
+/** Calibrated TailBench gallery, computed once per test binary. */
+inline const std::vector<AppProfile> &
+calibratedTailbench()
+{
+    static const std::vector<AppProfile> apps = [] {
+        std::vector<AppProfile> gallery = tailbenchGallery();
+        MaxQpsOptions opts;
+        opts.warmupSec = 0.2;
+        opts.measureSec = 0.8;
+        opts.iterations = 12;
+        SystemParams params;
+        calibrateMaxQps(gallery, params, opts);
+        return gallery;
+    }();
+    return apps;
+}
+
+/** A calibrated colocation: LC service @p lc_index + @p B batch apps. */
+inline WorkloadMix
+makeTestMix(std::size_t lc_index = 0, std::size_t batch_jobs = 16,
+            std::uint64_t seed = 11)
+{
+    WorkloadMix mix;
+    const auto &lc = calibratedTailbench();
+    mix.lc = lc[lc_index % lc.size()];
+    mix.name = mix.lc.name + "/test";
+    mix.batch = makeBatchMix(splitSpecGallery().test, batch_jobs, seed);
+    return mix;
+}
+
+/** A decision that runs everything wide (no gating). */
+inline SliceDecision
+allWideDecision(std::size_t batch_jobs, std::size_t lc_cores = 16)
+{
+    SliceDecision d;
+    d.lcCores = lc_cores;
+    d.lcConfig = JobConfig(CoreConfig::widest(), kNumCacheAllocs - 1);
+    d.batchConfigs.assign(batch_jobs, JobConfig(CoreConfig::widest(),
+                                                1));
+    d.batchActive.assign(batch_jobs, true);
+    return d;
+}
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_TESTS_SIM_FIXTURE_HH
