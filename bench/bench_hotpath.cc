@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Decision-quantum hot-path timing: the combined per-quantum cost of
+ * the three matrix reconstructions plus the parallel DDS search,
+ * before and after the hot-path optimizations of this change set.
+ *
+ * "before" reproduces the seed configuration's algorithmic work:
+ * cold-start SGD every quantum (no factor reuse), convergence checked
+ * on every observed cell, and full evaluatePoint per DDS candidate.
+ * "after" is the shipped configuration: cross-quantum factor warm
+ * starts, subsampled convergence checks, and delta-evaluated DDS.
+ * Both run on the persistent pool, so the measured ratio understates
+ * the speedup over the seed (which also paid a thread spawn + join
+ * fleet per quantum).
+ *
+ * Emits BENCH_hotpath.json next to stdout for scripted comparison.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "cf/engine.hh"
+#include "common/thread_pool.hh"
+#include "search/dds.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kLiveJobs = 17;
+constexpr std::size_t kBatchJobs = 16;
+constexpr std::size_t kQuanta = 12;
+
+/** One decision quantum's model work, parameterized by fidelity. */
+struct HotPath
+{
+    CfEngine bips;
+    CfEngine power;
+    CfEngine latency;
+    Matrix predBips, predPower, predLatency;
+    Matrix searchBips{kBatchJobs, kNumJobConfigs};
+    Matrix searchPower{kBatchJobs, kNumJobConfigs};
+    DdsOptions dds;
+    Rng rng{83};
+
+    HotPath(bool warm_start, std::size_t conv_samples, bool delta)
+        : bips(trainingTables().bips, kLiveJobs, kNumJobConfigs),
+          power(trainingTables().power, kLiveJobs, kNumJobConfigs),
+          latency(trainingTables().latency, 1, kNumJobConfigs)
+    {
+        for (CfEngine *e : {&bips, &power, &latency}) {
+            e->setFactorWarmStart(warm_start);
+            e->options().convergenceSamples = conv_samples;
+        }
+        bips.options().threads = 4;
+        power.options().threads = 4;
+        latency.options().threads = 2;
+        latency.options().logTransform = true;
+        dds.threads = 8;
+        dds.useDeltaEval = delta;
+
+        // Two profiling samples per live row, like the runtime's
+        // steady state.
+        for (std::size_t j = 0; j < kLiveJobs; ++j) {
+            bips.observe(j, 0, rng.uniform(0.5, 8.0));
+            bips.observe(j, kNumJobConfigs - 1, rng.uniform(0.5, 8.0));
+            power.observe(j, 0, rng.uniform(0.5, 3.0));
+            power.observe(j, kNumJobConfigs - 1, rng.uniform(0.5, 3.0));
+        }
+        latency.observe(0, kNumJobConfigs - 1, 5e-3);
+    }
+
+    /** One quantum: ingest a fresh cell, reconstruct x3, search. */
+    double quantum(std::size_t slice)
+    {
+        // A trickle of new observations, as the runtime sees.
+        const auto cfg = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(
+                                  kNumJobConfigs) - 1));
+        bips.observe(slice % kLiveJobs, cfg, rng.uniform(0.5, 8.0));
+        power.observe(slice % kLiveJobs, cfg, rng.uniform(0.5, 3.0));
+
+        ThreadPool::global().parallelFor(3, [&](std::size_t metric) {
+            switch (metric) {
+              case 0: bips.predictInto(predBips); break;
+              case 1: power.predictInto(predPower); break;
+              default: latency.predictInto(predLatency); break;
+            }
+        });
+
+        for (std::size_t j = 0; j < kBatchJobs; ++j) {
+            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+                searchBips(j, c) = predBips(1 + j, c);
+                searchPower(j, c) = predPower(1 + j, c);
+            }
+        }
+        ObjectiveContext ctx;
+        ctx.bips = &searchBips;
+        ctx.power = &searchPower;
+        ctx.powerBudgetW = 30.0;
+        ctx.cacheBudgetWays = 28.0;
+        dds.seed = 11 + slice; // fresh exploration each quantum
+        const SearchResult found = parallelDds(ctx, dds);
+        return found.metrics.objective;
+    }
+};
+
+struct RunStats
+{
+    double meanMs = 0.0;
+    double minMs = 0.0;
+    double meanObjective = 0.0;
+};
+
+RunStats
+run(bool warm_start, std::size_t conv_samples, bool delta)
+{
+    HotPath path(warm_start, conv_samples, delta);
+    // Untimed cold quantum: fills the factor caches for the "after"
+    // configuration, and gives both configurations identical warmup.
+    path.quantum(0);
+
+    RunStats stats;
+    stats.minMs = 1e18;
+    for (std::size_t q = 1; q <= kQuanta; ++q) {
+        const auto start = Clock::now();
+        const double objective = path.quantum(q);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      start).count();
+        stats.meanMs += ms;
+        stats.minMs = std::min(stats.minMs, ms);
+        stats.meanObjective += objective;
+    }
+    stats.meanMs /= kQuanta;
+    stats.meanObjective /= kQuanta;
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    banner("bench_hotpath", "decision-quantum hot path before/after",
+           "Table II budget: 4.8 ms SGD + 1.3 ms DDS per 100 ms "
+           "quantum");
+
+    const RunStats before = run(false, 0, false);
+    const RunStats after = run(true, 512, true);
+    const double speedup = before.meanMs / after.meanMs;
+
+    std::printf("%-28s %10s %10s %14s\n", "configuration", "mean ms",
+                "min ms", "mean objective");
+    std::printf("%-28s %10.3f %10.3f %14.4f\n",
+                "before (cold/full/ref)", before.meanMs, before.minMs,
+                before.meanObjective);
+    std::printf("%-28s %10.3f %10.3f %14.4f\n",
+                "after (warm/sub/delta)", after.meanMs, after.minMs,
+                after.meanObjective);
+    std::printf("combined speedup: %.2fx\n", speedup);
+
+    if (FILE *f = std::fopen("BENCH_hotpath.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"quanta\": %zu,\n"
+                     "  \"before_mean_ms\": %.4f,\n"
+                     "  \"before_min_ms\": %.4f,\n"
+                     "  \"before_mean_objective\": %.6f,\n"
+                     "  \"after_mean_ms\": %.4f,\n"
+                     "  \"after_min_ms\": %.4f,\n"
+                     "  \"after_mean_objective\": %.6f,\n"
+                     "  \"speedup\": %.4f\n"
+                     "}\n",
+                     kQuanta, before.meanMs, before.minMs,
+                     before.meanObjective, after.meanMs, after.minMs,
+                     after.meanObjective, speedup);
+        std::fclose(f);
+        std::printf("wrote BENCH_hotpath.json\n");
+    }
+    return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "bench_common.hh"
 #include "cf/engine.hh"
+#include "common/thread_pool.hh"
 #include "search/dds.hh"
 #include "search/ga.hh"
 
@@ -68,6 +69,57 @@ BM_SgdHogwild4(benchmark::State &state)
 }
 BENCHMARK(BM_SgdHogwild4)->Unit(benchmark::kMillisecond);
 
+void
+BM_SgdWarmStart(benchmark::State &state)
+{
+    // The steady-state quantum: reconstruct the same matrix starting
+    // from the previous quantum's factors.
+    const RatingMatrix ratings = runtimeShapedMatrix(2);
+    SgdOptions options;
+    options.threads = 4;
+    const SgdResult cold = reconstruct(ratings, options);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            reconstruct(ratings, options, nullptr, &cold.factors));
+    }
+}
+BENCHMARK(BM_SgdWarmStart)->Unit(benchmark::kMillisecond);
+
+void
+BM_TripleReconstructPooled(benchmark::State &state)
+{
+    // The runtime's reconstructAll(): three engines on the shared
+    // pool, steady state (warm factors after the first call).
+    const TrainingTables &tables = trainingTables();
+    CfEngine bips(tables.bips, 17, kNumJobConfigs);
+    CfEngine power(tables.power, 17, kNumJobConfigs);
+    CfEngine latency(tables.latency, 1, kNumJobConfigs);
+    bips.options().threads = 4;
+    power.options().threads = 4;
+    latency.options().threads = 2;
+    latency.options().logTransform = true;
+    Rng rng(79);
+    for (std::size_t j = 0; j < 17; ++j) {
+        bips.observe(j, 0, rng.uniform(0.5, 8.0));
+        bips.observe(j, kNumJobConfigs - 1, rng.uniform(0.5, 8.0));
+        power.observe(j, 0, rng.uniform(0.5, 3.0));
+        power.observe(j, kNumJobConfigs - 1, rng.uniform(0.5, 3.0));
+    }
+    latency.observe(0, kNumJobConfigs - 1, 5e-3);
+    Matrix pred_bips, pred_power, pred_latency;
+    for (auto _ : state) {
+        ThreadPool::global().parallelFor(3, [&](std::size_t metric) {
+            switch (metric) {
+              case 0: bips.predictInto(pred_bips); break;
+              case 1: power.predictInto(pred_power); break;
+              default: latency.predictInto(pred_latency); break;
+            }
+        });
+        benchmark::DoNotOptimize(pred_bips);
+    }
+}
+BENCHMARK(BM_TripleReconstructPooled)->Unit(benchmark::kMillisecond);
+
 /** Objective landscape shaped like one decision quantum's. */
 struct SearchSetup
 {
@@ -117,6 +169,34 @@ BM_SerialDds(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SerialDds)->Unit(benchmark::kMillisecond);
+
+void
+BM_DdsReference(benchmark::State &state)
+{
+    // Full evaluatePoint per candidate (the pre-delta inner loop).
+    const SearchSetup setup;
+    DdsOptions options;
+    options.threads = 8;
+    options.useDeltaEval = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(parallelDds(setup.ctx, options));
+    }
+}
+BENCHMARK(BM_DdsReference)->Unit(benchmark::kMillisecond);
+
+void
+BM_DdsDelta(benchmark::State &state)
+{
+    // O(#perturbed-dims) delta evaluation per candidate.
+    const SearchSetup setup;
+    DdsOptions options;
+    options.threads = 8;
+    options.useDeltaEval = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(parallelDds(setup.ctx, options));
+    }
+}
+BENCHMARK(BM_DdsDelta)->Unit(benchmark::kMillisecond);
 
 void
 BM_GeneticSearch(benchmark::State &state)

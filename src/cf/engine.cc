@@ -1,6 +1,7 @@
 #include "cf/engine.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -35,6 +36,10 @@ CfEngine::clearJob(std::size_t job)
 {
     CS_ASSERT(job < numJobs_, "live job ", job, " out of range");
     ratings_.clearRow(trainingRows_ + job);
+    // Job churn: the cached factors encode the departed job's row, so
+    // warm-starting from them would bias the replacement's
+    // predictions toward its predecessor.
+    factors_ = SgdFactors{};
 }
 
 std::size_t
@@ -66,21 +71,31 @@ CfEngine::setJobContext(std::size_t job, double context)
 Matrix
 CfEngine::predict() const
 {
-    const SgdResult result = reconstruct(
-        ratings_, options_,
-        rowContext_.empty() ? nullptr : &rowContext_);
-    lastIterations_ = result.iterations;
+    Matrix jobs;
+    predictInto(jobs);
+    return jobs;
+}
 
-    Matrix jobs(numJobs_, cols());
+void
+CfEngine::predictInto(Matrix &out) const
+{
+    SgdResult result = reconstruct(
+        ratings_, options_,
+        rowContext_.empty() ? nullptr : &rowContext_,
+        factorWarmStart_ && !factors_.empty() ? &factors_ : nullptr);
+    lastIterations_ = result.iterations;
+    factors_ = std::move(result.factors);
+
+    if (out.rows() != numJobs_ || out.cols() != cols())
+        out = Matrix(numJobs_, cols());
     for (std::size_t j = 0; j < numJobs_; ++j) {
         const std::size_t row = trainingRows_ + j;
         for (std::size_t c = 0; c < cols(); ++c) {
-            jobs(j, c) = ratings_.observed(row, c)
+            out(j, c) = ratings_.observed(row, c)
                 ? ratings_.value(row, c)
                 : result.reconstructed(row, c);
         }
     }
-    return jobs;
 }
 
 } // namespace cuttlesys

@@ -61,8 +61,33 @@ class CfEngine
      */
     Matrix predict() const;
 
+    /**
+     * Like predict(), but writes into @p out (resized to
+     * numJobs x cols if needed) instead of returning a fresh matrix.
+     * The runtime calls this once per metric per decision quantum;
+     * reusing the caller's buffer avoids three matrix allocations per
+     * quantum.
+     */
+    void predictInto(Matrix &out) const;
+
     /** Last reconstruction's iteration count (0 before any predict). */
     std::size_t lastIterations() const { return lastIterations_; }
+
+    /**
+     * Enable/disable reusing the previous reconstruction's factors as
+     * the next one's starting point (on by default). The factors are
+     * invalidated automatically on clearJob() — a churned row makes
+     * the old factors a misleading start — and can be dropped
+     * explicitly with invalidateFactors().
+     */
+    void setFactorWarmStart(bool enable) { factorWarmStart_ = enable; }
+    bool factorWarmStart() const { return factorWarmStart_; }
+
+    /** Drop the cached factors; the next predict() cold-starts. */
+    void invalidateFactors() { factors_ = SgdFactors{}; }
+
+    /** True when a warm start is available for the next predict(). */
+    bool hasCachedFactors() const { return !factors_.empty(); }
 
     SgdOptions &options() { return options_; }
     const SgdOptions &options() const { return options_; }
@@ -73,6 +98,8 @@ class CfEngine
     RatingMatrix ratings_;
     SgdOptions options_;
     std::vector<double> rowContext_; //!< empty = no context
+    bool factorWarmStart_ = true;
+    mutable SgdFactors factors_;     //!< last predict()'s factors
     mutable std::size_t lastIterations_ = 0;
 };
 

@@ -1,13 +1,13 @@
 #include "cf/sgd.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <barrier>
 #include <cmath>
-#include <thread>
+#include <utility>
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 namespace cuttlesys {
 
@@ -46,47 +46,68 @@ untransformValue(double y, bool log_transform)
     return std::max(y, 0.0);
 }
 
-/** Per-row scales of the transformed values. */
-std::vector<double>
-transformedRowScales(const RatingMatrix &ratings, bool log_transform)
-{
-    std::vector<double> scales(ratings.rows(), 1.0);
-    for (std::size_t r = 0; r < ratings.rows(); ++r) {
-        double sum = 0.0;
-        std::size_t n = 0;
-        for (std::size_t c = 0; c < ratings.cols(); ++c) {
-            if (!ratings.observed(r, c))
-                continue;
-            sum += std::abs(transformValue(ratings.value(r, c),
-                                           log_transform));
-            ++n;
-        }
-        if (n > 0 && sum / static_cast<double>(n) > 1e-12)
-            scales[r] = sum / static_cast<double>(n);
-    }
-    return scales;
-}
-
-/** Gather normalized training samples. */
+/**
+ * Per-row scales of the transformed values and the normalized
+ * training samples, in one pass over the observed-cell list (the
+ * cell-by-cell observed() scan is O(rows x cols) per quantum).
+ */
 std::vector<Sample>
-gatherSamples(const RatingMatrix &ratings,
-              const std::vector<double> &scales, bool log_transform)
+gatherSamples(const RatingMatrix &ratings, bool log_transform,
+              std::vector<double> &scales)
 {
-    std::vector<Sample> samples;
-    samples.reserve(ratings.observedCount());
+    const auto cells = ratings.observedCells();
+
+    std::vector<double> transformed(cells.size());
+    std::vector<double> row_sums(ratings.rows(), 0.0);
+    std::vector<std::size_t> row_counts(ratings.rows(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &[r, c] = cells[i];
+        transformed[i] =
+            transformValue(ratings.value(r, c), log_transform);
+        row_sums[r] += std::abs(transformed[i]);
+        ++row_counts[r];
+    }
+
+    scales.assign(ratings.rows(), 1.0);
     for (std::size_t r = 0; r < ratings.rows(); ++r) {
-        for (std::size_t c = 0; c < ratings.cols(); ++c) {
-            if (!ratings.observed(r, c))
-                continue;
-            Sample s;
-            s.row = static_cast<std::uint32_t>(r);
-            s.col = static_cast<std::uint32_t>(c);
-            s.target = transformValue(ratings.value(r, c),
-                                      log_transform) / scales[r];
-            samples.push_back(s);
-        }
+        if (row_counts[r] == 0)
+            continue;
+        const double mean =
+            row_sums[r] / static_cast<double>(row_counts[r]);
+        if (mean > 1e-12)
+            scales[r] = mean;
+    }
+
+    std::vector<Sample> samples(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &[r, c] = cells[i];
+        samples[i].row = static_cast<std::uint32_t>(r);
+        samples[i].col = static_cast<std::uint32_t>(c);
+        samples[i].target = transformed[i] / scales[r];
     }
     return samples;
+}
+
+/**
+ * Fixed convergence-check subsample: an even stride through the
+ * row-major sample list covers every row proportionally. A copy, so
+ * the serial path's in-place shuffles cannot disturb it.
+ */
+std::vector<Sample>
+convergenceSubset(const std::vector<Sample> &samples, std::size_t cap)
+{
+    if (cap == 0 || samples.size() <= cap)
+        return samples;
+    std::vector<Sample> subset;
+    subset.reserve(cap);
+    const double stride = static_cast<double>(samples.size()) /
+                          static_cast<double>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+        subset.push_back(
+            samples[static_cast<std::size_t>(
+                static_cast<double>(i) * stride)]);
+    }
+    return subset;
 }
 
 double
@@ -108,8 +129,13 @@ rmse(const std::vector<Sample> &samples, const Matrix &q,
     return std::sqrt(ss / static_cast<double>(samples.size()));
 }
 
-/** Apply one SGD update for a sample (shared, possibly racy). */
-inline void
+/**
+ * Apply one SGD update for a sample. In the parallel (Hogwild)
+ * variant concurrent workers race on the shared factor rows by
+ * design; the races are benign (Section V cites [95], [96]) and
+ * excluded from ThreadSanitizer via the annotation.
+ */
+inline CS_EXPECT_BENIGN_RACES void
 sgdUpdate(const Sample &s, Matrix &q, Matrix &p, std::size_t rank,
           double eta, double lambda)
 {
@@ -291,7 +317,8 @@ blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
 
 SgdResult
 reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
-            const std::vector<double> *row_context)
+            const std::vector<double> *row_context,
+            const SgdFactors *warm_start)
 {
     CS_ASSERT(!row_context || row_context->size() == ratings.rows(),
               "row context length mismatch");
@@ -303,22 +330,40 @@ reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
     const std::size_t rank =
         std::min(options.rank, std::min(rows, cols));
 
-    const auto scales =
-        transformedRowScales(ratings, options.logTransform);
+    std::vector<double> scales;
     auto samples =
-        gatherSamples(ratings, scales, options.logTransform);
+        gatherSamples(ratings, options.logTransform, scales);
 
     Rng rng(options.seed);
-    const double init = 1.0 / std::sqrt(static_cast<double>(rank));
-    Matrix q = Matrix::random(rows, rank, rng, 0.0, init);
-    Matrix p = Matrix::random(cols, rank, rng, 0.0, init);
-    if (options.svdWarmStart && !samples.empty()) {
-        svdWarmStart(ratings, scales, options.logTransform, rank, q, p);
+    Matrix q, p;
+    const bool warm = warm_start && !warm_start->empty() &&
+                      warm_start->q.rows() == rows &&
+                      warm_start->q.cols() == rank &&
+                      warm_start->p.rows() == cols &&
+                      warm_start->p.cols() == rank;
+    if (warm) {
+        // Cross-quantum warm start: the previous reconstruction's
+        // factors already encode this matrix up to a few changed
+        // cells; SGD only needs to adapt, and the SVD is skipped
+        // entirely.
+        q = warm_start->q;
+        p = warm_start->p;
+    } else {
+        const double init =
+            1.0 / std::sqrt(static_cast<double>(rank));
+        q = Matrix::random(rows, rank, rng, 0.0, init);
+        p = Matrix::random(cols, rank, rng, 0.0, init);
+        if (options.svdWarmStart && !samples.empty()) {
+            svdWarmStart(ratings, scales, options.logTransform, rank,
+                         q, p);
+        }
     }
 
     SgdResult result;
     if (!samples.empty()) {
-        double prev_rmse = rmse(samples, q, p, rank);
+        const auto conv =
+            convergenceSubset(samples, options.convergenceSamples);
+        double prev_rmse = rmse(conv, q, p, rank);
         if (options.threads == 1) {
             for (std::size_t iter = 0; iter < options.maxIterations;
                  ++iter) {
@@ -328,66 +373,57 @@ reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
                               options.regularization);
                 }
                 ++result.iterations;
-                const double cur = rmse(samples, q, p, rank);
+                const double cur = rmse(conv, q, p, rank);
                 if (prev_rmse - cur <
                     options.convergenceTol * std::max(prev_rmse, 1e-12))
                     break;
                 prev_rmse = cur;
             }
         } else {
-            // Lock-free parallel SGD (Hogwild): threads update the
+            // Lock-free parallel SGD (Hogwild): workers update the
             // shared factors without synchronization; conflicting
             // writes are rare because each sample touches one Q row
-            // and one P row.
+            // and one P row. Epochs run fork-join on the persistent
+            // pool (no thread spawn/join per reconstruction), with
+            // the convergence check between epochs on the caller.
             const std::size_t nthreads =
                 std::min(options.threads, samples.size());
-            std::atomic<bool> stop{false};
-            std::atomic<std::size_t> iters{0};
-            double shared_prev = prev_rmse;
-            std::barrier sync(static_cast<std::ptrdiff_t>(nthreads));
-
-            auto worker = [&](std::size_t tid) {
-                Rng local(options.seed + 7919 * (tid + 1));
-                const std::size_t chunk =
-                    (samples.size() + nthreads - 1) / nthreads;
-                const std::size_t begin = tid * chunk;
+            const std::size_t chunk =
+                (samples.size() + nthreads - 1) / nthreads;
+            std::vector<Rng> worker_rngs;
+            std::vector<std::vector<std::size_t>> orders(nthreads);
+            worker_rngs.reserve(nthreads);
+            for (std::size_t t = 0; t < nthreads; ++t) {
+                worker_rngs.emplace_back(options.seed +
+                                         7919 * (t + 1));
+                const std::size_t begin = t * chunk;
                 const std::size_t end =
                     std::min(samples.size(), begin + chunk);
-                std::vector<std::size_t> order(end - begin);
-                for (std::size_t i = 0; i < order.size(); ++i)
-                    order[i] = begin + i;
+                orders[t].resize(end - begin);
+                for (std::size_t i = 0; i < orders[t].size(); ++i)
+                    orders[t][i] = begin + i;
+            }
 
-                for (std::size_t iter = 0;
-                     iter < options.maxIterations; ++iter) {
-                    std::shuffle(order.begin(), order.end(), local);
+            ThreadPool &pool = ThreadPool::global();
+            for (std::size_t iter = 0; iter < options.maxIterations;
+                 ++iter) {
+                pool.parallelFor(nthreads, [&](std::size_t tid) {
+                    auto &order = orders[tid];
+                    std::shuffle(order.begin(), order.end(),
+                                 worker_rngs[tid]);
                     for (std::size_t idx : order) {
                         sgdUpdate(samples[idx], q, p, rank,
                                   options.learningRate,
                                   options.regularization);
                     }
-                    sync.arrive_and_wait();
-                    if (tid == 0) {
-                        iters.fetch_add(1);
-                        const double cur = rmse(samples, q, p, rank);
-                        if (shared_prev - cur <
-                            options.convergenceTol *
-                            std::max(shared_prev, 1e-12))
-                            stop.store(true);
-                        shared_prev = cur;
-                    }
-                    sync.arrive_and_wait();
-                    if (stop.load())
-                        break;
-                }
-            };
-
-            std::vector<std::thread> pool;
-            pool.reserve(nthreads);
-            for (std::size_t t = 0; t < nthreads; ++t)
-                pool.emplace_back(worker, t);
-            for (auto &th : pool)
-                th.join();
-            result.iterations = iters.load();
+                });
+                ++result.iterations;
+                const double cur = rmse(conv, q, p, rank);
+                if (prev_rmse - cur <
+                    options.convergenceTol * std::max(prev_rmse, 1e-12))
+                    break;
+                prev_rmse = cur;
+            }
         }
         if (options.foldInRows) {
             // Closed-form ridge refit of each row's factors against
@@ -436,6 +472,10 @@ reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
     if (options.rowBlendThreshold > 0)
         blendSparseRows(ratings, options, row_context,
                         result.reconstructed);
+    // Hand the learned factors back so the caller can warm-start the
+    // next reconstruction of this matrix.
+    result.factors.q = std::move(q);
+    result.factors.p = std::move(p);
     return result;
 }
 

@@ -42,7 +42,20 @@ struct SgdOptions
     std::size_t maxIterations = 120;
     /** Stop when the relative train-RMSE improvement drops below. */
     double convergenceTol = 1e-4;
-    /** Worker threads; > 1 selects the lock-free parallel variant. */
+    /**
+     * Convergence-check subsample size: the per-epoch RMSE that
+     * drives the stop decision is computed over (at most) this many
+     * training cells, chosen as a fixed stride through the row-major
+     * observed cells, instead of every observation — the check runs
+     * once per epoch and only steers termination, so a stable
+     * subsample is as informative at a fraction of the cost. 0 uses
+     * every cell. The reported trainRmse is always the full RMSE.
+     */
+    std::size_t convergenceSamples = 512;
+    /**
+     * Worker threads; > 1 selects the lock-free parallel variant,
+     * run as fork-join epochs on the shared persistent ThreadPool.
+     */
     std::size_t threads = 1;
     bool svdWarmStart = false;
     /**
@@ -69,12 +82,29 @@ struct SgdOptions
     std::uint64_t seed = 5;
 };
 
+/**
+ * Learned PQ factors in normalized transform space, returned by one
+ * reconstruction and accepted back as a warm start for the next. The
+ * rating matrix changes by a handful of cells per decision quantum,
+ * so the previous quantum's factors are a near-converged starting
+ * point: SGD then needs a few adaptation epochs instead of a full
+ * cold-start run (and no O(n^3) SVD).
+ */
+struct SgdFactors
+{
+    Matrix q;  //!< rows x rank
+    Matrix p;  //!< cols x rank
+
+    bool empty() const { return q.rows() == 0; }
+};
+
 /** Output of one reconstruction. */
 struct SgdResult
 {
     Matrix reconstructed;    //!< full rows x cols prediction
     std::size_t iterations = 0;
     double trainRmse = 0.0;  //!< RMSE on observed (normalized) cells
+    SgdFactors factors;      //!< learned factors (warm-start input)
 };
 
 /**
@@ -92,11 +122,19 @@ struct SgdResult
  *        but the cliffs move by orders of magnitude. Negative entries
  *        mean "no context for this row".
  *
+ * @param warm_start optional factors from a previous reconstruction
+ *        of (a slightly updated version of) the same matrix. Used as
+ *        the starting point when their shape matches the current
+ *        (rows, cols, effective rank); otherwise — cold start or job
+ *        churn — the random / Jacobi-SVD initialization runs as
+ *        usual.
+ *
  * Predictions of physical quantities are clamped to be non-negative.
  */
 SgdResult reconstruct(const RatingMatrix &ratings,
                       const SgdOptions &options = {},
-                      const std::vector<double> *row_context = nullptr);
+                      const std::vector<double> *row_context = nullptr,
+                      const SgdFactors *warm_start = nullptr);
 
 /** Weight of one unit of context gap in the blend's row distance. */
 inline constexpr double kContextDistanceWeight = 1.5;

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Compiler/sanitizer annotations.
+ *
+ * CS_EXPECT_BENIGN_RACES marks functions whose data races are by
+ * design — the lock-free Hogwild SGD updates shared factor rows
+ * without synchronization (Section V cites Niu et al.'s convergence
+ * argument). Under ThreadSanitizer those accesses are excluded so the
+ * rest of the system (thread pool, DDS barriers) can run race-clean
+ * in CI; without TSan the macro expands to nothing.
+ */
+
+#ifndef CUTTLESYS_COMMON_ANNOTATIONS_HH
+#define CUTTLESYS_COMMON_ANNOTATIONS_HH
+
+#if defined(__SANITIZE_THREAD__)
+#define CS_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CS_TSAN_ENABLED 1
+#endif
+#endif
+
+#if defined(CS_TSAN_ENABLED)
+#define CS_EXPECT_BENIGN_RACES __attribute__((no_sanitize("thread")))
+#else
+#define CS_EXPECT_BENIGN_RACES
+#endif
+
+#endif // CUTTLESYS_COMMON_ANNOTATIONS_HH

@@ -1,0 +1,144 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace cuttlesys {
+
+struct ThreadPool::Batch
+{
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};  //!< next index to claim
+    std::atomic<std::size_t> done{0};  //!< completed invocations
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::exception_ptr error;  //!< first failure, if any
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max(2u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runIndex(Batch &batch, std::size_t i)
+{
+    try {
+        (*batch.fn)(i);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.doneMutex);
+        if (!batch.error)
+            batch.error = std::current_exception();
+    }
+    if (batch.done.fetch_add(1) + 1 == batch.n) {
+        // The lock pairs with the caller's predicate check so the
+        // final notification cannot slip between check and sleep.
+        std::lock_guard<std::mutex> lock(batch.doneMutex);
+        batch.doneCv.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_)
+            return;
+        std::shared_ptr<Batch> batch = queue_.front();
+        std::size_t i = batch->next.fetch_add(1);
+        if (i >= batch->n) {
+            // Exhausted; retire it so later batches become visible.
+            if (!queue_.empty() && queue_.front() == batch)
+                queue_.pop_front();
+            continue;
+        }
+        lock.unlock();
+        do {
+            runIndex(*batch, i);
+            i = batch->next.fetch_add(1);
+        } while (i < batch->n);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->n = n;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(batch);
+    }
+    cv_.notify_all();
+
+    // Work-sharing: the caller claims indices like any worker, so the
+    // region completes even if every pool thread is busy elsewhere
+    // (including nested parallelFor calls from pool tasks).
+    std::size_t i;
+    while ((i = batch->next.fetch_add(1)) < n)
+        runIndex(*batch, i);
+
+    std::unique_lock<std::mutex> lock(batch->doneMutex);
+    batch->doneCv.wait(lock,
+                       [&] { return batch->done.load() >= batch->n; });
+    lock.unlock();
+
+    {
+        // Retire the batch if no worker got to it.
+        std::lock_guard<std::mutex> qlock(mutex_);
+        auto it = std::find(queue_.begin(), queue_.end(), batch);
+        if (it != queue_.end())
+            queue_.erase(it);
+    }
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool([] {
+        if (const char *env = std::getenv("CS_POOL_THREADS")) {
+            const long parsed = std::atol(env);
+            if (parsed > 0)
+                return static_cast<std::size_t>(parsed);
+        }
+        return static_cast<std::size_t>(
+            std::max(2u, std::thread::hardware_concurrency()));
+    }());
+    return pool;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Persistent work-sharing thread pool for the per-quantum hot path.
+ *
+ * Every decision quantum used to spawn and join ~4 fresh std::thread
+ * fleets (three SGD reconstructions plus parallel DDS) — thousands of
+ * spawns per experiment. The pool keeps a fixed set of workers alive
+ * for the process lifetime and hands them fork-join parallel regions.
+ *
+ * parallelFor(n, fn) runs fn(0) .. fn(n-1) with the *caller
+ * participating*: the caller claims indices from the same atomic
+ * counter the workers do, so a parallelFor issued from inside another
+ * parallelFor task (nested parallelism — the runtime reconstructs
+ * three matrices concurrently and each reconstruction is itself
+ * parallel) always makes progress even when every pool worker is
+ * busy. The caller can finish the whole region alone, so the pool is
+ * deadlock-free by construction regardless of its size.
+ */
+
+#ifndef CUTTLESYS_COMMON_THREAD_POOL_HH
+#define CUTTLESYS_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cuttlesys {
+
+/** Fixed-size pool of persistent worker threads. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 falls back to the hardware. */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads owned by the pool (callers come on top). */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Run fn(i) for i in [0, n), distributing indices over the pool
+     * workers and the calling thread; returns once every invocation
+     * completed. The first exception thrown by any invocation is
+     * rethrown on the caller. Reentrant: fn may itself call
+     * parallelFor on the same pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * The process-wide pool used by the SGD reconstruction, parallel
+     * DDS and the runtime. Sized to the hardware (at least 2 workers
+     * so parallel code paths are exercised even on one core);
+     * override with the CS_POOL_THREADS environment variable.
+     */
+    static ThreadPool &global();
+
+  private:
+    /** Shared state of one parallelFor region. */
+    struct Batch;
+
+    void workerLoop();
+    static void runIndex(Batch &batch, std::size_t i);
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Batch>> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_COMMON_THREAD_POOL_HH

@@ -5,9 +5,9 @@
 #include <iostream>
 #include <cmath>
 #include <limits>
-#include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "power/power_model.hh"
 
 namespace cuttlesys {
@@ -141,6 +141,12 @@ CuttleSysOptions::CuttleSysOptions()
     // Tail latencies span orders of magnitude across configurations;
     // learn them in log space.
     sgdLatency.logTransform = true;
+    // Cold starts (first quantum, job churn) take the Jacobi-SVD
+    // initialization; every other quantum warm-starts from the
+    // previous reconstruction's factors and skips the SVD entirely.
+    sgdBips.svdWarmStart = true;
+    sgdPower.svdWarmStart = true;
+    sgdLatency.svdWarmStart = true;
 }
 
 CuttleSysScheduler::CuttleSysScheduler(const SystemParams &params,
@@ -264,13 +270,17 @@ void
 CuttleSysScheduler::reconstructAll()
 {
     // Three reconstruction instances, one per metric, run in parallel
-    // on the same server (Section V).
-    std::thread bips_thread([&] { predBips_ = bipsEngine_.predict(); });
-    std::thread power_thread(
-        [&] { predPower_ = powerEngine_.predict(); });
-    predLatency_ = latencyEngine_.predict();
-    bips_thread.join();
-    power_thread.join();
+    // on the same server (Section V). The shared pool runs them; the
+    // caller participates (work-sharing parallelFor), so the nested
+    // Hogwild epochs inside each engine never deadlock against this
+    // outer region.
+    ThreadPool::global().parallelFor(3, [&](std::size_t metric) {
+        switch (metric) {
+          case 0: bipsEngine_.predictInto(predBips_); break;
+          case 1: powerEngine_.predictInto(predPower_); break;
+          default: latencyEngine_.predictInto(predLatency_); break;
+        }
+    });
 }
 
 JobConfig
@@ -453,8 +463,14 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
         static_cast<double>(params_.llcWays) - lc_config.cacheWays();
 
     // Batch rows of the predictions, contiguous for the objective.
-    Matrix bips(numBatchJobs_, kNumJobConfigs);
-    Matrix power(numBatchJobs_, kNumJobConfigs);
+    // The buffers are members so the allocation happens once, not
+    // every quantum.
+    if (searchBips_.rows() != numBatchJobs_) {
+        searchBips_ = Matrix(numBatchJobs_, kNumJobConfigs);
+        searchPower_ = Matrix(numBatchJobs_, kNumJobConfigs);
+    }
+    Matrix &bips = searchBips_;
+    Matrix &power = searchPower_;
     for (std::size_t j = 0; j < numBatchJobs_; ++j) {
         for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
             bips(j, c) = predBips_(1 + j, c);

@@ -168,6 +168,8 @@ class CuttleSysScheduler : public Scheduler
     Matrix predBips_;
     Matrix predPower_;   //!< row 0 = LC, rows 1.. = batch
     Matrix predLatency_;
+    Matrix searchBips_;  //!< batch-row views for the DDS objective,
+    Matrix searchPower_; //!< reused across quanta (no per-slice alloc)
 
     std::size_t lcCores_;
     double lastLoadEstimate_ = -1.0;

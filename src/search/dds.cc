@@ -1,14 +1,44 @@
 #include "search/dds.hh"
 
 #include <algorithm>
-#include <barrier>
 #include <cmath>
-#include <thread>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 namespace cuttlesys {
+
+namespace detail {
+
+std::uint16_t
+perturbDim(std::uint16_t value, double r, std::size_t num_configs,
+           Rng &rng)
+{
+    const double n = static_cast<double>(num_configs);
+    const double top = n - 1.0;
+    double v = static_cast<double>(value) + r * n * rng.normal();
+    // Reflect until inside [0, n-1] — the true domain bounds. Using
+    // n as the upper reflection test would let values in [n-1, n)
+    // through unreflected, to be clamped (and rounded) onto the top
+    // configuration, biasing the search toward the widest config.
+    // The loop terminates because each reflection strictly shrinks
+    // |v|'s distance to the interval.
+    for (int guard = 0; guard < 64; ++guard) {
+        if (v < 0.0) {
+            v = -v;
+        } else if (v > top) {
+            v = 2.0 * top - v;
+        } else {
+            break;
+        }
+    }
+    v = std::clamp(v, 0.0, top);
+    return static_cast<std::uint16_t>(std::lround(v));
+}
+
+} // namespace detail
 
 namespace {
 
@@ -24,31 +54,6 @@ randomPoint(const ObjectiveContext &ctx, Rng &rng)
     return x;
 }
 
-/**
- * Perturb one dimension by r * #confs * N(0,1), reflecting out-of-
- * range values about the violated bound (Algorithm 2 lines 13-15).
- */
-std::uint16_t
-perturbDim(std::uint16_t value, double r, std::size_t num_configs,
-           Rng &rng)
-{
-    const double n = static_cast<double>(num_configs);
-    double v = static_cast<double>(value) + r * n * rng.normal();
-    // Reflect until inside [0, n); the loop terminates because each
-    // reflection strictly shrinks |v|'s distance to the interval.
-    for (int guard = 0; guard < 64; ++guard) {
-        if (v < 0.0) {
-            v = -v;
-        } else if (v >= n) {
-            v = 2.0 * (n - 1.0) - v;
-        } else {
-            break;
-        }
-    }
-    v = std::clamp(v, 0.0, n - 1.0);
-    return static_cast<std::uint16_t>(std::lround(v));
-}
-
 /** Dimension-selection probability at iteration i (1-based). */
 double
 selectionProbability(std::size_t i, std::size_t max_iter)
@@ -59,19 +64,28 @@ selectionProbability(std::size_t i, std::size_t max_iter)
            std::log(static_cast<double>(max_iter));
 }
 
-/** Generate one DDS candidate from @p base. */
+/**
+ * Generate one DDS candidate from @p base. When @p changed is
+ * non-null it receives the indices of the perturbed dimensions (for
+ * the delta evaluation path).
+ */
 Point
 makeCandidate(const Point &base, double p, double r,
               const ObjectiveContext &ctx,
-              const std::vector<bool> &pinned, Rng &rng)
+              const std::vector<bool> &pinned, Rng &rng,
+              std::vector<std::size_t> *changed = nullptr)
 {
+    if (changed)
+        changed->clear();
     Point x = base;
     bool any = false;
     for (std::size_t d = 0; d < x.size(); ++d) {
         if (!pinned.empty() && pinned[d])
             continue;
         if (rng.uniform() < p) {
-            x[d] = perturbDim(x[d], r, ctx.numConfigs(), rng);
+            x[d] = detail::perturbDim(x[d], r, ctx.numConfigs(), rng);
+            if (changed)
+                changed->push_back(d);
             any = true;
         }
     }
@@ -87,7 +101,9 @@ makeCandidate(const Point &base, double p, double r,
                 rng.uniformInt(0,
                                static_cast<std::int64_t>(
                                    free_dims.size()) - 1))];
-            x[d] = perturbDim(x[d], r, ctx.numConfigs(), rng);
+            x[d] = detail::perturbDim(x[d], r, ctx.numConfigs(), rng);
+            if (changed)
+                changed->push_back(d);
         }
     }
     return x;
@@ -109,11 +125,12 @@ serialDds(const ObjectiveContext &ctx, const DdsOptions &options,
     CS_ASSERT(options.maxIterations >= 1, "need at least one iteration");
     CS_ASSERT(!options.rValues.empty(), "need a perturbation radius");
     Rng rng(options.seed);
+    const PreparedObjective prep(ctx);
 
     SearchResult result;
     // Initial pool: caller-provided seed points plus random samples.
     auto consider = [&](Point x) {
-        const PointMetrics m = evaluatePoint(x, ctx);
+        const PointMetrics m = prep.evaluate(x);
         ++result.evaluations;
         recordTrace(trace, m);
         if (result.best.empty() ||
@@ -133,22 +150,59 @@ serialDds(const ObjectiveContext &ctx, const DdsOptions &options,
     }
 
     const double r = options.rValues.front();
+    DeltaEvaluator incumbent(prep);
+    if (options.useDeltaEval)
+        incumbent.setIncumbent(result.best);
+    std::vector<std::size_t> changed;
     for (std::size_t i = 1; i <= options.maxIterations; ++i) {
         const double p = selectionProbability(i, options.maxIterations);
         Point x = makeCandidate(result.best, p, r, ctx, options.pinned,
-                                rng);
-        const PointMetrics m = evaluatePoint(x, ctx);
+                                rng,
+                                options.useDeltaEval ? &changed
+                                                     : nullptr);
+        const PointMetrics m = options.useDeltaEval
+            ? incumbent.evaluateCandidate(x, changed)
+            : evaluatePoint(x, ctx);
         ++result.evaluations;
         recordTrace(trace, m);
         if (m.objective > result.metrics.objective) {
             result.best = std::move(x);
-            result.metrics = m;
+            if (options.useDeltaEval) {
+                // Re-anchor exactly so delta drift never compounds.
+                incumbent.setIncumbent(result.best);
+                result.metrics = incumbent.incumbentMetrics();
+            } else {
+                result.metrics = m;
+            }
         }
     }
     if (trace)
         trace->best = result.metrics;
     return result;
 }
+
+namespace {
+
+/** Per-worker state of one parallel DDS run. */
+struct DdsThreadState
+{
+    DdsThreadState(const PreparedObjective &prep, std::uint64_t seed,
+                   double r_value)
+        : rng(seed), r(r_value), incumbent(prep)
+    {
+    }
+
+    Point localBest;
+    PointMetrics localMetrics;
+    std::size_t evaluations = 0;
+    std::vector<PointMetrics> trace;
+    Rng rng;
+    double r;
+    DeltaEvaluator incumbent;
+    std::vector<std::size_t> changed;
+};
+
+} // namespace
 
 SearchResult
 parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
@@ -159,13 +213,14 @@ parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
     const std::size_t nthreads = std::max<std::size_t>(options.threads,
                                                        1);
     Rng rng(options.seed);
+    const PreparedObjective prep(ctx);
 
     // Initial points: seeds plus random samples (Alg 2 lines 5-6).
     Point xbest;
     PointMetrics best_metrics;
     std::size_t evaluations = 0;
     auto consider = [&](Point x) {
-        const PointMetrics m = evaluatePoint(x, ctx);
+        const PointMetrics m = prep.evaluate(x);
         ++evaluations;
         if (xbest.empty() || m.objective > best_metrics.objective) {
             xbest = std::move(x);
@@ -182,65 +237,64 @@ parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
         consider(randomPoint(ctx, rng));
     }
 
-    struct ThreadState
-    {
-        Point localBest;
-        PointMetrics localMetrics;
-        std::size_t evaluations = 0;
-        std::vector<PointMetrics> trace;
-    };
-    std::vector<ThreadState> states(nthreads);
-    std::barrier sync(static_cast<std::ptrdiff_t>(nthreads));
-
-    auto worker = [&](std::size_t tid) {
-        // Thread groups use different perturbation radii: the first
-        // T/4 threads r1, the next T/4 r2, ... (Section VI-B).
+    // Thread groups use different perturbation radii: the first T/4
+    // workers r1, the next T/4 r2, ... (Section VI-B).
+    std::vector<DdsThreadState> states;
+    states.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
         const std::size_t r_idx =
-            std::min(tid * options.rValues.size() / nthreads,
+            std::min(t * options.rValues.size() / nthreads,
                      options.rValues.size() - 1);
-        const double r = options.rValues[r_idx];
-        Rng local(options.seed + 7919 * (tid + 1));
-        ThreadState &st = states[tid];
+        states.emplace_back(prep, options.seed + 7919 * (t + 1),
+                            options.rValues[r_idx]);
+    }
 
-        for (std::size_t i = 1; i <= options.maxIterations; ++i) {
+    // Fork-join rounds on the shared pool: each round every logical
+    // worker refines the shared best with its own radius and RNG
+    // stream, then the caller reduces in worker order — the same
+    // semantics as the barrier version, deterministic regardless of
+    // how the pool schedules the tasks.
+    ThreadPool &pool = ThreadPool::global();
+    for (std::size_t i = 1; i <= options.maxIterations; ++i) {
+        const double p = selectionProbability(i, options.maxIterations);
+        pool.parallelFor(nthreads, [&](std::size_t tid) {
+            DdsThreadState &st = states[tid];
             st.localBest = xbest;
             st.localMetrics = best_metrics;
-            const double p =
-                selectionProbability(i, options.maxIterations);
+            if (options.useDeltaEval)
+                st.incumbent.setIncumbent(st.localBest);
             for (std::size_t j = 0; j < options.pointsPerIteration;
                  ++j) {
-                Point xnew = makeCandidate(st.localBest, p, r, ctx,
-                                           options.pinned, local);
-                const PointMetrics m = evaluatePoint(xnew, ctx);
+                Point xnew = makeCandidate(
+                    st.localBest, p, st.r, ctx, options.pinned, st.rng,
+                    options.useDeltaEval ? &st.changed : nullptr);
+                const PointMetrics m = options.useDeltaEval
+                    ? st.incumbent.evaluateCandidate(xnew, st.changed)
+                    : evaluatePoint(xnew, ctx);
                 ++st.evaluations;
                 if (trace)
                     st.trace.push_back(m);
                 if (m.objective > st.localMetrics.objective) {
                     st.localBest = std::move(xnew);
-                    st.localMetrics = m;
-                }
-            }
-            sync.arrive_and_wait();
-            if (tid == 0) {
-                for (const auto &other : states) {
-                    if (!other.localBest.empty() &&
-                        other.localMetrics.objective >
-                        best_metrics.objective) {
-                        xbest = other.localBest;
-                        best_metrics = other.localMetrics;
+                    if (options.useDeltaEval) {
+                        st.incumbent.setIncumbent(st.localBest);
+                        st.localMetrics =
+                            st.incumbent.incumbentMetrics();
+                    } else {
+                        st.localMetrics = m;
                     }
                 }
             }
-            sync.arrive_and_wait();
+        });
+        for (const auto &other : states) {
+            if (!other.localBest.empty() &&
+                other.localMetrics.objective >
+                best_metrics.objective) {
+                xbest = other.localBest;
+                best_metrics = other.localMetrics;
+            }
         }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t)
-        pool.emplace_back(worker, t);
-    for (auto &th : pool)
-        th.join();
+    }
 
     SearchResult result;
     result.best = std::move(xbest);

@@ -37,6 +37,14 @@ struct DdsOptions
     std::size_t threads = 8;   //!< parallelDds worker count
     std::uint64_t seed = 9;
     /**
+     * Evaluate candidates as O(#perturbed-dims) deltas against the
+     * incumbent's accumulators instead of re-walking every job
+     * (incumbent metrics are always recomputed exactly, so search
+     * results match the reference path — see DeltaEvaluator). Off =
+     * the reference evaluatePoint path, kept for verification.
+     */
+    bool useDeltaEval = true;
+    /**
      * Dimensions may be pinned (the LC job's configuration is fixed
      * before the search); pinned entries of the seed point are never
      * perturbed. Empty = all dimensions free.
@@ -68,6 +76,19 @@ SearchResult serialDds(const ObjectiveContext &ctx,
 SearchResult parallelDds(const ObjectiveContext &ctx,
                          const DdsOptions &options = {},
                          SearchTrace *trace = nullptr);
+
+namespace detail {
+
+/**
+ * Perturb one dimension by r * #confs * N(0,1), reflecting
+ * out-of-range values about the true domain bounds 0 and
+ * num_configs - 1 (Algorithm 2 lines 13-15). Exposed for the
+ * boundary-distribution test.
+ */
+std::uint16_t perturbDim(std::uint16_t value, double r,
+                         std::size_t num_configs, cuttlesys::Rng &rng);
+
+} // namespace detail
 
 } // namespace cuttlesys
 

@@ -21,10 +21,11 @@ exhaustiveSearch(const ObjectiveContext &ctx, std::size_t max_points,
               " points exceeds the limit of ", max_points);
     }
 
+    const PreparedObjective prep(ctx);
     SearchResult result;
     Point x(jobs, 0);
     while (true) {
-        const PointMetrics m = evaluatePoint(x, ctx);
+        const PointMetrics m = prep.evaluate(x);
         ++result.evaluations;
         if (trace)
             trace->explored.push_back(m);

@@ -51,10 +51,11 @@ geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
     CS_ASSERT(options.elites < options.population,
               "elites must be fewer than the population");
     Rng rng(options.seed);
+    const PreparedObjective prep(ctx);
 
     SearchResult result;
     auto evaluate = [&](const Point &x) {
-        const PointMetrics m = evaluatePoint(x, ctx);
+        const PointMetrics m = prep.evaluate(x);
         ++result.evaluations;
         if (trace)
             trace->explored.push_back(m);

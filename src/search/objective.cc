@@ -50,4 +50,104 @@ objectiveValue(const Point &x, const ObjectiveContext &ctx)
     return evaluatePoint(x, ctx).objective;
 }
 
+PreparedObjective::PreparedObjective(const ObjectiveContext &ctx)
+    : ctx_(&ctx), logBips_(ctx.numJobs(), ctx.numConfigs()),
+      ways_(ctx.numConfigs())
+{
+    CS_ASSERT(ctx.bips && ctx.power, "objective context not wired");
+    for (std::size_t j = 0; j < ctx.numJobs(); ++j) {
+        for (std::size_t c = 0; c < ctx.numConfigs(); ++c) {
+            logBips_(j, c) =
+                std::log(std::max((*ctx.bips)(j, c), 1e-6));
+        }
+    }
+    for (std::size_t c = 0; c < ctx.numConfigs(); ++c)
+        ways_[c] = JobConfig::fromIndex(c).cacheWays();
+}
+
+PointMetrics
+PreparedObjective::metricsFrom(double log_sum, double power_w,
+                               double cache_ways) const
+{
+    PointMetrics m;
+    m.powerW = power_w;
+    m.cacheWays = cache_ways;
+    m.gmeanBips =
+        std::exp(log_sum / static_cast<double>(ctx_->numJobs()));
+
+    const double power_excess =
+        std::max(0.0, m.powerW - ctx_->powerBudgetW);
+    const double cache_excess =
+        std::max(0.0, m.cacheWays - ctx_->cacheBudgetWays);
+    m.feasible = power_excess == 0.0 && cache_excess == 0.0;
+
+    if (ctx_->hardConstraints && !m.feasible) {
+        m.objective = -1e9;
+    } else {
+        m.objective = m.gmeanBips -
+                      ctx_->penaltyPower * power_excess -
+                      ctx_->penaltyCache * cache_excess;
+    }
+    return m;
+}
+
+PointMetrics
+PreparedObjective::evaluate(const Point &x) const
+{
+    CS_ASSERT(x.size() == ctx_->numJobs(),
+              "point dimensionality ", x.size(), " != jobs ",
+              ctx_->numJobs());
+    double log_sum = 0.0;
+    double power_w = 0.0;
+    double cache_ways = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        const std::size_t c = x[j];
+        CS_ASSERT(c < ctx_->numConfigs(), "config index out of range");
+        log_sum += logBips_(j, c);
+        power_w += power(j, c);
+        cache_ways += ways_[c];
+    }
+    return metricsFrom(log_sum, power_w, cache_ways);
+}
+
+DeltaEvaluator::DeltaEvaluator(const PreparedObjective &prepared)
+    : prepared_(&prepared)
+{
+}
+
+void
+DeltaEvaluator::setIncumbent(const Point &x)
+{
+    incumbent_ = x;
+    logSum_ = 0.0;
+    powerW_ = 0.0;
+    cacheWays_ = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        logSum_ += prepared_->logBips(j, x[j]);
+        powerW_ += prepared_->power(j, x[j]);
+        cacheWays_ += prepared_->ways(x[j]);
+    }
+    metrics_ = prepared_->metricsFrom(logSum_, powerW_, cacheWays_);
+}
+
+PointMetrics
+DeltaEvaluator::evaluateCandidate(
+    const Point &x, const std::vector<std::size_t> &changed) const
+{
+    double log_sum = logSum_;
+    double power_w = powerW_;
+    double cache_ways = cacheWays_;
+    for (std::size_t d : changed) {
+        const std::size_t from = incumbent_[d];
+        const std::size_t to = x[d];
+        if (from == to)
+            continue;
+        log_sum +=
+            prepared_->logBips(d, to) - prepared_->logBips(d, from);
+        power_w += prepared_->power(d, to) - prepared_->power(d, from);
+        cache_ways += prepared_->ways(to) - prepared_->ways(from);
+    }
+    return prepared_->metricsFrom(log_sum, power_w, cache_ways);
+}
+
 } // namespace cuttlesys

@@ -58,11 +58,105 @@ struct PointMetrics
     bool feasible = false;
 };
 
-/** Evaluate a candidate point. */
+/** Evaluate a candidate point (reference path). */
 PointMetrics evaluatePoint(const Point &x, const ObjectiveContext &ctx);
 
 /** Shorthand: just the scalar objective. */
 double objectiveValue(const Point &x, const ObjectiveContext &ctx);
+
+/**
+ * Per-search precomputed tables for the fast evaluation paths.
+ *
+ * evaluatePoint pays a std::log and a JobConfig::fromIndex decode per
+ * job per candidate; over a 3200-candidate DDS run on 16 jobs that is
+ * ~50k transcendental calls per decision quantum. The tables hoist
+ * log(max(bips, 1e-6)) per (job, config) and cacheWays per config out
+ * of the search loop, once per search. evaluate() sums the cached
+ * terms in the same order as evaluatePoint, so both paths produce
+ * bit-identical metrics; DDS, GA and exhaustive search all evaluate
+ * through the tables.
+ */
+class PreparedObjective
+{
+  public:
+    /** @p ctx must outlive this object; tables are built here. */
+    explicit PreparedObjective(const ObjectiveContext &ctx);
+
+    const ObjectiveContext &context() const { return *ctx_; }
+
+    std::size_t numJobs() const { return ctx_->numJobs(); }
+    std::size_t numConfigs() const { return ctx_->numConfigs(); }
+
+    /** log(max(bips(j, c), 1e-6)), cached. */
+    double logBips(std::size_t j, std::size_t c) const
+    {
+        return logBips_(j, c);
+    }
+
+    /** power(j, c) pass-through (already a dense table). */
+    double power(std::size_t j, std::size_t c) const
+    {
+        return (*ctx_->power)(j, c);
+    }
+
+    /** cacheWays of config @p c, cached (no JobConfig decode). */
+    double ways(std::size_t c) const { return ways_[c]; }
+
+    /** Full table-based evaluation; bit-identical to evaluatePoint. */
+    PointMetrics evaluate(const Point &x) const;
+
+    /** Metrics from already-summed accumulators (O(1)). */
+    PointMetrics metricsFrom(double log_sum, double power_w,
+                             double cache_ways) const;
+
+  private:
+    const ObjectiveContext *ctx_;
+    Matrix logBips_;            //!< jobs x configs
+    std::vector<double> ways_;  //!< per config
+};
+
+/**
+ * Incremental candidate evaluation around an incumbent point.
+ *
+ * The DDS inner loop perturbs a handful of dimensions of the current
+ * best point; the untouched jobs' contributions to the (log-sum,
+ * power, ways) accumulators are unchanged, so a candidate costs
+ * O(#perturbed-dims) adds instead of an O(jobs) re-walk. Whenever a
+ * candidate is adopted as the new incumbent the accumulators are
+ * recomputed exactly from the tables, so rounding drift never
+ * compounds across a search and the metrics reported for incumbents
+ * are bit-identical to the reference evaluatePoint path.
+ */
+class DeltaEvaluator
+{
+  public:
+    /** @p prepared must outlive this object. */
+    explicit DeltaEvaluator(const PreparedObjective &prepared);
+
+    /** Adopt @p x as the incumbent; accumulators computed exactly. */
+    void setIncumbent(const Point &x);
+
+    const Point &incumbent() const { return incumbent_; }
+    const PointMetrics &incumbentMetrics() const { return metrics_; }
+
+    /**
+     * Metrics of @p x, which must equal the incumbent everywhere
+     * except (at most) the dimensions listed in @p changed. Entries
+     * of @p changed must be distinct (a duplicate would apply its
+     * delta twice); dimensions whose value did not actually change
+     * are fine and contribute nothing.
+     */
+    PointMetrics evaluateCandidate(
+        const Point &x, const std::vector<std::size_t> &changed) const;
+
+  private:
+    const PreparedObjective *prepared_;
+    Point incumbent_;
+    double logSum_ = 0.0;
+    double powerW_ = 0.0;
+    double cacheWays_ = 0.0;
+    PointMetrics metrics_;
+};
 
 /**
  * Optional exploration trace for Fig 10a: every evaluated point's

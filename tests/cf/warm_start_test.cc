@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the cross-quantum warm-start path of the reconstruction:
+ * factors returned by one reconstruct() feed the next, the engine
+ * caches and invalidates them, predictInto() reuses buffers, and the
+ * subsampled convergence check does not cost accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cf/engine.hh"
+#include "cf/sgd.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+namespace {
+
+Matrix
+lowRankMatrix(std::size_t rows, std::size_t cols, std::size_t rank,
+              Rng &rng)
+{
+    const Matrix a = Matrix::random(rows, rank, rng, 0.2, 1.0);
+    const Matrix b = Matrix::random(rank, cols, rng, 0.2, 1.0);
+    return a.multiply(b);
+}
+
+RatingMatrix
+denseRatings(const Matrix &truth)
+{
+    RatingMatrix ratings(truth.rows(), truth.cols());
+    for (std::size_t r = 0; r < truth.rows(); ++r)
+        for (std::size_t c = 0; c < truth.cols(); ++c)
+            ratings.set(r, c, truth(r, c));
+    return ratings;
+}
+
+TEST(WarmStartTest, ReconstructIsDeterministicGivenSameFactors)
+{
+    Rng rng(51);
+    const Matrix truth = lowRankMatrix(14, 20, 4, rng);
+    const RatingMatrix ratings = denseRatings(truth);
+
+    SgdOptions options;
+    options.rank = 6;
+    const SgdResult first = reconstruct(ratings, options);
+    ASSERT_FALSE(first.factors.empty());
+
+    const SgdResult a =
+        reconstruct(ratings, options, nullptr, &first.factors);
+    const SgdResult b =
+        reconstruct(ratings, options, nullptr, &first.factors);
+    EXPECT_NEAR(a.reconstructed.subtract(b.reconstructed).maxAbs(),
+                0.0, 1e-12);
+    EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(WarmStartTest, WarmStartConvergesInFewerIterations)
+{
+    // The factors of a converged run are a near-fixed point of SGD on
+    // the same data: the warm rerun must stop much earlier.
+    Rng rng(53);
+    const Matrix truth = lowRankMatrix(16, 24, 4, rng);
+    const RatingMatrix ratings = denseRatings(truth);
+
+    SgdOptions options;
+    options.rank = 6;
+    const SgdResult cold = reconstruct(ratings, options);
+    const SgdResult warm =
+        reconstruct(ratings, options, nullptr, &cold.factors);
+    EXPECT_LT(warm.iterations, cold.iterations);
+    EXPECT_LE(warm.trainRmse, cold.trainRmse + 1e-6);
+}
+
+TEST(WarmStartTest, MismatchedFactorShapesFallBackToColdStart)
+{
+    Rng rng(55);
+    const Matrix truth = lowRankMatrix(10, 12, 3, rng);
+    const RatingMatrix ratings = denseRatings(truth);
+
+    SgdOptions options;
+    options.rank = 5;
+    SgdFactors wrong;
+    wrong.q = Matrix(7, 5);   // wrong row count
+    wrong.p = Matrix(12, 5);
+    const SgdResult with_wrong =
+        reconstruct(ratings, options, nullptr, &wrong);
+    const SgdResult cold = reconstruct(ratings, options);
+    EXPECT_NEAR(with_wrong.reconstructed
+                    .subtract(cold.reconstructed).maxAbs(),
+                0.0, 1e-12);
+}
+
+TEST(WarmStartTest, EnginePredictUsesCachedFactors)
+{
+    Rng rng(57);
+    const Matrix training = lowRankMatrix(10, 16, 3, rng);
+    CfEngine engine(training, 2, 16);
+    engine.options().rank = 6;
+    engine.observe(0, 2, training(0, 2));
+    engine.observe(0, 9, training(0, 9));
+
+    EXPECT_FALSE(engine.hasCachedFactors());
+    engine.predict();
+    EXPECT_TRUE(engine.hasCachedFactors());
+    const std::size_t cold_iters = engine.lastIterations();
+
+    engine.predict();
+    EXPECT_LT(engine.lastIterations(), cold_iters);
+}
+
+TEST(WarmStartTest, ClearJobInvalidatesFactors)
+{
+    Rng rng(59);
+    const Matrix training = lowRankMatrix(10, 16, 3, rng);
+    CfEngine engine(training, 2, 16);
+    engine.observe(0, 1, training(1, 1));
+    engine.predict();
+    ASSERT_TRUE(engine.hasCachedFactors());
+    engine.clearJob(0);
+    EXPECT_FALSE(engine.hasCachedFactors());
+}
+
+TEST(WarmStartTest, WarmStartCanBeDisabled)
+{
+    Rng rng(61);
+    const Matrix training = lowRankMatrix(10, 16, 3, rng);
+    CfEngine engine(training, 1, 16);
+    engine.setFactorWarmStart(false);
+    engine.observe(0, 3, training(2, 3));
+
+    const Matrix a = engine.predict();
+    const Matrix b = engine.predict();
+    // Without warm starts every predict() is an identical cold run.
+    EXPECT_NEAR(a.subtract(b).maxAbs(), 0.0, 1e-12);
+}
+
+TEST(WarmStartTest, PredictIntoMatchesPredict)
+{
+    Rng rng(63);
+    const Matrix training = lowRankMatrix(10, 16, 3, rng);
+    CfEngine engine(training, 2, 16);
+    engine.setFactorWarmStart(false); // identical runs for comparison
+    engine.observe(1, 5, training(4, 5));
+
+    const Matrix by_value = engine.predict();
+    Matrix into;
+    engine.predictInto(into);
+    ASSERT_EQ(into.rows(), by_value.rows());
+    ASSERT_EQ(into.cols(), by_value.cols());
+    EXPECT_NEAR(into.subtract(by_value).maxAbs(), 0.0, 1e-12);
+
+    // A second call reuses the existing buffer (shape already right).
+    engine.predictInto(into);
+    EXPECT_NEAR(into.subtract(by_value).maxAbs(), 0.0, 1e-12);
+}
+
+TEST(WarmStartTest, SubsampledConvergenceKeepsAccuracy)
+{
+    Rng rng(65);
+    const Matrix truth = lowRankMatrix(30, 108, 5, rng);
+    const RatingMatrix ratings = denseRatings(truth);
+
+    SgdOptions full, sub;
+    full.rank = sub.rank = 8;
+    full.convergenceSamples = 0;    // check on every cell
+    sub.convergenceSamples = 512;   // the default operating point
+    const SgdResult full_result = reconstruct(ratings, full);
+    const SgdResult sub_result = reconstruct(ratings, sub);
+    // The stop decision may differ by a few epochs, but the final
+    // model quality (full-RMSE) must be equivalent.
+    EXPECT_NEAR(sub_result.trainRmse, full_result.trainRmse, 0.02);
+}
+
+} // namespace
+} // namespace cuttlesys
