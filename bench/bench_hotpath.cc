@@ -23,6 +23,7 @@
 #include "cf/engine.hh"
 #include "common/thread_pool.hh"
 #include "search/dds.hh"
+#include "telemetry/quantum_trace.hh"
 
 using namespace cuttlesys;
 using namespace cuttlesys::bench;
@@ -46,6 +47,8 @@ struct HotPath
     Matrix searchPower{kBatchJobs, kNumJobConfigs};
     DdsOptions dds;
     Rng rng{83};
+    /** Non-null: per-quantum tracing with the sink disabled. */
+    telemetry::QuantumTrace *trace = nullptr;
 
     HotPath(bool warm_start, std::size_t conv_samples, bool delta)
         : bips(trainingTables().bips, kLiveJobs, kNumJobConfigs),
@@ -77,6 +80,13 @@ struct HotPath
     /** One quantum: ingest a fresh cell, reconstruct x3, search. */
     double quantum(std::size_t slice)
     {
+        if (trace) {
+            trace->begin(slice, static_cast<double>(slice) * 0.1);
+            trace->record().scheduler = "bench-hotpath";
+            trace->record().batchPowerBudgetW = 30.0;
+            trace->record().cacheBudgetWays = 28.0;
+        }
+
         // A trickle of new observations, as the runtime sees.
         const auto cfg = static_cast<std::size_t>(
             rng.uniformInt(0, static_cast<std::int64_t>(
@@ -84,13 +94,18 @@ struct HotPath
         bips.observe(slice % kLiveJobs, cfg, rng.uniform(0.5, 8.0));
         power.observe(slice % kLiveJobs, cfg, rng.uniform(0.5, 3.0));
 
-        ThreadPool::global().parallelFor(3, [&](std::size_t metric) {
-            switch (metric) {
-              case 0: bips.predictInto(predBips); break;
-              case 1: power.predictInto(predPower); break;
-              default: latency.predictInto(predLatency); break;
-            }
-        });
+        {
+            telemetry::PhaseTimer timer(
+                trace, telemetry::Phase::Reconstruct);
+            ThreadPool::global().parallelFor(3,
+                                             [&](std::size_t metric) {
+                switch (metric) {
+                  case 0: bips.predictInto(predBips); break;
+                  case 1: power.predictInto(predPower); break;
+                  default: latency.predictInto(predLatency); break;
+                }
+            });
+        }
 
         for (std::size_t j = 0; j < kBatchJobs; ++j) {
             for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
@@ -104,7 +119,21 @@ struct HotPath
         ctx.powerBudgetW = 30.0;
         ctx.cacheBudgetWays = 28.0;
         dds.seed = 11 + slice; // fresh exploration each quantum
-        const SearchResult found = parallelDds(ctx, dds);
+        SearchResult found;
+        {
+            telemetry::PhaseTimer timer(
+                trace, telemetry::Phase::Search);
+            found = parallelDds(ctx, dds);
+        }
+
+        if (trace) {
+            telemetry::QuantumRecord &rec = trace->record();
+            rec.searchEvaluations = found.evaluations;
+            rec.searchObjective = found.metrics.objective;
+            rec.searchPowerW = found.metrics.powerW;
+            rec.searchWays = found.metrics.cacheWays;
+            trace->end();
+        }
         return found.metrics.objective;
     }
 };
@@ -117,9 +146,15 @@ struct RunStats
 };
 
 RunStats
-run(bool warm_start, std::size_t conv_samples, bool delta)
+run(bool warm_start, std::size_t conv_samples, bool delta,
+    bool traced = false)
 {
     HotPath path(warm_start, conv_samples, delta);
+    // Sink stays null: measures the record-fill + phase-timer cost of
+    // compiled-in telemetry without any serialization.
+    telemetry::QuantumTrace trace;
+    if (traced)
+        path.trace = &trace;
     // Untimed cold quantum: fills the factor caches for the "after"
     // configuration, and gives both configurations identical warmup.
     path.quantum(0);
@@ -153,7 +188,12 @@ main()
 
     const RunStats before = run(false, 0, false);
     const RunStats after = run(true, 512, true);
+    const RunStats traced = run(true, 512, true, true);
     const double speedup = before.meanMs / after.meanMs;
+    // min-over-quanta is the least noisy estimator on a loaded
+    // machine; the telemetry budget in DESIGN.md §8 is <1%.
+    const double telemetry_pct =
+        (traced.minMs / after.minMs - 1.0) * 100.0;
 
     std::printf("%-28s %10s %10s %14s\n", "configuration", "mean ms",
                 "min ms", "mean objective");
@@ -163,7 +203,12 @@ main()
     std::printf("%-28s %10.3f %10.3f %14.4f\n",
                 "after (warm/sub/delta)", after.meanMs, after.minMs,
                 after.meanObjective);
+    std::printf("%-28s %10.3f %10.3f %14.4f\n",
+                "after + trace (no sink)", traced.meanMs, traced.minMs,
+                traced.meanObjective);
     std::printf("combined speedup: %.2fx\n", speedup);
+    std::printf("telemetry overhead (min ms): %+.2f%%\n",
+                telemetry_pct);
 
     if (FILE *f = std::fopen("BENCH_hotpath.json", "w")) {
         std::fprintf(f,
@@ -175,11 +220,15 @@ main()
                      "  \"after_mean_ms\": %.4f,\n"
                      "  \"after_min_ms\": %.4f,\n"
                      "  \"after_mean_objective\": %.6f,\n"
-                     "  \"speedup\": %.4f\n"
+                     "  \"speedup\": %.4f,\n"
+                     "  \"traced_mean_ms\": %.4f,\n"
+                     "  \"traced_min_ms\": %.4f,\n"
+                     "  \"telemetry_overhead_pct\": %.4f\n"
                      "}\n",
                      kQuanta, before.meanMs, before.minMs,
                      before.meanObjective, after.meanMs, after.minMs,
-                     after.meanObjective, speedup);
+                     after.meanObjective, speedup, traced.meanMs,
+                     traced.minMs, telemetry_pct);
         std::fclose(f);
         std::printf("wrote BENCH_hotpath.json\n");
     }

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Trace replay: render a per-quantum JSONL trace as a timeline.
+ *
+ * Two modes:
+ *   trace_timeline <trace.jsonl>   replay an existing trace
+ *   trace_timeline                 run a short CuttleSys colocation,
+ *                                  write quantum_trace.jsonl, replay it
+ *
+ * Each row is one decision quantum: measured feedback, the LC
+ * feasibility path that fired (cf / queue-estimate / cold-start /
+ * violation-escalate / violation-relocate / no-feasible), the chosen
+ * configuration, search effort, gated victims, and the executed
+ * outcome. The footer aggregates path counts and phase timings, which
+ * is usually where a misbehaving run gives itself away: a quantum
+ * stuck on "no-feasible", a pile of polluted slices, or an enforcement
+ * pass gating the same victim every slice.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/gallery.hh"
+#include "apps/mix.hh"
+#include "common/logging.hh"
+#include "core/cuttlesys.hh"
+#include "core/training.hh"
+#include "lcsim/calibrate.hh"
+#include "power/power_model.hh"
+#include "sim/driver.hh"
+#include "telemetry/trace_reader.hh"
+#include "telemetry/trace_sink.hh"
+
+using namespace cuttlesys;
+
+namespace {
+
+constexpr const char *kDefaultTrace = "quantum_trace.jsonl";
+
+/** Run a short colocation with a JSONL sink attached. */
+void
+generateTrace(const std::string &path)
+{
+    const SystemParams params;
+    const TrainTestSplit split = splitSpecGallery();
+    WorkloadMix mix;
+    mix.lc = profileByName("xapian");
+    mix.batch = makeBatchMix(split.test, 16, /*seed=*/1);
+
+    std::vector<AppProfile> services = {mix.lc};
+    calibrateMaxQps(services, params);
+    mix.lc = services.front();
+
+    std::vector<AppProfile> known_services = tailbenchGallery();
+    calibrateMaxQps(known_services, params);
+    const TrainingTables tables =
+        buildTrainingTables(split.train, known_services, params);
+
+    MulticoreSim sim(params, mix, /*seed=*/42);
+    CuttleSysScheduler scheduler(params, tables, mix.batch.size(),
+                                 mix.lc.qosSeconds());
+
+    telemetry::JsonlSink sink(path);
+    DriverOptions opts;
+    opts.durationSec = 1.0;
+    opts.loadPattern = LoadPattern::constant(0.8);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = systemMaxPower(split.test, params);
+    opts.traceSink = &sink;
+    runColocation(sim, scheduler, opts);
+    std::printf("wrote %zu records to %s\n\n", sink.written(),
+                path.c_str());
+}
+
+void
+replay(const std::string &path)
+{
+    const std::vector<telemetry::QuantumRecord> records =
+        telemetry::readTraceFile(path);
+    if (records.empty()) {
+        std::printf("%s: empty trace\n", path.c_str());
+        return;
+    }
+
+    std::printf("%s: %zu quanta (%s)\n\n", path.c_str(),
+                records.size(), records.front().scheduler.c_str());
+    std::printf("%5s %8s %-18s %-14s %4s %6s %7s %8s %8s %s\n",
+                "slice", "p99(ms)", "lc path", "lc config", "lc#",
+                "evals", "gated", "P(W)", "gmean", "notes");
+
+    std::array<std::size_t, telemetry::kNumLcPaths> path_count{};
+    std::array<double, telemetry::kNumPhases> phase_sum{};
+    std::size_t violations = 0;
+    std::size_t polluted = 0;
+    double reclaimed = 0.0;
+
+    for (const telemetry::QuantumRecord &r : records) {
+        path_count[static_cast<std::size_t>(r.lcPath)]++;
+        for (std::size_t p = 0; p < telemetry::kNumPhases; ++p)
+            phase_sum[p] += r.phaseSec[p];
+        violations += r.qosViolated ? 1 : 0;
+        polluted += r.pollutedSlice ? 1 : 0;
+        reclaimed += r.reclaimedWays;
+
+        std::string notes;
+        if (r.qosViolated)
+            notes += " QOS-VIOLATION";
+        if (r.pollutedSlice)
+            notes += " polluted";
+        if (r.lcCoreDelta > 0)
+            notes += " +core";
+        if (r.lcCoreDelta < 0)
+            notes += " -core";
+        if (r.seedRepaired)
+            notes += " seed-repaired";
+        if (r.scanSaturated > 0)
+            notes += " sat=" + std::to_string(r.scanSaturated);
+
+        std::printf("%5zu %8.2f %-18s %-14s %4zu %6zu %7zu %8.1f "
+                    "%8.2f%s\n",
+                    r.slice, r.executedTailSec * 1e3,
+                    telemetry::lcPathName(r.lcPath),
+                    r.lcConfigName.c_str(), r.lcCores,
+                    r.searchEvaluations, r.capVictims.size(),
+                    r.executedPowerW, r.gmeanBips, notes.c_str());
+    }
+
+    const double n = static_cast<double>(records.size());
+    std::printf("\nLC paths:");
+    for (std::size_t p = 0; p < telemetry::kNumLcPaths; ++p) {
+        if (path_count[p] > 0) {
+            std::printf(" %s=%zu",
+                        telemetry::lcPathName(
+                            static_cast<telemetry::LcPath>(p)),
+                        path_count[p]);
+        }
+    }
+    std::printf("\nQoS violations: %zu/%zu | polluted slices: %zu | "
+                "ways reclaimed by gating: %.1f\n",
+                violations, records.size(), polluted, reclaimed);
+    std::printf("mean phase ms:");
+    for (std::size_t p = 0; p < telemetry::kNumPhases; ++p) {
+        std::printf(" %s=%.3f",
+                    telemetry::phaseName(
+                        static_cast<telemetry::Phase>(p)),
+                    phase_sum[p] / n * 1e3);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    std::string path;
+    if (argc > 1) {
+        path = argv[1];
+    } else {
+        path = kDefaultTrace;
+        generateTrace(path);
+    }
+    replay(path);
+    return 0;
+}

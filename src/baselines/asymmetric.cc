@@ -39,10 +39,11 @@ lcClusterPower(const MulticoreSim &sim, const SliceContext &ctx,
 }
 
 /** Gate active jobs in descending power order until under budget. */
-void
+std::vector<std::size_t>
 gateToBudget(SliceDecision &d, const std::vector<double> &power,
              double fixed_power, double budget)
 {
+    std::vector<std::size_t> victims;
     double total = fixed_power;
     for (std::size_t j = 0; j < power.size(); ++j) {
         if (d.batchActive[j])
@@ -62,7 +63,25 @@ gateToBudget(SliceDecision &d, const std::vector<double> &power,
         d.batchActive[victim] = false;
         total -= power[victim];
         total += gatedCorePower();
+        victims.push_back(victim);
     }
+    return victims;
+}
+
+/** Stamp the static-policy trace fields shared by the baselines. */
+void
+recordStaticDecision(telemetry::QuantumRecord *rec,
+                     const SliceDecision &d, const SliceContext &ctx,
+                     const std::vector<std::size_t> &victims)
+{
+    if (!rec)
+        return;
+    rec->lcPath = telemetry::LcPath::StaticPolicy;
+    rec->lcConfigIndex = d.lcConfig.index();
+    rec->lcConfigName = d.lcConfig.toString();
+    rec->lcCores = d.lcCores;
+    rec->batchPowerBudgetW = ctx.powerBudgetW;
+    rec->capVictims = victims;
 }
 
 } // namespace
@@ -150,12 +169,15 @@ AsymmetricOracleScheduler::decide(const SliceContext &ctx)
     if (best_bips < 0.0) {
         // Even the all-small placement busts the budget: gate cores
         // in descending order of power.
-        gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
+        const std::vector<std::size_t> victims =
+            gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
+        recordStaticDecision(traceRecord(), d, ctx, victims);
         return d;
     }
 
     for (std::size_t j = 0; j < B; ++j)
         d.batchConfigs[j] = best_on_big[j] ? big : small;
+    recordStaticDecision(traceRecord(), d, ctx, {});
     return d;
 }
 
@@ -187,7 +209,9 @@ StaticAsymmetricScheduler::decide(const SliceContext &ctx)
     const double fixed = lcClusterPower(sim_, ctx, d.lcConfig,
                                         lcCores_) +
                          llcPower(sim_.params());
-    gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
+    const std::vector<std::size_t> victims =
+        gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
+    recordStaticDecision(traceRecord(), d, ctx, victims);
     return d;
 }
 

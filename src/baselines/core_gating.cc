@@ -192,6 +192,18 @@ CoreGatingScheduler::decide(const SliceContext &ctx)
             }
         }
     }
+
+    if (telemetry::QuantumRecord *rec = traceRecord()) {
+        rec->lcPath = telemetry::LcPath::StaticPolicy;
+        rec->lcConfigIndex = d.lcConfig.index();
+        rec->lcConfigName = d.lcConfig.toString();
+        rec->lcCores = lcCores_;
+        rec->batchPowerBudgetW = ctx.powerBudgetW;
+        for (std::size_t j = 0; j < B; ++j) {
+            if (!d.batchActive[j])
+                rec->capVictims.push_back(j);
+        }
+    }
     return d;
 }
 

@@ -39,6 +39,12 @@ NoGatingScheduler::decide(const SliceContext &ctx)
                           JobConfig(CoreConfig::widest(),
                                     unpartitionedBatchRank()));
     d.batchActive.assign(numBatchJobs_, true);
+    if (telemetry::QuantumRecord *rec = traceRecord()) {
+        rec->lcPath = telemetry::LcPath::StaticPolicy;
+        rec->lcConfigIndex = d.lcConfig.index();
+        rec->lcConfigName = d.lcConfig.toString();
+        rec->lcCores = lcCores_;
+    }
     return d;
 }
 

@@ -1,0 +1,194 @@
+#include "core/batch_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+namespace {
+
+double
+logBips(const Matrix &bips, std::size_t j, std::size_t c)
+{
+    return std::log(std::max(bips(j, c), 1e-6));
+}
+
+} // namespace
+
+KnapsackSeed
+greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
+                   double power_budget, double cache_budget)
+{
+    const std::size_t jobs = bips.rows();
+    const std::size_t configs = bips.cols();
+    KnapsackSeed seed;
+    Point &x = seed.point;
+    x.assign(jobs, 0);
+
+    double used_power = 0.0;
+    double used_ways = 0.0;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        std::size_t cheapest = 0;
+        for (std::size_t c = 1; c < configs; ++c) {
+            if (power(j, c) < power(j, cheapest))
+                cheapest = c;
+        }
+        x[j] = static_cast<std::uint16_t>(cheapest);
+        used_power += power(j, cheapest);
+        used_ways += JobConfig::fromIndex(cheapest).cacheWays();
+    }
+
+    // The cheapest-power configurations carry whatever allocation
+    // happens to minimize power, so their combined ways can overshoot
+    // the budget before a single upgrade happens. The upgrade loop
+    // below only refuses moves, so an infeasible seed would stay
+    // infeasible and hand DDS a penalized starting point: repair it
+    // first by repeatedly taking the downgrade that frees ways at the
+    // least log-throughput cost (preferring moves that keep power
+    // feasible).
+    while (used_ways > cache_budget + 1e-9) {
+        std::size_t best_job = jobs;
+        std::size_t best_cfg = 0;
+        double best_ratio = std::numeric_limits<double>::infinity();
+        bool best_power_ok = false;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const std::size_t cur = x[j];
+            const double cur_ways =
+                JobConfig::fromIndex(cur).cacheWays();
+            for (std::size_t c = 0; c < configs; ++c) {
+                const double d_ways =
+                    JobConfig::fromIndex(c).cacheWays() - cur_ways;
+                if (d_ways >= 0.0)
+                    continue;
+                const double d_power = power(j, c) - power(j, cur);
+                const bool power_ok =
+                    used_power + d_power <= power_budget ||
+                    d_power <= 0.0;
+                // A power-feasible downgrade always beats one that
+                // busts the cap, no matter the throughput ratio.
+                if (best_power_ok && !power_ok)
+                    continue;
+                const double loss =
+                    logBips(bips, j, cur) - logBips(bips, j, c);
+                const double ratio = loss / -d_ways;
+                if ((power_ok && !best_power_ok) ||
+                    ratio < best_ratio) {
+                    best_ratio = ratio;
+                    best_job = j;
+                    best_cfg = c;
+                    best_power_ok = power_ok;
+                }
+            }
+        }
+        if (best_job == jobs)
+            break; // every job already at its smallest allocation
+        used_power +=
+            power(best_job, best_cfg) - power(best_job, x[best_job]);
+        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
+                     JobConfig::fromIndex(x[best_job]).cacheWays();
+        x[best_job] = static_cast<std::uint16_t>(best_cfg);
+        seed.repaired = true;
+    }
+
+    // Ways are priced far below their power-equivalent exchange rate:
+    // the hard feasibility checks below keep both budgets respected,
+    // and when power is the binding constraint the leftover LLC ways
+    // should flow to whoever's miss curve wants them rather than sit
+    // unused.
+    const double way_rate =
+        cache_budget > 0.0 ? 0.1 * power_budget / cache_budget : 1e9;
+
+    for (std::size_t round = 0; round < jobs * configs; ++round) {
+        double best_gain = 0.0;
+        std::size_t best_job = jobs;
+        std::size_t best_cfg = 0;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const std::size_t cur = x[j];
+            for (std::size_t c = 0; c < configs; ++c) {
+                const double benefit =
+                    logBips(bips, j, c) - logBips(bips, j, cur);
+                if (benefit <= 0.0)
+                    continue;
+                const double d_power = power(j, c) - power(j, cur);
+                const double d_ways =
+                    JobConfig::fromIndex(c).cacheWays() -
+                    JobConfig::fromIndex(cur).cacheWays();
+                if (used_power + d_power > power_budget ||
+                    used_ways + d_ways > cache_budget)
+                    continue;
+                const double cost = std::max(d_power, 0.0) +
+                                    way_rate * std::max(d_ways, 0.0) +
+                                    1e-6;
+                const double gain = benefit / cost;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_job = j;
+                    best_cfg = c;
+                }
+            }
+        }
+        if (best_job == jobs)
+            break;
+        used_power +=
+            power(best_job, best_cfg) - power(best_job, x[best_job]);
+        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
+                     JobConfig::fromIndex(x[best_job]).cacheWays();
+        x[best_job] = static_cast<std::uint16_t>(best_cfg);
+    }
+    seed.usedPowerW = used_power;
+    seed.usedWays = used_ways;
+    return seed;
+}
+
+CapEnforcement
+enforcePowerCap(SliceDecision &decision, const Matrix &power,
+                double power_budget)
+{
+    const std::size_t jobs = decision.batchConfigs.size();
+    CS_ASSERT(decision.batchActive.size() == jobs,
+              "decision shape mismatch");
+    CS_ASSERT(power.rows() >= jobs, "power matrix too small");
+
+    CapEnforcement result;
+    double batch_power = 0.0;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        if (decision.batchActive[j])
+            batch_power += power(j, decision.batchConfigs[j].index());
+    }
+
+    while (batch_power > power_budget) {
+        std::size_t victim = jobs;
+        double victim_power = -1.0;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            if (!decision.batchActive[j])
+                continue;
+            const double p =
+                power(j, decision.batchConfigs[j].index());
+            if (p > victim_power) {
+                victim_power = p;
+                victim = j;
+            }
+        }
+        if (victim == jobs)
+            break; // everything is gated already
+        decision.batchActive[victim] = false;
+        batch_power -= victim_power;
+        // A gated core holds no cache: release its LLC ways back to
+        // the partition instead of leaving a phantom allocation
+        // charged against the budget.
+        const JobConfig &was = decision.batchConfigs[victim];
+        const double freed = was.cacheWays() - kCacheAllocWays[0];
+        if (freed > 0.0) {
+            decision.batchConfigs[victim] = JobConfig(was.core(), 0);
+            result.reclaimedWays += freed;
+        }
+        result.victims.push_back(victim);
+    }
+    result.finalPowerW = batch_power;
+    return result;
+}
+
+} // namespace cuttlesys

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Batch-side policy helpers of the CuttleSys runtime: the greedy
+ * knapsack warm start that seeds the DDS search, and the power-cap
+ * enforcement pass that gates victims when predictions still exceed
+ * the budget (Section VI-B). Both are free functions so the
+ * feasibility invariants they maintain are directly unit-testable.
+ */
+
+#ifndef CUTTLESYS_CORE_BATCH_POLICY_HH
+#define CUTTLESYS_CORE_BATCH_POLICY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "search/objective.hh"
+#include "sim/multicore.hh"
+
+namespace cuttlesys {
+
+/** Outcome of the greedy warm start (seed plus feasibility info). */
+struct KnapsackSeed
+{
+    Point point;
+    double usedPowerW = 0.0;
+    double usedWays = 0.0;
+    /** Whether the cheapest-power seed was way-infeasible and had to
+     *  be repaired by downgrading allocations before the upgrade
+     *  rounds. */
+    bool repaired = false;
+};
+
+/**
+ * Greedy marginal-utility warm start for the batch search: seed every
+ * job at its cheapest-power configuration, repair any LLC-way
+ * overcommit by downgrading the cheapest-to-lose allocations, then
+ * repeatedly buy the upgrade with the best log-throughput gain per
+ * unit of cost until the budgets are exhausted. For concave
+ * allocation curves this lands near the optimum; DDS refines it
+ * globally.
+ */
+KnapsackSeed greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
+                                double power_budget,
+                                double cache_budget);
+
+/** What cap enforcement did to a decision. */
+struct CapEnforcement
+{
+    std::vector<std::size_t> victims; //!< jobs gated, in gating order
+    double reclaimedWays = 0.0;       //!< LLC ways freed by gating
+    double finalPowerW = 0.0;         //!< predicted power after gating
+};
+
+/**
+ * Cap enforcement (Section VI-B): gate batch cores in descending
+ * order of predicted power until @p power_budget is met. A gated
+ * core's LLC ways are released back to the partition — its
+ * configuration is shrunk to the smallest allocation so downstream
+ * way accounting never charges phantom allocations for cores that
+ * are off — and the freed ways are reported for telemetry.
+ *
+ * @p power has one row per batch job over the joint config space.
+ * Modifies decision.batchActive / decision.batchConfigs in place.
+ */
+CapEnforcement enforcePowerCap(SliceDecision &decision,
+                               const Matrix &power,
+                               double power_budget);
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CORE_BATCH_POLICY_HH

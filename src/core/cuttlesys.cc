@@ -1,13 +1,12 @@
 #include "core/cuttlesys.hh"
 
 #include <algorithm>
-#include <cstdlib>
-#include <iostream>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "core/batch_policy.hh"
 #include "power/power_model.hh"
 
 namespace cuttlesys {
@@ -45,86 +44,6 @@ constexpr double kSaturationGuard = 0.88;
  * downsize.
  */
 constexpr std::size_t kMinLatencyObsForCf = 1;
-
-/**
- * Greedy marginal-utility warm start for the batch search: start every
- * job at its cheapest configuration, then repeatedly buy the upgrade
- * with the best log-throughput gain per unit of (power + exchange-rate
- * scaled cache) cost until the budgets are exhausted. For concave
- * allocation curves this lands near the optimum; DDS then refines it
- * globally.
- */
-Point
-greedyKnapsackPoint(const Matrix &bips, const Matrix &power,
-                    double power_budget, double cache_budget)
-{
-    const std::size_t jobs = bips.rows();
-    const std::size_t configs = bips.cols();
-    Point x(jobs);
-
-    double used_power = 0.0;
-    double used_ways = 0.0;
-    for (std::size_t j = 0; j < jobs; ++j) {
-        std::size_t cheapest = 0;
-        for (std::size_t c = 1; c < configs; ++c) {
-            if (power(j, c) < power(j, cheapest))
-                cheapest = c;
-        }
-        x[j] = static_cast<std::uint16_t>(cheapest);
-        used_power += power(j, cheapest);
-        used_ways += JobConfig::fromIndex(cheapest).cacheWays();
-    }
-
-    // Ways are priced far below their power-equivalent exchange rate:
-    // the hard feasibility checks below keep both budgets respected,
-    // and when power is the binding constraint the leftover LLC ways
-    // should flow to whoever's miss curve wants them rather than sit
-    // unused.
-    const double way_rate =
-        cache_budget > 0.0 ? 0.1 * power_budget / cache_budget : 1e9;
-    auto log_bips = [&](std::size_t j, std::size_t c) {
-        return std::log(std::max(bips(j, c), 1e-6));
-    };
-
-    for (std::size_t round = 0; round < jobs * configs; ++round) {
-        double best_gain = 0.0;
-        std::size_t best_job = jobs;
-        std::size_t best_cfg = 0;
-        for (std::size_t j = 0; j < jobs; ++j) {
-            const std::size_t cur = x[j];
-            for (std::size_t c = 0; c < configs; ++c) {
-                const double benefit =
-                    log_bips(j, c) - log_bips(j, cur);
-                if (benefit <= 0.0)
-                    continue;
-                const double d_power = power(j, c) - power(j, cur);
-                const double d_ways =
-                    JobConfig::fromIndex(c).cacheWays() -
-                    JobConfig::fromIndex(cur).cacheWays();
-                if (used_power + d_power > power_budget ||
-                    used_ways + d_ways > cache_budget)
-                    continue;
-                const double cost = std::max(d_power, 0.0) +
-                                    way_rate * std::max(d_ways, 0.0) +
-                                    1e-6;
-                const double gain = benefit / cost;
-                if (gain > best_gain) {
-                    best_gain = gain;
-                    best_job = j;
-                    best_cfg = c;
-                }
-            }
-        }
-        if (best_job == jobs)
-            break;
-        used_power +=
-            power(best_job, best_cfg) - power(best_job, x[best_job]);
-        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
-                     JobConfig::fromIndex(x[best_job]).cacheWays();
-        x[best_job] = static_cast<std::uint16_t>(best_cfg);
-    }
-    return x;
-}
 
 } // namespace
 
@@ -237,13 +156,26 @@ CuttleSysScheduler::ingest(const SliceContext &ctx)
 
     // A slice that starts with a QoS-violation backlog measures the
     // drain, not the configuration: skip those tails so they do not
-    // poison the matrix.
+    // poison the matrix. The violation flag itself obeys the same
+    // sample floor as the observation — a noisy 3-request tail must
+    // not mark the next slice polluted and drop a valid measurement.
     const bool polluted = previousSliceViolated_;
-    previousSliceViolated_ = m.lcTailLatency > lcQos_;
-    if (!polluted && m.lcCompleted >= kMinTailSamples &&
-        m.lcTailLatency > 0.0) {
+    if (m.lcCompleted >= kMinTailSamples)
+        previousSliceViolated_ = m.lcTailLatency > lcQos_;
+    const bool tail_usable = !polluted &&
+                             m.lcCompleted >= kMinTailSamples &&
+                             m.lcTailLatency > 0.0;
+    if (tail_usable) {
         latencyEngine_.observe(0, d.lcConfig.index(),
                                m.lcTailLatency);
+    }
+    if (telemetry::QuantumRecord *rec = traceRecord()) {
+        rec->measuredTailSec = m.lcTailLatency;
+        rec->measuredUtil = m.lcUtilization;
+        rec->measuredCompleted = m.lcCompleted;
+        rec->measuredViolation = m.lcTailLatency > lcQos_;
+        rec->pollutedSlice = polluted;
+        rec->tailObserved = tail_usable;
     }
     if (m.lcPower > 0.0 && d.lcCores > 0) {
         powerEngine_.observe(0, d.lcConfig.index(),
@@ -287,6 +219,16 @@ JobConfig
 CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
 {
     const JobConfig safest(CoreConfig::widest(), kNumCacheAllocs - 1);
+    telemetry::QuantumRecord *rec = traceRecord();
+    auto chose = [&](telemetry::LcPath path, const JobConfig &config) {
+        if (rec) {
+            rec->lcPath = path;
+            rec->lcConfigIndex = config.index();
+            rec->lcConfigName = config.toString();
+            rec->lcCores = lcCores_;
+        }
+        return config;
+    };
 
     const bool was_safest =
         ctx.previousDecision &&
@@ -308,8 +250,11 @@ CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
         if (was_safest && lcCores_ + 1 < params_.numCores &&
             ctx.previous->lcUtilization > 0.95) {
             ++lcCores_;
+            if (rec)
+                rec->lcCoreDelta = 1;
+            return chose(telemetry::LcPath::ViolationRelocate, safest);
         }
-        return safest;
+        return chose(telemetry::LcPath::ViolationEscalate, safest);
     }
 
     // Yield relocated cores back once the measured latency has enough
@@ -321,11 +266,13 @@ CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
         ctx.previous->lcTailLatency <=
             lcQos_ * (1.0 - params_.qosSlack)) {
         --lcCores_;
+        if (rec)
+            rec->lcCoreDelta = -1;
     }
 
     // Cold start: no latency history yet -> run safe.
     if (latencyEngine_.observationsForJob(0) == 0)
-        return safest;
+        return chose(telemetry::LcPath::ColdStart, safest);
 
     // Saturation guard: from the previous slice's measured busy
     // fraction and the LC job's reconstructed per-core BIPS curve,
@@ -384,6 +331,9 @@ CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
     const double bar = lcQos_ * options_.latencyMargin;
     const double queue_bar = lcQos_ * options_.queueMargin;
     std::optional<std::size_t> best;
+    bool best_cf_ok = false;
+    bool best_queue_ok = false;
+    std::size_t saturated = 0;
     const bool cf_trusted =
         latencyEngine_.observationsForJob(0) >= kMinLatencyObsForCf;
     for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
@@ -397,14 +347,18 @@ CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
         // reconstructed BIPS curve is anchored by per-slice profiling
         // samples and the service's own offline rows, so the
         // utilization estimate is reliable.
-        if (saturates(c))
+        if (saturates(c)) {
+            ++saturated;
             continue;
+        }
         const bool cf_ok = cf_trusted && predLatency_(0, c) <= bar;
         const bool queue_ok = queueEstimate(c) <= queue_bar;
         if (!cf_ok && !queue_ok)
             continue;
         if (!best) {
             best = c;
+            best_cf_ok = cf_ok;
+            best_queue_ok = queue_ok;
             continue;
         }
         const JobConfig cand = JobConfig::fromIndex(c);
@@ -413,37 +367,21 @@ CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
             (cand.cacheWays() == cur.cacheWays() &&
              predPower_(0, c) < predPower_(0, *best))) {
             best = c;
+            best_cf_ok = cf_ok;
+            best_queue_ok = queue_ok;
         }
     }
 
-    if (const char *dbg = std::getenv("CS_DEBUG_SCAN");
-        dbg && dbg[0] == '1') {
-        const std::size_t probe[] = {
-            JobConfig(CoreConfig(6, 2, 6), 3).index(),
-            JobConfig(CoreConfig(4, 2, 6), 3).index(),
-            JobConfig(CoreConfig(6, 6, 6), 2).index(),
-        };
-        std::cerr << "scan: util_prev=" << util_prev
-                  << " bips_prev=" << bips_prev
-                  << " tail_prev=" << tail_prev * 1e3 << "ms"
-                  << " cf_trusted=" << cf_trusted << "\n";
-        for (std::size_t c : probe) {
-            std::cerr << "  " << JobConfig::fromIndex(c).toString()
-                      << " predLat=" << predLatency_(0, c) * 1e3
-                      << "ms predBips=" << predBips_(0, c)
-                      << " qEst=" << queueEstimate(c) * 1e3
-                      << "ms sat=" << saturates(c) << "\n";
-        }
-        if (best) {
-            std::cerr << "  chosen "
-                      << JobConfig::fromIndex(*best).toString()
-                      << "\n";
-        }
+    if (rec) {
+        rec->scanSaturated = saturated;
+        rec->chosenCfFeasible = best_cf_ok;
+        rec->chosenQueueFeasible = best_queue_ok;
     }
-
     if (!best)
-        return safest;
-    return JobConfig::fromIndex(*best);
+        return chose(telemetry::LcPath::NoFeasible, safest);
+    return chose(best_cf_ok ? telemetry::LcPath::CfFeasible
+                            : telemetry::LcPath::QueueFeasible,
+                 JobConfig::fromIndex(*best));
 }
 
 void
@@ -486,39 +424,60 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
     obj.penaltyPower = options_.penaltyPower;
     obj.penaltyCache = options_.penaltyCache;
 
-    // Seed the search with a greedy warm start and the previous
-    // slice's decision so DDS refines instead of rediscovering.
-    DdsOptions dds = options_.dds;
-    if (options_.searchWarmStart) {
-        dds.seedPoints.push_back(greedyKnapsackPoint(
-            bips, power, power_budget, cache_budget));
-        if (ctx.previousDecision &&
-            ctx.previousDecision->batchConfigs.size() ==
-                numBatchJobs_) {
-            Point prev(numBatchJobs_);
-            for (std::size_t j = 0; j < numBatchJobs_; ++j) {
-                prev[j] = static_cast<std::uint16_t>(
-                    ctx.previousDecision->batchConfigs[j].index());
-            }
-            dds.seedPoints.push_back(std::move(prev));
-        }
+    telemetry::QuantumRecord *rec = traceRecord();
+    if (rec) {
+        rec->batchPowerBudgetW = power_budget;
+        rec->cacheBudgetWays = cache_budget;
     }
 
     SearchResult found;
-    switch (options_.searchAlgo) {
-      case SearchAlgo::ParallelDds:
-        found = parallelDds(obj, dds);
-        break;
-      case SearchAlgo::SerialDds:
-        found = serialDds(obj, dds);
-        break;
-      case SearchAlgo::Ga: {
-          GaOptions ga = options_.ga;
-          ga.seed = options_.ga.seed + 31 * ctx.sliceIndex;
-          ga.seedPoints = dds.seedPoints; // same warm starts as DDS
-          found = geneticSearch(obj, ga);
-          break;
-      }
+    {
+        telemetry::PhaseTimer timer(trace_, telemetry::Phase::Search);
+
+        // Seed the search with a greedy warm start and the previous
+        // slice's decision so DDS refines instead of rediscovering.
+        DdsOptions dds = options_.dds;
+        if (options_.searchWarmStart) {
+            KnapsackSeed seed = greedyKnapsackSeed(
+                bips, power, power_budget, cache_budget);
+            if (rec) {
+                rec->seedWays = seed.usedWays;
+                rec->seedRepaired = seed.repaired;
+            }
+            dds.seedPoints.push_back(std::move(seed.point));
+            if (ctx.previousDecision &&
+                ctx.previousDecision->batchConfigs.size() ==
+                    numBatchJobs_) {
+                Point prev(numBatchJobs_);
+                for (std::size_t j = 0; j < numBatchJobs_; ++j) {
+                    prev[j] = static_cast<std::uint16_t>(
+                        ctx.previousDecision->batchConfigs[j].index());
+                }
+                dds.seedPoints.push_back(std::move(prev));
+            }
+        }
+
+        switch (options_.searchAlgo) {
+          case SearchAlgo::ParallelDds:
+            found = parallelDds(obj, dds);
+            break;
+          case SearchAlgo::SerialDds:
+            found = serialDds(obj, dds);
+            break;
+          case SearchAlgo::Ga: {
+              GaOptions ga = options_.ga;
+              ga.seed = options_.ga.seed + 31 * ctx.sliceIndex;
+              ga.seedPoints = dds.seedPoints; // same warm starts
+              found = geneticSearch(obj, ga);
+              break;
+          }
+        }
+    }
+    if (rec) {
+        rec->searchEvaluations = found.evaluations;
+        rec->searchObjective = found.metrics.objective;
+        rec->searchPowerW = found.metrics.powerW;
+        rec->searchWays = found.metrics.cacheWays;
     }
 
     decision.batchConfigs.resize(numBatchJobs_);
@@ -527,35 +486,29 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
         decision.batchConfigs[j] = JobConfig::fromIndex(found.best[j]);
 
     // Cap enforcement (Section VI-B): gate cores in descending order
-    // of predicted power until the budget is met.
-    double batch_power = 0.0;
-    for (std::size_t j = 0; j < numBatchJobs_; ++j)
-        batch_power += power(j, decision.batchConfigs[j].index());
-
-    while (batch_power > power_budget) {
-        std::size_t victim = numBatchJobs_;
-        double victim_power = -1.0;
-        for (std::size_t j = 0; j < numBatchJobs_; ++j) {
-            if (!decision.batchActive[j])
-                continue;
-            const double p = power(j, decision.batchConfigs[j].index());
-            if (p > victim_power) {
-                victim_power = p;
-                victim = j;
-            }
-        }
-        if (victim == numBatchJobs_)
-            break; // everything is gated already
-        decision.batchActive[victim] = false;
-        batch_power -= victim_power;
+    // of predicted power until the budget is met; gated cores release
+    // their LLC ways back to the partition.
+    telemetry::PhaseTimer timer(trace_, telemetry::Phase::Enforce);
+    const CapEnforcement enforced =
+        enforcePowerCap(decision, power, power_budget);
+    if (rec) {
+        rec->capVictims = enforced.victims;
+        rec->reclaimedWays = enforced.reclaimedWays;
     }
 }
 
 SliceDecision
 CuttleSysScheduler::decide(const SliceContext &ctx)
 {
-    ingest(ctx);
-    reconstructAll();
+    {
+        telemetry::PhaseTimer timer(trace_, telemetry::Phase::Ingest);
+        ingest(ctx);
+    }
+    {
+        telemetry::PhaseTimer timer(trace_,
+                                    telemetry::Phase::Reconstruct);
+        reconstructAll();
+    }
 
     SliceDecision decision;
     decision.reconfigurable = true;

@@ -33,6 +33,20 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
     RunResult result;
     result.slices.reserve(num_slices);
 
+    // Before the first decision exists, the profiling pass has to
+    // assume some LC core count. Derive it from the machine (half the
+    // cores) unless the caller pinned one explicitly.
+    const std::size_t initial_lc_cores = opts.initialLcCores > 0
+        ? std::min(opts.initialLcCores, params.numCores)
+        : std::max<std::size_t>(1, params.numCores / 2);
+
+    // The trace object lives on the driver's stack; schedulers only
+    // borrow a pointer, so detach before returning.
+    telemetry::QuantumTrace trace(opts.traceSink);
+    const bool tracing = opts.traceSink != nullptr;
+    if (tracing)
+        scheduler.attachTrace(&trace);
+
     SliceDecision prev_decision;
     SliceMeasurement prev_measurement;
     bool have_prev = false;
@@ -45,6 +59,14 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
         sim.setLcLoadFraction(load_fraction);
         const double budget = opts.powerPattern.at(t) * opts.maxPowerW;
 
+        if (tracing) {
+            trace.begin(s, t);
+            telemetry::QuantumRecord &rec = trace.record();
+            rec.scheduler = scheduler.name();
+            rec.loadFraction = load_fraction;
+            rec.powerBudgetW = budget;
+        }
+
         SliceContext ctx;
         ctx.sliceIndex = s;
         ctx.timeSec = t;
@@ -56,7 +78,12 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
         double remaining = params.timesliceSec;
         if (scheduler.wantsProfiling()) {
             const std::size_t lc_cores =
-                have_prev ? prev_decision.lcCores : 16;
+                have_prev ? prev_decision.lcCores : initial_lc_cores;
+            telemetry::PhaseTimer timer(
+                tracing ? &trace : nullptr,
+                telemetry::Phase::Profile);
+            if (tracing)
+                trace.record().profiledLcCores = lc_cores;
             ctx.profiles = sim.profileJobs(
                 lc_cores, scheduler.usesReconfigurableCores());
             remaining -= params.sampleSec *
@@ -64,7 +91,13 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
         }
 
         SliceDecision decision = scheduler.decide(ctx);
-        SliceMeasurement measurement = sim.runSlice(decision, remaining);
+        SliceMeasurement measurement;
+        {
+            telemetry::PhaseTimer timer(
+                tracing ? &trace : nullptr,
+                telemetry::Phase::Execute);
+            measurement = sim.runSlice(decision, remaining);
+        }
 
         SliceRecord record;
         record.loadFraction = load_fraction;
@@ -80,13 +113,28 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
         // measurement noise alone should not count as a violation.
         result.powerViolations +=
             measurement.totalPower > budget * 1.02 ? 1 : 0;
-        gmean_sum += gmeanBatchBips(measurement);
+        const double gmean = gmeanBatchBips(measurement);
+        gmean_sum += gmean;
         power_sum += measurement.totalPower;
+
+        if (tracing) {
+            telemetry::QuantumRecord &rec = trace.record();
+            rec.executedTailSec = measurement.lcTailLatency;
+            rec.executedPowerW = measurement.totalPower;
+            rec.qosViolated = record.qosViolated;
+            rec.gmeanBips = gmean;
+            trace.end();
+        }
 
         prev_decision = decision;
         prev_measurement = measurement;
         have_prev = true;
         result.slices.push_back(std::move(record));
+    }
+
+    if (tracing) {
+        result.traceSummary = trace.summary();
+        scheduler.attachTrace(nullptr);
     }
 
     result.meanGmeanBips = gmean_sum / static_cast<double>(num_slices);

@@ -18,6 +18,7 @@
 #include "lcsim/load_pattern.hh"
 #include "sim/multicore.hh"
 #include "sim/scheduler.hh"
+#include "telemetry/quantum_trace.hh"
 
 namespace cuttlesys {
 
@@ -29,6 +30,21 @@ struct DriverOptions
     /** Power budget trace, as a fraction of maxPowerW. */
     LoadPattern powerPattern = LoadPattern::constant(0.7);
     double maxPowerW = 0.0;     //!< reference max power (Section VII-A)
+
+    /**
+     * LC core count used for the first slice's profiling pass, before
+     * any decision exists. 0 means "derive from the machine": half the
+     * cores, at least one.
+     */
+    std::size_t initialLcCores = 0;
+
+    /**
+     * Optional per-quantum trace sink. When set, the driver attaches a
+     * telemetry::QuantumTrace to the scheduler and emits one
+     * QuantumRecord per timeslice; when null, tracing stays off and
+     * the hot path never touches a clock.
+     */
+    telemetry::TraceSink *traceSink = nullptr;
 };
 
 /** Everything recorded about one executed timeslice. */
@@ -52,6 +68,9 @@ struct RunResult
 
     /** Mean over slices of the geometric-mean batch BIPS. */
     double meanGmeanBips = 0.0;
+
+    /** Per-quantum telemetry aggregate (empty when tracing is off). */
+    telemetry::RunSummary traceSummary;
 };
 
 /**

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/multicore.hh"
+#include "telemetry/quantum_trace.hh"
 
 namespace cuttlesys {
 
@@ -52,6 +53,26 @@ class Scheduler
 
     /** Decide the configuration for the upcoming slice. */
     virtual SliceDecision decide(const SliceContext &ctx) = 0;
+
+    /**
+     * Attach the per-quantum trace the scheduler should fill during
+     * decide() (nullptr detaches). The caller owns the trace and its
+     * begin()/end() lifecycle; the driver attaches its own trace for
+     * the duration of runColocation().
+     */
+    void attachTrace(telemetry::QuantumTrace *trace) { trace_ = trace; }
+
+    /** The currently attached trace, nullptr when untraced. */
+    telemetry::QuantumTrace *trace() const { return trace_; }
+
+  protected:
+    /** Current record to fill, or nullptr when untraced. */
+    telemetry::QuantumRecord *traceRecord() const
+    {
+        return trace_ ? &trace_->record() : nullptr;
+    }
+
+    telemetry::QuantumTrace *trace_ = nullptr;
 };
 
 } // namespace cuttlesys

@@ -1,0 +1,48 @@
+#include "telemetry/quantum_record.hh"
+
+namespace cuttlesys {
+namespace telemetry {
+
+const char *
+lcPathName(LcPath path)
+{
+    switch (path) {
+      case LcPath::None:              return "none";
+      case LcPath::ColdStart:         return "cold-start";
+      case LcPath::ViolationEscalate: return "violation-escalate";
+      case LcPath::ViolationRelocate: return "violation-relocate";
+      case LcPath::CfFeasible:        return "cf";
+      case LcPath::QueueFeasible:     return "queue-estimate";
+      case LcPath::NoFeasible:        return "no-feasible";
+      case LcPath::StaticPolicy:      return "static";
+    }
+    return "?";
+}
+
+LcPath
+lcPathFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumLcPaths; ++i) {
+        const LcPath path = static_cast<LcPath>(i);
+        if (name == lcPathName(path))
+            return path;
+    }
+    return LcPath::None;
+}
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Profile:     return "profile";
+      case Phase::Ingest:      return "ingest";
+      case Phase::Reconstruct: return "reconstruct";
+      case Phase::Search:      return "search";
+      case Phase::Enforce:     return "enforce";
+      case Phase::Execute:     return "execute";
+    }
+    return "?";
+}
+
+} // namespace telemetry
+} // namespace cuttlesys

@@ -1,0 +1,64 @@
+#include "telemetry/quantum_trace.hh"
+
+namespace cuttlesys {
+namespace telemetry {
+
+void
+QuantumTrace::begin(std::size_t slice, double time_sec)
+{
+    current_ = QuantumRecord{};
+    current_.slice = slice;
+    current_.timeSec = time_sec;
+}
+
+void
+QuantumTrace::end()
+{
+    const QuantumRecord &rec = current_;
+
+    ++summary_.records;
+    ++summary_.lcPathCount[static_cast<std::size_t>(rec.lcPath)];
+    if (rec.lcCoreDelta > 0)
+        ++summary_.relocations;
+    if (rec.lcCoreDelta < 0)
+        ++summary_.yields;
+    if (!rec.capVictims.empty())
+        ++summary_.gatedSlices;
+    if (rec.tailObserved)
+        ++summary_.tailObservations;
+    if (rec.qosViolated)
+        ++summary_.qosViolations;
+    summary_.reclaimedWays += rec.reclaimedWays;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        if (rec.phaseSec[p] > 0.0)
+            summary_.phaseSec[p].add(rec.phaseSec[p]);
+    }
+
+    registry_.counter("quantum.records").add();
+    registry_.counter(std::string("lc.path.") + lcPathName(rec.lcPath))
+        .add();
+    if (!rec.capVictims.empty()) {
+        registry_.counter("enforce.gated_slices").add();
+        registry_.stat("enforce.victims")
+            .add(static_cast<double>(rec.capVictims.size()));
+        registry_.stat("enforce.reclaimed_ways").add(rec.reclaimedWays);
+    }
+    if (rec.searchEvaluations > 0) {
+        registry_.stat("search.evaluations")
+            .add(static_cast<double>(rec.searchEvaluations));
+        registry_.stat("search.objective").add(rec.searchObjective);
+    }
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        if (rec.phaseSec[p] > 0.0) {
+            registry_.stat(std::string("phase_ms.") +
+                           phaseName(static_cast<Phase>(p)))
+                .add(rec.phaseSec[p] * 1e3);
+        }
+    }
+
+    if (sink_)
+        sink_->record(rec);
+}
+
+} // namespace telemetry
+} // namespace cuttlesys

@@ -1,0 +1,44 @@
+#include "telemetry/stats_registry.hh"
+
+#include <sstream>
+
+namespace cuttlesys {
+namespace telemetry {
+
+std::uint64_t
+StatsRegistry::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+const RunningStats &
+StatsRegistry::statValue(const std::string &name) const
+{
+    static const RunningStats empty;
+    const auto it = stats_.find(name);
+    return it == stats_.end() ? empty : it->second;
+}
+
+void
+StatsRegistry::clear()
+{
+    counters_.clear();
+    stats_.clear();
+}
+
+std::string
+StatsRegistry::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, c] : counters_)
+        oss << name << ": " << c.value() << "\n";
+    for (const auto &[name, s] : stats_) {
+        oss << name << ": n=" << s.count() << " mean=" << s.mean()
+            << " min=" << s.min() << " max=" << s.max() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace telemetry
+} // namespace cuttlesys

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Named counter / histogram registry for runtime observability.
+ *
+ * The decision-quantum trace (quantum_trace.hh) folds every emitted
+ * record into one of these, so a run's aggregate behaviour (how often
+ * each LC feasibility path fired, phase-time distributions, victims
+ * gated) is available without storing or re-parsing the raw trace.
+ * The registry is also usable standalone by benches and tests.
+ *
+ * Scalar series use the Welford accumulator from common/stats.hh
+ * (count/mean/min/max/stddev), so a histogram costs O(1) memory per
+ * name regardless of run length. Not thread-safe: one registry per
+ * driver loop, which is single-threaded by construction.
+ */
+
+#ifndef CUTTLESYS_TELEMETRY_STATS_REGISTRY_HH
+#define CUTTLESYS_TELEMETRY_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace cuttlesys {
+namespace telemetry {
+
+/** A monotonically increasing named count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Name -> counter / running-statistic registry. */
+class StatsRegistry
+{
+  public:
+    /** The counter registered under @p name (created on first use). */
+    Counter &counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** The scalar series registered under @p name. */
+    RunningStats &stat(const std::string &name)
+    {
+        return stats_[name];
+    }
+
+    /** Counter value, 0 if never touched (does not create it). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Series accumulator, empty if never touched. */
+    const RunningStats &statValue(const std::string &name) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, RunningStats> &stats() const
+    {
+        return stats_;
+    }
+
+    /** Drop every registered name. */
+    void clear();
+
+    /** Human-readable dump, one name per line, sorted. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, RunningStats> stats_;
+};
+
+} // namespace telemetry
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_TELEMETRY_STATS_REGISTRY_HH

@@ -1,0 +1,191 @@
+#include "telemetry/trace_sink.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace telemetry {
+
+namespace {
+
+/** JSON string escaping (quotes, backslash, control characters). */
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += buf;
+}
+
+void
+appendNumber(std::string &out, std::size_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zu", v);
+    out += buf;
+}
+
+void
+appendNumber(std::string &out, int v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", v);
+    out += buf;
+}
+
+const char *
+boolName(bool v)
+{
+    return v ? "true" : "false";
+}
+
+} // namespace
+
+JsonlSink::JsonlSink(std::ostream &out) : out_(&out)
+{
+}
+
+JsonlSink::JsonlSink(const std::string &path)
+    : owned_(path, std::ios::trunc), out_(&owned_)
+{
+    if (!owned_)
+        fatal("cannot open trace file '", path, "' for writing");
+}
+
+std::string
+JsonlSink::toJson(const QuantumRecord &rec)
+{
+    std::string js;
+    js.reserve(640);
+
+    js += "{\"slice\":";
+    appendNumber(js, rec.slice);
+    js += ",\"t\":";
+    appendNumber(js, rec.timeSec);
+    js += ",\"sched\":";
+    appendEscaped(js, rec.scheduler);
+    js += ",\"load\":";
+    appendNumber(js, rec.loadFraction);
+    js += ",\"budget_w\":";
+    appendNumber(js, rec.powerBudgetW);
+    js += ",\"profiled_lc_cores\":";
+    appendNumber(js, rec.profiledLcCores);
+
+    js += ",\"measured\":{\"tail_ms\":";
+    appendNumber(js, rec.measuredTailSec * 1e3);
+    js += ",\"util\":";
+    appendNumber(js, rec.measuredUtil);
+    js += ",\"completed\":";
+    appendNumber(js, rec.measuredCompleted);
+    js += ",\"violation\":";
+    js += boolName(rec.measuredViolation);
+    js += ",\"tail_observed\":";
+    js += boolName(rec.tailObserved);
+    js += ",\"polluted\":";
+    js += boolName(rec.pollutedSlice);
+    js += "}";
+
+    js += ",\"lc\":{\"path\":";
+    appendEscaped(js, lcPathName(rec.lcPath));
+    js += ",\"config\":";
+    appendEscaped(js, rec.lcConfigName);
+    js += ",\"config_index\":";
+    appendNumber(js, rec.lcConfigIndex);
+    js += ",\"cores\":";
+    appendNumber(js, rec.lcCores);
+    js += ",\"core_delta\":";
+    appendNumber(js, rec.lcCoreDelta);
+    js += ",\"scan_saturated\":";
+    appendNumber(js, rec.scanSaturated);
+    js += ",\"cf_feasible\":";
+    js += boolName(rec.chosenCfFeasible);
+    js += ",\"queue_feasible\":";
+    js += boolName(rec.chosenQueueFeasible);
+    js += "}";
+
+    js += ",\"search\":{\"budget_w\":";
+    appendNumber(js, rec.batchPowerBudgetW);
+    js += ",\"budget_ways\":";
+    appendNumber(js, rec.cacheBudgetWays);
+    js += ",\"seed_ways\":";
+    appendNumber(js, rec.seedWays);
+    js += ",\"seed_repaired\":";
+    js += boolName(rec.seedRepaired);
+    js += ",\"evaluations\":";
+    appendNumber(js, rec.searchEvaluations);
+    js += ",\"objective\":";
+    appendNumber(js, rec.searchObjective);
+    js += ",\"power_w\":";
+    appendNumber(js, rec.searchPowerW);
+    js += ",\"ways\":";
+    appendNumber(js, rec.searchWays);
+    js += "}";
+
+    js += ",\"enforce\":{\"victims\":[";
+    for (std::size_t i = 0; i < rec.capVictims.size(); ++i) {
+        if (i)
+            js += ',';
+        appendNumber(js, rec.capVictims[i]);
+    }
+    js += "],\"reclaimed_ways\":";
+    appendNumber(js, rec.reclaimedWays);
+    js += "}";
+
+    js += ",\"executed\":{\"tail_ms\":";
+    appendNumber(js, rec.executedTailSec * 1e3);
+    js += ",\"power_w\":";
+    appendNumber(js, rec.executedPowerW);
+    js += ",\"qos_violated\":";
+    js += boolName(rec.qosViolated);
+    js += ",\"gmean_bips\":";
+    appendNumber(js, rec.gmeanBips);
+    js += "}";
+
+    js += ",\"phase_ms\":{";
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+        if (p)
+            js += ',';
+        appendEscaped(js, phaseName(static_cast<Phase>(p)));
+        js += ':';
+        appendNumber(js, rec.phaseSec[p] * 1e3);
+    }
+    js += "}}";
+    return js;
+}
+
+void
+JsonlSink::record(const QuantumRecord &rec)
+{
+    (*out_) << toJson(rec) << '\n';
+    ++written_;
+}
+
+} // namespace telemetry
+} // namespace cuttlesys

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pluggable sinks for the per-quantum trace.
+ *
+ * The sink contract: record() is called once per decision quantum,
+ * after the slice has executed, from the driver's (single) thread.
+ * Sinks must tolerate partially filled records — a baseline scheduler
+ * leaves the search fields empty — and must not throw on ordinary I/O
+ * trouble (a full disk degrades observability, not the run).
+ *
+ * JsonlSink serializes each record as one JSON object per line, the
+ * schema DESIGN.md §8 documents; trace_reader.hh parses it back.
+ * MemorySink keeps the records in a vector for tests and in-process
+ * analysis.
+ */
+
+#ifndef CUTTLESYS_TELEMETRY_TRACE_SINK_HH
+#define CUTTLESYS_TELEMETRY_TRACE_SINK_HH
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/quantum_record.hh"
+
+namespace cuttlesys {
+namespace telemetry {
+
+/** Receives one QuantumRecord per executed timeslice. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one completed quantum's record. */
+    virtual void record(const QuantumRecord &rec) = 0;
+};
+
+/** Serializes records as JSON Lines to a stream or file. */
+class JsonlSink : public TraceSink
+{
+  public:
+    /** Write to a caller-owned stream (not flushed per record). */
+    explicit JsonlSink(std::ostream &out);
+
+    /** Write to @p path, truncating; throws FatalError on failure. */
+    explicit JsonlSink(const std::string &path);
+
+    void record(const QuantumRecord &rec) override;
+
+    /** Records written so far. */
+    std::size_t written() const { return written_; }
+
+    /** Serialize one record to its JSONL form (no newline). */
+    static std::string toJson(const QuantumRecord &rec);
+
+  private:
+    std::ofstream owned_;
+    std::ostream *out_;
+    std::size_t written_ = 0;
+};
+
+/** Keeps every record in memory (tests, in-process analysis). */
+class MemorySink : public TraceSink
+{
+  public:
+    void record(const QuantumRecord &rec) override
+    {
+        records_.push_back(rec);
+    }
+
+    const std::vector<QuantumRecord> &records() const
+    {
+        return records_;
+    }
+
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<QuantumRecord> records_;
+};
+
+} // namespace telemetry
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_TELEMETRY_TRACE_SINK_HH

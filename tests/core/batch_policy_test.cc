@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the batch-side policy helpers: the greedy knapsack warm
+ * start's feasibility invariants and the cap-enforcement pass's way
+ * reclamation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/job_config.hh"
+#include "core/batch_policy.hh"
+
+namespace cuttlesys {
+namespace {
+
+double
+pointWays(const Point &x)
+{
+    double ways = 0.0;
+    for (const std::uint16_t c : x)
+        ways += JobConfig::fromIndex(c).cacheWays();
+    return ways;
+}
+
+/** bips grows with the allocation; power is shaped per test. */
+Matrix
+waysBips(std::size_t jobs)
+{
+    Matrix bips(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            bips(j, c) = 1.0 + JobConfig::fromIndex(c).cacheWays();
+    }
+    return bips;
+}
+
+TEST(KnapsackSeedTest, RepairsWayInfeasibleCheapestPowerSeed)
+{
+    // Power decreases with the allocation, so every job's
+    // cheapest-power configuration carries the full 4 ways: the raw
+    // seed uses 8 x 4 = 32 ways against an 8-way budget, and no
+    // upgrade can fix that. The repair pass must downgrade it into
+    // feasibility before DDS sees it.
+    const std::size_t jobs = 8;
+    const Matrix bips = waysBips(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 10.0 - JobConfig::fromIndex(c).cacheWays();
+    }
+
+    const double cache_budget = 8.0;
+    const KnapsackSeed seed =
+        greedyKnapsackSeed(bips, power, /*power_budget=*/1e6,
+                           cache_budget);
+
+    EXPECT_TRUE(seed.repaired);
+    EXPECT_LE(seed.usedWays, cache_budget + 1e-9);
+    EXPECT_NEAR(pointWays(seed.point), seed.usedWays, 1e-9);
+}
+
+TEST(KnapsackSeedTest, FeasibleSeedIsNotRepaired)
+{
+    // Power increases with the allocation: the cheapest-power seed
+    // holds 0.5 ways per job and is feasible from the start.
+    const std::size_t jobs = 8;
+    const Matrix bips = waysBips(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 1.0 + JobConfig::fromIndex(c).cacheWays();
+    }
+
+    const double cache_budget = 16.0;
+    const KnapsackSeed seed =
+        greedyKnapsackSeed(bips, power, /*power_budget=*/1e6,
+                           cache_budget);
+
+    EXPECT_FALSE(seed.repaired);
+    EXPECT_LE(seed.usedWays, cache_budget + 1e-9);
+    // With power unconstrained the upgrade rounds should spend the
+    // way budget rather than leave it idle.
+    EXPECT_GT(seed.usedWays, cache_budget * 0.5);
+}
+
+TEST(KnapsackSeedTest, RepairRespectsPowerBudgetWhenPossible)
+{
+    // One power-feasible downgrade exists per job (same power, fewer
+    // ways); the repair must prefer it over cheaper-throughput moves
+    // that bust the power cap.
+    const std::size_t jobs = 4;
+    const Matrix bips = waysBips(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 10.0 - JobConfig::fromIndex(c).cacheWays();
+    }
+
+    // Budget exactly the raw seed's power: any downgrade here raises
+    // power (power = 10 - ways), so the "prefer power-feasible"
+    // tie-break cannot apply; the repair still must terminate and
+    // restore way feasibility.
+    const KnapsackSeed seed =
+        greedyKnapsackSeed(bips, power, /*power_budget=*/4.0 * 6.0,
+                           /*cache_budget=*/4.0);
+    EXPECT_TRUE(seed.repaired);
+    EXPECT_LE(seed.usedWays, 4.0 + 1e-9);
+}
+
+SliceDecision
+fourWayDecision(std::size_t jobs)
+{
+    SliceDecision d;
+    d.batchConfigs.assign(jobs, JobConfig(CoreConfig::widest(),
+                                          kNumCacheAllocs - 1));
+    d.batchActive.assign(jobs, true);
+    return d;
+}
+
+TEST(CapEnforcementTest, GatedVictimsReleaseTheirWays)
+{
+    const std::size_t jobs = 4;
+    SliceDecision d = fourWayDecision(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 10.0 * static_cast<double>(j + 1);
+    }
+
+    // Total 100 W against 45 W: gate job 3 (40 W) then job 2 (30 W).
+    const CapEnforcement result = enforcePowerCap(d, power, 45.0);
+
+    ASSERT_EQ(result.victims.size(), 2u);
+    EXPECT_EQ(result.victims[0], 3u);
+    EXPECT_EQ(result.victims[1], 2u);
+    EXPECT_DOUBLE_EQ(result.finalPowerW, 30.0);
+
+    for (const std::size_t v : result.victims) {
+        EXPECT_FALSE(d.batchActive[v]);
+        // The gated core's LLC allocation must shrink to the smallest
+        // rank — leaving 4 ways assigned to an off core charges the
+        // budget for cache nobody touches.
+        EXPECT_DOUBLE_EQ(d.batchConfigs[v].cacheWays(),
+                         kCacheAllocWays[0]);
+    }
+    EXPECT_DOUBLE_EQ(result.reclaimedWays,
+                     2.0 * (kCacheAllocWays[kNumCacheAllocs - 1] -
+                            kCacheAllocWays[0]));
+
+    // Survivors keep their allocation.
+    EXPECT_TRUE(d.batchActive[0]);
+    EXPECT_TRUE(d.batchActive[1]);
+    EXPECT_DOUBLE_EQ(d.batchConfigs[0].cacheWays(),
+                     kCacheAllocWays[kNumCacheAllocs - 1]);
+}
+
+TEST(CapEnforcementTest, UnderBudgetIsUntouched)
+{
+    const std::size_t jobs = 3;
+    SliceDecision d = fourWayDecision(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 5.0;
+    }
+
+    const CapEnforcement result = enforcePowerCap(d, power, 100.0);
+    EXPECT_TRUE(result.victims.empty());
+    EXPECT_DOUBLE_EQ(result.reclaimedWays, 0.0);
+    EXPECT_DOUBLE_EQ(result.finalPowerW, 15.0);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        EXPECT_TRUE(d.batchActive[j]);
+        EXPECT_DOUBLE_EQ(d.batchConfigs[j].cacheWays(),
+                         kCacheAllocWays[kNumCacheAllocs - 1]);
+    }
+}
+
+TEST(CapEnforcementTest, GatesEverythingWhenBudgetBelowFloor)
+{
+    const std::size_t jobs = 2;
+    SliceDecision d = fourWayDecision(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 50.0;
+    }
+
+    const CapEnforcement result = enforcePowerCap(d, power, 1.0);
+    EXPECT_EQ(result.victims.size(), 2u);
+    EXPECT_FALSE(d.batchActive[0]);
+    EXPECT_FALSE(d.batchActive[1]);
+}
+
+} // namespace
+} // namespace cuttlesys

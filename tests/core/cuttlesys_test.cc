@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "core/cuttlesys.hh"
 #include "power/power_model.hh"
 #include "sim/driver.hh"
+#include "telemetry/trace_reader.hh"
+#include "telemetry/trace_sink.hh"
 #include "core_fixture.hh"
 
 namespace cuttlesys {
@@ -215,6 +219,150 @@ TEST(CuttleSysTest, YieldsCoresBackWhenSlackReturns)
     runColocation(sim, sched, dopts);
     EXPECT_EQ(sched.lcCores(), 16u)
         << "relocated cores must be yielded back at low load";
+}
+
+// --- telemetry-backed regression tests -------------------------------
+
+/** A measurement that looks like a healthy, well-sampled slice. */
+SliceMeasurement
+lcMeasurement(double tail_sec, std::size_t completed, double util)
+{
+    SliceMeasurement m;
+    m.lcTailLatency = tail_sec;
+    m.lcCompleted = completed;
+    m.lcUtilization = util;
+    m.lcPower = 20.0;
+    m.batchBips.assign(16, 1.0);
+    m.batchPower.assign(16, 1.0);
+    return m;
+}
+
+SliceContext
+contextWith(const SliceMeasurement &m, const SliceDecision &d,
+            double qos_sec, std::size_t slice)
+{
+    SliceContext ctx;
+    ctx.sliceIndex = slice;
+    ctx.timeSec = static_cast<double>(slice) * 0.1;
+    ctx.powerBudgetW = 100.0;
+    ctx.lcQosSec = qos_sec;
+    ctx.previous = &m;
+    ctx.previousDecision = &d;
+    return ctx;
+}
+
+TEST(CuttleSysTest, IngestIgnoresTailBelowSampleFloor)
+{
+    // A 5-request p99 above QoS is noise, not a violation: it must
+    // not mark the next slice as a polluted drain slice, or the next
+    // valid measurement gets dropped from the latency history.
+    const SystemParams params;
+    const WorkloadMix mix = makeTestMix();
+    const double qos = mix.lc.qosSeconds();
+    auto sched = makeScheduler(mix, params);
+    telemetry::QuantumTrace trace;
+    sched.attachTrace(&trace);
+
+    SliceDecision prev = allWideDecision(mix.batch.size());
+    prev.lcConfig = JobConfig(CoreConfig::widest(),
+                              kNumCacheAllocs - 1);
+
+    const SliceMeasurement noisy =
+        lcMeasurement(2.0 * qos, /*completed=*/5, /*util=*/0.5);
+    trace.begin(1, 0.1);
+    sched.decide(contextWith(noisy, prev, qos, 1));
+    EXPECT_FALSE(trace.record().tailObserved)
+        << "a sub-floor sample must not enter the latency history";
+    trace.end();
+
+    const SliceMeasurement valid =
+        lcMeasurement(0.5 * qos, /*completed=*/200, /*util=*/0.6);
+    trace.begin(2, 0.2);
+    sched.decide(contextWith(valid, prev, qos, 2));
+    EXPECT_FALSE(trace.record().pollutedSlice)
+        << "the noisy sub-floor tail must not poison the next slice";
+    EXPECT_TRUE(trace.record().tailObserved);
+    trace.end();
+    sched.attachTrace(nullptr);
+}
+
+TEST(CuttleSysTest, TraceRecordsRelocateAndYieldDeltas)
+{
+    const SystemParams params;
+    const WorkloadMix mix = makeTestMix();
+    const double qos = mix.lc.qosSeconds();
+    CuttleSysOptions opts = fastCuttleSysOptions();
+    opts.initialLcCores = 16;
+    CuttleSysScheduler sched(params, testTrainingTables(0),
+                             mix.batch.size(), qos, opts);
+    telemetry::QuantumTrace trace;
+    sched.attachTrace(&trace);
+
+    SliceDecision prev = allWideDecision(mix.batch.size());
+    prev.lcConfig = JobConfig(CoreConfig::widest(),
+                              kNumCacheAllocs - 1);
+
+    // Saturated violation on the safest configuration: relocation.
+    const SliceMeasurement overload =
+        lcMeasurement(2.0 * qos, /*completed=*/200, /*util=*/0.99);
+    trace.begin(1, 0.1);
+    sched.decide(contextWith(overload, prev, qos, 1));
+    EXPECT_EQ(trace.record().lcPath,
+              telemetry::LcPath::ViolationRelocate);
+    EXPECT_EQ(trace.record().lcCoreDelta, 1);
+    EXPECT_EQ(trace.record().lcCores, 17u);
+    trace.end();
+    EXPECT_EQ(sched.lcCores(), 17u);
+
+    // Comfortable slack (tail <= QoS * (1 - qosSlack)): yield.
+    prev.lcCores = 17;
+    const SliceMeasurement relaxed =
+        lcMeasurement(0.5 * qos, /*completed=*/200, /*util=*/0.4);
+    trace.begin(2, 0.2);
+    sched.decide(contextWith(relaxed, prev, qos, 2));
+    EXPECT_EQ(trace.record().lcCoreDelta, -1);
+    EXPECT_EQ(trace.record().lcCores, 16u);
+    trace.end();
+    EXPECT_EQ(sched.lcCores(), 16u);
+
+    const telemetry::RunSummary &sum = trace.summary();
+    EXPECT_EQ(sum.relocations, 1u);
+    EXPECT_EQ(sum.yields, 1u);
+    sched.attachTrace(nullptr);
+}
+
+TEST(CuttleSysTest, JsonlTraceHasOneParseableRecordPerSlice)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 39);
+    auto sched = makeScheduler(sim.mix(), params);
+
+    std::ostringstream jsonl;
+    telemetry::JsonlSink sink(jsonl);
+    DriverOptions dopts = options(0.7, 0.8, 0.5);
+    dopts.traceSink = &sink;
+    const RunResult r = runColocation(sim, sched, dopts);
+
+    std::istringstream in(jsonl.str());
+    const std::vector<telemetry::QuantumRecord> records =
+        telemetry::readTrace(in);
+    ASSERT_EQ(records.size(), r.slices.size());
+    EXPECT_EQ(r.traceSummary.records, r.slices.size());
+    for (std::size_t s = 0; s < records.size(); ++s) {
+        const telemetry::QuantumRecord &rec = records[s];
+        EXPECT_EQ(rec.slice, s);
+        EXPECT_EQ(rec.scheduler, "CuttleSys");
+        // Every quantum must name the LC feasibility path that fired.
+        EXPECT_NE(rec.lcPath, telemetry::LcPath::None) << "slice " << s;
+        EXPECT_NE(rec.lcPath, telemetry::LcPath::StaticPolicy);
+        EXPECT_FALSE(rec.lcConfigName.empty());
+        EXPECT_GT(rec.searchEvaluations, 0u);
+        EXPECT_GT(rec.phase(telemetry::Phase::Search), 0.0);
+        EXPECT_GT(rec.phase(telemetry::Phase::Execute), 0.0);
+        EXPECT_GT(rec.executedPowerW, 0.0);
+    }
+    // Slice 0 has no history: the trace must show the cold start.
+    EXPECT_EQ(records[0].lcPath, telemetry::LcPath::ColdStart);
 }
 
 TEST(CuttleSysTest, ConstructorValidation)

@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include "baselines/no_gating.hh"
 #include "common/logging.hh"
 #include "sim/driver.hh"
+#include "telemetry/trace_reader.hh"
+#include "telemetry/trace_sink.hh"
 #include "sim_fixture.hh"
 
 namespace cuttlesys {
@@ -32,10 +37,11 @@ class RecordingScheduler : public Scheduler
         budgets.push_back(ctx.powerBudgetW);
         sawProfiles.push_back(!ctx.profiles.empty());
         sawPrevious.push_back(ctx.previous != nullptr);
-        return allWideDecision(batchJobs_);
+        return allWideDecision(batchJobs_, lcCores);
     }
 
     bool profiling = true;
+    std::size_t lcCores = 16;
     std::vector<std::size_t> contexts;
     std::vector<double> budgets;
     std::vector<bool> sawProfiles;
@@ -152,6 +158,84 @@ TEST(DriverTest, GmeanFloorsGatedJobs)
     const double g = gmeanBatchBips(m, 1e-3);
     EXPECT_GT(g, 0.0);
     EXPECT_NEAR(g, std::cbrt(2.0 * 1e-3 * 8.0), 1e-12);
+}
+
+TEST(DriverTest, FirstSliceProfilingDerivesLcCoresFromMachine)
+{
+    // On an 8-core machine the first slice's profiling pass must use
+    // numCores / 2 = 4 LC cores, not a hard-coded 16 (which does not
+    // even fit the chip).
+    SystemParams params;
+    params.numCores = 8;
+    MulticoreSim sim(params, makeTestMix(0, /*batch_jobs=*/4), 8);
+    RecordingScheduler sched(4);
+    sched.lcCores = 4;
+
+    telemetry::MemorySink sink;
+    DriverOptions opts = basicOptions();
+    opts.traceSink = &sink;
+    const RunResult result = runColocation(sim, sched, opts);
+
+    ASSERT_EQ(sink.records().size(), result.slices.size());
+    EXPECT_EQ(sink.records()[0].profiledLcCores, 4u);
+    // Subsequent slices profile at the previous decision's count.
+    for (std::size_t s = 1; s < sink.records().size(); ++s)
+        EXPECT_EQ(sink.records()[s].profiledLcCores, 4u);
+    EXPECT_EQ(result.traceSummary.records, result.slices.size());
+}
+
+TEST(DriverTest, InitialLcCoresOverrideIsHonored)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 9);
+    RecordingScheduler sched(16);
+
+    telemetry::MemorySink sink;
+    DriverOptions opts = basicOptions();
+    opts.initialLcCores = 10;
+    opts.traceSink = &sink;
+    runColocation(sim, sched, opts);
+
+    ASSERT_FALSE(sink.records().empty());
+    EXPECT_EQ(sink.records()[0].profiledLcCores, 10u);
+    EXPECT_EQ(sink.records()[1].profiledLcCores, 16u);
+}
+
+TEST(DriverTest, JsonlTraceCoversBaselines)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 10);
+    NoGatingScheduler sched(16, 16);
+
+    std::ostringstream jsonl;
+    telemetry::JsonlSink sink(jsonl);
+    DriverOptions opts = basicOptions();
+    opts.traceSink = &sink;
+    const RunResult result = runColocation(sim, sched, opts);
+
+    std::istringstream in(jsonl.str());
+    const auto records = telemetry::readTrace(in);
+    ASSERT_EQ(records.size(), result.slices.size());
+    for (std::size_t s = 0; s < records.size(); ++s) {
+        EXPECT_EQ(records[s].slice, s);
+        EXPECT_EQ(records[s].lcPath,
+                  telemetry::LcPath::StaticPolicy);
+        EXPECT_EQ(records[s].scheduler, sched.name());
+        EXPECT_GT(records[s].executedPowerW, 0.0);
+        EXPECT_GT(records[s].phase(telemetry::Phase::Execute), 0.0);
+    }
+    EXPECT_EQ(result.traceSummary.pathCount(
+                  telemetry::LcPath::StaticPolicy),
+              records.size());
+}
+
+TEST(DriverTest, NoSinkLeavesSummaryEmpty)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 11);
+    RecordingScheduler sched(16);
+    const RunResult result = runColocation(sim, sched, basicOptions());
+    EXPECT_EQ(result.traceSummary.records, 0u);
 }
 
 TEST(DriverTest, RejectsUnsetMaxPower)

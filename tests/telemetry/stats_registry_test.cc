@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the telemetry counter / running-stat registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/stats_registry.hh"
+
+namespace cuttlesys {
+namespace telemetry {
+namespace {
+
+TEST(StatsRegistryTest, CounterAccumulatesByName)
+{
+    StatsRegistry reg;
+    reg.counter("quantum.records").add(1);
+    reg.counter("quantum.records").add(2);
+    EXPECT_EQ(reg.counterValue("quantum.records"), 3u);
+    EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(StatsRegistryTest, MissingCounterReadsZero)
+{
+    StatsRegistry reg;
+    EXPECT_EQ(reg.counterValue("never.touched"), 0u);
+    // Reading must not create an entry.
+    EXPECT_TRUE(reg.counters().empty());
+}
+
+TEST(StatsRegistryTest, StatTracksDistribution)
+{
+    StatsRegistry reg;
+    reg.stat("phase_ms.search").add(1.0);
+    reg.stat("phase_ms.search").add(3.0);
+    const RunningStats &s = reg.statValue("phase_ms.search");
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(StatsRegistryTest, MissingStatReadsEmpty)
+{
+    StatsRegistry reg;
+    EXPECT_EQ(reg.statValue("never.touched").count(), 0u);
+    EXPECT_TRUE(reg.stats().empty());
+}
+
+TEST(StatsRegistryTest, ClearDropsEverything)
+{
+    StatsRegistry reg;
+    reg.counter("a").add(1);
+    reg.stat("b").add(1.0);
+    reg.clear();
+    EXPECT_TRUE(reg.counters().empty());
+    EXPECT_TRUE(reg.stats().empty());
+}
+
+TEST(StatsRegistryTest, ToStringMentionsEveryEntry)
+{
+    StatsRegistry reg;
+    reg.counter("lc.path.cf").add(7);
+    reg.stat("search.objective").add(4.25);
+    const std::string text = reg.toString();
+    EXPECT_NE(text.find("lc.path.cf"), std::string::npos);
+    EXPECT_NE(text.find("search.objective"), std::string::npos);
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace cuttlesys
