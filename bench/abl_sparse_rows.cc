@@ -2,8 +2,9 @@
  * @file
  * Ablations D2 and D7: how sparse live rows are reconstructed.
  *
- * D2 (paper): lock-free Hogwild parallel SGD trades ~1% accuracy for
- * a multi-x speedup over serial SGD.
+ * D2 (paper): parallel SGD trades ~1% accuracy for a multi-x speedup
+ * over serial SGD (the paper runs lock-free Hogwild; ours is the
+ * deterministic stratified schedule, cf/sgd.cc).
  * D7 (ours): very sparse rows are predicted by neighborhood blending
  * instead of factor fold-in; the factor-only and no-fold-in variants
  * show why.
@@ -60,7 +61,7 @@ main()
     {
         SgdOptions o;
         o.threads = 4;
-        variants.push_back({"default + Hogwild(4)", o});
+        variants.push_back({"default + parallel(4)", o});
     }
     {
         SgdOptions o;

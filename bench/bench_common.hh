@@ -5,7 +5,7 @@
  * Every bench binary regenerates one table or figure from the paper:
  * it prints the same rows/series the paper reports, alongside the
  * paper's own numbers where they are quotable, so EXPERIMENTS.md can
- * be filled by running `for b in build/bench/*; do $b; done`.
+ * be filled by running every binary under build/bench/ in turn.
  *
  * Heavyweight shared state (max-QPS calibration, offline training
  * tables) is built once per process and cached. Environment knobs:

@@ -58,7 +58,7 @@ BM_SgdSerial(benchmark::State &state)
 BENCHMARK(BM_SgdSerial)->Unit(benchmark::kMillisecond);
 
 void
-BM_SgdHogwild4(benchmark::State &state)
+BM_SgdParallel4(benchmark::State &state)
 {
     const RatingMatrix ratings = runtimeShapedMatrix(2);
     SgdOptions options;
@@ -67,7 +67,7 @@ BM_SgdHogwild4(benchmark::State &state)
         benchmark::DoNotOptimize(reconstruct(ratings, options));
     }
 }
-BENCHMARK(BM_SgdHogwild4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SgdParallel4)->Unit(benchmark::kMillisecond);
 
 void
 BM_SgdWarmStart(benchmark::State &state)

@@ -38,12 +38,20 @@ lcClusterPower(const MulticoreSim &sim, const SliceContext &ctx,
                      false) * static_cast<double>(lc_cores);
 }
 
-/** Gate active jobs in descending power order until under budget. */
-std::vector<std::size_t>
+/** What gating to the budget did: victims plus the final estimate. */
+struct GatingOutcome
+{
+    std::vector<std::size_t> victims;
+    double finalPowerW = 0.0;
+};
+
+/** Gate active jobs in descending power order until under budget.
+ *  A gated core releases its LLC allocation (smallest rank). */
+GatingOutcome
 gateToBudget(SliceDecision &d, const std::vector<double> &power,
              double fixed_power, double budget)
 {
-    std::vector<std::size_t> victims;
+    GatingOutcome out;
     double total = fixed_power;
     for (std::size_t j = 0; j < power.size(); ++j) {
         if (d.batchActive[j])
@@ -61,18 +69,22 @@ gateToBudget(SliceDecision &d, const std::vector<double> &power,
         if (victim == power.size())
             break;
         d.batchActive[victim] = false;
+        d.batchConfigs[victim] =
+            JobConfig(d.batchConfigs[victim].core(), 0);
         total -= power[victim];
         total += gatedCorePower();
-        victims.push_back(victim);
+        out.victims.push_back(victim);
     }
-    return victims;
+    out.finalPowerW = total;
+    return out;
 }
 
 /** Stamp the static-policy trace fields shared by the baselines. */
 void
 recordStaticDecision(telemetry::QuantumRecord *rec,
                      const SliceDecision &d, const SliceContext &ctx,
-                     const std::vector<std::size_t> &victims)
+                     const std::vector<std::size_t> &victims,
+                     double enforced_power_w)
 {
     if (!rec)
         return;
@@ -82,6 +94,7 @@ recordStaticDecision(telemetry::QuantumRecord *rec,
     rec->lcCores = d.lcCores;
     rec->batchPowerBudgetW = ctx.powerBudgetW;
     rec->capVictims = victims;
+    rec->enforcedPowerW = enforced_power_w;
 }
 
 } // namespace
@@ -142,6 +155,7 @@ AsymmetricOracleScheduler::decide(const SliceContext &ctx)
               });
 
     double best_bips = -1.0;
+    double best_power = 0.0;
     std::vector<bool> best_on_big(B, false);
     for (const auto &order : {by_gain, by_efficiency}) {
         std::vector<bool> on_big(B, false);
@@ -155,6 +169,7 @@ AsymmetricOracleScheduler::decide(const SliceContext &ctx)
         for (std::size_t k = 0; k <= B; ++k) {
             if (power <= ctx.powerBudgetW && bips > best_bips) {
                 best_bips = bips;
+                best_power = power;
                 best_on_big = on_big;
             }
             if (k == B)
@@ -169,15 +184,16 @@ AsymmetricOracleScheduler::decide(const SliceContext &ctx)
     if (best_bips < 0.0) {
         // Even the all-small placement busts the budget: gate cores
         // in descending order of power.
-        const std::vector<std::size_t> victims =
+        const GatingOutcome gating =
             gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
-        recordStaticDecision(traceRecord(), d, ctx, victims);
+        recordStaticDecision(traceRecord(), d, ctx, gating.victims,
+                             gating.finalPowerW);
         return d;
     }
 
     for (std::size_t j = 0; j < B; ++j)
         d.batchConfigs[j] = best_on_big[j] ? big : small;
-    recordStaticDecision(traceRecord(), d, ctx, {});
+    recordStaticDecision(traceRecord(), d, ctx, {}, best_power);
     return d;
 }
 
@@ -209,9 +225,10 @@ StaticAsymmetricScheduler::decide(const SliceContext &ctx)
     const double fixed = lcClusterPower(sim_, ctx, d.lcConfig,
                                         lcCores_) +
                          llcPower(sim_.params());
-    const std::vector<std::size_t> victims =
+    const GatingOutcome gating =
         gateToBudget(d, power_small, fixed, ctx.powerBudgetW);
-    recordStaticDecision(traceRecord(), d, ctx, victims);
+    recordStaticDecision(traceRecord(), d, ctx, gating.victims,
+                         gating.finalPowerW);
     return d;
 }
 

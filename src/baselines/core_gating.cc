@@ -152,6 +152,17 @@ CoreGatingScheduler::decide(const SliceContext &ctx)
         if (best != last_victim) {
             d.batchActive[last_victim] = true;
             d.batchActive[best] = false;
+            total = ctx.powerBudgetW - best_slack;
+        }
+    }
+
+    // A gated core holds no cache: its configuration drops to the
+    // smallest allocation so way accounting never charges a phantom
+    // allocation for a core that is off.
+    for (std::size_t j = 0; j < B; ++j) {
+        if (!d.batchActive[j]) {
+            d.batchConfigs[j] =
+                JobConfig(d.batchConfigs[j].core(), 0);
         }
     }
 
@@ -199,6 +210,7 @@ CoreGatingScheduler::decide(const SliceContext &ctx)
         rec->lcConfigName = d.lcConfig.toString();
         rec->lcCores = lcCores_;
         rec->batchPowerBudgetW = ctx.powerBudgetW;
+        rec->enforcedPowerW = total;
         for (std::size_t j = 0; j < B; ++j) {
             if (!d.batchActive[j])
                 rec->capVictims.push_back(j);

@@ -28,6 +28,10 @@ class NoGatingScheduler : public Scheduler
     bool wantsProfiling() const override { return false; }
     bool usesReconfigurableCores() const override { return false; }
 
+    /** The reference deliberately ignores the power budget, so the
+     *  schedule validator must not audit a cap claim. */
+    bool enforcesPowerCap() const override { return false; }
+
     SliceDecision decide(const SliceContext &ctx) override;
 
   private:

@@ -10,8 +10,13 @@
  *  - an iteration cap / convergence threshold trade-off
  *    (Section V: "the fewer the iterations, the lower the overhead,
  *    but the higher the prediction inaccuracy"),
- *  - a lock-free Hogwild-style parallel variant that trades ~1%
- *    accuracy for a multi-x speedup (Section V cites [95], [96]).
+ *  - a stratified block-parallel variant that trades ~1% accuracy
+ *    for a multi-x speedup. The paper runs lock-free Hogwild
+ *    (Section V cites [95], [96]); this implementation schedules the
+ *    same per-epoch work as disjoint row/column strata instead, which
+ *    keeps the speedup while staying race-free and bitwise
+ *    deterministic for a fixed seed — same-seed runs must replay to
+ *    identical decisions (examples/replay_check).
  *
  * Values are learned row-normalized (and optionally in log space,
  * which suits tail latencies that span orders of magnitude).
@@ -53,8 +58,9 @@ struct SgdOptions
      */
     std::size_t convergenceSamples = 512;
     /**
-     * Worker threads; > 1 selects the lock-free parallel variant,
-     * run as fork-join epochs on the shared persistent ThreadPool.
+     * Worker threads; > 1 selects the stratified block-parallel
+     * variant, run as fork-join sub-epochs on the shared persistent
+     * ThreadPool. Deterministic for a fixed seed at any thread count.
      */
     std::size_t threads = 1;
     bool svdWarmStart = false;

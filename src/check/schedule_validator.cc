@@ -1,0 +1,242 @@
+#include "check/schedule_validator.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace check {
+
+namespace {
+
+bool
+legalWidth(int width)
+{
+    for (const int w : kSectionWidths) {
+        if (width == w)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Whether @p config is a point of the m x p grid. Works on raw member
+ * values only: a corrupted configuration must be diagnosable without
+ * calling accessors (cacheWays(), index(), toString()) that assume
+ * grid membership.
+ */
+bool
+inGrid(const JobConfig &config)
+{
+    const CoreConfig &core = config.core();
+    return legalWidth(core.frontEnd()) && legalWidth(core.backEnd()) &&
+           legalWidth(core.loadStore()) &&
+           config.cacheRank() < kNumCacheAllocs;
+}
+
+std::string
+describeRaw(const JobConfig &config)
+{
+    std::ostringstream oss;
+    oss << "{" << config.core().frontEnd() << ","
+        << config.core().backEnd() << "," << config.core().loadStore()
+        << "}/rank" << config.cacheRank();
+    return oss.str();
+}
+
+} // namespace
+
+const char *
+invariantName(Invariant inv)
+{
+    switch (inv) {
+      case Invariant::DecisionShape: return "decision-shape";
+      case Invariant::ConfigGrid:    return "config-grid";
+      case Invariant::WayBudget:     return "way-budget";
+      case Invariant::PowerCap:      return "power-cap";
+      case Invariant::CoreCount:     return "core-count";
+      case Invariant::CoreDisjoint:  return "core-disjoint";
+      case Invariant::GatedRelease:  return "gated-release";
+    }
+    return "?";
+}
+
+ScheduleValidator::ScheduleValidator(ValidatorOptions options)
+    : options_(options)
+{
+}
+
+void
+ScheduleValidator::reset()
+{
+    quantaChecked_ = 0;
+    violationCount_ = 0;
+    perInvariant_.fill(0);
+    violations_.clear();
+}
+
+void
+ScheduleValidator::report(Invariant inv, const DecisionContext &ctx,
+                          std::string detail,
+                          std::vector<Violation> &quantum_violations)
+{
+    ++violationCount_;
+    ++perInvariant_[static_cast<std::size_t>(inv)];
+
+    Violation v;
+    v.invariant = inv;
+    v.slice = ctx.sliceIndex;
+    v.detail = std::move(detail);
+
+    std::string message = invariantName(inv);
+    message += ": ";
+    message += v.detail;
+    if (ctx.record)
+        ctx.record->invariantViolations.push_back(message);
+    if (options_.failMode == FailMode::Log) {
+        warn("schedule invariant violated (slice ", v.slice, "): ",
+             message);
+    }
+
+    quantum_violations.push_back(v);
+    if (violations_.size() < options_.maxStoredViolations)
+        violations_.push_back(std::move(v));
+}
+
+bool
+ScheduleValidator::validate(const SliceDecision &decision,
+                            const DecisionContext &ctx)
+{
+    CS_ASSERT(ctx.params != nullptr, "validator needs SystemParams");
+    const SystemParams &params = *ctx.params;
+    ++quantaChecked_;
+
+    std::vector<Violation> found;
+    auto fail = [&](Invariant inv, const std::string &detail) {
+        report(inv, ctx, detail, found);
+    };
+
+    // --- shape: the decision must address every job exactly once ----
+    const std::size_t jobs = decision.batchConfigs.size();
+    bool shape_ok = true;
+    if (jobs != ctx.numBatchJobs ||
+        decision.batchActive.size() != ctx.numBatchJobs) {
+        std::ostringstream oss;
+        oss << "decision covers " << jobs << " configs / "
+            << decision.batchActive.size() << " active flags for "
+            << ctx.numBatchJobs << " batch jobs";
+        fail(Invariant::DecisionShape, oss.str());
+        shape_ok = false;
+    }
+    if (decision.overheadSec < 0.0 ||
+        decision.overheadSec > params.timesliceSec) {
+        std::ostringstream oss;
+        oss << "overhead " << decision.overheadSec
+            << "s outside [0, " << params.timesliceSec << "s]";
+        fail(Invariant::DecisionShape, oss.str());
+    }
+
+    // --- grid membership (checked on raw members so a corrupted
+    // configuration cannot crash the later accessors) ----------------
+    bool grid_ok = inGrid(decision.lcConfig);
+    if (!grid_ok) {
+        fail(Invariant::ConfigGrid,
+             "lc config " + describeRaw(decision.lcConfig) +
+                 " outside the m x p grid");
+    }
+    std::vector<bool> job_grid_ok(jobs, true);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        if (inGrid(decision.batchConfigs[j]))
+            continue;
+        job_grid_ok[j] = false;
+        grid_ok = false;
+        std::ostringstream oss;
+        oss << "batch job " << j << " config "
+            << describeRaw(decision.batchConfigs[j])
+            << " outside the m x p grid";
+        fail(Invariant::ConfigGrid, oss.str());
+    }
+
+    const bool paired = shape_ok &&
+                        decision.batchActive.size() == jobs;
+    bool any_active = false;
+    if (paired) {
+        for (std::size_t j = 0; j < jobs; ++j)
+            any_active = any_active || decision.batchActive[j];
+    }
+
+    // --- LLC way budget over the jobs that actually hold cache ------
+    if (grid_ok && paired) {
+        double ways = decision.lcConfig.cacheWays();
+        for (std::size_t j = 0; j < jobs; ++j) {
+            if (decision.batchActive[j])
+                ways += decision.batchConfigs[j].cacheWays();
+        }
+        const double llc = static_cast<double>(params.llcWays);
+        if (ways > llc + options_.wayToleranceWays) {
+            std::ostringstream oss;
+            oss << "lc " << decision.lcConfig.cacheWays()
+                << "w + active batch allocations total " << ways
+                << "w > llc " << llc << "w";
+            fail(Invariant::WayBudget, oss.str());
+        }
+    }
+
+    // --- power cap, audited against the scheduler's own claim -------
+    // The decision cannot carry a power estimate, so the check uses
+    // the telemetry record's enforcedPowerW / batchPowerBudgetW pair.
+    // A schedule that gated every job is exempt: with nothing left to
+    // gate, enforcement did all it could against an unmeetable cap.
+    if (ctx.capEnforced && ctx.record &&
+        ctx.record->enforcedPowerW >= 0.0 && any_active &&
+        ctx.record->enforcedPowerW >
+            ctx.record->batchPowerBudgetW + options_.powerToleranceW) {
+        std::ostringstream oss;
+        oss << "enforced power estimate " << ctx.record->enforcedPowerW
+            << "W exceeds budget " << ctx.record->batchPowerBudgetW
+            << "W with active jobs remaining";
+        fail(Invariant::PowerCap, oss.str());
+    }
+
+    // --- core accounting ---------------------------------------------
+    if (decision.lcCores == 0 || decision.lcCores > params.numCores) {
+        std::ostringstream oss;
+        oss << "lc cluster of " << decision.lcCores
+            << " cores on a " << params.numCores << "-core machine";
+        fail(Invariant::CoreCount, oss.str());
+    } else if (any_active && decision.lcCores >= params.numCores) {
+        // Batch jobs time-multiplex legally, but they need at least
+        // one core that is not owned by the LC cluster.
+        std::ostringstream oss;
+        oss << "active batch jobs but the lc cluster owns all "
+            << params.numCores << " cores";
+        fail(Invariant::CoreDisjoint, oss.str());
+    }
+
+    // --- gated cores must have released their allocation ------------
+    if (paired) {
+        for (std::size_t j = 0; j < jobs; ++j) {
+            if (decision.batchActive[j] || !job_grid_ok[j])
+                continue;
+            if (decision.batchConfigs[j].cacheRank() != 0) {
+                std::ostringstream oss;
+                oss << "gated batch job " << j << " still holds "
+                    << decision.batchConfigs[j].cacheWays()
+                    << " llc ways";
+                fail(Invariant::GatedRelease, oss.str());
+            }
+        }
+    }
+
+    if (!found.empty() && options_.failMode == FailMode::Panic) {
+        panic("schedule invariant violated (slice ", ctx.sliceIndex,
+              ", ", found.size(), " violation(s)): ",
+              invariantName(found.front().invariant), ": ",
+              found.front().detail);
+    }
+    return found.empty();
+}
+
+} // namespace check
+} // namespace cuttlesys

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Schedule-invariant validator: a runtime oracle over SliceDecisions.
+ *
+ * CuttleSys's contract is that every decision quantum emits a jointly
+ * feasible allocation (Sections IV-VI): per-job configurations drawn
+ * from the m x p grid, LLC ways summing to at most the machine's way
+ * count, the enforced power estimate under the cap, LC and batch
+ * cores disjoint, and gated cores holding the smallest (released)
+ * allocation. PR 2's bugfix batch showed these invariants are exactly
+ * where the implementation silently drifts — way-infeasible knapsack
+ * seeds, cap victims keeping their ways — so the validator converts
+ * them into machine-checked properties: it audits every quantum's
+ * decision, attaches to a Scheduler exactly like the telemetry trace,
+ * and runs as a zero-config oracle inside the evaluation driver for
+ * every scheduler, baselines included.
+ *
+ * Violations can be recorded into the quantum's telemetry record,
+ * logged as warnings, or escalated to a panic (the default inside the
+ * driver, so any infeasible decision fails the test that produced it).
+ */
+
+#ifndef CUTTLESYS_CHECK_SCHEDULE_VALIDATOR_HH
+#define CUTTLESYS_CHECK_SCHEDULE_VALIDATOR_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/params.hh"
+#include "sim/multicore.hh"
+#include "telemetry/quantum_record.hh"
+
+namespace cuttlesys {
+namespace check {
+
+/** What the validator does when an invariant fails. */
+enum class FailMode : std::uint8_t
+{
+    Record, //!< store (and stamp into the telemetry record) only
+    Log,    //!< additionally warn() per violation
+    Panic,  //!< throw PanicError on the first violating quantum
+};
+
+/** The machine invariants a decision is audited against. */
+enum class Invariant : std::uint8_t
+{
+    DecisionShape = 0, //!< config/active vectors sized to the machine
+    ConfigGrid,        //!< every config is a legal m x p grid point
+    WayBudget,         //!< LC + active batch ways fit the shared LLC
+    PowerCap,          //!< enforced power estimate respects the cap
+    CoreCount,         //!< LC core count fits the chip (and is >= 1)
+    CoreDisjoint,      //!< active batch jobs have a non-LC core left
+    GatedRelease,      //!< gated jobs hold the smallest allocation
+};
+
+inline constexpr std::size_t kNumInvariants = 7;
+
+/** Printable name of an invariant ("way-budget", ...). */
+const char *invariantName(Invariant inv);
+
+/** One invariant failure, with a human-readable diagnosis. */
+struct Violation
+{
+    Invariant invariant = Invariant::DecisionShape;
+    std::size_t slice = 0;
+    std::string detail;
+};
+
+/** Validator configuration. */
+struct ValidatorOptions
+{
+    FailMode failMode = FailMode::Panic;
+    /** Slack for way sums (fractional 0.5-way allocations add). */
+    double wayToleranceWays = 1e-9;
+    /** Slack for the enforced-power-vs-budget comparison. */
+    double powerToleranceW = 1e-6;
+    /** Violations kept verbatim; the counters never saturate. */
+    std::size_t maxStoredViolations = 64;
+};
+
+/**
+ * Everything about the quantum the decision cannot carry itself. The
+ * telemetry record is optional: when present, violations are stamped
+ * into it (so they reach the JSONL trace) and the scheduler's own
+ * cap-enforcement claim (enforcedPowerW vs batchPowerBudgetW) is
+ * audited.
+ */
+struct DecisionContext
+{
+    const SystemParams *params = nullptr; //!< required
+    std::size_t numBatchJobs = 0;         //!< jobs the machine hosts
+    std::size_t sliceIndex = 0;
+    double powerBudgetW = 0.0; //!< this slice's chip-level cap
+    /** Whether the scheduler claims to enforce the power cap at all
+     *  (the no-gating reference deliberately does not). */
+    bool capEnforced = true;
+    telemetry::QuantumRecord *record = nullptr;
+};
+
+/** Audits one SliceDecision per quantum against machine invariants. */
+class ScheduleValidator
+{
+  public:
+    explicit ScheduleValidator(ValidatorOptions options = {});
+
+    /**
+     * Audit @p decision. Returns true when every invariant holds.
+     * Under FailMode::Panic a violating quantum throws PanicError
+     * after all of its violations are counted and stamped into the
+     * telemetry record, so a trace survives the escalation.
+     */
+    bool validate(const SliceDecision &decision,
+                  const DecisionContext &ctx);
+
+    /** Quanta audited since construction / reset(). */
+    std::size_t quantaChecked() const { return quantaChecked_; }
+
+    /** Total violations across all audited quanta. */
+    std::size_t violationCount() const { return violationCount_; }
+
+    /** Stored violations (capped at maxStoredViolations). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Violation count for one invariant. */
+    std::size_t count(Invariant inv) const
+    {
+        return perInvariant_[static_cast<std::size_t>(inv)];
+    }
+
+    const ValidatorOptions &options() const { return options_; }
+
+    /** Forget all counters and stored violations. */
+    void reset();
+
+  private:
+    void report(Invariant inv, const DecisionContext &ctx,
+                std::string detail,
+                std::vector<Violation> &quantum_violations);
+
+    ValidatorOptions options_;
+    std::size_t quantaChecked_ = 0;
+    std::size_t violationCount_ = 0;
+    std::array<std::size_t, kNumInvariants> perInvariant_{};
+    std::vector<Violation> violations_;
+};
+
+} // namespace check
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CHECK_SCHEDULE_VALIDATOR_HH

@@ -2,16 +2,24 @@
  * @file
  * Compiler/sanitizer annotations.
  *
+ * The build's sanitizer matrix (CS_SANITIZE in CMakeLists.txt) turns
+ * each sanitizer on globally; this header detects which ones are
+ * active and provides the escape hatches for the few places whose
+ * behavior is out of contract by design.
+ *
  * CS_EXPECT_BENIGN_RACES marks functions whose data races are by
- * design — the lock-free Hogwild SGD updates shared factor rows
- * without synchronization (Section V cites Niu et al.'s convergence
- * argument). Under ThreadSanitizer those accesses are excluded so the
- * rest of the system (thread pool, DDS barriers) can run race-clean
- * in CI; without TSan the macro expands to nothing.
+ * design (the paper's lock-free Hogwild SGD was its original user;
+ * the current stratified SGD schedule is race-free, so the macro has
+ * no users today). Under ThreadSanitizer annotated accesses are
+ * excluded so the rest of the system (thread pool, DDS barriers) can
+ * run race-clean in CI; without TSan the macro expands to nothing.
  */
 
 #ifndef CUTTLESYS_COMMON_ANNOTATIONS_HH
 #define CUTTLESYS_COMMON_ANNOTATIONS_HH
+
+// --- sanitizer detection (gcc defines __SANITIZE_*__, clang exposes
+// __has_feature) ------------------------------------------------------
 
 #if defined(__SANITIZE_THREAD__)
 #define CS_TSAN_ENABLED 1
@@ -21,8 +29,26 @@
 #endif
 #endif
 
+#if defined(__SANITIZE_ADDRESS__)
+#define CS_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CS_ASAN_ENABLED 1
+#endif
+#endif
+
+// UBSan has no feature-test macro on gcc; the build defines
+// CS_UBSAN_ENABLED when CS_SANITIZE includes "undefined".
+
+// --- suppression attributes ------------------------------------------
+
+/** Exclude a function from one sanitizer's checks ("thread",
+ *  "address", "undefined", or a specific UBSan check name). Use
+ *  sparingly: every use documents a deliberate contract violation. */
+#define CS_NO_SANITIZE(checks) __attribute__((no_sanitize(checks)))
+
 #if defined(CS_TSAN_ENABLED)
-#define CS_EXPECT_BENIGN_RACES __attribute__((no_sanitize("thread")))
+#define CS_EXPECT_BENIGN_RACES CS_NO_SANITIZE("thread")
 #else
 #define CS_EXPECT_BENIGN_RACES
 #endif

@@ -18,44 +18,33 @@ logBips(const Matrix &bips, std::size_t j, std::size_t c)
 
 } // namespace
 
-KnapsackSeed
-greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
-                   double power_budget, double cache_budget)
+WayRepair
+repairWayOvercommit(Point &point, const Matrix &bips,
+                    const Matrix &power, double power_budget,
+                    double cache_budget)
 {
     const std::size_t jobs = bips.rows();
     const std::size_t configs = bips.cols();
-    KnapsackSeed seed;
-    Point &x = seed.point;
-    x.assign(jobs, 0);
+    CS_ASSERT(point.size() == jobs, "point shape mismatch");
 
+    WayRepair repair;
     double used_power = 0.0;
     double used_ways = 0.0;
     for (std::size_t j = 0; j < jobs; ++j) {
-        std::size_t cheapest = 0;
-        for (std::size_t c = 1; c < configs; ++c) {
-            if (power(j, c) < power(j, cheapest))
-                cheapest = c;
-        }
-        x[j] = static_cast<std::uint16_t>(cheapest);
-        used_power += power(j, cheapest);
-        used_ways += JobConfig::fromIndex(cheapest).cacheWays();
+        used_power += power(j, point[j]);
+        used_ways += JobConfig::fromIndex(point[j]).cacheWays();
     }
 
-    // The cheapest-power configurations carry whatever allocation
-    // happens to minimize power, so their combined ways can overshoot
-    // the budget before a single upgrade happens. The upgrade loop
-    // below only refuses moves, so an infeasible seed would stay
-    // infeasible and hand DDS a penalized starting point: repair it
-    // first by repeatedly taking the downgrade that frees ways at the
-    // least log-throughput cost (preferring moves that keep power
-    // feasible).
+    // Repeatedly take the downgrade that frees ways at the least
+    // log-throughput cost, preferring moves that keep the power
+    // budget respected.
     while (used_ways > cache_budget + 1e-9) {
         std::size_t best_job = jobs;
         std::size_t best_cfg = 0;
         double best_ratio = std::numeric_limits<double>::infinity();
         bool best_power_ok = false;
         for (std::size_t j = 0; j < jobs; ++j) {
-            const std::size_t cur = x[j];
+            const std::size_t cur = point[j];
             const double cur_ways =
                 JobConfig::fromIndex(cur).cacheWays();
             for (std::size_t c = 0; c < configs; ++c) {
@@ -85,13 +74,50 @@ greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
         }
         if (best_job == jobs)
             break; // every job already at its smallest allocation
-        used_power +=
-            power(best_job, best_cfg) - power(best_job, x[best_job]);
-        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
-                     JobConfig::fromIndex(x[best_job]).cacheWays();
-        x[best_job] = static_cast<std::uint16_t>(best_cfg);
-        seed.repaired = true;
+        used_power += power(best_job, best_cfg) -
+                      power(best_job, point[best_job]);
+        const double d_ways =
+            JobConfig::fromIndex(best_cfg).cacheWays() -
+            JobConfig::fromIndex(point[best_job]).cacheWays();
+        used_ways += d_ways;
+        repair.freedWays -= d_ways;
+        point[best_job] = static_cast<std::uint16_t>(best_cfg);
     }
+    repair.usedPowerW = used_power;
+    repair.usedWays = used_ways;
+    return repair;
+}
+
+KnapsackSeed
+greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
+                   double power_budget, double cache_budget)
+{
+    const std::size_t jobs = bips.rows();
+    const std::size_t configs = bips.cols();
+    KnapsackSeed seed;
+    Point &x = seed.point;
+    x.assign(jobs, 0);
+
+    for (std::size_t j = 0; j < jobs; ++j) {
+        std::size_t cheapest = 0;
+        for (std::size_t c = 1; c < configs; ++c) {
+            if (power(j, c) < power(j, cheapest))
+                cheapest = c;
+        }
+        x[j] = static_cast<std::uint16_t>(cheapest);
+    }
+
+    // The cheapest-power configurations carry whatever allocation
+    // happens to minimize power, so their combined ways can overshoot
+    // the budget before a single upgrade happens. The upgrade loop
+    // below only refuses moves, so an infeasible seed would stay
+    // infeasible and hand DDS a penalized starting point: repair it
+    // first.
+    const WayRepair repair = repairWayOvercommit(
+        x, bips, power, power_budget, cache_budget);
+    seed.repaired = repair.freedWays > 0.0;
+    double used_power = repair.usedPowerW;
+    double used_ways = repair.usedWays;
 
     // Ways are priced far below their power-equivalent exchange rate:
     // the hard feasibility checks below keep both budgets respected,

@@ -44,6 +44,27 @@ KnapsackSeed greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
                                 double power_budget,
                                 double cache_budget);
 
+/** Outcome of a way-overcommit repair pass. */
+struct WayRepair
+{
+    double freedWays = 0.0;  //!< ways released (0 when none needed)
+    double usedPowerW = 0.0; //!< predicted power of the final point
+    double usedWays = 0.0;   //!< way usage of the final point
+};
+
+/**
+ * Repair an LLC-way-overcommitted point in place: while the summed
+ * allocation exceeds @p cache_budget, take the downgrade that frees
+ * ways at the least log-throughput cost, preferring moves that keep
+ * the power budget respected. The DDS search runs on soft penalties
+ * (Section VI-B), so its final point can overshoot the way budget the
+ * same way the greedy seed can — both go through this repair so the
+ * emitted schedule always satisfies the machine's way invariant.
+ */
+WayRepair repairWayOvercommit(Point &point, const Matrix &bips,
+                              const Matrix &power, double power_budget,
+                              double cache_budget);
+
 /** What cap enforcement did to a decision. */
 struct CapEnforcement
 {

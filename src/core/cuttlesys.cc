@@ -204,7 +204,7 @@ CuttleSysScheduler::reconstructAll()
     // Three reconstruction instances, one per metric, run in parallel
     // on the same server (Section V). The shared pool runs them; the
     // caller participates (work-sharing parallelFor), so the nested
-    // Hogwild epochs inside each engine never deadlock against this
+    // SGD sub-epochs inside each engine never deadlock against this
     // outer region.
     ThreadPool::global().parallelFor(3, [&](std::size_t metric) {
         switch (metric) {
@@ -480,6 +480,16 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
         rec->searchWays = found.metrics.cacheWays;
     }
 
+    // The DDS objective penalizes but does not forbid way overcommit
+    // (Section VI-B's soft constraints), so the winning point can
+    // allocate more LLC ways than the partition has left. The machine
+    // cannot execute that: repair the overcommit the same way the
+    // greedy seed is repaired before the decision leaves the runtime.
+    const WayRepair repair = repairWayOvercommit(
+        found.best, bips, power, power_budget, cache_budget);
+    if (rec)
+        rec->searchRepairedWays = repair.freedWays;
+
     decision.batchConfigs.resize(numBatchJobs_);
     decision.batchActive.assign(numBatchJobs_, true);
     for (std::size_t j = 0; j < numBatchJobs_; ++j)
@@ -494,6 +504,7 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
     if (rec) {
         rec->capVictims = enforced.victims;
         rec->reclaimedWays = enforced.reclaimedWays;
+        rec->enforcedPowerW = enforced.finalPowerW;
     }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/no_gating.hh"
+#include "check/schedule_validator.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "flicker/design3mm3.hh"
@@ -65,6 +66,16 @@ runFlicker(MulticoreSim &sim, const DriverOptions &opts,
     result.slices.reserve(num_slices);
     double gmean_sum = 0.0;
     double power_sum = 0.0;
+
+    // Flicker bypasses runColocation, so it carries its own decision
+    // oracle; its GA manages no cache dimension and runs no cap
+    // enforcement pass, but the structural invariants (grid, ways,
+    // cores, shape) must hold all the same.
+    check::ScheduleValidator validator;
+    check::DecisionContext vctx;
+    vctx.params = &params;
+    vctx.numBatchJobs = B;
+    vctx.capEnforced = false;
 
     // Previous slice's chosen configuration (start wide).
     SliceDecision chosen;
@@ -167,6 +178,9 @@ runFlicker(MulticoreSim &sim, const DriverOptions &opts,
         CS_ASSERT(remaining > fopts.gaOverheadSec,
                   "profiling consumed the whole timeslice");
         chosen.overheadSec = fopts.gaOverheadSec;
+        vctx.sliceIndex = s;
+        vctx.powerBudgetW = budget;
+        validator.validate(chosen, vctx);
         const SliceMeasurement steady =
             sim.runSlice(chosen, remaining, false);
         instr_total += steady.batchInstructions;

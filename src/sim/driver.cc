@@ -47,11 +47,35 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
     if (tracing)
         scheduler.attachTrace(&trace);
 
+    // The decision oracle follows the same borrow discipline. An
+    // externally supplied validator wins over the driver's own.
+    check::ScheduleValidator own_validator(
+        check::ValidatorOptions{.failMode = opts.validatorFailMode});
+    check::ScheduleValidator *validator = opts.validator
+        ? opts.validator
+        : (opts.validateDecisions ? &own_validator : nullptr);
+    if (validator)
+        scheduler.attachValidator(validator);
+
+    // A panicking validator (or a throwing scheduler) must not leave
+    // the scheduler holding pointers into this frame.
+    struct Detach
+    {
+        Scheduler &sched;
+        ~Detach()
+        {
+            sched.attachTrace(nullptr);
+            sched.attachValidator(nullptr);
+        }
+    } detach{scheduler};
+
     SliceDecision prev_decision;
     SliceMeasurement prev_measurement;
     bool have_prev = false;
     double gmean_sum = 0.0;
     double power_sum = 0.0;
+    const std::size_t violations_before =
+        validator ? validator->violationCount() : 0;
 
     for (std::size_t s = 0; s < num_slices; ++s) {
         const double t = sim.now();
@@ -91,6 +115,18 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
         }
 
         SliceDecision decision = scheduler.decide(ctx);
+
+        if (validator) {
+            check::DecisionContext vctx;
+            vctx.params = &params;
+            vctx.numBatchJobs = sim.numBatchJobs();
+            vctx.sliceIndex = s;
+            vctx.powerBudgetW = budget;
+            vctx.capEnforced = scheduler.enforcesPowerCap();
+            vctx.record = tracing ? &trace.record() : nullptr;
+            validator->validate(decision, vctx);
+        }
+
         SliceMeasurement measurement;
         {
             telemetry::PhaseTimer timer(
@@ -132,9 +168,11 @@ runColocation(MulticoreSim &sim, Scheduler &scheduler,
         result.slices.push_back(std::move(record));
     }
 
-    if (tracing) {
+    if (tracing)
         result.traceSummary = trace.summary();
-        scheduler.attachTrace(nullptr);
+    if (validator) {
+        result.invariantViolations =
+            validator->violationCount() - violations_before;
     }
 
     result.meanGmeanBips = gmean_sum / static_cast<double>(num_slices);

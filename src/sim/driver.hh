@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/schedule_validator.hh"
 #include "lcsim/load_pattern.hh"
 #include "sim/multicore.hh"
 #include "sim/scheduler.hh"
@@ -45,6 +46,25 @@ struct DriverOptions
      * the hot path never touches a clock.
      */
     telemetry::TraceSink *traceSink = nullptr;
+
+    /**
+     * Zero-config decision oracle: audit every decision against the
+     * machine invariants (grid membership, LLC way budget, power-cap
+     * claim, core accounting, gated-release). On by default so every
+     * test and CI colocation run — baselines included — fails loudly
+     * on an infeasible schedule.
+     */
+    bool validateDecisions = true;
+
+    /** What a failed invariant does (default: fail the run). */
+    check::FailMode validatorFailMode = check::FailMode::Panic;
+
+    /**
+     * External validator to use instead of the driver's own. Lets a
+     * caller aggregate audits across runs or pick non-default
+     * tolerances; overrides validateDecisions/validatorFailMode.
+     */
+    check::ScheduleValidator *validator = nullptr;
 };
 
 /** Everything recorded about one executed timeslice. */
@@ -71,6 +91,13 @@ struct RunResult
 
     /** Per-quantum telemetry aggregate (empty when tracing is off). */
     telemetry::RunSummary traceSummary;
+
+    /**
+     * Schedule-invariant violations found by the decision oracle
+     * (always 0 under the default panic fail mode, which throws
+     * instead; meaningful with FailMode::Record / Log).
+     */
+    std::size_t invariantViolations = 0;
 };
 
 /**

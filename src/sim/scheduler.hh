@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/schedule_validator.hh"
 #include "sim/multicore.hh"
 #include "telemetry/quantum_trace.hh"
 
@@ -55,6 +56,13 @@ class Scheduler
     virtual SliceDecision decide(const SliceContext &ctx) = 0;
 
     /**
+     * Whether this scheduler claims to enforce the power cap. The
+     * no-gating reference deliberately ignores the budget, so the
+     * validator's power-cap invariant must not audit it.
+     */
+    virtual bool enforcesPowerCap() const { return true; }
+
+    /**
      * Attach the per-quantum trace the scheduler should fill during
      * decide() (nullptr detaches). The caller owns the trace and its
      * begin()/end() lifecycle; the driver attaches its own trace for
@@ -65,6 +73,21 @@ class Scheduler
     /** The currently attached trace, nullptr when untraced. */
     telemetry::QuantumTrace *trace() const { return trace_; }
 
+    /**
+     * Attach the schedule-invariant validator auditing this
+     * scheduler's decisions (nullptr detaches). Mirrors attachTrace:
+     * the caller owns the validator and invokes it on every decision;
+     * the driver attaches its own for the duration of
+     * runColocation().
+     */
+    void attachValidator(check::ScheduleValidator *validator)
+    {
+        validator_ = validator;
+    }
+
+    /** The currently attached validator, nullptr when unaudited. */
+    check::ScheduleValidator *validator() const { return validator_; }
+
   protected:
     /** Current record to fill, or nullptr when untraced. */
     telemetry::QuantumRecord *traceRecord() const
@@ -73,6 +96,7 @@ class Scheduler
     }
 
     telemetry::QuantumTrace *trace_ = nullptr;
+    check::ScheduleValidator *validator_ = nullptr;
 };
 
 } // namespace cuttlesys

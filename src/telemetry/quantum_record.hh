@@ -104,10 +104,20 @@ struct QuantumRecord
     double searchObjective = 0.0;
     double searchPowerW = 0.0;
     double searchWays = 0.0;
+    /** LLC ways the post-search repair had to free because the soft
+     *  penalties let DDS return a way-overcommitted point. */
+    double searchRepairedWays = 0.0;
 
     // --- cap enforcement -----------------------------------------------
     std::vector<std::size_t> capVictims; //!< gated batch jobs
     double reclaimedWays = 0.0;          //!< LLC ways freed by gating
+    /** Predicted power after enforcement, audited by the validator
+     *  against batchPowerBudgetW; -1 when the scheduler made no
+     *  enforcement claim. */
+    double enforcedPowerW = -1.0;
+
+    // --- schedule-invariant audit (check/schedule_validator) ----------
+    std::vector<std::string> invariantViolations;
 
     // --- executed slice (driver side, after runSlice) -----------------
     double executedTailSec = -1.0;

@@ -307,6 +307,8 @@ parseRecord(std::string_view line)
         rec.searchObjective = field(*s, "objective").asNumber();
         rec.searchPowerW = field(*s, "power_w").asNumber();
         rec.searchWays = field(*s, "ways").asNumber();
+        rec.searchRepairedWays =
+            field(*s, "repaired_ways").asNumber();
     }
 
     if (const JsonObject *e = field(*top, "enforce").asObject()) {
@@ -315,6 +317,14 @@ parseRecord(std::string_view line)
                 rec.capVictims.push_back(asIndex(v));
         }
         rec.reclaimedWays = field(*e, "reclaimed_ways").asNumber();
+        rec.enforcedPowerW = field(*e, "power_w").asNumber(-1.0);
+    }
+
+    if (const JsonObject *c = field(*top, "check").asObject()) {
+        if (const JsonArray *vs = field(*c, "violations").asArray()) {
+            for (const JsonValue &v : *vs)
+                rec.invariantViolations.push_back(v.asString());
+        }
     }
 
     if (const JsonObject *x = field(*top, "executed").asObject()) {

@@ -146,6 +146,8 @@ JsonlSink::toJson(const QuantumRecord &rec)
     appendNumber(js, rec.searchPowerW);
     js += ",\"ways\":";
     appendNumber(js, rec.searchWays);
+    js += ",\"repaired_ways\":";
+    appendNumber(js, rec.searchRepairedWays);
     js += "}";
 
     js += ",\"enforce\":{\"victims\":[";
@@ -156,7 +158,17 @@ JsonlSink::toJson(const QuantumRecord &rec)
     }
     js += "],\"reclaimed_ways\":";
     appendNumber(js, rec.reclaimedWays);
+    js += ",\"power_w\":";
+    appendNumber(js, rec.enforcedPowerW);
     js += "}";
+
+    js += ",\"check\":{\"violations\":[";
+    for (std::size_t i = 0; i < rec.invariantViolations.size(); ++i) {
+        if (i)
+            js += ',';
+        appendEscaped(js, rec.invariantViolations[i]);
+    }
+    js += "]}";
 
     js += ",\"executed\":{\"tail_ms\":";
     appendNumber(js, rec.executedTailSec * 1e3);

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for the schedule-invariant validator: one deliberately
+ * corrupted decision per invariant, the fail-mode escalations, and the
+ * driver/telemetry integration. The way-budget and gated-release
+ * scenarios reproduce the two feasibility bugs PR 2 fixed (a
+ * way-infeasible knapsack seed, a cap victim keeping its ways) as
+ * hand-built allocations the oracle must now catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+#include <type_traits>
+
+#include "check/schedule_validator.hh"
+#include "common/logging.hh"
+#include "sim/driver.hh"
+#include "telemetry/trace_reader.hh"
+#include "telemetry/trace_sink.hh"
+#include "../sim/sim_fixture.hh"
+
+namespace cuttlesys {
+namespace check {
+namespace {
+
+/**
+ * JobConfig's constructors reject illegal widths and ranks, so an
+ * out-of-grid configuration — the exact corruption the validator
+ * exists to catch — must be forged by bit_cast from a
+ * layout-compatible mirror.
+ */
+struct ForgedConfig
+{
+    int fe;
+    int be;
+    int ls;
+    std::size_t rank;
+};
+
+static_assert(std::is_trivially_copyable_v<JobConfig>,
+              "forging assumes JobConfig is trivially copyable");
+static_assert(sizeof(ForgedConfig) == sizeof(JobConfig),
+              "mirror layout drifted from JobConfig");
+
+JobConfig
+forgeConfig(int fe, int be, int ls, std::size_t rank)
+{
+    return std::bit_cast<JobConfig>(ForgedConfig{fe, be, ls, rank});
+}
+
+/** A feasible decision: everything wide, 1 way per job, LC at 4. */
+SliceDecision
+goodDecision(std::size_t jobs = 4, std::size_t lc_cores = 16)
+{
+    SliceDecision d;
+    d.lcCores = lc_cores;
+    d.lcConfig = JobConfig(CoreConfig::widest(), kNumCacheAllocs - 1);
+    d.batchConfigs.assign(jobs,
+                          JobConfig(CoreConfig::widest(), 1));
+    d.batchActive.assign(jobs, true);
+    return d;
+}
+
+DecisionContext
+makeContext(const SystemParams &params, std::size_t jobs = 4)
+{
+    DecisionContext ctx;
+    ctx.params = &params;
+    ctx.numBatchJobs = jobs;
+    ctx.powerBudgetW = 100.0;
+    return ctx;
+}
+
+ScheduleValidator
+recordingValidator()
+{
+    return ScheduleValidator(
+        ValidatorOptions{.failMode = FailMode::Record});
+}
+
+TEST(ScheduleValidatorTest, CleanDecisionPasses)
+{
+    const SystemParams params;
+    ScheduleValidator v;
+    EXPECT_TRUE(v.validate(goodDecision(), makeContext(params)));
+    EXPECT_EQ(v.quantaChecked(), 1u);
+    EXPECT_EQ(v.violationCount(), 0u);
+    EXPECT_TRUE(v.violations().empty());
+}
+
+TEST(ScheduleValidatorTest, DetectsShapeMismatch)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision(4);
+    d.batchConfigs.resize(3);
+    EXPECT_FALSE(v.validate(d, makeContext(params, 4)));
+    EXPECT_EQ(v.count(Invariant::DecisionShape), 1u);
+}
+
+TEST(ScheduleValidatorTest, DetectsOverheadOutsideSlice)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision();
+    d.overheadSec = params.timesliceSec * 2.0;
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    d.overheadSec = -0.001;
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.count(Invariant::DecisionShape), 2u);
+}
+
+TEST(ScheduleValidatorTest, DetectsOffGridConfigWithoutCrashing)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+
+    SliceDecision d = goodDecision();
+    d.batchConfigs[2] = forgeConfig(5, 6, 6, 1); // illegal width
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.count(Invariant::ConfigGrid), 1u);
+    ASSERT_EQ(v.violations().size(), 1u);
+    EXPECT_NE(v.violations()[0].detail.find("batch job 2"),
+              std::string::npos);
+
+    d = goodDecision();
+    d.lcConfig = forgeConfig(6, 6, 6, 17); // illegal cache rank
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.count(Invariant::ConfigGrid), 2u);
+}
+
+TEST(ScheduleValidatorTest, DetectsWayOvercommit)
+{
+    // The PR 2 knapsack-seed bug, reconstructed: 16 jobs at the
+    // largest allocation plus the LC's 4 ways is 68 ways on a 32-way
+    // LLC. Any schedule like it must now fail the audit.
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision(16);
+    for (auto &config : d.batchConfigs)
+        config = JobConfig(config.core(), kNumCacheAllocs - 1);
+    EXPECT_FALSE(v.validate(d, makeContext(params, 16)));
+    EXPECT_EQ(v.count(Invariant::WayBudget), 1u);
+}
+
+TEST(ScheduleValidatorTest, WayBudgetIgnoresGatedJobs)
+{
+    // 16 active jobs at 4 ways bust the budget; the same allocation
+    // with 14 of them gated (and released to rank 0) does not.
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision(16);
+    for (std::size_t j = 0; j < 16; ++j) {
+        if (j < 2) {
+            d.batchConfigs[j] =
+                JobConfig(d.batchConfigs[j].core(),
+                          kNumCacheAllocs - 1);
+        } else {
+            d.batchActive[j] = false;
+            d.batchConfigs[j] = JobConfig(d.batchConfigs[j].core(), 0);
+        }
+    }
+    EXPECT_TRUE(v.validate(d, makeContext(params, 16)));
+}
+
+TEST(ScheduleValidatorTest, AuditsPowerCapClaim)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    DecisionContext ctx = makeContext(params);
+
+    telemetry::QuantumRecord rec;
+    rec.batchPowerBudgetW = 50.0;
+    rec.enforcedPowerW = 60.0;
+    ctx.record = &rec;
+    EXPECT_FALSE(v.validate(goodDecision(), ctx));
+    EXPECT_EQ(v.count(Invariant::PowerCap), 1u);
+
+    // A scheduler that never claims to enforce the cap is exempt.
+    ctx.capEnforced = false;
+    EXPECT_TRUE(v.validate(goodDecision(), ctx));
+    ctx.capEnforced = true;
+
+    // So is a record with no enforcement claim at all.
+    rec.enforcedPowerW = -1.0;
+    EXPECT_TRUE(v.validate(goodDecision(), ctx));
+
+    // And an all-gated schedule: enforcement did all it could.
+    rec.enforcedPowerW = 60.0;
+    SliceDecision all_gated = goodDecision();
+    for (std::size_t j = 0; j < all_gated.batchActive.size(); ++j) {
+        all_gated.batchActive[j] = false;
+        all_gated.batchConfigs[j] =
+            JobConfig(all_gated.batchConfigs[j].core(), 0);
+    }
+    EXPECT_TRUE(v.validate(all_gated, ctx));
+
+    // Under budget passes outright.
+    rec.enforcedPowerW = 49.0;
+    EXPECT_TRUE(v.validate(goodDecision(), ctx));
+}
+
+TEST(ScheduleValidatorTest, DetectsBadLcCoreCount)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision();
+    d.lcCores = 0;
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    d.lcCores = params.numCores + 1;
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.count(Invariant::CoreCount), 2u);
+}
+
+TEST(ScheduleValidatorTest, DetectsLcOwningEveryCore)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision(4, params.numCores);
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.count(Invariant::CoreDisjoint), 1u);
+
+    // With every batch job gated the whole chip may serve LC.
+    for (std::size_t j = 0; j < d.batchActive.size(); ++j) {
+        d.batchActive[j] = false;
+        d.batchConfigs[j] = JobConfig(d.batchConfigs[j].core(), 0);
+    }
+    EXPECT_TRUE(v.validate(d, makeContext(params)));
+}
+
+TEST(ScheduleValidatorTest, DetectsGatedJobKeepingWays)
+{
+    // The PR 2 cap-enforcement bug, reconstructed: a gated victim
+    // whose configuration still holds a real LLC allocation.
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision();
+    d.batchActive[1] = false; // still at rank 1 = 1 way
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.count(Invariant::GatedRelease), 1u);
+}
+
+TEST(ScheduleValidatorTest, PanicModeThrowsAfterStampingRecord)
+{
+    const SystemParams params;
+    ScheduleValidator v; // default: FailMode::Panic
+    SliceDecision d = goodDecision();
+    d.batchActive[0] = false;
+
+    telemetry::QuantumRecord rec;
+    DecisionContext ctx = makeContext(params);
+    ctx.record = &rec;
+    EXPECT_THROW(v.validate(d, ctx), PanicError);
+    // The record is stamped before the escalation so the trace
+    // carries the diagnosis of the quantum that killed the run.
+    ASSERT_EQ(rec.invariantViolations.size(), 1u);
+    EXPECT_NE(rec.invariantViolations[0].find("gated-release"),
+              std::string::npos);
+    EXPECT_EQ(v.violationCount(), 1u);
+}
+
+TEST(ScheduleValidatorTest, LogModeReturnsFalseWithoutThrowing)
+{
+    const SystemParams params;
+    ScheduleValidator v(ValidatorOptions{.failMode = FailMode::Log});
+    SliceDecision d = goodDecision();
+    d.batchActive[0] = false;
+    EXPECT_FALSE(v.validate(d, makeContext(params)));
+    EXPECT_EQ(v.violationCount(), 1u);
+}
+
+TEST(ScheduleValidatorTest, StoredViolationsAreCappedCountersAreNot)
+{
+    const SystemParams params;
+    ScheduleValidator v(ValidatorOptions{
+        .failMode = FailMode::Record, .maxStoredViolations = 2});
+    SliceDecision d = goodDecision(16);
+    for (auto &config : d.batchConfigs)
+        config = forgeConfig(3, 3, 3, 9);
+    EXPECT_FALSE(v.validate(d, makeContext(params, 16)));
+    EXPECT_EQ(v.violationCount(), 16u);
+    EXPECT_EQ(v.violations().size(), 2u);
+}
+
+TEST(ScheduleValidatorTest, ResetClearsEverything)
+{
+    const SystemParams params;
+    ScheduleValidator v = recordingValidator();
+    SliceDecision d = goodDecision();
+    d.batchActive[0] = false;
+    v.validate(d, makeContext(params));
+    EXPECT_GT(v.violationCount(), 0u);
+
+    v.reset();
+    EXPECT_EQ(v.quantaChecked(), 0u);
+    EXPECT_EQ(v.violationCount(), 0u);
+    EXPECT_EQ(v.count(Invariant::GatedRelease), 0u);
+    EXPECT_TRUE(v.violations().empty());
+    EXPECT_TRUE(v.validate(goodDecision(), makeContext(params)));
+}
+
+TEST(ScheduleValidatorTest, InvariantNamesAreDistinct)
+{
+    for (std::size_t a = 0; a < kNumInvariants; ++a) {
+        const char *name = invariantName(static_cast<Invariant>(a));
+        EXPECT_STRNE(name, "?");
+        for (std::size_t b = a + 1; b < kNumInvariants; ++b) {
+            EXPECT_STRNE(name,
+                         invariantName(static_cast<Invariant>(b)));
+        }
+    }
+}
+
+// --- driver integration ---------------------------------------------
+
+/** Emits a decision whose gated job keeps its LLC allocation. */
+class InfeasibleScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "infeasible"; }
+    bool wantsProfiling() const override { return false; }
+
+    SliceDecision decide(const SliceContext &) override
+    {
+        SliceDecision d = allWideDecision(16);
+        d.batchActive[3] = false; // keeps its 1-way allocation
+        return d;
+    }
+};
+
+DriverOptions
+basicOptions()
+{
+    DriverOptions opts;
+    opts.durationSec = 0.3;
+    opts.loadPattern = LoadPattern::constant(0.5);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = 150.0;
+    return opts;
+}
+
+TEST(DriverValidationTest, DefaultOptionsPanicOnInfeasibleDecision)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 21);
+    InfeasibleScheduler sched;
+    EXPECT_THROW(runColocation(sim, sched, basicOptions()), PanicError);
+}
+
+TEST(DriverValidationTest, RecordModeCountsAndTracesViolations)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 22);
+    InfeasibleScheduler sched;
+
+    std::ostringstream jsonl;
+    telemetry::JsonlSink sink(jsonl);
+    DriverOptions opts = basicOptions();
+    opts.validatorFailMode = FailMode::Record;
+    opts.traceSink = &sink;
+    const RunResult result = runColocation(sim, sched, opts);
+
+    EXPECT_EQ(result.invariantViolations, result.slices.size());
+
+    // The violations survive the JSONL round trip.
+    std::istringstream in(jsonl.str());
+    const auto records = telemetry::readTrace(in);
+    ASSERT_EQ(records.size(), result.slices.size());
+    for (const telemetry::QuantumRecord &r : records) {
+        ASSERT_EQ(r.invariantViolations.size(), 1u);
+        EXPECT_NE(r.invariantViolations[0].find("gated-release"),
+                  std::string::npos);
+    }
+}
+
+TEST(DriverValidationTest, ValidationCanBeDisabled)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 23);
+    InfeasibleScheduler sched;
+    DriverOptions opts = basicOptions();
+    opts.validateDecisions = false;
+    const RunResult result = runColocation(sim, sched, opts);
+    EXPECT_EQ(result.invariantViolations, 0u);
+    EXPECT_EQ(result.slices.size(), 3u);
+}
+
+TEST(DriverValidationTest, ExternalValidatorAggregatesAcrossRuns)
+{
+    const SystemParams params;
+    InfeasibleScheduler sched;
+    ScheduleValidator external(
+        ValidatorOptions{.failMode = FailMode::Record});
+
+    DriverOptions opts = basicOptions();
+    opts.validator = &external;
+
+    MulticoreSim sim_a(params, makeTestMix(), 24);
+    const RunResult first = runColocation(sim_a, sched, opts);
+    MulticoreSim sim_b(params, makeTestMix(), 25);
+    const RunResult second = runColocation(sim_b, sched, opts);
+
+    // Per-run counts are deltas; the external validator keeps the sum.
+    EXPECT_EQ(first.invariantViolations, first.slices.size());
+    EXPECT_EQ(second.invariantViolations, second.slices.size());
+    EXPECT_EQ(external.violationCount(),
+              first.invariantViolations + second.invariantViolations);
+    EXPECT_EQ(external.quantaChecked(),
+              first.slices.size() + second.slices.size());
+}
+
+TEST(DriverValidationTest, CleanSchedulerReportsZeroViolations)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 26);
+
+    class CleanScheduler : public Scheduler
+    {
+      public:
+        std::string name() const override { return "clean"; }
+        bool wantsProfiling() const override { return false; }
+        SliceDecision decide(const SliceContext &) override
+        {
+            return allWideDecision(16);
+        }
+    } sched;
+
+    DriverOptions opts = basicOptions();
+    opts.validatorFailMode = FailMode::Record;
+    const RunResult result = runColocation(sim, sched, opts);
+    EXPECT_EQ(result.invariantViolations, 0u);
+}
+
+} // namespace
+} // namespace check
+} // namespace cuttlesys

@@ -107,6 +107,62 @@ TEST(KnapsackSeedTest, RepairRespectsPowerBudgetWhenPossible)
     EXPECT_LE(seed.usedWays, 4.0 + 1e-9);
 }
 
+TEST(WayRepairTest, FeasiblePointIsUntouched)
+{
+    const std::size_t jobs = 4;
+    const Matrix bips = waysBips(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 2.0;
+    }
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(), 1).index()));
+    const Point before = x;
+    const WayRepair repair =
+        repairWayOvercommit(x, bips, power, /*power_budget=*/1e6,
+                            /*cache_budget=*/16.0);
+    EXPECT_EQ(x, before);
+    EXPECT_DOUBLE_EQ(repair.freedWays, 0.0);
+    EXPECT_NEAR(repair.usedWays, pointWays(x), 1e-9);
+    EXPECT_NEAR(repair.usedPowerW, 8.0, 1e-9);
+}
+
+TEST(WayRepairTest, RepairsOvercommittedPointInPlace)
+{
+    // Every job at the largest allocation: 8 x 4 = 32 ways against a
+    // 6-way budget, exactly the shape a soft-penalty DDS point can
+    // have. The repair must land under budget and report the ways it
+    // released.
+    const std::size_t jobs = 8;
+    const Matrix bips = waysBips(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 2.0;
+    }
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(),
+                                kNumCacheAllocs - 1).index()));
+    const double before_ways = pointWays(x);
+    const double cache_budget = 6.0;
+    const WayRepair repair =
+        repairWayOvercommit(x, bips, power, /*power_budget=*/1e6,
+                            cache_budget);
+
+    EXPECT_LE(repair.usedWays, cache_budget + 1e-9);
+    EXPECT_NEAR(repair.usedWays, pointWays(x), 1e-9);
+    EXPECT_NEAR(repair.freedWays, before_ways - repair.usedWays, 1e-9);
+    EXPECT_GT(repair.freedWays, 0.0);
+    // Repair only ever releases ways: no job's allocation grew.
+    for (const std::uint16_t c : x) {
+        EXPECT_LE(JobConfig::fromIndex(c).cacheWays(),
+                  kCacheAllocWays[kNumCacheAllocs - 1]);
+    }
+}
+
 SliceDecision
 fourWayDecision(std::size_t jobs)
 {

@@ -27,8 +27,9 @@ TEST(PowerModelTest, StaticPowerMonotonePerSection)
         const CoreConfig c = CoreConfig::fromIndex(i);
         for (std::size_t j = 0; j < kNumCoreConfigs; ++j) {
             const CoreConfig d = CoreConfig::fromIndex(j);
-            if (c.dominates(d) && !(c == d))
+            if (c.dominates(d) && !(c == d)) {
                 EXPECT_GT(coreStaticPower(c), coreStaticPower(d));
+            }
         }
     }
 }

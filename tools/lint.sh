@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Repository lint, run as a CI gate (see .github/workflows/ci.yml).
+#
+# Rules, checked comment- and string-aware over src/, tests/, bench/,
+# and examples/:
+#   1. no naked new/delete — ownership goes through containers and
+#      standard smart pointers (deleted special members are fine)
+#   2. no std::cout/std::cerr outside examples/ and bench/ — library
+#      code reports through common/logging.hh so verbosity stays
+#      controllable (logging.cc itself implements that reporting)
+#   3. no unseeded randomness — Rng() with the default seed,
+#      std::mt19937, and std::random_device all make runs
+#      unreproducible; every Rng must be constructed from an explicit
+#      seed
+#   4. no #include cycles among the project's own headers
+#
+# Exits nonzero listing every offending file:line.
+
+set -u
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os
+import re
+import sys
+
+ROOTS = ["src", "tests", "bench", "examples"]
+EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp")
+
+def source_files():
+    for root in ROOTS:
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, keeping line
+    numbers stable so findings point at the real line."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.extend(ch if ch == "\n" else " "
+                       for ch in text[i:j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append(" ")
+                    i += 1
+                    if i < n:
+                        out.append(" " if text[i] != "\n" else "\n")
+                        i += 1
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+findings = []
+
+def check_lines(path, code):
+    in_examples = path.startswith(("examples/", "bench/"))
+    is_logging_impl = path == "src/common/logging.cc"
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if re.search(r"\bnew\b\s*[A-Za-z_(\[]", line):
+            findings.append((path, lineno,
+                             "naked new (use containers or "
+                             "std::make_unique)"))
+        if (re.search(r"\bdelete\b", line) and
+                not re.search(r"=\s*delete\b", line)):
+            findings.append((path, lineno,
+                             "naked delete (use owning types)"))
+        if (not in_examples and not is_logging_impl and
+                re.search(r"std::(cout|cerr)\b", line)):
+            findings.append((path, lineno,
+                             "std::cout/cerr in library code (use "
+                             "common/logging.hh)"))
+        if re.search(r"\bRng\(\s*\)", line):
+            findings.append((path, lineno,
+                             "Rng() with the default seed (pass an "
+                             "explicit seed)"))
+        if re.search(r"std::(mt19937|random_device)\b", line):
+            findings.append((path, lineno,
+                             "std:: randomness (use common/rng.hh "
+                             "with an explicit seed)"))
+
+includes = {}
+
+def record_includes(path, code):
+    # Cycle detection covers the project's own quoted includes, keyed
+    # by include path (what #include "..." resolves against src/).
+    if not path.startswith("src/"):
+        return
+    key = path[len("src/"):]
+    deps = []
+    for m in re.finditer(r'^\s*#\s*include\s+"([^"]+)"', code,
+                         re.MULTILINE):
+        deps.append(m.group(1))
+    includes[key] = deps
+
+for path in source_files():
+    with open(path, encoding="utf-8") as f:
+        code = strip_comments_and_strings(f.read())
+    check_lines(path, code)
+    record_includes(path, code)
+
+def find_cycle():
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {k: WHITE for k in includes}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for dep in includes.get(node, []):
+            if dep not in includes:
+                continue
+            if color.get(dep, WHITE) == GRAY:
+                return stack[stack.index(dep):] + [dep]
+            if color.get(dep, WHITE) == WHITE:
+                cycle = visit(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(includes):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return None
+
+cycle = find_cycle()
+if cycle:
+    findings.append(("src/" + cycle[0], 0,
+                     "#include cycle: " + " -> ".join(cycle)))
+
+if findings:
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    print(f"\nlint: {len(findings)} finding(s)")
+    sys.exit(1)
+
+print("lint: clean")
+EOF
