@@ -6,21 +6,34 @@
  *
  * "before" reproduces the seed configuration's algorithmic work:
  * cold-start SGD every quantum (no factor reuse), convergence checked
- * on every observed cell, and full evaluatePoint per DDS candidate.
- * "after" is the shipped configuration: cross-quantum factor warm
- * starts, subsampled convergence checks, and delta-evaluated DDS.
- * Both run on the persistent pool, so the measured ratio understates
- * the speedup over the seed (which also paid a thread spawn + join
- * fleet per quantum).
+ * on every observed cell, full evaluatePoint per DDS candidate, and
+ * the allocating per-call entry points. "after" is the shipped
+ * configuration: cross-quantum factor warm starts, subsampled
+ * convergence checks, delta-evaluated DDS, and the arena-backed
+ * zero-allocation entry points (predictInto + prepared objective +
+ * persistent DDS scratch). Both run on the persistent pool.
+ *
+ * Three extra sections audit this change set directly:
+ *  - scalar-vs-vector micro rows time the kernel layer's two
+ *    backends on the hot primitive shapes (both are always compiled;
+ *    CS_KERNEL_SCALAR only flips the public dispatch),
+ *  - a steady-state allocations-per-quantum row, counted by the
+ *    cs_alloc_probe operator-new replacement (must be 0), and
+ *  - --smoke: exit nonzero unless speedup >= 1.5x and the
+ *    steady-state allocation count is 0, for CI.
  *
  * Emits BENCH_hotpath.json next to stdout for scripted comparison.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hh"
 #include "cf/engine.hh"
+#include "common/alloc_probe.hh"
+#include "common/arena.hh"
+#include "common/kernels.hh"
 #include "common/thread_pool.hh"
 #include "search/dds.hh"
 #include "telemetry/quantum_trace.hh"
@@ -47,13 +60,22 @@ struct HotPath
     Matrix searchPower{kBatchJobs, kNumJobConfigs};
     DdsOptions dds;
     Rng rng{83};
+    /** true = the shipped arena + prepared-objective path. */
+    bool fastPath = false;
+    ScratchArena arena;
+    ObjectiveContext objCtx;
+    PreparedObjective prepared;
+    DdsScratch ddsScratch;
+    SearchResult found;
     /** Non-null: per-quantum tracing with the sink disabled. */
     telemetry::QuantumTrace *trace = nullptr;
 
-    HotPath(bool warm_start, std::size_t conv_samples, bool delta)
+    HotPath(bool warm_start, std::size_t conv_samples, bool delta,
+            bool fast_path)
         : bips(trainingTables().bips, kLiveJobs, kNumJobConfigs),
           power(trainingTables().power, kLiveJobs, kNumJobConfigs),
-          latency(trainingTables().latency, 1, kNumJobConfigs)
+          latency(trainingTables().latency, 1, kNumJobConfigs),
+          fastPath(fast_path)
     {
         for (CfEngine *e : {&bips, &power, &latency}) {
             e->setFactorWarmStart(warm_start);
@@ -86,6 +108,7 @@ struct HotPath
             trace->record().batchPowerBudgetW = 30.0;
             trace->record().cacheBudgetWays = 28.0;
         }
+        arena.reset();
 
         // A trickle of new observations, as the runtime sees.
         const auto cfg = static_cast<std::size_t>(
@@ -100,30 +123,46 @@ struct HotPath
             ThreadPool::global().parallelFor(3,
                                              [&](std::size_t metric) {
                 switch (metric) {
-                  case 0: bips.predictInto(predBips); break;
-                  case 1: power.predictInto(predPower); break;
-                  default: latency.predictInto(predLatency); break;
+                  case 0:
+                    if (fastPath)
+                        bips.predictInto(predBips, arena);
+                    else
+                        bips.predictInto(predBips);
+                    break;
+                  case 1:
+                    if (fastPath)
+                        power.predictInto(predPower, arena);
+                    else
+                        power.predictInto(predPower);
+                    break;
+                  default:
+                    if (fastPath)
+                        latency.predictInto(predLatency, arena);
+                    else
+                        latency.predictInto(predLatency);
+                    break;
                 }
             });
         }
 
-        for (std::size_t j = 0; j < kBatchJobs; ++j) {
-            for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
-                searchBips(j, c) = predBips(1 + j, c);
-                searchPower(j, c) = predPower(1 + j, c);
-            }
-        }
-        ObjectiveContext ctx;
-        ctx.bips = &searchBips;
-        ctx.power = &searchPower;
-        ctx.powerBudgetW = 30.0;
-        ctx.cacheBudgetWays = 28.0;
+        kernels::copy(searchBips.data(), predBips.rowPtr(1),
+                      kBatchJobs * kNumJobConfigs);
+        kernels::copy(searchPower.data(), predPower.rowPtr(1),
+                      kBatchJobs * kNumJobConfigs);
+        objCtx.bips = &searchBips;
+        objCtx.power = &searchPower;
+        objCtx.powerBudgetW = 30.0;
+        objCtx.cacheBudgetWays = 28.0;
         dds.seed = 11 + slice; // fresh exploration each quantum
-        SearchResult found;
         {
             telemetry::PhaseTimer timer(
                 trace, telemetry::Phase::Search);
-            found = parallelDds(ctx, dds);
+            if (fastPath) {
+                prepared.rebuild(objCtx);
+                parallelDds(prepared, dds, ddsScratch, found);
+            } else {
+                found = parallelDds(objCtx, dds);
+            }
         }
 
         if (trace) {
@@ -147,9 +186,9 @@ struct RunStats
 
 RunStats
 run(bool warm_start, std::size_t conv_samples, bool delta,
-    bool traced = false)
+    bool fast_path, bool traced = false)
 {
-    HotPath path(warm_start, conv_samples, delta);
+    HotPath path(warm_start, conv_samples, delta, fast_path);
     // Sink stays null: measures the record-fill + phase-timer cost of
     // compiled-in telemetry without any serialization.
     telemetry::QuantumTrace trace;
@@ -176,24 +215,162 @@ run(bool warm_start, std::size_t conv_samples, bool delta,
     return stats;
 }
 
+/**
+ * Steady-state allocations per quantum on the shipped path, counted
+ * by the cs_alloc_probe global operator-new replacement. The warmup
+ * quanta grow every buffer to its high-water mark; after that the
+ * decision loop must not touch the heap at all.
+ */
+std::uint64_t
+steadyStateAllocs()
+{
+    HotPath path(true, 512, true, true);
+    // Warm up: slab growth, factor caches, pool batch freelist, DDS
+    // scratch. A few quanta so every code path (fallback candidate,
+    // adoption) has run at least once.
+    for (std::size_t q = 0; q < 4; ++q)
+        path.quantum(q);
+
+    constexpr std::size_t kSteady = 8;
+    const std::uint64_t before = AllocProbe::newCount();
+    for (std::size_t q = 4; q < 4 + kSteady; ++q)
+        path.quantum(q);
+    const std::uint64_t after = AllocProbe::newCount();
+    return (after - before) / kSteady;
+}
+
+/** One scalar-vs-vector kernel micro row. */
+struct MicroRow
+{
+    const char *name;
+    double scalarNs = 0.0;
+    double vectorNs = 0.0;
+    double ratio = 0.0;
+};
+
+template <typename F>
+double
+timeNs(F &&body, std::size_t reps)
+{
+    // One untimed rep warms the caches.
+    body();
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) {
+        body();
+        // Compiler barrier: without it the optimizer proves the pure
+        // kernel call loop-invariant and hoists it, timing nothing.
+        asm volatile("" ::: "memory");
+    }
+    return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                    start).count() /
+           static_cast<double>(reps);
+}
+
+/**
+ * Time both kernel backends on the hot shapes: rank-8 SGD steps,
+ * jobs x configs log-table fills, and 16-wide gathers. Both backends
+ * are compiled into every build (the CS_KERNEL_SCALAR option only
+ * flips the public dispatch), so the rows are meaningful everywhere.
+ */
+std::vector<MicroRow>
+microKernels()
+{
+    constexpr std::size_t kRank = kernels::padded(8);
+    constexpr std::size_t kCells = 17 * kNumJobConfigs;
+    constexpr std::size_t kReps = 20'000;
+    Rng rng(29);
+
+    std::vector<double> a(kCells), b(kCells), table(kCells);
+    for (std::size_t i = 0; i < kCells; ++i) {
+        a[i] = rng.uniform(0.1, 4.0);
+        b[i] = rng.uniform(0.1, 4.0);
+    }
+    std::vector<std::uint16_t> idx(kBatchJobs);
+    for (auto &v : idx) {
+        v = static_cast<std::uint16_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(kNumJobConfigs) - 1));
+    }
+    double sink = 0.0;
+
+    std::vector<MicroRow> rows;
+    {
+        MicroRow row{"dot rank-8"};
+        row.scalarNs = timeNs([&] {
+            sink += kernels::detail::dotScalar(a.data(), b.data(),
+                                               kRank);
+        }, kReps);
+        row.vectorNs = timeNs([&] {
+            sink += kernels::detail::dotVec(a.data(), b.data(), kRank);
+        }, kReps);
+        rows.push_back(row);
+    }
+    {
+        MicroRow row{"sgd rank step"};
+        row.scalarNs = timeNs([&] {
+            kernels::detail::sgdRankStepScalar(a.data(), b.data(),
+                                               kRank, 1e-4, 1e-4, 0.1);
+        }, kReps);
+        row.vectorNs = timeNs([&] {
+            kernels::detail::sgdRankStepVec(a.data(), b.data(), kRank,
+                                            1e-4, 1e-4, 0.1);
+        }, kReps);
+        rows.push_back(row);
+    }
+    {
+        MicroRow row{"logFill 17x108"};
+        row.scalarNs = timeNs([&] {
+            sink += kernels::detail::logFillScalar(table.data(),
+                                                   a.data(), kCells,
+                                                   1e-6);
+        }, 200);
+        row.vectorNs = timeNs([&] {
+            sink += kernels::detail::logFillVec(table.data(), a.data(),
+                                                kCells, 1e-6);
+        }, 200);
+        rows.push_back(row);
+    }
+    {
+        MicroRow row{"gatherSum 16 jobs"};
+        row.scalarNs = timeNs([&] {
+            sink += kernels::detail::gatherSumScalar(
+                table.data(), kNumJobConfigs, idx.data(), kBatchJobs);
+        }, kReps);
+        row.vectorNs = timeNs([&] {
+            sink += kernels::detail::gatherSumVec(
+                table.data(), kNumJobConfigs, idx.data(), kBatchJobs);
+        }, kReps);
+        rows.push_back(row);
+    }
+    for (MicroRow &row : rows)
+        row.ratio = row.scalarNs / row.vectorNs;
+    // Keep the side effects alive without printing garbage.
+    if (sink == 42.424242)
+        std::printf("\n");
+    return rows;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
     setInformEnabled(false);
     banner("bench_hotpath", "decision-quantum hot path before/after",
            "Table II budget: 4.8 ms SGD + 1.3 ms DDS per 100 ms "
            "quantum");
 
-    const RunStats before = run(false, 0, false);
-    const RunStats after = run(true, 512, true);
-    const RunStats traced = run(true, 512, true, true);
+    const RunStats before = run(false, 0, false, false);
+    const RunStats after = run(true, 512, true, true);
+    const RunStats traced = run(true, 512, true, true, true);
     const double speedup = before.meanMs / after.meanMs;
+    const double speedup_min = before.minMs / after.minMs;
     // min-over-quanta is the least noisy estimator on a loaded
     // machine; the telemetry budget in DESIGN.md §8 is <1%.
     const double telemetry_pct =
         (traced.minMs / after.minMs - 1.0) * 100.0;
+    const std::uint64_t allocs = steadyStateAllocs();
+    const std::vector<MicroRow> micro = microKernels();
 
     std::printf("%-28s %10s %10s %14s\n", "configuration", "mean ms",
                 "min ms", "mean objective");
@@ -201,14 +378,25 @@ main()
                 "before (cold/full/ref)", before.meanMs, before.minMs,
                 before.meanObjective);
     std::printf("%-28s %10.3f %10.3f %14.4f\n",
-                "after (warm/sub/delta)", after.meanMs, after.minMs,
+                "after (warm/delta/arena)", after.meanMs, after.minMs,
                 after.meanObjective);
     std::printf("%-28s %10.3f %10.3f %14.4f\n",
                 "after + trace (no sink)", traced.meanMs, traced.minMs,
                 traced.meanObjective);
-    std::printf("combined speedup: %.2fx\n", speedup);
+    std::printf("combined speedup: %.2fx (min-ms %.2fx)\n", speedup,
+                speedup_min);
     std::printf("telemetry overhead (min ms): %+.2f%%\n",
                 telemetry_pct);
+    std::printf("steady-state allocations/quantum: %llu\n",
+                static_cast<unsigned long long>(allocs));
+
+    std::printf("\n%-28s %10s %10s %8s  (backend: %s)\n", "kernel",
+                "scalar ns", "vector ns", "ratio",
+                kernels::backendName());
+    for (const MicroRow &row : micro) {
+        std::printf("%-28s %10.2f %10.2f %7.2fx\n", row.name,
+                    row.scalarNs, row.vectorNs, row.ratio);
+    }
 
     if (FILE *f = std::fopen("BENCH_hotpath.json", "w")) {
         std::fprintf(f,
@@ -221,16 +409,48 @@ main()
                      "  \"after_min_ms\": %.4f,\n"
                      "  \"after_mean_objective\": %.6f,\n"
                      "  \"speedup\": %.4f,\n"
+                     "  \"speedup_min_ms\": %.4f,\n"
                      "  \"traced_mean_ms\": %.4f,\n"
                      "  \"traced_min_ms\": %.4f,\n"
-                     "  \"telemetry_overhead_pct\": %.4f\n"
-                     "}\n",
+                     "  \"telemetry_overhead_pct\": %.4f,\n"
+                     "  \"steady_state_allocs_per_quantum\": %llu,\n"
+                     "  \"kernel_backend\": \"%s\",\n"
+                     "  \"micro_kernels\": [\n",
                      kQuanta, before.meanMs, before.minMs,
                      before.meanObjective, after.meanMs, after.minMs,
-                     after.meanObjective, speedup, traced.meanMs,
-                     traced.minMs, telemetry_pct);
+                     after.meanObjective, speedup, speedup_min,
+                     traced.meanMs, traced.minMs, telemetry_pct,
+                     static_cast<unsigned long long>(allocs),
+                     kernels::backendName());
+        for (std::size_t i = 0; i < micro.size(); ++i) {
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"scalar_ns\": %.2f, "
+                         "\"vector_ns\": %.2f, \"ratio\": %.3f}%s\n",
+                         micro[i].name, micro[i].scalarNs,
+                         micro[i].vectorNs, micro[i].ratio,
+                         i + 1 < micro.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_hotpath.json\n");
+    }
+
+    if (smoke) {
+        bool ok = true;
+        if (speedup_min < 1.5) {
+            std::printf("SMOKE FAIL: min-ms speedup %.2fx < 1.5x\n",
+                        speedup_min);
+            ok = false;
+        }
+        if (allocs != 0) {
+            std::printf("SMOKE FAIL: %llu steady-state allocations "
+                        "per quantum (expected 0)\n",
+                        static_cast<unsigned long long>(allocs));
+            ok = false;
+        }
+        if (ok)
+            std::printf("SMOKE PASS\n");
+        return ok ? 0 : 1;
     }
     return 0;
 }

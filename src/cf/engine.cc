@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 
 namespace cuttlesys {
@@ -39,7 +40,7 @@ CfEngine::clearJob(std::size_t job)
     // Job churn: the cached factors encode the departed job's row, so
     // warm-starting from them would bias the replacement's
     // predictions toward its predecessor.
-    factors_ = SgdFactors{};
+    factors_.invalidate();
 }
 
 std::size_t
@@ -79,21 +80,33 @@ CfEngine::predict() const
 void
 CfEngine::predictInto(Matrix &out) const
 {
-    SgdResult result = reconstruct(
+    ScratchArena arena;
+    predictInto(out, arena);
+}
+
+void
+CfEngine::predictInto(Matrix &out, ScratchArena &arena) const
+{
+    if (!factorWarmStart_) {
+        // No warm starts: forget the shape (keeping the capacity) so
+        // every run is an identical cold start.
+        factors_.invalidate();
+    }
+    const SgdRunStats stats = reconstructInto(
         ratings_, options_,
         rowContext_.empty() ? nullptr : &rowContext_,
-        factorWarmStart_ && !factors_.empty() ? &factors_ : nullptr);
-    lastIterations_ = result.iterations;
-    factors_ = std::move(result.factors);
+        factors_, out, trainingRows_, arena);
+    lastIterations_ = stats.iterations;
 
-    if (out.rows() != numJobs_ || out.cols() != cols())
-        out = Matrix(numJobs_, cols());
+    // Measured cells override their predictions (Section IV-B).
     for (std::size_t j = 0; j < numJobs_; ++j) {
         const std::size_t row = trainingRows_ + j;
+        const char *mask = ratings_.maskRow(row);
+        const double *vals = ratings_.valuesRow(row);
+        double *dst = out.rowPtr(j);
         for (std::size_t c = 0; c < cols(); ++c) {
-            out(j, c) = ratings_.observed(row, c)
-                ? ratings_.value(row, c)
-                : result.reconstructed(row, c);
+            if (mask[c])
+                dst[c] = vals[c];
         }
     }
 }

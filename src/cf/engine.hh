@@ -19,6 +19,8 @@
 
 namespace cuttlesys {
 
+class ScratchArena;
+
 /** One metric's reconstruction engine (throughput, latency or power). */
 class CfEngine
 {
@@ -70,6 +72,14 @@ class CfEngine
      */
     void predictInto(Matrix &out) const;
 
+    /**
+     * Like predictInto(Matrix&), with every transient of the run
+     * served from @p arena — the scheduler threads its per-quantum
+     * arena through here so the steady-state reconstruction performs
+     * zero heap allocations.
+     */
+    void predictInto(Matrix &out, ScratchArena &arena) const;
+
     /** Last reconstruction's iteration count (0 before any predict). */
     std::size_t lastIterations() const { return lastIterations_; }
 
@@ -84,7 +94,7 @@ class CfEngine
     bool factorWarmStart() const { return factorWarmStart_; }
 
     /** Drop the cached factors; the next predict() cold-starts. */
-    void invalidateFactors() { factors_ = SgdFactors{}; }
+    void invalidateFactors() { factors_.invalidate(); }
 
     /** True when a warm start is available for the next predict(). */
     bool hasCachedFactors() const { return !factors_.empty(); }

@@ -58,6 +58,25 @@ class RatingMatrix
         const;
 
     /**
+     * Raw observation mask of row @p r (cols() chars, nonzero means
+     * observed). Allocation-free alternative to observedCells() for
+     * the per-quantum reconstruction.
+     */
+    const char *maskRow(std::size_t r) const
+    {
+        return mask_.data() + r * cols();
+    }
+
+    /**
+     * Raw values of row @p r; entries are meaningful only where the
+     * mask marks them observed.
+     */
+    const double *valuesRow(std::size_t r) const
+    {
+        return values_.rowPtr(r);
+    }
+
+    /**
      * Per-row normalization scale: the mean absolute observed value,
      * or @p fallback for empty rows. Reconstruction learns values
      * divided by this scale so rows with very different magnitudes

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
+#include "common/arena.hh"
+#include "common/kernels.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
@@ -45,118 +48,136 @@ untransformValue(double y, bool log_transform)
     return std::max(y, 0.0);
 }
 
+/** Arena-backed training set of one reconstruction. */
+struct TrainingSet
+{
+    Sample *samples = nullptr;   //!< row-major over observed cells
+    std::size_t count = 0;
+    std::size_t *rowOffsets = nullptr;  //!< rows + 1 prefix offsets
+    double *scales = nullptr;    //!< per-row normalization scale
+};
+
 /**
  * Per-row scales of the transformed values and the normalized
- * training samples, in one pass over the observed-cell list (the
- * cell-by-cell observed() scan is O(rows x cols) per quantum).
+ * training samples, in one mask-row scan per row (no observed-cell
+ * list is materialized). Samples come out row-major, so the fold-in
+ * step can slice them by row through rowOffsets.
  */
-std::vector<Sample>
+TrainingSet
 gatherSamples(const RatingMatrix &ratings, bool log_transform,
-              std::vector<double> &scales)
+              ScratchArena &arena)
 {
-    const auto cells = ratings.observedCells();
+    const std::size_t rows = ratings.rows();
+    const std::size_t cols = ratings.cols();
 
-    std::vector<double> transformed(cells.size());
-    std::vector<double> row_sums(ratings.rows(), 0.0);
-    std::vector<std::size_t> row_counts(ratings.rows(), 0);
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const auto &[r, c] = cells[i];
-        transformed[i] =
-            transformValue(ratings.value(r, c), log_transform);
-        row_sums[r] += std::abs(transformed[i]);
-        ++row_counts[r];
-    }
+    TrainingSet set;
+    set.count = ratings.observedCount();
+    set.samples = arena.alloc<Sample>(set.count);
+    set.rowOffsets = arena.alloc<std::size_t>(rows + 1);
+    set.scales = arena.alloc<double>(rows);
 
-    scales.assign(ratings.rows(), 1.0);
-    for (std::size_t r = 0; r < ratings.rows(); ++r) {
-        if (row_counts[r] == 0)
-            continue;
-        const double mean =
-            row_sums[r] / static_cast<double>(row_counts[r]);
-        if (mean > 1e-12)
-            scales[r] = mean;
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        set.rowOffsets[r] = i;
+        const char *mask = ratings.maskRow(r);
+        const double *vals = ratings.valuesRow(r);
+        const std::size_t row_begin = i;
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (!mask[c])
+                continue;
+            const double t = transformValue(vals[c], log_transform);
+            set.samples[i].row = static_cast<std::uint32_t>(r);
+            set.samples[i].col = static_cast<std::uint32_t>(c);
+            set.samples[i].target = t;
+            sum += std::abs(t);
+            ++i;
+        }
+        const std::size_t n = i - row_begin;
+        double scale = 1.0;
+        if (n > 0) {
+            const double mean = sum / static_cast<double>(n);
+            if (mean > 1e-12)
+                scale = mean;
+        }
+        set.scales[r] = scale;
+        for (std::size_t j = row_begin; j < i; ++j)
+            set.samples[j].target /= scale;
     }
-
-    std::vector<Sample> samples(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const auto &[r, c] = cells[i];
-        samples[i].row = static_cast<std::uint32_t>(r);
-        samples[i].col = static_cast<std::uint32_t>(c);
-        samples[i].target = transformed[i] / scales[r];
-    }
-    return samples;
+    set.rowOffsets[rows] = i;
+    CS_ASSERT(i == set.count, "observed count drifted from mask");
+    return set;
 }
 
 /**
  * Fixed convergence-check subsample: an even stride through the
  * row-major sample list covers every row proportionally. A copy, so
- * the serial path's in-place shuffles cannot disturb it.
+ * the in-place epoch shuffles cannot disturb it.
  */
-std::vector<Sample>
-convergenceSubset(const std::vector<Sample> &samples, std::size_t cap)
+const Sample *
+convergenceSubset(const Sample *samples, std::size_t count,
+                  std::size_t cap, ScratchArena &arena,
+                  std::size_t &subset_count)
 {
-    if (cap == 0 || samples.size() <= cap)
-        return samples;
-    std::vector<Sample> subset;
-    subset.reserve(cap);
-    const double stride = static_cast<double>(samples.size()) /
+    if (cap == 0 || count <= cap) {
+        Sample *subset = arena.alloc<Sample>(count);
+        std::copy(samples, samples + count, subset);
+        subset_count = count;
+        return subset;
+    }
+    Sample *subset = arena.alloc<Sample>(cap);
+    const double stride = static_cast<double>(count) /
                           static_cast<double>(cap);
     for (std::size_t i = 0; i < cap; ++i) {
-        subset.push_back(
-            samples[static_cast<std::size_t>(
-                static_cast<double>(i) * stride)]);
+        subset[i] = samples[static_cast<std::size_t>(
+            static_cast<double>(i) * stride)];
     }
+    subset_count = cap;
     return subset;
 }
 
 double
-rmse(const std::vector<Sample> &samples, const Matrix &q,
-     const Matrix &p, std::size_t rank)
+rmse(const Sample *samples, std::size_t count, const double *q,
+     const double *p, std::size_t stride)
 {
-    if (samples.empty())
+    if (count == 0)
         return 0.0;
     double ss = 0.0;
-    for (const Sample &s : samples) {
-        const double *qr = q.rowPtr(s.row);
-        const double *pc = p.rowPtr(s.col);
-        double pred = 0.0;
-        for (std::size_t k = 0; k < rank; ++k)
-            pred += qr[k] * pc[k];
+    for (std::size_t i = 0; i < count; ++i) {
+        const Sample &s = samples[i];
+        const double pred = kernels::dot(q + s.row * stride,
+                                         p + s.col * stride, stride);
         const double err = s.target - pred;
         ss += err * err;
     }
-    return std::sqrt(ss / static_cast<double>(samples.size()));
+    return std::sqrt(ss / static_cast<double>(count));
 }
 
 /**
  * Apply one SGD update for a sample. The parallel variant schedules
  * updates so that concurrent workers never share a factor row (see
- * the stratified epochs below), so this touches q.row(s.row) and
- * p.row(s.col) exclusively in every execution mode.
+ * the stratified epochs below), so this touches the sample's q and p
+ * rows exclusively in every execution mode. Runs over the full
+ * lane-padded stride; the padding stays zero.
  */
 inline void
-sgdUpdate(const Sample &s, Matrix &q, Matrix &p, std::size_t rank,
+sgdUpdate(const Sample &s, double *q, double *p, std::size_t stride,
           double eta, double lambda)
 {
-    double *qr = q.rowPtr(s.row);
-    double *pc = p.rowPtr(s.col);
-    double pred = 0.0;
-    for (std::size_t k = 0; k < rank; ++k)
-        pred += qr[k] * pc[k];
-    const double err = s.target - pred;
-    for (std::size_t k = 0; k < rank; ++k) {
-        const double qk = qr[k];
-        const double pk = pc[k];
-        qr[k] = qk + eta * (err * pk - lambda * qk);
-        pc[k] = pk + eta * (err * qk - lambda * pk);
-    }
+    double *qr = q + s.row * stride;
+    double *pc = p + s.col * stride;
+    const double err = s.target - kernels::dot(qr, pc, stride);
+    kernels::sgdRankStep(qr, pc, stride, eta, lambda, err);
 }
 
-/** SVD warm start: factor the mean-filled normalized matrix. */
+/**
+ * SVD warm start: factor the mean-filled normalized matrix. Cold
+ * start only, so the dense temporaries may use the heap.
+ */
 void
-svdWarmStart(const RatingMatrix &ratings,
-             const std::vector<double> &scales, bool log_transform,
-             std::size_t rank, Matrix &q, Matrix &p)
+svdWarmStart(const RatingMatrix &ratings, const double *scales,
+             bool log_transform, std::size_t rank, std::size_t stride,
+             double *q, double *p)
 {
     const std::size_t rows = ratings.rows();
     const std::size_t cols = ratings.cols();
@@ -192,68 +213,79 @@ svdWarmStart(const RatingMatrix &ratings,
         const double s = k < svd.singularValues.size()
             ? std::sqrt(svd.singularValues[k]) : 0.0;
         for (std::size_t r = 0; r < rows; ++r)
-            q(r, k) = row_side(r, k) * s;
+            q[r * stride + k] = row_side(r, k) * s;
         for (std::size_t c = 0; c < cols; ++c)
-            p(c, k) = col_side(c, k) * s;
+            p[c * stride + k] = col_side(c, k) * s;
     }
 }
-
 
 /**
  * Neighborhood prediction for very sparse rows: align every dense row
  * to the sparse row's observations with a level offset (in transform
  * space), weight rows by how well their shape matches after
  * alignment, and predict the weighted average of the aligned rows.
+ * Rows below @p first_row (training rows are dense anyway) are out of
+ * @p out's range and skipped.
  */
 void
 blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
-                const std::vector<double> *row_context, Matrix &out)
+                const std::vector<double> *row_context, Matrix &out,
+                std::size_t first_row, ScratchArena &arena)
 {
     const std::size_t rows = ratings.rows();
     const std::size_t cols = ratings.cols();
 
     // Neighbor rows must be fully observed (training rows are; live
     // rows never come close).
-    std::vector<std::size_t> dense;
+    std::size_t *dense = arena.alloc<std::size_t>(rows);
+    std::size_t n_dense = 0;
     for (std::size_t r = 0; r < rows; ++r) {
         if (ratings.observedInRow(r) == cols)
-            dense.push_back(r);
+            dense[n_dense++] = r;
     }
-    if (dense.empty())
+    if (n_dense == 0)
         return;
 
-    for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t *obs_cols = arena.alloc<std::size_t>(cols);
+    double *obs_vals = arena.alloc<double>(cols);
+    double *offsets = arena.alloc<double>(n_dense);
+    double *distances = arena.alloc<double>(n_dense);
+    double *weights = arena.alloc<double>(n_dense);
+
+    for (std::size_t r = first_row; r < rows; ++r) {
         const std::size_t n_obs = ratings.observedInRow(r);
         if (n_obs == 0 || n_obs >= options.rowBlendThreshold ||
             n_obs == cols)
             continue;
 
         // The sparse row's observations in transform space.
-        std::vector<std::pair<std::size_t, double>> obs;
+        std::size_t obs_n = 0;
         for (std::size_t c = 0; c < cols; ++c) {
             if (ratings.observed(r, c)) {
-                obs.emplace_back(c, transformValue(
-                    ratings.value(r, c), options.logTransform));
+                obs_cols[obs_n] = c;
+                obs_vals[obs_n] = transformValue(
+                    ratings.value(r, c), options.logTransform);
+                ++obs_n;
             }
         }
 
         // Per dense row: level offset + post-alignment shape error.
-        std::vector<double> offsets(dense.size(), 0.0);
-        std::vector<double> distances(dense.size(), 0.0);
-        for (std::size_t t = 0; t < dense.size(); ++t) {
+        for (std::size_t t = 0; t < n_dense; ++t) {
             const std::size_t dr = dense[t];
             double offset = 0.0;
-            for (const auto &[c, y] : obs) {
-                offset += y - transformValue(ratings.value(dr, c),
-                                             options.logTransform);
+            for (std::size_t o = 0; o < obs_n; ++o) {
+                offset += obs_vals[o] -
+                    transformValue(ratings.value(dr, obs_cols[o]),
+                                   options.logTransform);
             }
-            offset /= static_cast<double>(obs.size());
+            offset /= static_cast<double>(obs_n);
             double err = 0.0;
-            for (const auto &[c, y] : obs) {
+            for (std::size_t o = 0; o < obs_n; ++o) {
                 const double aligned =
-                    transformValue(ratings.value(dr, c),
+                    transformValue(ratings.value(dr, obs_cols[o]),
                                    options.logTransform) + offset;
-                err += (y - aligned) * (y - aligned);
+                err += (obs_vals[o] - aligned) *
+                       (obs_vals[o] - aligned);
             }
             offsets[t] = offset;
             // Distance mixes post-alignment shape error with the
@@ -262,7 +294,7 @@ blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
             // which matters most when one observation leaves every
             // row with zero shape error.
             distances[t] =
-                std::sqrt(err / static_cast<double>(obs.size())) +
+                std::sqrt(err / static_cast<double>(obs_n)) +
                 0.5 * std::abs(offset);
             // Context gap (e.g. utilization): the decisive signal
             // when the observed cells alone cannot identify the row.
@@ -280,18 +312,17 @@ blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
         // dissimilar rows systematically underestimates the saturated
         // configurations.
         double min_d = distances[0];
-        for (double d : distances)
-            min_d = std::min(min_d, d);
+        for (std::size_t t = 0; t < n_dense; ++t)
+            min_d = std::min(min_d, distances[t]);
         double bandwidth = 0.0;
-        for (double d : distances)
-            bandwidth += d - min_d;
+        for (std::size_t t = 0; t < n_dense; ++t)
+            bandwidth += distances[t] - min_d;
         bandwidth = std::max(0.25 * bandwidth /
-                             static_cast<double>(distances.size()),
+                             static_cast<double>(n_dense),
                              1e-3);
 
-        std::vector<double> weights(dense.size());
         double weight_sum = 0.0;
-        for (std::size_t t = 0; t < dense.size(); ++t) {
+        for (std::size_t t = 0; t < n_dense; ++t) {
             const double z = (distances[t] - min_d) / bandwidth;
             weights[t] = std::exp(-0.5 * z * z);
             weight_sum += weights[t];
@@ -299,13 +330,13 @@ blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
 
         for (std::size_t c = 0; c < cols; ++c) {
             double value = 0.0;
-            for (std::size_t t = 0; t < dense.size(); ++t) {
+            for (std::size_t t = 0; t < n_dense; ++t) {
                 value += weights[t] *
                     (transformValue(ratings.value(dense[t], c),
                                     options.logTransform) +
                      offsets[t]);
             }
-            out(r, c) =
+            out(r - first_row, c) =
                 untransformValue(value / weight_sum,
                                  options.logTransform);
         }
@@ -314,65 +345,82 @@ blendSparseRows(const RatingMatrix &ratings, const SgdOptions &options,
 
 } // namespace
 
-SgdResult
-reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
-            const std::vector<double> *row_context,
-            const SgdFactors *warm_start)
+SgdRunStats
+reconstructInto(const RatingMatrix &ratings, const SgdOptions &options,
+                const std::vector<double> *row_context,
+                SgdFactors &factors, Matrix &out,
+                std::size_t first_row, ScratchArena &arena)
 {
     CS_ASSERT(!row_context || row_context->size() == ratings.rows(),
               "row context length mismatch");
     CS_ASSERT(options.rank > 0, "rank must be positive");
     CS_ASSERT(options.threads >= 1, "need at least one thread");
+    CS_ASSERT(first_row <= ratings.rows(),
+              "first_row ", first_row, " out of ", ratings.rows());
 
     const std::size_t rows = ratings.rows();
     const std::size_t cols = ratings.cols();
     const std::size_t rank =
         std::min(options.rank, std::min(rows, cols));
 
-    std::vector<double> scales;
-    auto samples =
-        gatherSamples(ratings, options.logTransform, scales);
+    const TrainingSet set =
+        gatherSamples(ratings, options.logTransform, arena);
+    Sample *samples = set.samples;
+    const std::size_t total = set.count;
 
     Rng rng(options.seed);
-    Matrix q, p;
-    const bool warm = warm_start && !warm_start->empty() &&
-                      warm_start->q.rows() == rows &&
-                      warm_start->q.cols() == rank &&
-                      warm_start->p.rows() == cols &&
-                      warm_start->p.cols() == rank;
-    if (warm) {
-        // Cross-quantum warm start: the previous reconstruction's
-        // factors already encode this matrix up to a few changed
-        // cells; SGD only needs to adapt, and the SVD is skipped
-        // entirely.
-        q = warm_start->q;
-        p = warm_start->p;
-    } else {
+    const bool warm = !factors.empty() && factors.rows == rows &&
+                      factors.cols == cols && factors.rank == rank;
+    if (!warm) {
+        // Cold start (or shape churn): zero-fill — which establishes
+        // the lane padding's invariant — then draw the random factor
+        // entries in the same q-before-p order as always.
+        factors.reshape(rows, cols, rank);
         const double init =
             1.0 / std::sqrt(static_cast<double>(rank));
-        q = Matrix::random(rows, rank, rng, 0.0, init);
-        p = Matrix::random(cols, rank, rng, 0.0, init);
-        if (options.svdWarmStart && !samples.empty()) {
-            svdWarmStart(ratings, scales, options.logTransform, rank,
-                         q, p);
+        for (std::size_t r = 0; r < rows; ++r) {
+            double *qr = factors.qRow(r);
+            for (std::size_t k = 0; k < rank; ++k)
+                qr[k] = rng.uniform(0.0, init);
+        }
+        for (std::size_t c = 0; c < cols; ++c) {
+            double *pc = factors.pRow(c);
+            for (std::size_t k = 0; k < rank; ++k)
+                pc[k] = rng.uniform(0.0, init);
+        }
+        if (options.svdWarmStart && total > 0) {
+            svdWarmStart(ratings, set.scales, options.logTransform,
+                         rank, factors.stride, factors.q.data(),
+                         factors.p.data());
         }
     }
+    const std::size_t stride = factors.stride;
+    double *q = factors.q.data();
+    double *p = factors.p.data();
 
-    SgdResult result;
-    if (!samples.empty()) {
-        const auto conv =
-            convergenceSubset(samples, options.convergenceSamples);
-        double prev_rmse = rmse(conv, q, p, rank);
+    SgdRunStats stats;
+    if (total > 0) {
+        std::size_t conv_n = 0;
+        const Sample *conv = convergenceSubset(
+            samples, total, options.convergenceSamples, arena, conv_n);
+        double prev_rmse = rmse(conv, conv_n, q, p, stride);
         if (options.threads == 1) {
+            // Epochs permute an index array, not the samples: the
+            // sample list itself must stay row-major for the fold-in
+            // step's rowOffsets slicing.
+            std::size_t *order = arena.alloc<std::size_t>(total);
+            for (std::size_t i = 0; i < total; ++i)
+                order[i] = i;
             for (std::size_t iter = 0; iter < options.maxIterations;
                  ++iter) {
-                std::shuffle(samples.begin(), samples.end(), rng);
-                for (const Sample &s : samples) {
-                    sgdUpdate(s, q, p, rank, options.learningRate,
+                std::shuffle(order, order + total, rng);
+                for (std::size_t i = 0; i < total; ++i) {
+                    sgdUpdate(samples[order[i]], q, p, stride,
+                              options.learningRate,
                               options.regularization);
                 }
-                ++result.iterations;
-                const double cur = rmse(conv, q, p, rank);
+                ++stats.iterations;
+                const double cur = rmse(conv, conv_n, q, p, stride);
                 if (prev_rmse - cur <
                     options.convergenceTol * std::max(prev_rmse, 1e-12))
                     break;
@@ -390,24 +438,44 @@ reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
             // and, unlike lock-free Hogwild, bitwise deterministic
             // for a fixed seed — the property the replay checker
             // (examples/replay_check) pins for the decision loop.
+            //
+            // The strata live as one flat index array partitioned by
+            // a counting sort, which preserves the ascending sample
+            // order within each stratum.
             const std::size_t nthreads =
-                std::min(options.threads, samples.size());
+                std::min(options.threads, total);
             auto rowBlock = [&](std::uint32_t r) {
                 return static_cast<std::size_t>(r) * nthreads / rows;
             };
             auto colBlock = [&](std::uint32_t c) {
                 return static_cast<std::size_t>(c) * nthreads / cols;
             };
-            std::vector<std::vector<std::size_t>> strata(nthreads *
-                                                         nthreads);
-            for (std::size_t i = 0; i < samples.size(); ++i) {
-                strata[rowBlock(samples[i].row) * nthreads +
-                       colBlock(samples[i].col)].push_back(i);
+            const std::size_t n_strata = nthreads * nthreads;
+            std::size_t *counts =
+                arena.allocZeroed<std::size_t>(n_strata);
+            for (std::size_t i = 0; i < total; ++i) {
+                ++counts[rowBlock(samples[i].row) * nthreads +
+                         colBlock(samples[i].col)];
             }
-            std::vector<Rng> stratum_rngs;
-            stratum_rngs.reserve(strata.size());
-            for (std::size_t b = 0; b < strata.size(); ++b)
-                stratum_rngs.emplace_back(options.seed + 7919 * (b + 1));
+            std::size_t *offsets =
+                arena.alloc<std::size_t>(n_strata + 1);
+            offsets[0] = 0;
+            for (std::size_t b = 0; b < n_strata; ++b)
+                offsets[b + 1] = offsets[b] + counts[b];
+            std::size_t *order = arena.alloc<std::size_t>(total);
+            std::size_t *cursor = arena.alloc<std::size_t>(n_strata);
+            std::copy(offsets, offsets + n_strata, cursor);
+            for (std::size_t i = 0; i < total; ++i) {
+                const std::size_t b =
+                    rowBlock(samples[i].row) * nthreads +
+                    colBlock(samples[i].col);
+                order[cursor[b]++] = i;
+            }
+            Rng *stratum_rngs = arena.alloc<Rng>(n_strata);
+            for (std::size_t b = 0; b < n_strata; ++b) {
+                std::construct_at(&stratum_rngs[b],
+                                  options.seed + 7919 * (b + 1));
+            }
 
             ThreadPool &pool = ThreadPool::global();
             for (std::size_t iter = 0; iter < options.maxIterations;
@@ -416,18 +484,19 @@ reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
                     pool.parallelFor(nthreads, [&](std::size_t tid) {
                         const std::size_t cb = (tid + sub) % nthreads;
                         const std::size_t b = tid * nthreads + cb;
-                        auto &stratum = strata[b];
-                        std::shuffle(stratum.begin(), stratum.end(),
+                        std::shuffle(order + offsets[b],
+                                     order + offsets[b + 1],
                                      stratum_rngs[b]);
-                        for (std::size_t idx : stratum) {
-                            sgdUpdate(samples[idx], q, p, rank,
+                        for (std::size_t o = offsets[b];
+                             o < offsets[b + 1]; ++o) {
+                            sgdUpdate(samples[order[o]], q, p, stride,
                                       options.learningRate,
                                       options.regularization);
                         }
                     });
                 }
-                ++result.iterations;
-                const double cur = rmse(conv, q, p, rank);
+                ++stats.iterations;
+                const double cur = rmse(conv, conv_n, q, p, stride);
                 if (prev_rmse - cur <
                     options.convergenceTol * std::max(prev_rmse, 1e-12))
                     break;
@@ -437,54 +506,70 @@ reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
         if (options.foldInRows) {
             // Closed-form ridge refit of each row's factors against
             // the learned P: (P_o^T P_o + lambda I) q = P_o^T y over
-            // that row's observed columns.
-            std::vector<std::vector<const Sample *>> by_row(rows);
-            for (const Sample &s : samples)
-                by_row[s.row].push_back(&s);
+            // that row's observed columns. The samples are row-major,
+            // so rowOffsets slices them per row without a pointer
+            // table.
+            double *a = arena.alloc<double>(rank * rank);
+            double *b = arena.alloc<double>(rank);
             for (std::size_t r = 0; r < rows; ++r) {
-                if (by_row[r].empty())
+                const std::size_t begin = set.rowOffsets[r];
+                const std::size_t end = set.rowOffsets[r + 1];
+                if (begin == end)
                     continue;
-                Matrix a(rank, rank);
-                std::vector<double> b(rank, 0.0);
-                for (const Sample *s : by_row[r]) {
-                    const double *pc = p.rowPtr(s->col);
+                kernels::fill(a, 0.0, rank * rank);
+                kernels::fill(b, 0.0, rank);
+                for (std::size_t o = begin; o < end; ++o) {
+                    const Sample &s = samples[o];
+                    const double *pc = p + s.col * stride;
                     for (std::size_t i = 0; i < rank; ++i) {
-                        b[i] += pc[i] * s->target;
+                        b[i] += pc[i] * s.target;
                         for (std::size_t j = 0; j < rank; ++j)
-                            a(i, j) += pc[i] * pc[j];
+                            a[i * rank + j] += pc[i] * pc[j];
                     }
                 }
                 const double ridge =
                     std::max(options.regularization, 1e-6);
                 for (std::size_t i = 0; i < rank; ++i)
-                    a(i, i) += ridge;
-                const auto qr = solveLinearSystem(a, b);
-                for (std::size_t i = 0; i < rank; ++i)
-                    q(r, i) = qr[i];
+                    a[i * rank + i] += ridge;
+                solveLinearSystemInPlace(a, b, rank);
+                kernels::copy(q + r * stride, b, rank);
             }
         }
-        result.trainRmse = rmse(samples, q, p, rank);
+        stats.trainRmse = rmse(samples, total, q, p, stride);
     }
 
-    result.reconstructed = Matrix(rows, cols);
-    for (std::size_t r = 0; r < rows; ++r) {
-        const double *qr = q.rowPtr(r);
+    out.resize(rows - first_row, cols);
+    for (std::size_t r = first_row; r < rows; ++r) {
+        const double *qr = q + r * stride;
+        double *dst = out.rowPtr(r - first_row);
         for (std::size_t c = 0; c < cols; ++c) {
-            const double *pc = p.rowPtr(c);
-            double pred = 0.0;
-            for (std::size_t k = 0; k < rank; ++k)
-                pred += qr[k] * pc[k];
-            result.reconstructed(r, c) = untransformValue(
-                pred * scales[r], options.logTransform);
+            const double pred =
+                kernels::dot(qr, p + c * stride, stride);
+            dst[c] = untransformValue(pred * set.scales[r],
+                                      options.logTransform);
         }
     }
-    if (options.rowBlendThreshold > 0)
-        blendSparseRows(ratings, options, row_context,
-                        result.reconstructed);
-    // Hand the learned factors back so the caller can warm-start the
-    // next reconstruction of this matrix.
-    result.factors.q = std::move(q);
-    result.factors.p = std::move(p);
+    if (options.rowBlendThreshold > 0) {
+        blendSparseRows(ratings, options, row_context, out, first_row,
+                        arena);
+    }
+    return stats;
+}
+
+SgdResult
+reconstruct(const RatingMatrix &ratings, const SgdOptions &options,
+            const std::vector<double> *row_context,
+            const SgdFactors *warm_start)
+{
+    ScratchArena arena;
+    SgdResult result;
+    if (warm_start)
+        result.factors = *warm_start;
+    const SgdRunStats stats =
+        reconstructInto(ratings, options, row_context, result.factors,
+                        result.reconstructed, 0, arena);
+    result.iterations = stats.iterations;
+    result.trainRmse = stats.trainRmse;
     return result;
 }
 

@@ -28,9 +28,12 @@
 #include <cstdint>
 
 #include "cf/rating_matrix.hh"
+#include "common/kernels.hh"
 #include "common/matrix.hh"
 
 namespace cuttlesys {
+
+class ScratchArena;
 
 /** Hyper-parameters of the reconstruction. */
 struct SgdOptions
@@ -98,10 +101,56 @@ struct SgdOptions
  */
 struct SgdFactors
 {
-    Matrix q;  //!< rows x rank
-    Matrix p;  //!< cols x rank
+    /**
+     * Structure-of-arrays layout: q holds rows x stride doubles and p
+     * cols x stride, where stride = kernels::padded(rank). The lane
+     * padding beyond rank is kept at zero (the fused kernel update
+     * preserves zeros), so every inner product and factor update runs
+     * as one blocked kernel call over the full stride with no tail
+     * handling at the call sites.
+     */
+    std::vector<double> q;   //!< rows x stride, row-major
+    std::vector<double> p;   //!< cols x stride, row-major
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t rank = 0;
+    std::size_t stride = 0;  //!< kernels::padded(rank)
 
-    bool empty() const { return q.rows() == 0; }
+    bool empty() const { return rows == 0; }
+
+    double *qRow(std::size_t r) { return q.data() + r * stride; }
+    const double *qRow(std::size_t r) const
+    {
+        return q.data() + r * stride;
+    }
+    double *pRow(std::size_t c) { return p.data() + c * stride; }
+    const double *pRow(std::size_t c) const
+    {
+        return p.data() + c * stride;
+    }
+
+    /** Re-shape and zero-fill, reusing the buffers' capacity. */
+    void
+    reshape(std::size_t new_rows, std::size_t new_cols,
+            std::size_t new_rank)
+    {
+        rows = new_rows;
+        cols = new_cols;
+        rank = new_rank;
+        stride = kernels::padded(new_rank);
+        q.assign(rows * stride, 0.0);
+        p.assign(cols * stride, 0.0);
+    }
+
+    /**
+     * Forget the learned factors without releasing their buffers, so
+     * the next cold start reuses the capacity.
+     */
+    void
+    invalidate()
+    {
+        rows = cols = rank = stride = 0;
+    }
 };
 
 /** Output of one reconstruction. */
@@ -141,6 +190,36 @@ SgdResult reconstruct(const RatingMatrix &ratings,
                       const SgdOptions &options = {},
                       const std::vector<double> *row_context = nullptr,
                       const SgdFactors *warm_start = nullptr);
+
+/** Per-run statistics of one reconstructInto() call. */
+struct SgdRunStats
+{
+    std::size_t iterations = 0;
+    double trainRmse = 0.0;  //!< RMSE on observed (normalized) cells
+};
+
+/**
+ * Allocation-free core of reconstruct(), for the per-quantum loop.
+ *
+ * @param factors in/out: a non-empty value whose (rows, cols, rank)
+ *        match the current problem is the warm starting point and is
+ *        updated *in place* (no copy); otherwise it is re-shaped —
+ *        reusing its buffer capacity — and cold-started.
+ * @param out receives the predictions for rows [first_row, rows):
+ *        resized (capacity-reusing) to (rows - first_row) x cols, so
+ *        a caller that only consumes the live-job rows never
+ *        materializes the training rows.
+ * @param first_row index of the first row written to @p out.
+ * @param arena scratch storage for every transient of the run (sample
+ *        lists, strata tables, solver workspaces). The caller resets
+ *        it between runs; after warm-up a steady-state call performs
+ *        zero heap allocations.
+ */
+SgdRunStats reconstructInto(const RatingMatrix &ratings,
+                            const SgdOptions &options,
+                            const std::vector<double> *row_context,
+                            SgdFactors &factors, Matrix &out,
+                            std::size_t first_row, ScratchArena &arena);
 
 /** Weight of one unit of context gap in the blend's row distance. */
 inline constexpr double kContextDistanceWeight = 1.5;

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Heap-allocation probe for the zero-allocation gates.
+ *
+ * bench_hotpath's "steady-state allocations per quantum" row and the
+ * zero-alloc regression tests need to observe every operator new the
+ * process performs. Linking the cs_alloc_probe library replaces the
+ * global operator new/delete set with counting forwarders to
+ * malloc/free; AllocProbe reads the counters.
+ *
+ * Only the gate binaries link the probe — the library proper never
+ * references these symbols, so ordinary builds keep the standard
+ * allocator untouched.
+ */
+
+#ifndef CUTTLESYS_COMMON_ALLOC_PROBE_HH
+#define CUTTLESYS_COMMON_ALLOC_PROBE_HH
+
+#include <cstdint>
+
+namespace cuttlesys {
+
+/** Process-wide allocation counters (see file comment). */
+namespace AllocProbe {
+
+/** operator new calls since process start. */
+std::uint64_t newCount();
+
+/** operator delete calls since process start. */
+std::uint64_t deleteCount();
+
+} // namespace AllocProbe
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_COMMON_ALLOC_PROBE_HH

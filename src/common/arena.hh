@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Monotonic per-quantum scratch arena.
+ *
+ * The steady-state decision loop needs the same transient buffers
+ * every quantum — SGD sample lists, strata index tables, fold-in
+ * solve workspaces, DDS worker states. Allocating them from the heap
+ * each time costs both the allocator and, worse, determinism of
+ * timing; the arena hands out monotonically bumped spans from one
+ * slab and recycles the whole slab with a single reset() per quantum.
+ *
+ * Lifetime rules (DESIGN.md §10):
+ *  - alloc<T>() requires trivially destructible T: no destructor ever
+ *    runs, reset() just rewinds the bump pointer.
+ *  - Spans are valid until the next reset(); nothing may hold one
+ *    across quanta.
+ *  - alloc() is thread-safe (atomic bump) so the three concurrent
+ *    reconstructions can share the scheduler's arena; reset() is not,
+ *    and must only run while no spans are in use.
+ *
+ * Warm-up behaviour: requests that do not fit the current slab are
+ * served from mutex-guarded overflow blocks; reset() then grows the
+ * slab to the observed high-water mark, so after the first quantum at
+ * a given working-set size every allocation is a wait-free bump and
+ * the loop performs zero heap allocations (the property bench_hotpath
+ * gates on).
+ */
+
+#ifndef CUTTLESYS_COMMON_ARENA_HH
+#define CUTTLESYS_COMMON_ARENA_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace cuttlesys {
+
+/** Thread-safe monotonic bump allocator with per-quantum reset. */
+class ScratchArena
+{
+  public:
+    /** @param initial_bytes starting slab size (0 = grow on demand). */
+    explicit ScratchArena(std::size_t initial_bytes = 0);
+
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /**
+     * Uninitialized span of @p n objects of T. The span lives until
+     * the next reset(). Thread-safe.
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena spans never run destructors");
+        static_assert(alignof(T) <= kAlign,
+                      "over-aligned type in arena");
+        return static_cast<T *>(allocBytes(n * sizeof(T)));
+    }
+
+    /** Like alloc(), but the span is zero-filled. */
+    template <typename T>
+    T *
+    allocZeroed(std::size_t n)
+    {
+        T *span = alloc<T>(n);
+        std::memset(static_cast<void *>(span), 0, n * sizeof(T));
+        return span;
+    }
+
+    /**
+     * Rewind the arena; all spans die. Grows the slab to the
+     * high-water mark of the cycle that just ended, so the next cycle
+     * of the same working set allocates heap-free. NOT thread-safe —
+     * call only between parallel regions.
+     */
+    void reset();
+
+    /** Bytes requested since the last reset(). */
+    std::size_t usedBytes() const { return offset_.load(); }
+
+    /** Current slab capacity in bytes. */
+    std::size_t slabBytes() const { return slab_.size(); }
+
+    /** Largest per-cycle byte demand seen so far. */
+    std::size_t highWaterBytes() const { return highWater_; }
+
+    /**
+     * Times reset() had to grow the slab (equivalently: cycles that
+     * touched the heap). Stable at its warm-up value in steady state.
+     */
+    std::uint64_t slabGrowths() const { return growths_; }
+
+  private:
+    static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+    void *allocBytes(std::size_t bytes);
+    void *overflowAlloc(std::size_t bytes);
+
+    std::vector<std::byte> slab_;
+    std::atomic<std::size_t> offset_{0};
+    std::size_t highWater_ = 0;
+    std::uint64_t growths_ = 0;
+
+    std::mutex overflowMutex_;
+    std::vector<std::vector<std::byte>> overflow_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_COMMON_ARENA_HH

@@ -67,6 +67,14 @@ Matrix::operator()(std::size_t r, std::size_t c) const
     return data_[r * cols_ + c];
 }
 
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
 double *
 Matrix::rowPtr(std::size_t r)
 {
@@ -178,25 +186,15 @@ Matrix::toString(int precision) const
     return oss.str();
 }
 
-std::vector<double>
-solveLinearSystem(const Matrix &a, const std::vector<double> &b)
+void
+solveLinearSystemInPlace(double *a, double *x, std::size_t n)
 {
-    CS_ASSERT(a.rows() == a.cols(), "solveLinearSystem needs square A");
-    CS_ASSERT(b.size() == a.rows(), "rhs length mismatch");
-    const std::size_t n = a.rows();
-
-    // Working copies: augmented system [lu | x].
-    Matrix lu = a;
-    std::vector<double> x = b;
-    std::vector<std::size_t> perm(n);
-    std::iota(perm.begin(), perm.end(), 0);
-
     for (std::size_t col = 0; col < n; ++col) {
         // Partial pivoting: find the largest magnitude in this column.
         std::size_t pivot = col;
-        double best = std::abs(lu(col, col));
+        double best = std::abs(a[col * n + col]);
         for (std::size_t r = col + 1; r < n; ++r) {
-            const double mag = std::abs(lu(r, col));
+            const double mag = std::abs(a[r * n + col]);
             if (mag > best) {
                 best = mag;
                 pivot = r;
@@ -208,18 +206,18 @@ solveLinearSystem(const Matrix &a, const std::vector<double> &b)
         }
         if (pivot != col) {
             for (std::size_t j = 0; j < n; ++j)
-                std::swap(lu(col, j), lu(pivot, j));
+                std::swap(a[col * n + j], a[pivot * n + j]);
             std::swap(x[col], x[pivot]);
         }
         // Eliminate below the pivot.
-        const double inv = 1.0 / lu(col, col);
+        const double inv = 1.0 / a[col * n + col];
         for (std::size_t r = col + 1; r < n; ++r) {
-            const double factor = lu(r, col) * inv;
+            const double factor = a[r * n + col] * inv;
             if (factor == 0.0)
                 continue;
-            lu(r, col) = 0.0;
+            a[r * n + col] = 0.0;
             for (std::size_t j = col + 1; j < n; ++j)
-                lu(r, j) -= factor * lu(col, j);
+                a[r * n + j] -= factor * a[col * n + j];
             x[r] -= factor * x[col];
         }
     }
@@ -228,9 +226,22 @@ solveLinearSystem(const Matrix &a, const std::vector<double> &b)
     for (std::size_t ri = n; ri-- > 0;) {
         double sum = x[ri];
         for (std::size_t j = ri + 1; j < n; ++j)
-            sum -= lu(ri, j) * x[j];
-        x[ri] = sum / lu(ri, ri);
+            sum -= a[ri * n + j] * x[j];
+        x[ri] = sum / a[ri * n + ri];
     }
+}
+
+std::vector<double>
+solveLinearSystem(const Matrix &a, const std::vector<double> &b)
+{
+    CS_ASSERT(a.rows() == a.cols(), "solveLinearSystem needs square A");
+    CS_ASSERT(b.size() == a.rows(), "rhs length mismatch");
+    const std::size_t n = a.rows();
+
+    // Working copies: the in-place core destroys its inputs.
+    Matrix lu = a;
+    std::vector<double> x = b;
+    solveLinearSystemInPlace(lu.data(), x.data(), n);
     return x;
 }
 

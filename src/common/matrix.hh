@@ -50,6 +50,17 @@ class Matrix
     double *rowPtr(std::size_t r);
     const double *rowPtr(std::size_t r) const;
 
+    /** Raw row-major storage (rows() * cols() contiguous doubles). */
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    /**
+     * Reshape to rows x cols, reusing the existing capacity (no heap
+     * traffic when the new size fits). Preexisting values survive
+     * only as raw row-major prefix; callers overwrite the contents.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
     /** Matrix product this * other. */
     Matrix multiply(const Matrix &other) const;
 
@@ -90,6 +101,15 @@ class Matrix
  */
 std::vector<double> solveLinearSystem(const Matrix &a,
                                       const std::vector<double> &b);
+
+/**
+ * In-place core of solveLinearSystem for allocation-free callers:
+ * @p a (n x n, row-major) is overwritten by its LU factors and @p x
+ * holds b on entry and the solution on exit. Identical pivoting and
+ * elimination order to solveLinearSystem, so both produce bit-equal
+ * results.
+ */
+void solveLinearSystemInPlace(double *a, double *x, std::size_t n);
 
 /** Result of a singular value decomposition A = U * diag(s) * V^T. */
 struct SvdResult

@@ -7,9 +7,16 @@
 
 namespace cuttlesys {
 
+namespace {
+
+/** Free-list capacity; reserved up front so retiring never allocates. */
+constexpr std::size_t kMaxFreeBatches = 64;
+
+} // namespace
+
 struct ThreadPool::Batch
 {
-    const std::function<void(std::size_t)> *fn = nullptr;
+    TaskRef task;
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};  //!< next index to claim
     std::atomic<std::size_t> done{0};  //!< completed invocations
@@ -23,6 +30,8 @@ ThreadPool::ThreadPool(std::size_t threads)
     if (threads == 0) {
         threads = std::max(2u, std::thread::hardware_concurrency());
     }
+    queue_.reserve(kMaxFreeBatches);
+    freeBatches_.reserve(kMaxFreeBatches);
     workers_.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t)
         workers_.emplace_back([this] { workerLoop(); });
@@ -43,7 +52,7 @@ void
 ThreadPool::runIndex(Batch &batch, std::size_t i)
 {
     try {
-        (*batch.fn)(i);
+        batch.task.invoke(batch.task.ctx, i);
     } catch (...) {
         std::lock_guard<std::mutex> lock(batch.doneMutex);
         if (!batch.error)
@@ -62,43 +71,83 @@ ThreadPool::workerLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        cv_.wait(lock,
+                 [this] { return stop_ || queueHead_ < queue_.size(); });
         if (stop_)
             return;
-        std::shared_ptr<Batch> batch = queue_.front();
-        std::size_t i = batch->next.fetch_add(1);
-        if (i >= batch->n) {
-            // Exhausted; retire it so later batches become visible.
-            if (!queue_.empty() && queue_.front() == batch)
-                queue_.pop_front();
-            continue;
+        {
+            std::shared_ptr<Batch> batch = queue_[queueHead_];
+            std::size_t i = batch->next.fetch_add(1);
+            if (i >= batch->n) {
+                // Exhausted; retire it so later batches become
+                // visible. Rewinding the head to 0 when the queue
+                // drains keeps the vector's capacity bounded.
+                if (queueHead_ < queue_.size() &&
+                    queue_[queueHead_] == batch) {
+                    queue_[queueHead_].reset();
+                    ++queueHead_;
+                    if (queueHead_ == queue_.size()) {
+                        queue_.clear();
+                        queueHead_ = 0;
+                    }
+                }
+                continue;
+            }
+            lock.unlock();
+            do {
+                runIndex(*batch, i);
+                i = batch->next.fetch_add(1);
+            } while (i < batch->n);
         }
-        lock.unlock();
-        do {
-            runIndex(*batch, i);
-            i = batch->next.fetch_add(1);
-        } while (i < batch->n);
+        // The batch reference died before re-locking, so a retired
+        // record's refcount can fall to 1 and be recycled.
         lock.lock();
     }
 }
 
+std::shared_ptr<ThreadPool::Batch>
+ThreadPool::acquireBatch()
+{
+    // The free list owns one permanent reference to every record it
+    // has ever created (bounded at kMaxFreeBatches), so an idle
+    // record has use_count() == 1 and an in-flight one > 1: handing
+    // out a copy marks it busy, and the count falling back to 1 when
+    // the region's last reference dies returns it to the pool with no
+    // explicit retire step. Records still visible to a worker are
+    // skipped, never mutated. Steady state performs zero allocations.
+    for (auto &slot : freeBatches_) {
+        if (slot.use_count() == 1) {
+            slot->task = TaskRef{};
+            slot->n = 0;
+            slot->next.store(0, std::memory_order_relaxed);
+            slot->done.store(0, std::memory_order_relaxed);
+            slot->error = nullptr;
+            return slot;
+        }
+    }
+    auto batch = std::make_shared<Batch>();
+    if (freeBatches_.size() < kMaxFreeBatches)
+        freeBatches_.push_back(batch);
+    return batch;
+}
+
 void
-ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &fn)
+ThreadPool::parallelForTask(std::size_t n, TaskRef task)
 {
     if (n == 0)
         return;
     if (n == 1 || workers_.empty()) {
         for (std::size_t i = 0; i < n; ++i)
-            fn(i);
+            task.invoke(task.ctx, i);
         return;
     }
 
-    auto batch = std::make_shared<Batch>();
-    batch->fn = &fn;
-    batch->n = n;
+    std::shared_ptr<Batch> batch;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        batch = acquireBatch();
+        batch->task = task;
+        batch->n = n;
         queue_.push_back(batch);
     }
     cv_.notify_all();
@@ -110,20 +159,34 @@ ThreadPool::parallelFor(std::size_t n,
     while ((i = batch->next.fetch_add(1)) < n)
         runIndex(*batch, i);
 
-    std::unique_lock<std::mutex> lock(batch->doneMutex);
-    batch->doneCv.wait(lock,
-                       [&] { return batch->done.load() >= batch->n; });
-    lock.unlock();
-
     {
-        // Retire the batch if no worker got to it.
-        std::lock_guard<std::mutex> qlock(mutex_);
-        auto it = std::find(queue_.begin(), queue_.end(), batch);
-        if (it != queue_.end())
-            queue_.erase(it);
+        std::unique_lock<std::mutex> lock(batch->doneMutex);
+        batch->doneCv.wait(
+            lock, [&] { return batch->done.load() >= batch->n; });
     }
-    if (batch->error)
-        std::rethrow_exception(batch->error);
+
+    std::exception_ptr error;
+    {
+        // Retire the batch if no worker got to it; dropping our
+        // reference afterwards is what returns the record to the free
+        // list (see acquireBatch).
+        std::lock_guard<std::mutex> qlock(mutex_);
+        for (std::size_t q = queueHead_; q < queue_.size(); ++q) {
+            if (queue_[q] == batch) {
+                queue_.erase(queue_.begin() +
+                             static_cast<std::ptrdiff_t>(q));
+                break;
+            }
+        }
+        if (queueHead_ == queue_.size()) {
+            queue_.clear();
+            queueHead_ = 0;
+        }
+        error = batch->error;
+        batch.reset();
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 ThreadPool &

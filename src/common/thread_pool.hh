@@ -15,6 +15,12 @@
  * parallel) always makes progress even when every pool worker is
  * busy. The caller can finish the whole region alone, so the pool is
  * deadlock-free by construction regardless of its size.
+ *
+ * Steady-state regions are heap-free: the callable is passed as a
+ * non-owning (invoke-pointer, context) pair — the callable outlives
+ * the region because parallelFor blocks until it completes — and the
+ * per-region Batch records are recycled through a free list instead
+ * of allocated per call.
  */
 
 #ifndef CUTTLESYS_COMMON_THREAD_POOL_HH
@@ -22,11 +28,10 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cuttlesys {
@@ -50,10 +55,22 @@ class ThreadPool
      * workers and the calling thread; returns once every invocation
      * completed. The first exception thrown by any invocation is
      * rethrown on the caller. Reentrant: fn may itself call
-     * parallelFor on the same pool.
+     * parallelFor on the same pool. The callable is borrowed, not
+     * copied — no type erasure, no allocation.
      */
-    void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &fn);
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        using Decayed = std::remove_reference_t<Fn>;
+        parallelForTask(
+            n,
+            TaskRef{[](void *ctx, std::size_t i) {
+                        (*static_cast<Decayed *>(ctx))(i);
+                    },
+                    const_cast<std::remove_const_t<Decayed> *>(
+                        std::addressof(fn))});
+    }
 
     /**
      * The process-wide pool used by the SGD reconstruction, parallel
@@ -64,15 +81,29 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
+    /** Non-owning view of the region's callable. */
+    struct TaskRef
+    {
+        void (*invoke)(void *ctx, std::size_t i) = nullptr;
+        void *ctx = nullptr;
+    };
+
     /** Shared state of one parallelFor region. */
     struct Batch;
 
+    void parallelForTask(std::size_t n, TaskRef task);
     void workerLoop();
     static void runIndex(Batch &batch, std::size_t i);
+    std::shared_ptr<Batch> acquireBatch();
 
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::shared_ptr<Batch>> queue_;
+    /** FIFO of active regions; head index instead of pop_front so the
+     *  buffer's capacity is reused across quanta. */
+    std::vector<std::shared_ptr<Batch>> queue_;
+    std::size_t queueHead_ = 0;
+    /** Retired Batch records, reused when their refcount drops to 1. */
+    std::vector<std::shared_ptr<Batch>> freeBatches_;
     std::vector<std::thread> workers_;
     bool stop_ = false;
 };

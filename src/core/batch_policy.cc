@@ -88,13 +88,16 @@ repairWayOvercommit(Point &point, const Matrix &bips,
     return repair;
 }
 
-KnapsackSeed
+void
 greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
-                   double power_budget, double cache_budget)
+                   double power_budget, double cache_budget,
+                   KnapsackSeed &seed)
 {
     const std::size_t jobs = bips.rows();
     const std::size_t configs = bips.cols();
-    KnapsackSeed seed;
+    seed.usedPowerW = 0.0;
+    seed.usedWays = 0.0;
+    seed.repaired = false;
     Point &x = seed.point;
     x.assign(jobs, 0);
 
@@ -166,6 +169,14 @@ greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
     }
     seed.usedPowerW = used_power;
     seed.usedWays = used_ways;
+}
+
+KnapsackSeed
+greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
+                   double power_budget, double cache_budget)
+{
+    KnapsackSeed seed;
+    greedyKnapsackSeed(bips, power, power_budget, cache_budget, seed);
     return seed;
 }
 

@@ -44,6 +44,15 @@ KnapsackSeed greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
                                 double power_budget,
                                 double cache_budget);
 
+/**
+ * In-place form of greedyKnapsackSeed: @p seed is overwritten and its
+ * point buffer's capacity is reused, so the runtime's per-quantum warm
+ * start allocates nothing in steady state.
+ */
+void greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
+                        double power_budget, double cache_budget,
+                        KnapsackSeed &seed);
+
 /** Outcome of a way-overcommit repair pass. */
 struct WayRepair
 {

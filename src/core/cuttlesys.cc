@@ -206,11 +206,21 @@ CuttleSysScheduler::reconstructAll()
     // caller participates (work-sharing parallelFor), so the nested
     // SGD sub-epochs inside each engine never deadlock against this
     // outer region.
+    // All three instances carve their scratch out of the shared
+    // quantum arena (its bump pointer is atomic), so reconstruction
+    // allocates nothing once the arena has grown to its high-water
+    // mark.
     ThreadPool::global().parallelFor(3, [&](std::size_t metric) {
         switch (metric) {
-          case 0: bipsEngine_.predictInto(predBips_); break;
-          case 1: powerEngine_.predictInto(predPower_); break;
-          default: latencyEngine_.predictInto(predLatency_); break;
+          case 0:
+            bipsEngine_.predictInto(predBips_, quantumArena_);
+            break;
+          case 1:
+            powerEngine_.predictInto(predPower_, quantumArena_);
+            break;
+          default:
+            latencyEngine_.predictInto(predLatency_, quantumArena_);
+            break;
         }
     });
 }
@@ -402,27 +412,26 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
 
     // Batch rows of the predictions, contiguous for the objective.
     // The buffers are members so the allocation happens once, not
-    // every quantum.
+    // every quantum; the batch rows are a contiguous block of the
+    // prediction matrices, so each refresh is one kernel copy.
     if (searchBips_.rows() != numBatchJobs_) {
         searchBips_ = Matrix(numBatchJobs_, kNumJobConfigs);
         searchPower_ = Matrix(numBatchJobs_, kNumJobConfigs);
     }
     Matrix &bips = searchBips_;
     Matrix &power = searchPower_;
-    for (std::size_t j = 0; j < numBatchJobs_; ++j) {
-        for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
-            bips(j, c) = predBips_(1 + j, c);
-            power(j, c) = predPower_(1 + j, c);
-        }
-    }
+    kernels::copy(bips.data(), predBips_.rowPtr(1),
+                  numBatchJobs_ * kNumJobConfigs);
+    kernels::copy(power.data(), predPower_.rowPtr(1),
+                  numBatchJobs_ * kNumJobConfigs);
 
-    ObjectiveContext obj;
-    obj.bips = &bips;
-    obj.power = &power;
-    obj.powerBudgetW = power_budget;
-    obj.cacheBudgetWays = cache_budget;
-    obj.penaltyPower = options_.penaltyPower;
-    obj.penaltyCache = options_.penaltyCache;
+    objCtx_.bips = &bips;
+    objCtx_.power = &power;
+    objCtx_.powerBudgetW = power_budget;
+    objCtx_.cacheBudgetWays = cache_budget;
+    objCtx_.penaltyPower = options_.penaltyPower;
+    objCtx_.penaltyCache = options_.penaltyCache;
+    prepared_.rebuild(objCtx_);
 
     telemetry::QuantumRecord *rec = traceRecord();
     if (rec) {
@@ -430,45 +439,66 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
         rec->cacheBudgetWays = cache_budget;
     }
 
-    SearchResult found;
+    SearchResult &found = searchResult_;
     {
         telemetry::PhaseTimer timer(trace_, telemetry::Phase::Search);
 
+        // Refresh the persistent working copy of the DDS options
+        // field by field: whole-struct assignment would reallocate the
+        // option vectors (and free the seed points' element buffers)
+        // every quantum, while element-wise copies reuse capacity.
+        DdsOptions &dds = ddsOpts_;
+        dds.initialRandomPoints = options_.dds.initialRandomPoints;
+        dds.rValues = options_.dds.rValues;
+        dds.pointsPerIteration = options_.dds.pointsPerIteration;
+        dds.maxIterations = options_.dds.maxIterations;
+        dds.threads = options_.dds.threads;
+        dds.seed = options_.dds.seed;
+        dds.useDeltaEval = options_.dds.useDeltaEval;
+        dds.pinned = options_.dds.pinned;
+
         // Seed the search with a greedy warm start and the previous
         // slice's decision so DDS refines instead of rediscovering.
-        DdsOptions dds = options_.dds;
+        const std::size_t base_seeds = options_.dds.seedPoints.size();
+        const bool prev_seed =
+            options_.searchWarmStart && ctx.previousDecision &&
+            ctx.previousDecision->batchConfigs.size() == numBatchJobs_;
+        std::size_t nseeds = base_seeds;
+        if (options_.searchWarmStart)
+            nseeds += 1 + (prev_seed ? 1 : 0);
+        dds.seedPoints.resize(nseeds);
+        for (std::size_t i = 0; i < base_seeds; ++i)
+            dds.seedPoints[i] = options_.dds.seedPoints[i];
         if (options_.searchWarmStart) {
-            KnapsackSeed seed = greedyKnapsackSeed(
-                bips, power, power_budget, cache_budget);
+            greedyKnapsackSeed(bips, power, power_budget, cache_budget,
+                               knapsackSeed_);
             if (rec) {
-                rec->seedWays = seed.usedWays;
-                rec->seedRepaired = seed.repaired;
+                rec->seedWays = knapsackSeed_.usedWays;
+                rec->seedRepaired = knapsackSeed_.repaired;
             }
-            dds.seedPoints.push_back(std::move(seed.point));
-            if (ctx.previousDecision &&
-                ctx.previousDecision->batchConfigs.size() ==
-                    numBatchJobs_) {
-                Point prev(numBatchJobs_);
+            dds.seedPoints[base_seeds] = knapsackSeed_.point;
+            if (prev_seed) {
+                Point &prev = dds.seedPoints[base_seeds + 1];
+                prev.resize(numBatchJobs_);
                 for (std::size_t j = 0; j < numBatchJobs_; ++j) {
                     prev[j] = static_cast<std::uint16_t>(
                         ctx.previousDecision->batchConfigs[j].index());
                 }
-                dds.seedPoints.push_back(std::move(prev));
             }
         }
 
         switch (options_.searchAlgo) {
           case SearchAlgo::ParallelDds:
-            found = parallelDds(obj, dds);
+            parallelDds(prepared_, dds, ddsScratch_, found);
             break;
           case SearchAlgo::SerialDds:
-            found = serialDds(obj, dds);
+            serialDds(prepared_, dds, ddsScratch_, found);
             break;
           case SearchAlgo::Ga: {
               GaOptions ga = options_.ga;
               ga.seed = options_.ga.seed + 31 * ctx.sliceIndex;
               ga.seedPoints = dds.seedPoints; // same warm starts
-              found = geneticSearch(obj, ga);
+              found = geneticSearch(prepared_, ga);
               break;
           }
         }
@@ -508,9 +538,13 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
     }
 }
 
-SliceDecision
-CuttleSysScheduler::decide(const SliceContext &ctx)
+void
+CuttleSysScheduler::decideInto(const SliceContext &ctx,
+                               SliceDecision &decision)
 {
+    // Recycle the quantum arena: the slab grows to its high-water
+    // mark once, then every later reset is a pointer rewind.
+    quantumArena_.reset();
     {
         telemetry::PhaseTimer timer(trace_, telemetry::Phase::Ingest);
         ingest(ctx);
@@ -521,13 +555,19 @@ CuttleSysScheduler::decide(const SliceContext &ctx)
         reconstructAll();
     }
 
-    SliceDecision decision;
     decision.reconfigurable = true;
     decision.overheadSec = options_.overheadSec;
 
     decision.lcConfig = chooseLcConfig(ctx);
     decision.lcCores = lcCores_;
     chooseBatchConfigs(ctx, decision.lcConfig, decision);
+}
+
+SliceDecision
+CuttleSysScheduler::decide(const SliceContext &ctx)
+{
+    SliceDecision decision;
+    decideInto(ctx, decision);
     return decision;
 }
 

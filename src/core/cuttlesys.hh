@@ -30,6 +30,8 @@
 #include <optional>
 
 #include "cf/engine.hh"
+#include "common/arena.hh"
+#include "core/batch_policy.hh"
 #include "search/dds.hh"
 #include "search/ga.hh"
 #include "sim/scheduler.hh"
@@ -129,6 +131,19 @@ class CuttleSysScheduler : public Scheduler
 
     SliceDecision decide(const SliceContext &ctx) override;
 
+    /**
+     * The allocation-free primary entry point: after the first quantum
+     * at a given problem shape, a steady-state decision performs zero
+     * heap allocations — reconstruction scratch lives in the quantum
+     * arena, search state in persistent scratch buffers, and @p out
+     * reuses its capacity. decide() wraps this with a fresh decision.
+     */
+    void decideInto(const SliceContext &ctx, SliceDecision &out)
+        override;
+
+    /** The per-quantum bump arena (exposed for allocation audits). */
+    const ScratchArena &quantumArena() const { return quantumArena_; }
+
     /** Predictions from the most recent decide(), for accuracy
      *  studies (rows: batch jobs; cols: joint configs). */
     const Matrix &lastBipsPrediction() const { return predBips_; }
@@ -170,6 +185,18 @@ class CuttleSysScheduler : public Scheduler
     Matrix predLatency_;
     Matrix searchBips_;  //!< batch-row views for the DDS objective,
     Matrix searchPower_; //!< reused across quanta (no per-slice alloc)
+
+    // Per-quantum reusable state: the bump arena backs reconstruction
+    // scratch (reset each quantum), and the search objects below keep
+    // their buffers across quanta so the steady-state decision loop
+    // never touches the heap.
+    ScratchArena quantumArena_;
+    ObjectiveContext objCtx_;     //!< points at searchBips_/Power_
+    PreparedObjective prepared_;  //!< rebuilt (in place) per quantum
+    DdsScratch ddsScratch_;
+    DdsOptions ddsOpts_;          //!< per-quantum working copy
+    SearchResult searchResult_;
+    KnapsackSeed knapsackSeed_;
 
     std::size_t lcCores_;
     double lastLoadEstimate_ = -1.0;

@@ -42,16 +42,16 @@ perturbDim(std::uint16_t value, double r, std::size_t num_configs,
 
 namespace {
 
-/** Uniformly random point over the configuration space. */
-Point
-randomPoint(const ObjectiveContext &ctx, Rng &rng)
+/** Fill @p x with a uniformly random point (capacity-reusing). */
+void
+randomPointInto(Point &x, std::size_t jobs, std::size_t configs,
+                Rng &rng)
 {
-    Point x(ctx.numJobs());
+    x.resize(jobs);
     for (auto &v : x) {
         v = static_cast<std::uint16_t>(rng.uniformInt(
-            0, static_cast<std::int64_t>(ctx.numConfigs()) - 1));
+            0, static_cast<std::int64_t>(configs) - 1));
     }
-    return x;
 }
 
 /** Dimension-selection probability at iteration i (1-based). */
@@ -65,48 +65,57 @@ selectionProbability(std::size_t i, std::size_t max_iter)
 }
 
 /**
- * Generate one DDS candidate from @p base. When @p changed is
- * non-null it receives the indices of the perturbed dimensions (for
- * the delta evaluation path).
+ * Generate one DDS candidate from @p base into @p x (capacity-
+ * reusing). When @p changed is non-null it receives the indices of
+ * the perturbed dimensions (for the delta evaluation path). Consumes
+ * the same RNG stream as it always did: one uniform per dimension,
+ * the perturbation draws, and — only on the all-skipped fallback —
+ * exactly one uniformInt to pick the forced dimension.
  */
-Point
-makeCandidate(const Point &base, double p, double r,
-              const ObjectiveContext &ctx,
-              const std::vector<bool> &pinned, Rng &rng,
-              std::vector<std::size_t> *changed = nullptr)
+void
+makeCandidateInto(const Point &base, double p, double r,
+                  std::size_t num_configs,
+                  const std::vector<bool> &pinned, Rng &rng, Point &x,
+                  std::vector<std::size_t> *changed = nullptr)
 {
     if (changed)
         changed->clear();
-    Point x = base;
+    x = base;
     bool any = false;
     for (std::size_t d = 0; d < x.size(); ++d) {
         if (!pinned.empty() && pinned[d])
             continue;
         if (rng.uniform() < p) {
-            x[d] = detail::perturbDim(x[d], r, ctx.numConfigs(), rng);
+            x[d] = detail::perturbDim(x[d], r, num_configs, rng);
             if (changed)
                 changed->push_back(d);
             any = true;
         }
     }
     if (!any) {
-        // Always perturb at least one free dimension.
-        std::vector<std::size_t> free_dims;
+        // Always perturb at least one free dimension: draw a rank
+        // among the free dimensions, then scan to it.
+        std::size_t n_free = 0;
         for (std::size_t d = 0; d < x.size(); ++d) {
             if (pinned.empty() || !pinned[d])
-                free_dims.push_back(d);
+                ++n_free;
         }
-        if (!free_dims.empty()) {
-            const std::size_t d = free_dims[static_cast<std::size_t>(
-                rng.uniformInt(0,
-                               static_cast<std::int64_t>(
-                                   free_dims.size()) - 1))];
-            x[d] = detail::perturbDim(x[d], r, ctx.numConfigs(), rng);
+        if (n_free > 0) {
+            std::size_t pick = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(n_free) - 1));
+            std::size_t d = 0;
+            for (;; ++d) {
+                if (!pinned.empty() && pinned[d])
+                    continue;
+                if (pick == 0)
+                    break;
+                --pick;
+            }
+            x[d] = detail::perturbDim(x[d], r, num_configs, rng);
             if (changed)
                 changed->push_back(d);
         }
     }
-    return x;
 }
 
 void
@@ -118,135 +127,139 @@ recordTrace(SearchTrace *trace, const PointMetrics &m)
 
 } // namespace
 
-SearchResult
-serialDds(const ObjectiveContext &ctx, const DdsOptions &options,
-          SearchTrace *trace)
+void
+serialDds(const PreparedObjective &prep, const DdsOptions &options,
+          DdsScratch &scratch, SearchResult &out, SearchTrace *trace)
 {
+    CS_ASSERT(prep.ready(), "prepared objective not built");
     CS_ASSERT(options.maxIterations >= 1, "need at least one iteration");
     CS_ASSERT(!options.rValues.empty(), "need a perturbation radius");
+    const std::size_t jobs = prep.numJobs();
+    const std::size_t configs = prep.numConfigs();
     Rng rng(options.seed);
-    const PreparedObjective prep(ctx);
 
-    SearchResult result;
+    out.best.clear();
+    out.metrics = PointMetrics{};
+    out.evaluations = 0;
+
     // Initial pool: caller-provided seed points plus random samples.
-    auto consider = [&](Point x) {
+    auto consider = [&](const Point &x) {
         const PointMetrics m = prep.evaluate(x);
-        ++result.evaluations;
+        ++out.evaluations;
         recordTrace(trace, m);
-        if (result.best.empty() ||
-            m.objective > result.metrics.objective) {
-            result.best = std::move(x);
-            result.metrics = m;
+        if (out.best.empty() ||
+            m.objective > out.metrics.objective) {
+            out.best = x;
+            out.metrics = m;
         }
     };
     for (const Point &seed : options.seedPoints) {
-        CS_ASSERT(seed.size() == ctx.numJobs(),
+        CS_ASSERT(seed.size() == jobs,
                   "seed point dimensionality mismatch");
         consider(seed);
     }
     for (std::size_t i = 0; i < std::max<std::size_t>(
              options.initialRandomPoints, 1); ++i) {
-        consider(randomPoint(ctx, rng));
+        randomPointInto(scratch.candidate, jobs, configs, rng);
+        consider(scratch.candidate);
     }
 
     const double r = options.rValues.front();
-    DeltaEvaluator incumbent(prep);
+    scratch.incumbent.attach(prep);
     if (options.useDeltaEval)
-        incumbent.setIncumbent(result.best);
-    std::vector<std::size_t> changed;
+        scratch.incumbent.setIncumbent(out.best);
     for (std::size_t i = 1; i <= options.maxIterations; ++i) {
         const double p = selectionProbability(i, options.maxIterations);
-        Point x = makeCandidate(result.best, p, r, ctx, options.pinned,
-                                rng,
-                                options.useDeltaEval ? &changed
-                                                     : nullptr);
+        makeCandidateInto(out.best, p, r, configs, options.pinned, rng,
+                          scratch.candidate,
+                          options.useDeltaEval ? &scratch.changed
+                                               : nullptr);
         const PointMetrics m = options.useDeltaEval
-            ? incumbent.evaluateCandidate(x, changed)
-            : evaluatePoint(x, ctx);
-        ++result.evaluations;
+            ? scratch.incumbent.evaluateCandidate(
+                  scratch.candidate.data(), scratch.changed.data(),
+                  scratch.changed.size())
+            : evaluatePoint(scratch.candidate, prep.context());
+        ++out.evaluations;
         recordTrace(trace, m);
-        if (m.objective > result.metrics.objective) {
-            result.best = std::move(x);
+        if (m.objective > out.metrics.objective) {
+            out.best = scratch.candidate;
             if (options.useDeltaEval) {
                 // Re-anchor exactly so delta drift never compounds.
-                incumbent.setIncumbent(result.best);
-                result.metrics = incumbent.incumbentMetrics();
+                scratch.incumbent.setIncumbent(out.best);
+                out.metrics = scratch.incumbent.incumbentMetrics();
             } else {
-                result.metrics = m;
+                out.metrics = m;
             }
         }
     }
     if (trace)
-        trace->best = result.metrics;
-    return result;
+        trace->best = out.metrics;
 }
 
-namespace {
-
-/** Per-worker state of one parallel DDS run. */
-struct DdsThreadState
-{
-    DdsThreadState(const PreparedObjective &prep, std::uint64_t seed,
-                   double r_value)
-        : rng(seed), r(r_value), incumbent(prep)
-    {
-    }
-
-    Point localBest;
-    PointMetrics localMetrics;
-    std::size_t evaluations = 0;
-    std::vector<PointMetrics> trace;
-    Rng rng;
-    double r;
-    DeltaEvaluator incumbent;
-    std::vector<std::size_t> changed;
-};
-
-} // namespace
-
 SearchResult
-parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
-            SearchTrace *trace)
+serialDds(const ObjectiveContext &ctx, const DdsOptions &options,
+          SearchTrace *trace)
 {
+    const PreparedObjective prep(ctx);
+    DdsScratch scratch;
+    SearchResult out;
+    serialDds(prep, options, scratch, out, trace);
+    return out;
+}
+
+void
+parallelDds(const PreparedObjective &prep, const DdsOptions &options,
+            DdsScratch &scratch, SearchResult &out, SearchTrace *trace)
+{
+    CS_ASSERT(prep.ready(), "prepared objective not built");
     CS_ASSERT(options.maxIterations >= 1, "need at least one iteration");
     CS_ASSERT(!options.rValues.empty(), "need perturbation radii");
     const std::size_t nthreads = std::max<std::size_t>(options.threads,
                                                        1);
+    const std::size_t jobs = prep.numJobs();
+    const std::size_t configs = prep.numConfigs();
     Rng rng(options.seed);
-    const PreparedObjective prep(ctx);
 
     // Initial points: seeds plus random samples (Alg 2 lines 5-6).
-    Point xbest;
+    Point &xbest = scratch.xbest;
+    xbest.clear();
     PointMetrics best_metrics;
     std::size_t evaluations = 0;
-    auto consider = [&](Point x) {
+    auto consider = [&](const Point &x) {
         const PointMetrics m = prep.evaluate(x);
         ++evaluations;
         if (xbest.empty() || m.objective > best_metrics.objective) {
-            xbest = std::move(x);
+            xbest = x;
             best_metrics = m;
         }
     };
     for (const Point &seed : options.seedPoints) {
-        CS_ASSERT(seed.size() == ctx.numJobs(),
+        CS_ASSERT(seed.size() == jobs,
                   "seed point dimensionality mismatch");
         consider(seed);
     }
     for (std::size_t i = 0; i < std::max<std::size_t>(
              options.initialRandomPoints, 1); ++i) {
-        consider(randomPoint(ctx, rng));
+        randomPointInto(scratch.candidate, jobs, configs, rng);
+        consider(scratch.candidate);
     }
 
     // Thread groups use different perturbation radii: the first T/4
-    // workers r1, the next T/4 r2, ... (Section VI-B).
-    std::vector<DdsThreadState> states;
-    states.reserve(nthreads);
+    // workers r1, the next T/4 r2, ... (Section VI-B). Worker slots
+    // persist in the scratch across runs; only their run-dependent
+    // fields are re-initialized here.
+    if (scratch.workers.size() < nthreads)
+        scratch.workers.resize(nthreads);
     for (std::size_t t = 0; t < nthreads; ++t) {
+        DdsWorkerState &st = scratch.workers[t];
         const std::size_t r_idx =
             std::min(t * options.rValues.size() / nthreads,
                      options.rValues.size() - 1);
-        states.emplace_back(prep, options.seed + 7919 * (t + 1),
-                            options.rValues[r_idx]);
+        st.rng = Rng(options.seed + 7919 * (t + 1));
+        st.r = options.rValues[r_idx];
+        st.incumbent.attach(prep);
+        st.evaluations = 0;
+        st.trace.clear();
     }
 
     // Fork-join rounds on the shared pool: each round every logical
@@ -258,24 +271,27 @@ parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
     for (std::size_t i = 1; i <= options.maxIterations; ++i) {
         const double p = selectionProbability(i, options.maxIterations);
         pool.parallelFor(nthreads, [&](std::size_t tid) {
-            DdsThreadState &st = states[tid];
+            DdsWorkerState &st = scratch.workers[tid];
             st.localBest = xbest;
             st.localMetrics = best_metrics;
             if (options.useDeltaEval)
                 st.incumbent.setIncumbent(st.localBest);
             for (std::size_t j = 0; j < options.pointsPerIteration;
                  ++j) {
-                Point xnew = makeCandidate(
-                    st.localBest, p, st.r, ctx, options.pinned, st.rng,
+                makeCandidateInto(
+                    st.localBest, p, st.r, configs, options.pinned,
+                    st.rng, st.candidate,
                     options.useDeltaEval ? &st.changed : nullptr);
                 const PointMetrics m = options.useDeltaEval
-                    ? st.incumbent.evaluateCandidate(xnew, st.changed)
-                    : evaluatePoint(xnew, ctx);
+                    ? st.incumbent.evaluateCandidate(
+                          st.candidate.data(), st.changed.data(),
+                          st.changed.size())
+                    : evaluatePoint(st.candidate, prep.context());
                 ++st.evaluations;
                 if (trace)
                     st.trace.push_back(m);
                 if (m.objective > st.localMetrics.objective) {
-                    st.localBest = std::move(xnew);
+                    st.localBest = st.candidate;
                     if (options.useDeltaEval) {
                         st.incumbent.setIncumbent(st.localBest);
                         st.localMetrics =
@@ -286,7 +302,8 @@ parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
                 }
             }
         });
-        for (const auto &other : states) {
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            const DdsWorkerState &other = scratch.workers[t];
             if (!other.localBest.empty() &&
                 other.localMetrics.objective >
                 best_metrics.objective) {
@@ -296,20 +313,30 @@ parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
         }
     }
 
-    SearchResult result;
-    result.best = std::move(xbest);
-    result.metrics = best_metrics;
-    result.evaluations = evaluations;
-    for (auto &st : states) {
-        result.evaluations += st.evaluations;
+    out.best = xbest;
+    out.metrics = best_metrics;
+    out.evaluations = evaluations;
+    for (std::size_t t = 0; t < nthreads; ++t) {
+        DdsWorkerState &st = scratch.workers[t];
+        out.evaluations += st.evaluations;
         if (trace) {
             trace->explored.insert(trace->explored.end(),
                                    st.trace.begin(), st.trace.end());
         }
     }
     if (trace)
-        trace->best = result.metrics;
-    return result;
+        trace->best = out.metrics;
+}
+
+SearchResult
+parallelDds(const ObjectiveContext &ctx, const DdsOptions &options,
+            SearchTrace *trace)
+{
+    const PreparedObjective prep(ctx);
+    DdsScratch scratch;
+    SearchResult out;
+    parallelDds(prep, options, scratch, out, trace);
+    return out;
 }
 
 } // namespace cuttlesys

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hh"
 #include "search/objective.hh"
 
 namespace cuttlesys {
@@ -67,6 +68,39 @@ struct SearchResult
     std::size_t evaluations = 0;
 };
 
+/**
+ * Per-worker reusable state of one parallel DDS run. Internal to the
+ * DDS implementation; exposed only so DdsScratch can own a vector of
+ * them across quanta.
+ */
+struct DdsWorkerState
+{
+    Point localBest;
+    Point candidate;
+    PointMetrics localMetrics;
+    std::size_t evaluations = 0;
+    std::vector<PointMetrics> trace;
+    Rng rng{0};
+    double r = 0.0;
+    DeltaEvaluator incumbent;
+    std::vector<std::size_t> changed;
+};
+
+/**
+ * Reusable buffers for the allocation-free DDS entry points. The
+ * runtime keeps one instance alive across decision quanta; every
+ * run re-fills the same vectors, so after the first quantum at a
+ * given problem shape a DDS search touches the heap zero times.
+ */
+struct DdsScratch
+{
+    std::vector<DdsWorkerState> workers;
+    Point xbest;
+    Point candidate;
+    std::vector<std::size_t> changed;
+    DeltaEvaluator incumbent;  //!< serial path's evaluator
+};
+
 /** Single-threaded DDS. @p trace, if non-null, records exploration. */
 SearchResult serialDds(const ObjectiveContext &ctx,
                        const DdsOptions &options = {},
@@ -76,6 +110,21 @@ SearchResult serialDds(const ObjectiveContext &ctx,
 SearchResult parallelDds(const ObjectiveContext &ctx,
                          const DdsOptions &options = {},
                          SearchTrace *trace = nullptr);
+
+/**
+ * Allocation-free serial DDS over a shared prepared objective.
+ * Produces exactly the results of the ObjectiveContext overload for
+ * the same options; @p scratch and @p out are overwritten (their
+ * capacity is reused).
+ */
+void serialDds(const PreparedObjective &prep, const DdsOptions &options,
+               DdsScratch &scratch, SearchResult &out,
+               SearchTrace *trace = nullptr);
+
+/** Allocation-free parallel DDS; see the serial overload's contract. */
+void parallelDds(const PreparedObjective &prep,
+                 const DdsOptions &options, DdsScratch &scratch,
+                 SearchResult &out, SearchTrace *trace = nullptr);
 
 namespace detail {
 

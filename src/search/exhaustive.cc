@@ -7,11 +7,12 @@
 namespace cuttlesys {
 
 SearchResult
-exhaustiveSearch(const ObjectiveContext &ctx, std::size_t max_points,
+exhaustiveSearch(const PreparedObjective &prep, std::size_t max_points,
                  SearchTrace *trace)
 {
-    const std::size_t jobs = ctx.numJobs();
-    const std::size_t configs = ctx.numConfigs();
+    CS_ASSERT(prep.ready(), "prepared objective not built");
+    const std::size_t jobs = prep.numJobs();
+    const std::size_t configs = prep.numConfigs();
 
     double space = 1.0;
     for (std::size_t j = 0; j < jobs; ++j)
@@ -21,7 +22,6 @@ exhaustiveSearch(const ObjectiveContext &ctx, std::size_t max_points,
               " points exceeds the limit of ", max_points);
     }
 
-    const PreparedObjective prep(ctx);
     SearchResult result;
     Point x(jobs, 0);
     while (true) {
@@ -50,6 +50,14 @@ exhaustiveSearch(const ObjectiveContext &ctx, std::size_t max_points,
     if (trace)
         trace->best = result.metrics;
     return result;
+}
+
+SearchResult
+exhaustiveSearch(const ObjectiveContext &ctx, std::size_t max_points,
+                 SearchTrace *trace)
+{
+    const PreparedObjective prep(ctx);
+    return exhaustiveSearch(prep, max_points, trace);
 }
 
 } // namespace cuttlesys

@@ -23,6 +23,14 @@ SearchResult exhaustiveSearch(const ObjectiveContext &ctx,
                               std::size_t max_points = 20'000'000,
                               SearchTrace *trace = nullptr);
 
+/**
+ * Exhaustive enumeration over an already-prepared objective (shared
+ * per-quantum tables). Bit-identical to the ObjectiveContext overload.
+ */
+SearchResult exhaustiveSearch(const PreparedObjective &prep,
+                              std::size_t max_points = 20'000'000,
+                              SearchTrace *trace = nullptr);
+
 } // namespace cuttlesys
 
 #endif // CUTTLESYS_SEARCH_EXHAUSTIVE_HH

@@ -16,12 +16,12 @@ struct Individual
 };
 
 Point
-randomPoint(const ObjectiveContext &ctx, Rng &rng)
+randomPoint(std::size_t jobs, std::size_t configs, Rng &rng)
 {
-    Point x(ctx.numJobs());
+    Point x(jobs);
     for (auto &v : x) {
         v = static_cast<std::uint16_t>(rng.uniformInt(
-            0, static_cast<std::int64_t>(ctx.numConfigs()) - 1));
+            0, static_cast<std::int64_t>(configs) - 1));
     }
     return x;
 }
@@ -44,14 +44,16 @@ tournament(const std::vector<Individual> &pop, std::size_t k, Rng &rng)
 } // namespace
 
 SearchResult
-geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
+geneticSearch(const PreparedObjective &prep, const GaOptions &options,
               SearchTrace *trace)
 {
+    CS_ASSERT(prep.ready(), "prepared objective not built");
     CS_ASSERT(options.population >= 2, "population too small");
     CS_ASSERT(options.elites < options.population,
               "elites must be fewer than the population");
+    const std::size_t jobs = prep.numJobs();
+    const std::size_t configs = prep.numConfigs();
     Rng rng(options.seed);
-    const PreparedObjective prep(ctx);
 
     SearchResult result;
     auto evaluate = [&](const Point &x) {
@@ -66,8 +68,8 @@ geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
     for (std::size_t i = 0; i < pop.size(); ++i) {
         pop[i].genes = i < options.seedPoints.size()
             ? options.seedPoints[i]
-            : randomPoint(ctx, rng);
-        CS_ASSERT(pop[i].genes.size() == ctx.numJobs(),
+            : randomPoint(jobs, configs, rng);
+        CS_ASSERT(pop[i].genes.size() == jobs,
                   "seed point dimensionality mismatch");
         pop[i].metrics = evaluate(pop[i].genes);
     }
@@ -100,7 +102,7 @@ geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
                 if (rng.uniform() < options.mutationRate) {
                     child[d] = static_cast<std::uint16_t>(
                         rng.uniformInt(0, static_cast<std::int64_t>(
-                                              ctx.numConfigs()) - 1));
+                                              configs) - 1));
                 }
             }
             Individual ind;
@@ -117,6 +119,14 @@ geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
     if (trace)
         trace->best = result.metrics;
     return result;
+}
+
+SearchResult
+geneticSearch(const ObjectiveContext &ctx, const GaOptions &options,
+              SearchTrace *trace)
+{
+    const PreparedObjective prep(ctx);
+    return geneticSearch(prep, options, trace);
 }
 
 } // namespace cuttlesys

@@ -42,6 +42,15 @@ SearchResult geneticSearch(const ObjectiveContext &ctx,
                            const GaOptions &options = {},
                            SearchTrace *trace = nullptr);
 
+/**
+ * GA over an already-prepared objective, so the runtime builds the
+ * tables once per decision quantum and shares them across DDS, GA and
+ * exhaustive runs. Bit-identical to the ObjectiveContext overload.
+ */
+SearchResult geneticSearch(const PreparedObjective &prep,
+                           const GaOptions &options = {},
+                           SearchTrace *trace = nullptr);
+
 } // namespace cuttlesys
 
 #endif // CUTTLESYS_SEARCH_GA_HH

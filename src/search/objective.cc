@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels.hh"
 #include "common/logging.hh"
 
 namespace cuttlesys {
@@ -14,19 +15,30 @@ evaluatePoint(const Point &x, const ObjectiveContext &ctx)
     CS_ASSERT(x.size() == ctx.numJobs(),
               "point dimensionality ", x.size(), " != jobs ",
               ctx.numJobs());
+    const std::size_t n = x.size();
+    const std::size_t configs = ctx.numConfigs();
+    for (std::size_t j = 0; j < n; ++j)
+        CS_ASSERT(x[j] < configs, "config index out of range");
+
+    // The three sums run in the kernel layer's lane order, so the
+    // table-based PreparedObjective::evaluate — which gathers the
+    // identical per-term values — is bit-identical to this reference.
+    const double log_sum = kernels::logGatherSum(
+        ctx.bips->data(), configs, x.data(), n, 1e-6);
+    const double power_w =
+        kernels::gatherSum(ctx.power->data(), configs, x.data(), n);
+    double acc[kernels::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+        acc[j % kernels::kLanes] +=
+            JobConfig::fromIndex(x[j]).cacheWays();
+    }
+    const double cache_ways = kernels::detail::reduceLanes(acc);
 
     PointMetrics m;
-    double log_sum = 0.0;
-    for (std::size_t j = 0; j < x.size(); ++j) {
-        const std::size_t c = x[j];
-        CS_ASSERT(c < ctx.numConfigs(), "config index out of range");
-        const double bips = std::max((*ctx.bips)(j, c), 1e-6);
-        log_sum += std::log(bips);
-        m.powerW += (*ctx.power)(j, c);
-        m.cacheWays += JobConfig::fromIndex(c).cacheWays();
-    }
+    m.powerW = power_w;
+    m.cacheWays = cache_ways;
     m.gmeanBips =
-        std::exp(log_sum / static_cast<double>(x.size()));
+        std::exp(log_sum / static_cast<double>(n));
 
     const double power_excess =
         std::max(0.0, m.powerW - ctx.powerBudgetW);
@@ -51,17 +63,28 @@ objectiveValue(const Point &x, const ObjectiveContext &ctx)
 }
 
 PreparedObjective::PreparedObjective(const ObjectiveContext &ctx)
-    : ctx_(&ctx), logBips_(ctx.numJobs(), ctx.numConfigs()),
-      ways_(ctx.numConfigs())
+{
+    rebuild(ctx);
+}
+
+void
+PreparedObjective::rebuild(const ObjectiveContext &ctx)
 {
     CS_ASSERT(ctx.bips && ctx.power, "objective context not wired");
-    for (std::size_t j = 0; j < ctx.numJobs(); ++j) {
-        for (std::size_t c = 0; c < ctx.numConfigs(); ++c) {
-            logBips_(j, c) =
-                std::log(std::max((*ctx.bips)(j, c), 1e-6));
-        }
-    }
-    for (std::size_t c = 0; c < ctx.numConfigs(); ++c)
+    ctx_ = &ctx;
+    numJobs_ = ctx.numJobs();
+    numConfigs_ = ctx.numConfigs();
+    const std::size_t cells = numJobs_ * numConfigs_;
+
+    logBips_.resize(cells);
+    power_.resize(cells);
+    ways_.resize(numConfigs_);
+
+    // Both prediction matrices are contiguous row-major, so the whole
+    // log table is one kernel fill (the returned sum is unused here).
+    kernels::logFill(logBips_.data(), ctx.bips->data(), cells, 1e-6);
+    kernels::copy(power_.data(), ctx.power->data(), cells);
+    for (std::size_t c = 0; c < numConfigs_; ++c)
         ways_[c] = JobConfig::fromIndex(c).cacheWays();
 }
 
@@ -73,7 +96,7 @@ PreparedObjective::metricsFrom(double log_sum, double power_w,
     m.powerW = power_w;
     m.cacheWays = cache_ways;
     m.gmeanBips =
-        std::exp(log_sum / static_cast<double>(ctx_->numJobs()));
+        std::exp(log_sum / static_cast<double>(numJobs_));
 
     const double power_excess =
         std::max(0.0, m.powerW - ctx_->powerBudgetW);
@@ -92,22 +115,23 @@ PreparedObjective::metricsFrom(double log_sum, double power_w,
 }
 
 PointMetrics
+PreparedObjective::evaluate(const std::uint16_t *x, std::size_t n) const
+{
+    CS_ASSERT(n == numJobs_,
+              "point dimensionality ", n, " != jobs ", numJobs_);
+    const double log_sum =
+        kernels::gatherSum(logBips_.data(), numConfigs_, x, n);
+    const double power_w =
+        kernels::gatherSum(power_.data(), numConfigs_, x, n);
+    const double cache_ways =
+        kernels::gatherSum(ways_.data(), 0, x, n);
+    return metricsFrom(log_sum, power_w, cache_ways);
+}
+
+PointMetrics
 PreparedObjective::evaluate(const Point &x) const
 {
-    CS_ASSERT(x.size() == ctx_->numJobs(),
-              "point dimensionality ", x.size(), " != jobs ",
-              ctx_->numJobs());
-    double log_sum = 0.0;
-    double power_w = 0.0;
-    double cache_ways = 0.0;
-    for (std::size_t j = 0; j < x.size(); ++j) {
-        const std::size_t c = x[j];
-        CS_ASSERT(c < ctx_->numConfigs(), "config index out of range");
-        log_sum += logBips_(j, c);
-        power_w += power(j, c);
-        cache_ways += ways_[c];
-    }
-    return metricsFrom(log_sum, power_w, cache_ways);
+    return evaluate(x.data(), x.size());
 }
 
 DeltaEvaluator::DeltaEvaluator(const PreparedObjective &prepared)
@@ -116,28 +140,41 @@ DeltaEvaluator::DeltaEvaluator(const PreparedObjective &prepared)
 }
 
 void
-DeltaEvaluator::setIncumbent(const Point &x)
+DeltaEvaluator::attach(const PreparedObjective &prepared)
 {
-    incumbent_ = x;
-    logSum_ = 0.0;
-    powerW_ = 0.0;
-    cacheWays_ = 0.0;
-    for (std::size_t j = 0; j < x.size(); ++j) {
-        logSum_ += prepared_->logBips(j, x[j]);
-        powerW_ += prepared_->power(j, x[j]);
-        cacheWays_ += prepared_->ways(x[j]);
-    }
+    prepared_ = &prepared;
+}
+
+void
+DeltaEvaluator::setIncumbent(const std::uint16_t *x, std::size_t n)
+{
+    incumbent_.assign(x, x + n);
+    // The exact gather trio — identical to evaluate() — so incumbent
+    // metrics carry no accumulated delta drift.
+    logSum_ = kernels::gatherSum(prepared_->logTable(),
+                                 prepared_->numConfigs(), x, n);
+    powerW_ = kernels::gatherSum(prepared_->powerTable(),
+                                 prepared_->numConfigs(), x, n);
+    cacheWays_ = kernels::gatherSum(prepared_->waysTable(), 0, x, n);
     metrics_ = prepared_->metricsFrom(logSum_, powerW_, cacheWays_);
 }
 
+void
+DeltaEvaluator::setIncumbent(const Point &x)
+{
+    setIncumbent(x.data(), x.size());
+}
+
 PointMetrics
-DeltaEvaluator::evaluateCandidate(
-    const Point &x, const std::vector<std::size_t> &changed) const
+DeltaEvaluator::evaluateCandidate(const std::uint16_t *x,
+                                  const std::size_t *changed,
+                                  std::size_t n_changed) const
 {
     double log_sum = logSum_;
     double power_w = powerW_;
     double cache_ways = cacheWays_;
-    for (std::size_t d : changed) {
+    for (std::size_t i = 0; i < n_changed; ++i) {
+        const std::size_t d = changed[i];
         const std::size_t from = incumbent_[d];
         const std::size_t to = x[d];
         if (from == to)
@@ -148,6 +185,13 @@ DeltaEvaluator::evaluateCandidate(
         cache_ways += prepared_->ways(to) - prepared_->ways(from);
     }
     return prepared_->metricsFrom(log_sum, power_w, cache_ways);
+}
+
+PointMetrics
+DeltaEvaluator::evaluateCandidate(
+    const Point &x, const std::vector<std::size_t> &changed) const
+{
+    return evaluateCandidate(x.data(), changed.data(), changed.size());
 }
 
 } // namespace cuttlesys

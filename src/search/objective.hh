@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/kernels.hh"
 #include "common/matrix.hh"
 #include "config/job_config.hh"
 
@@ -65,54 +66,92 @@ PointMetrics evaluatePoint(const Point &x, const ObjectiveContext &ctx);
 double objectiveValue(const Point &x, const ObjectiveContext &ctx);
 
 /**
- * Per-search precomputed tables for the fast evaluation paths.
+ * Per-quantum precomputed tables for the fast evaluation paths.
  *
  * evaluatePoint pays a std::log and a JobConfig::fromIndex decode per
  * job per candidate; over a 3200-candidate DDS run on 16 jobs that is
  * ~50k transcendental calls per decision quantum. The tables hoist
  * log(max(bips, 1e-6)) per (job, config) and cacheWays per config out
- * of the search loop, once per search. evaluate() sums the cached
- * terms in the same order as evaluatePoint, so both paths produce
- * bit-identical metrics; DDS, GA and exhaustive search all evaluate
- * through the tables.
+ * of the search loop. rebuild() refreshes the tables in place
+ * (reusing buffer capacity), so the runtime builds one instance per
+ * decision quantum and shares it across every search it runs — DDS,
+ * GA and exhaustive all accept a prepared objective directly.
+ *
+ * All three tables are contiguous, so an evaluation is three
+ * lane-deterministic kernels::gatherSum walks. The reference
+ * evaluatePoint path sums the identical per-term values in the
+ * identical lane order (see kernels.hh), so both paths produce
+ * bit-identical metrics.
  */
 class PreparedObjective
 {
   public:
-    /** @p ctx must outlive this object; tables are built here. */
+    /** Empty; rebuild() must run before any evaluation. */
+    PreparedObjective() = default;
+
+    /** Equivalent to default construction followed by rebuild(ctx). */
     explicit PreparedObjective(const ObjectiveContext &ctx);
+
+    /**
+     * (Re)build the tables for @p ctx, which must outlive this
+     * object. Buffer capacity is reused: rebuilding for the same
+     * problem shape performs no heap allocation.
+     */
+    void rebuild(const ObjectiveContext &ctx);
+
+    /** True once rebuild() has run. */
+    bool ready() const { return ctx_ != nullptr; }
 
     const ObjectiveContext &context() const { return *ctx_; }
 
-    std::size_t numJobs() const { return ctx_->numJobs(); }
-    std::size_t numConfigs() const { return ctx_->numConfigs(); }
+    std::size_t numJobs() const { return numJobs_; }
+    std::size_t numConfigs() const { return numConfigs_; }
 
     /** log(max(bips(j, c), 1e-6)), cached. */
     double logBips(std::size_t j, std::size_t c) const
     {
-        return logBips_(j, c);
+        return logBips_[j * numConfigs_ + c];
     }
 
-    /** power(j, c) pass-through (already a dense table). */
+    /** power(j, c), cached contiguously. */
     double power(std::size_t j, std::size_t c) const
     {
-        return (*ctx_->power)(j, c);
+        return power_[j * numConfigs_ + c];
     }
 
     /** cacheWays of config @p c, cached (no JobConfig decode). */
     double ways(std::size_t c) const { return ways_[c]; }
 
+    /** Raw jobs x configs log-throughput table (gatherSum stride =
+     *  numConfigs()). */
+    const double *logTable() const { return logBips_.data(); }
+
+    /** Raw jobs x configs power table. */
+    const double *powerTable() const { return power_.data(); }
+
+    /** Raw per-config ways lookup (gatherSum stride = 0). */
+    const double *waysTable() const { return ways_.data(); }
+
     /** Full table-based evaluation; bit-identical to evaluatePoint. */
     PointMetrics evaluate(const Point &x) const;
+
+    /**
+     * Span form of evaluate() for callers that keep candidates in
+     * raw buffers. @p x must hold numJobs() in-range config indices.
+     */
+    PointMetrics evaluate(const std::uint16_t *x, std::size_t n) const;
 
     /** Metrics from already-summed accumulators (O(1)). */
     PointMetrics metricsFrom(double log_sum, double power_w,
                              double cache_ways) const;
 
   private:
-    const ObjectiveContext *ctx_;
-    Matrix logBips_;            //!< jobs x configs
-    std::vector<double> ways_;  //!< per config
+    const ObjectiveContext *ctx_ = nullptr;
+    std::size_t numJobs_ = 0;
+    std::size_t numConfigs_ = 0;
+    std::vector<double> logBips_;  //!< jobs x configs, row-major
+    std::vector<double> power_;    //!< jobs x configs, row-major
+    std::vector<double> ways_;     //!< per config
 };
 
 /**
@@ -130,11 +169,24 @@ class PreparedObjective
 class DeltaEvaluator
 {
   public:
+    /** Detached; attach() must run before use. */
+    DeltaEvaluator() = default;
+
     /** @p prepared must outlive this object. */
     explicit DeltaEvaluator(const PreparedObjective &prepared);
 
+    /**
+     * (Re)bind to @p prepared, which must outlive this object. The
+     * incumbent buffer's capacity is kept, so re-attaching each
+     * quantum allocates nothing in steady state.
+     */
+    void attach(const PreparedObjective &prepared);
+
     /** Adopt @p x as the incumbent; accumulators computed exactly. */
     void setIncumbent(const Point &x);
+
+    /** Span form of setIncumbent(). */
+    void setIncumbent(const std::uint16_t *x, std::size_t n);
 
     const Point &incumbent() const { return incumbent_; }
     const PointMetrics &incumbentMetrics() const { return metrics_; }
@@ -149,8 +201,13 @@ class DeltaEvaluator
     PointMetrics evaluateCandidate(
         const Point &x, const std::vector<std::size_t> &changed) const;
 
+    /** Span form of evaluateCandidate(). */
+    PointMetrics evaluateCandidate(const std::uint16_t *x,
+                                   const std::size_t *changed,
+                                   std::size_t n_changed) const;
+
   private:
-    const PreparedObjective *prepared_;
+    const PreparedObjective *prepared_ = nullptr;
     Point incumbent_;
     double logSum_ = 0.0;
     double powerW_ = 0.0;

@@ -56,6 +56,18 @@ class Scheduler
     virtual SliceDecision decide(const SliceContext &ctx) = 0;
 
     /**
+     * Buffer-reusing form of decide(): @p out is overwritten and its
+     * vectors' capacity is kept, so a caller that holds one decision
+     * across the loop avoids per-slice allocation. Schedulers with an
+     * allocation-free steady state (CuttleSys) override this as the
+     * primary entry point; the default wraps decide().
+     */
+    virtual void decideInto(const SliceContext &ctx, SliceDecision &out)
+    {
+        out = decide(ctx);
+    }
+
+    /**
      * Whether this scheduler claims to enforce the power cap. The
      * no-gating reference deliberately ignores the budget, so the
      * validator's power-cap invariant must not audit it.

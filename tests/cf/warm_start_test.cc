@@ -82,8 +82,7 @@ TEST(WarmStartTest, MismatchedFactorShapesFallBackToColdStart)
     SgdOptions options;
     options.rank = 5;
     SgdFactors wrong;
-    wrong.q = Matrix(7, 5);   // wrong row count
-    wrong.p = Matrix(12, 5);
+    wrong.reshape(7, 12, 5);  // wrong row count
     const SgdResult with_wrong =
         reconstruct(ratings, options, nullptr, &wrong);
     const SgdResult cold = reconstruct(ratings, options);

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * ScratchArena lifetime, growth and steady-state behaviour.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.hh"
+#include "common/thread_pool.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(ScratchArena, SpansAreDistinctAndWritable)
+{
+    ScratchArena arena(1024);
+    double *a = arena.alloc<double>(8);
+    double *b = arena.alloc<double>(8);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    for (std::size_t i = 0; i < 8; ++i) {
+        a[i] = 1.0 + static_cast<double>(i);
+        b[i] = -1.0 - static_cast<double>(i);
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(a[i], 1.0 + static_cast<double>(i));
+        EXPECT_EQ(b[i], -1.0 - static_cast<double>(i));
+    }
+}
+
+TEST(ScratchArena, ZeroSizeSpansAreDistinctNonNull)
+{
+    ScratchArena arena(256);
+    void *a = arena.alloc<std::uint8_t>(0);
+    void *b = arena.alloc<std::uint8_t>(0);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+}
+
+TEST(ScratchArena, AllocZeroedIsZeroFilled)
+{
+    ScratchArena arena(1024);
+    // Dirty the slab first so the zeroing is observable.
+    std::uint8_t *dirty = arena.alloc<std::uint8_t>(512);
+    std::memset(dirty, 0xab, 512);
+    arena.reset();
+
+    const std::uint64_t *z = arena.allocZeroed<std::uint64_t>(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(z[i], 0u);
+}
+
+TEST(ScratchArena, SpansAreMaxAligned)
+{
+    ScratchArena arena(4096);
+    constexpr std::uintptr_t kAlign = alignof(std::max_align_t);
+    for (std::size_t n : {1, 3, 7, 13}) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(
+            arena.alloc<std::uint8_t>(n));
+        EXPECT_EQ(addr % kAlign, 0u) << "n=" << n;
+    }
+}
+
+TEST(ScratchArena, ResetRewindsAndGrowsToDemand)
+{
+    ScratchArena arena; // zero-size slab: first cycle all overflows
+    EXPECT_EQ(arena.slabBytes(), 0u);
+
+    arena.alloc<double>(100);
+    arena.alloc<double>(50);
+    const std::size_t used = arena.usedBytes();
+    EXPECT_GE(used, 150 * sizeof(double));
+
+    arena.reset();
+    EXPECT_EQ(arena.usedBytes(), 0u);
+    EXPECT_GE(arena.highWaterBytes(), used);
+    EXPECT_GE(arena.slabBytes(), used); // next cycle fits heap-free
+    EXPECT_EQ(arena.slabGrowths(), 1u);
+}
+
+TEST(ScratchArena, StableWorkingSetReachesSteadyStateInOneCycle)
+{
+    ScratchArena arena;
+    auto cycle = [&arena] {
+        arena.alloc<double>(321);
+        arena.alloc<std::uint16_t>(77);
+        arena.alloc<double>(1000);
+        arena.reset();
+    };
+    cycle(); // warm-up: grows once
+    const std::uint64_t warm = arena.slabGrowths();
+    for (int i = 0; i < 100; ++i)
+        cycle();
+    EXPECT_EQ(arena.slabGrowths(), warm); // never grew again
+}
+
+TEST(ScratchArena, AccretingWorkingSetGrowsGeometrically)
+{
+    // A runtime whose observation set gains a few cells every quantum
+    // grows its arena demand by a few bytes per cycle, forever. The
+    // headroom policy must turn that into O(log) growth events, not
+    // one overflow per cycle.
+    ScratchArena arena;
+    std::size_t n = 1000;
+    for (int cycle = 0; cycle < 1000; ++cycle) {
+        arena.alloc<double>(n);
+        n += 2; // + 16 bytes per cycle
+        arena.reset();
+    }
+    EXPECT_LE(arena.slabGrowths(), 10u);
+}
+
+TEST(ScratchArena, ConcurrentAllocsGetDisjointSpans)
+{
+    ScratchArena arena(1 << 16);
+    constexpr std::size_t kTasks = 16;
+    constexpr std::size_t kWords = 64;
+    std::uint64_t *spans[kTasks] = {};
+    ThreadPool::global().parallelFor(kTasks, [&](std::size_t t) {
+        std::uint64_t *s = arena.alloc<std::uint64_t>(kWords);
+        for (std::size_t i = 0; i < kWords; ++i)
+            s[i] = t * 1000 + i;
+        spans[t] = s;
+    });
+    std::set<std::uint64_t *> unique(spans, spans + kTasks);
+    EXPECT_EQ(unique.size(), kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+        for (std::size_t i = 0; i < kWords; ++i)
+            EXPECT_EQ(spans[t][i], t * 1000 + i);
+    }
+}
+
+TEST(ScratchArena, OverflowSpansStayValidUntilReset)
+{
+    ScratchArena arena(64); // tiny slab: big requests overflow
+    double *big = arena.alloc<double>(4096);
+    ASSERT_NE(big, nullptr);
+    for (std::size_t i = 0; i < 4096; ++i)
+        big[i] = static_cast<double>(i);
+    double *big2 = arena.alloc<double>(4096);
+    ASSERT_NE(big2, nullptr);
+    EXPECT_NE(big, big2);
+    for (std::size_t i = 0; i < 4096; ++i)
+        EXPECT_EQ(big[i], static_cast<double>(i));
+    arena.reset();
+    // After the growth the same demand is served from the slab.
+    double *again = arena.alloc<double>(4096);
+    ASSERT_NE(again, nullptr);
+    EXPECT_LE(arena.usedBytes(), arena.slabBytes());
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Steady-state zero-allocation gate for the decision-quantum hot path.
+ *
+ * This binary links cs_alloc_probe, which replaces the global
+ * operator new/delete with counting forwarders (which is why these
+ * tests live in their own executable instead of test_common). The
+ * gate drives the same quantum loop as the runtime — arena reset,
+ * three reconstructions, matrix copies, objective table rebuild,
+ * parallel DDS — with an accreting observation trickle, and asserts
+ * that after warm-up the loop performs literally zero heap
+ * allocations per quantum.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cf/engine.hh"
+#include "common/alloc_probe.hh"
+#include "common/arena.hh"
+#include "common/kernels.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "config/job_config.hh"
+#include "search/dds.hh"
+
+namespace cuttlesys {
+namespace {
+
+constexpr std::size_t kTrainingRows = 10;
+constexpr std::size_t kLiveJobs = 17;
+constexpr std::size_t kBatchJobs = 16;
+
+Matrix
+makeTraining(std::uint64_t seed, double lo, double hi)
+{
+    Matrix m(kTrainingRows, kNumJobConfigs);
+    Rng rng(seed);
+    for (std::size_t r = 0; r < kTrainingRows; ++r) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c) {
+            const double size =
+                static_cast<double>(c) / kNumJobConfigs;
+            m(r, c) = lo + (hi - lo) * size + rng.uniform(0.0, 0.3);
+        }
+    }
+    return m;
+}
+
+/** The runtime's per-quantum hot path over persistent state. */
+struct QuantumLoop
+{
+    CfEngine bips{makeTraining(3, 0.5, 6.0), kLiveJobs,
+                  kNumJobConfigs};
+    CfEngine power{makeTraining(5, 1.0, 3.5), kLiveJobs,
+                   kNumJobConfigs};
+    Rng rng{83};
+    ScratchArena arena;
+    Matrix predBips, predPower;
+    Matrix searchBips{kBatchJobs, kNumJobConfigs};
+    Matrix searchPower{kBatchJobs, kNumJobConfigs};
+    ObjectiveContext ctx;
+    PreparedObjective prepared;
+    DdsOptions dds;
+    DdsScratch scratch;
+    SearchResult found;
+    std::size_t quantum = 0;
+
+    QuantumLoop()
+    {
+        for (CfEngine *e : {&bips, &power}) {
+            e->setFactorWarmStart(true);
+            e->options().threads = 4;
+            e->options().convergenceSamples = 512;
+        }
+        for (std::size_t j = 0; j < kLiveJobs; ++j) {
+            bips.observe(j, 0, rng.uniform(0.5, 6.0));
+            bips.observe(j, kNumJobConfigs - 1,
+                         rng.uniform(0.5, 6.0));
+            power.observe(j, 0, rng.uniform(0.5, 3.0));
+            power.observe(j, kNumJobConfigs - 1,
+                          rng.uniform(0.5, 3.0));
+        }
+        dds.threads = 8;
+        dds.useDeltaEval = true;
+        dds.maxIterations = 20;
+    }
+
+    void
+    run()
+    {
+        // The observation set accretes like the real runtime's: one
+        // fresh measured cell per metric per quantum. This is what
+        // forces the arena's amortized-headroom growth policy — an
+        // exact-fit slab would overflow by a few bytes every quantum.
+        const std::size_t job = quantum % kLiveJobs;
+        const std::size_t cfg = 1 + quantum % (kNumJobConfigs - 2);
+        bips.observe(job, cfg, rng.uniform(0.5, 6.0));
+        power.observe(job, cfg, rng.uniform(0.5, 3.0));
+
+        arena.reset();
+        bips.predictInto(predBips, arena);
+        power.predictInto(predPower, arena);
+
+        kernels::copy(searchBips.data(), predBips.rowPtr(1),
+                      kBatchJobs * kNumJobConfigs);
+        kernels::copy(searchPower.data(), predPower.rowPtr(1),
+                      kBatchJobs * kNumJobConfigs);
+
+        ctx.bips = &searchBips;
+        ctx.power = &searchPower;
+        ctx.powerBudgetW = 30.0;
+        ctx.cacheBudgetWays = 28.0;
+        prepared.rebuild(ctx);
+
+        dds.seed = 11 + quantum;
+        parallelDds(prepared, dds, scratch, found);
+        ++quantum;
+    }
+};
+
+TEST(ZeroAlloc, ProbeCountsThisBinarysAllocations)
+{
+    const std::uint64_t new_before = AllocProbe::newCount();
+    const std::uint64_t del_before = AllocProbe::deleteCount();
+    {
+        auto p = std::make_unique<int>(7);
+        EXPECT_EQ(AllocProbe::newCount(), new_before + 1);
+    }
+    EXPECT_EQ(AllocProbe::deleteCount(), del_before + 1);
+}
+
+TEST(ZeroAlloc, DecisionQuantumIsHeapFreeAfterWarmUp)
+{
+    setInformEnabled(false);
+    QuantumLoop loop;
+    // Warm-up: buffers size themselves, the thread pool spins up, the
+    // arena grows to its high-water (with headroom).
+    for (int q = 0; q < 4; ++q)
+        loop.run();
+
+    constexpr int kMeasured = 8;
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int q = 0; q < kMeasured; ++q)
+        loop.run();
+    const std::uint64_t allocs = AllocProbe::newCount() - before;
+
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state decision quantum touched the heap "
+        << allocs << " times over " << kMeasured << " quanta";
+}
+
+TEST(ZeroAlloc, ParallelForSteadyStateIsHeapFree)
+{
+    // The pool recycles batch records through a refcount free list;
+    // after the first dispatch a fork-join region must not allocate.
+    auto &pool = ThreadPool::global();
+    std::atomic<std::size_t> sink{0};
+    for (int warm = 0; warm < 4; ++warm)
+        pool.parallelFor(8, [&](std::size_t i) { sink += i; });
+
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int q = 0; q < 32; ++q)
+        pool.parallelFor(8, [&](std::size_t i) { sink += i; });
+    EXPECT_EQ(AllocProbe::newCount() - before, 0u);
+}
+
+TEST(ZeroAlloc, ArenaSteadyStateCycleIsHeapFree)
+{
+    ScratchArena arena;
+    auto cycle = [&arena] {
+        arena.alloc<double>(4096);
+        arena.alloc<std::uint16_t>(333);
+        arena.reset();
+    };
+    cycle(); // warm-up growth
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int i = 0; i < 64; ++i)
+        cycle();
+    EXPECT_EQ(AllocProbe::newCount() - before, 0u);
+}
+
+} // namespace
+} // namespace cuttlesys

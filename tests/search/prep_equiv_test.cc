@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The prepared-objective search entry points must reproduce the
+ * legacy ObjectiveContext overloads bit for bit: the runtime hoists
+ * one PreparedObjective per quantum and shares it across DDS, GA and
+ * exhaustive restarts, which is only sound if sharing changes
+ * nothing.
+ */
+
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "search/dds.hh"
+#include "search/exhaustive.hh"
+#include "search/ga.hh"
+#include "search_fixture.hh"
+
+namespace cuttlesys {
+namespace {
+
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+void
+expectSameResult(const SearchResult &a, const SearchResult &b)
+{
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(bits(a.metrics.objective), bits(b.metrics.objective));
+    EXPECT_EQ(bits(a.metrics.gmeanBips), bits(b.metrics.gmeanBips));
+    EXPECT_EQ(bits(a.metrics.powerW), bits(b.metrics.powerW));
+    EXPECT_EQ(bits(a.metrics.cacheWays), bits(b.metrics.cacheWays));
+    EXPECT_EQ(a.metrics.feasible, b.metrics.feasible);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(PrepEquivalence, SerialDdsMatchesLegacyOverload)
+{
+    const SearchFixture fix(12, 24.0);
+    DdsOptions options;
+    options.maxIterations = 30;
+    options.seed = 71;
+
+    const SearchResult legacy = serialDds(fix.ctx, options);
+
+    PreparedObjective prep(fix.ctx);
+    DdsScratch scratch;
+    SearchResult out;
+    serialDds(prep, options, scratch, out);
+
+    expectSameResult(out, legacy);
+}
+
+TEST(PrepEquivalence, ParallelDdsMatchesLegacyOverload)
+{
+    const SearchFixture fix(14, 26.0);
+    DdsOptions options;
+    options.threads = 4;
+    options.maxIterations = 25;
+    options.seed = 101;
+
+    const SearchResult legacy = parallelDds(fix.ctx, options);
+
+    PreparedObjective prep(fix.ctx);
+    DdsScratch scratch;
+    SearchResult out;
+    parallelDds(prep, options, scratch, out);
+
+    expectSameResult(out, legacy);
+}
+
+TEST(PrepEquivalence, ParallelDdsScratchReuseIsStateless)
+{
+    // Back-to-back runs through ONE scratch must equal fresh-scratch
+    // runs: no state may leak across quanta through the buffers.
+    const SearchFixture fix(14, 26.0);
+    DdsOptions options;
+    options.threads = 4;
+    options.maxIterations = 20;
+
+    PreparedObjective prep(fix.ctx);
+    DdsScratch reused;
+    for (std::uint64_t seed : {7u, 8u, 9u}) {
+        options.seed = seed;
+        SearchResult via_reused, via_fresh;
+        DdsScratch fresh;
+        parallelDds(prep, options, reused, via_reused);
+        parallelDds(prep, options, fresh, via_fresh);
+        expectSameResult(via_reused, via_fresh);
+    }
+}
+
+TEST(PrepEquivalence, GeneticSearchMatchesLegacyOverload)
+{
+    const SearchFixture fix(10, 22.0);
+    GaOptions options;
+    options.generations = 20;
+    options.seed = 55;
+
+    const SearchResult legacy = geneticSearch(fix.ctx, options);
+
+    PreparedObjective prep(fix.ctx);
+    const SearchResult via_prep = geneticSearch(prep, options);
+
+    expectSameResult(via_prep, legacy);
+}
+
+TEST(PrepEquivalence, ExhaustiveSearchMatchesLegacyOverload)
+{
+    const SearchFixture fix(2, 8.0); // 108^2 points: small enough
+    const SearchResult legacy = exhaustiveSearch(fix.ctx);
+
+    PreparedObjective prep(fix.ctx);
+    const SearchResult via_prep = exhaustiveSearch(prep);
+
+    expectSameResult(via_prep, legacy);
+}
+
+TEST(PrepEquivalence, OnePreparedObjectiveServesEverySearch)
+{
+    // The runtime's sharing pattern: build the tables once, run
+    // multiple searches against them in sequence. Each must match a
+    // run against its own private tables.
+    const SearchFixture fix(8, 18.0);
+    PreparedObjective shared(fix.ctx);
+
+    DdsOptions dds;
+    dds.threads = 4;
+    dds.maxIterations = 15;
+    DdsScratch scratch;
+    SearchResult dds_shared;
+    parallelDds(shared, dds, scratch, dds_shared);
+
+    GaOptions ga;
+    ga.generations = 10;
+    const SearchResult ga_shared = geneticSearch(shared, ga);
+
+    PreparedObjective private_dds(fix.ctx);
+    SearchResult dds_private;
+    DdsScratch scratch2;
+    parallelDds(private_dds, dds, scratch2, dds_private);
+    expectSameResult(dds_shared, dds_private);
+
+    PreparedObjective private_ga(fix.ctx);
+    expectSameResult(ga_shared, geneticSearch(private_ga, ga));
+}
+
+TEST(PrepEquivalence, RebuildRetargetsTheTables)
+{
+    // One PreparedObjective rebuilt quantum over quantum must track
+    // the new context exactly, not remember the old tables.
+    const SearchFixture first(9, 20.0, 17);
+    const SearchFixture second(9, 14.0, 99);
+
+    PreparedObjective prep(first.ctx);
+    prep.rebuild(second.ctx);
+
+    DdsOptions options;
+    options.maxIterations = 15;
+    DdsScratch scratch;
+    SearchResult via_rebuilt;
+    serialDds(prep, options, scratch, via_rebuilt);
+
+    expectSameResult(via_rebuilt, serialDds(second.ctx, options));
+}
+
+} // namespace
+} // namespace cuttlesys

@@ -13,6 +13,18 @@
 #      unreproducible; every Rng must be constructed from an explicit
 #      seed
 #   4. no #include cycles among the project's own headers
+#   5. kernelized hot-path files (src/cf/sgd.cc and
+#      src/search/objective.cc) stay pure: no raw std::log (every
+#      transcendental goes through common/kernels.hh so the scalar and
+#      vector builds agree bitwise) and no push_back/emplace_back or
+#      nested vectors (the steady-state decision loop is gated at zero
+#      heap allocations; growth belongs in the arena or in rebuild()
+#      paths). src/search/dds.cc additionally bans nested vectors —
+#      its per-worker state lives in flat reusable buffers.
+#
+# Rule 1 exempts operator new/delete *definitions*: the allocation
+# probe (src/common/alloc_probe.cc) replaces the global allocator set,
+# which is the one place those tokens legitimately appear.
 #
 # Exits nonzero listing every offending file:line.
 
@@ -75,18 +87,45 @@ def strip_comments_and_strings(text):
 
 findings = []
 
+# Files whose inner loops were rewritten onto the kernel layer; they
+# must not regress to raw transcendentals or per-call allocation.
+KERNELIZED = ("src/cf/sgd.cc", "src/search/objective.cc")
+FLAT_BUFFER = KERNELIZED + ("src/search/dds.cc",)
+
 def check_lines(path, code):
     in_examples = path.startswith(("examples/", "bench/"))
     is_logging_impl = path == "src/common/logging.cc"
+    kernelized = path in KERNELIZED
+    flat_buffer = path in FLAT_BUFFER
     for lineno, line in enumerate(code.splitlines(), start=1):
-        if re.search(r"\bnew\b\s*[A-Za-z_(\[]", line):
+        is_operator_def = re.search(r"\boperator\s+(new|delete)\b",
+                                    line)
+        if (not is_operator_def and
+                re.search(r"\bnew\b\s*[A-Za-z_(\[]", line)):
             findings.append((path, lineno,
                              "naked new (use containers or "
                              "std::make_unique)"))
-        if (re.search(r"\bdelete\b", line) and
+        if (not is_operator_def and
+                re.search(r"\bdelete\b", line) and
                 not re.search(r"=\s*delete\b", line)):
             findings.append((path, lineno,
                              "naked delete (use owning types)"))
+        if kernelized and re.search(r"std::log\s*\(", line):
+            findings.append((path, lineno,
+                             "raw std::log in a kernelized file "
+                             "(route through common/kernels.hh so "
+                             "scalar and vector builds agree)"))
+        if kernelized and re.search(r"\b(push_back|emplace_back)\s*\(",
+                                    line):
+            findings.append((path, lineno,
+                             "container growth in a zero-allocation "
+                             "hot path (use the arena or a rebuild() "
+                             "path)"))
+        if (flat_buffer and
+                re.search(r"std::vector<\s*std::vector", line)):
+            findings.append((path, lineno,
+                             "nested vectors in a hot-path file "
+                             "(use one flat reusable buffer)"))
         if (not in_examples and not is_logging_impl and
                 re.search(r"std::(cout|cerr)\b", line)):
             findings.append((path, lineno,
