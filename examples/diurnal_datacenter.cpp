@@ -21,6 +21,7 @@
 #include "core/cuttlesys.hh"
 #include "core/training.hh"
 #include "lcsim/calibrate.hh"
+#include "lcsim/scenarios.hh"
 #include "power/power_model.hh"
 #include "sim/driver.hh"
 
@@ -50,14 +51,14 @@ main()
     CuttleSysScheduler scheduler(params, tables, mix.batch.size(),
                                  mix.lc.qosSeconds());
 
+    // The shared compressed-day trace (see lcsim/scenarios.hh):
+    // diurnal load from 15% to 95%, budget dipping to 60% during the
+    // afternoon peak-price window.
+    const CompressedDayScenario day;
     DriverOptions opts;
-    opts.durationSec = 4.0;
-    // Load: the diurnal wave (trough 15%, peak 95%, one "day" = 4 s).
-    opts.loadPattern = LoadPattern::diurnal(0.15, 0.95, 4.0);
-    // Budget: 85% at night, 60% during the afternoon peak-price
-    // window, back to 85% in the evening.
-    opts.powerPattern = LoadPattern::steps(
-        {{0.0, 0.85}, {1.5, 0.60}, {3.0, 0.85}});
+    opts.durationSec = day.daySeconds;
+    opts.loadPattern = day.loadPattern();
+    opts.powerPattern = day.powerPattern();
     opts.maxPowerW = systemMaxPower(split.test, params);
 
     const RunResult result = runColocation(sim, scheduler, opts);

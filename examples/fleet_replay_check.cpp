@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Cluster-level deterministic-replay gate.
+ *
+ * Runs the same fleet — churn, placement, power split, and all —
+ * twice with identical seeds and structurally diffs the interleaved
+ * per-node decision traces, exactly as examples/replay_check does
+ * for a single node. A mismatch means thread-schedule nondeterminism
+ * leaked into the *cluster* pipeline: nodes sharing mutable state
+ * across the parallel step, or controller decisions depending on
+ * completion order.
+ *
+ * The gate also bridges across processes so CI can verify the trace
+ * is identical at every CS_POOL_THREADS width:
+ *   --save PATH     write this process's reference trace as JSONL
+ *   --against PATH  additionally diff the reference against a trace
+ *                   saved by an earlier run (wall-clock fields are
+ *                   excluded by the structural diff)
+ *
+ * Usage: fleet_replay_check [day_seconds] [runs] [--save P] [--against P]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/gallery.hh"
+#include "check/trace_diff.hh"
+#include "cluster/fleet.hh"
+#include "common/logging.hh"
+#include "core/cuttlesys.hh"
+#include "core/training.hh"
+#include "lcsim/calibrate.hh"
+#include "power/power_model.hh"
+#include "telemetry/trace_reader.hh"
+#include "telemetry/trace_sink.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::cluster;
+
+namespace {
+
+constexpr std::size_t kNodes = 4;
+
+/** One full fleet run with a fresh controller, fixed seeds. */
+std::vector<telemetry::QuantumRecord>
+runOnce(const SystemParams &params, const TrainingTables &tables,
+        const AppProfile &lc, const std::vector<AppProfile> &pool,
+        double node_max_w, double day_seconds)
+{
+    telemetry::MemorySink sink;
+    FleetOptions opts;
+    opts.numNodes = kNodes;
+    opts.seed = 42;
+    opts.scenario.daySeconds = day_seconds;
+    opts.scenario.peakWindowStartSec = 0.375 * day_seconds;
+    opts.scenario.peakWindowEndSec = 0.75 * day_seconds;
+    // Churn hard enough that the gate exercises departures, arrivals
+    // and placement every few quanta.
+    opts.churn.departureProbability = 0.08;
+    opts.churn.meanArrivalsPerQuantum = 2.0;
+    opts.sink = &sink;
+
+    BackfillBinPack backfill;
+    FleetController fleet(params, tables, lc, pool, node_max_w,
+                          backfill, opts);
+    fleet.run();
+    return sink.records();
+}
+
+void
+dumpTrace(const std::string &path,
+          const std::vector<telemetry::QuantumRecord> &records)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (const telemetry::QuantumRecord &r : records)
+        out << telemetry::JsonlSink::toJson(r) << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    double day_seconds = 1.0;
+    std::size_t runs = 2;
+    std::string savePath, againstPath;
+    std::size_t positional = 0;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--save") == 0 && a + 1 < argc) {
+            savePath = argv[++a];
+        } else if (std::strcmp(argv[a], "--against") == 0 &&
+                   a + 1 < argc) {
+            againstPath = argv[++a];
+        } else if (positional == 0) {
+            day_seconds = std::atof(argv[a]);
+            ++positional;
+        } else {
+            runs = static_cast<std::size_t>(std::atoi(argv[a]));
+            ++positional;
+        }
+    }
+    CS_ASSERT(day_seconds > 0.0 && runs >= 2,
+              "usage: fleet_replay_check [day_seconds>0] [runs>=2] "
+              "[--save PATH] [--against PATH]");
+
+    const SystemParams params;
+    const TrainTestSplit split = splitSpecGallery();
+    std::vector<AppProfile> services = tailbenchGallery();
+    calibrateMaxQps(services, params);
+    AppProfile lc;
+    for (const AppProfile &s : services) {
+        if (s.name == "masstree")
+            lc = s;
+    }
+    const TrainingTables tables =
+        buildTrainingTables(split.train, services, params);
+    const double node_max_w = systemMaxPower(split.test, params);
+
+    const std::vector<telemetry::QuantumRecord> reference = runOnce(
+        params, tables, lc, split.test, node_max_w, day_seconds);
+    std::printf("run 1/%zu: %zu records (%zu nodes, reference)\n",
+                runs, reference.size(), kNodes);
+    if (!savePath.empty()) {
+        dumpTrace(savePath, reference);
+        std::printf("saved reference trace to %s\n",
+                    savePath.c_str());
+    }
+
+    bool ok = true;
+    for (std::size_t r = 2; r <= runs; ++r) {
+        const std::vector<telemetry::QuantumRecord> replay = runOnce(
+            params, tables, lc, split.test, node_max_w, day_seconds);
+        const check::TraceDiff diff =
+            check::diffDecisionTraces(reference, replay);
+        std::printf("run %zu/%zu: %zu records, %zu fields compared, "
+                    "%zu mismatches\n",
+                    r, runs, replay.size(), diff.comparedFields,
+                    diff.mismatches.size());
+        if (diff.identical())
+            continue;
+        ok = false;
+        std::printf("\n%s\n", diff.toString().c_str());
+        dumpTrace("fleet_replay_reference.jsonl", reference);
+        dumpTrace("fleet_replay_divergent.jsonl", replay);
+        std::ofstream report("fleet_replay_diff.txt",
+                             std::ios::trunc);
+        report << diff.toString(/*max_lines=*/1000) << '\n';
+        std::printf("wrote fleet_replay_reference.jsonl, "
+                    "fleet_replay_divergent.jsonl, "
+                    "fleet_replay_diff.txt\n");
+        break;
+    }
+
+    if (ok && !againstPath.empty()) {
+        const std::vector<telemetry::QuantumRecord> other =
+            telemetry::readTraceFile(againstPath);
+        const check::TraceDiff diff =
+            check::diffDecisionTraces(other, reference);
+        std::printf("against %s: %zu records, %zu fields compared, "
+                    "%zu mismatches\n",
+                    againstPath.c_str(), other.size(),
+                    diff.comparedFields, diff.mismatches.size());
+        if (!diff.identical()) {
+            ok = false;
+            std::printf("\n%s\n", diff.toString().c_str());
+            dumpTrace("fleet_replay_reference.jsonl", reference);
+            std::ofstream report("fleet_replay_diff.txt",
+                                 std::ios::trunc);
+            report << diff.toString(/*max_lines=*/1000) << '\n';
+        }
+    }
+
+    if (ok) {
+        std::printf("fleet replay OK: cluster decision traces are "
+                    "structurally identical\n");
+        return 0;
+    }
+    std::printf("fleet replay FAILED: cluster-level nondeterminism "
+                "detected\n");
+    return 1;
+}

@@ -145,7 +145,11 @@ ScheduleValidator::validate(const SliceDecision &decision,
              "lc config " + describeRaw(decision.lcConfig) +
                  " outside the m x p grid");
     }
-    std::vector<bool> job_grid_ok(jobs, true);
+    // Member scratch: the happy path of validate() must stay
+    // heap-free so per-quantum validation can remain on inside the
+    // zero-allocation steady state.
+    std::vector<bool> &job_grid_ok = gridScratch_;
+    job_grid_ok.assign(jobs, true);
     for (std::size_t j = 0; j < jobs; ++j) {
         if (inGrid(decision.batchConfigs[j]))
             continue;

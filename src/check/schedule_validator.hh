@@ -148,6 +148,7 @@ class ScheduleValidator
     std::size_t violationCount_ = 0;
     std::array<std::size_t, kNumInvariants> perInvariant_{};
     std::vector<Violation> violations_;
+    std::vector<bool> gridScratch_; //!< per-job grid flags, reused
 };
 
 } // namespace check

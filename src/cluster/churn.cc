@@ -1,0 +1,51 @@
+#include "cluster/churn.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+JobChurnEngine::JobChurnEngine(std::vector<AppProfile> pool,
+                               std::uint64_t seed, ChurnOptions opts)
+    : pool_(std::move(pool)), rng_(seed), opts_(opts)
+{
+    CS_ASSERT(!pool_.empty(), "churn pool is empty");
+    CS_ASSERT(opts_.departureProbability >= 0.0 &&
+                  opts_.departureProbability <= 1.0,
+              "departure probability outside [0, 1]");
+    CS_ASSERT(opts_.meanArrivalsPerQuantum >= 0.0,
+              "negative arrival rate");
+    departureP_ = opts_.departureProbability;
+    wholeArrivals_ = static_cast<std::size_t>(
+        std::floor(opts_.meanArrivalsPerQuantum));
+    fracArrivals_ = opts_.meanArrivalsPerQuantum -
+        static_cast<double>(wholeArrivals_);
+}
+
+std::size_t
+JobChurnEngine::drawArrivals()
+{
+    // floor(rate) arrivals plus one Bernoulli on the fraction: the
+    // mean is exact and every quantum consumes exactly one draw, so
+    // the stream stays easy to reason about in replay diffs.
+    return wholeArrivals_ + (rng_.bernoulli(fracArrivals_) ? 1 : 0);
+}
+
+AppProfile
+JobChurnEngine::drawJob()
+{
+    const std::size_t idx = static_cast<std::size_t>(rng_.uniformInt(
+        0, static_cast<std::int64_t>(pool_.size()) - 1));
+    AppProfile job = pool_[idx];
+    ++jobCounter_;
+    // Distinct residual seed per arrival: two copies of the same
+    // benchmark must not produce byte-identical rating rows (same
+    // rule makeBatchMix applies to the static mixes).
+    job.seed ^= 0x9e3779b97f4a7c15ULL * jobCounter_;
+    return job;
+}
+
+} // namespace cluster
+} // namespace cuttlesys

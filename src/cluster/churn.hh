@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stochastic batch-job churn for the fleet simulator.
+ *
+ * Real clusters are not static colocations: batch jobs finish and new
+ * ones are submitted continuously. The churn engine models both with
+ * a single dedicated Rng so the event stream is a pure function of
+ * the fleet seed:
+ *
+ *  - departures: each occupied batch slot leaves with a fixed
+ *    per-quantum probability (geometric job lifetimes);
+ *  - arrivals: a cluster-wide stream with a configurable mean rate
+ *    per quantum, drawing job profiles uniformly from a pool, each
+ *    arrival getting a distinct residual seed so two instances of the
+ *    same benchmark never behave byte-identically.
+ *
+ * The controller drains the engine single-threaded, in node-index
+ * order, before the parallel node step — so churn is deterministic
+ * at any thread-pool width, and never perturbs any node's own
+ * measurement-noise RNG stream.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_CHURN_HH
+#define CUTTLESYS_CLUSTER_CHURN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "common/rng.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+/** Churn-process tuning. */
+struct ChurnOptions
+{
+    /** Per occupied slot, per quantum: probability the job finishes. */
+    double departureProbability = 0.05;
+    /** Mean cluster-wide arrivals per quantum. Sampled as the integer
+     *  part plus one Bernoulli trial on the fraction, so the draw
+     *  count per quantum is fixed. */
+    double meanArrivalsPerQuantum = 1.0;
+    /** Arrival-queue capacity; beyond it submissions are dropped
+     *  (and counted by the controller). */
+    std::size_t maxPendingJobs = 64;
+};
+
+/** The seeded churn event source. */
+class JobChurnEngine
+{
+  public:
+    /**
+     * @param pool profiles arrivals are drawn from (typically the
+     *             held-out test split)
+     * @param seed churn stream seed (independent of node seeds)
+     */
+    JobChurnEngine(std::vector<AppProfile> pool, std::uint64_t seed,
+                   ChurnOptions opts = {});
+
+    const ChurnOptions &options() const { return opts_; }
+
+    /** One departure trial for one occupied slot. */
+    bool drawDeparture() { return rng_.bernoulli(departureP_); }
+
+    /** Number of cluster-wide arrivals this quantum. */
+    std::size_t drawArrivals();
+
+    /**
+     * The next arriving job: a pool profile with a fresh residual
+     * seed (monotone arrival counter folded into the hash seed).
+     */
+    AppProfile drawJob();
+
+    /** Jobs drawn so far (the arrival counter). */
+    std::uint64_t jobsDrawn() const { return jobCounter_; }
+
+  private:
+    std::vector<AppProfile> pool_;
+    Rng rng_;
+    ChurnOptions opts_;
+    double departureP_;
+    std::size_t wholeArrivals_;
+    double fracArrivals_;
+    std::uint64_t jobCounter_ = 0;
+};
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_CHURN_HH

@@ -1,0 +1,363 @@
+#include "cluster/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/mix.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+FleetController::FleetController(const SystemParams &params,
+                                 const TrainingTables &tables,
+                                 const AppProfile &lc_service,
+                                 const std::vector<AppProfile> &batch_pool,
+                                 double node_max_power_w,
+                                 PlacementPolicy &placement,
+                                 FleetOptions opts)
+    : opts_(std::move(opts)), placement_(placement),
+      // The churn stream gets its own seed domain so reconfiguring
+      // the fleet (node count, scenario) never perturbs it, and vice
+      // versa.
+      churn_(batch_pool, opts_.seed ^ 0x94d049bb133111ebULL,
+             opts_.churn),
+      power_(opts_.powerPolicy,
+             PowerManagerOptions{
+                 .rackBudgetW = opts_.rackBudgetFrac *
+                     static_cast<double>(opts_.numNodes) *
+                     node_max_power_w,
+                 .nodeFloorW = opts_.nodeFloorFrac * node_max_power_w,
+                 .nodeCapW = node_max_power_w,
+                 .qosBoostW = opts_.qosBoostW}),
+      nodeMaxPowerW_(node_max_power_w)
+{
+    CS_ASSERT(opts_.numNodes > 0, "fleet needs at least one node");
+    CS_ASSERT(opts_.batchSlotsPerNode > 0, "nodes need batch slots");
+    CS_ASSERT(lc_service.maxQps > 0.0,
+              "LC service must be calibrated (run calibrateMaxQps)");
+    CS_ASSERT(opts_.loadScaleMin > 0.0 &&
+                  opts_.loadScaleMax >= opts_.loadScaleMin,
+              "bad load-scale spread");
+
+    const std::size_t n = opts_.numNodes;
+    numQuanta_ = opts_.scenario.quanta(params.timesliceSec);
+
+    // One master stream hands every node its mix seed and sim seed,
+    // so the whole fleet is a pure function of opts.seed.
+    Rng master(opts_.seed);
+
+    nodeSinks_.reserve(n);
+    nodes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t mixSeed = master();
+        const std::uint64_t simSeed = master();
+
+        WorkloadMix mix;
+        mix.lc = lc_service;
+        mix.batch =
+            makeBatchMix(batch_pool, opts_.batchSlotsPerNode, mixSeed);
+
+        // Replicas of one service behind a load balancer: same day,
+        // staggered phase, heterogeneous popularity. Node 0 carries
+        // the largest amplitude so index-blind first-fit placement
+        // piles work exactly where load is highest.
+        const double phase = opts_.staggerPhases
+            ? opts_.scenario.daySeconds * static_cast<double>(i) /
+                static_cast<double>(n)
+            : 0.0;
+        const double scale = n > 1
+            ? opts_.loadScaleMax -
+                (opts_.loadScaleMax - opts_.loadScaleMin) *
+                    static_cast<double>(i) /
+                    static_cast<double>(n - 1)
+            : opts_.loadScaleMax;
+
+        DriverOptions driver;
+        driver.durationSec = opts_.scenario.daySeconds;
+        driver.loadPattern = opts_.scenario.loadPattern(phase, scale);
+        driver.powerPattern = opts_.scenario.powerPattern();
+        driver.maxPowerW = node_max_power_w;
+        driver.validateDecisions = opts_.validateDecisions;
+        driver.keepSliceRecords = opts_.keepSliceRecords;
+        if (opts_.sink) {
+            nodeSinks_.push_back(
+                std::make_unique<telemetry::MemorySink>());
+            driver.traceSink = nodeSinks_.back().get();
+        } else {
+            nodeSinks_.push_back(nullptr);
+        }
+
+        nodes_.push_back(std::make_unique<ClusterNode>(
+            params, tables, std::move(mix), simSeed,
+            std::move(driver), i, opts_.scheduler));
+    }
+
+    drained_.assign(n, 0);
+    nodeBudgetSum_.assign(n, 0.0);
+    nodePowerSum_.assign(n, 0.0);
+    nodeJobGmeanSum_.assign(n, 0.0);
+    nodeJobGmeanCount_.assign(n, 0);
+    views_.resize(n);
+    budgets_.reserve(n);
+    loadExtra_.assign(n, 0.0);
+}
+
+FleetController::~FleetController() = default;
+
+void
+FleetController::applyChurn()
+{
+    // Departures first, node-major then slot-major, so the churn
+    // RNG's draw order is a fixed function of the occupancy state.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        ClusterNode &node = *nodes_[i];
+        for (std::size_t s = 0; s < node.numBatchSlots(); ++s) {
+            if (!node.slotPlannedOccupied(s))
+                continue;
+            if (!churn_.drawDeparture())
+                continue;
+            JobEvent event;
+            event.slot = s;
+            event.departure = true;
+            node.queueJobEvent(event);
+            ++departures_;
+        }
+    }
+
+    const std::size_t k = churn_.drawArrivals();
+    for (std::size_t a = 0; a < k; ++a) {
+        if (pendingJobs() >= opts_.churn.maxPendingJobs) {
+            ++droppedArrivals_;
+            continue;
+        }
+        PendingJob job;
+        job.profile = churn_.drawJob();
+        job.submitSlice = quantum_;
+        pending_.push_back(std::move(job));
+        ++arrivals_;
+    }
+}
+
+void
+FleetController::gatherViews()
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->view(views_[i]);
+}
+
+void
+FleetController::placePending()
+{
+    while (pendingHead_ < pending_.size()) {
+        const PendingJob &job = pending_[pendingHead_];
+        const std::size_t target = placement_.place(job, views_);
+        if (target == PlacementPolicy::kNoNode)
+            break; // FIFO: the head job blocks the queue
+        CS_ASSERT(target < nodes_.size(), "policy chose a bad node");
+        ClusterNode &node = *nodes_[target];
+        const std::size_t slot = node.firstVacantSlot();
+        CS_ASSERT(slot < node.numBatchSlots(),
+                  "policy placed a job on a full node");
+        JobEvent event;
+        event.slot = slot;
+        event.arrival = job.profile;
+        node.queueJobEvent(event);
+        CS_ASSERT(views_[target].freeSlots > 0, "view out of sync");
+        --views_[target].freeSlots;
+        ++views_[target].occupiedSlots;
+        ++placements_;
+        ++pendingHead_;
+    }
+    placementStalls_ += pendingJobs();
+
+    if (pendingHead_ == pending_.size()) {
+        pending_.clear();
+        pendingHead_ = 0;
+    } else if (pendingHead_ >= 32 &&
+               pendingHead_ * 2 >= pending_.size()) {
+        pending_.erase(pending_.begin(),
+                       pending_.begin() +
+                           static_cast<std::ptrdiff_t>(pendingHead_));
+        pendingHead_ = 0;
+    }
+}
+
+void
+FleetController::splitBudget()
+{
+    power_.split(views_, budgets_);
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->overridePowerBudgetW(budgets_[i]);
+}
+
+void
+FleetController::shiftLoad()
+{
+    if (opts_.qosLoadShiftFrac <= 0.0 || quantum_ == 0)
+        return;
+    // Donors: replicas that violated QoS last quantum. Receiver: the
+    // replica with the lowest upcoming offered load that is itself
+    // healthy. All replicas serve the same LC service (identical
+    // calibrated maxQps), so load fractions transfer one-to-one.
+    std::size_t receiver = PlacementPolicy::kNoNode;
+    double receiverLoad = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (views_[i].qosViolated)
+            continue;
+        const double load = nodes_[i]->nextLoadFraction();
+        if (receiver == PlacementPolicy::kNoNode ||
+            load < receiverLoad) {
+            receiver = i;
+            receiverLoad = load;
+        }
+    }
+    if (receiver == PlacementPolicy::kNoNode)
+        return; // every replica is violating; nowhere to shed to
+
+    loadExtra_.assign(nodes_.size(), 0.0);
+    bool shifted = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!views_[i].qosViolated || i == receiver)
+            continue;
+        const double load = nodes_[i]->nextLoadFraction();
+        const double moved = load * opts_.qosLoadShiftFrac;
+        if (moved <= 0.0)
+            continue;
+        nodes_[i]->overrideLoadFraction(load - moved);
+        loadExtra_[receiver] += moved;
+        ++loadShifts_;
+        shifted = true;
+    }
+    if (shifted) {
+        nodes_[receiver]->overrideLoadFraction(
+            nodes_[receiver]->nextLoadFraction() +
+            loadExtra_[receiver]);
+    }
+}
+
+void
+FleetController::gatherQuantum()
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        ColocationRun &run = nodes_[i]->run();
+        const double budget = run.lastPowerBudgetW();
+        const double power = run.lastMeasurement().totalPower;
+        clusterBudgetSum_ += budget;
+        clusterPowerSum_ += power;
+        nodeBudgetSum_[i] += budget;
+        nodePowerSum_[i] += power;
+        const double jobGmean = nodes_[i]->lastJobGmeanBips();
+        if (jobGmean > 0.0) {
+            nodeJobGmeanSum_[i] += jobGmean;
+            ++nodeJobGmeanCount_[i];
+        }
+
+        if (nodeSinks_[i] && opts_.sink) {
+            const std::vector<telemetry::QuantumRecord> &recs =
+                nodeSinks_[i]->records();
+            for (std::size_t r = drained_[i]; r < recs.size(); ++r)
+                opts_.sink->record(recs[r]);
+            drained_[i] = recs.size();
+        }
+    }
+}
+
+void
+FleetController::stepQuantum()
+{
+    CS_ASSERT(!done(), "stepQuantum() past the configured day");
+    applyChurn();
+    gatherViews();
+    placePending();
+    splitBudget();
+    shiftLoad();
+
+    // The parallel region: nodes are fully independent (each owns its
+    // sim, scheduler, and stepper), so any pool width produces the
+    // same per-node state; the pool's nested-region support lets each
+    // node's own SGD/DDS parallelism run inside this loop.
+    std::vector<std::unique_ptr<ClusterNode>> &nodes = nodes_;
+    ThreadPool::global().parallelFor(
+        nodes.size(),
+        [&nodes](std::size_t i) { nodes[i]->step(); });
+
+    gatherQuantum();
+    ++quantum_;
+}
+
+FleetSummary
+FleetController::run()
+{
+    while (!done())
+        stepQuantum();
+    return summary();
+}
+
+FleetSummary
+FleetController::summary()
+{
+    const std::size_t n = nodes_.size();
+    const double q =
+        static_cast<double>(std::max<std::size_t>(quantum_, 1));
+
+    FleetSummary s;
+    s.numNodes = n;
+    s.quanta = quantum_;
+    s.rackBudgetW = power_.options().rackBudgetW;
+    s.placementPolicy = placement_.name();
+    s.powerPolicy = powerPolicyName(power_.policy());
+    s.arrivals = arrivals_;
+    s.droppedArrivals = droppedArrivals_;
+    s.departures = departures_;
+    s.placements = placements_;
+    s.placementStalls = placementStalls_;
+    s.loadShifts = loadShifts_;
+    s.meanClusterPowerW = clusterPowerSum_ / q;
+    s.meanHeadroomW = (clusterBudgetSum_ - clusterPowerSum_) / q;
+
+    std::size_t totalViolations = 0;
+    double logGmeanSum = 0.0;
+    double logJobGmeanSum = 0.0;
+    s.nodes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunResult &r = nodes_[i]->result();
+        NodeSummary ns;
+        ns.node = i;
+        ns.quanta = quantum_;
+        ns.qosViolations = r.qosViolations;
+        ns.qosPct = 100.0 *
+            (1.0 - static_cast<double>(r.qosViolations) / q);
+        ns.meanGmeanBips = r.meanGmeanBips;
+        ns.meanJobGmeanBips = nodeJobGmeanCount_[i] > 0
+            ? nodeJobGmeanSum_[i] /
+                static_cast<double>(nodeJobGmeanCount_[i])
+            : 0.0;
+        ns.meanPowerW = r.meanPowerW;
+        ns.meanBudgetW = nodeBudgetSum_[i] / q;
+        ns.meanHeadroomW =
+            (nodeBudgetSum_[i] - nodePowerSum_[i]) / q;
+        ns.totalBatchInstructions = r.totalBatchInstructions;
+        ns.arrivals = r.jobArrivals;
+        ns.departures = r.jobDepartures;
+        ns.invariantViolations = r.invariantViolations;
+        s.nodes.push_back(ns);
+
+        totalViolations += r.qosViolations;
+        logGmeanSum += std::log(std::max(r.meanGmeanBips, 1e-3));
+        logJobGmeanSum +=
+            std::log(std::max(ns.meanJobGmeanBips, 1e-3));
+        s.totalBatchInstructions += r.totalBatchInstructions;
+    }
+    s.clusterQosPct = 100.0 *
+        (1.0 - static_cast<double>(totalViolations) /
+             (q * static_cast<double>(n)));
+    s.gmeanBatchBips = std::exp(logGmeanSum / static_cast<double>(n));
+    s.jobGmeanBips =
+        std::exp(logJobGmeanSum / static_cast<double>(n));
+    return s;
+}
+
+} // namespace cluster
+} // namespace cuttlesys

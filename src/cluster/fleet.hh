@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The fleet controller: N CuttleSys nodes under one cluster brain.
+ *
+ * Each node is a complete single-server stack (MulticoreSim +
+ * CuttleSysScheduler + ColocationRun) running the shared
+ * compressed-day scenario with a per-node phase shift and amplitude
+ * — replicas of one service behind a load balancer, peaking at
+ * different times. Per cluster quantum the controller, in order:
+ *
+ *  1. churn  — drains the JobChurnEngine: per-slot departures and
+ *     cluster-wide arrivals into the FIFO pending queue;
+ *  2. place  — asks the PlacementPolicy for a node per pending job
+ *     and queues the arrival events (jobs it can't place wait);
+ *  3. budget — asks the ClusterPowerManager to split the rack budget
+ *     and overrides every node's next-quantum power budget;
+ *  4. shift  — optionally moves a slice of LC load off replicas that
+ *     violated QoS onto the least-loaded replica;
+ *  5. step   — steps all nodes concurrently on the global thread
+ *     pool. Nodes share no mutable state, and each node's own
+ *     pipeline is bitwise deterministic at any pool width, so the
+ *     cluster trace is too;
+ *  6. gather — aggregates telemetry in node-index order: per-node
+ *     trace records are drained into the fleet-wide sink (stamped
+ *     with their node index) and the cluster counters accumulate.
+ *
+ * Steps 1-4 and 6 are single-threaded, which is what keeps the churn
+ * RNG stream, placement decisions, and the emitted record order
+ * independent of CS_POOL_THREADS.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_FLEET_HH
+#define CUTTLESYS_CLUSTER_FLEET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/churn.hh"
+#include "cluster/node.hh"
+#include "cluster/placement.hh"
+#include "cluster/power_manager.hh"
+#include "lcsim/scenarios.hh"
+#include "telemetry/trace_sink.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+/** Fleet-wide configuration. */
+struct FleetOptions
+{
+    std::size_t numNodes = 8;
+    std::size_t batchSlotsPerNode = 16;
+    std::uint64_t seed = 2026;
+
+    /** The shared day every node rides (phase-staggered per node). */
+    CompressedDayScenario scenario;
+    /** Stagger each node's diurnal phase across the day (replicas in
+     *  different "time zones"); false runs them in lockstep. */
+    bool staggerPhases = true;
+    /** Per-node load-amplitude spread: node i's diurnal wave is
+     *  scaled into [loadScaleMin, loadScaleMax] (heterogeneous
+     *  replica popularity). Equal values disable the spread. */
+    double loadScaleMin = 0.70;
+    double loadScaleMax = 1.00;
+
+    /** Rack budget as a fraction of numNodes * nodeMaxPowerW. */
+    double rackBudgetFrac = 0.70;
+    /** Per-node floor as a fraction of nodeMaxPowerW. */
+    double nodeFloorFrac = 0.30;
+    PowerPolicy powerPolicy = PowerPolicy::HeadroomRebalance;
+    /** HeadroomRebalance QoS boost, W (see PowerManagerOptions). */
+    double qosBoostW = 10.0;
+
+    ChurnOptions churn;
+
+    /** LC load-shift between replicas: when a replica violated QoS
+     *  last quantum, this fraction of its offered load moves to the
+     *  least-loaded replica for the next quantum. 0 disables. */
+    double qosLoadShiftFrac = 0.15;
+
+    /** Fleet-wide trace sink; per-node records are drained into it in
+     *  node-index order, each stamped with its node. Null = untraced
+     *  (and the steady-state cluster quantum stays heap-free). */
+    telemetry::TraceSink *sink = nullptr;
+
+    bool validateDecisions = true;
+    bool keepSliceRecords = false;
+
+    /** Runtime tuning shared by every node's scheduler. */
+    CuttleSysOptions scheduler;
+};
+
+/** Per-node slice of the fleet outcome. */
+struct NodeSummary
+{
+    std::size_t node = 0;
+    std::size_t quanta = 0;
+    std::size_t qosViolations = 0;
+    double qosPct = 0.0;        //!< % quanta meeting QoS
+    double meanGmeanBips = 0.0; //!< all-slots gmean (vacant floored)
+    /** Mean over quanta of the occupied-slots-only gmean — per-job
+     *  throughput, the metric placement actually moves. */
+    double meanJobGmeanBips = 0.0;
+    double meanPowerW = 0.0;
+    double meanBudgetW = 0.0;
+    double meanHeadroomW = 0.0;
+    double totalBatchInstructions = 0.0;
+    std::size_t arrivals = 0;
+    std::size_t departures = 0;
+    std::size_t invariantViolations = 0;
+};
+
+/** Cluster-wide outcome of one fleet run. */
+struct FleetSummary
+{
+    std::vector<NodeSummary> nodes;
+    std::size_t numNodes = 0;
+    std::size_t quanta = 0;          //!< per node
+    double clusterQosPct = 0.0;      //!< % node-quanta meeting QoS
+    double gmeanBatchBips = 0.0;     //!< gmean over nodes' means
+    /** Gmean over nodes of meanJobGmeanBips (occupied slots only). */
+    double jobGmeanBips = 0.0;
+    double meanClusterPowerW = 0.0;  //!< sum over nodes, mean over time
+    double rackBudgetW = 0.0;
+    double meanHeadroomW = 0.0;      //!< rack budget minus draw
+    double totalBatchInstructions = 0.0;
+    std::size_t arrivals = 0;        //!< submissions accepted
+    std::size_t droppedArrivals = 0; //!< queue-full rejections
+    std::size_t departures = 0;
+    std::size_t placements = 0;      //!< jobs placed onto a node
+    std::size_t placementStalls = 0; //!< job-quanta spent waiting
+    std::size_t loadShifts = 0;      //!< replica load-shift events
+    std::string placementPolicy;
+    std::string powerPolicy;
+};
+
+/** The cluster controller (see file header for the quantum loop). */
+class FleetController
+{
+  public:
+    /**
+     * @param params machine parameters shared by every node
+     * @param tables offline training tables shared by every node
+     * @param lc_service the calibrated LC service each replica runs
+     * @param batch_pool profiles for initial mixes and churn arrivals
+     * @param node_max_power_w one node's reference max power
+     *        (power::systemMaxPower of the pool)
+     * @param placement the placement policy (borrowed)
+     * @param opts fleet configuration
+     */
+    FleetController(const SystemParams &params,
+                    const TrainingTables &tables,
+                    const AppProfile &lc_service,
+                    const std::vector<AppProfile> &batch_pool,
+                    double node_max_power_w,
+                    PlacementPolicy &placement, FleetOptions opts = {});
+    ~FleetController();
+
+    FleetController(const FleetController &) = delete;
+    FleetController &operator=(const FleetController &) = delete;
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    ClusterNode &node(std::size_t i) { return *nodes_[i]; }
+
+    /** Quanta per node in the configured day. */
+    std::size_t numQuanta() const { return numQuanta_; }
+    std::size_t nextQuantum() const { return quantum_; }
+    bool done() const { return quantum_ >= numQuanta_; }
+
+    /** Run one cluster quantum (churn, place, budget, step, gather). */
+    void stepQuantum();
+
+    /** Drive the whole day, then summarize. */
+    FleetSummary run();
+
+    /** Aggregate the quanta run so far into a FleetSummary. */
+    FleetSummary summary();
+
+    /** Jobs currently waiting in the arrival queue. */
+    std::size_t pendingJobs() const
+    {
+        return pending_.size() - pendingHead_;
+    }
+
+  private:
+    void applyChurn();
+    void gatherViews();
+    void placePending();
+    void splitBudget();
+    void shiftLoad();
+    void gatherQuantum();
+
+    FleetOptions opts_;
+    PlacementPolicy &placement_;
+    JobChurnEngine churn_;
+    ClusterPowerManager power_;
+    double nodeMaxPowerW_;
+
+    std::vector<std::unique_ptr<telemetry::MemorySink>> nodeSinks_;
+    std::vector<std::unique_ptr<ClusterNode>> nodes_;
+    std::vector<std::size_t> drained_; //!< records already forwarded
+
+    std::size_t numQuanta_ = 0;
+    std::size_t quantum_ = 0;
+
+    // Persistent per-quantum scratch (heap-free steady state).
+    std::vector<NodeView> views_;
+    std::vector<double> budgets_;
+    std::vector<double> loadExtra_; //!< load-shift receive buffer
+    std::vector<PendingJob> pending_;
+    std::size_t pendingHead_ = 0;
+
+    // Cluster counters.
+    std::size_t arrivals_ = 0;
+    std::size_t droppedArrivals_ = 0;
+    std::size_t departures_ = 0;
+    std::size_t placements_ = 0;
+    std::size_t placementStalls_ = 0;
+    std::size_t loadShifts_ = 0;
+    double clusterPowerSum_ = 0.0;   //!< sum over node-quanta
+    double clusterBudgetSum_ = 0.0;
+    std::vector<double> nodeBudgetSum_;
+    std::vector<double> nodePowerSum_;
+    std::vector<double> nodeJobGmeanSum_;   //!< occupied-only gmeans
+    std::vector<std::size_t> nodeJobGmeanCount_;
+};
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_FLEET_HH

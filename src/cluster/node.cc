@@ -1,0 +1,102 @@
+#include "cluster/node.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+ClusterNode::ClusterNode(const SystemParams &params,
+                         const TrainingTables &tables, WorkloadMix mix,
+                         std::uint64_t seed, DriverOptions opts,
+                         std::size_t index, CuttleSysOptions sched_opts)
+    : index_(index), mix_(std::move(mix)), sim_(params, mix_, seed),
+      scheduler_(params, tables, mix_.batch.size(),
+                 mix_.lc.qosSeconds(), sched_opts),
+      opts_(withNode(std::move(opts), index)),
+      run_(sim_, scheduler_, opts_)
+{
+    planned_.resize(sim_.numBatchJobs());
+    for (std::size_t j = 0; j < planned_.size(); ++j)
+        planned_[j] = sim_.batchSlotOccupied(j);
+}
+
+void
+ClusterNode::queueJobEvent(const JobEvent &event)
+{
+    CS_ASSERT(event.slot < planned_.size(),
+              "job event slot out of range");
+    run_.queueJobEvent(event);
+    if (event.arrival)
+        planned_[event.slot] = true;
+    else if (event.departure)
+        planned_[event.slot] = false;
+}
+
+std::size_t
+ClusterNode::freeSlots() const
+{
+    std::size_t n = 0;
+    for (const bool occ : planned_)
+        n += occ ? 0 : 1;
+    return n;
+}
+
+std::size_t
+ClusterNode::firstVacantSlot() const
+{
+    for (std::size_t j = 0; j < planned_.size(); ++j) {
+        if (!planned_[j])
+            return j;
+    }
+    return planned_.size();
+}
+
+double
+ClusterNode::lastJobGmeanBips() const
+{
+    const SliceMeasurement &m = run_.lastMeasurement();
+    double logSum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < m.batchBips.size(); ++j) {
+        if (!sim_.batchSlotOccupied(j))
+            continue;
+        logSum += std::log(std::max(m.batchBips[j], 1e-3));
+        ++count;
+    }
+    return count > 0
+        ? std::exp(logSum / static_cast<double>(count))
+        : 0.0;
+}
+
+void
+ClusterNode::view(NodeView &out) const
+{
+    out.node = index_;
+    out.freeSlots = freeSlots();
+    out.occupiedSlots = planned_.size() - out.freeSlots;
+    const bool stepped = run_.nextSlice() > 0;
+    out.stepped = stepped;
+    if (stepped) {
+        out.loadFraction = run_.lastLoadFraction();
+        out.budgetW = run_.lastPowerBudgetW();
+        out.measuredPowerW = run_.lastMeasurement().totalPower;
+        out.qosViolated = run_.lastQosViolated();
+        out.gmeanBips = run_.lastGmeanBips();
+    } else {
+        // Before the first quantum the policies see the configured
+        // traces' opening values instead of zeros.
+        out.loadFraction = opts_.loadPattern.at(sim_.now());
+        out.budgetW = opts_.powerPattern.at(sim_.now()) *
+            opts_.maxPowerW;
+        out.measuredPowerW = 0.0;
+        out.qosViolated = false;
+        out.gmeanBips = 0.0;
+    }
+    out.headroomW = out.budgetW - out.measuredPowerW;
+}
+
+} // namespace cluster
+} // namespace cuttlesys

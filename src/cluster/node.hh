@@ -1,0 +1,159 @@
+/**
+ * @file
+ * One fleet node: a full single-server CuttleSys stack behind a
+ * stepper interface the cluster controller can drive.
+ *
+ * A ClusterNode owns its MulticoreSim, its CuttleSysScheduler and the
+ * ColocationRun stepper that connects them, so stepping one node
+ * touches no state shared with any other node — which is what lets
+ * FleetController step all nodes concurrently on the global thread
+ * pool while keeping the cluster trace bitwise deterministic at any
+ * pool width. The node also keeps a *planned* batch-slot occupancy
+ * map that reflects churn events already queued but not yet applied,
+ * so the placement policy never double-books a slot within a quantum.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_NODE_HH
+#define CUTTLESYS_CLUSTER_NODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cuttlesys.hh"
+#include "sim/driver.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+/**
+ * What the controller-side policies (placement, power split, load
+ * rebalancing) see of one node each quantum. Gathered single-threaded
+ * from the node's last executed quantum, so it works untraced.
+ */
+struct NodeView
+{
+    std::size_t node = 0;
+    std::size_t freeSlots = 0;     //!< vacant batch slots (planned)
+    std::size_t occupiedSlots = 0; //!< occupied batch slots (planned)
+    double loadFraction = 0.0;     //!< offered LC load this quantum
+    double budgetW = 0.0;          //!< last quantum's power budget
+    double measuredPowerW = 0.0;   //!< last quantum's chip power
+    double headroomW = 0.0;        //!< budgetW - measuredPowerW
+    bool qosViolated = false;      //!< last quantum violated QoS
+    double gmeanBips = 0.0;        //!< last quantum's batch gmean
+    bool stepped = false;          //!< at least one quantum has run
+};
+
+/** One node of the fleet: sim + scheduler + stepper, self-contained. */
+class ClusterNode
+{
+  public:
+    /**
+     * @param params machine parameters (shared by all nodes)
+     * @param tables offline training tables (shared, read-only)
+     * @param mix this node's colocation (LC service + batch mix)
+     * @param seed this node's simulator seed
+     * @param opts fully configured driver options (load pattern,
+     *             budget pattern, tracing sink, ...); nodeIndex is
+     *             stamped with @p index here
+     * @param index this node's fleet index
+     * @param sched_opts runtime tuning for this node's scheduler
+     */
+    ClusterNode(const SystemParams &params, const TrainingTables &tables,
+                WorkloadMix mix, std::uint64_t seed, DriverOptions opts,
+                std::size_t index, CuttleSysOptions sched_opts = {});
+
+    ClusterNode(const ClusterNode &) = delete;
+    ClusterNode &operator=(const ClusterNode &) = delete;
+
+    std::size_t index() const { return index_; }
+
+    std::size_t numSlices() const { return run_.numSlices(); }
+    std::size_t nextSlice() const { return run_.nextSlice(); }
+    bool done() const { return run_.done(); }
+
+    /** Run one decision quantum. @pre !done() */
+    void step() { run_.step(); }
+
+    /**
+     * Queue a churn event for the head of the next step() and update
+     * the planned occupancy the placement policy consults.
+     */
+    void queueJobEvent(const JobEvent &event);
+
+    /** Next-quantum overrides (see ColocationRun). */
+    void overrideLoadFraction(double fraction)
+    {
+        run_.overrideLoadFraction(fraction);
+    }
+    void overridePowerBudgetW(double watts)
+    {
+        run_.overridePowerBudgetW(watts);
+    }
+
+    std::size_t numBatchSlots() const { return planned_.size(); }
+
+    /** Occupancy including queued-but-unapplied churn events. */
+    bool slotPlannedOccupied(std::size_t slot) const
+    {
+        return planned_[slot];
+    }
+
+    /** Planned-vacant slots (what placement may still fill). */
+    std::size_t freeSlots() const;
+
+    /** Lowest planned-vacant slot; numBatchSlots() when full. */
+    std::size_t firstVacantSlot() const;
+
+    /** Fill @p out from the last executed quantum (heap-free). */
+    void view(NodeView &out) const;
+
+    /**
+     * The load fraction the node's own pattern would offer next
+     * quantum (before any controller override) — what the fleet's
+     * replica load-shifter redistributes.
+     */
+    double nextLoadFraction() const
+    {
+        return opts_.loadPattern.at(sim_.now());
+    }
+
+    /**
+     * Last quantum's geometric-mean BIPS over *occupied* batch slots
+     * only (gated jobs still floor in; vacant slots don't count).
+     * This is the per-job throughput a placement policy controls —
+     * the all-slots gmean of gmeanBatchBips() mostly measures how
+     * full the node is. 0 when no slot is occupied. @pre one step().
+     */
+    double lastJobGmeanBips() const;
+
+    MulticoreSim &sim() { return sim_; }
+    const MulticoreSim &sim() const { return sim_; }
+    CuttleSysScheduler &scheduler() { return scheduler_; }
+    ColocationRun &run() { return run_; }
+
+    /** Aggregates over the quanta run so far. */
+    const RunResult &result() { return run_.result(); }
+    RunResult takeResult() { return run_.takeResult(); }
+
+  private:
+    static DriverOptions withNode(DriverOptions opts, std::size_t index)
+    {
+        opts.nodeIndex = index;
+        return opts;
+    }
+
+    std::size_t index_;
+    WorkloadMix mix_;
+    MulticoreSim sim_;
+    CuttleSysScheduler scheduler_;
+    DriverOptions opts_;
+    ColocationRun run_;
+    std::vector<bool> planned_; //!< occupancy incl. queued events
+};
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_NODE_HH

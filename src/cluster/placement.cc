@@ -1,0 +1,44 @@
+#include "cluster/placement.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+std::size_t
+FifoFirstFit::place(const PendingJob &job,
+                    const std::vector<NodeView> &nodes)
+{
+    (void)job;
+    for (const NodeView &node : nodes) {
+        if (node.freeSlots > 0)
+            return node.node;
+    }
+    return kNoNode;
+}
+
+std::size_t
+BackfillBinPack::place(const PendingJob &job,
+                       const std::vector<NodeView> &nodes)
+{
+    (void)job;
+    std::size_t best = kNoNode;
+    double bestScore = 0.0;
+    for (const NodeView &node : nodes) {
+        if (node.freeSlots == 0)
+            continue;
+        // Until a node has run a quantum there is no headroom
+        // measurement; load and free capacity are the only signals.
+        double score = node.stepped ? node.headroomW : 0.0;
+        if (node.qosViolated)
+            score -= qosPenaltyW_;
+        score -= loadPenaltyW_ * node.loadFraction;
+        score += spreadBonusW_ * static_cast<double>(node.freeSlots);
+        if (best == kNoNode || score > bestScore) {
+            best = node.node;
+            bestScore = score;
+        }
+    }
+    return best;
+}
+
+} // namespace cluster
+} // namespace cuttlesys

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cluster placement policies: which node an arriving batch job lands
+ * on.
+ *
+ * The controller keeps arriving jobs in a FIFO queue and asks the
+ * policy for a node once per job per quantum; a job the policy cannot
+ * place waits in the queue (counted as a placement stall) and is
+ * retried next quantum. Two policies ship:
+ *
+ *  - FifoFirstFit: the classic Slurm sched/builtin behavior — walk
+ *    the nodes in index order and take the first one with a vacant
+ *    batch slot. Ignores node state entirely, so under heterogeneous
+ *    per-node load it piles arrivals onto the lowest-indexed nodes.
+ *  - BackfillBinPack: Slurm-backfill-inspired scoring — among nodes
+ *    with vacant slots, pick the one with the most predicted power
+ *    headroom (budget minus last measured draw), penalizing nodes
+ *    whose last quantum violated QoS, steering away from replicas
+ *    near their diurnal load peak (batch colocated with a peaking LC
+ *    replica both hurts that replica's QoS and runs gated), and
+ *    lightly preferring emptier nodes. With phase-staggered replicas
+ *    this lets the cluster "surf" the day: arrivals land on whichever
+ *    replicas are currently in their trough — a signal an index-blind
+ *    first fit cannot use.
+ *
+ * Policies are deterministic: ties break toward the lowest node
+ * index, and no RNG is involved.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_PLACEMENT_HH
+#define CUTTLESYS_CLUSTER_PLACEMENT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "cluster/node.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+/** One batch job waiting in the cluster arrival queue. */
+struct PendingJob
+{
+    AppProfile profile;
+    std::size_t submitSlice = 0; //!< quantum the job arrived in
+};
+
+/** Strategy interface: pick a node for one pending job. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** Sentinel for "no node can take the job this quantum". */
+    static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Choose a node for @p job given the per-node views (freeSlots
+     * already reflects placements made earlier this quantum), or
+     * kNoNode to leave it queued.
+     */
+    virtual std::size_t place(const PendingJob &job,
+                              const std::vector<NodeView> &nodes) = 0;
+};
+
+/** First node (by index) with a vacant slot. */
+class FifoFirstFit final : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "fifo-first-fit"; }
+
+    std::size_t place(const PendingJob &job,
+                      const std::vector<NodeView> &nodes) override;
+};
+
+/** Headroom-scored backfill (see file header). */
+class BackfillBinPack final : public PlacementPolicy
+{
+  public:
+    /**
+     * @param qos_penalty_w score penalty (in watts of headroom) for a
+     *        node whose last quantum violated QoS
+     * @param load_penalty_w score penalty per unit of offered LC load
+     *        fraction, steering arrivals toward replicas in their
+     *        diurnal trough
+     * @param spread_bonus_w score bonus per vacant slot, nudging the
+     *        pack toward emptier nodes when headrooms tie
+     */
+    explicit BackfillBinPack(double qos_penalty_w = 15.0,
+                             double load_penalty_w = 80.0,
+                             double spread_bonus_w = 0.5)
+        : qosPenaltyW_(qos_penalty_w), loadPenaltyW_(load_penalty_w),
+          spreadBonusW_(spread_bonus_w)
+    {
+    }
+
+    const char *name() const override { return "backfill-binpack"; }
+
+    std::size_t place(const PendingJob &job,
+                      const std::vector<NodeView> &nodes) override;
+
+  private:
+    double qosPenaltyW_;
+    double loadPenaltyW_;
+    double spreadBonusW_;
+};
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_PLACEMENT_HH

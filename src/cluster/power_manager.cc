@@ -1,0 +1,111 @@
+#include "cluster/power_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+const char *
+powerPolicyName(PowerPolicy policy)
+{
+    switch (policy) {
+      case PowerPolicy::Static: return "static";
+      case PowerPolicy::ProportionalToLoad: return "proportional";
+      case PowerPolicy::HeadroomRebalance: return "headroom";
+    }
+    return "?";
+}
+
+ClusterPowerManager::ClusterPowerManager(PowerPolicy policy,
+                                         PowerManagerOptions opts)
+    : policy_(policy), opts_(opts)
+{
+    CS_ASSERT(opts_.rackBudgetW > 0.0, "rack budget must be positive");
+    CS_ASSERT(opts_.nodeFloorW >= 0.0, "negative node floor");
+    CS_ASSERT(opts_.nodeCapW == 0.0 ||
+                  opts_.nodeCapW >= opts_.nodeFloorW,
+              "node cap below node floor");
+}
+
+void
+ClusterPowerManager::split(const std::vector<NodeView> &nodes,
+                           std::vector<double> &out)
+{
+    const std::size_t n = nodes.size();
+    CS_ASSERT(n > 0, "splitting across zero nodes");
+    CS_ASSERT(opts_.rackBudgetW >=
+                  opts_.nodeFloorW * static_cast<double>(n),
+              "rack budget below the sum of node floors");
+
+    weights_.assign(n, 1.0);
+    switch (policy_) {
+      case PowerPolicy::Static:
+        break;
+      case PowerPolicy::ProportionalToLoad:
+        // A small base keeps a zero-load replica from being pinned to
+        // the bare floor — it still runs batch work.
+        for (std::size_t i = 0; i < n; ++i)
+            weights_[i] = 0.1 + std::max(nodes[i].loadFraction, 0.0);
+        break;
+      case PowerPolicy::HeadroomRebalance:
+        for (std::size_t i = 0; i < n; ++i) {
+            // Demand = what the node actually drew last quantum, with
+            // a boost when it violated QoS (it needs room to escalate
+            // the LC configuration). Before the first quantum every
+            // node demands equally.
+            double demand = nodes[i].stepped
+                ? std::max(nodes[i].measuredPowerW, opts_.nodeFloorW)
+                : 1.0;
+            if (nodes[i].qosViolated)
+                demand += opts_.qosBoostW;
+            weights_[i] = demand;
+        }
+        break;
+    }
+
+    double weightSum = 0.0;
+    for (const double w : weights_)
+        weightSum += w;
+
+    const double distributable = opts_.rackBudgetW -
+        opts_.nodeFloorW * static_cast<double>(n);
+    out.assign(n, opts_.nodeFloorW);
+    if (weightSum > 0.0) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] += distributable * weights_[i] / weightSum;
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] += distributable / static_cast<double>(n);
+    }
+
+    if (opts_.nodeCapW > 0.0) {
+        // One redistribution pass: clip capped nodes and share the
+        // clipped-off watts equally among the still-uncapped ones.
+        // A second overflow is left as rack slack (conservative).
+        double excess = 0.0;
+        std::size_t uncapped = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (out[i] > opts_.nodeCapW) {
+                excess += out[i] - opts_.nodeCapW;
+                out[i] = opts_.nodeCapW;
+            } else {
+                ++uncapped;
+            }
+        }
+        if (excess > 0.0 && uncapped > 0) {
+            const double share =
+                excess / static_cast<double>(uncapped);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (out[i] < opts_.nodeCapW) {
+                    out[i] = std::min(out[i] + share,
+                                      opts_.nodeCapW);
+                }
+            }
+        }
+    }
+}
+
+} // namespace cluster
+} // namespace cuttlesys

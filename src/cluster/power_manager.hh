@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cluster-wide power budgeting: split one rack budget across nodes.
+ *
+ * The paper frames CuttleSys as the per-server layer under a
+ * datacenter-level power manager that "determines the per-server
+ * power budgets" (Section I); this is that layer for the fleet
+ * simulator. Once per quantum the manager divides the rack budget
+ * into per-node budgets, which the controller feeds to each node via
+ * ColocationRun::overridePowerBudgetW. Three policies:
+ *
+ *  - Static: equal shares, the oblivious baseline.
+ *  - ProportionalToLoad: shares follow each replica's offered LC
+ *    load, so nodes riding their diurnal peak get more headroom than
+ *    nodes in their trough.
+ *  - HeadroomRebalance: shares follow last quantum's *measured* draw
+ *    (plus a boost for QoS-violating nodes), so budget parked at
+ *    idle nodes flows to the nodes actually consuming it.
+ *
+ * All policies are budget-conserving — the shares sum to the rack
+ * budget (less any slack created by per-node caps) — and respect a
+ * per-node floor so no node is starved below the power its LC
+ * service needs to stay alive.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_POWER_MANAGER_HH
+#define CUTTLESYS_CLUSTER_POWER_MANAGER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/node.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+/** How the rack budget is divided across nodes each quantum. */
+enum class PowerPolicy
+{
+    Static,             //!< equal shares
+    ProportionalToLoad, //!< shares follow offered LC load
+    HeadroomRebalance,  //!< shares follow measured draw + QoS need
+};
+
+/** Printable policy name ("static", "proportional", "headroom"). */
+const char *powerPolicyName(PowerPolicy policy);
+
+/** Tuning for ClusterPowerManager. */
+struct PowerManagerOptions
+{
+    double rackBudgetW = 0.0;  //!< total budget split each quantum
+    double nodeFloorW = 0.0;   //!< minimum share per node
+    /** Per-node cap (a node can't use more than its own chip max);
+     *  0 disables capping. Capped-off watts are redistributed once
+     *  to uncapped nodes; any remainder is left as rack slack. */
+    double nodeCapW = 0.0;
+    /** HeadroomRebalance: extra demand weight (W) for a node whose
+     *  last quantum violated QoS. */
+    double qosBoostW = 10.0;
+};
+
+/** Splits the rack budget according to the chosen policy. */
+class ClusterPowerManager
+{
+  public:
+    ClusterPowerManager(PowerPolicy policy, PowerManagerOptions opts);
+
+    PowerPolicy policy() const { return policy_; }
+    const PowerManagerOptions &options() const { return opts_; }
+
+    /**
+     * Compute this quantum's per-node budgets from the node views.
+     * @p out is resized to nodes.size(); capacity is reused across
+     * quanta so the steady-state split is heap-free.
+     */
+    void split(const std::vector<NodeView> &nodes,
+               std::vector<double> &out);
+
+  private:
+    PowerPolicy policy_;
+    PowerManagerOptions opts_;
+    std::vector<double> weights_; //!< per-quantum scratch
+};
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_POWER_MANAGER_HH

@@ -12,7 +12,7 @@ namespace {
 
 /** Percentile of an already-sorted sample. */
 double
-sortedPercentile(const std::vector<double> &sorted, double p)
+sortedPercentile(std::span<const double> sorted, double p)
 {
     CS_ASSERT(!sorted.empty(), "percentile of empty sample");
     CS_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
@@ -44,6 +44,20 @@ percentile(std::span<const double> values, double p)
     std::vector<double> sorted(values.begin(), values.end());
     std::sort(sorted.begin(), sorted.end());
     return sortedPercentile(sorted, p);
+}
+
+double
+percentile(std::span<const double> values, double p,
+           std::vector<double> &scratch)
+{
+    // Amortized-headroom growth: a new sample-count high-water must
+    // not realloc exact-fit every time it inches up, or a zero-alloc
+    // steady state never settles under noisy sample counts.
+    if (scratch.capacity() < values.size())
+        scratch.reserve(values.size() + values.size() / 2);
+    scratch.assign(values.begin(), values.end());
+    std::sort(scratch.begin(), scratch.end());
+    return sortedPercentile(scratch, p);
 }
 
 double

@@ -47,6 +47,16 @@ struct BoxPlot
  */
 double percentile(std::span<const double> values, double p);
 
+/**
+ * Same percentile, but sorting into caller-owned @p scratch instead
+ * of a fresh vector — allocation-free once scratch has capacity.
+ * Used by per-quantum paths (tail-latency windows) that must not
+ * touch the heap in steady state. Bitwise identical to the
+ * two-argument overload: same copy, same sort, same interpolation.
+ */
+double percentile(std::span<const double> values, double p,
+                  std::vector<double> &scratch);
+
 /** Arithmetic mean. @pre values is non-empty. */
 double mean(std::span<const double> values);
 

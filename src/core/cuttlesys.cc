@@ -571,4 +571,12 @@ CuttleSysScheduler::decide(const SliceContext &ctx)
     return decision;
 }
 
+void
+CuttleSysScheduler::onJobChurn(std::size_t slot)
+{
+    CS_ASSERT(slot < numBatchJobs_, "churn slot out of range");
+    bipsEngine_.clearJob(1 + slot);
+    powerEngine_.clearJob(1 + slot);
+}
+
 } // namespace cuttlesys

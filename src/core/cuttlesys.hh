@@ -141,8 +141,21 @@ class CuttleSysScheduler : public Scheduler
     void decideInto(const SliceContext &ctx, SliceDecision &out)
         override;
 
+    /**
+     * Drop batch slot @p slot's learned state on churn: its rows in
+     * the BIPS and power rating matrices are cleared through
+     * CfEngine::clearJob, which also invalidates the engines' cached
+     * SGD warm-start factors — the next tenant's profiling samples
+     * start a clean row instead of blending with the departed job's.
+     */
+    void onJobChurn(std::size_t slot) override;
+
     /** The per-quantum bump arena (exposed for allocation audits). */
     const ScratchArena &quantumArena() const { return quantumArena_; }
+
+    /** Reconstruction engines (exposed for churn regression tests). */
+    const CfEngine &bipsEngine() const { return bipsEngine_; }
+    const CfEngine &powerEngine() const { return powerEngine_; }
 
     /** Predictions from the most recent decide(), for accuracy
      *  studies (rows: batch jobs; cols: joint configs). */

@@ -42,8 +42,31 @@ LoadPattern::steps(std::vector<std::pair<double, double>> steps)
     return p;
 }
 
+LoadPattern
+LoadPattern::shifted(double dt) const
+{
+    LoadPattern p = *this;
+    p.timeShift_ += dt;
+    return p;
+}
+
+LoadPattern
+LoadPattern::scaled(double factor) const
+{
+    CS_ASSERT(factor >= 0.0, "negative load scale");
+    LoadPattern p = *this;
+    p.valueScale_ *= factor;
+    return p;
+}
+
 double
 LoadPattern::at(double t) const
+{
+    return valueScale_ * baseAt(t - timeShift_);
+}
+
+double
+LoadPattern::baseAt(double t) const
 {
     switch (kind_) {
       case Kind::Constant:

@@ -38,6 +38,19 @@ class LoadPattern
     static LoadPattern
     steps(std::vector<std::pair<double, double>> steps);
 
+    /**
+     * The same trace delayed by @p dt seconds: the shifted pattern at
+     * time t reads the base pattern at t - dt. Fleet nodes use this
+     * to phase-stagger one shared diurnal shape across replicas.
+     */
+    LoadPattern shifted(double dt) const;
+
+    /**
+     * The same trace with every value multiplied by @p factor
+     * (>= 0). Composes with shifted(); transforms accumulate.
+     */
+    LoadPattern scaled(double factor) const;
+
     /** Fraction at time @p t (seconds). */
     double at(double t) const;
 
@@ -46,10 +59,14 @@ class LoadPattern
 
     LoadPattern(Kind kind) : kind_(kind) {}
 
+    double baseAt(double t) const;
+
     Kind kind_;
     double lo_ = 0.0;
     double hi_ = 0.0;
     double period_ = 1.0;
+    double timeShift_ = 0.0;
+    double valueScale_ = 1.0;
     std::vector<std::pair<double, double>> steps_;
 };
 

@@ -1,6 +1,7 @@
 #include "lcsim/queue_sim.hh"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -54,11 +55,26 @@ LcQueueSim::scheduleNextArrival()
 void
 LcQueueSim::dispatch()
 {
-    while (!pending_.empty() && inService_.size() < numServers_) {
-        const Pending req = pending_.front();
-        pending_.pop_front();
+    while (pendingHead_ < pending_.size() &&
+           inService_.size() < numServers_) {
+        const Pending req = pending_[pendingHead_];
+        ++pendingHead_;
         const double service = req.instructions / ips_;
         inService_.emplace(now_ + service, req.arrival);
+    }
+    if (pendingHead_ == pending_.size()) {
+        // Fully drained: recycle the buffer (capacity is kept).
+        pending_.clear();
+        pendingHead_ = 0;
+    } else if (pendingHead_ >= 64 &&
+               pendingHead_ * 2 >= pending_.size()) {
+        // Mostly-consumed prefix on a queue that never quite drains:
+        // shift the live tail down in place (no allocation) so the
+        // buffer cannot grow without bound.
+        pending_.erase(pending_.begin(),
+                       pending_.begin() +
+                           static_cast<std::ptrdiff_t>(pendingHead_));
+        pendingHead_ = 0;
     }
 }
 
@@ -67,6 +83,21 @@ LcQueueSim::run(double duration)
 {
     CS_ASSERT(duration >= 0.0, "negative run duration");
     const double end = now_ + duration;
+
+    // Amortized-headroom growth for the event buffers: reserve twice
+    // this window's expected arrivals up front. push_back's exact
+    // doubling would still occasionally realloc quanta later when a
+    // noisy window sets a new high-water; with 2x headroom the
+    // buffers settle during warm-up and the steady state stays
+    // heap-free.
+    if (qps_ > 0.0) {
+        const std::size_t want =
+            static_cast<std::size_t>(2.0 * qps_ * duration) + 64;
+        if (pending_.capacity() < want)
+            pending_.reserve(want);
+        if (window_.capacity() < window_.size() + want)
+            window_.reserve(window_.size() + want);
+    }
 
     while (true) {
         // Next event: arrival or earliest completion.
@@ -114,7 +145,7 @@ LcQueueSim::tailLatency(double pct) const
 {
     if (window_.empty())
         return 0.0;
-    return percentile(window_, pct);
+    return percentile(window_, pct, tailScratch_);
 }
 
 double

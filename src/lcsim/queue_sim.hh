@@ -21,7 +21,6 @@
 #define CUTTLESYS_LCSIM_QUEUE_SIM_HH
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <vector>
 
@@ -74,7 +73,10 @@ class LcQueueSim
     double utilization() const;
 
     /** Requests currently queued (excluding those in service). */
-    std::size_t backlog() const { return pending_.size(); }
+    std::size_t backlog() const
+    {
+        return pending_.size() - pendingHead_;
+    }
 
     /** Requests currently in service. */
     std::size_t inService() const { return inService_.size(); }
@@ -112,13 +114,24 @@ class LcQueueSim
     double now_ = 0.0;
     double nextArrival_ = -1.0; //!< < 0 means "no arrival scheduled"
 
-    std::deque<Pending> pending_;
+    /**
+     * FCFS queue as a vector plus a consumed-prefix index. A deque
+     * churns map/node allocations under sustained push/pop; the
+     * vector reaches its high-water capacity once and then the whole
+     * arrival/completion loop is heap-free (the steady-state
+     * zero-alloc gate covers a full fleet node, LC queue included).
+     * Order is preserved exactly, so the event stream — and with it
+     * every decision trace — is bitwise unchanged.
+     */
+    std::vector<Pending> pending_;
+    std::size_t pendingHead_ = 0;
     /** Min-heap of (completion time, arrival time) for busy cores. */
     std::priority_queue<std::pair<double, double>,
                         std::vector<std::pair<double, double>>,
                         std::greater<>> inService_;
 
     std::vector<double> window_;   //!< completed latencies, s
+    mutable std::vector<double> tailScratch_; //!< percentile sort buf
     double windowStart_ = 0.0;
     double busyTime_ = 0.0;        //!< integrated busy core-seconds
     double lastAccounted_ = 0.0;   //!< time up to which busyTime_ counts

@@ -1,0 +1,36 @@
+#include "lcsim/scenarios.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+
+std::size_t
+CompressedDayScenario::quanta(double timesliceSec) const
+{
+    CS_ASSERT(timesliceSec > 0.0, "timeslice must be positive");
+    return static_cast<std::size_t>(
+        std::llround(daySeconds / timesliceSec));
+}
+
+LoadPattern
+CompressedDayScenario::loadPattern(double phaseShiftSec,
+                                   double scale) const
+{
+    return LoadPattern::diurnal(loadTrough, loadPeak, daySeconds)
+        .shifted(phaseShiftSec)
+        .scaled(scale);
+}
+
+LoadPattern
+CompressedDayScenario::powerPattern() const
+{
+    CS_ASSERT(peakWindowStartSec <= peakWindowEndSec,
+              "peak window ends before it starts");
+    return LoadPattern::steps({{0.0, nightBudgetFrac},
+                               {peakWindowStartSec, peakBudgetFrac},
+                               {peakWindowEndSec, nightBudgetFrac}});
+}
+
+} // namespace cuttlesys

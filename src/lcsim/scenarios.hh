@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Named, reusable scenario definitions for the examples and the
+ * fleet simulator.
+ *
+ * The "compressed day" is the repo's canonical dynamic-behavior
+ * trace: one datacenter day squeezed into 4 simulated seconds (40
+ * decision quanta), with a diurnal load wave and a power budget that
+ * dips during the afternoon peak-price window. It was originally
+ * hard-coded in examples/diurnal_datacenter.cpp; extracting it here
+ * lets fleet_sim phase-stagger the identical shape across node
+ * replicas instead of carrying a diverging copy.
+ */
+
+#ifndef CUTTLESYS_LCSIM_SCENARIOS_HH
+#define CUTTLESYS_LCSIM_SCENARIOS_HH
+
+#include <cstddef>
+
+#include "lcsim/load_pattern.hh"
+
+namespace cuttlesys {
+
+/**
+ * One datacenter day compressed to a few simulated seconds.
+ *
+ * Load rides a diurnal sine from @ref loadTrough to @ref loadPeak
+ * over @ref daySeconds; the power budget is @ref nightBudgetFrac of
+ * the system max except during the afternoon peak-price window
+ * [@ref peakWindowStartSec, @ref peakWindowEndSec), where it dips to
+ * @ref peakBudgetFrac.
+ */
+struct CompressedDayScenario
+{
+    double daySeconds = 4.0;
+    double loadTrough = 0.15;
+    double loadPeak = 0.95;
+    double nightBudgetFrac = 0.85;
+    double peakBudgetFrac = 0.60;
+    double peakWindowStartSec = 1.5;
+    double peakWindowEndSec = 3.0;
+
+    /** Decision quanta in one day at the given quantum length. */
+    std::size_t quanta(double timesliceSec) const;
+
+    /**
+     * The diurnal load trace, optionally phase-shifted by
+     * @p phaseShiftSec (fleet replicas stagger their peaks) and
+     * amplitude-scaled by @p scale.
+     */
+    LoadPattern loadPattern(double phaseShiftSec = 0.0,
+                            double scale = 1.0) const;
+
+    /** The night/peak/evening budget steps, as budget fractions. */
+    LoadPattern powerPattern() const;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_LCSIM_SCENARIOS_HH

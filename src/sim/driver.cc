@@ -13,171 +13,256 @@ gmeanBatchBips(const SliceMeasurement &m, double floor_bips)
 {
     if (m.batchBips.empty())
         return 0.0;
-    std::vector<double> floored;
-    floored.reserve(m.batchBips.size());
+    // Inline flooring, replicating geomean()'s exact operation order
+    // (sequential log-sum, then one exp) without the intermediate
+    // vector — this is called once per quantum per node and must not
+    // touch the heap.
+    double logSum = 0.0;
     for (double b : m.batchBips)
-        floored.push_back(std::max(b, floor_bips));
-    return geomean(floored);
+        logSum += std::log(std::max(b, floor_bips));
+    return std::exp(logSum /
+                    static_cast<double>(m.batchBips.size()));
+}
+
+ColocationRun::ColocationRun(MulticoreSim &sim, Scheduler &scheduler,
+                             const DriverOptions &opts)
+    : sim_(sim), scheduler_(scheduler), opts_(opts),
+      trace_(opts.traceSink),
+      ownValidator_(
+          check::ValidatorOptions{.failMode = opts.validatorFailMode})
+{
+    CS_ASSERT(opts_.maxPowerW > 0.0, "maxPowerW must be set");
+    const SystemParams &params = sim_.params();
+    numSlices_ = static_cast<std::size_t>(
+        std::round(opts_.durationSec / params.timesliceSec));
+    CS_ASSERT(numSlices_ > 0, "run shorter than one timeslice");
+
+    if (opts_.keepSliceRecords)
+        result_.slices.reserve(numSlices_);
+
+    // Before the first decision exists, the profiling pass has to
+    // assume some LC core count. Derive it from the machine (half the
+    // cores) unless the caller pinned one explicitly.
+    initialLcCores_ = opts_.initialLcCores > 0
+        ? std::min(opts_.initialLcCores, params.numCores)
+        : std::max<std::size_t>(1, params.numCores / 2);
+
+    // The trace object lives inside this run; schedulers only borrow
+    // a pointer, so the destructor detaches.
+    tracing_ = opts_.traceSink != nullptr;
+    if (tracing_)
+        scheduler_.attachTrace(&trace_);
+
+    // The decision oracle follows the same borrow discipline. An
+    // externally supplied validator wins over the run's own.
+    validator_ = opts_.validator
+        ? opts_.validator
+        : (opts_.validateDecisions ? &ownValidator_ : nullptr);
+    if (validator_) {
+        scheduler_.attachValidator(validator_);
+        violationsBefore_ = validator_->violationCount();
+    }
+}
+
+ColocationRun::~ColocationRun()
+{
+    // A panicking validator (or a throwing scheduler) must not leave
+    // the scheduler holding pointers into this object.
+    scheduler_.attachTrace(nullptr);
+    scheduler_.attachValidator(nullptr);
+}
+
+void
+ColocationRun::overrideLoadFraction(double fraction)
+{
+    CS_ASSERT(fraction >= 0.0, "negative load fraction");
+    loadOverride_ = fraction;
+}
+
+void
+ColocationRun::overridePowerBudgetW(double watts)
+{
+    CS_ASSERT(watts > 0.0, "power budget must be positive");
+    budgetOverride_ = watts;
+}
+
+void
+ColocationRun::queueJobEvent(const JobEvent &event)
+{
+    CS_ASSERT(event.slot < sim_.numBatchJobs(),
+              "job event slot out of range");
+    pendingEvents_.push_back(event);
+}
+
+void
+ColocationRun::applyJobEvents()
+{
+    if (opts_.jobEventHook) {
+        hookEvents_.clear();
+        opts_.jobEventHook(slice_, hookEvents_);
+        for (const JobEvent &e : hookEvents_)
+            pendingEvents_.push_back(e);
+    }
+    for (const JobEvent &e : pendingEvents_) {
+        CS_ASSERT(e.slot < sim_.numBatchJobs(),
+                  "job event slot out of range");
+        if (e.arrival) {
+            sim_.replaceBatchJob(e.slot, *e.arrival);
+            ++result_.jobArrivals;
+        } else if (e.departure) {
+            sim_.setBatchSlotOccupied(e.slot, false);
+        }
+        if (e.departure)
+            ++result_.jobDepartures;
+        // Either way the slot's history belongs to a job that is no
+        // longer (only) there: drop the scheduler's learned state.
+        scheduler_.onJobChurn(e.slot);
+    }
+    pendingEvents_.clear();
+}
+
+void
+ColocationRun::step()
+{
+    CS_ASSERT(!done(), "step() past the configured duration");
+    const SystemParams &params = sim_.params();
+    const std::size_t s = slice_;
+
+    applyJobEvents();
+
+    const double t = sim_.now();
+    const double load_fraction =
+        loadOverride_ ? *loadOverride_ : opts_.loadPattern.at(t);
+    loadOverride_.reset();
+    sim_.setLcLoadFraction(load_fraction);
+    const double budget = budgetOverride_
+        ? *budgetOverride_
+        : opts_.powerPattern.at(t) * opts_.maxPowerW;
+    budgetOverride_.reset();
+
+    if (tracing_) {
+        trace_.begin(s, t);
+        telemetry::QuantumRecord &rec = trace_.record();
+        rec.node = opts_.nodeIndex;
+        rec.scheduler = scheduler_.name();
+        rec.loadFraction = load_fraction;
+        rec.powerBudgetW = budget;
+    }
+
+    ctx_.sliceIndex = s;
+    ctx_.timeSec = t;
+    ctx_.powerBudgetW = budget;
+    ctx_.lcQosSec = sim_.mix().lc.qosSeconds();
+    ctx_.previous = havePrev_ ? &prevMeasurement_ : nullptr;
+    ctx_.previousDecision = havePrev_ ? &prevDecision_ : nullptr;
+    ctx_.profiles.clear();
+
+    double remaining = params.timesliceSec;
+    if (scheduler_.wantsProfiling()) {
+        const std::size_t lc_cores =
+            havePrev_ ? prevDecision_.lcCores : initialLcCores_;
+        telemetry::PhaseTimer timer(tracing_ ? &trace_ : nullptr,
+                                    telemetry::Phase::Profile);
+        if (tracing_)
+            trace_.record().profiledLcCores = lc_cores;
+        sim_.profileJobsInto(ctx_.profiles, lc_cores,
+                             scheduler_.usesReconfigurableCores());
+        remaining -= params.sampleSec *
+            static_cast<double>(params.numProfilingSamples);
+    }
+
+    scheduler_.decideInto(ctx_, decision_);
+
+    if (validator_) {
+        check::DecisionContext vctx;
+        vctx.params = &params;
+        vctx.numBatchJobs = sim_.numBatchJobs();
+        vctx.sliceIndex = s;
+        vctx.powerBudgetW = budget;
+        vctx.capEnforced = scheduler_.enforcesPowerCap();
+        vctx.record = tracing_ ? &trace_.record() : nullptr;
+        validator_->validate(decision_, vctx);
+    }
+
+    {
+        telemetry::PhaseTimer timer(tracing_ ? &trace_ : nullptr,
+                                    telemetry::Phase::Execute);
+        sim_.runSliceInto(measurement_, decision_, remaining);
+    }
+
+    lastLoadFraction_ = load_fraction;
+    lastBudgetW_ = budget;
+    lastQosViolated_ =
+        measurement_.lcTailLatency > sim_.mix().lc.qosSeconds();
+    lastGmeanBips_ = gmeanBatchBips(measurement_);
+
+    result_.totalBatchInstructions += measurement_.batchInstructions;
+    result_.qosViolations += lastQosViolated_ ? 1 : 0;
+    // Small tolerance: the budget is enforced on predicted power;
+    // measurement noise alone should not count as a violation.
+    result_.powerViolations +=
+        measurement_.totalPower > budget * 1.02 ? 1 : 0;
+    gmeanSum_ += lastGmeanBips_;
+    powerSum_ += measurement_.totalPower;
+
+    if (tracing_) {
+        telemetry::QuantumRecord &rec = trace_.record();
+        rec.executedTailSec = measurement_.lcTailLatency;
+        rec.executedPowerW = measurement_.totalPower;
+        rec.qosViolated = lastQosViolated_;
+        rec.gmeanBips = lastGmeanBips_;
+        trace_.end();
+    }
+
+    if (opts_.keepSliceRecords) {
+        SliceRecord record;
+        record.loadFraction = load_fraction;
+        record.powerBudgetW = budget;
+        record.qosViolated = lastQosViolated_;
+        record.decision = decision_;
+        record.measurement = measurement_;
+        result_.slices.push_back(std::move(record));
+    }
+
+    // Swap (not copy) the previous-slice buffers: the vectors trade
+    // storage, so no allocation and no stale aliasing.
+    std::swap(prevDecision_, decision_);
+    std::swap(prevMeasurement_, measurement_);
+    havePrev_ = true;
+    ++slice_;
+}
+
+const RunResult &
+ColocationRun::result()
+{
+    const double steps =
+        static_cast<double>(std::max<std::size_t>(slice_, 1));
+    result_.meanGmeanBips = gmeanSum_ / steps;
+    result_.meanPowerW = powerSum_ / steps;
+    if (tracing_)
+        result_.traceSummary = trace_.summary();
+    if (validator_) {
+        result_.invariantViolations =
+            validator_->violationCount() - violationsBefore_;
+    }
+    return result_;
+}
+
+RunResult
+ColocationRun::takeResult()
+{
+    result();
+    return std::move(result_);
 }
 
 RunResult
 runColocation(MulticoreSim &sim, Scheduler &scheduler,
               const DriverOptions &opts)
 {
-    CS_ASSERT(opts.maxPowerW > 0.0, "maxPowerW must be set");
-    const SystemParams &params = sim.params();
-    const std::size_t num_slices = static_cast<std::size_t>(
-        std::round(opts.durationSec / params.timesliceSec));
-    CS_ASSERT(num_slices > 0, "run shorter than one timeslice");
-
-    RunResult result;
-    result.slices.reserve(num_slices);
-
-    // Before the first decision exists, the profiling pass has to
-    // assume some LC core count. Derive it from the machine (half the
-    // cores) unless the caller pinned one explicitly.
-    const std::size_t initial_lc_cores = opts.initialLcCores > 0
-        ? std::min(opts.initialLcCores, params.numCores)
-        : std::max<std::size_t>(1, params.numCores / 2);
-
-    // The trace object lives on the driver's stack; schedulers only
-    // borrow a pointer, so detach before returning.
-    telemetry::QuantumTrace trace(opts.traceSink);
-    const bool tracing = opts.traceSink != nullptr;
-    if (tracing)
-        scheduler.attachTrace(&trace);
-
-    // The decision oracle follows the same borrow discipline. An
-    // externally supplied validator wins over the driver's own.
-    check::ScheduleValidator own_validator(
-        check::ValidatorOptions{.failMode = opts.validatorFailMode});
-    check::ScheduleValidator *validator = opts.validator
-        ? opts.validator
-        : (opts.validateDecisions ? &own_validator : nullptr);
-    if (validator)
-        scheduler.attachValidator(validator);
-
-    // A panicking validator (or a throwing scheduler) must not leave
-    // the scheduler holding pointers into this frame.
-    struct Detach
-    {
-        Scheduler &sched;
-        ~Detach()
-        {
-            sched.attachTrace(nullptr);
-            sched.attachValidator(nullptr);
-        }
-    } detach{scheduler};
-
-    SliceDecision prev_decision;
-    SliceMeasurement prev_measurement;
-    bool have_prev = false;
-    double gmean_sum = 0.0;
-    double power_sum = 0.0;
-    const std::size_t violations_before =
-        validator ? validator->violationCount() : 0;
-
-    for (std::size_t s = 0; s < num_slices; ++s) {
-        const double t = sim.now();
-        const double load_fraction = opts.loadPattern.at(t);
-        sim.setLcLoadFraction(load_fraction);
-        const double budget = opts.powerPattern.at(t) * opts.maxPowerW;
-
-        if (tracing) {
-            trace.begin(s, t);
-            telemetry::QuantumRecord &rec = trace.record();
-            rec.scheduler = scheduler.name();
-            rec.loadFraction = load_fraction;
-            rec.powerBudgetW = budget;
-        }
-
-        SliceContext ctx;
-        ctx.sliceIndex = s;
-        ctx.timeSec = t;
-        ctx.powerBudgetW = budget;
-        ctx.lcQosSec = sim.mix().lc.qosSeconds();
-        ctx.previous = have_prev ? &prev_measurement : nullptr;
-        ctx.previousDecision = have_prev ? &prev_decision : nullptr;
-
-        double remaining = params.timesliceSec;
-        if (scheduler.wantsProfiling()) {
-            const std::size_t lc_cores =
-                have_prev ? prev_decision.lcCores : initial_lc_cores;
-            telemetry::PhaseTimer timer(
-                tracing ? &trace : nullptr,
-                telemetry::Phase::Profile);
-            if (tracing)
-                trace.record().profiledLcCores = lc_cores;
-            ctx.profiles = sim.profileJobs(
-                lc_cores, scheduler.usesReconfigurableCores());
-            remaining -= params.sampleSec *
-                static_cast<double>(params.numProfilingSamples);
-        }
-
-        SliceDecision decision = scheduler.decide(ctx);
-
-        if (validator) {
-            check::DecisionContext vctx;
-            vctx.params = &params;
-            vctx.numBatchJobs = sim.numBatchJobs();
-            vctx.sliceIndex = s;
-            vctx.powerBudgetW = budget;
-            vctx.capEnforced = scheduler.enforcesPowerCap();
-            vctx.record = tracing ? &trace.record() : nullptr;
-            validator->validate(decision, vctx);
-        }
-
-        SliceMeasurement measurement;
-        {
-            telemetry::PhaseTimer timer(
-                tracing ? &trace : nullptr,
-                telemetry::Phase::Execute);
-            measurement = sim.runSlice(decision, remaining);
-        }
-
-        SliceRecord record;
-        record.loadFraction = load_fraction;
-        record.powerBudgetW = budget;
-        record.qosViolated =
-            measurement.lcTailLatency > sim.mix().lc.qosSeconds();
-        record.decision = decision;
-        record.measurement = measurement;
-
-        result.totalBatchInstructions += measurement.batchInstructions;
-        result.qosViolations += record.qosViolated ? 1 : 0;
-        // Small tolerance: the budget is enforced on predicted power;
-        // measurement noise alone should not count as a violation.
-        result.powerViolations +=
-            measurement.totalPower > budget * 1.02 ? 1 : 0;
-        const double gmean = gmeanBatchBips(measurement);
-        gmean_sum += gmean;
-        power_sum += measurement.totalPower;
-
-        if (tracing) {
-            telemetry::QuantumRecord &rec = trace.record();
-            rec.executedTailSec = measurement.lcTailLatency;
-            rec.executedPowerW = measurement.totalPower;
-            rec.qosViolated = record.qosViolated;
-            rec.gmeanBips = gmean;
-            trace.end();
-        }
-
-        prev_decision = decision;
-        prev_measurement = measurement;
-        have_prev = true;
-        result.slices.push_back(std::move(record));
-    }
-
-    if (tracing)
-        result.traceSummary = trace.summary();
-    if (validator) {
-        result.invariantViolations =
-            validator->violationCount() - violations_before;
-    }
-
-    result.meanGmeanBips = gmean_sum / static_cast<double>(num_slices);
-    result.meanPowerW = power_sum / static_cast<double>(num_slices);
-    return result;
+    ColocationRun run(sim, scheduler, opts);
+    while (!run.done())
+        run.step();
+    return run.takeResult();
 }
 
 } // namespace cuttlesys

@@ -7,12 +7,23 @@
  * scheduler wants one, obtain the decision, execute the slice, and
  * record everything the figures need (instructions, tail latency,
  * power, chosen configurations).
+ *
+ * Two entry points share one implementation: runColocation() drives a
+ * whole run in a loop, while ColocationRun exposes the same loop one
+ * step() at a time so an outer controller — the fleet simulator —
+ * can interleave many nodes, override each quantum's load and budget,
+ * and inject batch-job churn between quanta. The stepper keeps every
+ * per-quantum buffer persistent, so a steady-state step() performs
+ * zero heap allocations (with tracing off and slice records not
+ * kept), preserving PR 4's zero-alloc contract per fleet node.
  */
 
 #ifndef CUTTLESYS_SIM_DRIVER_HH
 #define CUTTLESYS_SIM_DRIVER_HH
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "check/schedule_validator.hh"
@@ -22,6 +33,30 @@
 #include "telemetry/quantum_trace.hh"
 
 namespace cuttlesys {
+
+/**
+ * One batch-slot churn event, applied at the head of a quantum
+ * (before the profiling pass, so an arriving job's first samples are
+ * its own). A departure without an arrival vacates the slot; an
+ * arrival installs @ref profile (replacing any sitting tenant).
+ * Either way the scheduler's onJobChurn() fires for the slot, which
+ * is what flows into CfEngine::clearJob and invalidates the row's
+ * reconstruction history and cached SGD warm-start factors.
+ */
+struct JobEvent
+{
+    std::size_t slot = 0;
+    bool departure = false;
+    std::optional<AppProfile> arrival;
+};
+
+/**
+ * Optional per-quantum churn source. Called at the head of every
+ * quantum with the slice index; fills @p out (handed over cleared,
+ * capacity reused across quanta) with this quantum's events.
+ */
+using JobEventHook =
+    std::function<void(std::size_t slice, std::vector<JobEvent> &out)>;
 
 /** Driver configuration for one run. */
 struct DriverOptions
@@ -65,6 +100,23 @@ struct DriverOptions
      * tolerances; overrides validateDecisions/validatorFailMode.
      */
     check::ScheduleValidator *validator = nullptr;
+
+    /**
+     * Keep the per-slice SliceRecord list in RunResult::slices. Fleet
+     * nodes turn this off: the aggregates still accumulate, but the
+     * steady-state quantum stays allocation-free.
+     */
+    bool keepSliceRecords = true;
+
+    /**
+     * Stamped into every emitted QuantumRecord's node field so a
+     * fleet-wide trace can interleave records from many nodes and
+     * still be split back apart. 0 for single-node runs.
+     */
+    std::size_t nodeIndex = 0;
+
+    /** Per-quantum batch-job churn source (empty = static mix). */
+    JobEventHook jobEventHook;
 };
 
 /** Everything recorded about one executed timeslice. */
@@ -98,6 +150,116 @@ struct RunResult
      * instead; meaningful with FailMode::Record / Log).
      */
     std::size_t invariantViolations = 0;
+
+    /** Batch-job churn applied during the run. */
+    std::size_t jobArrivals = 0;
+    std::size_t jobDepartures = 0;
+};
+
+/**
+ * The per-timeslice loop as a stepper object.
+ *
+ * Construction attaches the trace/validator to the scheduler
+ * (detached again on destruction, exception-safe); each step() runs
+ * one full decision quantum. Between steps a controller may override
+ * the next quantum's load fraction and power budget (the fleet's
+ * global power manager does both) and queue JobEvents. All
+ * per-quantum state — profiling buffers, the decision, the
+ * measurement, the previous slice's copies — lives in persistent
+ * members, so steady-state steps are heap-free when tracing is off
+ * and keepSliceRecords is false.
+ */
+class ColocationRun
+{
+  public:
+    ColocationRun(MulticoreSim &sim, Scheduler &scheduler,
+                  const DriverOptions &opts);
+    ~ColocationRun();
+
+    ColocationRun(const ColocationRun &) = delete;
+    ColocationRun &operator=(const ColocationRun &) = delete;
+
+    /** Quanta in the configured duration. */
+    std::size_t numSlices() const { return numSlices_; }
+
+    /** Index of the quantum the next step() will run. */
+    std::size_t nextSlice() const { return slice_; }
+
+    /** Whether the configured duration has fully run. */
+    bool done() const { return slice_ >= numSlices_; }
+
+    /**
+     * Replace the load-pattern value for the next step() only (a
+     * cluster controller shifting LC load between replicas).
+     */
+    void overrideLoadFraction(double fraction);
+
+    /**
+     * Replace the power-pattern budget (absolute watts) for the next
+     * step() only (the global power manager's per-quantum split).
+     */
+    void overridePowerBudgetW(double watts);
+
+    /** Queue a churn event for the head of the next step(). */
+    void queueJobEvent(const JobEvent &event);
+
+    /** Run one decision quantum. @pre !done() */
+    void step();
+
+    /** Last executed quantum's observables. @pre one step() ran. */
+    const SliceMeasurement &lastMeasurement() const
+    {
+        return prevMeasurement_;
+    }
+    const SliceDecision &lastDecision() const { return prevDecision_; }
+    double lastLoadFraction() const { return lastLoadFraction_; }
+    double lastPowerBudgetW() const { return lastBudgetW_; }
+    bool lastQosViolated() const { return lastQosViolated_; }
+    double lastGmeanBips() const { return lastGmeanBips_; }
+
+    /** Aggregates over the steps run so far (means up to date). */
+    const RunResult &result();
+
+    /** Move the aggregates out (the run must not step() afterwards). */
+    RunResult takeResult();
+
+  private:
+    void applyJobEvents();
+
+    MulticoreSim &sim_;
+    Scheduler &scheduler_;
+    DriverOptions opts_;
+
+    std::size_t numSlices_ = 0;
+    std::size_t slice_ = 0;
+    std::size_t initialLcCores_ = 0;
+    bool tracing_ = false;
+
+    telemetry::QuantumTrace trace_;
+    check::ScheduleValidator ownValidator_;
+    check::ScheduleValidator *validator_ = nullptr;
+    std::size_t violationsBefore_ = 0;
+
+    // Persistent per-quantum buffers (capacity reused every step).
+    SliceContext ctx_;
+    SliceDecision decision_;
+    SliceMeasurement measurement_;
+    SliceDecision prevDecision_;
+    SliceMeasurement prevMeasurement_;
+    bool havePrev_ = false;
+    std::vector<JobEvent> pendingEvents_;
+    std::vector<JobEvent> hookEvents_;
+
+    double lastLoadFraction_ = 0.0;
+    double lastBudgetW_ = 0.0;
+    bool lastQosViolated_ = false;
+    double lastGmeanBips_ = 0.0;
+    std::optional<double> loadOverride_;
+    std::optional<double> budgetOverride_;
+
+    double gmeanSum_ = 0.0;
+    double powerSum_ = 0.0;
+    RunResult result_;
 };
 
 /**

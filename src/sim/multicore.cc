@@ -24,18 +24,10 @@ oneWayRank()
 
 } // namespace
 
-struct MulticoreSim::PhaseTotals
-{
-    double duration = 0.0;
-    std::vector<double> batchInstr;  //!< per job, this slice
-    double powerSeconds = 0.0;       //!< integral of chip power
-    double lcPowerSeconds = 0.0;
-    std::vector<double> batchPowerSeconds; //!< per job
-};
-
 MulticoreSim::MulticoreSim(SystemParams params, WorkloadMix mix,
                            std::uint64_t seed)
-    : params_(std::move(params)), mix_(std::move(mix)), rng_(seed)
+    : params_(std::move(params)), mix_(std::move(mix)), rng_(seed),
+      churnRng_(seed ^ 0x9e3779b97f4a7c15ULL)
 {
     CS_ASSERT(mix_.lc.isLatencyCritical(),
               "mix must lead with a latency-critical app");
@@ -52,6 +44,43 @@ MulticoreSim::MulticoreSim(SystemParams params, WorkloadMix mix,
         offset = rng_.uniform(0.0, 2.0 * M_PI);
 
     batchInstr_.assign(mix_.batch.size(), 0.0);
+    slotOccupied_.assign(mix_.batch.size(), true);
+}
+
+void
+MulticoreSim::setBatchSlotOccupied(std::size_t slot, bool occupied)
+{
+    CS_ASSERT(slot < mix_.batch.size(), "batch slot out of range");
+    slotOccupied_[slot] = occupied;
+}
+
+bool
+MulticoreSim::batchSlotOccupied(std::size_t slot) const
+{
+    CS_ASSERT(slot < mix_.batch.size(), "batch slot out of range");
+    return slotOccupied_[slot];
+}
+
+std::size_t
+MulticoreSim::occupiedBatchSlots() const
+{
+    std::size_t n = 0;
+    for (bool occupied : slotOccupied_)
+        n += occupied ? 1 : 0;
+    return n;
+}
+
+void
+MulticoreSim::replaceBatchJob(std::size_t slot,
+                              const AppProfile &profile)
+{
+    CS_ASSERT(slot < mix_.batch.size(), "batch slot out of range");
+    CS_ASSERT(!profile.isLatencyCritical(),
+              "batch slot needs a batch profile");
+    mix_.batch[slot] = profile;
+    phaseOffsets_[1 + slot] = churnRng_.uniform(0.0, 2.0 * M_PI);
+    batchInstr_[slot] = 0.0;
+    slotOccupied_[slot] = true;
 }
 
 void
@@ -80,12 +109,15 @@ MulticoreSim::phaseScale(std::size_t job_index, double t) const
                     phaseOffsets_[job_index]);
 }
 
-AppProfile
+const AppProfile &
 MulticoreSim::driftedProfile(std::size_t job_index, double t) const
 {
     const AppProfile &base =
         job_index == 0 ? mix_.lc : mix_.batch[job_index - 1];
-    AppProfile drifted = base;
+    // Copy-assign into the scratch profile: the std::string name
+    // reuses its capacity, so the per-phase hot path stays heap-free.
+    AppProfile &drifted = driftScratch_[job_index == 0 ? 0 : 1];
+    drifted = base;
     drifted.apki = base.apki * phaseScale(job_index, t);
     return drifted;
 }
@@ -98,8 +130,8 @@ MulticoreSim::contentionScale(const SliceDecision &decision,
         params_.numCores > decision.lcCores
             ? params_.numCores - decision.lcCores : 0;
     std::size_t active = 0;
-    for (bool on : decision.batchActive)
-        active += on ? 1 : 0;
+    for (std::size_t j = 0; j < decision.batchActive.size(); ++j)
+        active += (decision.batchActive[j] && slotOccupied_[j]) ? 1 : 0;
     const double share =
         active == 0 ? 0.0
                     : std::min(1.0, static_cast<double>(batch_cores) /
@@ -110,15 +142,15 @@ MulticoreSim::contentionScale(const SliceDecision &decision,
     // bandwidth; the second pass is within a few percent of converged.
     for (int iter = 0; iter < 2; ++iter) {
         double total_bw = 0.0;
-        const AppProfile lc = driftedProfile(0, now_);
+        const AppProfile &lc = driftedProfile(0, now_);
         total_bw += missBandwidthGBs(lc, decision.lcConfig, params_,
                                      scale, decision.reconfigurable) *
                     lc_utilization *
                     static_cast<double>(decision.lcCores);
         for (std::size_t j = 0; j < mix_.batch.size(); ++j) {
-            if (!decision.batchActive[j])
+            if (!decision.batchActive[j] || !slotOccupied_[j])
                 continue;
-            const AppProfile app = driftedProfile(j + 1, now_);
+            const AppProfile &app = driftedProfile(j + 1, now_);
             total_bw += missBandwidthGBs(app, decision.batchConfigs[j],
                                          params_, scale,
                                          decision.reconfigurable) *
@@ -133,13 +165,24 @@ MulticoreSim::contentionScale(const SliceDecision &decision,
 std::vector<ProfilePair>
 MulticoreSim::profileJobs(std::size_t lc_cores, bool reconfigurable)
 {
+    std::vector<ProfilePair> pairs;
+    profileJobsInto(pairs, lc_cores, reconfigurable);
+    return pairs;
+}
+
+void
+MulticoreSim::profileJobsInto(std::vector<ProfilePair> &out,
+                              std::size_t lc_cores,
+                              bool reconfigurable)
+{
     const std::size_t rank1 = oneWayRank();
     const JobConfig wide(CoreConfig::widest(), rank1);
     const JobConfig narrow(CoreConfig::narrowest(), rank1);
 
     // Representative contention during profiling: half the chip wide,
-    // half narrow. Build a synthetic decision reflecting that.
-    SliceDecision mixture;
+    // half narrow. Build a synthetic decision reflecting that (in the
+    // persistent scratch so repeated quanta reuse its capacity).
+    SliceDecision &mixture = profileMixture_;
     mixture.lcConfig = wide;
     mixture.lcCores = lc_cores;
     mixture.batchConfigs.resize(mix_.batch.size());
@@ -148,7 +191,7 @@ MulticoreSim::profileJobs(std::size_t lc_cores, bool reconfigurable)
     for (std::size_t j = 0; j < mix_.batch.size(); ++j)
         mixture.batchConfigs[j] = (j % 2 == 0) ? wide : narrow;
 
-    const AppProfile lc_now = driftedProfile(0, now_);
+    const AppProfile &lc_now = driftedProfile(0, now_);
     const double lc_ips_wide =
         coreIps(lc_now, wide, params_, 1.0, reconfigurable);
     double util_est = 1.0;
@@ -160,7 +203,7 @@ MulticoreSim::profileJobs(std::size_t lc_cores, bool reconfigurable)
     }
     const double mem_scale = contentionScale(mixture, util_est);
 
-    std::vector<ProfilePair> pairs(1 + mix_.batch.size());
+    out.resize(1 + mix_.batch.size());
 
     // LC job: power sampled at both extremes; BIPS is not the LC
     // metric (tail latency comes from steady-state history instead).
@@ -168,27 +211,33 @@ MulticoreSim::profileJobs(std::size_t lc_cores, bool reconfigurable)
         const double ipc_wide = coreIpc(lc_now, wide, params_, mem_scale);
         const double ipc_narrow =
             coreIpc(lc_now, narrow, params_, mem_scale);
-        pairs[0].powerWide =
+        out[0].powerWide =
             corePower(lc_now, wide.core(), ipc_wide * util_est, params_,
                       reconfigurable) *
             (1.0 + rng_.normal(0.0, kSampleNoise));
-        pairs[0].powerNarrow =
+        out[0].powerNarrow =
             corePower(lc_now, narrow.core(), ipc_narrow * util_est,
                       params_, reconfigurable) *
             (1.0 + rng_.normal(0.0, kSampleNoise));
-        pairs[0].bipsWide = coreBips(lc_now, wide, params_, mem_scale,
-                                     reconfigurable);
-        pairs[0].bipsNarrow = coreBips(lc_now, narrow, params_,
-                                       mem_scale, reconfigurable);
+        out[0].bipsWide = coreBips(lc_now, wide, params_, mem_scale,
+                                   reconfigurable);
+        out[0].bipsNarrow = coreBips(lc_now, narrow, params_,
+                                     mem_scale, reconfigurable);
     }
 
     for (std::size_t j = 0; j < mix_.batch.size(); ++j) {
-        const AppProfile app = driftedProfile(j + 1, now_);
+        ProfilePair &pair = out[j + 1];
+        if (!slotOccupied_[j]) {
+            // Vacant slot: no job to sample (and no RNG draws, so
+            // churn changes the stream only where jobs changed).
+            pair = ProfilePair{};
+            continue;
+        }
+        const AppProfile &app = driftedProfile(j + 1, now_);
         const double ipc_w = coreIpc(app, wide, params_, mem_scale);
         const double ipc_n = coreIpc(app, narrow, params_, mem_scale);
         const double freq =
             coreFrequencyGHz(params_, reconfigurable);
-        ProfilePair &pair = pairs[j + 1];
         pair.bipsWide =
             ipc_w * freq * (1.0 + rng_.normal(0.0, kSampleNoise));
         pair.bipsNarrow =
@@ -220,7 +269,6 @@ MulticoreSim::profileJobs(std::size_t lc_cores, bool reconfigurable)
                 static_cast<double>(params_.numProfilingSamples));
 
     now_ = lcSim_->now();
-    return pairs;
 }
 
 void
@@ -238,15 +286,15 @@ MulticoreSim::runPhase(const SliceDecision &decision, double dur,
 
     const std::size_t batch_cores = params_.numCores - decision.lcCores;
     std::size_t active = 0;
-    for (bool on : decision.batchActive)
-        active += on ? 1 : 0;
+    for (std::size_t j = 0; j < decision.batchActive.size(); ++j)
+        active += (decision.batchActive[j] && slotOccupied_[j]) ? 1 : 0;
     const double share =
         active == 0 ? 0.0
                     : std::min(1.0, static_cast<double>(batch_cores) /
                                     static_cast<double>(active));
 
     // --- latency-critical service ------------------------------------
-    const AppProfile lc_now = driftedProfile(0, now_);
+    const AppProfile &lc_now = driftedProfile(0, now_);
     const double util_prev = lcSim_->utilization();
     const double util_est = util_prev > 0.0 ? util_prev : 0.5;
     const double mem_scale = contentionScale(decision, util_est);
@@ -273,9 +321,9 @@ MulticoreSim::runPhase(const SliceDecision &decision, double dur,
     double chip_power = lc_power + llcPower(params_);
     std::size_t busy_batch_cores = 0;
     for (std::size_t j = 0; j < mix_.batch.size(); ++j) {
-        if (!decision.batchActive[j])
+        if (!decision.batchActive[j] || !slotOccupied_[j])
             continue;
-        const AppProfile app = driftedProfile(j + 1, now_);
+        const AppProfile &app = driftedProfile(j + 1, now_);
         const double ipc = coreIpc(app, decision.batchConfigs[j],
                                    params_, mem_scale);
         const double bips =
@@ -310,24 +358,37 @@ SliceMeasurement
 MulticoreSim::runSlice(const SliceDecision &decision, double duration,
                        bool fresh_lc_window)
 {
+    SliceMeasurement m;
+    runSliceInto(m, decision, duration, fresh_lc_window);
+    return m;
+}
+
+void
+MulticoreSim::runSliceInto(SliceMeasurement &m,
+                           const SliceDecision &decision,
+                           double duration, bool fresh_lc_window)
+{
     if (duration < 0.0)
         duration = params_.timesliceSec;
 
-    PhaseTotals totals;
+    PhaseTotals &totals = totalsScratch_;
+    totals.duration = 0.0;
+    totals.powerSeconds = 0.0;
+    totals.lcPowerSeconds = 0.0;
     totals.batchInstr.assign(mix_.batch.size(), 0.0);
     totals.batchPowerSeconds.assign(mix_.batch.size(), 0.0);
 
-    SliceMeasurement m;
     m.timeSec = now_;
     m.lcLoadQps = lcLoadQps_;
+    m.batchInstructions = 0.0;
     if (fresh_lc_window)
         lcSim_->clearWindow();
 
     double overhead = std::min(decision.overheadSec, duration);
     if (overhead > 0.0 && lastDecision_) {
-        SliceDecision holdover = *lastDecision_;
-        holdover.overheadSec = 0.0;
-        runPhase(holdover, overhead, totals);
+        holdoverScratch_ = *lastDecision_;
+        holdoverScratch_.overheadSec = 0.0;
+        runPhase(holdoverScratch_, overhead, totals);
     } else {
         overhead = 0.0;
     }
@@ -343,6 +404,11 @@ MulticoreSim::runSlice(const SliceDecision &decision, double duration,
     m.batchPower.resize(mix_.batch.size());
     m.batchJobInstructions = totals.batchInstr;
     for (std::size_t j = 0; j < mix_.batch.size(); ++j) {
+        if (!slotOccupied_[j]) {
+            m.batchBips[j] = 0.0;
+            m.batchPower[j] = 0.0;
+            continue;
+        }
         const double noise = 1.0 + rng_.normal(0.0, kSliceNoise);
         m.batchBips[j] =
             totals.batchInstr[j] / duration / 1e9 * noise;
@@ -356,7 +422,6 @@ MulticoreSim::runSlice(const SliceDecision &decision, double duration,
         ? totals.lcPowerSeconds / totals.duration : 0.0;
     m.totalPower = totals.duration > 0.0
         ? totals.powerSeconds / totals.duration : 0.0;
-    return m;
 }
 
 double
@@ -373,7 +438,7 @@ MulticoreSim::truthBatchPower(std::size_t job, const JobConfig &config,
                               bool reconfigurable) const
 {
     CS_ASSERT(job < mix_.batch.size(), "batch job index out of range");
-    const AppProfile app = driftedProfile(job + 1, now_);
+    const AppProfile &app = driftedProfile(job + 1, now_);
     const double ipc = coreIpc(app, config, params_);
     return corePower(app, config.core(), ipc, params_, reconfigurable);
 }

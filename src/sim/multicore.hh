@@ -105,6 +105,29 @@ class MulticoreSim
     double lcLoadQps() const { return lcLoadQps_; }
 
     /**
+     * Mark batch slot @p slot as occupied or vacant. Vacant slots
+     * retire no instructions, contribute no profiling samples or
+     * memory traffic, and their cores count as gated for power. The
+     * fleet layer parks departed jobs this way until the cluster
+     * placement policy refills the slot.
+     */
+    void setBatchSlotOccupied(std::size_t slot, bool occupied);
+
+    /** Whether batch slot @p slot currently holds a job. */
+    bool batchSlotOccupied(std::size_t slot) const;
+
+    /** Number of occupied batch slots. */
+    std::size_t occupiedBatchSlots() const;
+
+    /**
+     * Install @p profile in batch slot @p slot (marks it occupied).
+     * The new job gets a fresh phase offset from a dedicated churn
+     * RNG so arrivals never perturb the main measurement stream, and
+     * its cumulative instruction counter restarts at zero.
+     */
+    void replaceBatchJob(std::size_t slot, const AppProfile &profile);
+
+    /**
      * Execute the profiling schedule (2 x 1 ms) and return noisy
      * samples for the LC job (index 0 of the conceptual job list) and
      * every batch job. Advances simulated time by 2 ms and serves LC
@@ -112,6 +135,14 @@ class MulticoreSim
      */
     std::vector<ProfilePair> profileJobs(std::size_t lc_cores,
                                          bool reconfigurable = true);
+
+    /**
+     * Allocation-free variant of profileJobs(): fills @p out (resized
+     * to 1 + numBatchJobs; capacity is reused across quanta).
+     */
+    void profileJobsInto(std::vector<ProfilePair> &out,
+                         std::size_t lc_cores,
+                         bool reconfigurable = true);
 
     /**
      * Run @p duration seconds of the current timeslice under
@@ -126,6 +157,15 @@ class MulticoreSim
     SliceMeasurement runSlice(const SliceDecision &decision,
                               double duration = -1.0,
                               bool fresh_lc_window = true);
+
+    /**
+     * Allocation-free variant of runSlice(): writes the measurement
+     * into @p m, whose vector capacities are reused across quanta.
+     */
+    void runSliceInto(SliceMeasurement &m,
+                      const SliceDecision &decision,
+                      double duration = -1.0,
+                      bool fresh_lc_window = true);
 
     /** Current simulated time, seconds. */
     double now() const { return now_; }
@@ -164,19 +204,35 @@ class MulticoreSim
     double contentionScale(const SliceDecision &decision,
                            double lc_utilization) const;
 
-    /** Effective profile of a job with phase drift applied at t. */
-    AppProfile driftedProfile(std::size_t job_index, double t) const;
+    /**
+     * Effective profile of a job with phase drift applied at t.
+     * Returns a reference into a mutable scratch profile (one for the
+     * LC app, one for batch jobs — the two never alias within a
+     * caller) so the hot path copies no std::string per call. The
+     * reference is invalidated by the next call with the same class
+     * of job index.
+     */
+    const AppProfile &driftedProfile(std::size_t job_index,
+                                     double t) const;
 
     SystemParams params_;
     WorkloadMix mix_;
     Rng rng_;
+    Rng churnRng_; //!< phase offsets for churned-in jobs only
 
     double now_ = 0.0;
     double lcLoadQps_ = 0.0;
     std::unique_ptr<LcQueueSim> lcSim_;
 
     /** Accumulator for one phase of a slice (overhead vs. steady). */
-    struct PhaseTotals;
+    struct PhaseTotals
+    {
+        double duration = 0.0;
+        std::vector<double> batchInstr;  //!< per job, this slice
+        double powerSeconds = 0.0;       //!< integral of chip power
+        double lcPowerSeconds = 0.0;
+        std::vector<double> batchPowerSeconds; //!< per job
+    };
 
     /** Execute @p dur seconds under @p decision, folding into totals. */
     void runPhase(const SliceDecision &decision, double dur,
@@ -184,8 +240,16 @@ class MulticoreSim
 
     std::vector<double> phaseOffsets_; //!< per job (0 = LC)
     std::vector<double> batchInstr_;   //!< cumulative per batch job
+    std::vector<bool> slotOccupied_;   //!< per batch slot
     double totalBatchInstr_ = 0.0;
     std::optional<SliceDecision> lastDecision_;
+
+    // Persistent per-quantum scratch: sized once, reused every slice
+    // so the steady-state path never touches the heap.
+    PhaseTotals totalsScratch_;
+    SliceDecision holdoverScratch_;
+    SliceDecision profileMixture_;
+    mutable AppProfile driftScratch_[2]; //!< [0] LC, [1] batch
 };
 
 /** Memory subsystem contention constants (see DESIGN.md). */

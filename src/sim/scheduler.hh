@@ -75,6 +75,16 @@ class Scheduler
     virtual bool enforcesPowerCap() const { return true; }
 
     /**
+     * Notification that batch slot @p slot changed occupant
+     * (departure, arrival, or replacement). Schedulers holding
+     * per-job learned state — CuttleSys's reconstruction rows and
+     * their cached SGD warm-start factors — must drop it here so a
+     * new tenant never inherits the previous job's observations.
+     * Stateless baselines keep the no-op default.
+     */
+    virtual void onJobChurn(std::size_t slot) { (void)slot; }
+
+    /**
      * Attach the per-quantum trace the scheduler should fill during
      * decide() (nullptr detaches). The caller owns the trace and its
      * begin()/end() lifecycle; the driver attaches its own trace for

@@ -71,6 +71,8 @@ struct QuantumRecord
 {
     // --- identity and offered conditions (driver side) ---------------
     std::size_t slice = 0;
+    /** Fleet node index; 0 for single-node runs (the default). */
+    std::size_t node = 0;
     double timeSec = 0.0;
     std::string scheduler;
     double loadFraction = -1.0;     //!< offered LC load (fraction)

@@ -1,6 +1,7 @@
 #include "telemetry/trace_sink.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -39,8 +40,17 @@ appendEscaped(std::string &out, const std::string &s)
 void
 appendNumber(std::string &out, double v)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    // Shortest representation that round-trips the exact bits: a
+    // saved trace must compare bitwise-equal against a live replay,
+    // so truncating (e.g. %.9g) would read back as a spurious
+    // mismatch. 15 digits suffice for most values; escalate to 17
+    // (DBL_DECIMAL_DIG) only when the parse-back differs.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     out += buf;
 }
 
@@ -87,6 +97,8 @@ JsonlSink::toJson(const QuantumRecord &rec)
 
     js += "{\"slice\":";
     appendNumber(js, rec.slice);
+    js += ",\"node\":";
+    appendNumber(js, rec.node);
     js += ",\"t\":";
     appendNumber(js, rec.timeSec);
     js += ",\"sched\":";
@@ -98,8 +110,11 @@ JsonlSink::toJson(const QuantumRecord &rec)
     js += ",\"profiled_lc_cores\":";
     appendNumber(js, rec.profiledLcCores);
 
-    js += ",\"measured\":{\"tail_ms\":";
-    appendNumber(js, rec.measuredTailSec * 1e3);
+    // Tail latencies are stored in raw seconds: a ms conversion on
+    // write plus the inverse on read can be off by one ulp, which a
+    // bitwise replay comparison would flag as nondeterminism.
+    js += ",\"measured\":{\"tail_s\":";
+    appendNumber(js, rec.measuredTailSec);
     js += ",\"util\":";
     appendNumber(js, rec.measuredUtil);
     js += ",\"completed\":";
@@ -170,8 +185,8 @@ JsonlSink::toJson(const QuantumRecord &rec)
     }
     js += "]}";
 
-    js += ",\"executed\":{\"tail_ms\":";
-    appendNumber(js, rec.executedTailSec * 1e3);
+    js += ",\"executed\":{\"tail_s\":";
+    appendNumber(js, rec.executedTailSec);
     js += ",\"power_w\":";
     appendNumber(js, rec.executedPowerW);
     js += ",\"qos_violated\":";

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the job-churn engine: seeded reproducibility, exact draw
+ * accounting, and distinct residual seeds per arrival.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "apps/gallery.hh"
+#include "cluster/churn.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace {
+
+std::vector<AppProfile>
+testPool()
+{
+    return splitSpecGallery().test;
+}
+
+TEST(ChurnTest, SameSeedSameEventStream)
+{
+    ChurnOptions opts;
+    opts.departureProbability = 0.3;
+    opts.meanArrivalsPerQuantum = 1.7;
+    JobChurnEngine a(testPool(), 99, opts);
+    JobChurnEngine b(testPool(), 99, opts);
+    for (int q = 0; q < 50; ++q) {
+        EXPECT_EQ(a.drawDeparture(), b.drawDeparture());
+        EXPECT_EQ(a.drawArrivals(), b.drawArrivals());
+        const AppProfile ja = a.drawJob();
+        const AppProfile jb = b.drawJob();
+        EXPECT_EQ(ja.name, jb.name);
+        EXPECT_EQ(ja.seed, jb.seed);
+    }
+}
+
+TEST(ChurnTest, DifferentSeedsDiverge)
+{
+    ChurnOptions opts;
+    opts.departureProbability = 0.5;
+    JobChurnEngine a(testPool(), 1, opts);
+    JobChurnEngine b(testPool(), 2, opts);
+    int differing = 0;
+    for (int q = 0; q < 64; ++q)
+        differing += a.drawDeparture() != b.drawDeparture();
+    EXPECT_GT(differing, 0);
+}
+
+TEST(ChurnTest, ArrivalDrawsBracketTheMean)
+{
+    // floor(rate) plus one Bernoulli on the fraction: every draw is
+    // either 1 or 2 for a rate of 1.7, and the mean converges on it.
+    ChurnOptions opts;
+    opts.meanArrivalsPerQuantum = 1.7;
+    JobChurnEngine churn(testPool(), 7, opts);
+    std::size_t total = 0;
+    const int quanta = 4000;
+    for (int q = 0; q < quanta; ++q) {
+        const std::size_t k = churn.drawArrivals();
+        ASSERT_GE(k, 1u);
+        ASSERT_LE(k, 2u);
+        total += k;
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(quanta);
+    EXPECT_NEAR(mean, 1.7, 0.05);
+}
+
+TEST(ChurnTest, IntegerArrivalRateIsExact)
+{
+    ChurnOptions opts;
+    opts.meanArrivalsPerQuantum = 2.0;
+    JobChurnEngine churn(testPool(), 7, opts);
+    for (int q = 0; q < 32; ++q)
+        EXPECT_EQ(churn.drawArrivals(), 2u);
+}
+
+TEST(ChurnTest, ZeroRatesAreSilent)
+{
+    ChurnOptions opts;
+    opts.departureProbability = 0.0;
+    opts.meanArrivalsPerQuantum = 0.0;
+    JobChurnEngine churn(testPool(), 7, opts);
+    for (int q = 0; q < 32; ++q) {
+        EXPECT_FALSE(churn.drawDeparture());
+        EXPECT_EQ(churn.drawArrivals(), 0u);
+    }
+}
+
+TEST(ChurnTest, CertainDepartureAlwaysFires)
+{
+    ChurnOptions opts;
+    opts.departureProbability = 1.0;
+    JobChurnEngine churn(testPool(), 7, opts);
+    for (int q = 0; q < 32; ++q)
+        EXPECT_TRUE(churn.drawDeparture());
+}
+
+TEST(ChurnTest, ArrivalsGetDistinctResidualSeeds)
+{
+    // Two arrivals of the same benchmark must not be byte-identical
+    // jobs; the arrival counter is folded into each profile's seed.
+    JobChurnEngine churn(testPool(), 7);
+    std::set<std::uint64_t> seeds;
+    for (int i = 0; i < 40; ++i) {
+        const AppProfile job = churn.drawJob();
+        EXPECT_TRUE(seeds.insert(job.seed).second)
+            << "duplicate residual seed for arrival " << i;
+    }
+    EXPECT_EQ(churn.jobsDrawn(), 40u);
+}
+
+TEST(ChurnTest, DrawnJobsComeFromThePool)
+{
+    const std::vector<AppProfile> pool = testPool();
+    std::set<std::string> names;
+    for (const AppProfile &p : pool)
+        names.insert(p.name);
+    JobChurnEngine churn(pool, 7);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(names.count(churn.drawJob().name), 1u);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace cuttlesys

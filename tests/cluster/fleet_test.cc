@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the fleet controller: a small two-node cluster driven end
+ * to end, counter consistency, trace stamping, and same-seed replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "check/trace_diff.hh"
+#include "cluster/fleet.hh"
+#include "power/power_model.hh"
+#include "telemetry/trace_sink.hh"
+#include "../core/core_fixture.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace {
+
+FleetOptions
+smallFleetOptions()
+{
+    FleetOptions opts;
+    opts.numNodes = 2;
+    opts.batchSlotsPerNode = 8;
+    opts.seed = 7;
+    opts.scenario.daySeconds = 0.5;
+    opts.scenario.peakWindowStartSec = 0.2;
+    opts.scenario.peakWindowEndSec = 0.35;
+    opts.churn.departureProbability = 0.1;
+    opts.churn.meanArrivalsPerQuantum = 1.0;
+    return opts;
+}
+
+struct SmallFleet
+{
+    SystemParams params;
+    TrainTestSplit split = splitSpecGallery();
+    AppProfile lc = calibratedTailbench()[0];
+    double nodeMaxW = systemMaxPower(split.test, params);
+    BackfillBinPack placement;
+    FleetController fleet;
+
+    explicit SmallFleet(FleetOptions opts = smallFleetOptions())
+        : fleet(params, testTrainingTables(), lc, split.test, nodeMaxW,
+                placement, opts)
+    {
+    }
+};
+
+TEST(FleetTest, RunsTheConfiguredDay)
+{
+    SmallFleet f;
+    const std::size_t quanta =
+        smallFleetOptions().scenario.quanta(f.params.timesliceSec);
+    EXPECT_EQ(f.fleet.numQuanta(), quanta);
+    const FleetSummary s = f.fleet.run();
+    EXPECT_TRUE(f.fleet.done());
+    EXPECT_EQ(s.quanta, quanta);
+    EXPECT_EQ(s.numNodes, 2u);
+    ASSERT_EQ(s.nodes.size(), 2u);
+    for (const NodeSummary &n : s.nodes) {
+        EXPECT_EQ(n.quanta, quanta);
+        EXPECT_EQ(n.invariantViolations, 0u);
+        EXPECT_GT(n.meanPowerW, 0.0);
+        EXPECT_GT(n.meanBudgetW, 0.0);
+    }
+    EXPECT_GE(s.clusterQosPct, 0.0);
+    EXPECT_LE(s.clusterQosPct, 100.0);
+    EXPECT_GT(s.totalBatchInstructions, 0.0);
+    EXPECT_GT(s.rackBudgetW, 0.0);
+    EXPECT_EQ(s.placementPolicy, "backfill-binpack");
+    EXPECT_EQ(s.powerPolicy, "headroom");
+}
+
+TEST(FleetTest, ChurnCountersAreConsistent)
+{
+    SmallFleet f;
+    const FleetSummary s = f.fleet.run();
+    // Every accepted submission is either placed onto a node or still
+    // waiting in the queue when the day ends.
+    EXPECT_EQ(s.arrivals, s.placements + f.fleet.pendingJobs());
+    std::size_t nodeArrivals = 0, nodeDepartures = 0;
+    for (const NodeSummary &n : s.nodes) {
+        nodeArrivals += n.arrivals;
+        nodeDepartures += n.departures;
+    }
+    // Placements queue arrival events; each is applied exactly once.
+    EXPECT_EQ(nodeArrivals, s.placements);
+    EXPECT_EQ(nodeDepartures, s.departures);
+}
+
+TEST(FleetTest, ArrivalQueueIsBounded)
+{
+    FleetOptions opts = smallFleetOptions();
+    opts.churn.meanArrivalsPerQuantum = 50.0;
+    opts.churn.maxPendingJobs = 8;
+    SmallFleet f(opts);
+    const FleetSummary s = f.fleet.run();
+    EXPECT_GT(s.droppedArrivals, 0u);
+    EXPECT_LE(f.fleet.pendingJobs(), 8u);
+}
+
+TEST(FleetTest, TraceRecordsStampedWithNodeAndOrdered)
+{
+    telemetry::MemorySink sink;
+    FleetOptions opts = smallFleetOptions();
+    opts.sink = &sink;
+    SmallFleet f(opts);
+    const FleetSummary s = f.fleet.run();
+    // One record per node per quantum, drained quantum-major in
+    // node-index order.
+    ASSERT_EQ(sink.records().size(), s.quanta * s.numNodes);
+    for (std::size_t i = 0; i < sink.records().size(); ++i) {
+        const telemetry::QuantumRecord &rec = sink.records()[i];
+        EXPECT_EQ(rec.node, i % s.numNodes);
+        EXPECT_EQ(rec.slice, i / s.numNodes);
+    }
+}
+
+TEST(FleetTest, SameSeedReplaysBitIdentically)
+{
+    telemetry::MemorySink sinkA, sinkB;
+    FleetOptions opts = smallFleetOptions();
+    opts.sink = &sinkA;
+    SmallFleet a(opts);
+    a.fleet.run();
+    opts.sink = &sinkB;
+    SmallFleet b(opts);
+    b.fleet.run();
+    const check::TraceDiff diff =
+        check::diffDecisionTraces(sinkA.records(), sinkB.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
+    EXPECT_GT(diff.comparedFields, 0u);
+}
+
+TEST(FleetTest, StepQuantumAdvancesOneQuantum)
+{
+    SmallFleet f;
+    EXPECT_EQ(f.fleet.nextQuantum(), 0u);
+    f.fleet.stepQuantum();
+    EXPECT_EQ(f.fleet.nextQuantum(), 1u);
+    for (std::size_t i = 0; i < f.fleet.numNodes(); ++i)
+        EXPECT_EQ(f.fleet.node(i).nextSlice(), 1u);
+    const FleetSummary s = f.fleet.summary();
+    EXPECT_EQ(s.quanta, 1u);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace cuttlesys

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the cluster placement policies.
+ *
+ * Pure-logic tests: policies see only NodeView vectors, so no
+ * simulator is needed to pin down the selection rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/placement.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace {
+
+NodeView
+makeView(std::size_t node, std::size_t free_slots, double headroom_w,
+         double load = 0.5, bool qos_violated = false,
+         bool stepped = true)
+{
+    NodeView v;
+    v.node = node;
+    v.freeSlots = free_slots;
+    v.occupiedSlots = 16 - free_slots;
+    v.loadFraction = load;
+    v.budgetW = 80.0;
+    v.measuredPowerW = 80.0 - headroom_w;
+    v.headroomW = headroom_w;
+    v.qosViolated = qos_violated;
+    v.stepped = stepped;
+    return v;
+}
+
+PendingJob
+someJob()
+{
+    PendingJob job;
+    job.profile.name = "churned";
+    return job;
+}
+
+TEST(FifoFirstFitTest, PicksLowestIndexWithVacancy)
+{
+    FifoFirstFit fifo;
+    const std::vector<NodeView> nodes = {
+        makeView(0, 0, 30.0),
+        makeView(1, 3, 1.0),
+        makeView(2, 8, 50.0),
+    };
+    EXPECT_EQ(fifo.place(someJob(), nodes), 1u);
+}
+
+TEST(FifoFirstFitTest, ReturnsNoNodeWhenClusterFull)
+{
+    FifoFirstFit fifo;
+    const std::vector<NodeView> nodes = {
+        makeView(0, 0, 30.0),
+        makeView(1, 0, 40.0),
+    };
+    EXPECT_EQ(fifo.place(someJob(), nodes), PlacementPolicy::kNoNode);
+}
+
+TEST(FifoFirstFitTest, IgnoresNodeState)
+{
+    // First fit is deliberately blind to headroom, load, and QoS.
+    FifoFirstFit fifo;
+    const std::vector<NodeView> nodes = {
+        makeView(0, 1, 0.5, 0.95, true),
+        makeView(1, 16, 60.0, 0.1, false),
+    };
+    EXPECT_EQ(fifo.place(someJob(), nodes), 0u);
+}
+
+TEST(BackfillTest, PrefersMostHeadroom)
+{
+    BackfillBinPack backfill(0.0, 0.0, 0.0);
+    const std::vector<NodeView> nodes = {
+        makeView(0, 4, 5.0),
+        makeView(1, 4, 20.0),
+        makeView(2, 4, 10.0),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes), 1u);
+}
+
+TEST(BackfillTest, SkipsFullNodesEvenWithBestScore)
+{
+    BackfillBinPack backfill(0.0, 0.0, 0.0);
+    const std::vector<NodeView> nodes = {
+        makeView(0, 0, 60.0),
+        makeView(1, 2, 10.0),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes), 1u);
+}
+
+TEST(BackfillTest, ReturnsNoNodeWhenClusterFull)
+{
+    BackfillBinPack backfill;
+    const std::vector<NodeView> nodes = {
+        makeView(0, 0, 60.0),
+        makeView(1, 0, 10.0),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes),
+              PlacementPolicy::kNoNode);
+}
+
+TEST(BackfillTest, QosViolationFlipsTheChoice)
+{
+    // Node 0 has 10 W more headroom, but a 15 W QoS penalty makes the
+    // healthy node 1 win.
+    BackfillBinPack backfill(15.0, 0.0, 0.0);
+    const std::vector<NodeView> nodes = {
+        makeView(0, 4, 20.0, 0.5, /*qos_violated=*/true),
+        makeView(1, 4, 10.0, 0.5, /*qos_violated=*/false),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes), 1u);
+}
+
+TEST(BackfillTest, SteersTowardTheDiurnalTrough)
+{
+    // Equal headroom; the load penalty sends the job to the replica
+    // currently riding its trough.
+    BackfillBinPack backfill(0.0, 40.0, 0.0);
+    const std::vector<NodeView> nodes = {
+        makeView(0, 4, 15.0, /*load=*/0.9),
+        makeView(1, 4, 15.0, /*load=*/0.2),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes), 1u);
+}
+
+TEST(BackfillTest, TiesBreakTowardLowestIndex)
+{
+    BackfillBinPack backfill;
+    const std::vector<NodeView> nodes = {
+        makeView(0, 4, 15.0),
+        makeView(1, 4, 15.0),
+        makeView(2, 4, 15.0),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes), 0u);
+}
+
+TEST(BackfillTest, UnsteppedNodesScoredByVacancyAndLoad)
+{
+    // Before the first quantum there is no headroom measurement; the
+    // spread bonus prefers the emptier node.
+    BackfillBinPack backfill(0.0, 0.0, 1.0);
+    const std::vector<NodeView> nodes = {
+        makeView(0, 2, 0.0, 0.5, false, /*stepped=*/false),
+        makeView(1, 9, 0.0, 0.5, false, /*stepped=*/false),
+    };
+    EXPECT_EQ(backfill.place(someJob(), nodes), 1u);
+}
+
+TEST(BackfillTest, DeterministicAcrossRepeatedCalls)
+{
+    BackfillBinPack backfill;
+    const std::vector<NodeView> nodes = {
+        makeView(0, 4, 5.0, 0.8),
+        makeView(1, 4, 25.0, 0.3),
+        makeView(2, 4, 18.0, 0.2),
+    };
+    const std::size_t first = backfill.place(someJob(), nodes);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(backfill.place(someJob(), nodes), first);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace cuttlesys

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "cf/engine.hh"
+#include "cluster/node.hh"
 #include "common/alloc_probe.hh"
 #include "common/arena.hh"
 #include "common/kernels.hh"
@@ -26,6 +27,7 @@
 #include "common/thread_pool.hh"
 #include "config/job_config.hh"
 #include "search/dds.hh"
+#include "../core/core_fixture.hh"
 
 namespace cuttlesys {
 namespace {
@@ -149,6 +151,47 @@ TEST(ZeroAlloc, DecisionQuantumIsHeapFreeAfterWarmUp)
 
     EXPECT_EQ(allocs, 0u)
         << "steady-state decision quantum touched the heap "
+        << allocs << " times over " << kMeasured << " quanta";
+}
+
+TEST(ZeroAlloc, FleetNodeSteadyStateQuantumIsHeapFree)
+{
+    // The cluster gate: a full fleet node — MulticoreSim +
+    // CuttleSysScheduler + ColocationRun behind the ClusterNode
+    // stepper — must run its steady-state quantum without touching
+    // the heap when untraced and not keeping slice records. This is
+    // what keeps an N-node fleet step allocation-free outside churn.
+    setInformEnabled(false);
+    const SystemParams params;
+    DriverOptions opts;
+    opts.durationSec = 10.0;
+    opts.loadPattern = LoadPattern::constant(0.45);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = 150.0;
+    opts.keepSliceRecords = false;
+    // Steady state means stable load AND a stable colocation: churn
+    // (CfEngine::clearJob) legitimately triggers a heap-using SVD
+    // cold restart. At constant offered load the default
+    // load-change threshold can still fire off completion-count
+    // noise, so widen it — the gate measures the no-churn quantum.
+    CuttleSysOptions sched;
+    sched.loadChangeThreshold = 1.0;
+    cluster::ClusterNode node(params, testTrainingTables(),
+                              makeTestMix(), 21, opts, 3, sched);
+
+    // Warm-up: profiling slices, buffer growth, factor caches, the
+    // thread pool, and the validator's scratch all settle.
+    for (int q = 0; q < 12; ++q)
+        node.step();
+
+    constexpr int kMeasured = 8;
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int q = 0; q < kMeasured; ++q)
+        node.step();
+    const std::uint64_t allocs = AllocProbe::newCount() - before;
+
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state fleet-node quantum touched the heap "
         << allocs << " times over " << kMeasured << " quanta";
 }
 

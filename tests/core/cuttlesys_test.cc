@@ -365,6 +365,38 @@ TEST(CuttleSysTest, JsonlTraceHasOneParseableRecordPerSlice)
     EXPECT_EQ(records[0].lcPath, telemetry::LcPath::ColdStart);
 }
 
+TEST(CuttleSysTest, JobChurnClearsLearnedStateForTheSlot)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 33);
+    auto sched = makeScheduler(sim.mix(), params);
+    runColocation(sim, sched, options(0.7, 0.5, 0.5));
+
+    // A few quanta of ingest: the churned slot's live rows hold real
+    // observations and the SGD warm-start cache is populated.
+    const std::size_t slot = 4;
+    const std::size_t live = 1 + slot; // row 0 is the LC service
+    ASSERT_GT(sched.bipsEngine().observationsForJob(live), 0u);
+    ASSERT_GT(sched.powerEngine().observationsForJob(live), 0u);
+    ASSERT_TRUE(sched.bipsEngine().hasCachedFactors());
+    ASSERT_TRUE(sched.powerEngine().hasCachedFactors());
+
+    sched.onJobChurn(slot);
+
+    // The departed job's rows are gone and the cached factors (which
+    // encode them) must not warm-start the replacement's predictions.
+    EXPECT_EQ(sched.bipsEngine().observationsForJob(live), 0u);
+    EXPECT_EQ(sched.powerEngine().observationsForJob(live), 0u);
+    EXPECT_FALSE(sched.bipsEngine().hasCachedFactors());
+    EXPECT_FALSE(sched.powerEngine().hasCachedFactors());
+
+    // Untouched slots keep their history.
+    EXPECT_GT(sched.bipsEngine().observationsForJob(1 + 5), 0u);
+
+    sched.onJobChurn(slot); // idempotent on an already-cleared slot
+    EXPECT_EQ(sched.bipsEngine().observationsForJob(live), 0u);
+}
+
 TEST(CuttleSysTest, ConstructorValidation)
 {
     const SystemParams params;

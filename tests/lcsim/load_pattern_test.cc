@@ -79,5 +79,85 @@ TEST(LoadPatternTest, StepsValidation)
                  PanicError);
 }
 
+TEST(LoadPatternTest, ZeroDurationStepIsSuperseded)
+{
+    // Two steps at the same instant: the later entry wins at exactly
+    // that time, and the zero-duration level is never observable.
+    const LoadPattern p = LoadPattern::steps(
+        {{0.0, 0.2}, {1.0, 0.5}, {1.0, 0.8}});
+    EXPECT_DOUBLE_EQ(p.at(0.999), 0.2);
+    EXPECT_DOUBLE_EQ(p.at(1.0), 0.8);
+    EXPECT_DOUBLE_EQ(p.at(2.0), 0.8);
+}
+
+TEST(LoadPatternTest, StepsClampOutsideDefinedRange)
+{
+    const LoadPattern p = LoadPattern::steps(
+        {{1.0, 0.4}, {2.0, 0.9}});
+    // Before the first step time the trace clamps to the first
+    // level; past the last step it holds the last level forever.
+    EXPECT_DOUBLE_EQ(p.at(-100.0), 0.4);
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.4);
+    EXPECT_DOUBLE_EQ(p.at(2.0), 0.9);
+    EXPECT_DOUBLE_EQ(p.at(1e9), 0.9);
+}
+
+TEST(LoadPatternTest, DiurnalHandlesNegativeTime)
+{
+    // The sine is defined for all t; negative times continue the
+    // same periodic trace backwards.
+    const LoadPattern p = LoadPattern::diurnal(0.2, 1.0, 1.0);
+    EXPECT_NEAR(p.at(-1.0), p.at(0.0), 1e-12);
+    EXPECT_NEAR(p.at(-0.5), p.at(0.5), 1e-12);
+}
+
+TEST(LoadPatternTest, ShiftedDelaysTheTrace)
+{
+    const LoadPattern base = LoadPattern::diurnal(0.2, 1.0, 1.0);
+    const LoadPattern late = base.shifted(0.25);
+    for (double t = 0.0; t < 2.0; t += 0.05)
+        EXPECT_NEAR(late.at(t), base.at(t - 0.25), 1e-12);
+    // Peak moves from t=0.5 to t=0.75.
+    EXPECT_NEAR(late.at(0.75), 1.0, 1e-12);
+}
+
+TEST(LoadPatternTest, ScaledMultipliesValues)
+{
+    const LoadPattern base = LoadPattern::steps(
+        {{0.0, 0.4}, {1.0, 0.8}});
+    const LoadPattern half = base.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.at(0.0), 0.2);
+    EXPECT_DOUBLE_EQ(half.at(1.0), 0.4);
+}
+
+TEST(LoadPatternTest, ScaledRejectsNegativeFactor)
+{
+    EXPECT_THROW(LoadPattern::constant(0.5).scaled(-1.0),
+                 PanicError);
+}
+
+TEST(LoadPatternTest, ShiftAndScaleCompose)
+{
+    // The diurnal fleet traces are built exactly like this: one
+    // shared day shape, phase-staggered and amplitude-trimmed per
+    // node replica.
+    const LoadPattern base = LoadPattern::diurnal(0.1, 0.9, 4.0);
+    const LoadPattern node = base.shifted(1.5).scaled(0.75);
+    for (double t = 0.0; t < 8.0; t += 0.25)
+        EXPECT_NEAR(node.at(t), 0.75 * base.at(t - 1.5), 1e-12);
+
+    // Transforms accumulate rather than replace.
+    const LoadPattern twice = node.shifted(0.5).scaled(2.0);
+    for (double t = 0.0; t < 8.0; t += 0.25)
+        EXPECT_NEAR(twice.at(t), 1.5 * base.at(t - 2.0), 1e-12);
+}
+
+TEST(LoadPatternTest, ShiftedConstantIsUnchanged)
+{
+    const LoadPattern p = LoadPattern::constant(0.6).shifted(3.0);
+    EXPECT_DOUBLE_EQ(p.at(0.0), 0.6);
+    EXPECT_DOUBLE_EQ(p.at(42.0), 0.6);
+}
+
 } // namespace
 } // namespace cuttlesys

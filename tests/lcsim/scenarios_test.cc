@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the named compressed-day scenario: quantum counts, the
+ * diurnal shape, phase/scale plumbing, and the budget steps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lcsim/scenarios.hh"
+
+namespace cuttlesys {
+namespace {
+
+TEST(ScenariosTest, CanonicalDayHasFortyQuanta)
+{
+    const CompressedDayScenario day;
+    EXPECT_EQ(day.quanta(0.1), 40u);
+    EXPECT_EQ(day.quanta(0.2), 20u);
+}
+
+TEST(ScenariosTest, QuantaScaleWithDayLength)
+{
+    CompressedDayScenario day;
+    day.daySeconds = 0.5;
+    EXPECT_EQ(day.quanta(0.1), 5u);
+    day.daySeconds = 8.0;
+    EXPECT_EQ(day.quanta(0.1), 80u);
+}
+
+TEST(ScenariosTest, LoadRidesTroughToPeak)
+{
+    const CompressedDayScenario day;
+    const LoadPattern load = day.loadPattern();
+    EXPECT_NEAR(load.at(0.0), day.loadTrough, 1e-9);
+    EXPECT_NEAR(load.at(day.daySeconds / 2.0), day.loadPeak, 1e-9);
+    EXPECT_NEAR(load.at(day.daySeconds), day.loadTrough, 1e-9);
+}
+
+TEST(ScenariosTest, PhaseShiftDelaysTheWave)
+{
+    const CompressedDayScenario day;
+    const LoadPattern base = day.loadPattern();
+    const double phase = day.daySeconds / 4.0;
+    const LoadPattern shifted = day.loadPattern(phase);
+    for (double t = 0.0; t < 2.0 * day.daySeconds; t += 0.25) {
+        EXPECT_NEAR(shifted.at(t + phase), base.at(t), 1e-9)
+            << "at t=" << t;
+    }
+}
+
+TEST(ScenariosTest, AmplitudeScaleMultipliesTheWave)
+{
+    const CompressedDayScenario day;
+    const LoadPattern base = day.loadPattern();
+    const LoadPattern scaled = day.loadPattern(0.0, 0.7);
+    for (double t = 0.0; t < day.daySeconds; t += 0.25)
+        EXPECT_NEAR(scaled.at(t), 0.7 * base.at(t), 1e-9);
+}
+
+TEST(ScenariosTest, BudgetDipsInsideThePeakWindow)
+{
+    const CompressedDayScenario day;
+    const LoadPattern budget = day.powerPattern();
+    EXPECT_NEAR(budget.at(0.0), day.nightBudgetFrac, 1e-9);
+    EXPECT_NEAR(budget.at(day.peakWindowStartSec - 1e-6),
+                day.nightBudgetFrac, 1e-9);
+    EXPECT_NEAR(budget.at(day.peakWindowStartSec),
+                day.peakBudgetFrac, 1e-9);
+    EXPECT_NEAR(budget.at(day.peakWindowEndSec - 1e-6),
+                day.peakBudgetFrac, 1e-9);
+    EXPECT_NEAR(budget.at(day.peakWindowEndSec),
+                day.nightBudgetFrac, 1e-9);
+    EXPECT_NEAR(budget.at(day.daySeconds), day.nightBudgetFrac, 1e-9);
+}
+
+} // namespace
+} // namespace cuttlesys

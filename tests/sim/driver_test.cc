@@ -40,12 +40,18 @@ class RecordingScheduler : public Scheduler
         return allWideDecision(batchJobs_, lcCores);
     }
 
+    void onJobChurn(std::size_t slot) override
+    {
+        churnSlots.push_back(slot);
+    }
+
     bool profiling = true;
     std::size_t lcCores = 16;
     std::vector<std::size_t> contexts;
     std::vector<double> budgets;
     std::vector<bool> sawProfiles;
     std::vector<bool> sawPrevious;
+    std::vector<std::size_t> churnSlots;
 
   private:
     std::size_t batchJobs_;
@@ -246,6 +252,125 @@ TEST(DriverTest, RejectsUnsetMaxPower)
     DriverOptions opts = basicOptions();
     opts.maxPowerW = 0.0;
     EXPECT_THROW(runColocation(sim, sched, opts), PanicError);
+}
+
+TEST(DriverTest, JobEventHookDrivesChurn)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 12);
+    RecordingScheduler sched(16);
+    DriverOptions opts = basicOptions();
+    // A job leaves slot 3 at slice 1 and a replacement arrives at
+    // slice 3; the hook is the driver-side seam the fleet layer uses.
+    opts.jobEventHook = [](std::size_t slice,
+                           std::vector<JobEvent> &out) {
+        if (slice == 1) {
+            JobEvent leave;
+            leave.slot = 3;
+            leave.departure = true;
+            out.push_back(leave);
+        } else if (slice == 3) {
+            JobEvent arrive;
+            arrive.slot = 3;
+            arrive.arrival = splitSpecGallery().test[0];
+            out.push_back(arrive);
+        }
+    };
+    const RunResult result = runColocation(sim, sched, opts);
+    EXPECT_EQ(result.jobDepartures, 1u);
+    EXPECT_EQ(result.jobArrivals, 1u);
+    ASSERT_EQ(sched.churnSlots.size(), 2u);
+    EXPECT_EQ(sched.churnSlots[0], 3u);
+    EXPECT_EQ(sched.churnSlots[1], 3u);
+    EXPECT_TRUE(sim.batchSlotOccupied(3));
+}
+
+TEST(DriverTest, QueuedDepartureVacatesTheSlot)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 13);
+    RecordingScheduler sched(16);
+    ColocationRun run(sim, sched, basicOptions());
+    EXPECT_TRUE(sim.batchSlotOccupied(5));
+    JobEvent leave;
+    leave.slot = 5;
+    leave.departure = true;
+    run.queueJobEvent(leave);
+    // The event applies at the head of the next step, not eagerly.
+    EXPECT_TRUE(sim.batchSlotOccupied(5));
+    EXPECT_TRUE(sched.churnSlots.empty());
+    run.step();
+    EXPECT_FALSE(sim.batchSlotOccupied(5));
+    EXPECT_EQ(run.result().jobDepartures, 1u);
+    ASSERT_EQ(sched.churnSlots.size(), 1u);
+    EXPECT_EQ(sched.churnSlots[0], 5u);
+}
+
+TEST(DriverTest, ArrivalRefillsAVacatedSlot)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 14);
+    RecordingScheduler sched(16);
+    ColocationRun run(sim, sched, basicOptions());
+    JobEvent leave;
+    leave.slot = 2;
+    leave.departure = true;
+    run.queueJobEvent(leave);
+    run.step();
+    ASSERT_FALSE(sim.batchSlotOccupied(2));
+    JobEvent arrive;
+    arrive.slot = 2;
+    arrive.arrival = splitSpecGallery().test[1];
+    run.queueJobEvent(arrive);
+    run.step();
+    EXPECT_TRUE(sim.batchSlotOccupied(2));
+    EXPECT_EQ(run.result().jobArrivals, 1u);
+    EXPECT_EQ(run.result().jobDepartures, 1u);
+}
+
+TEST(DriverTest, NextQuantumOverridesApplyOnce)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 15);
+    RecordingScheduler sched(16);
+    ColocationRun run(sim, sched, basicOptions());
+    run.overrideLoadFraction(0.9);
+    run.overridePowerBudgetW(42.0);
+    run.step();
+    EXPECT_NEAR(run.lastLoadFraction(), 0.9, 1e-9);
+    EXPECT_NEAR(run.lastPowerBudgetW(), 42.0, 1e-9);
+    // The next quantum falls back to the configured patterns.
+    run.step();
+    EXPECT_NEAR(run.lastLoadFraction(), 0.5, 1e-9);
+    EXPECT_NEAR(run.lastPowerBudgetW(), 0.7 * 150.0, 1e-9);
+}
+
+TEST(DriverTest, NodeIndexStampsEveryTraceRecord)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 16);
+    RecordingScheduler sched(16);
+    telemetry::MemorySink sink;
+    DriverOptions opts = basicOptions();
+    opts.traceSink = &sink;
+    opts.nodeIndex = 5;
+    runColocation(sim, sched, opts);
+    ASSERT_EQ(sink.records().size(), 5u);
+    for (const telemetry::QuantumRecord &rec : sink.records())
+        EXPECT_EQ(rec.node, 5u);
+}
+
+TEST(DriverTest, AggregatesWithoutKeepingSliceRecords)
+{
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 17);
+    RecordingScheduler sched(16);
+    DriverOptions opts = basicOptions();
+    opts.keepSliceRecords = false;
+    const RunResult result = runColocation(sim, sched, opts);
+    EXPECT_TRUE(result.slices.empty());
+    EXPECT_GT(result.totalBatchInstructions, 0.0);
+    EXPECT_GT(result.meanGmeanBips, 0.0);
 }
 
 } // namespace
