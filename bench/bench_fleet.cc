@@ -1,0 +1,836 @@
+/**
+ * @file
+ * Fleet-controller phase timing: controller overhead vs fleet size.
+ *
+ * Times the per-quantum control phases — churn, view gather,
+ * placement, power split, load shift — over a synthetic fleet (no
+ * per-node simulators, so the rows isolate pure controller overhead)
+ * at N = 16/64/256/1024 nodes. Two controllers drive identical state
+ * machines:
+ *
+ *  - "serial" reproduces the pre-rework controller: a sequential
+ *    churn RNG drawn node-major, O(slots) vacancy scans in the view
+ *    gather, a full O(N) policy rescan per placed job, and
+ *    single-threaded power/shift loops.
+ *  - "parallel" is the shipped path, built from the production
+ *    components: counter-based JobChurnEngine draws staged
+ *    block-parallel in per-worker arenas, O(1) vacancy counters,
+ *    PlacementRound's score-once-commit-through-a-heap placement,
+ *    ClusterPowerManager's block-parallel split, and the parallel
+ *    load scan.
+ *
+ * A determinism section replays the parallel controller at pool
+ * widths 1/4/8 and folds every quantum's full state (occupancy
+ * bytes, budget and load bits, counters) into a digest that must
+ * match bitwise across widths (DESIGN.md §12). A steady-state
+ * allocation row counts heap traffic per parallel quantum via the
+ * cs_alloc_probe operator-new replacement (must be 0).
+ *
+ * --smoke: exit nonzero unless the N=256 combined controller-phase
+ * speedup is >= 3x, the width digests agree, and the steady state is
+ * allocation-free. Emits BENCH_fleet.json next to stdout.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apps/app_profile.hh"
+#include "cluster/churn.hh"
+#include "cluster/node.hh"
+#include "cluster/placement.hh"
+#include "cluster/power_manager.hh"
+#include "common/alloc_probe.hh"
+#include "common/arena.hh"
+#include "common/thread_pool.hh"
+
+using namespace cuttlesys;
+using namespace cuttlesys::cluster;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A high-churn rack: two arrivals per node per quantum against a
+// matching departure rate, holding occupancy near 52% — placement
+// pressure scales with N, which is exactly the load the rework
+// targets.
+constexpr std::size_t kSlots = 16;          //!< batch slots per node
+constexpr double kDepartureProb = 0.24;     //!< per occupied slot
+constexpr double kArrivalsPerNode = 2.0;    //!< mean per quantum
+constexpr double kBudgetPerNodeW = 95.0;
+constexpr double kNodeFloorW = 30.0;
+constexpr double kNodeCapW = 130.0;
+constexpr std::size_t kChunk = 32;          //!< nodes per block
+constexpr double kTwoPi = 6.283185307179586;
+
+/** SplitMix64 finisher, used for the synthetic state and digests. */
+std::uint64_t
+mixBits(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** The sequential RNG the pre-rework churn phase consumed. */
+struct SeqRng
+{
+    std::uint64_t state;
+
+    std::uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ULL;
+        return mixBits(state);
+    }
+
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+};
+
+/** Small pool of short-named profiles churn arrivals draw from. */
+std::vector<AppProfile>
+syntheticPool()
+{
+    std::vector<AppProfile> pool(8);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        pool[i].name = "batch-";
+        pool[i].name += static_cast<char>('a' + i);
+        pool[i].seed = 101 + i;
+        pool[i].apki = 2.0 + static_cast<double>(i);
+    }
+    return pool;
+}
+
+/** Replica i's offered LC load at @p quantum (phase-staggered day). */
+double
+offeredLoad(std::uint64_t quantum, std::size_t i, std::size_t n)
+{
+    const double phase = static_cast<double>(quantum) / 96.0 +
+        static_cast<double>(i) / static_cast<double>(n);
+    return 0.5 + 0.45 * std::sin(kTwoPi * phase);
+}
+
+/**
+ * The controller-visible cluster state both implementations drive:
+ * planned occupancy, per-quantum views, the budget feedback loop, and
+ * the FIFO arrival queue. The parallel path additionally maintains
+ * the O(1) vacancy counters and first-vacant hints the reworked
+ * ClusterNode keeps; the serial path ignores them and re-scans, as
+ * the pre-rework controller did.
+ */
+struct SyntheticFleet
+{
+    std::size_t n = 0;
+    std::size_t maxPending = 0;
+    std::vector<std::uint8_t> occupied;    //!< n x kSlots
+    std::vector<std::size_t> freeCount;    //!< per node (O(1) gather)
+    std::vector<std::size_t> firstVacant;  //!< per node hint
+    std::vector<NodeView> views;
+    std::vector<double> budgets;           //!< fed back into views
+    std::vector<double> loads;
+    std::vector<PendingJob> pending;
+    std::size_t pendingHead = 0;
+    std::uint64_t quantum = 0;
+    std::size_t arrivals = 0;
+    std::size_t departures = 0;
+    std::size_t placements = 0;
+    std::size_t dropped = 0;
+
+    std::size_t queued() const { return pending.size() - pendingHead; }
+};
+
+SyntheticFleet
+makeFleet(std::size_t n, std::uint64_t seed)
+{
+    SyntheticFleet st;
+    st.n = n;
+    st.maxPending = 2 * n;
+    st.occupied.assign(n * kSlots, 0);
+    st.freeCount.assign(n, kSlots);
+    st.firstVacant.assign(n, 0);
+    st.views.resize(n);
+    st.budgets.assign(n, kBudgetPerNodeW);
+    st.loads.assign(n, 0.0);
+    st.pending.reserve(st.maxPending + n);
+
+    // Start near the churn equilibrium (~52% occupied) so the timed
+    // quanta measure steady-state phase work from the first rep.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t s = 0; s < kSlots; ++s) {
+            const std::uint64_t h =
+                mixBits(seed ^ (i * kSlots + s) * 0x9e3779b97f4a7c15ULL);
+            if ((static_cast<double>(h >> 11) * 0x1.0p-53) < 0.52) {
+                st.occupied[i * kSlots + s] = 1;
+                --st.freeCount[i];
+            }
+        }
+        std::size_t v = 0;
+        while (v < kSlots && st.occupied[i * kSlots + v])
+            ++v;
+        st.firstVacant[i] = v;
+    }
+    return st;
+}
+
+/** Fill node @p i's view for this quantum (shared by both paths). */
+void
+fillView(SyntheticFleet &st, std::size_t i, std::size_t free_slots)
+{
+    NodeView &v = st.views[i];
+    const double load = offeredLoad(st.quantum, i, st.n);
+    v.node = i;
+    v.freeSlots = free_slots;
+    v.occupiedSlots = kSlots - free_slots;
+    v.loadFraction = load;
+    v.budgetW = st.budgets[i];
+    v.measuredPowerW = 40.0 + 55.0 * load +
+        3.0 * static_cast<double>(v.occupiedSlots);
+    v.headroomW = v.budgetW - v.measuredPowerW;
+    v.qosViolated = load > 0.85;
+    v.gmeanBips = 1.0;
+    v.stepped = true;
+}
+
+/** Serial donor/receiver pairing and commit (shared by both paths). */
+void
+shiftCommit(SyntheticFleet &st)
+{
+    std::size_t receiver = PlacementPolicy::kNoNode;
+    for (std::size_t i = 0; i < st.n; ++i) {
+        if (st.views[i].qosViolated)
+            continue;
+        if (receiver == PlacementPolicy::kNoNode ||
+            st.loads[i] < st.loads[receiver]) {
+            receiver = i;
+        }
+    }
+    if (receiver == PlacementPolicy::kNoNode)
+        return;
+    for (std::size_t i = 0; i < st.n; ++i) {
+        if (!st.views[i].qosViolated || i == receiver)
+            continue;
+        const double moved = st.loads[i] * 0.15;
+        st.loads[i] -= moved;
+        st.loads[receiver] += moved;
+    }
+}
+
+/** FIFO-queue compaction at end of quantum (shared by both paths). */
+void
+compactPending(SyntheticFleet &st)
+{
+    if (st.pendingHead == st.pending.size()) {
+        st.pending.clear();
+        st.pendingHead = 0;
+    } else if (st.pendingHead >= 32 &&
+               st.pendingHead * 2 >= st.pending.size()) {
+        st.pending.erase(st.pending.begin(),
+                         st.pending.begin() +
+                             static_cast<std::ptrdiff_t>(st.pendingHead));
+        st.pendingHead = 0;
+    }
+}
+
+enum PhaseIdx { kChurn, kGather, kPlace, kPower, kShift, kNumPhases };
+
+const char *const kPhaseNames[kNumPhases] = {
+    "churn", "gather", "place", "power", "shift",
+};
+
+/** Per-phase accumulated microseconds for one configuration. */
+struct PhaseUs
+{
+    double us[kNumPhases] = {};
+
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const double v : us)
+            sum += v;
+        return sum;
+    }
+};
+
+class PhaseTimer
+{
+  public:
+    PhaseTimer(PhaseUs &acc, PhaseIdx phase)
+        : acc_(acc), phase_(phase), start_(Clock::now())
+    {
+    }
+
+    ~PhaseTimer()
+    {
+        acc_.us[phase_] +=
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      start_).count();
+    }
+
+  private:
+    PhaseUs &acc_;
+    PhaseIdx phase_;
+    Clock::time_point start_;
+};
+
+/**
+ * The pre-rework controller quantum: every loop single-threaded,
+ * every draw from one sequential stream, every vacancy re-scanned.
+ */
+struct SerialController
+{
+    const PlacementPolicy &policy;
+    const std::vector<AppProfile> &pool;
+    SeqRng rng;
+
+    void
+    quantum(SyntheticFleet &st, PhaseUs &acc)
+    {
+        const std::size_t n = st.n;
+        {
+            PhaseTimer t(acc, kChurn);
+            // Departures: one Bernoulli per occupied slot, node-major
+            // off the shared stream.
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::size_t s = 0; s < kSlots; ++s) {
+                    std::uint8_t &occ = st.occupied[i * kSlots + s];
+                    if (occ && rng.uniform() < kDepartureProb) {
+                        occ = 0;
+                        ++st.departures;
+                    }
+                }
+            }
+            // Arrivals: one cluster-wide count, then pool draws.
+            const double mean =
+                kArrivalsPerNode * static_cast<double>(n);
+            const double whole = std::floor(mean);
+            std::size_t count = static_cast<std::size_t>(whole);
+            if (rng.uniform() < mean - whole)
+                ++count;
+            for (std::size_t k = 0; k < count; ++k) {
+                if (st.queued() >= st.maxPending) {
+                    ++st.dropped;
+                    continue;
+                }
+                PendingJob job;
+                job.profile = pool[rng.next() % pool.size()];
+                job.profile.seed ^= rng.next();
+                job.submitSlice = st.quantum;
+                st.pending.push_back(std::move(job));
+                ++st.arrivals;
+            }
+        }
+        {
+            PhaseTimer t(acc, kGather);
+            // O(slots) vacancy scan per node, serial.
+            for (std::size_t i = 0; i < n; ++i) {
+                std::size_t free_slots = 0;
+                for (std::size_t s = 0; s < kSlots; ++s) {
+                    if (!st.occupied[i * kSlots + s])
+                        ++free_slots;
+                }
+                fillView(st, i, free_slots);
+            }
+        }
+        {
+            PhaseTimer t(acc, kPlace);
+            // Full policy rescan per job, O(slots) slot scan per
+            // booking.
+            while (st.pendingHead < st.pending.size()) {
+                const std::size_t target =
+                    policy.place(st.pending[st.pendingHead], st.views);
+                if (target == PlacementPolicy::kNoNode)
+                    break;
+                std::size_t slot = 0;
+                while (st.occupied[target * kSlots + slot])
+                    ++slot;
+                st.occupied[target * kSlots + slot] = 1;
+                --st.views[target].freeSlots;
+                ++st.views[target].occupiedSlots;
+                ++st.placements;
+                ++st.pendingHead;
+            }
+            compactPending(st);
+        }
+        {
+            PhaseTimer t(acc, kPower);
+            // The pre-rework ClusterPowerManager::split, verbatim
+            // serial: weights, left-fold sum, fill, clip/redistribute.
+            double weightSum = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const NodeView &v = st.views[i];
+                double demand = v.stepped
+                    ? std::max(v.measuredPowerW, kNodeFloorW)
+                    : 1.0;
+                if (v.qosViolated)
+                    demand += 10.0;
+                st.loads[i] = demand; // reuse as weight scratch
+                weightSum += demand;
+            }
+            const double distributable =
+                (kBudgetPerNodeW - kNodeFloorW) *
+                static_cast<double>(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double share = weightSum > 0.0
+                    ? distributable * st.loads[i] / weightSum
+                    : distributable / static_cast<double>(n);
+                st.budgets[i] = kNodeFloorW + share;
+            }
+            double excess = 0.0;
+            std::size_t uncapped = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (st.budgets[i] > kNodeCapW) {
+                    excess += st.budgets[i] - kNodeCapW;
+                    st.budgets[i] = kNodeCapW;
+                } else {
+                    ++uncapped;
+                }
+            }
+            if (excess > 0.0 && uncapped > 0) {
+                const double share =
+                    excess / static_cast<double>(uncapped);
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (st.budgets[i] < kNodeCapW) {
+                        st.budgets[i] =
+                            std::min(st.budgets[i] + share, kNodeCapW);
+                    }
+                }
+            }
+        }
+        {
+            PhaseTimer t(acc, kShift);
+            for (std::size_t i = 0; i < n; ++i)
+                st.loads[i] = offeredLoad(st.quantum + 1, i, st.n);
+            shiftCommit(st);
+        }
+        ++st.quantum;
+    }
+};
+
+/**
+ * The shipped controller quantum, built from the production
+ * components: parallel scans with per-worker arena staging, ordered
+ * serial commits (the FleetController phase structure without the
+ * per-node simulators).
+ */
+struct ParallelController
+{
+    ThreadPool &pool;
+    const PlacementPolicy &policy;
+    JobChurnEngine churn;
+    ClusterPowerManager power;
+    PlacementRound round;
+    WorkerArenaSet arenas;
+
+    struct NodePlan
+    {
+        std::uint16_t *departSlots = nullptr;
+        std::uint16_t numDeparts = 0;
+        std::uint16_t arrivals = 0;
+    };
+    std::vector<NodePlan> plan;
+
+    ParallelController(ThreadPool &pool_ref,
+                       const PlacementPolicy &placement,
+                       const std::vector<AppProfile> &job_pool,
+                       std::size_t n, std::uint64_t seed)
+        : pool(pool_ref), policy(placement),
+          churn(job_pool, n, seed,
+                ChurnOptions{kDepartureProb, kArrivalsPerNode *
+                                 static_cast<double>(n),
+                             2 * n}),
+          power(PowerPolicy::HeadroomRebalance,
+                PowerManagerOptions{
+                    .rackBudgetW =
+                        kBudgetPerNodeW * static_cast<double>(n),
+                    .nodeFloorW = kNodeFloorW,
+                    .nodeCapW = kNodeCapW,
+                    .qosBoostW = 10.0}),
+          arenas(pool_ref.slotCount())
+    {
+        plan.resize(n);
+        // Worst-case staging prewarm (one worker scanning the whole
+        // fleet), as the production FleetController does: the worker
+        // schedule varies, so without it an unlucky quantum grows an
+        // arena mid-measurement.
+        for (std::size_t s = 0; s < arenas.size(); ++s)
+            arenas.at(s).alloc<std::uint16_t>(n * kSlots);
+        arenas.resetAll();
+    }
+
+    void
+    quantum(SyntheticFleet &st, PhaseUs &acc)
+    {
+        const std::size_t n = st.n;
+        {
+            PhaseTimer t(acc, kChurn);
+            // Parallel scan: stage per-node departure lists in the
+            // worker's arena; every draw is a pure function of its
+            // coordinates.
+            arenas.resetAll();
+            pool.parallelChunks(
+                n, kChunk,
+                [this, &st](std::size_t, std::size_t begin,
+                            std::size_t end) {
+                    ScratchArena &arena =
+                        arenas.at(ThreadPool::currentSlot());
+                    for (std::size_t i = begin; i < end; ++i) {
+                        std::uint16_t *stage =
+                            arena.alloc<std::uint16_t>(kSlots);
+                        std::uint16_t count = 0;
+                        for (std::size_t s = 0; s < kSlots; ++s) {
+                            if (st.occupied[i * kSlots + s] &&
+                                churn.departs(st.quantum, i, s)) {
+                                stage[count++] =
+                                    static_cast<std::uint16_t>(s);
+                            }
+                        }
+                        plan[i].departSlots = stage;
+                        plan[i].numDeparts = count;
+                        plan[i].arrivals =
+                            static_cast<std::uint16_t>(
+                                churn.arrivalsAt(st.quantum, i));
+                    }
+                });
+            // Serial merge in node-index order.
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::uint16_t d = 0; d < plan[i].numDeparts;
+                     ++d) {
+                    const std::size_t s = plan[i].departSlots[d];
+                    st.occupied[i * kSlots + s] = 0;
+                    ++st.freeCount[i];
+                    st.firstVacant[i] =
+                        std::min(st.firstVacant[i], s);
+                    ++st.departures;
+                }
+                for (std::uint16_t k = 0; k < plan[i].arrivals;
+                     ++k) {
+                    if (st.queued() >= st.maxPending) {
+                        ++st.dropped;
+                        continue;
+                    }
+                    PendingJob job;
+                    job.profile = churn.drawJobAt(st.quantum, i, k);
+                    job.submitSlice = st.quantum;
+                    st.pending.push_back(std::move(job));
+                    ++st.arrivals;
+                }
+            }
+        }
+        {
+            PhaseTimer t(acc, kGather);
+            // O(1) vacancy counters, block-parallel disjoint writes.
+            pool.parallelChunks(
+                n, kChunk,
+                [&st](std::size_t, std::size_t begin,
+                      std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        fillView(st, i, st.freeCount[i]);
+                });
+        }
+        {
+            PhaseTimer t(acc, kPlace);
+            // Score once in parallel, commit the queue through the
+            // heap.
+            round.begin(policy, st.views, pool);
+            while (st.pendingHead < st.pending.size()) {
+                const std::size_t target = round.placeOne();
+                if (target == PlacementPolicy::kNoNode)
+                    break;
+                std::size_t &hint = st.firstVacant[target];
+                st.occupied[target * kSlots + hint] = 1;
+                --st.freeCount[target];
+                while (hint < kSlots &&
+                       st.occupied[target * kSlots + hint]) {
+                    ++hint;
+                }
+                ++st.placements;
+                ++st.pendingHead;
+            }
+            compactPending(st);
+        }
+        {
+            PhaseTimer t(acc, kPower);
+            power.split(st.views, st.budgets, pool);
+        }
+        {
+            PhaseTimer t(acc, kShift);
+            pool.parallelChunks(
+                n, kChunk,
+                [&st](std::size_t, std::size_t begin,
+                      std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        st.loads[i] =
+                            offeredLoad(st.quantum + 1, i, st.n);
+                    }
+                });
+            shiftCommit(st);
+        }
+        ++st.quantum;
+    }
+};
+
+/** Fold one quantum's full controller state into a digest. */
+std::uint64_t
+digestState(const SyntheticFleet &st, std::uint64_t digest)
+{
+    for (const std::uint8_t occ : st.occupied)
+        digest = mixBits(digest ^ occ);
+    for (const double v : st.budgets) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        digest = mixBits(digest ^ bits);
+    }
+    for (const double v : st.loads) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        digest = mixBits(digest ^ bits);
+    }
+    digest = mixBits(digest ^ st.queued());
+    digest = mixBits(digest ^ st.arrivals);
+    digest = mixBits(digest ^ st.departures);
+    digest = mixBits(digest ^ st.placements);
+    digest = mixBits(digest ^ st.dropped);
+    return digest;
+}
+
+constexpr std::size_t kWarmQuanta = 3;
+
+/** One curve point: best-of-reps per-quantum phase times. */
+struct CurvePoint
+{
+    std::size_t nodes = 0;
+    PhaseUs serial;    //!< per-quantum, best rep
+    PhaseUs parallel;  //!< per-quantum, best rep
+    double speedup = 0.0;
+};
+
+CurvePoint
+measure(std::size_t n, std::size_t quanta, std::size_t reps,
+        const PlacementPolicy &policy,
+        const std::vector<AppProfile> &job_pool)
+{
+    CurvePoint pt;
+    pt.nodes = n;
+    double bestSerial = 1e18;
+    double bestParallel = 1e18;
+
+    for (std::size_t r = 0; r < reps; ++r) {
+        SyntheticFleet st = makeFleet(n, 42);
+        SerialController ctl{policy, job_pool, SeqRng{977 + r}};
+        PhaseUs warm;
+        for (std::size_t q = 0; q < kWarmQuanta; ++q)
+            ctl.quantum(st, warm);
+        PhaseUs acc;
+        for (std::size_t q = 0; q < quanta; ++q)
+            ctl.quantum(st, acc);
+        if (acc.total() < bestSerial) {
+            bestSerial = acc.total();
+            for (std::size_t p = 0; p < kNumPhases; ++p) {
+                pt.serial.us[p] =
+                    acc.us[p] / static_cast<double>(quanta);
+            }
+        }
+    }
+    for (std::size_t r = 0; r < reps; ++r) {
+        SyntheticFleet st = makeFleet(n, 42);
+        ParallelController ctl(ThreadPool::global(), policy,
+                               job_pool, n, 977 + r);
+        PhaseUs warm;
+        for (std::size_t q = 0; q < kWarmQuanta; ++q)
+            ctl.quantum(st, warm);
+        PhaseUs acc;
+        for (std::size_t q = 0; q < quanta; ++q)
+            ctl.quantum(st, acc);
+        if (acc.total() < bestParallel) {
+            bestParallel = acc.total();
+            for (std::size_t p = 0; p < kNumPhases; ++p) {
+                pt.parallel.us[p] =
+                    acc.us[p] / static_cast<double>(quanta);
+            }
+        }
+    }
+    pt.speedup = pt.serial.total() / pt.parallel.total();
+    return pt;
+}
+
+/**
+ * Replay the parallel controller at several pool widths; the state
+ * digest after every quantum must agree bitwise across widths.
+ */
+bool
+deterministicAcrossWidths(std::size_t n, std::size_t quanta,
+                          const PlacementPolicy &policy,
+                          const std::vector<AppProfile> &job_pool,
+                          const std::vector<std::size_t> &widths)
+{
+    std::uint64_t reference = 0;
+    bool haveReference = false;
+    for (const std::size_t w : widths) {
+        ThreadPool pool(w);
+        SyntheticFleet st = makeFleet(n, 42);
+        ParallelController ctl(pool, policy, job_pool, n, 977);
+        PhaseUs acc;
+        std::uint64_t digest = 0;
+        for (std::size_t q = 0; q < quanta; ++q) {
+            ctl.quantum(st, acc);
+            digest = digestState(st, digest);
+        }
+        if (!haveReference) {
+            reference = digest;
+            haveReference = true;
+        } else if (digest != reference) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Heap allocations per steady-state parallel quantum (must be 0). */
+std::uint64_t
+steadyStateAllocs(std::size_t n, const PlacementPolicy &policy,
+                  const std::vector<AppProfile> &job_pool)
+{
+    SyntheticFleet st = makeFleet(n, 42);
+    ParallelController ctl(ThreadPool::global(), policy, job_pool, n,
+                           977);
+    PhaseUs acc;
+    for (std::size_t q = 0; q < 4; ++q)
+        ctl.quantum(st, acc);
+
+    constexpr std::size_t kSteady = 8;
+    const std::uint64_t before = AllocProbe::newCount();
+    for (std::size_t q = 0; q < kSteady; ++q)
+        ctl.quantum(st, acc);
+    const std::uint64_t after = AllocProbe::newCount();
+    return (after - before) / kSteady;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    std::printf("==============================================="
+                "=========================\n");
+    std::printf("bench_fleet — controller overhead vs fleet size\n");
+    std::printf("serial = pre-rework sequential phases; parallel = "
+                "shipped scan/commit\n");
+    std::printf("-----------------------------------------------"
+                "-------------------------\n");
+
+    const std::vector<AppProfile> jobPool = syntheticPool();
+    const BackfillBinPack policy;
+    const std::vector<std::size_t> sizes = {16, 64, 256, 1024};
+    const std::size_t quanta = smoke ? 12 : 24;
+    const std::size_t reps = smoke ? 2 : 3;
+
+    std::vector<CurvePoint> curve;
+    for (const std::size_t n : sizes)
+        curve.push_back(measure(n, quanta, reps, policy, jobPool));
+
+    const std::vector<std::size_t> widths = {1, 4, 8};
+    const bool deterministic =
+        deterministicAcrossWidths(256, 8, policy, jobPool, widths);
+    const std::uint64_t allocs =
+        steadyStateAllocs(256, policy, jobPool);
+
+    std::printf("%8s %14s %14s %9s\n", "nodes", "serial us/q",
+                "parallel us/q", "speedup");
+    double speedupAt256 = 0.0;
+    for (const CurvePoint &pt : curve) {
+        std::printf("%8zu %14.1f %14.1f %8.2fx\n", pt.nodes,
+                    pt.serial.total(), pt.parallel.total(),
+                    pt.speedup);
+        if (pt.nodes == 256)
+            speedupAt256 = pt.speedup;
+    }
+
+    std::printf("\nphase breakdown at N=256 (us/quantum):\n");
+    std::printf("%8s", "");
+    for (const char *name : kPhaseNames)
+        std::printf(" %9s", name);
+    std::printf("\n");
+    for (const CurvePoint &pt : curve) {
+        if (pt.nodes != 256)
+            continue;
+        std::printf("%8s", "serial");
+        for (std::size_t p = 0; p < kNumPhases; ++p)
+            std::printf(" %9.1f", pt.serial.us[p]);
+        std::printf("\n%8s", "parallel");
+        for (std::size_t p = 0; p < kNumPhases; ++p)
+            std::printf(" %9.1f", pt.parallel.us[p]);
+        std::printf("\n");
+    }
+    std::printf("\ndeterministic across pool widths 1/4/8: %s\n",
+                deterministic ? "yes" : "NO");
+    std::printf("steady-state allocations/quantum (N=256): %llu\n",
+                static_cast<unsigned long long>(allocs));
+
+    if (FILE *f = std::fopen("BENCH_fleet.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"slots_per_node\": %zu,\n"
+                     "  \"quanta\": %zu,\n"
+                     "  \"placement_policy\": \"%s\",\n"
+                     "  \"curve\": [\n",
+                     kSlots, quanta, policy.name());
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            const CurvePoint &pt = curve[i];
+            std::fprintf(f,
+                         "    {\"nodes\": %zu, "
+                         "\"serial_us_per_quantum\": %.2f, "
+                         "\"parallel_us_per_quantum\": %.2f, "
+                         "\"speedup\": %.3f}%s\n",
+                         pt.nodes, pt.serial.total(),
+                         pt.parallel.total(), pt.speedup,
+                         i + 1 < curve.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n"
+                     "  \"speedup_at_256\": %.3f,\n"
+                     "  \"deterministic_widths\": [1, 4, 8],\n"
+                     "  \"deterministic\": %s,\n"
+                     "  \"steady_state_allocs_per_quantum\": %llu\n"
+                     "}\n",
+                     speedupAt256, deterministic ? "true" : "false",
+                     static_cast<unsigned long long>(allocs));
+        std::fclose(f);
+        std::printf("wrote BENCH_fleet.json\n");
+    }
+
+    if (smoke) {
+        bool ok = true;
+        if (speedupAt256 < 3.0) {
+            std::printf("SMOKE FAIL: N=256 controller speedup %.2fx "
+                        "< 3.0x\n", speedupAt256);
+            ok = false;
+        }
+        if (!deterministic) {
+            std::printf("SMOKE FAIL: parallel controller diverges "
+                        "across pool widths\n");
+            ok = false;
+        }
+        if (allocs != 0) {
+            std::printf("SMOKE FAIL: %llu steady-state allocations "
+                        "per quantum (expected 0)\n",
+                        static_cast<unsigned long long>(allocs));
+            ok = false;
+        }
+        if (ok)
+            std::printf("SMOKE PASS\n");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

@@ -18,13 +18,16 @@
  *    backends on the hot primitive shapes (both are always compiled;
  *    CS_KERNEL_SCALAR only flips the public dispatch),
  *  - a steady-state allocations-per-quantum row, counted by the
- *    cs_alloc_probe operator-new replacement (must be 0), and
- *  - --smoke: exit nonzero unless speedup >= 1.5x and the
- *    steady-state allocation count is 0, for CI.
+ *    cs_alloc_probe operator-new replacement (must be 0),
+ *  - a paired telemetry-overhead row: interleaved best-of-K quanta
+ *    with and without a trace attached (null sink), and
+ *  - --smoke: exit nonzero unless speedup >= 1.5x, the steady-state
+ *    allocation count is 0, and telemetry overhead < 1%, for CI.
  *
  * Emits BENCH_hotpath.json next to stdout for scripted comparison.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -186,14 +189,9 @@ struct RunStats
 
 RunStats
 run(bool warm_start, std::size_t conv_samples, bool delta,
-    bool fast_path, bool traced = false)
+    bool fast_path)
 {
     HotPath path(warm_start, conv_samples, delta, fast_path);
-    // Sink stays null: measures the record-fill + phase-timer cost of
-    // compiled-in telemetry without any serialization.
-    telemetry::QuantumTrace trace;
-    if (traced)
-        path.trace = &trace;
     // Untimed cold quantum: fills the factor caches for the "after"
     // configuration, and gives both configurations identical warmup.
     path.quantum(0);
@@ -212,6 +210,96 @@ run(bool warm_start, std::size_t conv_samples, bool delta,
     }
     stats.meanMs /= kQuanta;
     stats.meanObjective /= kQuanta;
+    return stats;
+}
+
+/** Paired telemetry-overhead measurement (see telemetryOverhead). */
+struct TelemetryStats
+{
+    double bareMinMs = 0.0;   //!< best block avg, trace pointer null
+    double tracedMinMs = 0.0; //!< best block avg, trace attached
+    double medianDiffUs = 0.0; //!< median per-pair (traced - bare)
+    double bestDiffUs = 0.0;   //!< smallest per-pair (traced - bare)
+    double overheadPct = 0.0;  //!< best diff / bare min, clamped >= 0
+};
+
+/**
+ * Cost of compiled-in telemetry (record fill + phase timers, sink
+ * stays null), measured as a paired comparison on a single
+ * shipped-path instance: each round times one bare and one traced
+ * *block* of quanta back to back over the same slice range — same
+ * DDS seeds, so both halves run the same search trajectories over
+ * near-identical model state — and records the per-quantum traced
+ * minus bare difference. Blocks rather than single quanta because a
+ * 1.7 ms quantum's wall time on a busy core swings by hundreds of
+ * microseconds of timeslice luck; an 8-quantum block averages that
+ * down before the subtraction. The order alternates round to round
+ * (ABBA), cancelling the second half's warm-cache advantage. Sharing
+ * one instance means both sides also see identical buffer addresses
+ * and layout; the only systematic difference between the halves is
+ * the telemetry itself.
+ *
+ * The gated estimate is the *best* (smallest) per-round difference
+ * over the bare floor — best-of-K on the paired diff, not per side.
+ * Preemption noise is one-sided: it can only inflate a round's diff
+ * (whichever half it lands on makes that half slower), so the
+ * cleanest round approaches the true overhead from above, while a
+ * real regression is paid in every round and survives the min. The
+ * median diff rides along in the report as a cross-check. Comparing
+ * two *independent* run() calls here is hopeless — the overhead is
+ * well under the quantum's run-to-run noise, which is how the report
+ * once showed telemetry making the loop 2% faster — and even
+ * best-of-K per side stays a few percent noisy, because the minima
+ * of two heavy-tailed timing distributions converge slowly. The
+ * result is clamped at zero: the traced quantum cannot be genuinely
+ * faster, so a negative raw diff just means the overhead is below
+ * the measurement floor.
+ */
+TelemetryStats
+telemetryOverhead()
+{
+    HotPath path(true, 512, true, true);
+    telemetry::QuantumTrace trace;
+
+    for (std::size_t q = 0; q < 4; ++q)
+        path.quantum(q);
+
+    constexpr std::size_t kBlock = 8;   //!< quanta per timed block
+    constexpr std::size_t kRounds = 12; //!< paired blocks
+    TelemetryStats stats;
+    stats.bareMinMs = 1e18;
+    stats.tracedMinMs = 1e18;
+    std::vector<double> diffsUs;
+    diffsUs.reserve(kRounds);
+    std::size_t slice = 4;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+        const bool traced_first = (r % 2 == 1);
+        double bare_ms = 0.0, traced_ms = 0.0;
+        for (int half = 0; half < 2; ++half) {
+            const bool with_trace = (half == 0) == traced_first;
+            path.trace = with_trace ? &trace : nullptr;
+            const auto start = Clock::now();
+            for (std::size_t b = 0; b < kBlock; ++b)
+                path.quantum(slice + b);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - start).count() /
+                static_cast<double>(kBlock);
+            (with_trace ? traced_ms : bare_ms) = ms;
+        }
+        slice += kBlock;
+        stats.bareMinMs = std::min(stats.bareMinMs, bare_ms);
+        stats.tracedMinMs = std::min(stats.tracedMinMs, traced_ms);
+        diffsUs.push_back((traced_ms - bare_ms) * 1e3);
+    }
+    path.trace = nullptr;
+    stats.bestDiffUs =
+        *std::min_element(diffsUs.begin(), diffsUs.end());
+    std::nth_element(diffsUs.begin(),
+                     diffsUs.begin() + kRounds / 2, diffsUs.end());
+    stats.medianDiffUs = diffsUs[kRounds / 2];
+    stats.overheadPct = std::max(
+        0.0, stats.bestDiffUs / (stats.bareMinMs * 1e3) * 100.0);
     return stats;
 }
 
@@ -362,13 +450,9 @@ main(int argc, char **argv)
 
     const RunStats before = run(false, 0, false, false);
     const RunStats after = run(true, 512, true, true);
-    const RunStats traced = run(true, 512, true, true, true);
+    const TelemetryStats telem = telemetryOverhead();
     const double speedup = before.meanMs / after.meanMs;
     const double speedup_min = before.minMs / after.minMs;
-    // min-over-quanta is the least noisy estimator on a loaded
-    // machine; the telemetry budget in DESIGN.md §8 is <1%.
-    const double telemetry_pct =
-        (traced.minMs / after.minMs - 1.0) * 100.0;
     const std::uint64_t allocs = steadyStateAllocs();
     const std::vector<MicroRow> micro = microKernels();
 
@@ -380,13 +464,12 @@ main(int argc, char **argv)
     std::printf("%-28s %10.3f %10.3f %14.4f\n",
                 "after (warm/delta/arena)", after.meanMs, after.minMs,
                 after.meanObjective);
-    std::printf("%-28s %10.3f %10.3f %14.4f\n",
-                "after + trace (no sink)", traced.meanMs, traced.minMs,
-                traced.meanObjective);
     std::printf("combined speedup: %.2fx (min-ms %.2fx)\n", speedup,
                 speedup_min);
-    std::printf("telemetry overhead (min ms): %+.2f%%\n",
-                telemetry_pct);
+    std::printf("telemetry overhead (paired diff best %+.1f / median "
+                "%+.1f us over %.3f ms floor): %.2f%%\n",
+                telem.bestDiffUs, telem.medianDiffUs, telem.bareMinMs,
+                telem.overheadPct);
     std::printf("steady-state allocations/quantum: %llu\n",
                 static_cast<unsigned long long>(allocs));
 
@@ -410,8 +493,10 @@ main(int argc, char **argv)
                      "  \"after_mean_objective\": %.6f,\n"
                      "  \"speedup\": %.4f,\n"
                      "  \"speedup_min_ms\": %.4f,\n"
-                     "  \"traced_mean_ms\": %.4f,\n"
-                     "  \"traced_min_ms\": %.4f,\n"
+                     "  \"telemetry_bare_min_ms\": %.4f,\n"
+                     "  \"telemetry_traced_min_ms\": %.4f,\n"
+                     "  \"telemetry_best_paired_diff_us\": %.3f,\n"
+                     "  \"telemetry_median_paired_diff_us\": %.3f,\n"
                      "  \"telemetry_overhead_pct\": %.4f,\n"
                      "  \"steady_state_allocs_per_quantum\": %llu,\n"
                      "  \"kernel_backend\": \"%s\",\n"
@@ -419,7 +504,9 @@ main(int argc, char **argv)
                      kQuanta, before.meanMs, before.minMs,
                      before.meanObjective, after.meanMs, after.minMs,
                      after.meanObjective, speedup, speedup_min,
-                     traced.meanMs, traced.minMs, telemetry_pct,
+                     telem.bareMinMs, telem.tracedMinMs,
+                     telem.bestDiffUs, telem.medianDiffUs,
+                     telem.overheadPct,
                      static_cast<unsigned long long>(allocs),
                      kernels::backendName());
         for (std::size_t i = 0; i < micro.size(); ++i) {
@@ -446,6 +533,13 @@ main(int argc, char **argv)
             std::printf("SMOKE FAIL: %llu steady-state allocations "
                         "per quantum (expected 0)\n",
                         static_cast<unsigned long long>(allocs));
+            ok = false;
+        }
+        // DESIGN.md §8 budgets compiled-in telemetry at under 1% of
+        // the decision quantum.
+        if (telem.overheadPct >= 1.0) {
+            std::printf("SMOKE FAIL: telemetry overhead %.2f%% >= "
+                        "1%%\n", telem.overheadPct);
             ok = false;
         }
         if (ok)

@@ -17,7 +17,8 @@
  *                   saved by an earlier run (wall-clock fields are
  *                   excluded by the structural diff)
  *
- * Usage: fleet_replay_check [day_seconds] [runs] [--save P] [--against P]
+ * Usage: fleet_replay_check [day_seconds] [runs]
+ *                           [--nodes N] [--save P] [--against P]
  */
 
 #include <cstdio>
@@ -43,25 +44,25 @@ using namespace cuttlesys::cluster;
 
 namespace {
 
-constexpr std::size_t kNodes = 4;
-
 /** One full fleet run with a fresh controller, fixed seeds. */
 std::vector<telemetry::QuantumRecord>
 runOnce(const SystemParams &params, const TrainingTables &tables,
         const AppProfile &lc, const std::vector<AppProfile> &pool,
-        double node_max_w, double day_seconds)
+        double node_max_w, double day_seconds, std::size_t nodes)
 {
     telemetry::MemorySink sink;
     FleetOptions opts;
-    opts.numNodes = kNodes;
+    opts.numNodes = nodes;
     opts.seed = 42;
     opts.scenario.daySeconds = day_seconds;
     opts.scenario.peakWindowStartSec = 0.375 * day_seconds;
     opts.scenario.peakWindowEndSec = 0.75 * day_seconds;
     // Churn hard enough that the gate exercises departures, arrivals
-    // and placement every few quanta.
+    // and placement every few quanta, scaled so a 256-node fleet sees
+    // per-node action comparable to the original 4-node gate.
     opts.churn.departureProbability = 0.08;
-    opts.churn.meanArrivalsPerQuantum = 2.0;
+    opts.churn.meanArrivalsPerQuantum =
+        0.5 * static_cast<double>(nodes);
     opts.sink = &sink;
 
     BackfillBinPack backfill;
@@ -88,6 +89,7 @@ main(int argc, char **argv)
     setInformEnabled(false);
     double day_seconds = 1.0;
     std::size_t runs = 2;
+    std::size_t nodes = 256;
     std::string savePath, againstPath;
     std::size_t positional = 0;
     for (int a = 1; a < argc; ++a) {
@@ -96,6 +98,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "--against") == 0 &&
                    a + 1 < argc) {
             againstPath = argv[++a];
+        } else if (std::strcmp(argv[a], "--nodes") == 0 &&
+                   a + 1 < argc) {
+            nodes = static_cast<std::size_t>(std::atoi(argv[++a]));
         } else if (positional == 0) {
             day_seconds = std::atof(argv[a]);
             ++positional;
@@ -104,9 +109,9 @@ main(int argc, char **argv)
             ++positional;
         }
     }
-    CS_ASSERT(day_seconds > 0.0 && runs >= 2,
+    CS_ASSERT(day_seconds > 0.0 && runs >= 2 && nodes > 0,
               "usage: fleet_replay_check [day_seconds>0] [runs>=2] "
-              "[--save PATH] [--against PATH]");
+              "[--nodes N>0] [--save PATH] [--against PATH]");
 
     const SystemParams params;
     const TrainTestSplit split = splitSpecGallery();
@@ -121,10 +126,11 @@ main(int argc, char **argv)
         buildTrainingTables(split.train, services, params);
     const double node_max_w = systemMaxPower(split.test, params);
 
-    const std::vector<telemetry::QuantumRecord> reference = runOnce(
-        params, tables, lc, split.test, node_max_w, day_seconds);
+    const std::vector<telemetry::QuantumRecord> reference =
+        runOnce(params, tables, lc, split.test, node_max_w,
+                day_seconds, nodes);
     std::printf("run 1/%zu: %zu records (%zu nodes, reference)\n",
-                runs, reference.size(), kNodes);
+                runs, reference.size(), nodes);
     if (!savePath.empty()) {
         dumpTrace(savePath, reference);
         std::printf("saved reference trace to %s\n",
@@ -133,8 +139,9 @@ main(int argc, char **argv)
 
     bool ok = true;
     for (std::size_t r = 2; r <= runs; ++r) {
-        const std::vector<telemetry::QuantumRecord> replay = runOnce(
-            params, tables, lc, split.test, node_max_w, day_seconds);
+        const std::vector<telemetry::QuantumRecord> replay =
+            runOnce(params, tables, lc, split.test, node_max_w,
+                    day_seconds, nodes);
         const check::TraceDiff diff =
             check::diffDecisionTraces(reference, replay);
         std::printf("run %zu/%zu: %zu records, %zu fields compared, "

@@ -7,43 +7,110 @@
 namespace cuttlesys {
 namespace cluster {
 
+namespace {
+
+/** Stream tags keeping the three draw families statistically apart. */
+constexpr std::uint64_t kDepartureStream = 0x1;
+constexpr std::uint64_t kArrivalStream = 0x2;
+constexpr std::uint64_t kJobPickStream = 0x3;
+constexpr std::uint64_t kJobSeedStream = 0x4;
+
+/** SplitMix64 finalizer: full-avalanche 64-bit mix. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Map a hash to a uniform double in [0, 1) (53 mantissa bits). */
+constexpr double
+toUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
 JobChurnEngine::JobChurnEngine(std::vector<AppProfile> pool,
+                               std::size_t num_nodes,
                                std::uint64_t seed, ChurnOptions opts)
-    : pool_(std::move(pool)), rng_(seed), opts_(opts)
+    : pool_(std::move(pool)), numNodes_(num_nodes), seed_(seed),
+      opts_(opts)
 {
     CS_ASSERT(!pool_.empty(), "churn pool is empty");
+    CS_ASSERT(numNodes_ > 0, "churn engine needs at least one node");
     CS_ASSERT(opts_.departureProbability >= 0.0 &&
                   opts_.departureProbability <= 1.0,
               "departure probability outside [0, 1]");
     CS_ASSERT(opts_.meanArrivalsPerQuantum >= 0.0,
               "negative arrival rate");
-    departureP_ = opts_.departureProbability;
-    wholeArrivals_ = static_cast<std::size_t>(
-        std::floor(opts_.meanArrivalsPerQuantum));
-    fracArrivals_ = opts_.meanArrivalsPerQuantum -
-        static_cast<double>(wholeArrivals_);
+    const double per_node =
+        opts_.meanArrivalsPerQuantum / static_cast<double>(numNodes_);
+    wholeArrivalsPerNode_ =
+        static_cast<std::size_t>(std::floor(per_node));
+    fracArrivalsPerNode_ =
+        per_node - static_cast<double>(wholeArrivalsPerNode_);
+
+    // Per-stream bases are avalanched once here instead of once per
+    // draw: the controller issues one departure draw per occupied
+    // slot per quantum, so the draw itself must stay a handful of
+    // instructions.
+    for (std::uint64_t s = 0; s < kNumStreams; ++s)
+        streamBase_[s] = mix64(seed_ ^ s * 0xd6e8feb86659fd93ULL);
+}
+
+std::uint64_t
+JobChurnEngine::draw(std::uint64_t stream, std::uint64_t quantum,
+                     std::uint64_t node, std::uint64_t slot) const
+{
+    // Multilinear key, one finalizer: each coordinate is spread by
+    // its own odd constant before the xor-combine, and the SplitMix64
+    // finisher avalanches the combined key — the same construction
+    // SplitMix64 itself uses on a Weyl-sequence input. One mix64 plus
+    // three multiplies per draw, against four chained mix64s before.
+    return mix64(streamBase_[stream] ^
+                 quantum * 0x9e3779b97f4a7c15ULL ^
+                 node * 0xc2b2ae3d27d4eb4fULL ^
+                 slot * 0x165667b19e3779f9ULL);
+}
+
+bool
+JobChurnEngine::departs(std::uint64_t quantum, std::size_t node,
+                        std::size_t slot) const
+{
+    return toUnit(draw(kDepartureStream, quantum, node, slot)) <
+        opts_.departureProbability;
 }
 
 std::size_t
-JobChurnEngine::drawArrivals()
+JobChurnEngine::arrivalsAt(std::uint64_t quantum,
+                           std::size_t node) const
 {
-    // floor(rate) arrivals plus one Bernoulli on the fraction: the
-    // mean is exact and every quantum consumes exactly one draw, so
-    // the stream stays easy to reason about in replay diffs.
-    return wholeArrivals_ + (rng_.bernoulli(fracArrivals_) ? 1 : 0);
+    // floor(share) arrivals plus one Bernoulli on the fraction: the
+    // cluster-wide mean is exact and every (quantum, node) consumes
+    // exactly one draw, so the stream stays easy to reason about in
+    // replay diffs.
+    const bool extra =
+        toUnit(draw(kArrivalStream, quantum, node, 0)) <
+        fracArrivalsPerNode_;
+    return wholeArrivalsPerNode_ + (extra ? 1 : 0);
 }
 
 AppProfile
-JobChurnEngine::drawJob()
+JobChurnEngine::drawJobAt(std::uint64_t quantum, std::size_t node,
+                          std::size_t k) const
 {
-    const std::size_t idx = static_cast<std::size_t>(rng_.uniformInt(
-        0, static_cast<std::int64_t>(pool_.size()) - 1));
-    AppProfile job = pool_[idx];
-    ++jobCounter_;
+    const std::uint64_t pick = draw(kJobPickStream, quantum, node, k);
+    AppProfile job = pool_[pick % pool_.size()];
     // Distinct residual seed per arrival: two copies of the same
     // benchmark must not produce byte-identical rating rows (same
-    // rule makeBatchMix applies to the static mixes).
-    job.seed ^= 0x9e3779b97f4a7c15ULL * jobCounter_;
+    // rule makeBatchMix applies to the static mixes). The fold is the
+    // arrival's own coordinate hash, so it needs no shared counter
+    // and draws stay order-independent.
+    job.seed ^= draw(kJobSeedStream, quantum, node, k);
     return job;
 }
 

@@ -3,21 +3,26 @@
  * Stochastic batch-job churn for the fleet simulator.
  *
  * Real clusters are not static colocations: batch jobs finish and new
- * ones are submitted continuously. The churn engine models both with
- * a single dedicated Rng so the event stream is a pure function of
- * the fleet seed:
+ * ones are submitted continuously. The churn engine models both, and
+ * — unlike a sequential RNG stream — every draw is *counter-based*: a
+ * SplitMix64-style hash of (engine seed, stream tag, quantum, node,
+ * slot). Draws are therefore a pure function of their coordinates,
+ * which buys the controller two properties at once:
  *
- *  - departures: each occupied batch slot leaves with a fixed
- *    per-quantum probability (geometric job lifetimes);
- *  - arrivals: a cluster-wide stream with a configurable mean rate
- *    per quantum, drawing job profiles uniformly from a pool, each
- *    arrival getting a distinct residual seed so two instances of the
- *    same benchmark never behave byte-identically.
+ *  - seed isolation per node: node i's draws never depend on how many
+ *    draws node j consumed, so reconfiguring the fleet (node count,
+ *    occupancy history) perturbs no other node's event stream;
+ *  - order independence: the controller can evaluate draws from any
+ *    worker thread in any order and still produce the same events,
+ *    which is what lets the churn scan run block-parallel while the
+ *    cluster trace stays bitwise deterministic at any pool width.
  *
- * The controller drains the engine single-threaded, in node-index
- * order, before the parallel node step — so churn is deterministic
- * at any thread-pool width, and never perturbs any node's own
- * measurement-noise RNG stream.
+ * Departures are one Bernoulli per occupied slot per quantum
+ * (geometric job lifetimes). Arrivals are a cluster-wide mean rate
+ * split evenly across per-node substreams, each Bernoulli-rounded so
+ * the cluster mean is exact; arriving jobs draw their profile from a
+ * pool with a per-arrival residual seed so two instances of the same
+ * benchmark never behave byte-identically.
  */
 
 #ifndef CUTTLESYS_CLUSTER_CHURN_HH
@@ -28,7 +33,6 @@
 #include <vector>
 
 #include "apps/app_profile.hh"
-#include "common/rng.hh"
 
 namespace cuttlesys {
 namespace cluster {
@@ -38,52 +42,72 @@ struct ChurnOptions
 {
     /** Per occupied slot, per quantum: probability the job finishes. */
     double departureProbability = 0.05;
-    /** Mean cluster-wide arrivals per quantum. Sampled as the integer
-     *  part plus one Bernoulli trial on the fraction, so the draw
-     *  count per quantum is fixed. */
+    /** Mean cluster-wide arrivals per quantum, split evenly across
+     *  the per-node substreams. Each node draws the integer part of
+     *  its share plus one Bernoulli trial on the fraction, so the
+     *  cluster-wide mean is exact and every node consumes a fixed
+     *  draw per quantum. */
     double meanArrivalsPerQuantum = 1.0;
     /** Arrival-queue capacity; beyond it submissions are dropped
      *  (and counted by the controller). */
     std::size_t maxPendingJobs = 64;
 };
 
-/** The seeded churn event source. */
+/** The seeded, counter-based churn event source. */
 class JobChurnEngine
 {
   public:
     /**
      * @param pool profiles arrivals are drawn from (typically the
      *             held-out test split)
+     * @param num_nodes fleet size the cluster arrival rate is split
+     *                  across
      * @param seed churn stream seed (independent of node seeds)
      */
-    JobChurnEngine(std::vector<AppProfile> pool, std::uint64_t seed,
-                   ChurnOptions opts = {});
+    JobChurnEngine(std::vector<AppProfile> pool, std::size_t num_nodes,
+                   std::uint64_t seed, ChurnOptions opts = {});
 
     const ChurnOptions &options() const { return opts_; }
-
-    /** One departure trial for one occupied slot. */
-    bool drawDeparture() { return rng_.bernoulli(departureP_); }
-
-    /** Number of cluster-wide arrivals this quantum. */
-    std::size_t drawArrivals();
+    std::size_t numNodes() const { return numNodes_; }
 
     /**
-     * The next arriving job: a pool profile with a fresh residual
-     * seed (monotone arrival counter folded into the hash seed).
+     * Does the occupied @p slot of @p node depart at @p quantum?
+     * Pure in its coordinates: callable from any thread, any order.
      */
-    AppProfile drawJob();
+    bool departs(std::uint64_t quantum, std::size_t node,
+                 std::size_t slot) const;
 
-    /** Jobs drawn so far (the arrival counter). */
-    std::uint64_t jobsDrawn() const { return jobCounter_; }
+    /**
+     * Arrivals submitted through @p node's share of the cluster
+     * stream at @p quantum. Pure in its coordinates.
+     */
+    std::size_t arrivalsAt(std::uint64_t quantum,
+                           std::size_t node) const;
+
+    /**
+     * The k-th job arriving at (@p quantum, @p node): a pool profile
+     * whose seed is folded with the arrival's own hash, so distinct
+     * arrivals — same benchmark or not — get distinct residual
+     * streams. Pure in its coordinates.
+     */
+    AppProfile drawJobAt(std::uint64_t quantum, std::size_t node,
+                         std::size_t k) const;
 
   private:
+    /** Stream tags 0 (unused) .. 4; see churn.cc. */
+    static constexpr std::size_t kNumStreams = 5;
+
+    std::uint64_t draw(std::uint64_t stream, std::uint64_t quantum,
+                       std::uint64_t node, std::uint64_t slot) const;
+
     std::vector<AppProfile> pool_;
-    Rng rng_;
+    std::size_t numNodes_;
+    std::uint64_t seed_;
     ChurnOptions opts_;
-    double departureP_;
-    std::size_t wholeArrivals_;
-    double fracArrivals_;
-    std::uint64_t jobCounter_ = 0;
+    std::size_t wholeArrivalsPerNode_;
+    double fracArrivalsPerNode_;
+    /** Per-stream hash bases, avalanched once at construction. */
+    std::uint64_t streamBase_[kNumStreams] = {};
 };
 
 } // namespace cluster

@@ -10,6 +10,13 @@
 namespace cuttlesys {
 namespace cluster {
 
+namespace {
+
+/** Nodes per parallel block (see ThreadPool::parallelChunks). */
+constexpr std::size_t kNodeChunk = 32;
+
+} // namespace
+
 FleetController::FleetController(const SystemParams &params,
                                  const TrainingTables &tables,
                                  const AppProfile &lc_service,
@@ -19,10 +26,10 @@ FleetController::FleetController(const SystemParams &params,
                                  FleetOptions opts)
     : opts_(std::move(opts)), placement_(placement),
       // The churn stream gets its own seed domain so reconfiguring
-      // the fleet (node count, scenario) never perturbs it, and vice
-      // versa.
-      churn_(batch_pool, opts_.seed ^ 0x94d049bb133111ebULL,
-             opts_.churn),
+      // the fleet (scenario, node parameters) never perturbs it, and
+      // vice versa.
+      churn_(batch_pool, opts_.numNodes,
+             opts_.seed ^ 0x94d049bb133111ebULL, opts_.churn),
       power_(opts_.powerPolicy,
              PowerManagerOptions{
                  .rackBudgetW = opts_.rackBudgetFrac *
@@ -31,7 +38,8 @@ FleetController::FleetController(const SystemParams &params,
                  .nodeFloorW = opts_.nodeFloorFrac * node_max_power_w,
                  .nodeCapW = node_max_power_w,
                  .qosBoostW = opts_.qosBoostW}),
-      nodeMaxPowerW_(node_max_power_w)
+      nodeMaxPowerW_(node_max_power_w),
+      churnArenas_(ThreadPool::global().slotCount())
 {
     CS_ASSERT(opts_.numNodes > 0, "fleet needs at least one node");
     CS_ASSERT(opts_.batchSlotsPerNode > 0, "nodes need batch slots");
@@ -99,9 +107,30 @@ FleetController::FleetController(const SystemParams &params,
     nodePowerSum_.assign(n, 0.0);
     nodeJobGmeanSum_.assign(n, 0.0);
     nodeJobGmeanCount_.assign(n, 0);
+    churnPlan_.resize(n);
     views_.resize(n);
     budgets_.reserve(n);
+    loads_.assign(n, 0.0);
     loadExtra_.assign(n, 0.0);
+
+    // The FIFO queue is bounded by the admission cap, but its backing
+    // vector can hold up to a compaction cycle's worth of placed
+    // heads in front of the cap plus one quantum of admissions;
+    // reserving that bound up front makes the steady-state quantum
+    // provably realloc-free.
+    pending_.reserve(2 * opts_.churn.maxPendingJobs + n);
+
+    // Pre-grow every worker's staging arena to the worst case — one
+    // worker staging the entire fleet's departure scan. Which worker
+    // runs which block varies run to run (never the results, only the
+    // addresses), so without this the arenas' high-water marks keep
+    // shifting with the schedule and an unlucky quantum still touches
+    // the heap; after this reset every staging alloc is a pure bump.
+    for (std::size_t s = 0; s < churnArenas_.size(); ++s) {
+        churnArenas_.at(s).alloc<std::uint16_t>(
+            n * opts_.batchSlotsPerNode);
+    }
+    churnArenas_.resetAll();
 }
 
 FleetController::~FleetController() = default;
@@ -109,50 +138,96 @@ FleetController::~FleetController() = default;
 void
 FleetController::applyChurn()
 {
-    // Departures first, node-major then slot-major, so the churn
-    // RNG's draw order is a fixed function of the occupancy state.
+    // Parallel scan: each block stages its nodes' departure slots in
+    // its worker's arena and records the plan entry — the draws are
+    // pure functions of (seed, quantum, node, slot), so neither the
+    // block schedule nor the worker identity can change them.
+    std::vector<std::unique_ptr<ClusterNode>> &nodes = nodes_;
+    churnArenas_.resetAll();
+    ThreadPool::global().parallelChunks(
+        nodes.size(), kNodeChunk,
+        [this, &nodes](std::size_t, std::size_t begin,
+                       std::size_t end) {
+            ScratchArena &arena =
+                churnArenas_.at(ThreadPool::currentSlot());
+            for (std::size_t i = begin; i < end; ++i) {
+                const ClusterNode &node = *nodes[i];
+                const std::size_t slots = node.numBatchSlots();
+                std::uint16_t *stage =
+                    arena.alloc<std::uint16_t>(slots);
+                std::uint16_t count = 0;
+                for (std::size_t s = 0; s < slots; ++s) {
+                    if (node.slotPlannedOccupied(s) &&
+                        churn_.departs(quantum_, i, s)) {
+                        stage[count++] =
+                            static_cast<std::uint16_t>(s);
+                    }
+                }
+                churnPlan_[i].departSlots = stage;
+                churnPlan_[i].numDeparts = count;
+                churnPlan_[i].arrivals = static_cast<std::uint16_t>(
+                    churn_.arrivalsAt(quantum_, i));
+            }
+        });
+
+    // Serial merge in node-index order: queue the departure events
+    // and admit arrivals into the FIFO queue (drops included) exactly
+    // as a sequential controller would.
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        ClusterNode &node = *nodes_[i];
-        for (std::size_t s = 0; s < node.numBatchSlots(); ++s) {
-            if (!node.slotPlannedOccupied(s))
-                continue;
-            if (!churn_.drawDeparture())
-                continue;
+        const ChurnNodePlan &plan = churnPlan_[i];
+        for (std::uint16_t d = 0; d < plan.numDeparts; ++d) {
             JobEvent event;
-            event.slot = s;
+            event.slot = plan.departSlots[d];
             event.departure = true;
-            node.queueJobEvent(event);
+            nodes_[i]->queueJobEvent(event);
             ++departures_;
         }
-    }
-
-    const std::size_t k = churn_.drawArrivals();
-    for (std::size_t a = 0; a < k; ++a) {
-        if (pendingJobs() >= opts_.churn.maxPendingJobs) {
-            ++droppedArrivals_;
-            continue;
+        for (std::uint16_t k = 0; k < plan.arrivals; ++k) {
+            if (pendingJobs() >= opts_.churn.maxPendingJobs) {
+                ++droppedArrivals_;
+                continue;
+            }
+            PendingJob job;
+            job.profile = churn_.drawJobAt(quantum_, i, k);
+            job.submitSlice = quantum_;
+            pending_.push_back(std::move(job));
+            ++arrivals_;
         }
-        PendingJob job;
-        job.profile = churn_.drawJob();
-        job.submitSlice = quantum_;
-        pending_.push_back(std::move(job));
-        ++arrivals_;
     }
 }
 
 void
 FleetController::gatherViews()
 {
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
-        nodes_[i]->view(views_[i]);
+    // Disjoint per-node writes over read-only node state; freeSlots
+    // is an O(1) counter, so the whole gather is O(nodes).
+    std::vector<std::unique_ptr<ClusterNode>> &nodes = nodes_;
+    ThreadPool::global().parallelChunks(
+        nodes.size(), kNodeChunk,
+        [this, &nodes](std::size_t, std::size_t begin,
+                       std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                nodes[i]->view(views_[i]);
+        });
 }
 
 void
 FleetController::placePending()
 {
+    if (pendingHead_ == pending_.size()) {
+        pending_.clear();
+        pendingHead_ = 0;
+        return;
+    }
+
+    // Parallel candidate scoring over the planned-occupancy views,
+    // then a single-threaded FIFO commit through the round's heap:
+    // every choice (and every view booking) is bitwise what the
+    // serial per-job rescan would produce, at O(log N) per job
+    // instead of O(N).
+    round_.begin(placement_, views_, ThreadPool::global());
     while (pendingHead_ < pending_.size()) {
-        const PendingJob &job = pending_[pendingHead_];
-        const std::size_t target = placement_.place(job, views_);
+        const std::size_t target = round_.placeOne();
         if (target == PlacementPolicy::kNoNode)
             break; // FIFO: the head job blocks the queue
         CS_ASSERT(target < nodes_.size(), "policy chose a bad node");
@@ -162,11 +237,8 @@ FleetController::placePending()
                   "policy placed a job on a full node");
         JobEvent event;
         event.slot = slot;
-        event.arrival = job.profile;
+        event.arrival = pending_[pendingHead_].profile;
         node.queueJobEvent(event);
-        CS_ASSERT(views_[target].freeSlots > 0, "view out of sync");
-        --views_[target].freeSlots;
-        ++views_[target].occupiedSlots;
         ++placements_;
         ++pendingHead_;
     }
@@ -187,7 +259,7 @@ FleetController::placePending()
 void
 FleetController::splitBudget()
 {
-    power_.split(views_, budgets_);
+    power_.split(views_, budgets_, ThreadPool::global());
     for (std::size_t i = 0; i < nodes_.size(); ++i)
         nodes_[i]->overridePowerBudgetW(budgets_[i]);
 }
@@ -197,20 +269,33 @@ FleetController::shiftLoad()
 {
     if (opts_.qosLoadShiftFrac <= 0.0 || quantum_ == 0)
         return;
-    // Donors: replicas that violated QoS last quantum. Receiver: the
-    // replica with the lowest upcoming offered load that is itself
-    // healthy. All replicas serve the same LC service (identical
-    // calibrated maxQps), so load fractions transfer one-to-one.
+
+    // Parallel scan: each replica's upcoming offered load (a pattern
+    // lookup) into its own loads_ entry.
+    std::vector<std::unique_ptr<ClusterNode>> &nodes = nodes_;
+    ThreadPool::global().parallelChunks(
+        nodes.size(), kNodeChunk,
+        [this, &nodes](std::size_t, std::size_t begin,
+                       std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                loads_[i] = nodes[i]->nextLoadFraction();
+        });
+
+    // Serial pairing and commit in node-index order. Donors: replicas
+    // that violated QoS last quantum. Receiver: the replica with the
+    // lowest upcoming offered load that is itself healthy (ties to
+    // the lowest index). All replicas serve the same LC service
+    // (identical calibrated maxQps), so load fractions transfer
+    // one-to-one.
     std::size_t receiver = PlacementPolicy::kNoNode;
     double receiverLoad = 0.0;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (views_[i].qosViolated)
             continue;
-        const double load = nodes_[i]->nextLoadFraction();
         if (receiver == PlacementPolicy::kNoNode ||
-            load < receiverLoad) {
+            loads_[i] < receiverLoad) {
             receiver = i;
-            receiverLoad = load;
+            receiverLoad = loads_[i];
         }
     }
     if (receiver == PlacementPolicy::kNoNode)
@@ -221,19 +306,17 @@ FleetController::shiftLoad()
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (!views_[i].qosViolated || i == receiver)
             continue;
-        const double load = nodes_[i]->nextLoadFraction();
-        const double moved = load * opts_.qosLoadShiftFrac;
+        const double moved = loads_[i] * opts_.qosLoadShiftFrac;
         if (moved <= 0.0)
             continue;
-        nodes_[i]->overrideLoadFraction(load - moved);
+        nodes_[i]->overrideLoadFraction(loads_[i] - moved);
         loadExtra_[receiver] += moved;
         ++loadShifts_;
         shifted = true;
     }
     if (shifted) {
         nodes_[receiver]->overrideLoadFraction(
-            nodes_[receiver]->nextLoadFraction() +
-            loadExtra_[receiver]);
+            loads_[receiver] + loadExtra_[receiver]);
     }
 }
 

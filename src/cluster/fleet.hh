@@ -8,25 +8,35 @@
  * — replicas of one service behind a load balancer, peaking at
  * different times. Per cluster quantum the controller, in order:
  *
- *  1. churn  — drains the JobChurnEngine: per-slot departures and
- *     cluster-wide arrivals into the FIFO pending queue;
- *  2. place  — asks the PlacementPolicy for a node per pending job
- *     and queues the arrival events (jobs it can't place wait);
- *  3. budget — asks the ClusterPowerManager to split the rack budget
- *     and overrides every node's next-quantum power budget;
- *  4. shift  — optionally moves a slice of LC load off replicas that
- *     violated QoS onto the least-loaded replica;
+ *  1. churn  — a block-parallel scan draws each node's seed-isolated
+ *     departures and arrival counts (counter-based JobChurnEngine)
+ *     into per-worker arena staging; a single-threaded merge then
+ *     queues the events and fills the FIFO pending queue in
+ *     node-index order;
+ *  2. place  — every node is scored once, block-parallel, and the
+ *     pending queue commits single-threaded in FIFO order through
+ *     PlacementRound's heap: no double-booking, and the choices are
+ *     bitwise those of the serial per-job rescan;
+ *  3. budget — per-node demand weights are computed block-parallel
+ *     with a block-ordered reduction; the cap clip/redistribute pass
+ *     runs single-threaded in index order;
+ *  4. shift  — a block-parallel scan gathers each replica's upcoming
+ *     offered load; donor/receiver pairing and the load-shift commit
+ *     run single-threaded in index order;
  *  5. step   — steps all nodes concurrently on the global thread
  *     pool. Nodes share no mutable state, and each node's own
- *     pipeline is bitwise deterministic at any pool width, so the
- *     cluster trace is too;
+ *     pipeline is bitwise deterministic at any pool width;
  *  6. gather — aggregates telemetry in node-index order: per-node
  *     trace records are drained into the fleet-wide sink (stamped
  *     with their node index) and the cluster counters accumulate.
  *
- * Steps 1-4 and 6 are single-threaded, which is what keeps the churn
- * RNG stream, placement decisions, and the emitted record order
- * independent of CS_POOL_THREADS.
+ * The discipline throughout (DESIGN.md §12): parallel regions scan —
+ * they read shared state and write only disjoint per-node entries or
+ * per-worker arena scratch — and single-threaded fixed-order merges
+ * commit. Every draw is a pure function of its coordinates and every
+ * floating-point reduction combines fixed-size block partials in
+ * block order, so the cluster trace is bitwise identical at any
+ * CS_POOL_THREADS.
  */
 
 #ifndef CUTTLESYS_CLUSTER_FLEET_HH
@@ -42,6 +52,7 @@
 #include "cluster/node.hh"
 #include "cluster/placement.hh"
 #include "cluster/power_manager.hh"
+#include "common/arena.hh"
 #include "lcsim/scenarios.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -193,6 +204,15 @@ class FleetController
     void shiftLoad();
     void gatherQuantum();
 
+    /** One node's staged churn draws (filled by the parallel scan,
+     *  consumed by the serial merge; spans live in churnArenas_). */
+    struct ChurnNodePlan
+    {
+        std::uint16_t *departSlots = nullptr;
+        std::uint16_t numDeparts = 0;
+        std::uint16_t arrivals = 0;
+    };
+
     FleetOptions opts_;
     PlacementPolicy &placement_;
     JobChurnEngine churn_;
@@ -206,9 +226,17 @@ class FleetController
     std::size_t numQuanta_ = 0;
     std::size_t quantum_ = 0;
 
-    // Persistent per-quantum scratch (heap-free steady state).
+    // Persistent per-quantum scratch (heap-free steady state). The
+    // parallel phase scans stage variable-length results in
+    // per-worker arenas (churnArenas_) and fixed-length results in
+    // the per-node vectors; the serial merges read them back in node
+    // order.
+    WorkerArenaSet churnArenas_;
+    std::vector<ChurnNodePlan> churnPlan_;
+    PlacementRound round_;
     std::vector<NodeView> views_;
     std::vector<double> budgets_;
+    std::vector<double> loads_;     //!< next-quantum offered loads
     std::vector<double> loadExtra_; //!< load-shift receive buffer
     std::vector<PendingJob> pending_;
     std::size_t pendingHead_ = 0;

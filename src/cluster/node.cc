@@ -19,8 +19,22 @@ ClusterNode::ClusterNode(const SystemParams &params,
       run_(sim_, scheduler_, opts_)
 {
     planned_.resize(sim_.numBatchJobs());
-    for (std::size_t j = 0; j < planned_.size(); ++j)
+    for (std::size_t j = 0; j < planned_.size(); ++j) {
         planned_[j] = sim_.batchSlotOccupied(j);
+        if (!planned_[j])
+            ++freeSlots_;
+    }
+    advanceFirstVacant(0);
+}
+
+void
+ClusterNode::advanceFirstVacant(std::size_t from)
+{
+    // Scans resume where occupancy last changed, so the total scan
+    // work over a quantum's churn events is O(slots + events).
+    firstVacant_ = from;
+    while (firstVacant_ < planned_.size() && planned_[firstVacant_])
+        ++firstVacant_;
 }
 
 void
@@ -29,29 +43,17 @@ ClusterNode::queueJobEvent(const JobEvent &event)
     CS_ASSERT(event.slot < planned_.size(),
               "job event slot out of range");
     run_.queueJobEvent(event);
-    if (event.arrival)
+    if (event.arrival && !planned_[event.slot]) {
         planned_[event.slot] = true;
-    else if (event.departure)
+        --freeSlots_;
+        if (event.slot == firstVacant_)
+            advanceFirstVacant(firstVacant_ + 1);
+    } else if (event.departure && !event.arrival &&
+               planned_[event.slot]) {
         planned_[event.slot] = false;
-}
-
-std::size_t
-ClusterNode::freeSlots() const
-{
-    std::size_t n = 0;
-    for (const bool occ : planned_)
-        n += occ ? 0 : 1;
-    return n;
-}
-
-std::size_t
-ClusterNode::firstVacantSlot() const
-{
-    for (std::size_t j = 0; j < planned_.size(); ++j) {
-        if (!planned_[j])
-            return j;
+        ++freeSlots_;
+        firstVacant_ = std::min(firstVacant_, event.slot);
     }
-    return planned_.size();
 }
 
 double

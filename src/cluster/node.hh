@@ -100,11 +100,16 @@ class ClusterNode
         return planned_[slot];
     }
 
-    /** Planned-vacant slots (what placement may still fill). */
-    std::size_t freeSlots() const;
+    /**
+     * Planned-vacant slots (what placement may still fill). O(1):
+     * maintained incrementally by queueJobEvent, so the controller's
+     * view gather is O(nodes), not O(nodes x slots).
+     */
+    std::size_t freeSlots() const { return freeSlots_; }
 
-    /** Lowest planned-vacant slot; numBatchSlots() when full. */
-    std::size_t firstVacantSlot() const;
+    /** Lowest planned-vacant slot; numBatchSlots() when full. O(1)
+     *  amortized over a quantum's churn events. */
+    std::size_t firstVacantSlot() const { return firstVacant_; }
 
     /** Fill @p out from the last executed quantum (heap-free). */
     void view(NodeView &out) const;
@@ -144,6 +149,9 @@ class ClusterNode
         return opts;
     }
 
+    /** Re-derive firstVacant_ by scanning forward from @p from. */
+    void advanceFirstVacant(std::size_t from);
+
     std::size_t index_;
     WorkloadMix mix_;
     MulticoreSim sim_;
@@ -151,6 +159,8 @@ class ClusterNode
     DriverOptions opts_;
     ColocationRun run_;
     std::vector<bool> planned_; //!< occupancy incl. queued events
+    std::size_t freeSlots_ = 0;   //!< count of planned-vacant slots
+    std::size_t firstVacant_ = 0; //!< lowest planned-vacant slot
 };
 
 } // namespace cluster

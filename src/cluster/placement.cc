@@ -1,43 +1,148 @@
 #include "cluster/placement.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
 namespace cuttlesys {
 namespace cluster {
 
-std::size_t
-FifoFirstFit::place(const PendingJob &job,
-                    const std::vector<NodeView> &nodes)
-{
-    (void)job;
-    for (const NodeView &node : nodes) {
-        if (node.freeSlots > 0)
-            return node.node;
-    }
-    return kNoNode;
-}
+namespace {
+
+/** Nodes scored per parallel block (see ThreadPool::parallelChunks). */
+constexpr std::size_t kScoreChunk = 64;
+
+} // namespace
 
 std::size_t
-BackfillBinPack::place(const PendingJob &job,
-                       const std::vector<NodeView> &nodes)
+PlacementPolicy::place(const PendingJob &job,
+                       const std::vector<NodeView> &nodes) const
 {
     (void)job;
     std::size_t best = kNoNode;
-    double bestScore = 0.0;
-    for (const NodeView &node : nodes) {
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeView &node = nodes[i];
         if (node.freeSlots == 0)
             continue;
-        // Until a node has run a quantum there is no headroom
-        // measurement; load and free capacity are the only signals.
-        double score = node.stepped ? node.headroomW : 0.0;
-        if (node.qosViolated)
-            score -= qosPenaltyW_;
-        score -= loadPenaltyW_ * node.loadFraction;
-        score += spreadBonusW_ * static_cast<double>(node.freeSlots);
-        if (best == kNoNode || score > bestScore) {
+        const double s = score(node);
+        if (best == kNoNode || s > best_score) {
             best = node.node;
-            bestScore = score;
+            best_score = s;
         }
     }
     return best;
+}
+
+double
+FifoFirstFit::score(const NodeView &node) const
+{
+    (void)node;
+    return 0.0;
+}
+
+double
+BackfillBinPack::score(const NodeView &node) const
+{
+    // Until a node has run a quantum there is no headroom
+    // measurement; load and free capacity are the only signals.
+    double score = node.stepped ? node.headroomW : 0.0;
+    if (node.qosViolated)
+        score -= qosPenaltyW_;
+    score -= loadPenaltyW_ * node.loadFraction;
+    score += spreadBonusW_ * static_cast<double>(node.freeSlots);
+    return score;
+}
+
+bool
+PlacementRound::entryBelow(const Entry &a, const Entry &b)
+{
+    // Max-heap on score; equal scores order by ascending index so the
+    // pop sequence reproduces the serial scan's first-strict-argmax
+    // tie-breaking exactly.
+    if (a.score != b.score)
+        return a.score < b.score;
+    return a.idx > b.idx;
+}
+
+void
+PlacementRound::begin(const PlacementPolicy &policy,
+                      std::vector<NodeView> &views, ThreadPool &pool)
+{
+    policy_ = &policy;
+    views_ = &views;
+    const std::size_t n = views.size();
+    scores_.resize(n);
+    // Parallel scan: each block writes only its own score range, and
+    // every score is a pure function of one immutable view, so the
+    // result is independent of worker count and execution order.
+    pool.parallelChunks(
+        n, kScoreChunk,
+        [this, &policy, &views](std::size_t, std::size_t begin,
+                                std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                if (views[i].freeSlots > 0)
+                    scores_[i] = policy.score(views[i]);
+            }
+        });
+    // Ordered commit structure, built single-threaded in index order.
+    heap_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (views[i].freeSlots > 0)
+            heap_.push_back(Entry{scores_[i], i});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), entryBelow);
+}
+
+void
+PlacementRound::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    Entry moved = heap_[i];
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            entryBelow(heap_[child], heap_[child + 1])) {
+            ++child;
+        }
+        if (!entryBelow(moved, heap_[child]))
+            break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = moved;
+}
+
+std::size_t
+PlacementRound::placeOne()
+{
+    CS_ASSERT(views_ != nullptr, "placeOne() before begin()");
+    if (heap_.empty())
+        return PlacementPolicy::kNoNode;
+    const Entry top = heap_.front();
+    NodeView &view = (*views_)[top.idx];
+    CS_ASSERT(view.freeSlots > 0, "placement heap booked a full node");
+    --view.freeSlots;
+    ++view.occupiedSlots;
+    // The booking is the only view mutation since begin(), so
+    // re-scoring just this node keeps every heap entry fresh. The
+    // re-scored node replaces itself at the root and sifts down in
+    // one pass — half the comparisons of a pop + push round trip —
+    // and because entryBelow is a strict total order (score ties
+    // break on the index), every valid heap pops the same sequence,
+    // so the serial-oracle equivalence is unaffected.
+    if (view.freeSlots > 0) {
+        heap_.front() = Entry{policy_->score(view), top.idx};
+    } else {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+    }
+    if (!heap_.empty())
+        siftDown(0);
+    return view.node;
 }
 
 } // namespace cluster

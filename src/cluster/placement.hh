@@ -24,7 +24,14 @@
  *    first fit cannot use.
  *
  * Policies are deterministic: ties break toward the lowest node
- * index, and no RNG is involved.
+ * index, and no RNG is involved. Both are expressed as a per-node
+ * score() that depends only on the node's view — never on the job —
+ * which is what lets PlacementRound score all N nodes in parallel
+ * once per quantum and then commit the whole arrival queue through a
+ * heap in O(jobs x log N), instead of the serial O(jobs x N) rescan
+ * place() performs. The two paths are bitwise-equivalent: the round
+ * computes the same doubles and breaks ties the same way, a property
+ * the placement tests assert up to 1024 nodes.
  */
 
 #ifndef CUTTLESYS_CLUSTER_PLACEMENT_HH
@@ -37,6 +44,9 @@
 #include "cluster/node.hh"
 
 namespace cuttlesys {
+
+class ThreadPool;
+
 namespace cluster {
 
 /** One batch job waiting in the cluster arrival queue. */
@@ -58,12 +68,26 @@ class PlacementPolicy
     virtual const char *name() const = 0;
 
     /**
-     * Choose a node for @p job given the per-node views (freeSlots
-     * already reflects placements made earlier this quantum), or
-     * kNoNode to leave it queued.
+     * Desirability of placing the next job on @p node. Only consulted
+     * for nodes with a vacant slot. A pure function of the view — in
+     * particular job-agnostic — so PlacementRound may evaluate it
+     * from any worker in any order and cache it across the queue.
      */
-    virtual std::size_t place(const PendingJob &job,
-                              const std::vector<NodeView> &nodes) = 0;
+    virtual double score(const NodeView &node) const = 0;
+
+    /**
+     * Serial reference placement: scan the views in index order and
+     * take the first strict argmax of score() among nodes with a
+     * vacant slot (ties therefore break toward the lowest index), or
+     * kNoNode when every slot is taken. @p job is carried for
+     * interface symmetry; scores do not depend on it.
+     *
+     * PlacementRound commits the same choices without the per-job
+     * rescan; this scan stays as the O(N) oracle the property tests
+     * and the controller benchmark baseline compare against.
+     */
+    std::size_t place(const PendingJob &job,
+                      const std::vector<NodeView> &nodes) const;
 };
 
 /** First node (by index) with a vacant slot. */
@@ -72,8 +96,8 @@ class FifoFirstFit final : public PlacementPolicy
   public:
     const char *name() const override { return "fifo-first-fit"; }
 
-    std::size_t place(const PendingJob &job,
-                      const std::vector<NodeView> &nodes) override;
+    /** Every vacant node ties at 0; lowest index wins = first fit. */
+    double score(const NodeView &node) const override;
 };
 
 /** Headroom-scored backfill (see file header). */
@@ -99,13 +123,76 @@ class BackfillBinPack final : public PlacementPolicy
 
     const char *name() const override { return "backfill-binpack"; }
 
-    std::size_t place(const PendingJob &job,
-                      const std::vector<NodeView> &nodes) override;
+    double score(const NodeView &node) const override;
 
   private:
     double qosPenaltyW_;
     double loadPenaltyW_;
     double spreadBonusW_;
+};
+
+/**
+ * One quantum's placement pass: parallel scan, ordered commit.
+ *
+ * begin() scores every node once, block-parallel over fixed-size
+ * chunks (bitwise deterministic at any pool width — each score is a
+ * pure function of one view), then builds a max-heap of the vacant
+ * nodes in index order. placeOne() pops the argmax, books the slot in
+ * the caller's view (so no slot is ever double-booked within the
+ * quantum), re-scores just the booked node and re-pushes it while it
+ * still has vacancies. Only the popped node's score can have changed
+ * — views are immutable during the round apart from placeOne()'s own
+ * bookings — so the heap never holds a stale entry.
+ *
+ * The choices are bitwise identical to calling place() per job: same
+ * score doubles, same (score desc, index asc) order.
+ *
+ * All buffers are persistent members that reach their high-water
+ * size after the first quantum; steady-state rounds are heap-free.
+ */
+class PlacementRound
+{
+  public:
+    PlacementRound() = default;
+
+    PlacementRound(const PlacementRound &) = delete;
+    PlacementRound &operator=(const PlacementRound &) = delete;
+
+    /**
+     * Score @p views (block-parallel on @p pool) and build the commit
+     * heap. @p views must outlive the round and stay otherwise
+     * untouched until the last placeOne().
+     */
+    void begin(const PlacementPolicy &policy,
+               std::vector<NodeView> &views, ThreadPool &pool);
+
+    /**
+     * Commit the next job: the node with the highest score (ties to
+     * the lowest index), with its view's freeSlots/occupiedSlots
+     * updated, or PlacementPolicy::kNoNode when the fleet is full.
+     */
+    std::size_t placeOne();
+
+    /** Nodes that still have at least one vacant slot. */
+    std::size_t vacantNodes() const { return heap_.size(); }
+
+  private:
+    /** Heap record: cached score of one vacant node. */
+    struct Entry
+    {
+        double score = 0.0;
+        std::size_t idx = 0; //!< position in the views vector
+    };
+
+    static bool entryBelow(const Entry &a, const Entry &b);
+
+    /** Restore the heap property downward from @p i. */
+    void siftDown(std::size_t i);
+
+    const PlacementPolicy *policy_ = nullptr;
+    std::vector<NodeView> *views_ = nullptr;
+    std::vector<double> scores_; //!< parallel-scan output, per view
+    std::vector<Entry> heap_;    //!< max-heap of vacant nodes
 };
 
 } // namespace cluster

@@ -7,6 +7,13 @@
 namespace cuttlesys {
 namespace cluster {
 
+namespace {
+
+/** Nodes per parallel block (see ThreadPool::parallelChunks). */
+constexpr std::size_t kSplitChunk = 64;
+
+} // namespace
+
 const char *
 powerPolicyName(PowerPolicy policy)
 {
@@ -29,9 +36,35 @@ ClusterPowerManager::ClusterPowerManager(PowerPolicy policy,
               "node cap below node floor");
 }
 
+double
+ClusterPowerManager::demandWeight(const NodeView &node) const
+{
+    switch (policy_) {
+      case PowerPolicy::Static:
+        return 1.0;
+      case PowerPolicy::ProportionalToLoad:
+        // A small base keeps a zero-load replica from being pinned to
+        // the bare floor — it still runs batch work.
+        return 0.1 + std::max(node.loadFraction, 0.0);
+      case PowerPolicy::HeadroomRebalance: {
+        // Demand = what the node actually drew last quantum, with
+        // a boost when it violated QoS (it needs room to escalate
+        // the LC configuration). Before the first quantum every
+        // node demands equally.
+        double demand = node.stepped
+            ? std::max(node.measuredPowerW, opts_.nodeFloorW)
+            : 1.0;
+        if (node.qosViolated)
+            demand += opts_.qosBoostW;
+        return demand;
+      }
+    }
+    return 1.0;
+}
+
 void
 ClusterPowerManager::split(const std::vector<NodeView> &nodes,
-                           std::vector<double> &out)
+                           std::vector<double> &out, ThreadPool &pool)
 {
     const std::size_t n = nodes.size();
     CS_ASSERT(n > 0, "splitting across zero nodes");
@@ -39,46 +72,42 @@ ClusterPowerManager::split(const std::vector<NodeView> &nodes,
                   opts_.nodeFloorW * static_cast<double>(n),
               "rack budget below the sum of node floors");
 
-    weights_.assign(n, 1.0);
-    switch (policy_) {
-      case PowerPolicy::Static:
-        break;
-      case PowerPolicy::ProportionalToLoad:
-        // A small base keeps a zero-load replica from being pinned to
-        // the bare floor — it still runs batch work.
-        for (std::size_t i = 0; i < n; ++i)
-            weights_[i] = 0.1 + std::max(nodes[i].loadFraction, 0.0);
-        break;
-      case PowerPolicy::HeadroomRebalance:
-        for (std::size_t i = 0; i < n; ++i) {
-            // Demand = what the node actually drew last quantum, with
-            // a boost when it violated QoS (it needs room to escalate
-            // the LC configuration). Before the first quantum every
-            // node demands equally.
-            double demand = nodes[i].stepped
-                ? std::max(nodes[i].measuredPowerW, opts_.nodeFloorW)
-                : 1.0;
-            if (nodes[i].qosViolated)
-                demand += opts_.qosBoostW;
-            weights_[i] = demand;
-        }
-        break;
-    }
-
+    // Parallel demand scan: each block writes its own weight range
+    // and one partial sum. The decomposition is fixed by n alone, and
+    // the partials are combined serially in block order, so weightSum
+    // is the same double at any pool width.
+    const std::size_t blocks = (n + kSplitChunk - 1) / kSplitChunk;
+    weights_.resize(n);
+    blockSums_.assign(blocks, 0.0);
+    pool.parallelChunks(
+        n, kSplitChunk,
+        [this, &nodes](std::size_t b, std::size_t begin,
+                       std::size_t end) {
+            double partial = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+                weights_[i] = demandWeight(nodes[i]);
+                partial += weights_[i];
+            }
+            blockSums_[b] = partial;
+        });
     double weightSum = 0.0;
-    for (const double w : weights_)
-        weightSum += w;
+    for (const double partial : blockSums_)
+        weightSum += partial;
 
     const double distributable = opts_.rackBudgetW -
         opts_.nodeFloorW * static_cast<double>(n);
-    out.assign(n, opts_.nodeFloorW);
-    if (weightSum > 0.0) {
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] += distributable * weights_[i] / weightSum;
-    } else {
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] += distributable / static_cast<double>(n);
-    }
+    out.resize(n);
+    pool.parallelChunks(
+        n, kSplitChunk,
+        [this, &out, weightSum, distributable,
+         n](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double share = weightSum > 0.0
+                    ? distributable * weights_[i] / weightSum
+                    : distributable / static_cast<double>(n);
+                out[i] = opts_.nodeFloorW + share;
+            }
+        });
 
     if (opts_.nodeCapW > 0.0) {
         // One redistribution pass: clip capped nodes and share the

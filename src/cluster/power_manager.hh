@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cluster/node.hh"
+#include "common/thread_pool.hh"
 
 namespace cuttlesys {
 namespace cluster {
@@ -72,14 +73,26 @@ class ClusterPowerManager
      * Compute this quantum's per-node budgets from the node views.
      * @p out is resized to nodes.size(); capacity is reused across
      * quanta so the steady-state split is heap-free.
+     *
+     * Per-node demand weights and proportional shares are computed
+     * block-parallel on @p pool; the weight reduction combines
+     * fixed-size block partials in block order and the cap
+     * clip/redistribute pass runs single-threaded in node-index
+     * order, so the budgets are bitwise identical at any pool width
+     * (DESIGN.md §12).
      */
     void split(const std::vector<NodeView> &nodes,
-               std::vector<double> &out);
+               std::vector<double> &out,
+               ThreadPool &pool = ThreadPool::global());
 
   private:
+    /** The policy's demand weight for one node (pure per-view). */
+    double demandWeight(const NodeView &node) const;
+
     PowerPolicy policy_;
     PowerManagerOptions opts_;
-    std::vector<double> weights_; //!< per-quantum scratch
+    std::vector<double> weights_;   //!< per-quantum scratch
+    std::vector<double> blockSums_; //!< per-block weight partials
 };
 
 } // namespace cluster

@@ -66,4 +66,28 @@ ScratchArena::reset()
     offset_.store(0);
 }
 
+WorkerArenaSet::WorkerArenaSet(std::size_t slots)
+{
+    CS_ASSERT(slots > 0, "worker arena set needs at least one slot");
+    arenas_.reserve(slots);
+    for (std::size_t s = 0; s < slots; ++s)
+        arenas_.push_back(std::make_unique<ScratchArena>());
+}
+
+void
+WorkerArenaSet::resetAll()
+{
+    for (auto &arena : arenas_)
+        arena->reset();
+}
+
+std::size_t
+WorkerArenaSet::usedBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &arena : arenas_)
+        total += arena->usedBytes();
+    return total;
+}
+
 } // namespace cuttlesys

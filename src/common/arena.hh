@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <type_traits>
 #include <vector>
@@ -110,6 +111,42 @@ class ScratchArena
 
     std::mutex overflowMutex_;
     std::vector<std::vector<std::byte>> overflow_;
+};
+
+/**
+ * One ScratchArena per thread-pool worker slot, for parallel regions
+ * whose tasks need variable-length scratch (the fleet controller's
+ * churn scan stages per-node departure lists this way). Each OS
+ * thread indexes its own arena via ThreadPool::currentSlot(), so
+ * allocation is contention-free and — unlike one shared arena — the
+ * span *addresses* a task obtains are independent of which worker ran
+ * it. Spans live until resetAll(), which the owner calls between
+ * phases (never while a region is in flight); like ScratchArena
+ * itself, a stable per-phase working set reaches zero-heap steady
+ * state after one cycle.
+ */
+class WorkerArenaSet
+{
+  public:
+    /** @param slots arena count; pass pool.slotCount() (workers+1). */
+    explicit WorkerArenaSet(std::size_t slots);
+
+    WorkerArenaSet(const WorkerArenaSet &) = delete;
+    WorkerArenaSet &operator=(const WorkerArenaSet &) = delete;
+
+    std::size_t size() const { return arenas_.size(); }
+
+    /** The arena owned by worker slot @p slot. */
+    ScratchArena &at(std::size_t slot) { return *arenas_[slot]; }
+
+    /** Rewind every arena; all spans die. NOT thread-safe. */
+    void resetAll();
+
+    /** Sum of bytes requested across slots since the last reset. */
+    std::size_t usedBytes() const;
+
+  private:
+    std::vector<std::unique_ptr<ScratchArena>> arenas_;
 };
 
 } // namespace cuttlesys

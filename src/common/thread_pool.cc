@@ -12,6 +12,9 @@ namespace {
 /** Free-list capacity; reserved up front so retiring never allocates. */
 constexpr std::size_t kMaxFreeBatches = 64;
 
+/** This thread's worker slot; 0 for every non-pool thread. */
+thread_local std::size_t tls_worker_slot = 0;
+
 } // namespace
 
 struct ThreadPool::Batch
@@ -32,9 +35,20 @@ ThreadPool::ThreadPool(std::size_t threads)
     }
     queue_.reserve(kMaxFreeBatches);
     freeBatches_.reserve(kMaxFreeBatches);
+    // Populate the free list up front: whether a record is reusable
+    // at acquire time depends on straggler workers still holding a
+    // reference to the previous region's batch, so growing the list
+    // lazily would allocate at schedule-dependent moments — exactly
+    // what the steady-state zero-allocation gates forbid.
+    for (std::size_t b = 0; b < kMaxFreeBatches; ++b)
+        freeBatches_.push_back(std::make_shared<Batch>());
     workers_.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (std::size_t t = 0; t < threads; ++t) {
+        workers_.emplace_back([this, t] {
+            tls_worker_slot = t + 1;
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -94,6 +108,13 @@ ThreadPool::workerLoop()
                 continue;
             }
             lock.unlock();
+            // Propagate the wake chain before working: if indices
+            // remain beyond the one just claimed, another worker can
+            // help. Claim-then-wake keeps the number of futex wakes
+            // proportional to the parallelism the region actually
+            // has, not the pool width.
+            if (i + 1 < batch->n)
+                cv_.notify_one();
             do {
                 runIndex(*batch, i);
                 i = batch->next.fetch_add(1);
@@ -108,13 +129,15 @@ ThreadPool::workerLoop()
 std::shared_ptr<ThreadPool::Batch>
 ThreadPool::acquireBatch()
 {
-    // The free list owns one permanent reference to every record it
-    // has ever created (bounded at kMaxFreeBatches), so an idle
-    // record has use_count() == 1 and an in-flight one > 1: handing
-    // out a copy marks it busy, and the count falling back to 1 when
-    // the region's last reference dies returns it to the pool with no
-    // explicit retire step. Records still visible to a worker are
-    // skipped, never mutated. Steady state performs zero allocations.
+    // The free list owns one permanent reference to every record
+    // (created in the constructor, bounded at kMaxFreeBatches), so an
+    // idle record has use_count() == 1 and an in-flight one > 1:
+    // handing out a copy marks it busy, and the count falling back to
+    // 1 when the region's last reference dies returns it to the pool
+    // with no explicit retire step. Records still visible to a worker
+    // are skipped, never mutated. The allocation below is a fallback
+    // for the pathological case of kMaxFreeBatches overlapping
+    // regions; normal operation performs zero allocations.
     for (auto &slot : freeBatches_) {
         if (slot.use_count() == 1) {
             slot->task = TaskRef{};
@@ -150,7 +173,16 @@ ThreadPool::parallelForTask(std::size_t n, TaskRef task)
         batch->n = n;
         queue_.push_back(batch);
     }
-    cv_.notify_all();
+    // Wake chain: rouse one worker; each worker that claims an index
+    // wakes the next while unclaimed indices remain (workerLoop). A
+    // notify_all here costs one futex wake *per pool worker* per
+    // region — with many workers on few cores the woken threads just
+    // contend, find the caller already finished, and go back to
+    // sleep, which dominated the fleet controller's small parallel
+    // phases. The chain wakes only as many workers as the region can
+    // feed, and the caller's own participation keeps the region
+    // live-lock free even if no worker ever wakes.
+    cv_.notify_one();
 
     // Work-sharing: the caller claims indices like any worker, so the
     // region completes even if every pool thread is busy elsewhere
@@ -187,6 +219,12 @@ ThreadPool::parallelForTask(std::size_t n, TaskRef task)
     }
     if (error)
         std::rethrow_exception(error);
+}
+
+std::size_t
+ThreadPool::currentSlot()
+{
+    return tls_worker_slot;
 }
 
 ThreadPool &

@@ -26,6 +26,7 @@
 #ifndef CUTTLESYS_COMMON_THREAD_POOL_HH
 #define CUTTLESYS_COMMON_THREAD_POOL_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -71,6 +72,43 @@ class ThreadPool
                     const_cast<std::remove_const_t<Decayed> *>(
                         std::addressof(fn))});
     }
+
+    /**
+     * Run fn(block, begin, end) over [0, n) split into fixed-size
+     * chunks of @p chunk indices. The decomposition depends only on
+     * n and chunk — never on the pool width — so per-block partial
+     * results (and any reduction that combines them in block order)
+     * are bitwise identical at any CS_POOL_THREADS. This is the
+     * building block of the fleet controller's deterministic
+     * parallel phases (DESIGN.md §12).
+     */
+    template <typename Fn>
+    void
+    parallelChunks(std::size_t n, std::size_t chunk, Fn &&fn)
+    {
+        if (n == 0)
+            return;
+        const std::size_t blocks = (n + chunk - 1) / chunk;
+        auto body = [&fn, n, chunk](std::size_t b) {
+            const std::size_t begin = b * chunk;
+            const std::size_t end = std::min(n, begin + chunk);
+            fn(b, begin, end);
+        };
+        parallelFor(blocks, body);
+    }
+
+    /**
+     * This thread's worker slot: 0 for any thread outside the pool
+     * (including a parallelFor caller, which participates in its own
+     * regions), 1..size() for the pool workers. Slots are distinct
+     * per OS thread, so indexing per-slot scratch (e.g. a
+     * WorkerArenaSet sized to slotCount()) is race-free even with
+     * nested parallel regions.
+     */
+    static std::size_t currentSlot();
+
+    /** Distinct worker-slot values handed out: workers + caller. */
+    std::size_t slotCount() const { return workers_.size() + 1; }
 
     /**
      * The process-wide pool used by the SGD reconstruction, parallel

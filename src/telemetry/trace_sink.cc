@@ -78,15 +78,35 @@ boolName(bool v)
 
 } // namespace
 
-JsonlSink::JsonlSink(std::ostream &out) : out_(&out)
+JsonlSink::JsonlSink(std::ostream &out, std::size_t buffer_bytes)
+    : out_(&out), bufferBytes_(buffer_bytes)
 {
+    buffer_.reserve(bufferBytes_);
 }
 
-JsonlSink::JsonlSink(const std::string &path)
-    : owned_(path, std::ios::trunc), out_(&owned_)
+JsonlSink::JsonlSink(const std::string &path, std::size_t buffer_bytes)
+    : owned_(path, std::ios::trunc), out_(&owned_),
+      bufferBytes_(buffer_bytes)
 {
     if (!owned_)
         fatal("cannot open trace file '", path, "' for writing");
+    buffer_.reserve(bufferBytes_);
+}
+
+JsonlSink::~JsonlSink()
+{
+    flush();
+}
+
+void
+JsonlSink::flush()
+{
+    if (!buffer_.empty()) {
+        out_->write(buffer_.data(),
+                    static_cast<std::streamsize>(buffer_.size()));
+        buffer_.clear(); // keeps capacity: steady state reallocates 0x
+    }
+    out_->flush();
 }
 
 std::string
@@ -210,8 +230,13 @@ JsonlSink::toJson(const QuantumRecord &rec)
 void
 JsonlSink::record(const QuantumRecord &rec)
 {
-    (*out_) << toJson(rec) << '\n';
+    buffer_ += toJson(rec);
+    buffer_ += '\n';
     ++written_;
+    // Drain on the line boundary after crossing the threshold — never
+    // mid-record — so a crash or concurrent reader sees whole lines.
+    if (buffer_.size() >= bufferBytes_)
+        flush();
 }
 
 } // namespace telemetry

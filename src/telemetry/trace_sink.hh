@@ -10,8 +10,13 @@
  *
  * JsonlSink serializes each record as one JSON object per line, the
  * schema DESIGN.md §8 documents; trace_reader.hh parses it back.
- * MemorySink keeps the records in a vector for tests and in-process
- * analysis.
+ * Lines accumulate in an amortized-growth buffer and reach the
+ * underlying stream in large writes — a 1024-node fleet day emits
+ * hundreds of thousands of records, and a syscall per record would
+ * dominate the controller's overhead — so readers must flush() (or
+ * destroy the sink) before consuming the stream. The bytes written
+ * are identical to the unbuffered per-record writes. MemorySink
+ * keeps the records in a vector for tests and in-process analysis.
  */
 
 #ifndef CUTTLESYS_TELEMETRY_TRACE_SINK_HH
@@ -41,15 +46,34 @@ class TraceSink
 class JsonlSink : public TraceSink
 {
   public:
-    /** Write to a caller-owned stream (not flushed per record). */
-    explicit JsonlSink(std::ostream &out);
+    /** Buffered bytes that trigger a drain to the stream. */
+    static constexpr std::size_t kDefaultBufferBytes = 1 << 18;
+
+    /**
+     * Write to a caller-owned stream. Records are buffered; call
+     * flush() before reading the stream mid-run (the destructor
+     * drains the tail).
+     */
+    explicit JsonlSink(std::ostream &out,
+                       std::size_t buffer_bytes = kDefaultBufferBytes);
 
     /** Write to @p path, truncating; throws FatalError on failure. */
-    explicit JsonlSink(const std::string &path);
+    explicit JsonlSink(const std::string &path,
+                       std::size_t buffer_bytes = kDefaultBufferBytes);
+
+    /** Drains any buffered records (end-of-run flush). */
+    ~JsonlSink() override;
 
     void record(const QuantumRecord &rec) override;
 
-    /** Records written so far. */
+    /**
+     * Drain the line buffer to the stream and flush the stream.
+     * Byte-for-byte, the stream then holds exactly what per-record
+     * unbuffered writes would have produced.
+     */
+    void flush();
+
+    /** Records written so far (buffered ones included). */
     std::size_t written() const { return written_; }
 
     /** Serialize one record to its JSONL form (no newline). */
@@ -58,6 +82,8 @@ class JsonlSink : public TraceSink
   private:
     std::ofstream owned_;
     std::ostream *out_;
+    std::string buffer_;
+    std::size_t bufferBytes_;
     std::size_t written_ = 0;
 };
 

@@ -365,6 +365,7 @@ TEST(DriverValidationTest, RecordModeCountsAndTracesViolations)
     EXPECT_EQ(result.invariantViolations, result.slices.size());
 
     // The violations survive the JSONL round trip.
+    sink.flush();
     std::istringstream in(jsonl.str());
     const auto records = telemetry::readTrace(in);
     ASSERT_EQ(records.size(), result.slices.size());

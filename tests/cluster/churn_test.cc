@@ -1,6 +1,7 @@
 /**
  * @file
- * Tests for the job-churn engine: seeded reproducibility, exact draw
+ * Tests for the counter-based job-churn engine: seeded
+ * reproducibility, per-node seed isolation, exact arrival-rate
  * accounting, and distinct residual seeds per arrival.
  */
 
@@ -26,16 +27,18 @@ TEST(ChurnTest, SameSeedSameEventStream)
 {
     ChurnOptions opts;
     opts.departureProbability = 0.3;
-    opts.meanArrivalsPerQuantum = 1.7;
-    JobChurnEngine a(testPool(), 99, opts);
-    JobChurnEngine b(testPool(), 99, opts);
-    for (int q = 0; q < 50; ++q) {
-        EXPECT_EQ(a.drawDeparture(), b.drawDeparture());
-        EXPECT_EQ(a.drawArrivals(), b.drawArrivals());
-        const AppProfile ja = a.drawJob();
-        const AppProfile jb = b.drawJob();
-        EXPECT_EQ(ja.name, jb.name);
-        EXPECT_EQ(ja.seed, jb.seed);
+    opts.meanArrivalsPerQuantum = 6.8;
+    JobChurnEngine a(testPool(), 4, 99, opts);
+    JobChurnEngine b(testPool(), 4, 99, opts);
+    for (std::uint64_t q = 0; q < 50; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            EXPECT_EQ(a.departs(q, node, 0), b.departs(q, node, 0));
+            EXPECT_EQ(a.arrivalsAt(q, node), b.arrivalsAt(q, node));
+            const AppProfile ja = a.drawJobAt(q, node, 0);
+            const AppProfile jb = b.drawJobAt(q, node, 0);
+            EXPECT_EQ(ja.name, jb.name);
+            EXPECT_EQ(ja.seed, jb.seed);
+        }
     }
 }
 
@@ -43,41 +46,103 @@ TEST(ChurnTest, DifferentSeedsDiverge)
 {
     ChurnOptions opts;
     opts.departureProbability = 0.5;
-    JobChurnEngine a(testPool(), 1, opts);
-    JobChurnEngine b(testPool(), 2, opts);
+    JobChurnEngine a(testPool(), 4, 1, opts);
+    JobChurnEngine b(testPool(), 4, 2, opts);
     int differing = 0;
-    for (int q = 0; q < 64; ++q)
-        differing += a.drawDeparture() != b.drawDeparture();
+    for (std::uint64_t q = 0; q < 64; ++q)
+        differing += a.departs(q, 0, 0) != b.departs(q, 0, 0);
     EXPECT_GT(differing, 0);
+}
+
+TEST(ChurnTest, DrawsArePureInTheirCoordinates)
+{
+    // The property the parallel churn scan rests on: a draw depends
+    // only on (seed, quantum, node, slot), never on which other draws
+    // were evaluated or in what order. Re-query a scattered subset
+    // after a full forward sweep and nothing moves.
+    ChurnOptions opts;
+    opts.departureProbability = 0.4;
+    opts.meanArrivalsPerQuantum = 5.3;
+    JobChurnEngine churn(testPool(), 8, 2026, opts);
+
+    std::vector<bool> departures;
+    std::vector<std::size_t> arrivals;
+    for (std::uint64_t q = 0; q < 16; ++q) {
+        for (std::size_t node = 0; node < 8; ++node) {
+            for (std::size_t slot = 0; slot < 4; ++slot)
+                departures.push_back(churn.departs(q, node, slot));
+            arrivals.push_back(churn.arrivalsAt(q, node));
+        }
+    }
+    // Replay backwards, interleaved with unrelated draws.
+    std::size_t di = departures.size();
+    std::size_t ai = arrivals.size();
+    for (std::uint64_t q = 16; q-- > 0;) {
+        for (std::size_t node = 8; node-- > 0;) {
+            EXPECT_EQ(churn.arrivalsAt(q, node), arrivals[--ai]);
+            (void)churn.drawJobAt(q + 100, node, 3); // unrelated
+            for (std::size_t slot = 4; slot-- > 0;)
+                EXPECT_EQ(churn.departs(q, node, slot),
+                          departures[--di]);
+        }
+    }
+}
+
+TEST(ChurnTest, NodeStreamsAreIsolated)
+{
+    // Growing the fleet must not disturb the draws of nodes that
+    // exist in both fleets (same per-node arrival share): node i's
+    // substream is keyed on i, not on cluster-wide draw order.
+    ChurnOptions small_opts;
+    small_opts.departureProbability = 0.35;
+    small_opts.meanArrivalsPerQuantum = 4.0;
+    ChurnOptions big_opts = small_opts;
+    big_opts.meanArrivalsPerQuantum = 16.0;
+    JobChurnEngine small(testPool(), 4, 77, small_opts);
+    JobChurnEngine big(testPool(), 16, 77, big_opts);
+    for (std::uint64_t q = 0; q < 32; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            EXPECT_EQ(small.departs(q, node, 1),
+                      big.departs(q, node, 1));
+            EXPECT_EQ(small.arrivalsAt(q, node),
+                      big.arrivalsAt(q, node));
+        }
+    }
 }
 
 TEST(ChurnTest, ArrivalDrawsBracketTheMean)
 {
-    // floor(rate) plus one Bernoulli on the fraction: every draw is
-    // either 1 or 2 for a rate of 1.7, and the mean converges on it.
+    // Per node: floor(share) plus one Bernoulli on the fraction. At a
+    // cluster rate of 6.8 over 4 nodes every draw is 1 or 2, and the
+    // cluster-wide mean converges on the configured rate.
     ChurnOptions opts;
-    opts.meanArrivalsPerQuantum = 1.7;
-    JobChurnEngine churn(testPool(), 7, opts);
+    opts.meanArrivalsPerQuantum = 6.8;
+    JobChurnEngine churn(testPool(), 4, 7, opts);
     std::size_t total = 0;
-    const int quanta = 4000;
-    for (int q = 0; q < quanta; ++q) {
-        const std::size_t k = churn.drawArrivals();
-        ASSERT_GE(k, 1u);
-        ASSERT_LE(k, 2u);
-        total += k;
+    const std::uint64_t quanta = 2000;
+    for (std::uint64_t q = 0; q < quanta; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            const std::size_t k = churn.arrivalsAt(q, node);
+            ASSERT_GE(k, 1u);
+            ASSERT_LE(k, 2u);
+            total += k;
+        }
     }
     const double mean =
         static_cast<double>(total) / static_cast<double>(quanta);
-    EXPECT_NEAR(mean, 1.7, 0.05);
+    EXPECT_NEAR(mean, 6.8, 0.15);
 }
 
-TEST(ChurnTest, IntegerArrivalRateIsExact)
+TEST(ChurnTest, IntegerPerNodeShareIsExact)
 {
+    // 8 arrivals over 4 nodes: every node's share is exactly 2, no
+    // Bernoulli fraction left over.
     ChurnOptions opts;
-    opts.meanArrivalsPerQuantum = 2.0;
-    JobChurnEngine churn(testPool(), 7, opts);
-    for (int q = 0; q < 32; ++q)
-        EXPECT_EQ(churn.drawArrivals(), 2u);
+    opts.meanArrivalsPerQuantum = 8.0;
+    JobChurnEngine churn(testPool(), 4, 7, opts);
+    for (std::uint64_t q = 0; q < 32; ++q)
+        for (std::size_t node = 0; node < 4; ++node)
+            EXPECT_EQ(churn.arrivalsAt(q, node), 2u);
 }
 
 TEST(ChurnTest, ZeroRatesAreSilent)
@@ -85,10 +150,12 @@ TEST(ChurnTest, ZeroRatesAreSilent)
     ChurnOptions opts;
     opts.departureProbability = 0.0;
     opts.meanArrivalsPerQuantum = 0.0;
-    JobChurnEngine churn(testPool(), 7, opts);
-    for (int q = 0; q < 32; ++q) {
-        EXPECT_FALSE(churn.drawDeparture());
-        EXPECT_EQ(churn.drawArrivals(), 0u);
+    JobChurnEngine churn(testPool(), 4, 7, opts);
+    for (std::uint64_t q = 0; q < 32; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            EXPECT_FALSE(churn.departs(q, node, 0));
+            EXPECT_EQ(churn.arrivalsAt(q, node), 0u);
+        }
     }
 }
 
@@ -96,23 +163,30 @@ TEST(ChurnTest, CertainDepartureAlwaysFires)
 {
     ChurnOptions opts;
     opts.departureProbability = 1.0;
-    JobChurnEngine churn(testPool(), 7, opts);
-    for (int q = 0; q < 32; ++q)
-        EXPECT_TRUE(churn.drawDeparture());
+    JobChurnEngine churn(testPool(), 4, 7, opts);
+    for (std::uint64_t q = 0; q < 32; ++q)
+        for (std::size_t slot = 0; slot < 8; ++slot)
+            EXPECT_TRUE(churn.departs(q, 1, slot));
 }
 
 TEST(ChurnTest, ArrivalsGetDistinctResidualSeeds)
 {
     // Two arrivals of the same benchmark must not be byte-identical
-    // jobs; the arrival counter is folded into each profile's seed.
-    JobChurnEngine churn(testPool(), 7);
+    // jobs; each arrival's coordinate hash is folded into its
+    // profile's seed.
+    JobChurnEngine churn(testPool(), 4, 7);
     std::set<std::uint64_t> seeds;
-    for (int i = 0; i < 40; ++i) {
-        const AppProfile job = churn.drawJob();
-        EXPECT_TRUE(seeds.insert(job.seed).second)
-            << "duplicate residual seed for arrival " << i;
+    for (std::uint64_t q = 0; q < 5; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            for (std::size_t k = 0; k < 2; ++k) {
+                const AppProfile job = churn.drawJobAt(q, node, k);
+                EXPECT_TRUE(seeds.insert(job.seed).second)
+                    << "duplicate residual seed at q=" << q
+                    << " node=" << node << " k=" << k;
+            }
+        }
     }
-    EXPECT_EQ(churn.jobsDrawn(), 40u);
+    EXPECT_EQ(seeds.size(), 40u);
 }
 
 TEST(ChurnTest, DrawnJobsComeFromThePool)
@@ -121,9 +195,10 @@ TEST(ChurnTest, DrawnJobsComeFromThePool)
     std::set<std::string> names;
     for (const AppProfile &p : pool)
         names.insert(p.name);
-    JobChurnEngine churn(pool, 7);
-    for (int i = 0; i < 40; ++i)
-        EXPECT_EQ(names.count(churn.drawJob().name), 1u);
+    JobChurnEngine churn(pool, 4, 7);
+    for (std::uint64_t q = 0; q < 10; ++q)
+        for (std::size_t k = 0; k < 4; ++k)
+            EXPECT_EQ(names.count(churn.drawJobAt(q, 2, k).name), 1u);
 }
 
 } // namespace

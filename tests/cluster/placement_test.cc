@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/placement.hh"
+#include "common/thread_pool.hh"
 
 namespace cuttlesys {
 namespace cluster {
@@ -164,6 +166,152 @@ TEST(BackfillTest, DeterministicAcrossRepeatedCalls)
     const std::size_t first = backfill.place(someJob(), nodes);
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(backfill.place(someJob(), nodes), first);
+}
+
+// ---------------------------------------------------------------------
+// PlacementRound property tests: the parallel-scored, heap-committed
+// round must be bitwise-equivalent to the serial per-job rescan and
+// must never double-book a slot, for fleets up to 1024 nodes and at
+// any pool width.
+// ---------------------------------------------------------------------
+
+/** SplitMix64 — deterministic synthetic fleet state from an index. */
+std::uint64_t
+mixBits(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::vector<NodeView>
+syntheticFleet(std::size_t n, std::uint64_t seed)
+{
+    std::vector<NodeView> views;
+    views.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t h = mixBits(seed ^ i);
+        // Includes full nodes (freeSlots 0), repeated headrooms (ties)
+        // and unstepped nodes, so every commit-order rule is hit.
+        views.push_back(makeView(
+            i, h % 5, static_cast<double>((h >> 8) % 16),
+            static_cast<double>((h >> 16) % 100) / 100.0,
+            /*qos_violated=*/((h >> 24) & 3) == 0,
+            /*stepped=*/((h >> 26) & 7) != 0));
+    }
+    return views;
+}
+
+/** Serial oracle: per-job rescan with manual slot bookkeeping. */
+std::vector<std::size_t>
+serialCommit(const PlacementPolicy &policy, std::vector<NodeView> views,
+             std::size_t jobs, std::vector<NodeView> &final_views)
+{
+    std::vector<std::size_t> choices;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        const std::size_t target = policy.place(someJob(), views);
+        choices.push_back(target);
+        if (target != PlacementPolicy::kNoNode) {
+            --views[target].freeSlots;
+            ++views[target].occupiedSlots;
+        }
+    }
+    final_views = std::move(views);
+    return choices;
+}
+
+void
+expectRoundMatchesSerial(const PlacementPolicy &policy, std::size_t n,
+                         std::size_t pool_threads)
+{
+    ThreadPool pool(pool_threads);
+    std::vector<NodeView> serial_views;
+    std::vector<NodeView> round_views = syntheticFleet(n, 0xfeedULL + n);
+    // More jobs than capacity, so the round drains into kNoNode.
+    std::size_t capacity = 0;
+    for (const NodeView &v : round_views)
+        capacity += v.freeSlots;
+    const std::size_t jobs = capacity + 8;
+
+    const std::vector<std::size_t> expect =
+        serialCommit(policy, round_views, jobs, serial_views);
+
+    PlacementRound round;
+    round.begin(policy, round_views, pool);
+    std::vector<std::size_t> booked(n, 0);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        const std::size_t target = round.placeOne();
+        ASSERT_EQ(target, expect[j])
+            << policy.name() << " diverged at job " << j << " (n=" << n
+            << ", threads=" << pool_threads << ")";
+        if (target != PlacementPolicy::kNoNode)
+            ++booked[target];
+    }
+    // No double-booking: bookings never exceed the initial vacancy...
+    const std::vector<NodeView> fresh = syntheticFleet(n, 0xfeedULL + n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_LE(booked[i], fresh[i].freeSlots) << "node " << i;
+    // ...and the committed views match the serial bookkeeping bitwise.
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(round_views[i].freeSlots, serial_views[i].freeSlots);
+        EXPECT_EQ(round_views[i].occupiedSlots,
+                  serial_views[i].occupiedSlots);
+    }
+}
+
+TEST(PlacementRoundTest, BackfillMatchesSerialUpTo1024Nodes)
+{
+    BackfillBinPack backfill;
+    for (const std::size_t n : {1u, 3u, 16u, 64u, 257u, 1024u})
+        expectRoundMatchesSerial(backfill, n, 4);
+}
+
+TEST(PlacementRoundTest, FirstFitMatchesSerialUpTo1024Nodes)
+{
+    FifoFirstFit fifo;
+    for (const std::size_t n : {1u, 3u, 16u, 64u, 257u, 1024u})
+        expectRoundMatchesSerial(fifo, n, 4);
+}
+
+TEST(PlacementRoundTest, ChoicesIndependentOfPoolWidth)
+{
+    BackfillBinPack backfill;
+    for (const std::size_t threads : {1u, 2u, 8u})
+        expectRoundMatchesSerial(backfill, 1024, threads);
+}
+
+TEST(PlacementRoundTest, EmptyFleetPlacesNothing)
+{
+    BackfillBinPack backfill;
+    ThreadPool pool(2);
+    std::vector<NodeView> views;
+    PlacementRound round;
+    round.begin(backfill, views, pool);
+    EXPECT_EQ(round.vacantNodes(), 0u);
+    EXPECT_EQ(round.placeOne(), PlacementPolicy::kNoNode);
+}
+
+TEST(PlacementRoundTest, ReusableAcrossQuanta)
+{
+    // One round object serves many quanta (persistent buffers); a
+    // fresh begin() must fully supersede the previous quantum.
+    BackfillBinPack backfill;
+    ThreadPool pool(2);
+    PlacementRound round;
+
+    std::vector<NodeView> big = syntheticFleet(512, 1);
+    round.begin(backfill, big, pool);
+    for (int j = 0; j < 100; ++j)
+        (void)round.placeOne();
+
+    std::vector<NodeView> small_round = syntheticFleet(8, 2);
+    std::vector<NodeView> small_serial;
+    const std::vector<std::size_t> expect =
+        serialCommit(backfill, small_round, 12, small_serial);
+    round.begin(backfill, small_round, pool);
+    for (std::size_t j = 0; j < expect.size(); ++j)
+        EXPECT_EQ(round.placeOne(), expect[j]);
 }
 
 } // namespace

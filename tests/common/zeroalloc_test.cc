@@ -18,7 +18,10 @@
 #include <gtest/gtest.h>
 
 #include "cf/engine.hh"
+#include "cluster/churn.hh"
 #include "cluster/node.hh"
+#include "cluster/placement.hh"
+#include "cluster/power_manager.hh"
 #include "common/alloc_probe.hh"
 #include "common/arena.hh"
 #include "common/kernels.hh"
@@ -193,6 +196,218 @@ TEST(ZeroAlloc, FleetNodeSteadyStateQuantumIsHeapFree)
     EXPECT_EQ(allocs, 0u)
         << "steady-state fleet-node quantum touched the heap "
         << allocs << " times over " << kMeasured << " quanta";
+}
+
+/**
+ * One full controller quantum over a 256-node fleet, built from the
+ * production control-phase components: the parallel churn scan
+ * staging per-node departure lists in per-worker arenas, the serial
+ * node-order merge admitting arrivals into the FIFO queue, the O(1)
+ * view gather, PlacementRound's score-once/heap-commit placement,
+ * ClusterPowerManager's block-parallel split, and the parallel load
+ * scan. Per-node simulators are replaced by a planned-occupancy state
+ * machine so the gate isolates the controller phases themselves.
+ */
+struct ControllerQuantum
+{
+    static constexpr std::size_t kNodes = 256;
+    static constexpr std::size_t kSlots = 16;
+
+    cluster::BackfillBinPack policy;
+    cluster::JobChurnEngine churn;
+    cluster::ClusterPowerManager power;
+    cluster::PlacementRound round;
+    WorkerArenaSet arenas{ThreadPool::global().slotCount()};
+
+    struct NodePlan
+    {
+        std::uint16_t *departSlots = nullptr;
+        std::uint16_t numDeparts = 0;
+        std::uint16_t arrivals = 0;
+    };
+    std::vector<NodePlan> plan;
+
+    std::vector<std::uint8_t> occupied;
+    std::vector<std::size_t> freeCount;
+    std::vector<std::size_t> firstVacant;
+    std::vector<cluster::NodeView> views;
+    std::vector<double> budgets;
+    std::vector<double> loads;
+    std::vector<cluster::PendingJob> pending;
+    std::size_t pendingHead = 0;
+    std::uint64_t quantum = 0;
+
+    static std::vector<AppProfile>
+    jobPool()
+    {
+        // Short names stay within std::string's SSO buffer, like the
+        // SPEC gallery's: a profile copy must not allocate.
+        std::vector<AppProfile> pool(4);
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            pool[i].name = "job-";
+            pool[i].name += static_cast<char>('a' + i);
+            pool[i].seed = 7 + i;
+        }
+        return pool;
+    }
+
+    ControllerQuantum()
+        : churn(jobPool(), kNodes, 31,
+                cluster::ChurnOptions{0.10, 64.0, 2 * kNodes}),
+          power(cluster::PowerPolicy::HeadroomRebalance,
+                cluster::PowerManagerOptions{.rackBudgetW = 24000.0,
+                                             .nodeFloorW = 30.0,
+                                             .nodeCapW = 130.0,
+                                             .qosBoostW = 10.0})
+    {
+        plan.resize(kNodes);
+        occupied.assign(kNodes * kSlots, 0);
+        freeCount.assign(kNodes, kSlots);
+        firstVacant.assign(kNodes, 0);
+        views.resize(kNodes);
+        budgets.assign(kNodes, 90.0);
+        loads.assign(kNodes, 0.0);
+        pending.reserve(4 * kNodes);
+        Rng rng(5);
+        for (std::size_t i = 0; i < kNodes; ++i) {
+            for (std::size_t s = 0; s < kSlots; ++s) {
+                if (rng.uniform(0.0, 1.0) < 0.5) {
+                    occupied[i * kSlots + s] = 1;
+                    --freeCount[i];
+                }
+            }
+            while (firstVacant[i] < kSlots &&
+                   occupied[i * kSlots + firstVacant[i]]) {
+                ++firstVacant[i];
+            }
+        }
+        // Worst-case staging prewarm, as FleetController performs:
+        // the worker schedule (never the results) varies per run, so
+        // each arena must already fit a whole-fleet scan.
+        for (std::size_t s = 0; s < arenas.size(); ++s)
+            arenas.at(s).alloc<std::uint16_t>(kNodes * kSlots);
+        arenas.resetAll();
+    }
+
+    std::size_t queued() const { return pending.size() - pendingHead; }
+
+    void
+    run()
+    {
+        auto &pool = ThreadPool::global();
+        // Phase 1: churn — parallel scan into arena staging, serial
+        // node-order merge.
+        arenas.resetAll();
+        pool.parallelChunks(
+            kNodes, 32,
+            [this](std::size_t, std::size_t begin, std::size_t end) {
+                ScratchArena &arena =
+                    arenas.at(ThreadPool::currentSlot());
+                for (std::size_t i = begin; i < end; ++i) {
+                    std::uint16_t *stage =
+                        arena.alloc<std::uint16_t>(kSlots);
+                    std::uint16_t count = 0;
+                    for (std::size_t s = 0; s < kSlots; ++s) {
+                        if (occupied[i * kSlots + s] &&
+                            churn.departs(quantum, i, s)) {
+                            stage[count++] =
+                                static_cast<std::uint16_t>(s);
+                        }
+                    }
+                    plan[i].departSlots = stage;
+                    plan[i].numDeparts = count;
+                    plan[i].arrivals = static_cast<std::uint16_t>(
+                        churn.arrivalsAt(quantum, i));
+                }
+            });
+        for (std::size_t i = 0; i < kNodes; ++i) {
+            for (std::uint16_t d = 0; d < plan[i].numDeparts; ++d) {
+                const std::size_t s = plan[i].departSlots[d];
+                occupied[i * kSlots + s] = 0;
+                ++freeCount[i];
+                firstVacant[i] = std::min(firstVacant[i], s);
+            }
+            for (std::uint16_t k = 0; k < plan[i].arrivals; ++k) {
+                if (queued() >= 2 * kNodes)
+                    continue;
+                cluster::PendingJob job;
+                job.profile = churn.drawJobAt(quantum, i, k);
+                job.submitSlice = quantum;
+                pending.push_back(std::move(job));
+            }
+        }
+        // Phase 2: gather — O(1) counters, disjoint writes.
+        pool.parallelChunks(
+            kNodes, 32,
+            [this](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    cluster::NodeView &v = views[i];
+                    v.node = i;
+                    v.freeSlots = freeCount[i];
+                    v.occupiedSlots = kSlots - freeCount[i];
+                    v.loadFraction = 0.3 +
+                        0.4 * static_cast<double>(i % 7) / 7.0;
+                    v.budgetW = budgets[i];
+                    v.measuredPowerW = 50.0 + 40.0 * v.loadFraction;
+                    v.headroomW = v.budgetW - v.measuredPowerW;
+                    v.qosViolated = (i % 11) == 0;
+                    v.stepped = true;
+                }
+            });
+        // Phase 3: place — parallel scoring, ordered heap commit.
+        round.begin(policy, views, pool);
+        while (pendingHead < pending.size()) {
+            const std::size_t target = round.placeOne();
+            if (target == cluster::PlacementPolicy::kNoNode)
+                break;
+            std::size_t &hint = firstVacant[target];
+            occupied[target * kSlots + hint] = 1;
+            --freeCount[target];
+            while (hint < kSlots && occupied[target * kSlots + hint])
+                ++hint;
+            ++pendingHead;
+        }
+        if (pendingHead == pending.size()) {
+            pending.clear();
+            pendingHead = 0;
+        }
+        // Phase 4: budget — block-parallel weights, ordered clip.
+        power.split(views, budgets, pool);
+        // Phase 5: shift scan — parallel load lookups.
+        pool.parallelChunks(
+            kNodes, 32,
+            [this](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    loads[i] = 0.5 +
+                        0.3 * static_cast<double>((i + quantum) % 5) /
+                            5.0;
+                }
+            });
+        ++quantum;
+    }
+};
+
+TEST(ZeroAlloc, ControllerQuantumAt256NodesIsHeapFree)
+{
+    // The fleet tentpole gate: a full 256-node controller quantum —
+    // every parallel phase drawing scratch from per-worker arenas and
+    // reduction buffers from persistent members — must not touch the
+    // heap once warm.
+    setInformEnabled(false);
+    ControllerQuantum ctl;
+    for (int q = 0; q < 4; ++q)
+        ctl.run();
+
+    constexpr int kMeasured = 8;
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int q = 0; q < kMeasured; ++q)
+        ctl.run();
+    const std::uint64_t allocs = AllocProbe::newCount() - before;
+
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state 256-node controller quantum touched the "
+        << "heap " << allocs << " times over " << kMeasured
+        << " quanta";
 }
 
 TEST(ZeroAlloc, ParallelForSteadyStateIsHeapFree)

@@ -343,6 +343,7 @@ TEST(CuttleSysTest, JsonlTraceHasOneParseableRecordPerSlice)
     dopts.traceSink = &sink;
     const RunResult r = runColocation(sim, sched, dopts);
 
+    sink.flush();
     std::istringstream in(jsonl.str());
     const std::vector<telemetry::QuantumRecord> records =
         telemetry::readTrace(in);

@@ -219,6 +219,7 @@ TEST(DriverTest, JsonlTraceCoversBaselines)
     opts.traceSink = &sink;
     const RunResult result = runColocation(sim, sched, opts);
 
+    sink.flush();
     std::istringstream in(jsonl.str());
     const auto records = telemetry::readTrace(in);
     ASSERT_EQ(records.size(), result.slices.size());

@@ -215,6 +215,7 @@ TEST(TraceRoundTripTest, JsonlStreamRoundTrips)
     }
     EXPECT_EQ(sink.written(), 3u);
 
+    sink.flush();
     std::istringstream in(out.str() + "\n"); // trailing blank line
     const std::vector<QuantumRecord> back = readTrace(in);
     ASSERT_EQ(back.size(), 3u);
@@ -223,6 +224,73 @@ TEST(TraceRoundTripTest, JsonlStreamRoundTrips)
         EXPECT_EQ(back[s].lcPath, LcPath::ColdStart);
         EXPECT_DOUBLE_EQ(back[s].searchObjective, 1.5);
     }
+}
+
+TEST(TraceRoundTripTest, BufferedBytesMatchUnbufferedExactly)
+{
+    // The line buffer must change when the bytes reach the stream,
+    // never what they are.
+    std::string expected;
+    std::ostringstream buffered;
+    {
+        JsonlSink sink(buffered, /*buffer_bytes=*/256);
+        for (std::size_t s = 0; s < 64; ++s) {
+            QuantumRecord rec = fullRecord();
+            rec.slice = s;
+            expected += JsonlSink::toJson(rec);
+            expected += '\n';
+            sink.record(rec);
+        }
+        EXPECT_EQ(sink.written(), 64u);
+        // Destructor drains the tail that never crossed the
+        // threshold.
+    }
+    EXPECT_EQ(buffered.str(), expected);
+}
+
+TEST(TraceRoundTripTest, RoundTripsAtBufferBoundaries)
+{
+    // Thresholds straddling one line's length put the drain exactly
+    // at, just before, and just after a record boundary; every
+    // variant must read back whole records.
+    QuantumRecord rec = fullRecord();
+    const std::size_t line = JsonlSink::toJson(rec).size() + 1;
+    const std::size_t sizes[] = {1, line - 1, line, line + 1,
+                                 3 * line, 3 * line + line / 2};
+    for (const std::size_t buffer_bytes : sizes) {
+        std::ostringstream out;
+        JsonlSink sink(out, buffer_bytes);
+        for (std::size_t s = 0; s < 7; ++s) {
+            rec.slice = s;
+            sink.record(rec);
+        }
+        sink.flush();
+        std::istringstream in(out.str());
+        const std::vector<QuantumRecord> back = readTrace(in);
+        ASSERT_EQ(back.size(), 7u) << "buffer=" << buffer_bytes;
+        for (std::size_t s = 0; s < back.size(); ++s)
+            EXPECT_EQ(back[s].slice, s) << "buffer=" << buffer_bytes;
+    }
+}
+
+TEST(TraceRoundTripTest, FlushIsIdempotentAndMidRunSafe)
+{
+    std::ostringstream out;
+    JsonlSink sink(out);
+    QuantumRecord rec = fullRecord();
+    sink.record(rec);
+    sink.flush();
+    const std::string after_first = out.str();
+    EXPECT_FALSE(after_first.empty());
+    sink.flush();
+    EXPECT_EQ(out.str(), after_first); // nothing new to drain
+    rec.slice = 43;
+    sink.record(rec);
+    sink.flush();
+    std::istringstream in(out.str());
+    const std::vector<QuantumRecord> back = readTrace(in);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[1].slice, 43u);
 }
 
 TEST(TraceRoundTripTest, UnknownKeysAreIgnored)
