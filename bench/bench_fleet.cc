@@ -446,9 +446,11 @@ struct ParallelController
                        std::size_t n, std::uint64_t seed)
         : pool(pool_ref), policy(placement),
           churn(job_pool, n, seed,
-                ChurnOptions{kDepartureProb, kArrivalsPerNode *
+                ChurnOptions{.departureProbability = kDepartureProb,
+                             .meanArrivalsPerQuantum =
+                                 kArrivalsPerNode *
                                  static_cast<double>(n),
-                             2 * n}),
+                             .maxPendingJobs = 2 * n}),
           power(PowerPolicy::HeadroomRebalance,
                 PowerManagerOptions{
                     .rackBudgetW =

@@ -17,7 +17,13 @@
  *                   saved by an earlier run (wall-clock fields are
  *                   excluded by the structural diff)
  *
- * Usage: fleet_replay_check [day_seconds] [runs]
+ * With --tenants the fleet runs the 3-tenant skewed-arrival
+ * configuration (fair-share queue ordering, class-strict preemption),
+ * so the gate also proves the priority order, the drop-lowest
+ * admission, and the preemption path replay bitwise — the tenancy
+ * fields (per-slot accounts, eviction victims) are part of the diff.
+ *
+ * Usage: fleet_replay_check [day_seconds] [runs] [--tenants]
  *                           [--nodes N] [--save P] [--against P]
  */
 
@@ -48,7 +54,8 @@ namespace {
 std::vector<telemetry::QuantumRecord>
 runOnce(const SystemParams &params, const TrainingTables &tables,
         const AppProfile &lc, const std::vector<AppProfile> &pool,
-        double node_max_w, double day_seconds, std::size_t nodes)
+        double node_max_w, double day_seconds, std::size_t nodes,
+        bool tenants)
 {
     telemetry::MemorySink sink;
     FleetOptions opts;
@@ -64,6 +71,27 @@ runOnce(const SystemParams &params, const TrainingTables &tables,
     opts.churn.meanArrivalsPerQuantum =
         0.5 * static_cast<double>(nodes);
     opts.sink = &sink;
+    if (tenants) {
+        // The fleet_sim --tenants configuration: skewed arrivals,
+        // equal shares, the heaviest submitter in the lowest class,
+        // and churn hot enough to saturate the fleet — so the
+        // drop-lowest admission, the priority order, and the
+        // preemption path are all part of the trace the gate must
+        // prove deterministic.
+        opts.churn.departureProbability = 0.03;
+        opts.churn.meanArrivalsPerQuantum =
+            1.5 * static_cast<double>(nodes);
+        opts.churn.maxPendingJobs = 2 * nodes;
+        opts.tenants = {
+            TenantSpec{.name = "ml-train", .arrivalWeight = 0.65,
+                       .shares = 1.0, .qosClass = QosClass::Batch},
+            TenantSpec{.name = "analytics", .arrivalWeight = 0.25,
+                       .shares = 1.0, .qosClass = QosClass::Normal},
+            TenantSpec{.name = "web-api", .arrivalWeight = 0.10,
+                       .shares = 1.0,
+                       .qosClass = QosClass::Interactive},
+        };
+    }
 
     BackfillBinPack backfill;
     FleetController fleet(params, tables, lc, pool, node_max_w,
@@ -90,6 +118,7 @@ main(int argc, char **argv)
     double day_seconds = 1.0;
     std::size_t runs = 2;
     std::size_t nodes = 256;
+    bool tenants = false;
     std::string savePath, againstPath;
     std::size_t positional = 0;
     for (int a = 1; a < argc; ++a) {
@@ -101,6 +130,8 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "--nodes") == 0 &&
                    a + 1 < argc) {
             nodes = static_cast<std::size_t>(std::atoi(argv[++a]));
+        } else if (std::strcmp(argv[a], "--tenants") == 0) {
+            tenants = true;
         } else if (positional == 0) {
             day_seconds = std::atof(argv[a]);
             ++positional;
@@ -111,7 +142,8 @@ main(int argc, char **argv)
     }
     CS_ASSERT(day_seconds > 0.0 && runs >= 2 && nodes > 0,
               "usage: fleet_replay_check [day_seconds>0] [runs>=2] "
-              "[--nodes N>0] [--save PATH] [--against PATH]");
+              "[--tenants] [--nodes N>0] [--save PATH] "
+              "[--against PATH]");
 
     const SystemParams params;
     const TrainTestSplit split = splitSpecGallery();
@@ -128,9 +160,10 @@ main(int argc, char **argv)
 
     const std::vector<telemetry::QuantumRecord> reference =
         runOnce(params, tables, lc, split.test, node_max_w,
-                day_seconds, nodes);
-    std::printf("run 1/%zu: %zu records (%zu nodes, reference)\n",
-                runs, reference.size(), nodes);
+                day_seconds, nodes, tenants);
+    std::printf("run 1/%zu: %zu records (%zu nodes%s, reference)\n",
+                runs, reference.size(), nodes,
+                tenants ? ", 3 tenants" : "");
     if (!savePath.empty()) {
         dumpTrace(savePath, reference);
         std::printf("saved reference trace to %s\n",
@@ -141,7 +174,7 @@ main(int argc, char **argv)
     for (std::size_t r = 2; r <= runs; ++r) {
         const std::vector<telemetry::QuantumRecord> replay =
             runOnce(params, tables, lc, split.test, node_max_w,
-                    day_seconds, nodes);
+                    day_seconds, nodes, tenants);
         const check::TraceDiff diff =
             check::diffDecisionTraces(reference, replay);
         std::printf("run %zu/%zu: %zu records, %zu fields compared, "

@@ -15,16 +15,27 @@
  * fleet_trace.jsonl (one record per node per quantum, stamped with
  * the node index) for CI to archive.
  *
- * Usage: fleet_sim [nodes] [day_seconds]
+ * Usage: fleet_sim [--tenants] [nodes] [day_seconds]
  *   nodes        fleet size (default 256; scales to 1024)
  *   day_seconds  compressed-day length (default 0.5 = 5 quanta)
+ *
+ * With --tenants the comparison switches from placement policies to
+ * queue disciplines: three accounts with skewed arrival weights but
+ * equal fair-share entitlements submit into the same churn stream,
+ * and the same fleet runs once under the legacy strict-FIFO queue and
+ * once under fair-share ordering with class-strict preemption. The
+ * per-tenant accounting table shows what each account got; the
+ * fair-share run's trace lands in fleet_tenants_trace.jsonl (feed it
+ * to tools/sacct for the offline accounting view).
  *
  * The per-node table is printed only for small fleets; at 256+ nodes
  * the cluster line and the policy comparison carry the story.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "apps/gallery.hh"
 #include "apps/mix.hh"
@@ -64,8 +75,45 @@ makeFleetOptions(std::size_t nodes, double day_seconds,
     return opts;
 }
 
+/**
+ * The 3-tenant skewed-arrival experiment: the heaviest submitter is
+ * the lowest class, the lightest the highest — so fair-share ordering
+ * and preemption have something to correct — while equal shares keep
+ * the entitlement ratio at 1:1:1.
+ */
+std::vector<TenantSpec>
+makeTenants()
+{
+    return {
+        TenantSpec{.name = "ml-train", .arrivalWeight = 0.65,
+                   .shares = 1.0, .qosClass = QosClass::Batch},
+        TenantSpec{.name = "analytics", .arrivalWeight = 0.25,
+                   .shares = 1.0, .qosClass = QosClass::Normal},
+        TenantSpec{.name = "web-api", .arrivalWeight = 0.10,
+                   .shares = 1.0, .qosClass = QosClass::Interactive},
+    };
+}
+
 /** Per-node rows are readable up to about this fleet size. */
 constexpr std::size_t kMaxNodeTableRows = 16;
+
+void
+printAccounts(const FleetSummary &s)
+{
+    std::printf("%-10s %-11s %6s %6s %6s %5s %5s %6s %6s %10s %9s %9s\n",
+                "account", "class", "weight", "arr", "placed", "dropN",
+                "dropQ", "preW", "preS", "core-sec", "Ginstr",
+                "gmeanBIPS");
+    for (const AccountSummary &a : s.accounts) {
+        std::printf("%-10s %-11s %6.2f %6zu %6zu %5zu %5zu %6zu %6zu "
+                    "%10.1f %9.1f %9.2f\n",
+                    a.name.c_str(), qosClassName(a.qosClass),
+                    a.arrivalWeight, a.arrivals, a.placements,
+                    a.dropsNew, a.dropsQueued, a.preemptionsWon,
+                    a.preemptionsSuffered, a.coreSeconds, a.ginstr,
+                    a.gmeanBips);
+    }
+}
 
 void
 printSummary(const FleetSummary &s)
@@ -90,12 +138,13 @@ printSummary(const FleetSummary &s)
     }
     std::printf("cluster: QoS %.1f%%  job-gmean %.2f BIPS  batch "
                 "%.1f Ginstr  power %.1f/%.0f W  churn %zu in / %zu "
-                "out  placements %zu (stall-quanta %zu)  load shifts "
-                "%zu\n\n",
+                "out  placements %zu (stall-quanta %zu)  preempt %zu  "
+                "dropQ %zu  load shifts %zu\n\n",
                 s.clusterQosPct, s.jobGmeanBips,
                 s.totalBatchInstructions * 1e-9, s.meanClusterPowerW,
                 s.rackBudgetW, s.arrivals, s.departures, s.placements,
-                s.placementStalls, s.loadShifts);
+                s.placementStalls, s.preemptions, s.droppedQueued,
+                s.loadShifts);
 }
 
 } // namespace
@@ -104,12 +153,24 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
-    const std::size_t nodes = argc > 1
-        ? static_cast<std::size_t>(std::atoi(argv[1]))
-        : 256;
-    const double day_seconds = argc > 2 ? std::atof(argv[2]) : 0.5;
+    bool tenantsMode = false;
+    std::size_t nodes = 256;
+    double day_seconds = 0.5;
+    std::size_t positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--tenants") {
+            tenantsMode = true;
+        } else if (positional == 0) {
+            nodes = static_cast<std::size_t>(std::atoi(argv[i]));
+            ++positional;
+        } else {
+            day_seconds = std::atof(argv[i]);
+            ++positional;
+        }
+    }
     CS_ASSERT(nodes > 0 && day_seconds > 0.0,
-              "usage: fleet_sim [nodes>0] [day_seconds>0]");
+              "usage: fleet_sim [--tenants] [nodes>0] [day_seconds>0]");
 
     const SystemParams params;
     const TrainTestSplit split = splitSpecGallery();
@@ -130,6 +191,75 @@ main(int argc, char **argv)
                 nodes,
                 CompressedDayScenario{.daySeconds = day_seconds}
                     .quanta(params.timesliceSec));
+
+    if (tenantsMode) {
+        // Same fleet, same churn/account stream, two queue
+        // disciplines: the legacy strict-FIFO order (newcomers drop
+        // at the cap, no preemption) against fair-share ordering with
+        // class-strict preemption. Placement is backfill in both.
+        // Queue discipline only matters under contention, so the
+        // tenant day runs hotter than the placement comparison:
+        // arrivals (1.5N/quantum) outpace departures (0.03/slot,
+        // at most 0.48N even with every slot full) and the fleet
+        // saturates within a few quanta — placement stalls, capacity
+        // drops, and preemption all get exercised.
+        BackfillBinPack backfill;
+        FleetOptions fifoOpts =
+            makeFleetOptions(nodes, day_seconds, nullptr);
+        fifoOpts.churn.departureProbability = 0.03;
+        fifoOpts.churn.meanArrivalsPerQuantum =
+            1.5 * static_cast<double>(nodes);
+        fifoOpts.churn.maxPendingJobs = 2 * nodes;
+        fifoOpts.tenants = makeTenants();
+        fifoOpts.fairShareOrdering = false;
+        FleetController fifoFleet(params, tables, lc, split.test,
+                                  node_max_w, backfill, fifoOpts);
+        const FleetSummary fifoSummary = fifoFleet.run();
+        std::printf("--- strict FIFO queue (baseline) ---\n");
+        printSummary(fifoSummary);
+        printAccounts(fifoSummary);
+
+        telemetry::JsonlSink sink("fleet_tenants_trace.jsonl");
+        FleetOptions fairOpts =
+            makeFleetOptions(nodes, day_seconds, &sink);
+        fairOpts.churn = fifoOpts.churn;
+        fairOpts.tenants = makeTenants();
+        FleetController fairFleet(params, tables, lc, split.test,
+                                  node_max_w, backfill, fairOpts);
+        const FleetSummary fairSummary = fairFleet.run();
+        std::printf("\n--- fair-share queue + preemption ---\n");
+        printSummary(fairSummary);
+        printAccounts(fairSummary);
+
+        // The two success metrics: per-tenant throughput spread under
+        // equal shares, and the batch-work cost of reordering.
+        double minG = 0.0, maxG = 0.0;
+        bool first = true;
+        for (const AccountSummary &a : fairSummary.accounts) {
+            if (a.gmeanBips <= 0.0)
+                continue;
+            minG = first ? a.gmeanBips : std::min(minG, a.gmeanBips);
+            maxG = first ? a.gmeanBips : std::max(maxG, a.gmeanBips);
+            first = false;
+        }
+        const double spread = minG > 0.0 ? maxG / minG : 0.0;
+        const double ginstrDelta = fifoSummary.totalBatchInstructions
+                > 0.0
+            ? 100.0 *
+                (fairSummary.totalBatchInstructions /
+                     fifoSummary.totalBatchInstructions -
+                 1.0)
+            : 0.0;
+        std::printf("\nper-tenant gmean BIPS spread (max/min): "
+                    "%.3fx (equal shares => want ~1x)\n",
+                    spread);
+        std::printf("batch Ginstr vs FIFO baseline: %+.2f%%\n",
+                    ginstrDelta);
+        sink.flush();
+        std::printf("\nwrote fleet_tenants_trace.jsonl (%zu records, "
+                    "fair-share run)\n", sink.written());
+        return 0;
+    }
 
     // Same fleet, two placement brains. The backfill run carries the
     // JSONL trace.

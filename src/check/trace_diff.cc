@@ -1,6 +1,7 @@
 #include "check/trace_diff.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
@@ -25,6 +26,32 @@ formatVector(const std::vector<std::size_t> &v)
         if (i)
             out += ',';
         out += std::to_string(v[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+formatVector(const std::vector<std::int32_t> &v)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(v[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+formatVector(const std::vector<double> &v)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += formatDouble(v[i]);
     }
     out += ']';
     return out;
@@ -70,6 +97,18 @@ class RecordDiffer
 
     void cmp(const char *field, const std::vector<std::size_t> &a,
              const std::vector<std::size_t> &b)
+    {
+        note(field, a == b, formatVector(a), formatVector(b));
+    }
+
+    void cmp(const char *field, const std::vector<std::int32_t> &a,
+             const std::vector<std::int32_t> &b)
+    {
+        note(field, a == b, formatVector(a), formatVector(b));
+    }
+
+    void cmp(const char *field, const std::vector<double> &a,
+             const std::vector<double> &b)
     {
         note(field, a == b, formatVector(a), formatVector(b));
     }
@@ -171,6 +210,15 @@ diffDecisionTraces(const std::vector<telemetry::QuantumRecord> &a,
               rb.executedPowerW);
         d.cmp("executed.qos_violated", ra.qosViolated, rb.qosViolated);
         d.cmp("executed.gmean_bips", ra.gmeanBips, rb.gmeanBips);
+
+        // Tenancy: who held each slot and who was evicted are part of
+        // the deterministic decision sequence under fair-share
+        // ordering, so replay must reproduce them bitwise too.
+        d.cmp("tenancy.accounts", ra.slotAccounts, rb.slotAccounts);
+        d.cmp("tenancy.bips", ra.slotBips, rb.slotBips);
+        d.cmp("tenancy.cores", ra.slotCores, rb.slotCores);
+        d.cmp("tenancy.preempted", ra.preemptedAccounts,
+              rb.preemptedAccounts);
     }
     return diff;
 }

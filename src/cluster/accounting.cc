@@ -1,0 +1,114 @@
+#include "cluster/accounting.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+const char *
+qosClassName(QosClass cls)
+{
+    switch (cls) {
+      case QosClass::Batch:       return "batch";
+      case QosClass::Normal:      return "normal";
+      case QosClass::Interactive: return "interactive";
+    }
+    return "?";
+}
+
+AccountingLedger::AccountingLedger()
+    : AccountingLedger(std::vector<TenantSpec>{}, AccountingOptions{})
+{
+}
+
+AccountingLedger::AccountingLedger(std::vector<TenantSpec> tenants,
+                                   AccountingOptions opts)
+    : tenants_(std::move(tenants)), opts_(opts)
+{
+    if (tenants_.empty())
+        tenants_.push_back(TenantSpec{});
+    CS_ASSERT(opts_.usageHalfLifeQuanta > 0.0,
+              "usage half-life must be positive");
+    CS_ASSERT(opts_.ageWeightPerQuantum >= 0.0,
+              "negative age weight");
+    totalShares_ = 0.0;
+    for (const TenantSpec &t : tenants_) {
+        CS_ASSERT(t.shares > 0.0, "tenant shares must be positive");
+        CS_ASSERT(t.arrivalWeight >= 0.0,
+                  "negative tenant arrival weight");
+        totalShares_ += t.shares;
+    }
+    decayPerQuantum_ = std::exp2(-1.0 / opts_.usageHalfLifeQuanta);
+    usage_.assign(tenants_.size(), AccountUsage{});
+    fairShare_.assign(tenants_.size(), 1.0);
+}
+
+void
+AccountingLedger::beginQuantum()
+{
+    // Decay first, then derive the factors: admission and placement
+    // this quantum see usage through the previous quantum, already
+    // aged by one half-life step. Fixed account order makes the sum
+    // (and therefore every factor) bitwise reproducible.
+    double total = 0.0;
+    for (AccountUsage &u : usage_) {
+        u.decayedCoreSeconds *= decayPerQuantum_;
+        total += u.decayedCoreSeconds;
+    }
+    for (std::size_t a = 0; a < usage_.size(); ++a) {
+        if (total <= 0.0) {
+            fairShare_[a] = 1.0;
+            continue;
+        }
+        const double used = usage_[a].decayedCoreSeconds / total;
+        const double entitled = tenants_[a].shares / totalShares_;
+        fairShare_[a] = std::exp2(-used / entitled);
+    }
+}
+
+void
+AccountingLedger::chargeUsage(std::size_t account,
+                              double core_fraction, double seconds,
+                              double ginstr, double bips)
+{
+    AccountUsage &u = usage_[account];
+    const double core_seconds = core_fraction * seconds;
+    u.coreSeconds += core_seconds;
+    u.decayedCoreSeconds += core_seconds;
+    u.ginstr += ginstr;
+    u.logBipsSum += std::log(std::max(bips, 1e-3));
+    ++u.slotQuanta;
+}
+
+double
+AccountingLedger::totalDecayedUsage() const
+{
+    double total = 0.0;
+    for (const AccountUsage &u : usage_)
+        total += u.decayedCoreSeconds;
+    return total;
+}
+
+double
+AccountingLedger::gmeanBips(std::size_t account) const
+{
+    const AccountUsage &u = usage_[account];
+    return u.slotQuanta > 0
+        ? std::exp(u.logBipsSum / static_cast<double>(u.slotQuanta))
+        : 0.0;
+}
+
+std::vector<double>
+tenantArrivalWeights(const std::vector<TenantSpec> &tenants)
+{
+    std::vector<double> weights;
+    weights.reserve(tenants.size());
+    for (const TenantSpec &t : tenants)
+        weights.push_back(t.arrivalWeight);
+    return weights;
+}
+
+} // namespace cluster
+} // namespace cuttlesys

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Multi-tenant accounting: accounts, decayed usage, fair-share.
+ *
+ * The fleet's churned arrivals stop being anonymous here: every job
+ * belongs to an account (tenant), drawn deterministically from the
+ * churn engine's counter-hash stream, and the ledger tracks what each
+ * account has consumed — width-weighted core-seconds and giga-
+ * instructions — with an exponential half-life decay, the same shape
+ * Slurm's multifactor priority plugin applies to its usage records.
+ * The decayed usage yields the classic fair-share factor
+ *
+ *     F(a) = 2^(-U(a) / S(a))
+ *
+ * where U(a) is account a's share of the cluster's decayed usage and
+ * S(a) its share of the configured shares: an account consuming
+ * exactly its entitlement scores 0.5, an idle account scores 1, a hog
+ * decays toward 0. The controller orders its pending queue by
+ *
+ *     priority(job) = classWeight(qos) * F(account) * (1 + w * age)
+ *
+ * — fair-share x age x QoS class — under the strict deterministic
+ * total order (priority desc, arrival seq asc), so the cluster trace
+ * stays bitwise identical at any pool width. With a single uniform
+ * account (the default) every factor is job-independent, age is
+ * monotone in the submit quantum, and the order degenerates to exact
+ * FIFO — which is why the legacy single-tenant fleet behaves
+ * identically under this layer.
+ *
+ * All ledger mutation happens in the controller's single-threaded
+ * merge phases; nothing here is touched from the parallel scans.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_ACCOUNTING_HH
+#define CUTTLESYS_CLUSTER_ACCOUNTING_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuttlesys {
+namespace cluster {
+
+/**
+ * Job priority class, lowest first. Preemption is class-strict: an
+ * arrival may evict a running job only from a *strictly lower* class,
+ * which bounds every preemption cascade (a victim can never preempt
+ * its preemptor back).
+ */
+enum class QosClass : std::uint8_t
+{
+    Batch = 0,       //!< throughput work, evictable
+    Normal = 1,      //!< default service class
+    Interactive = 2, //!< latency-sensitive, may preempt lower classes
+};
+
+inline constexpr std::size_t kNumQosClasses = 3;
+
+/** Printable name ("batch", "normal", "interactive"). */
+const char *qosClassName(QosClass cls);
+
+/** One tenant (account) submitting jobs into the fleet. */
+struct TenantSpec
+{
+    std::string name = "default";
+    /** Relative share of the churn arrival stream. */
+    double arrivalWeight = 1.0;
+    /** Fair-share entitlement relative to the other tenants. */
+    double shares = 1.0;
+    /** Class stamped on every job this tenant submits. */
+    QosClass qosClass = QosClass::Batch;
+};
+
+/** Ledger and priority tuning. */
+struct AccountingOptions
+{
+    /** Quanta for an account's decayed usage to halve. */
+    double usageHalfLifeQuanta = 64.0;
+    /** Aging boost per quantum waited: priority *= (1 + w * age). */
+    double ageWeightPerQuantum = 0.25;
+    /** Multiplicative priority weight per QosClass (Batch first). */
+    std::array<double, kNumQosClasses> classWeight = {1.0, 4.0, 16.0};
+};
+
+/** Everything the ledger has recorded about one account. */
+struct AccountUsage
+{
+    // Raw lifetime totals (sacct-style accounting).
+    double coreSeconds = 0.0; //!< width-weighted, see chargeUsage()
+    double ginstr = 0.0;      //!< giga-instructions retired
+    double logBipsSum = 0.0;  //!< sum of log(BIPS) over slot-quanta
+    std::size_t slotQuanta = 0;
+
+    // The half-life-decayed charge that drives fair-share.
+    double decayedCoreSeconds = 0.0;
+
+    // Event counters.
+    std::size_t arrivals = 0;
+    std::size_t placements = 0;
+    std::size_t dropsNew = 0;    //!< this account's arrival rejected
+    std::size_t dropsQueued = 0; //!< evicted from the pending queue
+    std::size_t preemptionsWon = 0;
+    std::size_t preemptionsSuffered = 0;
+};
+
+/**
+ * The per-account usage ledger and fair-share/priority calculator.
+ *
+ * Usage flow per cluster quantum: the controller calls beginQuantum()
+ * once at the head (decay + fair-share recompute, so admission and
+ * placement see factors reflecting usage through the previous
+ * quantum), charges each occupied slot with chargeUsage() in the
+ * gather phase, and records admission/placement/preemption events as
+ * they commit. Everything is plain double arithmetic over fixed-size
+ * arrays: no allocation after construction, no RNG, no thread
+ * sensitivity.
+ */
+class AccountingLedger
+{
+  public:
+    /** Single anonymous account (the legacy single-tenant fleet). */
+    AccountingLedger();
+
+    /** @param tenants the accounts; empty falls back to the default
+     *         single tenant. */
+    explicit AccountingLedger(std::vector<TenantSpec> tenants,
+                              AccountingOptions opts = {});
+
+    std::size_t numAccounts() const { return tenants_.size(); }
+    const TenantSpec &tenant(std::size_t account) const
+    {
+        return tenants_[account];
+    }
+    const AccountingOptions &options() const { return opts_; }
+
+    QosClass qosClass(std::size_t account) const
+    {
+        return tenants_[account].qosClass;
+    }
+    double classWeight(QosClass cls) const
+    {
+        return opts_.classWeight[static_cast<std::size_t>(cls)];
+    }
+
+    /**
+     * Start a cluster quantum: decay every account's usage by one
+     * half-life step and recompute the fair-share factors from the
+     * decayed totals. Call exactly once per quantum, before admission
+     * and placement consult priorities.
+     */
+    void beginQuantum();
+
+    /** Fair-share factor from the last beginQuantum(); 1 when the
+     *  cluster has no decayed usage yet. */
+    double fairShare(std::size_t account) const
+    {
+        return fairShare_[account];
+    }
+
+    /**
+     * Priority of a job from @p account of class @p cls submitted at
+     * quantum @p submit, evaluated at quantum @p now:
+     * classWeight * fairShare * (1 + ageWeight * (now - submit)).
+     * Ties across jobs are broken by arrival sequence (asc) by the
+     * caller — together a strict total order.
+     */
+    double priority(std::size_t account, QosClass cls,
+                    std::uint64_t submit, std::uint64_t now) const
+    {
+        const double age =
+            static_cast<double>(now - submit);
+        return classWeight(cls) * fairShare_[account] *
+            (1.0 + opts_.ageWeightPerQuantum * age);
+    }
+
+    /**
+     * Charge one slot-quantum of consumption. @p core_fraction is the
+     * width-weighted core allocation (totalWidth/18: a full {6,6,6}
+     * core charges 1.0, a gated core 0), @p seconds the timeslice,
+     * @p ginstr the giga-instructions retired, @p bips the measured
+     * throughput entering the per-account gmean.
+     */
+    void chargeUsage(std::size_t account, double core_fraction,
+                     double seconds, double ginstr, double bips);
+
+    void recordArrival(std::size_t account)
+    {
+        ++usage_[account].arrivals;
+    }
+    void recordPlacement(std::size_t account)
+    {
+        ++usage_[account].placements;
+    }
+    void recordDropNew(std::size_t account)
+    {
+        ++usage_[account].dropsNew;
+    }
+    void recordDropQueued(std::size_t account)
+    {
+        ++usage_[account].dropsQueued;
+    }
+    void recordPreemption(std::size_t winner, std::size_t victim)
+    {
+        ++usage_[winner].preemptionsWon;
+        ++usage_[victim].preemptionsSuffered;
+    }
+
+    const AccountUsage &usage(std::size_t account) const
+    {
+        return usage_[account];
+    }
+
+    /** Sum of decayed core-seconds across accounts. */
+    double totalDecayedUsage() const;
+
+    /** Per-account gmean BIPS over charged slot-quanta (0 if none). */
+    double gmeanBips(std::size_t account) const;
+
+  private:
+    std::vector<TenantSpec> tenants_;
+    AccountingOptions opts_;
+    double decayPerQuantum_ = 1.0; //!< 2^(-1 / halfLife)
+    double totalShares_ = 1.0;
+    std::vector<AccountUsage> usage_;
+    std::vector<double> fairShare_;
+};
+
+/** The tenants' arrival weights, in account order (for ChurnOptions). */
+std::vector<double>
+tenantArrivalWeights(const std::vector<TenantSpec> &tenants);
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_ACCOUNTING_HH

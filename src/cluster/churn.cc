@@ -14,6 +14,7 @@ constexpr std::uint64_t kDepartureStream = 0x1;
 constexpr std::uint64_t kArrivalStream = 0x2;
 constexpr std::uint64_t kJobPickStream = 0x3;
 constexpr std::uint64_t kJobSeedStream = 0x4;
+constexpr std::uint64_t kAccountStream = 0x5;
 
 /** SplitMix64 finalizer: full-avalanche 64-bit mix. */
 constexpr std::uint64_t
@@ -53,6 +54,25 @@ JobChurnEngine::JobChurnEngine(std::vector<AppProfile> pool,
         static_cast<std::size_t>(std::floor(per_node));
     fracArrivalsPerNode_ =
         per_node - static_cast<double>(wholeArrivalsPerNode_);
+
+    if (!opts_.tenantArrivalWeights.empty()) {
+        double total = 0.0;
+        for (const double w : opts_.tenantArrivalWeights) {
+            CS_ASSERT(w >= 0.0, "negative tenant arrival weight");
+            total += w;
+        }
+        CS_ASSERT(total > 0.0,
+                  "tenant arrival weights sum to zero");
+        cumTenantWeights_.reserve(opts_.tenantArrivalWeights.size());
+        double cum = 0.0;
+        for (const double w : opts_.tenantArrivalWeights) {
+            cum += w / total;
+            cumTenantWeights_.push_back(cum);
+        }
+        // Guard the top bucket against accumulated rounding: toUnit()
+        // is < 1, so a final bound of exactly 1 covers every draw.
+        cumTenantWeights_.back() = 1.0;
+    }
 
     // Per-stream bases are avalanched once here instead of once per
     // draw: the controller issues one departure draw per occupied
@@ -112,6 +132,22 @@ JobChurnEngine::drawJobAt(std::uint64_t quantum, std::size_t node,
     // and draws stay order-independent.
     job.seed ^= draw(kJobSeedStream, quantum, node, k);
     return job;
+}
+
+std::size_t
+JobChurnEngine::accountAt(std::uint64_t quantum, std::size_t node,
+                          std::size_t k) const
+{
+    if (cumTenantWeights_.empty())
+        return 0;
+    const double u = toUnit(draw(kAccountStream, quantum, node, k));
+    // Linear scan: tenant counts are single digits, and the branch-
+    // free simplicity keeps the draw pure and order-independent.
+    for (std::size_t a = 0; a + 1 < cumTenantWeights_.size(); ++a) {
+        if (u < cumTenantWeights_[a])
+            return a;
+    }
+    return cumTenantWeights_.size() - 1;
 }
 
 } // namespace cluster

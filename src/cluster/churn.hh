@@ -48,9 +48,14 @@ struct ChurnOptions
      *  cluster-wide mean is exact and every node consumes a fixed
      *  draw per quantum. */
     double meanArrivalsPerQuantum = 1.0;
-    /** Arrival-queue capacity; beyond it submissions are dropped
-     *  (and counted by the controller). */
+    /** Arrival-queue capacity. At capacity the controller drops the
+     *  lowest-priority entry — the incumbent or the new arrival,
+     *  whichever ranks worse — counting the two drop kinds apart. */
     std::size_t maxPendingJobs = 64;
+    /** Per-account arrival weights (account = index): each arrival
+     *  draws its account from this distribution on its own pure
+     *  counter-hash substream. Empty = every arrival is account 0. */
+    std::vector<double> tenantArrivalWeights;
 };
 
 /** The seeded, counter-based churn event source. */
@@ -93,9 +98,26 @@ class JobChurnEngine
     AppProfile drawJobAt(std::uint64_t quantum, std::size_t node,
                          std::size_t k) const;
 
+    /**
+     * Account identity of the k-th job arriving at (@p quantum,
+     * @p node): a weighted pick over tenantArrivalWeights on its own
+     * stream, so adding accounts never perturbs the departure /
+     * arrival / profile draws. Pure in its coordinates; always 0 when
+     * no weights are configured. The controller also stamps the
+     * initial resident mix through this draw with
+     * @ref kResidentQuantum as the quantum coordinate (outside any
+     * real quantum range, so residents never collide with arrivals).
+     */
+    std::size_t accountAt(std::uint64_t quantum, std::size_t node,
+                          std::size_t k) const;
+
+    /** Quantum coordinate reserved for construction-time residents. */
+    static constexpr std::uint64_t kResidentQuantum =
+        ~static_cast<std::uint64_t>(0);
+
   private:
-    /** Stream tags 0 (unused) .. 4; see churn.cc. */
-    static constexpr std::size_t kNumStreams = 5;
+    /** Stream tags 0 (unused) .. 5; see churn.cc. */
+    static constexpr std::size_t kNumStreams = 6;
 
     std::uint64_t draw(std::uint64_t stream, std::uint64_t quantum,
                        std::uint64_t node, std::uint64_t slot) const;
@@ -106,6 +128,8 @@ class JobChurnEngine
     ChurnOptions opts_;
     std::size_t wholeArrivalsPerNode_;
     double fracArrivalsPerNode_;
+    /** Cumulative normalized tenant weights; empty = single account. */
+    std::vector<double> cumTenantWeights_;
     /** Per-stream hash bases, avalanched once at construction. */
     std::uint64_t streamBase_[kNumStreams] = {};
 };

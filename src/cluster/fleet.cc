@@ -15,6 +15,18 @@ namespace {
 /** Nodes per parallel block (see ThreadPool::parallelChunks). */
 constexpr std::size_t kNodeChunk = 32;
 
+/** Tenant arrival weights flow into the churn engine's account draw
+ *  (overriding any manually configured weights, so the two layers can
+ *  never disagree about who account k is). */
+ChurnOptions
+withTenantWeights(ChurnOptions churn,
+                  const std::vector<TenantSpec> &tenants)
+{
+    if (!tenants.empty())
+        churn.tenantArrivalWeights = tenantArrivalWeights(tenants);
+    return churn;
+}
+
 } // namespace
 
 FleetController::FleetController(const SystemParams &params,
@@ -29,7 +41,9 @@ FleetController::FleetController(const SystemParams &params,
       // the fleet (scenario, node parameters) never perturbs it, and
       // vice versa.
       churn_(batch_pool, opts_.numNodes,
-             opts_.seed ^ 0x94d049bb133111ebULL, opts_.churn),
+             opts_.seed ^ 0x94d049bb133111ebULL,
+             withTenantWeights(opts_.churn, opts_.tenants)),
+      ledger_(opts_.tenants, opts_.accounting),
       power_(opts_.powerPolicy,
              PowerManagerOptions{
                  .rackBudgetW = opts_.rackBudgetFrac *
@@ -51,6 +65,9 @@ FleetController::FleetController(const SystemParams &params,
 
     const std::size_t n = opts_.numNodes;
     numQuanta_ = opts_.scenario.quanta(params.timesliceSec);
+    timesliceSec_ = params.timesliceSec;
+    slotsPerNode_ = opts_.batchSlotsPerNode;
+    running_.resize(n * slotsPerNode_);
 
     // One master stream hands every node its mix seed and sim seed,
     // so the whole fleet is a pure function of opts.seed.
@@ -97,9 +114,35 @@ FleetController::FleetController(const SystemParams &params,
             nodeSinks_.push_back(nullptr);
         }
 
+        // The resident mix gets its account identities from the same
+        // pure counter-hash stream as churned arrivals, with the
+        // reserved resident quantum coordinate — so the registry (and
+        // the ledger) are a pure function of opts.seed too. Captured
+        // before the mix moves into the node.
+        for (std::size_t s = 0; s < mix.batch.size(); ++s) {
+            RunningJob &r = runningAt(i, s);
+            const std::size_t account = churn_.accountAt(
+                JobChurnEngine::kResidentQuantum, i, s);
+            r.profile = mix.batch[s];
+            r.submitSlice = 0;
+            r.arrivalSeq = nextArrivalSeq_++;
+            r.account = static_cast<std::int32_t>(account);
+            r.qosClass = ledger_.qosClass(account);
+        }
+
         nodes_.push_back(std::make_unique<ClusterNode>(
             params, tables, std::move(mix), simSeed,
             std::move(driver), i, opts_.scheduler));
+
+        // Stamp the residents' accounts into the driver's per-slot
+        // map (initial occupants never arrive through a JobEvent).
+        ClusterNode &node = *nodes_.back();
+        for (std::size_t s = 0; s < slotsPerNode_; ++s) {
+            if (node.slotPlannedOccupied(s))
+                node.setInitialSlotAccount(s, runningAt(i, s).account);
+            else
+                runningAt(i, s).account = -1;
+        }
     }
 
     drained_.assign(n, 0);
@@ -113,12 +156,17 @@ FleetController::FleetController(const SystemParams &params,
     loads_.assign(n, 0.0);
     loadExtra_.assign(n, 0.0);
 
-    // The FIFO queue is bounded by the admission cap, but its backing
-    // vector can hold up to a compaction cycle's worth of placed
-    // heads in front of the cap plus one quantum of admissions;
-    // reserving that bound up front makes the steady-state quantum
-    // provably realloc-free.
-    pending_.reserve(2 * opts_.churn.maxPendingJobs + n);
+    // The queue is bounded by the admission cap plus one quantum's
+    // worth of re-queued preemption victims (unplaced entries compact
+    // in place, so the backing vector never grows past that bound);
+    // reserving it up front makes the steady-state quantum provably
+    // realloc-free. The priority scratch follows the same bound.
+    const std::size_t queueBound = opts_.churn.maxPendingJobs +
+        opts_.maxPreemptionsPerQuantum + 1;
+    pending_.reserve(queueBound);
+    prio_.reserve(queueBound);
+    order_.reserve(queueBound);
+    placed_.reserve(queueBound);
 
     // Pre-grow every worker's staging arena to the worst case — one
     // worker staging the entire fleet's departure scan. Which worker
@@ -171,8 +219,8 @@ FleetController::applyChurn()
         });
 
     // Serial merge in node-index order: queue the departure events
-    // and admit arrivals into the FIFO queue (drops included) exactly
-    // as a sequential controller would.
+    // and admit arrivals — each stamped with its deterministic
+    // account draw — exactly as a sequential controller would.
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         const ChurnNodePlan &plan = churnPlan_[i];
         for (std::uint16_t d = 0; d < plan.numDeparts; ++d) {
@@ -180,19 +228,73 @@ FleetController::applyChurn()
             event.slot = plan.departSlots[d];
             event.departure = true;
             nodes_[i]->queueJobEvent(event);
+            runningAt(i, event.slot).account = -1;
             ++departures_;
         }
         for (std::uint16_t k = 0; k < plan.arrivals; ++k) {
-            if (pendingJobs() >= opts_.churn.maxPendingJobs) {
-                ++droppedArrivals_;
-                continue;
-            }
             PendingJob job;
             job.profile = churn_.drawJobAt(quantum_, i, k);
             job.submitSlice = quantum_;
-            pending_.push_back(std::move(job));
-            ++arrivals_;
+            job.account = static_cast<std::int32_t>(
+                churn_.accountAt(quantum_, i, k));
+            job.qosClass = ledger_.qosClass(
+                static_cast<std::size_t>(job.account));
+            job.arrivalSeq = nextArrivalSeq_++;
+            ledger_.recordArrival(
+                static_cast<std::size_t>(job.account));
+            admitArrival(std::move(job));
         }
+    }
+}
+
+void
+FleetController::admitArrival(PendingJob &&job)
+{
+    if (pending_.size() < opts_.churn.maxPendingJobs) {
+        ++arrivals_;
+        pending_.push_back(std::move(job));
+        return;
+    }
+    if (!opts_.fairShareOrdering) {
+        // Legacy FIFO admission: the newcomer always loses — the
+        // starvation behavior the drop-lowest path below fixes.
+        ++droppedArrivals_;
+        ledger_.recordDropNew(static_cast<std::size_t>(job.account));
+        return;
+    }
+
+    // Drop-lowest admission: the newcomer only loses to a queue whose
+    // every entry outranks it. The worst incumbent is the last job
+    // the commit order would reach — lowest priority, ties to the
+    // youngest (highest sequence). With a single uniform tenant the
+    // newcomer is always the worst (age 0 and the highest sequence),
+    // reproducing the legacy drop exactly.
+    const double newPrio = ledger_.priority(
+        static_cast<std::size_t>(job.account), job.qosClass,
+        job.submitSlice, quantum_);
+    std::size_t worst = 0;
+    double worstPrio = 0.0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const PendingJob &p = pending_[i];
+        const double prio = ledger_.priority(
+            static_cast<std::size_t>(p.account), p.qosClass,
+            p.submitSlice, quantum_);
+        if (i == 0 || prio < worstPrio ||
+            (prio == worstPrio &&
+             p.arrivalSeq > pending_[worst].arrivalSeq)) {
+            worst = i;
+            worstPrio = prio;
+        }
+    }
+    if (worstPrio < newPrio) {
+        ledger_.recordDropQueued(
+            static_cast<std::size_t>(pending_[worst].account));
+        ++droppedQueued_;
+        ++arrivals_;
+        pending_[worst] = std::move(job);
+    } else {
+        ++droppedArrivals_;
+        ledger_.recordDropNew(static_cast<std::size_t>(job.account));
     }
 }
 
@@ -214,22 +316,56 @@ FleetController::gatherViews()
 void
 FleetController::placePending()
 {
-    if (pendingHead_ == pending_.size()) {
-        pending_.clear();
-        pendingHead_ = 0;
+    preemptionsThisQuantum_ = 0;
+    if (pending_.empty())
         return;
-    }
 
     // Parallel candidate scoring over the planned-occupancy views,
-    // then a single-threaded FIFO commit through the round's heap:
-    // every choice (and every view booking) is bitwise what the
-    // serial per-job rescan would produce, at O(log N) per job
-    // instead of O(N).
+    // then a single-threaded commit through the round's heap in the
+    // strict priority order (priority desc, arrival seq asc): every
+    // choice (and every view booking) is bitwise what the serial
+    // per-job rescan would produce, at O(log N) per job instead of
+    // O(N). With a single uniform tenant the order is exact FIFO.
     round_.begin(placement_, views_, ThreadPool::global());
-    while (pendingHead_ < pending_.size()) {
+
+    const std::size_t n = pending_.size();
+    prio_.resize(n);
+    order_.resize(n);
+    placed_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const PendingJob &p = pending_[i];
+        prio_[i] = ledger_.priority(
+            static_cast<std::size_t>(p.account), p.qosClass,
+            p.submitSlice, quantum_);
+        order_[i] = static_cast<std::uint32_t>(i);
+    }
+    if (opts_.fairShareOrdering) {
+        std::sort(order_.begin(), order_.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      if (prio_[a] != prio_[b])
+                          return prio_[a] > prio_[b];
+                      return pending_[a].arrivalSeq <
+                          pending_[b].arrivalSeq;
+                  });
+    }
+    // else: admission never reorders pending_, so the identity order
+    // is the submission (FIFO) order.
+
+    for (std::size_t oi = 0; oi < n; ++oi) {
+        const std::size_t idx = order_[oi];
+        // By value: a preemption below re-queues its victim into
+        // pending_, which may move the storage under a reference.
+        const PendingJob job = pending_[idx];
         const std::size_t target = round_.placeOne();
-        if (target == PlacementPolicy::kNoNode)
-            break; // FIFO: the head job blocks the queue
+        if (target == PlacementPolicy::kNoNode) {
+            if (opts_.fairShareOrdering &&
+                tryPreempt(job, prio_[idx])) {
+                placed_[idx] = 1;
+            } else if (!opts_.fairShareOrdering) {
+                break; // legacy FIFO: the head job blocks the queue
+            }
+            continue;
+        }
         CS_ASSERT(target < nodes_.size(), "policy chose a bad node");
         ClusterNode &node = *nodes_[target];
         const std::size_t slot = node.firstVacantSlot();
@@ -237,23 +373,121 @@ FleetController::placePending()
                   "policy placed a job on a full node");
         JobEvent event;
         event.slot = slot;
-        event.arrival = pending_[pendingHead_].profile;
+        event.arrival = job.profile;
+        event.account = job.account;
         node.queueJobEvent(event);
+        RunningJob &r = runningAt(target, slot);
+        r.profile = job.profile;
+        r.submitSlice = job.submitSlice;
+        r.arrivalSeq = job.arrivalSeq;
+        r.account = job.account;
+        r.qosClass = job.qosClass;
+        ledger_.recordPlacement(static_cast<std::size_t>(job.account));
         ++placements_;
-        ++pendingHead_;
+        placed_[idx] = 1;
     }
-    placementStalls_ += pendingJobs();
 
-    if (pendingHead_ == pending_.size()) {
-        pending_.clear();
-        pendingHead_ = 0;
-    } else if (pendingHead_ >= 32 &&
-               pendingHead_ * 2 >= pending_.size()) {
-        pending_.erase(pending_.begin(),
-                       pending_.begin() +
-                           static_cast<std::ptrdiff_t>(pendingHead_));
-        pendingHead_ = 0;
+    // Compact the unplaced entries in place — stable, so the FIFO
+    // baseline keeps submission order. Entries past placed_'s range
+    // are this quantum's re-queued preemption victims: always kept
+    // (they re-enter the priority order next quantum with their
+    // original submit quantum, i.e. all their accrued age).
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (i < placed_.size() && placed_[i])
+            continue;
+        if (w != i)
+            pending_[w] = std::move(pending_[i]);
+        ++w;
     }
+    pending_.resize(w);
+    placementStalls_ += pending_.size();
+}
+
+bool
+FleetController::tryPreempt(const PendingJob &job, double job_priority)
+{
+    // Class-strict: only a strictly lower class may be evicted, so a
+    // victim can never preempt its preemptor back and every cascade
+    // is bounded. Batch (the lowest class) can never preempt.
+    if (job.qosClass == QosClass::Batch ||
+        preemptionsThisQuantum_ >= opts_.maxPreemptionsPerQuantum)
+        return false;
+
+    // Victim: the worst running job the arrival outranks — lowest
+    // priority first, ties to the youngest (highest sequence, itself
+    // unique) — a strict total order, so the choice replays bitwise.
+    const std::size_t none = running_.size();
+    std::size_t victim = none;
+    double victimPrio = 0.0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+        const RunningJob &r = running_[i];
+        if (r.account < 0 || r.qosClass >= job.qosClass)
+            continue;
+        const double prio = ledger_.priority(
+            static_cast<std::size_t>(r.account), r.qosClass,
+            r.submitSlice, quantum_);
+        if (prio >= job_priority)
+            continue;
+        if (victim == none || prio < victimPrio ||
+            (prio == victimPrio &&
+             r.arrivalSeq > running_[victim].arrivalSeq)) {
+            victim = i;
+            victimPrio = prio;
+        }
+    }
+    if (victim == none)
+        return false;
+
+    const std::size_t vnode = victim / slotsPerNode_;
+    const std::size_t vslot = victim % slotsPerNode_;
+    RunningJob &r = running_[victim];
+    ledger_.recordPreemption(static_cast<std::size_t>(job.account),
+                             static_cast<std::size_t>(r.account));
+
+    // Re-queue the victim before its registry entry is overwritten,
+    // keeping its submit quantum and sequence number.
+    PendingJob requeued;
+    requeued.profile = r.profile;
+    requeued.submitSlice = r.submitSlice;
+    requeued.account = r.account;
+    requeued.qosClass = r.qosClass;
+    requeued.arrivalSeq = r.arrivalSeq;
+    pending_.push_back(std::move(requeued));
+
+    // Vacate the victim's slot in the round's view and re-book it
+    // through the round itself. placeOne() just returned kNoNode, so
+    // after the refresh the freed slot is the only vacancy in the
+    // fleet — the re-booking must land on the victim's node.
+    views_[vnode].freeSlots += 1;
+    views_[vnode].occupiedSlots -= 1;
+    round_.refresh(vnode);
+    const std::size_t target = round_.placeOne();
+    CS_ASSERT(target == vnode, "preemption re-booking went astray");
+
+    // One combined departure+arrival event on the occupied slot: the
+    // node's planned occupancy is net-unchanged, and the driver fires
+    // the churn seam once — the slot's learned CF state drops, so the
+    // preemptor never inherits the victim's observations.
+    JobEvent event;
+    event.slot = vslot;
+    event.departure = true;
+    event.arrival = job.profile;
+    event.account = job.account;
+    event.preemption = true;
+    nodes_[vnode]->queueJobEvent(event);
+
+    r.profile = job.profile;
+    r.submitSlice = job.submitSlice;
+    r.arrivalSeq = job.arrivalSeq;
+    r.account = job.account;
+    r.qosClass = job.qosClass;
+
+    ledger_.recordPlacement(static_cast<std::size_t>(job.account));
+    ++placements_;
+    ++preemptions_;
+    ++preemptionsThisQuantum_;
+    return true;
 }
 
 void
@@ -337,6 +571,29 @@ FleetController::gatherQuantum()
             ++nodeJobGmeanCount_[i];
         }
 
+        // Charge each occupied slot's consumption to its account:
+        // width-weighted core-seconds (totalWidth/18 — a full {6,6,6}
+        // core is 1.0, a gated core 0) and the instructions retired.
+        const SliceDecision &dec = run.lastDecision();
+        const SliceMeasurement &m = run.lastMeasurement();
+        const std::vector<std::int32_t> &accounts =
+            run.slotAccounts();
+        for (std::size_t s = 0; s < accounts.size(); ++s) {
+            if (accounts[s] < 0)
+                continue;
+            const bool active =
+                s < dec.batchActive.size() && dec.batchActive[s];
+            const double coreFrac = active
+                ? static_cast<double>(
+                      dec.batchConfigs[s].core().totalWidth()) / 18.0
+                : 0.0;
+            const double bips =
+                s < m.batchBips.size() ? m.batchBips[s] : 0.0;
+            ledger_.chargeUsage(
+                static_cast<std::size_t>(accounts[s]), coreFrac,
+                timesliceSec_, bips * timesliceSec_, bips);
+        }
+
         if (nodeSinks_[i] && opts_.sink) {
             const std::vector<telemetry::QuantumRecord> &recs =
                 nodeSinks_[i]->records();
@@ -351,6 +608,10 @@ void
 FleetController::stepQuantum()
 {
     CS_ASSERT(!done(), "stepQuantum() past the configured day");
+    // Decay usage and recompute fair-share once, up front, so
+    // admission, ordering, and preemption all see factors reflecting
+    // consumption through the previous quantum.
+    ledger_.beginQuantum();
     applyChurn();
     gatherViews();
     placePending();
@@ -393,10 +654,34 @@ FleetController::summary()
     s.powerPolicy = powerPolicyName(power_.policy());
     s.arrivals = arrivals_;
     s.droppedArrivals = droppedArrivals_;
+    s.droppedQueued = droppedQueued_;
     s.departures = departures_;
     s.placements = placements_;
+    s.preemptions = preemptions_;
     s.placementStalls = placementStalls_;
     s.loadShifts = loadShifts_;
+
+    s.accounts.reserve(ledger_.numAccounts());
+    for (std::size_t a = 0; a < ledger_.numAccounts(); ++a) {
+        const TenantSpec &t = ledger_.tenant(a);
+        const AccountUsage &u = ledger_.usage(a);
+        AccountSummary as;
+        as.name = t.name;
+        as.qosClass = t.qosClass;
+        as.shares = t.shares;
+        as.arrivalWeight = t.arrivalWeight;
+        as.arrivals = u.arrivals;
+        as.placements = u.placements;
+        as.dropsNew = u.dropsNew;
+        as.dropsQueued = u.dropsQueued;
+        as.preemptionsWon = u.preemptionsWon;
+        as.preemptionsSuffered = u.preemptionsSuffered;
+        as.coreSeconds = u.coreSeconds;
+        as.ginstr = u.ginstr;
+        as.gmeanBips = ledger_.gmeanBips(a);
+        as.fairShare = ledger_.fairShare(a);
+        s.accounts.push_back(std::move(as));
+    }
     s.meanClusterPowerW = clusterPowerSum_ / q;
     s.meanHeadroomW = (clusterBudgetSum_ - clusterPowerSum_) / q;
 

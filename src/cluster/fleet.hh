@@ -11,12 +11,21 @@
  *  1. churn  — a block-parallel scan draws each node's seed-isolated
  *     departures and arrival counts (counter-based JobChurnEngine)
  *     into per-worker arena staging; a single-threaded merge then
- *     queues the events and fills the FIFO pending queue in
- *     node-index order;
+ *     queues the events and admits arrivals — each stamped with its
+ *     deterministic account draw — into the pending queue in
+ *     node-index order. At capacity the *lowest-priority* entry is
+ *     dropped, incumbent or newcomer, whichever ranks worse;
  *  2. place  — every node is scored once, block-parallel, and the
- *     pending queue commits single-threaded in FIFO order through
- *     PlacementRound's heap: no double-booking, and the choices are
- *     bitwise those of the serial per-job rescan;
+ *     pending queue commits single-threaded in *priority order*
+ *     (fair-share x age x QoS class, ties to arrival sequence — exact
+ *     FIFO for a single uniform tenant) through PlacementRound's
+ *     heap: no double-booking, and the choices are bitwise those of
+ *     the serial per-job rescan. A high-class job finding no vacancy
+ *     may preempt the worst strictly-lower-class running job: the
+ *     victim's slot is vacated and re-booked through the round
+ *     (refresh + placeOne), the victim re-queues with its original
+ *     submit quantum and sequence number, and the eviction rides the
+ *     existing churn seam so the victim's learned CF state drops;
  *  3. budget — per-node demand weights are computed block-parallel
  *     with a block-ordered reduction; the cap clip/redistribute pass
  *     runs single-threaded in index order;
@@ -48,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/accounting.hh"
 #include "cluster/churn.hh"
 #include "cluster/node.hh"
 #include "cluster/placement.hh"
@@ -87,6 +97,27 @@ struct FleetOptions
 
     ChurnOptions churn;
 
+    /**
+     * The accounts submitting into the churned arrival stream. Empty
+     * (the default) runs the legacy single anonymous tenant. When
+     * set, each tenant's arrivalWeight drives the account draw
+     * (overriding churn.tenantArrivalWeights), its shares its
+     * fair-share entitlement, and its qosClass the class of every job
+     * it submits.
+     */
+    std::vector<TenantSpec> tenants;
+    /** Ledger tuning: usage half-life, aging, class weights. */
+    AccountingOptions accounting;
+    /**
+     * Order the pending queue by fair-share priority and allow
+     * class-strict preemption. False freezes the legacy strict-FIFO
+     * queue (drop-the-newcomer at capacity, no preemption) — the
+     * baseline the tenant experiment compares against.
+     */
+    bool fairShareOrdering = true;
+    /** Cap on preemption evictions per cluster quantum. */
+    std::size_t maxPreemptionsPerQuantum = 8;
+
     /** LC load-shift between replicas: when a replica violated QoS
      *  last quantum, this fraction of its offered load moves to the
      *  least-loaded replica for the next quantum. 0 disables. */
@@ -124,6 +155,25 @@ struct NodeSummary
     std::size_t invariantViolations = 0;
 };
 
+/** Per-account slice of the fleet outcome (sacct-style). */
+struct AccountSummary
+{
+    std::string name;
+    QosClass qosClass = QosClass::Batch;
+    double shares = 1.0;
+    double arrivalWeight = 1.0;
+    std::size_t arrivals = 0;
+    std::size_t placements = 0;
+    std::size_t dropsNew = 0;    //!< this account's arrival rejected
+    std::size_t dropsQueued = 0; //!< evicted from the pending queue
+    std::size_t preemptionsWon = 0;
+    std::size_t preemptionsSuffered = 0;
+    double coreSeconds = 0.0; //!< width-weighted (totalWidth/18)
+    double ginstr = 0.0;      //!< giga-instructions retired
+    double gmeanBips = 0.0;   //!< gmean over charged slot-quanta
+    double fairShare = 1.0;   //!< factor at the last quantum
+};
+
 /** Cluster-wide outcome of one fleet run. */
 struct FleetSummary
 {
@@ -139,13 +189,21 @@ struct FleetSummary
     double meanHeadroomW = 0.0;      //!< rack budget minus draw
     double totalBatchInstructions = 0.0;
     std::size_t arrivals = 0;        //!< submissions accepted
-    std::size_t droppedArrivals = 0; //!< queue-full rejections
+    std::size_t droppedArrivals = 0; //!< newcomers rejected at the cap
+    /** Queued entries displaced at the cap by a higher-priority
+     *  newcomer (0 under legacy FIFO ordering, which always rejects
+     *  the newcomer — the starvation bug this field's path fixes). */
+    std::size_t droppedQueued = 0;
     std::size_t departures = 0;
     std::size_t placements = 0;      //!< jobs placed onto a node
+    std::size_t preemptions = 0;     //!< class-strict evictions
     std::size_t placementStalls = 0; //!< job-quanta spent waiting
     std::size_t loadShifts = 0;      //!< replica load-shift events
     std::string placementPolicy;
     std::string powerPolicy;
+    /** Per-account accounting, in account order (always at least the
+     *  anonymous default account). */
+    std::vector<AccountSummary> accounts;
 };
 
 /** The cluster controller (see file header for the quantum loop). */
@@ -191,10 +249,10 @@ class FleetController
     FleetSummary summary();
 
     /** Jobs currently waiting in the arrival queue. */
-    std::size_t pendingJobs() const
-    {
-        return pending_.size() - pendingHead_;
-    }
+    std::size_t pendingJobs() const { return pending_.size(); }
+
+    /** The per-account usage ledger (fair-share state included). */
+    const AccountingLedger &ledger() const { return ledger_; }
 
   private:
     void applyChurn();
@@ -203,6 +261,13 @@ class FleetController
     void splitBudget();
     void shiftLoad();
     void gatherQuantum();
+
+    /** Admit one churned arrival into the pending queue (drop-lowest
+     *  at the capacity cap). */
+    void admitArrival(PendingJob &&job);
+    /** Try to evict a running lower-class job for @p job; returns
+     *  true when the eviction and placement both committed. */
+    bool tryPreempt(const PendingJob &job, double job_priority);
 
     /** One node's staged churn draws (filled by the parallel scan,
      *  consumed by the serial merge; spans live in churnArenas_). */
@@ -213,11 +278,35 @@ class FleetController
         std::uint16_t arrivals = 0;
     };
 
+    /**
+     * One running batch job's cluster-side identity (node-major flat
+     * map, slotsPerNode_ entries per node; account -1 = vacant). The
+     * preemption scan reads it for victim candidates, and a victim's
+     * profile / submit quantum / sequence number re-queue from here.
+     * Mutated only in the single-threaded merge phases.
+     */
+    struct RunningJob
+    {
+        AppProfile profile;
+        std::uint64_t submitSlice = 0;
+        std::uint32_t arrivalSeq = 0;
+        std::int32_t account = -1;
+        QosClass qosClass = QosClass::Batch;
+    };
+
+    RunningJob &runningAt(std::size_t node, std::size_t slot)
+    {
+        return running_[node * slotsPerNode_ + slot];
+    }
+
     FleetOptions opts_;
     PlacementPolicy &placement_;
     JobChurnEngine churn_;
+    AccountingLedger ledger_;
     ClusterPowerManager power_;
     double nodeMaxPowerW_;
+    double timesliceSec_ = 0.0;
+    std::size_t slotsPerNode_ = 0;
 
     std::vector<std::unique_ptr<telemetry::MemorySink>> nodeSinks_;
     std::vector<std::unique_ptr<ClusterNode>> nodes_;
@@ -239,13 +328,20 @@ class FleetController
     std::vector<double> loads_;     //!< next-quantum offered loads
     std::vector<double> loadExtra_; //!< load-shift receive buffer
     std::vector<PendingJob> pending_;
-    std::size_t pendingHead_ = 0;
+    std::vector<RunningJob> running_; //!< node-major running registry
+    std::vector<double> prio_;        //!< per-pending priority scratch
+    std::vector<std::uint32_t> order_; //!< sorted commit order scratch
+    std::vector<char> placed_;         //!< per-pending placed flags
+    std::uint32_t nextArrivalSeq_ = 0;
+    std::size_t preemptionsThisQuantum_ = 0;
 
     // Cluster counters.
     std::size_t arrivals_ = 0;
     std::size_t droppedArrivals_ = 0;
+    std::size_t droppedQueued_ = 0;
     std::size_t departures_ = 0;
     std::size_t placements_ = 0;
+    std::size_t preemptions_ = 0;
     std::size_t placementStalls_ = 0;
     std::size_t loadShifts_ = 0;
     double clusterPowerSum_ = 0.0;   //!< sum over node-quanta

@@ -82,6 +82,16 @@ class ClusterNode
      */
     void queueJobEvent(const JobEvent &event);
 
+    /**
+     * Stamp the account of a slot's construction-time occupant (see
+     * ColocationRun::setSlotAccount). Later occupants carry their
+     * account on their JobEvent.
+     */
+    void setInitialSlotAccount(std::size_t slot, std::int32_t account)
+    {
+        run_.setSlotAccount(slot, account);
+    }
+
     /** Next-quantum overrides (see ColocationRun). */
     void overrideLoadFraction(double fraction)
     {

@@ -45,9 +45,12 @@ FifoFirstFit::score(const NodeView &node) const
 double
 BackfillBinPack::score(const NodeView &node) const
 {
-    // Until a node has run a quantum there is no headroom
-    // measurement; load and free capacity are the only signals.
-    double score = node.stepped ? node.headroomW : 0.0;
+    // The one formula, on the one scale (watts of headroom) — see the
+    // class comment in placement.hh. An unstepped node's view carries
+    // measuredPowerW = 0, so headroomW is its full opening budget: no
+    // special case, and the penalty/bonus knobs keep their units from
+    // the very first quantum.
+    double score = node.headroomW;
     if (node.qosViolated)
         score -= qosPenaltyW_;
     score -= loadPenaltyW_ * node.loadFraction;
@@ -86,13 +89,22 @@ PlacementRound::begin(const PlacementPolicy &policy,
                     scores_[i] = policy.score(views[i]);
             }
         });
-    // Ordered commit structure, built single-threaded in index order.
+    // Ordered commit structure, built single-threaded: entries land
+    // in index order, then a bottom-up Floyd heapify. The pop
+    // sequence of a binary heap under a strict total order (score
+    // ties break on the index, and indices are unique) is the same
+    // for every valid heap shape, so the build order cannot leak into
+    // the placement choices.
     heap_.clear();
+    pos_.assign(n, kNotInHeap);
     for (std::size_t i = 0; i < n; ++i) {
-        if (views[i].freeSlots > 0)
+        if (views[i].freeSlots > 0) {
+            pos_[i] = heap_.size();
             heap_.push_back(Entry{scores_[i], i});
+        }
     }
-    std::make_heap(heap_.begin(), heap_.end(), entryBelow);
+    for (std::size_t i = heap_.size() / 2; i-- > 0;)
+        siftDown(i);
 }
 
 void
@@ -111,9 +123,41 @@ PlacementRound::siftDown(std::size_t i)
         if (!entryBelow(moved, heap_[child]))
             break;
         heap_[i] = heap_[child];
+        pos_[heap_[i].idx] = i;
         i = child;
     }
     heap_[i] = moved;
+    pos_[moved.idx] = i;
+}
+
+void
+PlacementRound::siftUp(std::size_t i)
+{
+    Entry moved = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!entryBelow(heap_[parent], moved))
+            break;
+        heap_[i] = heap_[parent];
+        pos_[heap_[i].idx] = i;
+        i = parent;
+    }
+    heap_[i] = moved;
+    pos_[moved.idx] = i;
+}
+
+void
+PlacementRound::removeAt(std::size_t i)
+{
+    pos_[heap_[i].idx] = kNotInHeap;
+    const Entry moved = heap_.back();
+    heap_.pop_back();
+    if (i >= heap_.size())
+        return;
+    heap_[i] = moved;
+    pos_[moved.idx] = i;
+    siftDown(i);
+    siftUp(pos_[moved.idx]);
 }
 
 std::size_t
@@ -124,25 +168,50 @@ PlacementRound::placeOne()
         return PlacementPolicy::kNoNode;
     const Entry top = heap_.front();
     NodeView &view = (*views_)[top.idx];
+    // A popped node must have a vacancy: placeOne() removes nodes the
+    // moment their last slot books, and external bookings must come
+    // through refresh(). Tripping here means a caller mutated a view
+    // behind the round's back.
     CS_ASSERT(view.freeSlots > 0, "placement heap booked a full node");
     --view.freeSlots;
     ++view.occupiedSlots;
-    // The booking is the only view mutation since begin(), so
-    // re-scoring just this node keeps every heap entry fresh. The
-    // re-scored node replaces itself at the root and sifts down in
-    // one pass — half the comparisons of a pop + push round trip —
-    // and because entryBelow is a strict total order (score ties
-    // break on the index), every valid heap pops the same sequence,
-    // so the serial-oracle equivalence is unaffected.
+    // The booking only changes this node's score, so re-scoring it in
+    // place and sifting down keeps every heap entry fresh — and a
+    // node at zero vacancies is removed outright, so it cannot
+    // re-enter with any score, stale or fresh, until refresh()
+    // reports a new vacancy.
     if (view.freeSlots > 0) {
         heap_.front() = Entry{policy_->score(view), top.idx};
-    } else {
-        heap_.front() = heap_.back();
-        heap_.pop_back();
-    }
-    if (!heap_.empty())
         siftDown(0);
+    } else {
+        removeAt(0);
+    }
     return view.node;
+}
+
+void
+PlacementRound::refresh(std::size_t idx)
+{
+    CS_ASSERT(views_ != nullptr, "refresh() before begin()");
+    CS_ASSERT(idx < views_->size(), "refresh() of a bad node index");
+    const NodeView &view = (*views_)[idx];
+    const std::size_t p = pos_[idx];
+    if (view.freeSlots == 0) {
+        if (p != kNotInHeap)
+            removeAt(p);
+        return;
+    }
+    const double s = policy_->score(view);
+    scores_[idx] = s;
+    if (p == kNotInHeap) {
+        pos_[idx] = heap_.size();
+        heap_.push_back(Entry{s, idx});
+        siftUp(heap_.size() - 1);
+    } else {
+        heap_[p].score = s;
+        siftDown(p);
+        siftUp(pos_[idx]);
+    }
 }
 
 } // namespace cluster

@@ -3,10 +3,12 @@
  * Cluster placement policies: which node an arriving batch job lands
  * on.
  *
- * The controller keeps arriving jobs in a FIFO queue and asks the
- * policy for a node once per job per quantum; a job the policy cannot
- * place waits in the queue (counted as a placement stall) and is
- * retried next quantum. Two policies ship:
+ * The controller keeps arriving jobs in a pending queue — ordered by
+ * the fair-share priority of cluster/accounting.hh, which degenerates
+ * to FIFO for a single uniform tenant — and asks the policy for a
+ * node once per job per quantum; a job the policy cannot place waits
+ * in the queue (counted as a placement stall) and is retried next
+ * quantum. Two policies ship:
  *
  *  - FifoFirstFit: the classic Slurm sched/builtin behavior — walk
  *    the nodes in index order and take the first one with a vacant
@@ -38,9 +40,11 @@
 #define CUTTLESYS_CLUSTER_PLACEMENT_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "apps/app_profile.hh"
+#include "cluster/accounting.hh"
 #include "cluster/node.hh"
 
 namespace cuttlesys {
@@ -54,6 +58,14 @@ struct PendingJob
 {
     AppProfile profile;
     std::size_t submitSlice = 0; //!< quantum the job arrived in
+                                 //!< (preserved across preemption, so
+                                 //!< a re-queued victim keeps its
+                                 //!< accrued age)
+    std::int32_t account = 0;    //!< tenant identity (ledger index)
+    QosClass qosClass = QosClass::Batch;
+    /** Global submission sequence number: the deterministic
+     *  tie-breaker of the priority order (priority desc, seq asc). */
+    std::uint32_t arrivalSeq = 0;
 };
 
 /** Strategy interface: pick a node for one pending job. */
@@ -100,18 +112,36 @@ class FifoFirstFit final : public PlacementPolicy
     double score(const NodeView &node) const override;
 };
 
-/** Headroom-scored backfill (see file header). */
+/**
+ * Headroom-scored backfill (see file header).
+ *
+ * The score is a single formula on a single scale — watts of power
+ * headroom (the one documented here; score() implements it verbatim):
+ *
+ *   score(v) = headroomW(v)
+ *            - qos_penalty_w  * [v violated QoS last quantum]
+ *            - load_penalty_w * loadFraction(v)
+ *            + spread_bonus_w * freeSlots(v)
+ *
+ * headroomW is budgetW - measuredPowerW; a node that has not stepped
+ * yet reports measuredPowerW = 0, so it scores its full opening
+ * budget as headroom. (An earlier revision zeroed unstepped headroom,
+ * which silently demoted the knobs from watts to unitless "points"
+ * for the whole first quantum — the comparison tables in
+ * EXPERIMENTS.md are regenerated against this normalized formula.)
+ */
 class BackfillBinPack final : public PlacementPolicy
 {
   public:
     /**
-     * @param qos_penalty_w score penalty (in watts of headroom) for a
-     *        node whose last quantum violated QoS
-     * @param load_penalty_w score penalty per unit of offered LC load
-     *        fraction, steering arrivals toward replicas in their
-     *        diurnal trough
-     * @param spread_bonus_w score bonus per vacant slot, nudging the
-     *        pack toward emptier nodes when headrooms tie
+     * All three knobs are in watts of headroom at their reference
+     * point, so they trade off against each other directly:
+     * @param qos_penalty_w headroom a QoS-violating node forfeits
+     * @param load_penalty_w headroom forfeited at full offered LC
+     *        load (scales linearly with the load fraction), steering
+     *        arrivals toward replicas in their diurnal trough
+     * @param spread_bonus_w headroom credited per vacant slot,
+     *        nudging the pack toward emptier nodes when headrooms tie
      */
     explicit BackfillBinPack(double qos_penalty_w = 15.0,
                              double load_penalty_w = 80.0,
@@ -137,12 +167,19 @@ class BackfillBinPack final : public PlacementPolicy
  * begin() scores every node once, block-parallel over fixed-size
  * chunks (bitwise deterministic at any pool width — each score is a
  * pure function of one view), then builds a max-heap of the vacant
- * nodes in index order. placeOne() pops the argmax, books the slot in
- * the caller's view (so no slot is ever double-booked within the
- * quantum), re-scores just the booked node and re-pushes it while it
- * still has vacancies. Only the popped node's score can have changed
- * — views are immutable during the round apart from placeOne()'s own
- * bookings — so the heap never holds a stale entry.
+ * nodes. placeOne() pops the argmax, books the slot in the caller's
+ * view (so no slot is ever double-booked within the quantum),
+ * re-scores just the booked node in place while it still has
+ * vacancies, and removes it the moment it reaches zero — a full node
+ * can never re-enter the heap, with a stale score or otherwise.
+ *
+ * Views mutated *outside* placeOne() — the fleet's preemption path
+ * vacates and re-books slots mid-round — must be reported through
+ * refresh(idx): the round tracks every node's heap position, so
+ * refresh re-scores, re-inserts, or removes the entry and the heap
+ * never carries a score that disagrees with its view. placeOne()
+ * asserts the invariant (a popped node must have a vacancy), so an
+ * unreported external booking fails loudly instead of double-booking.
  *
  * The choices are bitwise identical to calling place() per job: same
  * score doubles, same (score desc, index asc) order.
@@ -173,6 +210,15 @@ class PlacementRound
      */
     std::size_t placeOne();
 
+    /**
+     * Re-sync node @p idx after the caller mutated its view outside
+     * placeOne() (the fleet's preemption path vacating or re-booking
+     * slots mid-round). Re-scores the entry in place, inserts a node
+     * that regained a vacancy, or removes one that reached zero —
+     * whichever the view now calls for.
+     */
+    void refresh(std::size_t idx);
+
     /** Nodes that still have at least one vacant slot. */
     std::size_t vacantNodes() const { return heap_.size(); }
 
@@ -184,15 +230,24 @@ class PlacementRound
         std::size_t idx = 0; //!< position in the views vector
     };
 
+    /** pos_ value for a node not currently in the heap. */
+    static constexpr std::size_t kNotInHeap =
+        static_cast<std::size_t>(-1);
+
     static bool entryBelow(const Entry &a, const Entry &b);
 
     /** Restore the heap property downward from @p i. */
     void siftDown(std::size_t i);
+    /** Restore the heap property upward from @p i. */
+    void siftUp(std::size_t i);
+    /** Remove the entry at heap position @p i. */
+    void removeAt(std::size_t i);
 
     const PlacementPolicy *policy_ = nullptr;
     std::vector<NodeView> *views_ = nullptr;
     std::vector<double> scores_; //!< parallel-scan output, per view
     std::vector<Entry> heap_;    //!< max-heap of vacant nodes
+    std::vector<std::size_t> pos_; //!< node idx -> heap position
 };
 
 } // namespace cluster

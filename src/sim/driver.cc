@@ -47,6 +47,13 @@ ColocationRun::ColocationRun(MulticoreSim &sim, Scheduler &scheduler,
         ? std::min(opts_.initialLcCores, params.numCores)
         : std::max<std::size_t>(1, params.numCores / 2);
 
+    // Initial occupants are account 0 (the anonymous single tenant)
+    // until a fleet controller stamps real identities through
+    // setSlotAccount(); vacant slots are -1 from the start.
+    slotAccounts_.resize(sim_.numBatchJobs());
+    for (std::size_t j = 0; j < slotAccounts_.size(); ++j)
+        slotAccounts_[j] = sim_.batchSlotOccupied(j) ? 0 : -1;
+
     // The trace object lives inside this run; schedulers only borrow
     // a pointer, so the destructor detaches.
     tracing_ = opts_.traceSink != nullptr;
@@ -95,8 +102,17 @@ ColocationRun::queueJobEvent(const JobEvent &event)
 }
 
 void
+ColocationRun::setSlotAccount(std::size_t slot, std::int32_t account)
+{
+    CS_ASSERT(slot < slotAccounts_.size(),
+              "slot account out of range");
+    slotAccounts_[slot] = account;
+}
+
+void
 ColocationRun::applyJobEvents()
 {
+    preemptedScratch_.clear();
     if (opts_.jobEventHook) {
         hookEvents_.clear();
         opts_.jobEventHook(slice_, hookEvents_);
@@ -106,11 +122,19 @@ ColocationRun::applyJobEvents()
     for (const JobEvent &e : pendingEvents_) {
         CS_ASSERT(e.slot < sim_.numBatchJobs(),
                   "job event slot out of range");
+        if (e.preemption) {
+            // The victim's account is read before the arrival
+            // overwrites the slot: the trace records who was evicted.
+            ++result_.jobPreemptions;
+            preemptedScratch_.push_back(slotAccounts_[e.slot]);
+        }
         if (e.arrival) {
             sim_.replaceBatchJob(e.slot, *e.arrival);
+            slotAccounts_[e.slot] = e.account;
             ++result_.jobArrivals;
         } else if (e.departure) {
             sim_.setBatchSlotOccupied(e.slot, false);
+            slotAccounts_[e.slot] = -1;
         }
         if (e.departure)
             ++result_.jobDepartures;
@@ -211,6 +235,23 @@ ColocationRun::step()
         rec.executedPowerW = measurement_.totalPower;
         rec.qosViolated = lastQosViolated_;
         rec.gmeanBips = lastGmeanBips_;
+        // Tenancy stamping: who held each slot this quantum, what it
+        // measured, and the width-weighted core allocation it was
+        // charged (totalWidth/18; a gated or vacant slot charges 0).
+        rec.slotAccounts = slotAccounts_;
+        rec.slotBips = measurement_.batchBips;
+        rec.slotCores.resize(slotAccounts_.size());
+        for (std::size_t j = 0; j < slotAccounts_.size(); ++j) {
+            const bool active = slotAccounts_[j] >= 0 &&
+                j < decision_.batchActive.size() &&
+                decision_.batchActive[j];
+            rec.slotCores[j] = active
+                ? static_cast<double>(
+                      decision_.batchConfigs[j].core().totalWidth()) /
+                    18.0
+                : 0.0;
+        }
+        rec.preemptedAccounts = preemptedScratch_;
         trace_.end();
     }
 

@@ -22,6 +22,7 @@
 #define CUTTLESYS_SIM_DRIVER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -48,6 +49,17 @@ struct JobEvent
     std::size_t slot = 0;
     bool departure = false;
     std::optional<AppProfile> arrival;
+    /** Tenant identity of the arriving job (stamped into the quantum
+     *  records' per-slot account map); ignored for pure departures. */
+    std::int32_t account = 0;
+    /** True when this event evicts a sitting tenant on behalf of a
+     *  higher-class arrival (departure + arrival on one occupied
+     *  slot). Counted in RunResult::jobPreemptions and the victim's
+     *  account lands in the quantum record. The churn seam is
+     *  otherwise identical: onJobChurn() fires and the slot's learned
+     *  CF state drops, so the preemptor never inherits the victim's
+     *  observations. */
+    bool preemption = false;
 };
 
 /**
@@ -154,6 +166,10 @@ struct RunResult
     /** Batch-job churn applied during the run. */
     std::size_t jobArrivals = 0;
     std::size_t jobDepartures = 0;
+    /** Evictions on behalf of a higher-class arrival (a subset of
+     *  both arrivals and departures: one preemption event counts as
+     *  one of each). */
+    std::size_t jobPreemptions = 0;
 };
 
 /**
@@ -203,6 +219,20 @@ class ColocationRun
     /** Queue a churn event for the head of the next step(). */
     void queueJobEvent(const JobEvent &event);
 
+    /**
+     * Stamp the account of a slot's *initial* occupant (the
+     * construction-time mix). Later occupants carry their account on
+     * their JobEvent; this seam exists because the initial mix never
+     * arrives through an event.
+     */
+    void setSlotAccount(std::size_t slot, std::int32_t account);
+
+    /** Per-slot account map (-1 = vacant), as of the last step(). */
+    const std::vector<std::int32_t> &slotAccounts() const
+    {
+        return slotAccounts_;
+    }
+
     /** Run one decision quantum. @pre !done() */
     void step();
 
@@ -249,6 +279,11 @@ class ColocationRun
     bool havePrev_ = false;
     std::vector<JobEvent> pendingEvents_;
     std::vector<JobEvent> hookEvents_;
+    /** Per-slot tenant identity (-1 = vacant); initial occupants
+     *  default to account 0 until setSlotAccount() says otherwise. */
+    std::vector<std::int32_t> slotAccounts_;
+    /** Victim accounts of this quantum's preemptions (trace only). */
+    std::vector<std::int32_t> preemptedScratch_;
 
     double lastLoadFraction_ = 0.0;
     double lastBudgetW_ = 0.0;

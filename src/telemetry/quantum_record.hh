@@ -127,6 +127,17 @@ struct QuantumRecord
     bool qosViolated = false;
     double gmeanBips = 0.0;
 
+    // --- tenancy (driver side; empty in hand-built records) -----------
+    /** Account holding each batch slot this quantum; -1 = vacant. */
+    std::vector<std::int32_t> slotAccounts;
+    /** Measured BIPS per batch slot (mirrors the measurement). */
+    std::vector<double> slotBips;
+    /** Width-weighted core allocation per slot (totalWidth/18; 0 for
+     *  gated or vacant slots) — the core-seconds accounting basis. */
+    std::vector<double> slotCores;
+    /** Victim accounts of this quantum's preemption evictions. */
+    std::vector<std::int32_t> preemptedAccounts;
+
     // --- phase timers, seconds (indexed by Phase) ---------------------
     std::array<double, kNumPhases> phaseSec{};
 

@@ -349,6 +349,27 @@ parseRecord(std::string_view line)
         rec.gmeanBips = field(*x, "gmean_bips").asNumber();
     }
 
+    if (const JsonObject *tn = field(*top, "tenancy").asObject()) {
+        if (const JsonArray *a = field(*tn, "accounts").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.slotAccounts.push_back(
+                    static_cast<std::int32_t>(v.asNumber(-1.0)));
+        }
+        if (const JsonArray *a = field(*tn, "bips").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.slotBips.push_back(v.asNumber());
+        }
+        if (const JsonArray *a = field(*tn, "cores").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.slotCores.push_back(v.asNumber());
+        }
+        if (const JsonArray *a = field(*tn, "preempted").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.preemptedAccounts.push_back(
+                    static_cast<std::int32_t>(v.asNumber(-1.0)));
+        }
+    }
+
     if (const JsonObject *ph = field(*top, "phase_ms").asObject()) {
         for (std::size_t p = 0; p < kNumPhases; ++p) {
             rec.phaseSec[p] =

@@ -1,5 +1,6 @@
 #include "telemetry/trace_sink.hh"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -68,6 +69,31 @@ appendNumber(std::string &out, int v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%d", v);
     out += buf;
+}
+
+void
+appendIntArray(std::string &out,
+               const std::vector<std::int32_t> &values)
+{
+    out += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ',';
+        appendNumber(out, static_cast<int>(values[i]));
+    }
+    out += ']';
+}
+
+void
+appendDoubleArray(std::string &out, const std::vector<double> &values)
+{
+    out += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ',';
+        appendNumber(out, values[i]);
+    }
+    out += ']';
 }
 
 const char *
@@ -214,6 +240,21 @@ JsonlSink::toJson(const QuantumRecord &rec)
     js += ",\"gmean_bips\":";
     appendNumber(js, rec.gmeanBips);
     js += "}";
+
+    // Tenancy is an optional group: hand-built records (tests, older
+    // tools) leave the slot maps empty and emit no group, and old
+    // traces without one parse back with empty maps.
+    if (!rec.slotAccounts.empty() || !rec.preemptedAccounts.empty()) {
+        js += ",\"tenancy\":{\"accounts\":";
+        appendIntArray(js, rec.slotAccounts);
+        js += ",\"bips\":";
+        appendDoubleArray(js, rec.slotBips);
+        js += ",\"cores\":";
+        appendDoubleArray(js, rec.slotCores);
+        js += ",\"preempted\":";
+        appendIntArray(js, rec.preemptedAccounts);
+        js += "}";
+    }
 
     js += ",\"phase_ms\":{";
     for (std::size_t p = 0; p < kNumPhases; ++p) {

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the multi-tenant accounting ledger: half-life decay,
+ * the fair-share factor, the priority formula, and the event
+ * counters the fleet's sacct-style summary reads back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/accounting.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace {
+
+std::vector<TenantSpec>
+threeTenants()
+{
+    return {
+        TenantSpec{.name = "a", .arrivalWeight = 0.65, .shares = 1.0,
+                   .qosClass = QosClass::Batch},
+        TenantSpec{.name = "b", .arrivalWeight = 0.25, .shares = 1.0,
+                   .qosClass = QosClass::Normal},
+        TenantSpec{.name = "c", .arrivalWeight = 0.10, .shares = 1.0,
+                   .qosClass = QosClass::Interactive},
+    };
+}
+
+TEST(AccountingTest, DefaultLedgerHasOneAnonymousAccount)
+{
+    AccountingLedger ledger;
+    EXPECT_EQ(ledger.numAccounts(), 1u);
+    EXPECT_EQ(ledger.tenant(0).name, "default");
+    ledger.beginQuantum();
+    EXPECT_DOUBLE_EQ(ledger.fairShare(0), 1.0);
+}
+
+TEST(AccountingTest, QosClassNames)
+{
+    EXPECT_STREQ(qosClassName(QosClass::Batch), "batch");
+    EXPECT_STREQ(qosClassName(QosClass::Normal), "normal");
+    EXPECT_STREQ(qosClassName(QosClass::Interactive), "interactive");
+}
+
+TEST(AccountingTest, UsageDecaysWithTheConfiguredHalfLife)
+{
+    AccountingOptions opts;
+    opts.usageHalfLifeQuanta = 8.0;
+    AccountingLedger ledger(threeTenants(), opts);
+    ledger.chargeUsage(0, 1.0, 2.0, 0.0, 1.0); // 2 core-seconds
+    const double start = ledger.usage(0).decayedCoreSeconds;
+    EXPECT_DOUBLE_EQ(start, 2.0);
+    for (int q = 0; q < 8; ++q)
+        ledger.beginQuantum();
+    EXPECT_NEAR(ledger.usage(0).decayedCoreSeconds, 1.0, 1e-12);
+    // The raw sacct totals never decay.
+    EXPECT_DOUBLE_EQ(ledger.usage(0).coreSeconds, 2.0);
+}
+
+TEST(AccountingTest, FairShareFollowsTheSlurmFormula)
+{
+    // Account 0 hogs the whole cluster; with three equal-share
+    // tenants its entitlement is 1/3, so F(0) = 2^(-1 / (1/3)) = 1/8
+    // and the idle accounts score 2^0 = 1.
+    AccountingLedger ledger(threeTenants());
+    ledger.chargeUsage(0, 1.0, 5.0, 0.0, 1.0);
+    ledger.beginQuantum();
+    EXPECT_NEAR(ledger.fairShare(0), 0.125, 1e-12);
+    EXPECT_DOUBLE_EQ(ledger.fairShare(1), 1.0);
+    EXPECT_DOUBLE_EQ(ledger.fairShare(2), 1.0);
+}
+
+TEST(AccountingTest, BalancedUsageScoresAHalfEverywhere)
+{
+    // Every account consuming exactly its entitlement is the
+    // fair-share fixed point: F = 2^(-1) = 0.5 for all.
+    AccountingLedger ledger(threeTenants());
+    for (std::size_t a = 0; a < 3; ++a)
+        ledger.chargeUsage(a, 1.0, 3.0, 0.0, 1.0);
+    ledger.beginQuantum();
+    for (std::size_t a = 0; a < 3; ++a)
+        EXPECT_NEAR(ledger.fairShare(a), 0.5, 1e-12);
+}
+
+TEST(AccountingTest, SkewedSharesShiftTheEntitlement)
+{
+    // Equal usage, 3:1 shares: the entitled account keeps a higher
+    // factor than the constrained one.
+    std::vector<TenantSpec> tenants = {
+        TenantSpec{.name = "big", .shares = 3.0},
+        TenantSpec{.name = "small", .shares = 1.0},
+    };
+    AccountingLedger ledger(std::move(tenants));
+    ledger.chargeUsage(0, 1.0, 1.0, 0.0, 1.0);
+    ledger.chargeUsage(1, 1.0, 1.0, 0.0, 1.0);
+    ledger.beginQuantum();
+    // big: U=0.5, S=0.75 -> 2^(-2/3); small: U=0.5, S=0.25 -> 2^(-2).
+    EXPECT_NEAR(ledger.fairShare(0), std::exp2(-2.0 / 3.0), 1e-12);
+    EXPECT_NEAR(ledger.fairShare(1), 0.25, 1e-12);
+    EXPECT_GT(ledger.fairShare(0), ledger.fairShare(1));
+}
+
+TEST(AccountingTest, PriorityCombinesClassFairShareAndAge)
+{
+    AccountingOptions opts;
+    opts.ageWeightPerQuantum = 0.25;
+    AccountingLedger ledger(threeTenants(), opts);
+    ledger.beginQuantum(); // all factors 1
+    // Fresh interactive beats fresh batch by the class weight ratio.
+    const double batch = ledger.priority(0, QosClass::Batch, 10, 10);
+    const double inter =
+        ledger.priority(2, QosClass::Interactive, 10, 10);
+    EXPECT_DOUBLE_EQ(batch, 1.0);
+    EXPECT_DOUBLE_EQ(inter, 16.0);
+    // Aging is linear: 8 quanta at 0.25/quantum triples the score.
+    EXPECT_DOUBLE_EQ(ledger.priority(0, QosClass::Batch, 2, 10), 3.0);
+}
+
+TEST(AccountingTest, PriorityIsPureAndReplayable)
+{
+    // Same ledger history, same coordinates => bitwise-equal priority
+    // (the property the deterministic queue order rests on).
+    AccountingLedger a(threeTenants());
+    AccountingLedger b(threeTenants());
+    for (AccountingLedger *l : {&a, &b}) {
+        l->chargeUsage(0, 0.7, 0.1, 1.2, 3.0);
+        l->chargeUsage(1, 0.3, 0.1, 0.8, 2.0);
+        l->beginQuantum();
+    }
+    for (std::uint64_t submit = 0; submit < 6; ++submit) {
+        EXPECT_EQ(a.priority(0, QosClass::Batch, submit, 6),
+                  b.priority(0, QosClass::Batch, submit, 6));
+        EXPECT_EQ(a.priority(1, QosClass::Normal, submit, 6),
+                  b.priority(1, QosClass::Normal, submit, 6));
+    }
+}
+
+TEST(AccountingTest, EventCountersAccumulate)
+{
+    AccountingLedger ledger(threeTenants());
+    ledger.recordArrival(0);
+    ledger.recordArrival(0);
+    ledger.recordPlacement(0);
+    ledger.recordDropNew(1);
+    ledger.recordDropQueued(0);
+    ledger.recordPreemption(/*winner=*/2, /*victim=*/0);
+    EXPECT_EQ(ledger.usage(0).arrivals, 2u);
+    EXPECT_EQ(ledger.usage(0).placements, 1u);
+    EXPECT_EQ(ledger.usage(1).dropsNew, 1u);
+    EXPECT_EQ(ledger.usage(0).dropsQueued, 1u);
+    EXPECT_EQ(ledger.usage(2).preemptionsWon, 1u);
+    EXPECT_EQ(ledger.usage(0).preemptionsSuffered, 1u);
+}
+
+TEST(AccountingTest, GmeanBipsOverChargedSlotQuanta)
+{
+    AccountingLedger ledger(threeTenants());
+    EXPECT_DOUBLE_EQ(ledger.gmeanBips(0), 0.0);
+    ledger.chargeUsage(0, 1.0, 0.1, 0.2, 2.0);
+    ledger.chargeUsage(0, 1.0, 0.1, 0.8, 8.0);
+    EXPECT_NEAR(ledger.gmeanBips(0), 4.0, 1e-12);
+}
+
+TEST(AccountingTest, ArrivalWeightsExtractInAccountOrder)
+{
+    const std::vector<double> w = tenantArrivalWeights(threeTenants());
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w[0], 0.65);
+    EXPECT_DOUBLE_EQ(w[1], 0.25);
+    EXPECT_DOUBLE_EQ(w[2], 0.10);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace cuttlesys

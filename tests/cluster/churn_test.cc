@@ -201,6 +201,106 @@ TEST(ChurnTest, DrawnJobsComeFromThePool)
             EXPECT_EQ(names.count(churn.drawJobAt(q, 2, k).name), 1u);
 }
 
+TEST(ChurnTest, AccountIsZeroWithoutTenantWeights)
+{
+    JobChurnEngine churn(testPool(), 4, 7);
+    for (std::uint64_t q = 0; q < 16; ++q)
+        for (std::size_t k = 0; k < 3; ++k)
+            EXPECT_EQ(churn.accountAt(q, 1, k), 0u);
+    EXPECT_EQ(churn.accountAt(JobChurnEngine::kResidentQuantum, 2, 5),
+              0u);
+}
+
+TEST(ChurnTest, AccountDrawsArePureInTheirCoordinates)
+{
+    ChurnOptions opts;
+    opts.tenantArrivalWeights = {0.65, 0.25, 0.10};
+    JobChurnEngine churn(testPool(), 8, 2026, opts);
+    std::vector<std::size_t> accounts;
+    for (std::uint64_t q = 0; q < 16; ++q)
+        for (std::size_t node = 0; node < 8; ++node)
+            for (std::size_t k = 0; k < 2; ++k)
+                accounts.push_back(churn.accountAt(q, node, k));
+    // Replay backwards, interleaved with unrelated draws: nothing
+    // moves, so the serial merge can stamp accounts in any order.
+    std::size_t i = accounts.size();
+    for (std::uint64_t q = 16; q-- > 0;) {
+        for (std::size_t node = 8; node-- > 0;) {
+            for (std::size_t k = 2; k-- > 0;) {
+                (void)churn.departs(q, node, k);
+                (void)churn.arrivalsAt(q + 3, node);
+                EXPECT_EQ(churn.accountAt(q, node, k), accounts[--i]);
+            }
+        }
+    }
+}
+
+TEST(ChurnTest, AccountDrawsFollowTheConfiguredWeights)
+{
+    ChurnOptions opts;
+    opts.tenantArrivalWeights = {0.65, 0.25, 0.10};
+    JobChurnEngine churn(testPool(), 4, 2026, opts);
+    std::size_t counts[3] = {0, 0, 0};
+    const std::size_t draws = 4 * 2000;
+    for (std::uint64_t q = 0; q < 2000; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            const std::size_t a = churn.accountAt(q, node, 0);
+            ASSERT_LT(a, 3u);
+            ++counts[a];
+        }
+    }
+    const double n = static_cast<double>(draws);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.65, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.10, 0.02);
+}
+
+TEST(ChurnTest, AccountStreamNeverPerturbsTheOtherDraws)
+{
+    // Adding tenants must not move a single departure, arrival count,
+    // or job draw: the account pick lives on its own stream tag. This
+    // is what keeps the single-tenant fleet's trace bitwise intact
+    // when an experiment merely *defines* accounts.
+    ChurnOptions plain;
+    plain.departureProbability = 0.3;
+    plain.meanArrivalsPerQuantum = 5.0;
+    ChurnOptions tenanted = plain;
+    tenanted.tenantArrivalWeights = {0.5, 0.3, 0.2};
+    JobChurnEngine a(testPool(), 4, 99, plain);
+    JobChurnEngine b(testPool(), 4, 99, tenanted);
+    for (std::uint64_t q = 0; q < 64; ++q) {
+        for (std::size_t node = 0; node < 4; ++node) {
+            EXPECT_EQ(a.departs(q, node, 2), b.departs(q, node, 2));
+            EXPECT_EQ(a.arrivalsAt(q, node), b.arrivalsAt(q, node));
+            const AppProfile ja = a.drawJobAt(q, node, 0);
+            const AppProfile jb = b.drawJobAt(q, node, 0);
+            EXPECT_EQ(ja.name, jb.name);
+            EXPECT_EQ(ja.seed, jb.seed);
+        }
+    }
+}
+
+TEST(ChurnTest, ResidentAccountDrawsAreDistinctFromArrivals)
+{
+    // The construction-time mix draws its accounts at the reserved
+    // quantum coordinate, so residents can never alias quantum-0
+    // arrivals' picks. (Same node, same k, different quantum.)
+    ChurnOptions opts;
+    opts.tenantArrivalWeights = {0.5, 0.5};
+    JobChurnEngine churn(testPool(), 16, 7, opts);
+    std::size_t differing = 0;
+    for (std::size_t node = 0; node < 16; ++node) {
+        for (std::size_t k = 0; k < 8; ++k) {
+            const std::size_t resident = churn.accountAt(
+                JobChurnEngine::kResidentQuantum, node, k);
+            ASSERT_LT(resident, 2u);
+            differing +=
+                resident != churn.accountAt(0, node, k) ? 1u : 0u;
+        }
+    }
+    EXPECT_GT(differing, 0u);
+}
+
 } // namespace
 } // namespace cluster
 } // namespace cuttlesys

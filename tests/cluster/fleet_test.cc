@@ -74,21 +74,37 @@ TEST(FleetTest, RunsTheConfiguredDay)
     EXPECT_EQ(s.powerPolicy, "headroom");
 }
 
-TEST(FleetTest, ChurnCountersAreConsistent)
+/** The conservation law every fleet run must satisfy. */
+void
+expectCountersConserved(const FleetController &fleet,
+                        const FleetSummary &s)
 {
-    SmallFleet f;
-    const FleetSummary s = f.fleet.run();
-    // Every accepted submission is either placed onto a node or still
-    // waiting in the queue when the day ends.
-    EXPECT_EQ(s.arrivals, s.placements + f.fleet.pendingJobs());
+    // Every accepted submission — plus every preemption victim, which
+    // re-enters the queue — is either placed onto a node, displaced
+    // from the queue by a higher-priority newcomer, or still waiting
+    // when the day ends.
+    EXPECT_EQ(s.arrivals + s.preemptions,
+              s.placements + s.droppedQueued + fleet.pendingJobs());
     std::size_t nodeArrivals = 0, nodeDepartures = 0;
     for (const NodeSummary &n : s.nodes) {
         nodeArrivals += n.arrivals;
         nodeDepartures += n.departures;
     }
     // Placements queue arrival events; each is applied exactly once.
+    // A preemption's combined evict+install event counts one arrival
+    // *and* one departure at the node.
     EXPECT_EQ(nodeArrivals, s.placements);
-    EXPECT_EQ(nodeDepartures, s.departures);
+    EXPECT_EQ(nodeDepartures, s.departures + s.preemptions);
+}
+
+TEST(FleetTest, ChurnCountersAreConsistent)
+{
+    SmallFleet f;
+    const FleetSummary s = f.fleet.run();
+    expectCountersConserved(f.fleet, s);
+    // The single anonymous tenant never preempts or displaces.
+    EXPECT_EQ(s.preemptions, 0u);
+    EXPECT_EQ(s.droppedQueued, 0u);
 }
 
 TEST(FleetTest, ArrivalQueueIsBounded)
@@ -133,6 +149,140 @@ TEST(FleetTest, SameSeedReplaysBitIdentically)
         check::diffDecisionTraces(sinkA.records(), sinkB.records());
     EXPECT_TRUE(diff.identical()) << diff.toString();
     EXPECT_GT(diff.comparedFields, 0u);
+}
+
+std::vector<TenantSpec>
+threeTenants()
+{
+    return {
+        TenantSpec{.name = "ml-train", .arrivalWeight = 0.65,
+                   .shares = 1.0, .qosClass = QosClass::Batch},
+        TenantSpec{.name = "analytics", .arrivalWeight = 0.25,
+                   .shares = 1.0, .qosClass = QosClass::Normal},
+        TenantSpec{.name = "web-api", .arrivalWeight = 0.10,
+                   .shares = 1.0, .qosClass = QosClass::Interactive},
+    };
+}
+
+/** A saturated fleet: departures too rare to keep up with arrivals,
+ *  so the queue fills and high-class arrivals must preempt. */
+FleetOptions
+saturatedTenantOptions()
+{
+    FleetOptions opts = smallFleetOptions();
+    opts.scenario.daySeconds = 2.0;
+    opts.scenario.peakWindowStartSec = 0.75;
+    opts.scenario.peakWindowEndSec = 1.5;
+    opts.churn.departureProbability = 0.01;
+    opts.churn.meanArrivalsPerQuantum = 6.0;
+    opts.churn.maxPendingJobs = 12;
+    opts.tenants = threeTenants();
+    return opts;
+}
+
+TEST(FleetTest, TenantAccountingSumsMatchClusterCounters)
+{
+    SmallFleet f(saturatedTenantOptions());
+    const FleetSummary s = f.fleet.run();
+    expectCountersConserved(f.fleet, s);
+    ASSERT_EQ(s.accounts.size(), 3u);
+    std::size_t arrivals = 0, placements = 0, dropsNew = 0,
+                dropsQueued = 0, won = 0, suffered = 0;
+    for (const AccountSummary &a : s.accounts) {
+        arrivals += a.arrivals;
+        placements += a.placements;
+        dropsNew += a.dropsNew;
+        dropsQueued += a.dropsQueued;
+        won += a.preemptionsWon;
+        suffered += a.preemptionsSuffered;
+    }
+    // The ledger records every churned submission; the cluster
+    // arrivals counter only the admitted ones.
+    EXPECT_EQ(arrivals, s.arrivals + s.droppedArrivals);
+    EXPECT_EQ(placements, s.placements);
+    EXPECT_EQ(dropsNew, s.droppedArrivals);
+    EXPECT_EQ(dropsQueued, s.droppedQueued);
+    EXPECT_EQ(won, s.preemptions);
+    EXPECT_EQ(suffered, s.preemptions);
+}
+
+TEST(FleetTest, SaturationDrivesPreemptionAndQueueDisplacement)
+{
+    SmallFleet f(saturatedTenantOptions());
+    const FleetSummary s = f.fleet.run();
+    // With 2 nodes x 8 slots, ~6 arrivals/quantum and almost no
+    // departures, the fleet fills within a few quanta; interactive
+    // arrivals must then evict batch jobs, and the capped queue must
+    // displace stale batch entries rather than reject every newcomer.
+    EXPECT_GT(s.preemptions, 0u);
+    EXPECT_GT(s.droppedQueued, 0u);
+    ASSERT_EQ(s.accounts.size(), 3u);
+    // Class strictness: interactive never suffers, batch never wins.
+    EXPECT_EQ(s.accounts[2].preemptionsSuffered, 0u);
+    EXPECT_EQ(s.accounts[0].preemptionsWon, 0u);
+    // The highest class should not be the one eating the drops.
+    EXPECT_GT(s.accounts[0].arrivals, s.accounts[2].arrivals);
+}
+
+TEST(FleetTest, TenantFleetReplaysBitIdentically)
+{
+    telemetry::MemorySink sinkA, sinkB;
+    FleetOptions opts = saturatedTenantOptions();
+    opts.sink = &sinkA;
+    SmallFleet a(opts);
+    const FleetSummary sa = a.fleet.run();
+    opts.sink = &sinkB;
+    SmallFleet b(opts);
+    const FleetSummary sb = b.fleet.run();
+    EXPECT_EQ(sa.preemptions, sb.preemptions);
+    EXPECT_EQ(sa.droppedQueued, sb.droppedQueued);
+    const check::TraceDiff diff =
+        check::diffDecisionTraces(sinkA.records(), sinkB.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
+    // The tenancy groups (slot accounts, evicted victims) are part of
+    // the compared surface, not skipped fields.
+    bool sawAccounts = false;
+    for (const telemetry::QuantumRecord &rec : sinkA.records())
+        sawAccounts = sawAccounts || !rec.slotAccounts.empty();
+    EXPECT_TRUE(sawAccounts);
+}
+
+TEST(FleetTest, FifoOrderingFlagFreezesLegacyBehavior)
+{
+    // fairShareOrdering=false must reproduce the legacy queue: drop
+    // the newcomer at the cap, never preempt, never displace.
+    FleetOptions opts = saturatedTenantOptions();
+    opts.fairShareOrdering = false;
+    SmallFleet f(opts);
+    const FleetSummary s = f.fleet.run();
+    EXPECT_EQ(s.preemptions, 0u);
+    EXPECT_EQ(s.droppedQueued, 0u);
+    EXPECT_GT(s.droppedArrivals, 0u);
+    expectCountersConserved(f.fleet, s);
+}
+
+TEST(FleetTest, SingleTenantFairShareDegeneratesToFifo)
+{
+    // With one uniform account every priority factor is job-
+    // independent and age is monotone in the submit quantum, so the
+    // fair-share queue must produce the *bitwise* legacy trace —
+    // ordering, admission drops, placements, everything.
+    telemetry::MemorySink sinkFair, sinkFifo;
+    FleetOptions opts = smallFleetOptions();
+    opts.churn.meanArrivalsPerQuantum = 6.0;
+    opts.churn.maxPendingJobs = 8;
+    opts.sink = &sinkFair;
+    opts.fairShareOrdering = true;
+    SmallFleet fair(opts);
+    fair.fleet.run();
+    opts.sink = &sinkFifo;
+    opts.fairShareOrdering = false;
+    SmallFleet fifo(opts);
+    fifo.fleet.run();
+    const check::TraceDiff diff =
+        check::diffDecisionTraces(sinkFair.records(),
+                                  sinkFifo.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
 }
 
 TEST(FleetTest, StepQuantumAdvancesOneQuantum)

@@ -292,6 +292,143 @@ TEST(PlacementRoundTest, EmptyFleetPlacesNothing)
     EXPECT_EQ(round.placeOne(), PlacementPolicy::kNoNode);
 }
 
+TEST(PlacementRoundTest, RefreshRemovesNodeBookedToCapacityMidRound)
+{
+    // Regression: an external actor (the fleet's preemption path, or
+    // an operator draining a node) books a node to capacity between
+    // placeOne() calls. Before refresh() existed the round would
+    // re-push the booked node with its stale score and hand out a
+    // slot that wasn't there. After refresh(idx) the node must leave
+    // the heap and never be returned until a vacancy reappears.
+    BackfillBinPack backfill(0.0, 0.0, 0.0);
+    ThreadPool pool(2);
+    std::vector<NodeView> views = {
+        makeView(0, 2, 50.0), // best score, about to be drained
+        makeView(1, 4, 10.0),
+        makeView(2, 4, 5.0),
+    };
+    PlacementRound round;
+    round.begin(backfill, views, pool);
+    EXPECT_EQ(round.vacantNodes(), 3u);
+
+    // Externally consume node 0's remaining slots, then refresh.
+    views[0].freeSlots = 0;
+    views[0].occupiedSlots = 16;
+    round.refresh(0);
+    EXPECT_EQ(round.vacantNodes(), 2u);
+    EXPECT_EQ(round.placeOne(), 1u); // next-best, never node 0
+    EXPECT_EQ(round.placeOne(), 1u);
+
+    // A vacancy reappears (a departure or preemption eviction):
+    // refresh re-enters the node and its fresh score wins again.
+    views[0].freeSlots = 1;
+    views[0].occupiedSlots = 15;
+    round.refresh(0);
+    EXPECT_EQ(round.vacantNodes(), 3u);
+    EXPECT_EQ(round.placeOne(), 0u);
+    // That booking drained it again; the round self-removes it.
+    EXPECT_EQ(round.vacantNodes(), 2u);
+}
+
+TEST(PlacementRoundTest, RefreshRescoresInPlace)
+{
+    // A refresh that changes the score without filling the node must
+    // reorder the heap, both directions.
+    BackfillBinPack backfill(0.0, 0.0, 0.0);
+    ThreadPool pool(2);
+    std::vector<NodeView> views = {
+        makeView(0, 4, 30.0),
+        makeView(1, 4, 20.0),
+    };
+    PlacementRound round;
+    round.begin(backfill, views, pool);
+    // Demote node 0 below node 1; it must stop winning.
+    views[0].measuredPowerW = 75.0;
+    views[0].headroomW = 5.0;
+    round.refresh(0);
+    EXPECT_EQ(round.placeOne(), 1u);
+    // Promote it back above; it must win again.
+    views[0].measuredPowerW = 20.0;
+    views[0].headroomW = 60.0;
+    round.refresh(0);
+    EXPECT_EQ(round.placeOne(), 0u);
+}
+
+/**
+ * The preemption-shaped property: placements interleaved with
+ * external vacate/refresh events (a victim's slot freed mid-round)
+ * must still match the serial per-job rescan over the same mutation
+ * schedule, at any pool width, up to 1024 nodes.
+ */
+void
+expectRoundWithEvictionsMatchesSerial(const PlacementPolicy &policy,
+                                      std::size_t n,
+                                      std::size_t pool_threads)
+{
+    ThreadPool pool(pool_threads);
+    std::vector<NodeView> serial_views = syntheticFleet(n, 0xbeefULL + n);
+    std::vector<NodeView> round_views = serial_views;
+    std::size_t capacity = 0;
+    for (const NodeView &v : round_views)
+        capacity += v.freeSlots;
+    const std::size_t jobs = capacity + 8;
+
+    // Serial oracle: rescan per job; every 3rd job is preceded by an
+    // eviction that vacates one slot of a deterministic node.
+    const auto victimFor = [n](std::size_t j) {
+        return mixBits(0x7777ULL + j) % n;
+    };
+    const auto vacate = [](NodeView &v) {
+        if (v.occupiedSlots == 0)
+            return;
+        ++v.freeSlots;
+        --v.occupiedSlots;
+    };
+    std::vector<std::size_t> expect;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        if (j % 3 == 0)
+            vacate(serial_views[victimFor(j)]);
+        const std::size_t target = policy.place(someJob(), serial_views);
+        expect.push_back(target);
+        if (target != PlacementPolicy::kNoNode) {
+            --serial_views[target].freeSlots;
+            ++serial_views[target].occupiedSlots;
+        }
+    }
+
+    PlacementRound round;
+    round.begin(policy, round_views, pool);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        if (j % 3 == 0) {
+            const std::size_t victim = victimFor(j);
+            vacate(round_views[victim]);
+            round.refresh(victim);
+        }
+        ASSERT_EQ(round.placeOne(), expect[j])
+            << policy.name() << " diverged at job " << j << " (n=" << n
+            << ", threads=" << pool_threads << ")";
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(round_views[i].freeSlots, serial_views[i].freeSlots);
+        EXPECT_EQ(round_views[i].occupiedSlots,
+                  serial_views[i].occupiedSlots);
+    }
+}
+
+TEST(PlacementRoundTest, EvictionsMatchSerialUpTo1024Nodes)
+{
+    BackfillBinPack backfill;
+    for (const std::size_t n : {1u, 3u, 16u, 64u, 257u, 1024u})
+        expectRoundWithEvictionsMatchesSerial(backfill, n, 4);
+}
+
+TEST(PlacementRoundTest, EvictionsIndependentOfPoolWidth)
+{
+    BackfillBinPack backfill;
+    for (const std::size_t threads : {1u, 4u, 8u})
+        expectRoundWithEvictionsMatchesSerial(backfill, 1024, threads);
+}
+
 TEST(PlacementRoundTest, ReusableAcrossQuanta)
 {
     // One round object serves many quanta (persistent buffers); a

@@ -12,12 +12,14 @@
  * allocations per quantum.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
 #include <gtest/gtest.h>
 
 #include "cf/engine.hh"
+#include "cluster/accounting.hh"
 #include "cluster/churn.hh"
 #include "cluster/node.hh"
 #include "cluster/placement.hh"
@@ -202,11 +204,15 @@ TEST(ZeroAlloc, FleetNodeSteadyStateQuantumIsHeapFree)
  * One full controller quantum over a 256-node fleet, built from the
  * production control-phase components: the parallel churn scan
  * staging per-node departure lists in per-worker arenas, the serial
- * node-order merge admitting arrivals into the FIFO queue, the O(1)
- * view gather, PlacementRound's score-once/heap-commit placement,
- * ClusterPowerManager's block-parallel split, and the parallel load
- * scan. Per-node simulators are replaced by a planned-occupancy state
- * machine so the gate isolates the controller phases themselves.
+ * node-order merge admitting account-stamped arrivals into the
+ * pending queue, the accounting ledger's decay/fair-share step and
+ * per-slot usage charging, the O(1) view gather, PlacementRound's
+ * score-once/heap-commit placement in priority order (fair-share x
+ * age x class, ties to sequence), an eviction through the refresh
+ * seam every quantum, ClusterPowerManager's block-parallel split,
+ * and the parallel load scan. Per-node simulators are replaced by a
+ * planned-occupancy state machine so the gate isolates the
+ * controller phases themselves.
  */
 struct ControllerQuantum
 {
@@ -215,6 +221,7 @@ struct ControllerQuantum
 
     cluster::BackfillBinPack policy;
     cluster::JobChurnEngine churn;
+    cluster::AccountingLedger ledger;
     cluster::ClusterPowerManager power;
     cluster::PlacementRound round;
     WorkerArenaSet arenas{ThreadPool::global().slotCount()};
@@ -234,7 +241,11 @@ struct ControllerQuantum
     std::vector<double> budgets;
     std::vector<double> loads;
     std::vector<cluster::PendingJob> pending;
-    std::size_t pendingHead = 0;
+    std::vector<double> prio;
+    std::vector<std::uint32_t> order;
+    std::vector<char> placedFlags;
+    std::vector<std::int32_t> slotAccount;
+    std::uint32_t nextSeq = 0;
     std::uint64_t quantum = 0;
 
     static std::vector<AppProfile>
@@ -251,9 +262,32 @@ struct ControllerQuantum
         return pool;
     }
 
+    static std::vector<cluster::TenantSpec>
+    tenants()
+    {
+        // Names within the SSO buffer: the ledger copy-constructing
+        // its TenantSpec vector at setup is the only allocation.
+        return {
+            cluster::TenantSpec{.name = "t-a", .arrivalWeight = 0.65,
+                                .shares = 1.0,
+                                .qosClass = cluster::QosClass::Batch},
+            cluster::TenantSpec{.name = "t-b", .arrivalWeight = 0.25,
+                                .shares = 1.0,
+                                .qosClass = cluster::QosClass::Normal},
+            cluster::TenantSpec{
+                .name = "t-c", .arrivalWeight = 0.10, .shares = 1.0,
+                .qosClass = cluster::QosClass::Interactive},
+        };
+    }
+
     ControllerQuantum()
         : churn(jobPool(), kNodes, 31,
-                cluster::ChurnOptions{0.10, 64.0, 2 * kNodes}),
+                cluster::ChurnOptions{
+                    .departureProbability = 0.10,
+                    .meanArrivalsPerQuantum = 64.0,
+                    .maxPendingJobs = 2 * kNodes,
+                    .tenantArrivalWeights = {0.65, 0.25, 0.10}}),
+          ledger(tenants()),
           power(cluster::PowerPolicy::HeadroomRebalance,
                 cluster::PowerManagerOptions{.rackBudgetW = 24000.0,
                                              .nodeFloorW = 30.0,
@@ -268,11 +302,19 @@ struct ControllerQuantum
         budgets.assign(kNodes, 90.0);
         loads.assign(kNodes, 0.0);
         pending.reserve(4 * kNodes);
+        prio.reserve(4 * kNodes);
+        order.reserve(4 * kNodes);
+        placedFlags.reserve(4 * kNodes);
+        slotAccount.assign(kNodes * kSlots, -1);
         Rng rng(5);
         for (std::size_t i = 0; i < kNodes; ++i) {
             for (std::size_t s = 0; s < kSlots; ++s) {
                 if (rng.uniform(0.0, 1.0) < 0.5) {
                     occupied[i * kSlots + s] = 1;
+                    slotAccount[i * kSlots + s] =
+                        static_cast<std::int32_t>(churn.accountAt(
+                            cluster::JobChurnEngine::kResidentQuantum,
+                            i, s));
                     --freeCount[i];
                 }
             }
@@ -289,12 +331,13 @@ struct ControllerQuantum
         arenas.resetAll();
     }
 
-    std::size_t queued() const { return pending.size() - pendingHead; }
-
     void
     run()
     {
         auto &pool = ThreadPool::global();
+        // Quantum head: decay the ledger and refresh the fair-share
+        // factors admission and ordering consult below.
+        ledger.beginQuantum();
         // Phase 1: churn — parallel scan into arena staging, serial
         // node-order merge.
         arenas.resetAll();
@@ -324,16 +367,35 @@ struct ControllerQuantum
             for (std::uint16_t d = 0; d < plan[i].numDeparts; ++d) {
                 const std::size_t s = plan[i].departSlots[d];
                 occupied[i * kSlots + s] = 0;
+                slotAccount[i * kSlots + s] = -1;
                 ++freeCount[i];
                 firstVacant[i] = std::min(firstVacant[i], s);
             }
             for (std::uint16_t k = 0; k < plan[i].arrivals; ++k) {
-                if (queued() >= 2 * kNodes)
+                if (pending.size() >= 2 * kNodes)
                     continue;
                 cluster::PendingJob job;
                 job.profile = churn.drawJobAt(quantum, i, k);
                 job.submitSlice = quantum;
+                job.account = static_cast<std::int32_t>(
+                    churn.accountAt(quantum, i, k));
+                job.qosClass = ledger.qosClass(
+                    static_cast<std::size_t>(job.account));
+                job.arrivalSeq = nextSeq++;
+                ledger.recordArrival(
+                    static_cast<std::size_t>(job.account));
                 pending.push_back(std::move(job));
+            }
+        }
+        // Charge every occupied slot's usage for the quantum (the
+        // fleet's gather-phase accounting: pure arithmetic over the
+        // ledger's fixed-size arrays).
+        for (std::size_t i = 0; i < kNodes; ++i) {
+            for (std::size_t s = 0; s < kSlots; ++s) {
+                const std::int32_t a = slotAccount[i * kSlots + s];
+                if (a >= 0)
+                    ledger.chargeUsage(static_cast<std::size_t>(a),
+                                       0.5, 0.1, 0.05, 2.0);
             }
         }
         // Phase 2: gather — O(1) counters, disjoint writes.
@@ -354,22 +416,78 @@ struct ControllerQuantum
                     v.stepped = true;
                 }
             });
-        // Phase 3: place — parallel scoring, ordered heap commit.
+        // Phase 3: place — parallel scoring, priority-ordered heap
+        // commit (the fair-share order the fleet uses: priority desc,
+        // arrival sequence asc, over persistent scratch).
         round.begin(policy, views, pool);
-        while (pendingHead < pending.size()) {
+        prio.resize(pending.size());
+        order.resize(pending.size());
+        placedFlags.assign(pending.size(), 0);
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+            const cluster::PendingJob &job = pending[j];
+            prio[j] = ledger.priority(
+                static_cast<std::size_t>(job.account), job.qosClass,
+                job.submitSlice, quantum);
+            order[j] = static_cast<std::uint32_t>(j);
+        }
+        std::sort(order.begin(), order.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      if (prio[a] != prio[b])
+                          return prio[a] > prio[b];
+                      return pending[a].arrivalSeq <
+                          pending[b].arrivalSeq;
+                  });
+        // Exercise the eviction seam once per quantum: vacate one
+        // occupied slot of a rotating node and re-enter it through
+        // refresh(), exactly as the fleet's preemption path does.
+        {
+            const std::size_t victim = quantum % kNodes;
+            for (std::size_t s = kSlots; s-- > 0;) {
+                const std::size_t idx = victim * kSlots + s;
+                if (!occupied[idx])
+                    continue;
+                ledger.recordPreemption(
+                    2, static_cast<std::size_t>(slotAccount[idx]));
+                occupied[idx] = 0;
+                slotAccount[idx] = -1;
+                ++freeCount[victim];
+                firstVacant[victim] =
+                    std::min(firstVacant[victim], s);
+                ++views[victim].freeSlots;
+                --views[victim].occupiedSlots;
+                round.refresh(victim);
+                break;
+            }
+        }
+        std::size_t committed = 0;
+        for (const std::uint32_t j : order) {
             const std::size_t target = round.placeOne();
             if (target == cluster::PlacementPolicy::kNoNode)
                 break;
             std::size_t &hint = firstVacant[target];
             occupied[target * kSlots + hint] = 1;
+            slotAccount[target * kSlots + hint] = pending[j].account;
+            ledger.recordPlacement(
+                static_cast<std::size_t>(pending[j].account));
             --freeCount[target];
             while (hint < kSlots && occupied[target * kSlots + hint])
                 ++hint;
-            ++pendingHead;
+            placedFlags[j] = 1;
+            ++committed;
         }
-        if (pendingHead == pending.size()) {
+        // Stable in-place compaction of the unplaced entries.
+        if (committed == pending.size()) {
             pending.clear();
-            pendingHead = 0;
+        } else if (committed > 0) {
+            std::size_t keep = 0;
+            for (std::size_t j = 0; j < pending.size(); ++j) {
+                if (placedFlags[j])
+                    continue;
+                if (keep != j)
+                    pending[keep] = std::move(pending[j]);
+                ++keep;
+            }
+            pending.resize(keep);
         }
         // Phase 4: budget — block-parallel weights, ordered clip.
         power.split(views, budgets, pool);

@@ -329,6 +329,51 @@ TEST(DriverTest, ArrivalRefillsAVacatedSlot)
     EXPECT_EQ(run.result().jobDepartures, 1u);
 }
 
+TEST(DriverTest, PreemptionEvictsAndInstallsInOneEvent)
+{
+    // The fleet's preemption seam: one combined departure+arrival
+    // event on an *occupied* slot swaps the tenant, fires onJobChurn
+    // exactly once (the victim's learned CF state must drop), counts
+    // as a preemption, and stamps both the new occupant's account and
+    // the victim's account into the quantum record.
+    const SystemParams params;
+    MulticoreSim sim(params, makeTestMix(), 18);
+    RecordingScheduler sched(16);
+    telemetry::MemorySink sink;
+    DriverOptions opts = basicOptions();
+    opts.traceSink = &sink;
+    ColocationRun run(sim, sched, opts);
+    run.setSlotAccount(4, 1); // the sitting victim belongs to account 1
+    run.step();
+    ASSERT_TRUE(sim.batchSlotOccupied(4));
+
+    JobEvent evict;
+    evict.slot = 4;
+    evict.departure = true;
+    evict.arrival = splitSpecGallery().test[0];
+    evict.account = 2;
+    evict.preemption = true;
+    run.queueJobEvent(evict);
+    run.step();
+
+    EXPECT_TRUE(sim.batchSlotOccupied(4));
+    EXPECT_EQ(run.result().jobPreemptions, 1u);
+    // One churn notification for the slot, not two.
+    ASSERT_EQ(sched.churnSlots.size(), 1u);
+    EXPECT_EQ(sched.churnSlots[0], 4u);
+    EXPECT_EQ(run.slotAccounts()[4], 2);
+
+    ASSERT_EQ(sink.records().size(), 2u);
+    const telemetry::QuantumRecord &before = sink.records()[0];
+    const telemetry::QuantumRecord &after = sink.records()[1];
+    ASSERT_GT(before.slotAccounts.size(), 4u);
+    EXPECT_EQ(before.slotAccounts[4], 1);
+    EXPECT_TRUE(before.preemptedAccounts.empty());
+    EXPECT_EQ(after.slotAccounts[4], 2);
+    ASSERT_EQ(after.preemptedAccounts.size(), 1u);
+    EXPECT_EQ(after.preemptedAccounts[0], 1);
+}
+
 TEST(DriverTest, NextQuantumOverridesApplyOnce)
 {
     const SystemParams params;

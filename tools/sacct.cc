@@ -1,0 +1,162 @@
+/**
+ * @file
+ * sacct-style accounting dump over node-stamped JSONL traces.
+ *
+ * Reads one or more fleet trace files (the "tenancy" group every
+ * traced quantum carries: per-slot accounts, measured BIPS, and the
+ * width-weighted core allocation) and aggregates per-account
+ * consumption the way Slurm's sacct summarizes its job accounting
+ * records: slot-quanta held, core-seconds charged, giga-instructions
+ * retired, the gmean throughput, and how often the account's jobs
+ * were preempted. The numbers reproduce the controller's own ledger
+ * (FleetSummary::accounts) because both integrate the same per-slot
+ * stream — the tool just does it offline, from the trace alone.
+ *
+ * Usage:
+ *   sacct [--timeslice SEC] [--names a,b,c] TRACE.jsonl [MORE...]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_reader.hh"
+
+namespace {
+
+struct AccountRow
+{
+    std::string name;
+    std::size_t slotQuanta = 0;
+    double coreSeconds = 0.0;
+    double ginstr = 0.0;
+    double logBipsSum = 0.0;
+    std::size_t preemptionsSuffered = 0;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--timeslice SEC] [--names a,b,c] "
+                 "TRACE.jsonl [MORE...]\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitNames(const std::string &csv)
+{
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos) {
+            names.push_back(csv.substr(start));
+            break;
+        }
+        names.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double timesliceSec = 0.1;
+    std::vector<std::string> names;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--timeslice" && i + 1 < argc) {
+            timesliceSec = std::atof(argv[++i]);
+        } else if (arg == "--names" && i + 1 < argc) {
+            names = splitNames(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty() || timesliceSec <= 0.0)
+        usage(argv[0]);
+
+    std::vector<AccountRow> rows;
+    const auto rowFor = [&rows, &names](std::size_t account)
+        -> AccountRow & {
+        while (rows.size() <= account) {
+            AccountRow row;
+            row.name = rows.size() < names.size()
+                ? names[rows.size()]
+                : "account" + std::to_string(rows.size());
+            rows.push_back(std::move(row));
+        }
+        return rows[account];
+    };
+
+    std::size_t quanta = 0;
+    std::size_t tenancyQuanta = 0;
+    for (const std::string &path : paths) {
+        const std::vector<cuttlesys::telemetry::QuantumRecord> recs =
+            cuttlesys::telemetry::readTraceFile(path);
+        quanta += recs.size();
+        for (const cuttlesys::telemetry::QuantumRecord &rec : recs) {
+            if (rec.slotAccounts.empty() &&
+                rec.preemptedAccounts.empty())
+                continue;
+            ++tenancyQuanta;
+            for (std::size_t s = 0; s < rec.slotAccounts.size();
+                 ++s) {
+                const std::int32_t account = rec.slotAccounts[s];
+                if (account < 0)
+                    continue;
+                AccountRow &row =
+                    rowFor(static_cast<std::size_t>(account));
+                ++row.slotQuanta;
+                if (s < rec.slotCores.size())
+                    row.coreSeconds +=
+                        rec.slotCores[s] * timesliceSec;
+                if (s < rec.slotBips.size()) {
+                    row.ginstr += rec.slotBips[s] * timesliceSec;
+                    row.logBipsSum += std::log(
+                        std::max(rec.slotBips[s], 1e-3));
+                }
+            }
+            for (const std::int32_t account : rec.preemptedAccounts) {
+                if (account >= 0)
+                    ++rowFor(static_cast<std::size_t>(account))
+                          .preemptionsSuffered;
+            }
+        }
+    }
+
+    std::printf("# %zu quanta read (%zu with tenancy), timeslice %g s\n",
+                quanta, tenancyQuanta, timesliceSec);
+    std::printf("%-12s %12s %14s %12s %12s %10s\n", "Account",
+                "SlotQuanta", "CoreSeconds", "GInstr", "GmeanBIPS",
+                "Preempted");
+    for (const AccountRow &row : rows) {
+        const double gmean = row.slotQuanta > 0
+            ? std::exp(row.logBipsSum /
+                       static_cast<double>(row.slotQuanta))
+            : 0.0;
+        std::printf("%-12s %12zu %14.2f %12.2f %12.4f %10zu\n",
+                    row.name.c_str(), row.slotQuanta, row.coreSeconds,
+                    row.ginstr, gmean, row.preemptionsSuffered);
+    }
+    if (rows.empty())
+        std::printf("(no tenancy records found)\n");
+    return 0;
+}
