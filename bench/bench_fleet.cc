@@ -450,7 +450,8 @@ struct ParallelController
                              .meanArrivalsPerQuantum =
                                  kArrivalsPerNode *
                                  static_cast<double>(n),
-                             .maxPendingJobs = 2 * n}),
+                             .maxPendingJobs = 2 * n,
+                             .tenantArrivalWeights = {}}),
           power(PowerPolicy::HeadroomRebalance,
                 PowerManagerOptions{
                     .rackBudgetW =

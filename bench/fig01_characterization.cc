@@ -16,7 +16,7 @@
 
 #include "bench_common.hh"
 #include "lcsim/queue_sim.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 using namespace cuttlesys;
 using namespace cuttlesys::bench;

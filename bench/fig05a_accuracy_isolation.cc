@@ -15,7 +15,7 @@
 #include "cf/engine.hh"
 #include "core/training.hh"
 #include "common/stats.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 using namespace cuttlesys;
 using namespace cuttlesys::bench;

@@ -23,7 +23,7 @@
 #include "flicker/design3mm3.hh"
 #include "flicker/flicker.hh"
 #include "flicker/rbf.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 using namespace cuttlesys;
 using namespace cuttlesys::bench;

@@ -37,7 +37,7 @@ enum class AppClass
 /**
  * Behavioral profile of one application.
  *
- * CPI model (see sim/core_model.hh for the full equations):
+ * CPI model (see model/core_model.hh for the full equations):
  *   cpi = cpiBase * (1 + sum over sections s of
  *                        sens_s * ((6 / width_s)^exp_s - 1))
  *       + (apki / 1000) * (llcLat + missRatio(ways) * dramLat)

@@ -6,7 +6,7 @@
 #include "baselines/no_gating.hh"
 #include "common/logging.hh"
 #include "power/power_model.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 

@@ -170,7 +170,11 @@ diffDecisionTraces(const std::vector<telemetry::QuantumRecord> &a,
         const telemetry::QuantumRecord &rb = b[i];
         RecordDiffer d(diff, ra.slice);
 
-        // Identity and offered conditions.
+        // Identity and offered conditions. The node stamp matters in
+        // fleet replays: two traces can agree on every per-slice
+        // decision yet disagree about which node executed it, which
+        // is a placement divergence, not a clean replay.
+        d.cmp("node", ra.node, rb.node);
         d.cmp("slice", ra.slice, rb.slice);
         d.cmp("t", ra.timeSec, rb.timeSec);
         d.cmp("sched", ra.scheduler, rb.scheduler);

@@ -38,7 +38,7 @@ ScratchArena::allocBytes(std::size_t bytes)
 void *
 ScratchArena::overflowAlloc(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(overflowMutex_);
+    LockGuard lock(overflowMutex_);
     overflow_.emplace_back(bytes);
     return overflow_.back().data();
 }
@@ -59,7 +59,7 @@ ScratchArena::reset()
         ++growths_;
     }
     {
-        std::lock_guard<std::mutex> lock(overflowMutex_);
+        LockGuard lock(overflowMutex_);
         overflow_.clear();
         overflow_.shrink_to_fit();
     }

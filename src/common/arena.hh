@@ -34,9 +34,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace cuttlesys {
 
@@ -109,8 +110,10 @@ class ScratchArena
     std::size_t highWater_ = 0;
     std::uint64_t growths_ = 0;
 
-    std::mutex overflowMutex_;
-    std::vector<std::vector<std::byte>> overflow_;
+    Mutex overflowMutex_;
+    /** Heap blocks serving requests past the slab; cleared by reset(). */
+    std::vector<std::vector<std::byte>> overflow_
+        CS_GUARDED_BY(overflowMutex_);
 };
 
 /**

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Annotated synchronization primitives for compile-time race checking.
+ *
+ * Every mutex and condition variable in the tree goes through these
+ * wrappers instead of <mutex>/<condition_variable> directly (cslint's
+ * raw-mutex rule enforces that). The wrappers carry Clang capability
+ * annotations, so a build with -DCS_THREAD_SAFETY=ON (clang only)
+ * turns lock-discipline violations — touching a CS_GUARDED_BY member
+ * without its mutex, releasing a lock twice, calling a CS_REQUIRES
+ * function unlocked — into compile errors rather than TSan findings.
+ * The repo's determinism contract (bitwise-identical traces at any
+ * CS_POOL_THREADS, DESIGN.md §12) is only as strong as its lock
+ * discipline; this makes the discipline machine-checked at the same
+ * altitude as the code.
+ *
+ * Off Clang every macro expands to nothing and every wrapper is a
+ * zero-cost veneer over the std type, so GCC builds, codegen, and
+ * behavior are unchanged. No wrapper allocates: the zero-allocation
+ * gates (bench_hotpath --smoke, test_zeroalloc) hold under migration.
+ *
+ * Annotation conventions (DESIGN.md §9):
+ *  - data shared across threads is a member annotated
+ *    CS_GUARDED_BY(mutex_) next to its mutex;
+ *  - private functions called with a lock held are annotated
+ *    CS_REQUIRES(mutex_), not re-locked;
+ *  - the rare invariant the analysis cannot see (e.g. a refcount
+ *    proving exclusive ownership) is escaped with
+ *    CS_NO_THREAD_SAFETY_ANALYSIS plus a comment stating the
+ *    invariant — the comment is the price of the escape.
+ */
+
+#ifndef CUTTLESYS_COMMON_SYNC_HH
+#define CUTTLESYS_COMMON_SYNC_HH
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------
+// Capability attribute macros: Clang's -Wthread-safety vocabulary,
+// no-ops on every other compiler. The CS_ prefix keeps them clearly
+// repo-local (cslint bans the raw std primitives, not the std headers,
+// which this file deliberately wraps).
+// ---------------------------------------------------------------------
+#if defined(__clang__)
+#define CS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CS_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (mutex-like). */
+#define CS_CAPABILITY(x) CS_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime acquires/releases a capability. */
+#define CS_SCOPED_CAPABILITY CS_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with the capability held. */
+#define CS_GUARDED_BY(x) CS_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee (not the pointer) guarded by the capability. */
+#define CS_PT_GUARDED_BY(x) CS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only with the listed capabilities held. */
+#define CS_REQUIRES(...) \
+    CS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function callable only with the listed capabilities NOT held. */
+#define CS_EXCLUDES(...) CS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the capability (held on return). */
+#define CS_ACQUIRE(...) \
+    CS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability (unheld on return). */
+#define CS_RELEASE(...) \
+    CS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function conditionally acquires: true return means held. */
+#define CS_TRY_ACQUIRE(...) \
+    CS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define CS_RETURN_CAPABILITY(x) CS_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Escape hatch: the function body is exempt from analysis. Every use
+ * must carry a comment stating the invariant that makes it safe.
+ */
+#define CS_NO_THREAD_SAFETY_ANALYSIS \
+    CS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cuttlesys {
+
+/**
+ * std::mutex with the capability annotation. Same size, same codegen;
+ * the class exists so CS_GUARDED_BY members have a capability to name.
+ */
+class CS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CS_ACQUIRE() { m_.lock(); }
+    void unlock() CS_RELEASE() { m_.unlock(); }
+    bool try_lock() CS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** The wrapped mutex; CondVar needs it to wait natively. */
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/** std::lock_guard equivalent over Mutex, scope == critical section. */
+class CS_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mutex) CS_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~LockGuard() CS_RELEASE() { mutex_.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * std::unique_lock equivalent over Mutex: relockable, so a worker
+ * loop can drop the lock around its work and CondVar can wait on it.
+ * Unlike std::unique_lock it never exists in an unowned-but-attached
+ * limbo the analysis cannot track: it is born locked and every
+ * unlock()/lock() pair is visible to the checker.
+ */
+class CS_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex) CS_ACQUIRE(mutex)
+        : mutex_(mutex), owns_(true)
+    {
+        mutex_.lock();
+    }
+
+    ~UniqueLock() CS_RELEASE()
+    {
+        if (owns_)
+            mutex_.unlock();
+    }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    void lock() CS_ACQUIRE()
+    {
+        mutex_.lock();
+        owns_ = true;
+    }
+
+    void unlock() CS_RELEASE()
+    {
+        mutex_.unlock();
+        owns_ = false;
+    }
+
+    /** The underlying Mutex (CondVar::wait re-enters through it). */
+    Mutex &mutex() { return mutex_; }
+
+  private:
+    Mutex &mutex_;
+    bool owns_;
+};
+
+/**
+ * std::condition_variable over the annotated Mutex. wait() keeps the
+ * native condition variable (no condition_variable_any overhead) by
+ * adopting the Mutex's wrapped std::mutex for the duration of the
+ * wait. Use the explicit predicate loop form at call sites —
+ *
+ *     while (!predicate_over_guarded_state)
+ *         cv.wait(lock);
+ *
+ * — rather than a predicate lambda: the loop body is analyzed in the
+ * caller's context, where the checker can see the lock is held, while
+ * a lambda would be analyzed as an unrelated unlocked function.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically release @p lock, sleep, reacquire. The capability
+     * state is identical before and after, so no annotation is
+     * needed; the body is exempt because the adopt/release dance
+     * hands lock ownership through the native handle, which the
+     * analysis cannot follow (the caller observably never loses the
+     * capability).
+     */
+    void wait(UniqueLock &lock) CS_NO_THREAD_SAFETY_ANALYSIS
+    {
+        std::unique_lock<std::mutex> native(lock.mutex().native(),
+                                            std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_COMMON_SYNC_HH

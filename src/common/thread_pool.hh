@@ -27,13 +27,13 @@
 #define CUTTLESYS_COMMON_THREAD_POOL_HH
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace cuttlesys {
 
@@ -132,18 +132,19 @@ class ThreadPool
     void parallelForTask(std::size_t n, TaskRef task);
     void workerLoop();
     static void runIndex(Batch &batch, std::size_t i);
-    std::shared_ptr<Batch> acquireBatch();
+    std::shared_ptr<Batch> acquireBatch() CS_REQUIRES(mutex_);
 
-    std::mutex mutex_;
-    std::condition_variable cv_;
+    Mutex mutex_;
+    CondVar cv_;
     /** FIFO of active regions; head index instead of pop_front so the
      *  buffer's capacity is reused across quanta. */
-    std::vector<std::shared_ptr<Batch>> queue_;
-    std::size_t queueHead_ = 0;
+    std::vector<std::shared_ptr<Batch>> queue_ CS_GUARDED_BY(mutex_);
+    std::size_t queueHead_ CS_GUARDED_BY(mutex_) = 0;
     /** Retired Batch records, reused when their refcount drops to 1. */
-    std::vector<std::shared_ptr<Batch>> freeBatches_;
+    std::vector<std::shared_ptr<Batch>> freeBatches_
+        CS_GUARDED_BY(mutex_);
     std::vector<std::thread> workers_;
-    bool stop_ = false;
+    bool stop_ CS_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace cuttlesys

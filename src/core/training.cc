@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 #include "sim/ground_truth.hh"
 
 namespace cuttlesys {

@@ -5,7 +5,7 @@
 #include "common/logging.hh"
 #include "config/job_config.hh"
 #include "lcsim/queue_sim.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 

@@ -1,4 +1,4 @@
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 #include <algorithm>
 #include <cmath>

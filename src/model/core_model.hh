@@ -20,8 +20,8 @@
  * deterministic per-(app, config) residual.
  */
 
-#ifndef CUTTLESYS_SIM_CORE_MODEL_HH
-#define CUTTLESYS_SIM_CORE_MODEL_HH
+#ifndef CUTTLESYS_MODEL_CORE_MODEL_HH
+#define CUTTLESYS_MODEL_CORE_MODEL_HH
 
 #include "apps/app_profile.hh"
 #include "config/job_config.hh"
@@ -77,4 +77,4 @@ double missBandwidthGBs(const AppProfile &app, const JobConfig &config,
 
 } // namespace cuttlesys
 
-#endif // CUTTLESYS_SIM_CORE_MODEL_HH
+#endif // CUTTLESYS_MODEL_CORE_MODEL_HH

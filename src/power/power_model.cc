@@ -2,7 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 

@@ -6,7 +6,7 @@
 #include "common/rng.hh"
 #include "lcsim/queue_sim.hh"
 #include "power/power_model.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 

@@ -5,7 +5,7 @@
 
 #include "common/logging.hh"
 #include "power/power_model.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 

@@ -99,15 +99,22 @@ class PhaseTimer
     PhaseTimer(QuantumTrace *trace, Phase phase)
         : trace_(trace), phase_(phase)
     {
-        if (trace_)
+        if (trace_) {
+            // Telemetry-only wall clock: phase timings are recorded
+            // into the trace but never read back by any decision
+            // path, and the structural replay diff skips them.
+            // cslint: allow(wall-clock)
             start_ = std::chrono::steady_clock::now();
+        }
     }
 
     ~PhaseTimer()
     {
         if (trace_) {
-            const auto elapsed =
-                std::chrono::steady_clock::now() - start_;
+            // Same telemetry-only read as the constructor.
+            // cslint: allow(wall-clock)
+            const auto end = std::chrono::steady_clock::now();
+            const auto elapsed = end - start_;
             trace_->addPhaseTime(
                 phase_,
                 std::chrono::duration<double>(elapsed).count());

@@ -149,6 +149,101 @@ TEST(TraceDiffTest, PathClassNames)
     EXPECT_STREQ(lcPathClass(telemetry::LcPath::None), "none");
 }
 
+TEST(TraceDiffTest, EmptyTracesAreIdentical)
+{
+    const std::vector<telemetry::QuantumRecord> a;
+    const std::vector<telemetry::QuantumRecord> b;
+    const TraceDiff diff = diffDecisionTraces(a, b);
+    EXPECT_TRUE(diff.identical());
+    EXPECT_EQ(diff.recordsA, 0u);
+    EXPECT_EQ(diff.recordsB, 0u);
+    EXPECT_EQ(diff.comparedFields, 0u);
+    EXPECT_NE(diff.toString().find("identical"), std::string::npos);
+}
+
+TEST(TraceDiffTest, EmptyVersusNonEmptyDiffers)
+{
+    const std::vector<telemetry::QuantumRecord> a;
+    const auto b = makeTrace(3);
+    const TraceDiff diff = diffDecisionTraces(a, b);
+    EXPECT_FALSE(diff.identical());
+    // No common prefix, so no per-field mismatches — the length
+    // disagreement alone must carry the verdict.
+    EXPECT_TRUE(diff.mismatches.empty());
+    EXPECT_EQ(diff.comparedFields, 0u);
+    EXPECT_NE(diff.toString().find("0 vs 3"), std::string::npos);
+}
+
+TEST(TraceDiffTest, SingleQuantumTraces)
+{
+    const auto a = makeTrace(1);
+    auto b = makeTrace(1);
+    EXPECT_TRUE(diffDecisionTraces(a, b).identical());
+
+    b[0].lcCores = 12;
+    const TraceDiff diff = diffDecisionTraces(a, b);
+    ASSERT_EQ(diff.mismatches.size(), 1u);
+    EXPECT_EQ(diff.mismatches[0].slice, 0u);
+    EXPECT_EQ(diff.mismatches[0].field, "lc.cores");
+}
+
+TEST(TraceDiffTest, EvictionVictimStampsOnlyDifference)
+{
+    // Two replays that agree on every decision except who got
+    // preempted in one quantum: under fair-share ordering the victim
+    // set is part of the deterministic decision sequence, so this is
+    // a real divergence even with all other fields equal.
+    const auto a = makeTrace(4);
+    auto b = makeTrace(4);
+    for (auto &r : b)
+        EXPECT_TRUE(r.preemptedAccounts.empty());
+    b[2].preemptedAccounts = {7};
+    const TraceDiff diff = diffDecisionTraces(a, b);
+    ASSERT_EQ(diff.mismatches.size(), 1u);
+    EXPECT_EQ(diff.mismatches[0].slice, 2u);
+    EXPECT_EQ(diff.mismatches[0].field, "tenancy.preempted");
+}
+
+TEST(TraceDiffTest, NodeStampMismatchIsStructural)
+{
+    // Same decisions, different placement: a fleet replay that lands
+    // slice 1 on another node is not a clean replay.
+    const auto a = makeTrace(3);
+    auto b = makeTrace(3);
+    b[1].node = 5;
+    const TraceDiff diff = diffDecisionTraces(a, b);
+    ASSERT_EQ(diff.mismatches.size(), 1u);
+    EXPECT_EQ(diff.mismatches[0].slice, 1u);
+    EXPECT_EQ(diff.mismatches[0].field, "node");
+    EXPECT_EQ(diff.mismatches[0].lhs, "0");
+    EXPECT_EQ(diff.mismatches[0].rhs, "5");
+}
+
+TEST(TraceDiffTest, MismatchedNodeCounts)
+{
+    // A fleet trace interleaves per-node records; when one replay ran
+    // with fewer nodes the tail of the longer trace has no partner.
+    // The common prefix still pinpoints the first placement
+    // divergence instead of drowning it in length noise.
+    auto a = makeTrace(6);
+    auto b = makeTrace(4);
+    for (std::size_t s = 0; s < a.size(); ++s)
+        a[s].node = s % 3;
+    for (std::size_t s = 0; s < b.size(); ++s)
+        b[s].node = s % 2;
+    const TraceDiff diff = diffDecisionTraces(a, b);
+    EXPECT_FALSE(diff.identical());
+    EXPECT_EQ(diff.recordsA, 6u);
+    EXPECT_EQ(diff.recordsB, 4u);
+    // Prefix slices 0..3: node stamps 0,1,2,0 vs 0,1,0,1 — mismatch
+    // at slices 2 and 3 only.
+    ASSERT_EQ(diff.mismatches.size(), 2u);
+    EXPECT_EQ(diff.mismatches[0].slice, 2u);
+    EXPECT_EQ(diff.mismatches[0].field, "node");
+    EXPECT_EQ(diff.mismatches[1].slice, 3u);
+    EXPECT_NE(diff.toString().find("6 vs 4"), std::string::npos);
+}
+
 TEST(TraceDiffTest, ToStringCapsMismatchLines)
 {
     const auto a = makeTrace(10);

@@ -12,12 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hh"
 #include "common/thread_pool.hh"
 
 namespace cuttlesys {
@@ -39,11 +39,11 @@ TEST(ThreadPoolTest, ReusedAcrossManyCallsWithoutSpawning)
     // creation. Collect the set of thread ids across many regions —
     // it must stay bounded by pool size + caller.
     ThreadPool pool(3);
-    std::mutex mu;
+    Mutex mu;
     std::set<std::thread::id> ids;
     for (int call = 0; call < 50; ++call) {
         pool.parallelFor(16, [&](std::size_t) {
-            std::lock_guard<std::mutex> lock(mu);
+            LockGuard lock(mu);
             ids.insert(std::this_thread::get_id());
         });
     }

@@ -1,0 +1,15 @@
+// Control fixture for the allowlist mechanism: the same wall-clock
+// read that fails in wall_clock.cc passes here because the preceding
+// comment block carries the allow marker with its justification.
+// cslint-path: src/common/fixture_allow_marker.cc
+// cslint-expect: clean
+
+#include <cstdlib>
+
+bool
+fastMode()
+{
+    // Configuration, not decision input; the determinism gates run
+    // with and without it. cslint: allow(wall-clock)
+    return std::getenv("CS_FAST") != nullptr;
+}

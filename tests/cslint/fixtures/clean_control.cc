@@ -1,0 +1,31 @@
+// Control fixture: token-shaped near-misses that a regex linter trips
+// on and a token analyzer must not — banned words inside comments,
+// strings and raw strings, deleted special members, digit separators,
+// and operator new/delete definitions.
+// cslint-path: src/common/fixture_clean.cc
+// cslint-expect: clean
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+// new delete std::cout std::mt19937 static int bad = 0;
+
+struct Pinned
+{
+    Pinned(const Pinned &) = delete;
+    Pinned &operator=(const Pinned &) = delete;
+};
+
+void *operator new(std::size_t size);
+void operator delete(void *p) noexcept;
+
+std::string
+banner()
+{
+    const std::size_t big = 1'000'000;
+    auto owned = std::make_unique<int>(static_cast<int>(big));
+    (void)owned;
+    return std::string("naked new int; delete p; std::cerr << x;") +
+           R"(std::mutex inside a raw string is "just text")";
+}

@@ -1,0 +1,16 @@
+// Seeded violation: float reductions whose association order follows
+// the container instead of the kernels' fixed collapse tree.
+// cslint-path: src/search/dds.cc
+// cslint-expect: float-reduction
+
+#include <numeric>
+#include <vector>
+
+double
+total(const std::vector<double> &xs)
+{
+    double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+    for (const double x : xs)
+        sum += x;
+    return sum;
+}

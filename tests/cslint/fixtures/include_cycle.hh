@@ -1,0 +1,11 @@
+// Seeded violation: an include cycle (degenerate self-include; the
+// DFS treats it exactly like a longer loop).
+// cslint-path: src/common/fixture_include_cycle.hh
+// cslint-expect: include-cycle
+
+#ifndef CSLINT_FIXTURE_INCLUDE_CYCLE_HH
+#define CSLINT_FIXTURE_INCLUDE_CYCLE_HH
+
+#include "common/fixture_include_cycle.hh"
+
+#endif

@@ -1,0 +1,15 @@
+// Seeded violation: a kernelized hot-path file regressing to raw
+// transcendentals, per-call container growth, and nested vectors.
+// cslint-path: src/cf/sgd.cc
+// cslint-expect: kernel-purity
+
+#include <cmath>
+#include <vector>
+
+double
+lossTerm(std::vector<double> &history, double p)
+{
+    history.push_back(p);
+    std::vector<std::vector<double>> perWorker;
+    return std::log(p);
+}

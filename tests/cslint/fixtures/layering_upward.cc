@@ -1,0 +1,7 @@
+// Seeded violation: an upward include against the src/ layering DAG —
+// config (layer 1) reaching into cluster (layer 7).
+// cslint-path: src/config/fixture_upward.cc
+// cslint-expect: layering
+
+#include "cluster/fleet.hh"
+#include "common/logging.hh"

@@ -1,0 +1,16 @@
+// Seeded violation: hidden process-global mutable state. The const /
+// constexpr forms below must NOT trigger.
+// cslint-path: src/common/fixture_mutable_static.cc
+// cslint-expect: mutable-static
+
+static int g_calls = 0;
+thread_local double tls_accumulator;
+static const int kLimit = 8;
+static constexpr double kScale = 1.5;
+
+int
+bump()
+{
+    ++g_calls;
+    return g_calls + kLimit + static_cast<int>(kScale);
+}

@@ -1,0 +1,16 @@
+// Seeded violation: manual delete instead of an owning type. The
+// deleted-special-member form below must NOT trigger.
+// cslint-path: src/common/fixture_naked_delete.cc
+// cslint-expect: naked-delete
+
+struct NonCopyable
+{
+    NonCopyable(const NonCopyable &) = delete;
+    NonCopyable &operator=(const NonCopyable &) = delete;
+};
+
+void
+destroy(int *p)
+{
+    delete p;
+}

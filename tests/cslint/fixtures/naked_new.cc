@@ -1,0 +1,9 @@
+// Seeded violation: heap ownership outside containers/smart pointers.
+// cslint-path: src/common/fixture_naked_new.cc
+// cslint-expect: naked-new
+
+int *
+makeCounter()
+{
+    return new int(0);
+}

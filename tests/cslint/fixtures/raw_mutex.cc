@@ -1,0 +1,16 @@
+// Seeded violation: raw std synchronization primitives instead of the
+// CAPABILITY-annotated wrappers in common/sync.hh.
+// cslint-path: src/common/fixture_raw_mutex.cc
+// cslint-expect: raw-mutex
+
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_lock;
+std::condition_variable g_cv;
+
+void
+touch()
+{
+    std::lock_guard<std::mutex> guard(g_lock);
+}

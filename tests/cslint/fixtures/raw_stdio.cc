@@ -1,0 +1,13 @@
+// Seeded violation: library code writing to stdout/stderr directly
+// instead of through common/logging.hh.
+// cslint-path: src/common/fixture_raw_stdio.cc
+// cslint-expect: raw-stdio
+
+#include <iostream>
+
+void
+debugDump(int v)
+{
+    std::cout << v << '\n';
+    std::cerr << "oops\n";
+}

@@ -1,0 +1,20 @@
+// The stripper-regression fixture: the Python regex linter's string
+// stripper terminated a raw string literal at its first '"', which
+// unbalanced every quote that followed and silently blanked the rest
+// of the file — the naked new below was invisible to it. cslint's
+// tokenizer must terminate the literal at its real )delim" closer and
+// still see the violation.
+// cslint-path: src/common/fixture_raw_string_stripper.cc
+// cslint-expect: naked-new
+
+const char *kReport = R"(traces differ: "structural" fields
+  slice 3 lc.config: "{6,6,6}/4w" != "{4,4,4}/2w"
+)";
+
+const char *kDelimited = R"x(a quote " and a fake closer )" here)x";
+
+int *
+leak()
+{
+    return new int(7);
+}

@@ -1,0 +1,13 @@
+// Seeded violation: a hash container in a commit-path layer. One
+// range-for over it and the cluster trace depends on pointer values.
+// cslint-path: src/cluster/fixture_state.cc
+// cslint-expect: unordered-container
+
+#include <cstddef>
+#include <unordered_map>
+
+std::size_t
+countLive(const std::unordered_map<int, int> &jobs)
+{
+    return jobs.size();
+}

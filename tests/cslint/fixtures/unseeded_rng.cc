@@ -1,0 +1,13 @@
+// Seeded violation: unreproducible randomness — a default-seeded Rng
+// and raw std randomness.
+// cslint-path: src/common/fixture_unseeded_rng.cc
+// cslint-expect: unseeded-rng
+
+#include <random>
+
+unsigned
+roll()
+{
+    std::mt19937 gen(std::random_device{}());
+    return gen();
+}

@@ -1,0 +1,18 @@
+// Seeded violation: wall-clock and environment reads feeding library
+// code — nondeterministic inputs the replay gates can never reproduce.
+// cslint-path: src/sim/fixture_timing.cc
+// cslint-expect: wall-clock
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+double
+stamp()
+{
+    const auto t = std::chrono::steady_clock::now();
+    if (std::getenv("CS_FAST"))
+        return 0.0;
+    return static_cast<double>(time(nullptr)) +
+           t.time_since_epoch().count();
+}

@@ -11,7 +11,7 @@
 #include "config/params.hh"
 #include "flicker/design3mm3.hh"
 #include "flicker/rbf.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 #include "apps/gallery.hh"
 
 namespace cuttlesys {

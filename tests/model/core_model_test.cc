@@ -7,7 +7,7 @@
 
 #include "apps/gallery.hh"
 #include "common/logging.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 namespace {

@@ -8,7 +8,7 @@
 #include "apps/gallery.hh"
 #include "common/logging.hh"
 #include "power/power_model.hh"
-#include "sim/core_model.hh"
+#include "model/core_model.hh"
 
 namespace cuttlesys {
 namespace {
