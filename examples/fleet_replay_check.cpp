@@ -23,8 +23,15 @@
  * admission, and the preemption path replay bitwise — the tenancy
  * fields (per-slot accounts, eviction victims) are part of the diff.
  *
+ * With --no-fastpath the stability gate and the fleet memo cache are
+ * both disabled, which reproduces the pre-incremental controller's
+ * decisions exactly — CI holds that mode's trace against the
+ * committed PR 8 reference (tests/data/fleet_ref_pr8.jsonl) at
+ * several pool widths.
+ *
  * Usage: fleet_replay_check [day_seconds] [runs] [--tenants]
- *                           [--nodes N] [--save P] [--against P]
+ *                           [--no-fastpath] [--nodes N]
+ *                           [--save P] [--against P]
  */
 
 #include <cstdio>
@@ -55,7 +62,7 @@ std::vector<telemetry::QuantumRecord>
 runOnce(const SystemParams &params, const TrainingTables &tables,
         const AppProfile &lc, const std::vector<AppProfile> &pool,
         double node_max_w, double day_seconds, std::size_t nodes,
-        bool tenants)
+        bool tenants, bool no_fastpath)
 {
     telemetry::MemorySink sink;
     FleetOptions opts;
@@ -71,6 +78,10 @@ runOnce(const SystemParams &params, const TrainingTables &tables,
     opts.churn.meanArrivalsPerQuantum =
         0.5 * static_cast<double>(nodes);
     opts.sink = &sink;
+    if (no_fastpath) {
+        opts.scheduler.fastPath = false;
+        opts.memoCache = false;
+    }
     if (tenants) {
         // The fleet_sim --tenants configuration: skewed arrivals,
         // equal shares, the heaviest submitter in the lowest class,
@@ -119,6 +130,7 @@ main(int argc, char **argv)
     std::size_t runs = 2;
     std::size_t nodes = 256;
     bool tenants = false;
+    bool no_fastpath = false;
     std::string savePath, againstPath;
     std::size_t positional = 0;
     for (int a = 1; a < argc; ++a) {
@@ -132,6 +144,8 @@ main(int argc, char **argv)
             nodes = static_cast<std::size_t>(std::atoi(argv[++a]));
         } else if (std::strcmp(argv[a], "--tenants") == 0) {
             tenants = true;
+        } else if (std::strcmp(argv[a], "--no-fastpath") == 0) {
+            no_fastpath = true;
         } else if (positional == 0) {
             day_seconds = std::atof(argv[a]);
             ++positional;
@@ -142,8 +156,8 @@ main(int argc, char **argv)
     }
     CS_ASSERT(day_seconds > 0.0 && runs >= 2 && nodes > 0,
               "usage: fleet_replay_check [day_seconds>0] [runs>=2] "
-              "[--tenants] [--nodes N>0] [--save PATH] "
-              "[--against PATH]");
+              "[--tenants] [--no-fastpath] [--nodes N>0] "
+              "[--save PATH] [--against PATH]");
 
     const SystemParams params;
     const TrainTestSplit split = splitSpecGallery();
@@ -160,10 +174,11 @@ main(int argc, char **argv)
 
     const std::vector<telemetry::QuantumRecord> reference =
         runOnce(params, tables, lc, split.test, node_max_w,
-                day_seconds, nodes, tenants);
-    std::printf("run 1/%zu: %zu records (%zu nodes%s, reference)\n",
+                day_seconds, nodes, tenants, no_fastpath);
+    std::printf("run 1/%zu: %zu records (%zu nodes%s%s, reference)\n",
                 runs, reference.size(), nodes,
-                tenants ? ", 3 tenants" : "");
+                tenants ? ", 3 tenants" : "",
+                no_fastpath ? ", fastpath off" : "");
     if (!savePath.empty()) {
         dumpTrace(savePath, reference);
         std::printf("saved reference trace to %s\n",
@@ -174,7 +189,7 @@ main(int argc, char **argv)
     for (std::size_t r = 2; r <= runs; ++r) {
         const std::vector<telemetry::QuantumRecord> replay =
             runOnce(params, tables, lc, split.test, node_max_w,
-                    day_seconds, nodes, tenants);
+                    day_seconds, nodes, tenants, no_fastpath);
         const check::TraceDiff diff =
             check::diffDecisionTraces(reference, replay);
         std::printf("run %zu/%zu: %zu records, %zu fields compared, "

@@ -15,9 +15,15 @@
  * fleet_trace.jsonl (one record per node per quantum, stamped with
  * the node index) for CI to archive.
  *
- * Usage: fleet_sim [--tenants] [nodes] [day_seconds]
+ * Usage: fleet_sim [--tenants] [--no-fastpath] [nodes] [day_seconds]
  *   nodes        fleet size (default 256; scales to 1024)
  *   day_seconds  compressed-day length (default 0.5 = 5 quanta)
+ *
+ * --no-fastpath disables the stability gate AND the fleet memo cache:
+ * every quantum runs the full reconstruct + DDS pipeline, which
+ * reproduces the pre-incremental controller's traces bitwise (the CI
+ * replay gate holds fleet_trace.jsonl from this mode against the
+ * committed reference).
  *
  * With --tenants the comparison switches from placement policies to
  * queue disciplines: three accounts with skewed arrival weights but
@@ -52,6 +58,9 @@ using namespace cuttlesys::cluster;
 
 namespace {
 
+/** --no-fastpath: force every quantum down the full pipeline. */
+bool gNoFastPath = false;
+
 FleetOptions
 makeFleetOptions(std::size_t nodes, double day_seconds,
                  telemetry::TraceSink *sink)
@@ -72,6 +81,10 @@ makeFleetOptions(std::size_t nodes, double day_seconds,
     opts.churn.meanArrivalsPerQuantum =
         0.5 * static_cast<double>(nodes);
     opts.sink = sink;
+    if (gNoFastPath) {
+        opts.scheduler.fastPath = false;
+        opts.memoCache = false;
+    }
     return opts;
 }
 
@@ -139,12 +152,21 @@ printSummary(const FleetSummary &s)
     std::printf("cluster: QoS %.1f%%  job-gmean %.2f BIPS  batch "
                 "%.1f Ginstr  power %.1f/%.0f W  churn %zu in / %zu "
                 "out  placements %zu (stall-quanta %zu)  preempt %zu  "
-                "dropQ %zu  load shifts %zu\n\n",
+                "dropQ %zu  load shifts %zu\n",
                 s.clusterQosPct, s.jobGmeanBips,
                 s.totalBatchInstructions * 1e-9, s.meanClusterPowerW,
                 s.rackBudgetW, s.arrivals, s.departures, s.placements,
                 s.placementStalls, s.preemptions, s.droppedQueued,
                 s.loadShifts);
+    if (s.fastPathHits + s.fullQuanta > 0) {
+        std::printf("decision: full %zu (memo-seeded %zu)  "
+                    "fast-reuse %zu  hit-rate %.1f%%  memo %zu/%zu "
+                    "hits (%zu stores)\n",
+                    s.fullQuanta, s.memoSeededQuanta, s.fastPathHits,
+                    100.0 * s.fastPathHitRate, s.memoHits,
+                    s.memoLookups, s.memoStores);
+    }
+    std::printf("\n");
 }
 
 } // namespace
@@ -161,6 +183,8 @@ main(int argc, char **argv)
         const std::string_view arg = argv[i];
         if (arg == "--tenants") {
             tenantsMode = true;
+        } else if (arg == "--no-fastpath") {
+            gNoFastPath = true;
         } else if (positional == 0) {
             nodes = static_cast<std::size_t>(std::atoi(argv[i]));
             ++positional;

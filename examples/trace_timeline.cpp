@@ -85,11 +85,15 @@ replay(const std::string &path)
 
     std::printf("%s: %zu quanta (%s)\n\n", path.c_str(),
                 records.size(), records.front().scheduler.c_str());
-    std::printf("%5s %8s %-18s %-14s %4s %6s %7s %8s %8s %s\n",
-                "slice", "p99(ms)", "lc path", "lc config", "lc#",
-                "evals", "gated", "P(W)", "gmean", "notes");
+    std::printf("%5s %8s %-18s %-11s %-14s %4s %6s %7s %8s %8s %s\n",
+                "slice", "p99(ms)", "lc path", "decision", "lc config",
+                "lc#", "evals", "gated", "P(W)", "gmean", "notes");
 
     std::array<std::size_t, telemetry::kNumLcPaths> path_count{};
+    std::array<std::size_t, telemetry::kNumDecisionPaths>
+        decision_count{};
+    std::array<std::size_t, telemetry::kNumInvalidationReasons>
+        invalidation_count{};
     std::array<double, telemetry::kNumPhases> phase_sum{};
     std::size_t violations = 0;
     std::size_t polluted = 0;
@@ -97,6 +101,12 @@ replay(const std::string &path)
 
     for (const telemetry::QuantumRecord &r : records) {
         path_count[static_cast<std::size_t>(r.lcPath)]++;
+        decision_count[static_cast<std::size_t>(r.decisionPath)]++;
+        if (r.decisionPath != telemetry::DecisionPath::None &&
+            r.decisionPath != telemetry::DecisionPath::FastReuse) {
+            invalidation_count[static_cast<std::size_t>(
+                r.invalidationReason)]++;
+        }
         for (std::size_t p = 0; p < telemetry::kNumPhases; ++p)
             phase_sum[p] += r.phaseSec[p];
         violations += r.qosViolated ? 1 : 0;
@@ -116,11 +126,24 @@ replay(const std::string &path)
             notes += " seed-repaired";
         if (r.scanSaturated > 0)
             notes += " sat=" + std::to_string(r.scanSaturated);
+        // Why the stability gate forced this full quantum (fast-reuse
+        // rows instead show how long they have been coasting).
+        if (r.decisionPath == telemetry::DecisionPath::FastReuse) {
+            notes += " since-full=" +
+                std::to_string(r.quantaSinceFull);
+        } else if (r.decisionPath != telemetry::DecisionPath::None &&
+                   r.invalidationReason !=
+                       telemetry::InvalidationReason::None) {
+            notes += std::string(" inval=") +
+                telemetry::invalidationReasonName(
+                    r.invalidationReason);
+        }
 
-        std::printf("%5zu %8.2f %-18s %-14s %4zu %6zu %7zu %8.1f "
-                    "%8.2f%s\n",
+        std::printf("%5zu %8.2f %-18s %-11s %-14s %4zu %6zu %7zu "
+                    "%8.1f %8.2f%s\n",
                     r.slice, r.executedTailSec * 1e3,
                     telemetry::lcPathName(r.lcPath),
+                    telemetry::decisionPathName(r.decisionPath),
                     r.lcConfigName.c_str(), r.lcCores,
                     r.searchEvaluations, r.capVictims.size(),
                     r.executedPowerW, r.gmeanBips, notes.c_str());
@@ -134,6 +157,31 @@ replay(const std::string &path)
                         telemetry::lcPathName(
                             static_cast<telemetry::LcPath>(p)),
                         path_count[p]);
+        }
+    }
+    if (decision_count[static_cast<std::size_t>(
+            telemetry::DecisionPath::None)] != records.size()) {
+        std::printf("\ndecision paths:");
+        for (std::size_t p = 0; p < telemetry::kNumDecisionPaths;
+             ++p) {
+            if (decision_count[p] > 0) {
+                std::printf(
+                    " %s=%zu",
+                    telemetry::decisionPathName(
+                        static_cast<telemetry::DecisionPath>(p)),
+                    decision_count[p]);
+            }
+        }
+        std::printf("\ninvalidations:");
+        for (std::size_t i = 0;
+             i < telemetry::kNumInvalidationReasons; ++i) {
+            if (invalidation_count[i] > 0) {
+                std::printf(
+                    " %s=%zu",
+                    telemetry::invalidationReasonName(
+                        static_cast<telemetry::InvalidationReason>(i)),
+                    invalidation_count[i]);
+            }
         }
     }
     std::printf("\nQoS violations: %zu/%zu | polluted slices: %zu | "

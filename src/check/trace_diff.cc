@@ -215,6 +215,22 @@ diffDecisionTraces(const std::vector<telemetry::QuantumRecord> &a,
         d.cmp("executed.qos_violated", ra.qosViolated, rb.qosViolated);
         d.cmp("executed.gmean_bips", ra.gmeanBips, rb.gmeanBips);
 
+        // The stability gate's routing. The path taken (and why the
+        // gate forced a full quantum) must replay bitwise: a trace
+        // that reuses where the reference re-searched diverged even
+        // when both landed on the same schedule.
+        d.cmp("decision.path",
+              std::string(telemetry::decisionPathName(ra.decisionPath)),
+              std::string(
+                  telemetry::decisionPathName(rb.decisionPath)));
+        d.cmp("decision.invalidation",
+              std::string(telemetry::invalidationReasonName(
+                  ra.invalidationReason)),
+              std::string(telemetry::invalidationReasonName(
+                  rb.invalidationReason)));
+        d.cmp("decision.since_full", ra.quantaSinceFull,
+              rb.quantaSinceFull);
+
         // Tenancy: who held each slot and who was evicted are part of
         // the deterministic decision sequence under fair-share
         // ordering, so replay must reproduce them bitwise too.

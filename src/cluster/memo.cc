@@ -1,0 +1,91 @@
+#include "cluster/memo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+
+std::uint64_t
+memoHashCombine(std::uint64_t h, std::uint64_t v)
+{
+    // splitmix64's finalizer over the running hash xor the value:
+    // cheap, well-mixed, and a pure function of its inputs.
+    std::uint64_t z = (h ^ v) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+memoHashString(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL; // FNV prime
+    }
+    return h;
+}
+
+std::size_t
+memoBin(double value01, std::size_t bins)
+{
+    const double v = std::min(std::max(value01, 0.0), 1.0);
+    const std::size_t b =
+        static_cast<std::size_t>(v * static_cast<double>(bins));
+    return std::min(b, bins - 1);
+}
+
+ScheduleMemoCache::ScheduleMemoCache(std::size_t buckets,
+                                     std::size_t width)
+{
+    reset(buckets, width);
+}
+
+void
+ScheduleMemoCache::reset(std::size_t buckets, std::size_t width)
+{
+    CS_ASSERT(buckets > 0, "memo cache needs at least one bucket");
+    CS_ASSERT(width > 0, "memo cache needs a point width");
+    buckets_ = buckets;
+    width_ = width;
+    keys_.assign(buckets, 0);
+    valid_.assign(buckets, 0);
+    points_.assign(buckets * width, 0);
+    stores_ = 0;
+}
+
+const std::uint16_t *
+ScheduleMemoCache::find(std::uint64_t key) const
+{
+    const std::size_t b = static_cast<std::size_t>(key % buckets_);
+    if (!valid_[b] || keys_[b] != key)
+        return nullptr;
+    return points_.data() + b * width_;
+}
+
+void
+ScheduleMemoCache::store(std::uint64_t key, const std::uint16_t *point)
+{
+    const std::size_t b = static_cast<std::size_t>(key % buckets_);
+    keys_[b] = key;
+    valid_[b] = 1;
+    std::uint16_t *dst = points_.data() + b * width_;
+    for (std::size_t i = 0; i < width_; ++i)
+        dst[i] = point[i];
+    ++stores_;
+}
+
+std::size_t
+ScheduleMemoCache::occupied() const
+{
+    std::size_t n = 0;
+    for (const unsigned char v : valid_)
+        n += v;
+    return n;
+}
+
+} // namespace cluster
+} // namespace cuttlesys

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The fleet-wide schedule memo cache.
+ *
+ * Phase-staggered replicas ride the same diurnal wave: node 7 at 14:00
+ * faces the job mix, load bin, and budget bin node 3 converged a
+ * schedule for an hour ago. The memo cache is a deterministic
+ * direct-mapped table keyed by a quantized signature of those
+ * conditions; a hit hands the looking-up node the sibling's converged
+ * batch point as an extra search seed (CuttleSysScheduler::
+ * setMemoSeed), so its DDS refines a known-good schedule instead of
+ * rediscovering it.
+ *
+ * Determinism contract (DESIGN.md §12/§13): lookups happen in the
+ * controller's parallel scans but only *read* table state committed by
+ * earlier serial merges; stores happen single-threaded in strict
+ * node-index order after the step phase. The table never allocates
+ * after construction, and nothing in this file reads a clock or an
+ * RNG (cslint's fastpath-purity rule), so cluster traces stay bitwise
+ * identical at any CS_POOL_THREADS.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_MEMO_HH
+#define CUTTLESYS_CLUSTER_MEMO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cuttlesys {
+namespace cluster {
+
+/** One splitmix64 mixing step folding @p v into @p h. */
+std::uint64_t memoHashCombine(std::uint64_t h, std::uint64_t v);
+
+/** FNV-1a over @p s (job-mix signatures hash profile *names*, never
+ *  pointers: addresses change run to run, names replay). */
+std::uint64_t memoHashString(std::string_view s);
+
+/** Quantize @p value01 (clamped to [0, 1]) into one of @p bins. */
+std::size_t memoBin(double value01, std::size_t bins);
+
+/**
+ * Direct-mapped (job-mix, load bin, budget bin) -> converged batch
+ * point table. Collisions evict (last store in node order wins); a
+ * lookup whose bucket holds a different full key is a miss, so a
+ * seed is only ever the exact quantized signature's point.
+ */
+class ScheduleMemoCache
+{
+  public:
+    /** Empty; reset() must run before use. */
+    ScheduleMemoCache() = default;
+
+    /** @p width = batch slots per node (point dimensionality). */
+    ScheduleMemoCache(std::size_t buckets, std::size_t width);
+
+    /** (Re)size and clear; all storage is allocated here, never in
+     *  find()/store(). */
+    void reset(std::size_t buckets, std::size_t width);
+
+    std::size_t buckets() const { return buckets_; }
+    std::size_t width() const { return width_; }
+
+    /**
+     * The point stored under @p key (width() entries), or nullptr.
+     * Read-only and safe to call from parallel scans as long as no
+     * store() runs concurrently (the controller's phase discipline).
+     */
+    const std::uint16_t *find(std::uint64_t key) const;
+
+    /** Store @p point (width() entries) under @p key, evicting the
+     *  bucket's previous tenant. Serial-merge only. */
+    void store(std::uint64_t key, const std::uint16_t *point);
+
+    /** Total store() calls (bucket evictions included). */
+    std::uint64_t stores() const { return stores_; }
+
+    /** Buckets currently holding a valid entry. */
+    std::size_t occupied() const;
+
+  private:
+    std::size_t buckets_ = 0;
+    std::size_t width_ = 0;
+    std::vector<std::uint64_t> keys_;      //!< full key per bucket
+    std::vector<unsigned char> valid_;     //!< bucket occupancy
+    std::vector<std::uint16_t> points_;    //!< buckets x width, flat
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_MEMO_HH

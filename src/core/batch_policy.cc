@@ -16,6 +16,69 @@ logBips(const Matrix &bips, std::size_t j, std::size_t c)
     return std::log(std::max(bips(j, c), 1e-6));
 }
 
+/**
+ * Best-gain-per-cost upgrade rounds shared by the greedy warm start
+ * and the fast-path budget re-fit: repeatedly buy the config upgrade
+ * with the best log-throughput gain per unit of (power + priced way)
+ * cost until neither budget admits another move. @p used_power /
+ * @p used_ways must be the point's current totals and are updated in
+ * place.
+ */
+void
+upgradeRounds(Point &x, const Matrix &bips, const Matrix &power,
+              double power_budget, double cache_budget,
+              double &used_power, double &used_ways)
+{
+    const std::size_t jobs = bips.rows();
+    const std::size_t configs = bips.cols();
+
+    // Ways are priced far below their power-equivalent exchange rate:
+    // the hard feasibility checks below keep both budgets respected,
+    // and when power is the binding constraint the leftover LLC ways
+    // should flow to whoever's miss curve wants them rather than sit
+    // unused.
+    const double way_rate =
+        cache_budget > 0.0 ? 0.1 * power_budget / cache_budget : 1e9;
+
+    for (std::size_t round = 0; round < jobs * configs; ++round) {
+        double best_gain = 0.0;
+        std::size_t best_job = jobs;
+        std::size_t best_cfg = 0;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const std::size_t cur = x[j];
+            for (std::size_t c = 0; c < configs; ++c) {
+                const double benefit =
+                    logBips(bips, j, c) - logBips(bips, j, cur);
+                if (benefit <= 0.0)
+                    continue;
+                const double d_power = power(j, c) - power(j, cur);
+                const double d_ways =
+                    JobConfig::fromIndex(c).cacheWays() -
+                    JobConfig::fromIndex(cur).cacheWays();
+                if (used_power + d_power > power_budget ||
+                    used_ways + d_ways > cache_budget)
+                    continue;
+                const double cost = std::max(d_power, 0.0) +
+                                    way_rate * std::max(d_ways, 0.0) +
+                                    1e-6;
+                const double gain = benefit / cost;
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_job = j;
+                    best_cfg = c;
+                }
+            }
+        }
+        if (best_job == jobs)
+            break;
+        used_power +=
+            power(best_job, best_cfg) - power(best_job, x[best_job]);
+        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
+                     JobConfig::fromIndex(x[best_job]).cacheWays();
+        x[best_job] = static_cast<std::uint16_t>(best_cfg);
+    }
+}
+
 } // namespace
 
 WayRepair
@@ -88,6 +151,86 @@ repairWayOvercommit(Point &point, const Matrix &bips,
     return repair;
 }
 
+PowerRepair
+repairPowerOvercommit(Point &point, const Matrix &bips,
+                      const Matrix &power, double power_budget,
+                      double cache_budget)
+{
+    const std::size_t jobs = bips.rows();
+    const std::size_t configs = bips.cols();
+    CS_ASSERT(point.size() == jobs, "point shape mismatch");
+
+    PowerRepair repair;
+    double used_power = 0.0;
+    double used_ways = 0.0;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        used_power += power(j, point[j]);
+        used_ways += JobConfig::fromIndex(point[j]).cacheWays();
+    }
+    const double start_power = used_power;
+
+    // Repeatedly take the downgrade that sheds watts at the least
+    // log-throughput cost; moves that would overcommit the LLC ways
+    // are never candidates.
+    while (used_power > power_budget + 1e-9) {
+        std::size_t best_job = jobs;
+        std::size_t best_cfg = 0;
+        double best_ratio = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < jobs; ++j) {
+            const std::size_t cur = point[j];
+            const double cur_ways =
+                JobConfig::fromIndex(cur).cacheWays();
+            for (std::size_t c = 0; c < configs; ++c) {
+                const double d_power = power(j, c) - power(j, cur);
+                if (d_power >= 0.0)
+                    continue;
+                const double d_ways =
+                    JobConfig::fromIndex(c).cacheWays() - cur_ways;
+                if (used_ways + d_ways > cache_budget + 1e-9)
+                    continue;
+                const double loss =
+                    logBips(bips, j, cur) - logBips(bips, j, c);
+                const double ratio = loss / -d_power;
+                if (ratio < best_ratio) {
+                    best_ratio = ratio;
+                    best_job = j;
+                    best_cfg = c;
+                }
+            }
+        }
+        if (best_job == jobs)
+            break; // every job already at its cheapest configuration
+        used_power += power(best_job, best_cfg) -
+                      power(best_job, point[best_job]);
+        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
+                     JobConfig::fromIndex(point[best_job]).cacheWays();
+        point[best_job] = static_cast<std::uint16_t>(best_cfg);
+    }
+    repair.shavedPowerW = start_power - used_power;
+    repair.usedPowerW = used_power;
+    repair.usedWays = used_ways;
+    repair.feasible = used_power <= power_budget + 1e-9;
+    return repair;
+}
+
+PowerRepair
+refitPointToBudgets(Point &point, const Matrix &bips,
+                    const Matrix &power, double power_budget,
+                    double cache_budget)
+{
+    PowerRepair repair = repairPowerOvercommit(
+        point, bips, power, power_budget, cache_budget);
+    if (!repair.feasible)
+        return repair;
+    double used_power = repair.usedPowerW;
+    double used_ways = repair.usedWays;
+    upgradeRounds(point, bips, power, power_budget, cache_budget,
+                  used_power, used_ways);
+    repair.usedPowerW = used_power;
+    repair.usedWays = used_ways;
+    return repair;
+}
+
 void
 greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
                    double power_budget, double cache_budget,
@@ -121,52 +264,8 @@ greedyKnapsackSeed(const Matrix &bips, const Matrix &power,
     seed.repaired = repair.freedWays > 0.0;
     double used_power = repair.usedPowerW;
     double used_ways = repair.usedWays;
-
-    // Ways are priced far below their power-equivalent exchange rate:
-    // the hard feasibility checks below keep both budgets respected,
-    // and when power is the binding constraint the leftover LLC ways
-    // should flow to whoever's miss curve wants them rather than sit
-    // unused.
-    const double way_rate =
-        cache_budget > 0.0 ? 0.1 * power_budget / cache_budget : 1e9;
-
-    for (std::size_t round = 0; round < jobs * configs; ++round) {
-        double best_gain = 0.0;
-        std::size_t best_job = jobs;
-        std::size_t best_cfg = 0;
-        for (std::size_t j = 0; j < jobs; ++j) {
-            const std::size_t cur = x[j];
-            for (std::size_t c = 0; c < configs; ++c) {
-                const double benefit =
-                    logBips(bips, j, c) - logBips(bips, j, cur);
-                if (benefit <= 0.0)
-                    continue;
-                const double d_power = power(j, c) - power(j, cur);
-                const double d_ways =
-                    JobConfig::fromIndex(c).cacheWays() -
-                    JobConfig::fromIndex(cur).cacheWays();
-                if (used_power + d_power > power_budget ||
-                    used_ways + d_ways > cache_budget)
-                    continue;
-                const double cost = std::max(d_power, 0.0) +
-                                    way_rate * std::max(d_ways, 0.0) +
-                                    1e-6;
-                const double gain = benefit / cost;
-                if (gain > best_gain) {
-                    best_gain = gain;
-                    best_job = j;
-                    best_cfg = c;
-                }
-            }
-        }
-        if (best_job == jobs)
-            break;
-        used_power +=
-            power(best_job, best_cfg) - power(best_job, x[best_job]);
-        used_ways += JobConfig::fromIndex(best_cfg).cacheWays() -
-                     JobConfig::fromIndex(x[best_job]).cacheWays();
-        x[best_job] = static_cast<std::uint16_t>(best_cfg);
-    }
+    upgradeRounds(x, bips, power, power_budget, cache_budget,
+                  used_power, used_ways);
     seed.usedPowerW = used_power;
     seed.usedWays = used_ways;
 }

@@ -74,6 +74,48 @@ WayRepair repairWayOvercommit(Point &point, const Matrix &bips,
                               const Matrix &power, double power_budget,
                               double cache_budget);
 
+/** Outcome of a power-overcommit repair pass. */
+struct PowerRepair
+{
+    double shavedPowerW = 0.0; //!< predicted watts the repair removed
+    double usedPowerW = 0.0;   //!< predicted power of the final point
+    double usedWays = 0.0;     //!< way usage of the final point
+    /** False when even exhaustive downgrading could not reach the
+     *  power budget (the point needs a full re-search or gating). */
+    bool feasible = true;
+};
+
+/**
+ * Repair a power-overcommitted point in place: while the summed
+ * predicted power exceeds @p power_budget, take the downgrade that
+ * sheds watts at the least log-throughput cost among moves that keep
+ * the way budget respected. This is the graded counterpart of
+ * enforcePowerCap for points that drifted slightly over budget — a
+ * config downgrade costs a few percent of one job's throughput where
+ * gating costs all of it — and the incremental fast path uses it to
+ * re-fit the cached schedule under each quantum's budget.
+ */
+PowerRepair repairPowerOvercommit(Point &point, const Matrix &bips,
+                                  const Matrix &power,
+                                  double power_budget,
+                                  double cache_budget);
+
+/**
+ * Re-fit a converged point to a (slightly) different pair of budgets
+ * in place: repair any power overcommit through the graded downgrade
+ * pass, then spend remaining headroom through the same
+ * best-gain-per-cost upgrade rounds the greedy warm start runs. The
+ * incremental fast path uses this each reuse quantum so a cached
+ * schedule tracks the power manager's budget wiggles in both
+ * directions — shaving configs when the budget dips, growing back
+ * into headroom when it recovers — exactly as a full re-search would,
+ * at a tiny fraction of its cost. Deterministic and heap-free.
+ */
+PowerRepair refitPointToBudgets(Point &point, const Matrix &bips,
+                                const Matrix &power,
+                                double power_budget,
+                                double cache_budget);
+
 /** What cap enforcement did to a decision. */
 struct CapEnforcement
 {

@@ -231,6 +231,9 @@ CuttleSysScheduler::chooseLcConfig(const SliceContext &ctx)
     const JobConfig safest(CoreConfig::widest(), kNumCacheAllocs - 1);
     telemetry::QuantumRecord *rec = traceRecord();
     auto chose = [&](telemetry::LcPath path, const JobConfig &config) {
+        // Remembered outside the trace so fast-reuse quanta can
+        // re-stamp the cached quantum's path even in untraced runs.
+        lastLcPath_ = path;
         if (rec) {
             rec->lcPath = path;
             rec->lcConfigIndex = config.index();
@@ -457,18 +460,24 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
         dds.useDeltaEval = options_.dds.useDeltaEval;
         dds.pinned = options_.dds.pinned;
 
-        // Seed the search with a greedy warm start and the previous
-        // slice's decision so DDS refines instead of rediscovering.
+        // Seed the search with a greedy warm start, the previous
+        // slice's decision, and (when the fleet installed one) a
+        // sibling's converged point from the memo cache, so DDS
+        // refines instead of rediscovering.
         const std::size_t base_seeds = options_.dds.seedPoints.size();
         const bool prev_seed =
             options_.searchWarmStart && ctx.previousDecision &&
             ctx.previousDecision->batchConfigs.size() == numBatchJobs_;
+        const bool memo_seed = memoSeed_.size() == numBatchJobs_;
+        memoSeedUsed_ = memo_seed;
         std::size_t nseeds = base_seeds;
         if (options_.searchWarmStart)
             nseeds += 1 + (prev_seed ? 1 : 0);
+        nseeds += memo_seed ? 1 : 0;
         dds.seedPoints.resize(nseeds);
         for (std::size_t i = 0; i < base_seeds; ++i)
             dds.seedPoints[i] = options_.dds.seedPoints[i];
+        std::size_t next_seed = base_seeds;
         if (options_.searchWarmStart) {
             greedyKnapsackSeed(bips, power, power_budget, cache_budget,
                                knapsackSeed_);
@@ -476,15 +485,24 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
                 rec->seedWays = knapsackSeed_.usedWays;
                 rec->seedRepaired = knapsackSeed_.repaired;
             }
-            dds.seedPoints[base_seeds] = knapsackSeed_.point;
+            dds.seedPoints[next_seed++] = knapsackSeed_.point;
             if (prev_seed) {
-                Point &prev = dds.seedPoints[base_seeds + 1];
+                Point &prev = dds.seedPoints[next_seed++];
                 prev.resize(numBatchJobs_);
                 for (std::size_t j = 0; j < numBatchJobs_; ++j) {
                     prev[j] = static_cast<std::uint16_t>(
                         ctx.previousDecision->batchConfigs[j].index());
                 }
             }
+        }
+        if (memo_seed) {
+            Point &memo = dds.seedPoints[next_seed++];
+            memo.resize(numBatchJobs_);
+            for (std::size_t j = 0; j < numBatchJobs_; ++j)
+                memo[j] = memoSeed_[j];
+            // Consumed: the seed described *this* quantum's quantized
+            // conditions; a later quantum must look the cache up again.
+            memoSeed_.clear();
         }
 
         switch (options_.searchAlgo) {
@@ -525,6 +543,18 @@ CuttleSysScheduler::chooseBatchConfigs(const SliceContext &ctx,
     for (std::size_t j = 0; j < numBatchJobs_; ++j)
         decision.batchConfigs[j] = JobConfig::fromIndex(found.best[j]);
 
+    // Snapshot the converged, repair-applied point BEFORE cap
+    // enforcement mutates the decision (gated victims lose their
+    // ways): the fast path re-derives gating under each quantum's
+    // budget, so it must restart from the un-gated schedule — else a
+    // victim gated once would keep its zeroed-way config even after
+    // the budget recovers.
+    if (options_.fastPath) {
+        cachedPoint_.resize(numBatchJobs_);
+        for (std::size_t j = 0; j < numBatchJobs_; ++j)
+            cachedPoint_[j] = found.best[j];
+    }
+
     // Cap enforcement (Section VI-B): gate cores in descending order
     // of predicted power until the budget is met; gated cores release
     // their LLC ways back to the partition.
@@ -542,13 +572,41 @@ void
 CuttleSysScheduler::decideInto(const SliceContext &ctx,
                                SliceDecision &decision)
 {
-    // Recycle the quantum arena: the slab grows to its high-water
-    // mark once, then every later reset is a pointer rewind.
-    quantumArena_.reset();
+    // The stability gate runs before ingest: it reads only the slice
+    // context and anchors recorded at the last full quantum, so the
+    // verdict is independent of this quantum's feedback fold-in.
+    telemetry::InvalidationReason why =
+        telemetry::InvalidationReason::Cold;
+    if (options_.fastPath)
+        why = fastPathGate(ctx);
+
+    // Ingest runs on BOTH paths: profiling samples and steady-state
+    // feedback keep flowing into the rating matrices during reuse, so
+    // the next full quantum reconstructs from an uninterrupted
+    // history (and load-swing invalidation of the latency matrix
+    // keeps its exact legacy semantics).
     {
         telemetry::PhaseTimer timer(trace_, telemetry::Phase::Ingest);
         ingest(ctx);
     }
+
+    if (options_.fastPath &&
+        why == telemetry::InvalidationReason::None) {
+        // The delta revalidation IS the fast quantum's search: one
+        // incumbent evaluation against the current budgets, timed
+        // under the same phase as the full path's DDS.
+        telemetry::PhaseTimer timer(trace_, telemetry::Phase::Search);
+        if (tryFastReuse(ctx, decision))
+            return;
+        why = telemetry::InvalidationReason::Revalidate;
+    }
+
+    // --- the full quantum --------------------------------------------
+    // Recycle the quantum arena: the slab grows to its high-water
+    // mark once, then every later reset is a pointer rewind. (Ingest
+    // never touches the arena, so resetting after it is equivalent to
+    // the legacy order.)
+    quantumArena_.reset();
     {
         telemetry::PhaseTimer timer(trace_,
                                     telemetry::Phase::Reconstruct);
@@ -561,6 +619,14 @@ CuttleSysScheduler::decideInto(const SliceContext &ctx,
     decision.lcConfig = chooseLcConfig(ctx);
     decision.lcCores = lcCores_;
     chooseBatchConfigs(ctx, decision.lcConfig, decision);
+
+    if (options_.fastPath) {
+        finishFullQuantum(ctx, decision, why);
+    } else {
+        // Gate disabled: leave no decision-path telemetry so traces
+        // stay bitwise identical to the always-full scheduler's.
+        lastPath_ = telemetry::DecisionPath::None;
+    }
 }
 
 SliceDecision
@@ -577,6 +643,9 @@ CuttleSysScheduler::onJobChurn(std::size_t slot)
     CS_ASSERT(slot < numBatchJobs_, "churn slot out of range");
     bipsEngine_.clearJob(1 + slot);
     powerEngine_.clearJob(1 + slot);
+    // The cached schedule described the departed tenant: the next
+    // quantum must re-search (InvalidationReason::Churn).
+    churnDirty_ = true;
 }
 
 } // namespace cuttlesys

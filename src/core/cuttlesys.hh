@@ -107,6 +107,45 @@ struct CuttleSysOptions
      */
     double powerHeadroom = 0.97;
 
+    // --- incremental decision quanta (the stability gate) -------------
+    /**
+     * Reuse the previous schedule through a revalidated fast path when
+     * the node is stable (no churn, bounded load/tail/budget drift).
+     * Disabling reproduces the always-full decision loop bitwise: no
+     * gate state is consulted and no decision-path telemetry is
+     * stamped.
+     */
+    bool fastPath = true;
+    /**
+     * Force a full quantum every K slices regardless of stability (the
+     * paper's exploration cadence): reuse can never mask drift for
+     * longer than K - 1 timeslices.
+     */
+    std::size_t fastPathRefreshQuanta = 5;
+    /** Relative drift of the observed load estimate (vs the last full
+     *  quantum's anchor) that invalidates the cached decision. */
+    double fastPathLoadDriftTol = 0.20;
+    /**
+     * Fraction of the QoS target the measured tail may reach before
+     * the gate forces a full quantum: tighter than the violation
+     * threshold so reuse ends while there is still slack to react,
+     * but loose enough that the runtime's deliberate
+     * smallest-feasible-allocation steady state (tail parked just
+     * under QoS) can still coast.
+     */
+    double fastPathTailGuard = 0.95;
+    /** Relative power-budget drift (vs the last full quantum's
+     *  budget) that invalidates the cached decision. Within the band,
+     *  revalidation still checks feasibility at the *current* budget. */
+    double fastPathBudgetTol = 0.05;
+    /**
+     * Scheduling overhead charged to a fast-reuse slice: ingest plus
+     * one delta revalidation instead of the full SGD + DDS pipeline
+     * (overheadSec), and no reconfiguration since the schedule is
+     * unchanged.
+     */
+    double fastPathOverheadSec = 0.0004;
+
     CuttleSysOptions();
 };
 
@@ -169,6 +208,39 @@ class CuttleSysScheduler : public Scheduler
 
     CuttleSysOptions &options() { return options_; }
 
+    // --- fleet memo seam (src/cluster/memo) ---------------------------
+    /**
+     * Install a sibling's converged batch point as an extra search
+     * seed for the next *full* quantum (@p n must equal the batch job
+     * count). The seed is consumed (and cleared) by that quantum,
+     * which is then stamped DecisionPath::MemoSeeded; a fast-reuse
+     * quantum discards it, since the cached decision already fits.
+     */
+    void setMemoSeed(const std::uint16_t *point, std::size_t n);
+
+    /** How the most recent decideInto() produced its decision. */
+    telemetry::DecisionPath lastDecisionPath() const
+    {
+        return lastPath_;
+    }
+
+    /**
+     * The last full quantum's converged batch point (post-repair,
+     * pre-gating), one config index per batch job; empty before the
+     * first full quantum. This is what the fleet memo cache stores.
+     */
+    const std::vector<std::uint16_t> &cachedPoint() const
+    {
+        return cachedPoint_;
+    }
+
+    /** Fast-reuse decisions served since construction. */
+    std::uint64_t fastPathHits() const { return statFastHits_; }
+    /** Full decisions (including memo-seeded) since construction. */
+    std::uint64_t fullQuanta() const { return statFullQuanta_; }
+    /** Full decisions that consumed a memo seed. */
+    std::uint64_t memoSeededQuanta() const { return statMemoSeeded_; }
+
   private:
     /** Fold profiling samples + previous measurements into engines. */
     void ingest(const SliceContext &ctx);
@@ -183,6 +255,29 @@ class CuttleSysScheduler : public Scheduler
     void chooseBatchConfigs(const SliceContext &ctx,
                             const JobConfig &lc_config,
                             SliceDecision &decision);
+
+    // --- the stability gate (core/fastpath.cc) ------------------------
+    /**
+     * Pure gate: why the cached decision may NOT be reused this
+     * quantum (InvalidationReason::None = reuse is allowed, pending
+     * revalidation). Reads only the slice context and replayable
+     * member state — no clocks, no RNG, no allocation.
+     */
+    telemetry::InvalidationReason fastPathGate(
+        const SliceContext &ctx) const;
+
+    /**
+     * Revalidate the cached decision against the current budgets via
+     * the delta evaluator and, on success, emit it into @p out (0
+     * heap allocations in steady state). False = caller must run a
+     * full quantum with reason Revalidate.
+     */
+    bool tryFastReuse(const SliceContext &ctx, SliceDecision &out);
+
+    /** Cache @p decision and stamp the full quantum's telemetry. */
+    void finishFullQuantum(const SliceContext &ctx,
+                           const SliceDecision &decision,
+                           telemetry::InvalidationReason why);
 
     SystemParams params_;
     std::size_t numBatchJobs_;
@@ -216,6 +311,28 @@ class CuttleSysScheduler : public Scheduler
     bool previousSliceViolated_ = false;
     std::size_t configIdxWide_;
     std::size_t configIdxNarrow_;
+
+    // --- stability-gate state (core/fastpath.cc) ----------------------
+    // The cached decision is the last full quantum's output; the
+    // anchors record the conditions it was made under, so the gate
+    // measures drift against the decision's own context rather than
+    // quantum-over-quantum deltas (which a slow ramp would evade).
+    SliceDecision cachedDecision_;
+    std::vector<std::uint16_t> cachedPoint_;  //!< converged indices
+    Point fastRepairScratch_; //!< cached point re-fit to the budget
+    telemetry::LcPath lastLcPath_ = telemetry::LcPath::None;
+    bool haveCached_ = false;
+    bool churnDirty_ = false;      //!< churn since the last full quantum
+    std::size_t sinceFull_ = 0;    //!< fast quanta since the last full
+    double anchorLoad_ = -1.0;     //!< load estimate at the last full
+    double cachedBudgetW_ = 0.0;   //!< power budget at the last full
+    DeltaEvaluator revalidator_;   //!< fast-path delta revalidation
+    std::vector<std::uint16_t> memoSeed_; //!< fleet seed; empty = none
+    bool memoSeedUsed_ = false;    //!< this quantum consumed the seed
+    telemetry::DecisionPath lastPath_ = telemetry::DecisionPath::None;
+    std::uint64_t statFastHits_ = 0;
+    std::uint64_t statFullQuanta_ = 0;
+    std::uint64_t statMemoSeeded_ = 0;
 };
 
 } // namespace cuttlesys

@@ -114,6 +114,7 @@ PreparedObjective::metricsFrom(double log_sum, double power_w,
     return m;
 }
 
+
 PointMetrics
 PreparedObjective::evaluate(const std::uint16_t *x, std::size_t n) const
 {

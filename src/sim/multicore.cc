@@ -42,6 +42,8 @@ MulticoreSim::MulticoreSim(SystemParams params, WorkloadMix mix,
     phaseOffsets_.resize(1 + mix_.batch.size());
     for (auto &offset : phaseOffsets_)
         offset = rng_.uniform(0.0, 2.0 * M_PI);
+    phaseDriftAmplitude_ = kPhaseDriftAmplitude;
+    phaseDriftPeriodSec_ = kPhaseDriftPeriodSec;
 
     batchInstr_.assign(mix_.batch.size(), 0.0);
     slotOccupied_.assign(mix_.batch.size(), true);
@@ -100,12 +102,22 @@ MulticoreSim::setLcLoadFraction(double fraction)
     setLcLoadQps(fraction * mix_.lc.maxQps);
 }
 
+void
+MulticoreSim::setPhaseDrift(double amplitude, double period_sec)
+{
+    CS_ASSERT(amplitude >= 0.0 && amplitude < 1.0,
+              "phase-drift amplitude out of [0, 1): ", amplitude);
+    CS_ASSERT(period_sec > 0.0, "phase-drift period must be positive");
+    phaseDriftAmplitude_ = amplitude;
+    phaseDriftPeriodSec_ = period_sec;
+}
+
 double
 MulticoreSim::phaseScale(std::size_t job_index, double t) const
 {
     CS_ASSERT(job_index < phaseOffsets_.size(), "job index out of range");
-    return 1.0 + kPhaseDriftAmplitude *
-           std::sin(2.0 * M_PI * t / kPhaseDriftPeriodSec +
+    return 1.0 + phaseDriftAmplitude_ *
+           std::sin(2.0 * M_PI * t / phaseDriftPeriodSec_ +
                     phaseOffsets_[job_index]);
 }
 

@@ -191,6 +191,20 @@ class MulticoreSim
      */
     double phaseScale(std::size_t job_index, double t) const;
 
+    /**
+     * Override the phase-drift dynamics. The defaults (kPhaseDrift*)
+     * cycle a job's memory intensity every 7 timeslices — a
+     * deliberately fast cadence that exercises online reconstruction
+     * in second-long unit tests. Scenario-scale runs (the fleet
+     * benchmarks' compressed day) should pick a period consistent
+     * with their time compression: real application phases span many
+     * decision quanta.
+     */
+    void setPhaseDrift(double amplitude, double period_sec);
+
+    double phaseDriftAmplitude() const { return phaseDriftAmplitude_; }
+    double phaseDriftPeriodSec() const { return phaseDriftPeriodSec_; }
+
     /** Measurement-noise level of a full-slice observation. */
     static constexpr double kSliceNoise = 0.01;
     /** Measurement-noise level of a 1 ms profiling sample. */
@@ -239,6 +253,8 @@ class MulticoreSim
                   PhaseTotals &totals);
 
     std::vector<double> phaseOffsets_; //!< per job (0 = LC)
+    double phaseDriftAmplitude_;       //!< kPhaseDriftAmplitude default
+    double phaseDriftPeriodSec_;       //!< kPhaseDriftPeriodSec default
     std::vector<double> batchInstr_;   //!< cumulative per batch job
     std::vector<bool> slotOccupied_;   //!< per batch slot
     double totalBatchInstr_ = 0.0;

@@ -31,6 +31,57 @@ lcPathFromName(std::string_view name)
 }
 
 const char *
+decisionPathName(DecisionPath path)
+{
+    switch (path) {
+      case DecisionPath::None:       return "none";
+      case DecisionPath::Full:       return "full";
+      case DecisionPath::FastReuse:  return "fast-reuse";
+      case DecisionPath::MemoSeeded: return "memo-seeded";
+    }
+    return "?";
+}
+
+DecisionPath
+decisionPathFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumDecisionPaths; ++i) {
+        const DecisionPath path = static_cast<DecisionPath>(i);
+        if (name == decisionPathName(path))
+            return path;
+    }
+    return DecisionPath::None;
+}
+
+const char *
+invalidationReasonName(InvalidationReason reason)
+{
+    switch (reason) {
+      case InvalidationReason::None:        return "none";
+      case InvalidationReason::Cold:        return "cold";
+      case InvalidationReason::Refresh:     return "refresh";
+      case InvalidationReason::Churn:       return "churn";
+      case InvalidationReason::LoadDrift:   return "load-drift";
+      case InvalidationReason::TailFloor:   return "tail-floor";
+      case InvalidationReason::LcSlack:     return "lc-slack";
+      case InvalidationReason::BudgetShift: return "budget-shift";
+      case InvalidationReason::Revalidate:  return "revalidate";
+    }
+    return "?";
+}
+
+InvalidationReason
+invalidationReasonFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumInvalidationReasons; ++i) {
+        const InvalidationReason r = static_cast<InvalidationReason>(i);
+        if (name == invalidationReasonName(r))
+            return r;
+    }
+    return InvalidationReason::None;
+}
+
+const char *
 phaseName(Phase phase)
 {
     switch (phase) {

@@ -50,6 +50,56 @@ const char *lcPathName(LcPath path);
 /** Inverse of lcPathName(); LcPath::None for unknown names. */
 LcPath lcPathFromName(std::string_view name);
 
+/**
+ * How the scheduler produced this quantum's decision. Full quanta run
+ * the complete ingest → reconstruct → search pipeline; fast-reuse
+ * quanta re-emit the cached schedule after the stability gate's
+ * revalidation; memo-seeded quanta are full quanta whose search was
+ * warm-started from the fleet memo cache. None means the scheduler
+ * does not implement (or has disabled) the incremental path — the
+ * JSONL sink omits the group entirely, keeping legacy traces bitwise.
+ */
+enum class DecisionPath : std::uint8_t
+{
+    None = 0,   //!< legacy scheduler, or the stability gate disabled
+    Full,       //!< complete reconstruct + search pipeline
+    FastReuse,  //!< cached decision re-emitted through the gate
+    MemoSeeded, //!< full pipeline, search seeded from the memo cache
+};
+
+inline constexpr std::size_t kNumDecisionPaths = 4;
+
+/** Printable name of a decision path ("fast-reuse", ...). */
+const char *decisionPathName(DecisionPath path);
+
+/** Inverse of decisionPathName(); None for unknown names. */
+DecisionPath decisionPathFromName(std::string_view name);
+
+/**
+ * Why the stability gate forced a full quantum (stamped on full /
+ * memo-seeded quanta; None on fast-reuse quanta, whose gate passed).
+ */
+enum class InvalidationReason : std::uint8_t
+{
+    None = 0,    //!< gate passed (or gate not consulted)
+    Cold,        //!< no cached decision yet
+    Refresh,     //!< K-quantum forced refresh cadence
+    Churn,       //!< batch slot changed occupant since the last full
+    LoadDrift,   //!< observed load moved past the drift threshold
+    TailFloor,   //!< measured tail violated (or grazed) the QoS floor
+    LcSlack,     //!< relocated LC cores saw yield-worthy slack
+    BudgetShift, //!< power budget moved past the drift threshold
+    Revalidate,  //!< cached decision failed the delta revalidation
+};
+
+inline constexpr std::size_t kNumInvalidationReasons = 9;
+
+/** Printable name of an invalidation reason ("load-drift", ...). */
+const char *invalidationReasonName(InvalidationReason reason);
+
+/** Inverse of invalidationReasonName(); None for unknown names. */
+InvalidationReason invalidationReasonFromName(std::string_view name);
+
 /** Phases timed inside one decision quantum. */
 enum class Phase : std::uint8_t
 {
@@ -126,6 +176,13 @@ struct QuantumRecord
     double executedPowerW = -1.0;
     bool qosViolated = false;
     double gmeanBips = 0.0;
+
+    // --- decision path (stability gate; None for legacy schedulers) ---
+    DecisionPath decisionPath = DecisionPath::None;
+    /** Why the gate forced a full quantum; None on fast-reuse quanta. */
+    InvalidationReason invalidationReason = InvalidationReason::None;
+    /** Quanta since the last full decision (0 on full quanta). */
+    std::size_t quantaSinceFull = 0;
 
     // --- tenancy (driver side; empty in hand-built records) -----------
     /** Account holding each batch slot this quantum; -1 = vacant. */

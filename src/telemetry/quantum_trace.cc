@@ -29,6 +29,8 @@ QuantumTrace::end()
     if (rec.qosViolated)
         ++summary_.qosViolations;
     summary_.reclaimedWays += rec.reclaimedWays;
+    ++summary_.decisionPathCount[static_cast<std::size_t>(
+        rec.decisionPath)];
     for (std::size_t p = 0; p < kNumPhases; ++p) {
         if (rec.phaseSec[p] > 0.0)
             summary_.phaseSec[p].add(rec.phaseSec[p]);
@@ -42,6 +44,18 @@ QuantumTrace::end()
         registry_.stat("enforce.victims")
             .add(static_cast<double>(rec.capVictims.size()));
         registry_.stat("enforce.reclaimed_ways").add(rec.reclaimedWays);
+    }
+    if (rec.decisionPath != DecisionPath::None) {
+        registry_
+            .counter(std::string("decision.path.") +
+                     decisionPathName(rec.decisionPath))
+            .add();
+        if (rec.invalidationReason != InvalidationReason::None) {
+            registry_
+                .counter(std::string("decision.invalidation.") +
+                         invalidationReasonName(rec.invalidationReason))
+                .add();
+        }
     }
     if (rec.searchEvaluations > 0) {
         registry_.stat("search.evaluations")

@@ -45,9 +45,27 @@ struct RunSummary
     /** Per-phase time distributions, seconds (index = Phase). */
     std::array<RunningStats, kNumPhases> phaseSec{};
 
+    /** How often each decision path fired (index = DecisionPath). */
+    std::array<std::size_t, kNumDecisionPaths> decisionPathCount{};
+
     std::size_t pathCount(LcPath path) const
     {
         return lcPathCount[static_cast<std::size_t>(path)];
+    }
+
+    std::size_t pathCount(DecisionPath path) const
+    {
+        return decisionPathCount[static_cast<std::size_t>(path)];
+    }
+
+    /** Fast-reuse quanta as a fraction of gate-stamped quanta. */
+    double fastPathHitRate() const
+    {
+        const std::size_t full = pathCount(DecisionPath::Full) +
+                                 pathCount(DecisionPath::MemoSeeded);
+        const std::size_t fast = pathCount(DecisionPath::FastReuse);
+        const std::size_t total = full + fast;
+        return total ? static_cast<double>(fast) / total : 0.0;
     }
 };
 

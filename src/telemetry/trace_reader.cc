@@ -349,6 +349,15 @@ parseRecord(std::string_view line)
         rec.gmeanBips = field(*x, "gmean_bips").asNumber();
     }
 
+    if (const JsonObject *dg = field(*top, "decision").asObject()) {
+        rec.decisionPath =
+            decisionPathFromName(field(*dg, "path").asString());
+        rec.invalidationReason = invalidationReasonFromName(
+            field(*dg, "invalidation").asString());
+        rec.quantaSinceFull = static_cast<std::size_t>(
+            field(*dg, "since_full").asNumber());
+    }
+
     if (const JsonObject *tn = field(*top, "tenancy").asObject()) {
         if (const JsonArray *a = field(*tn, "accounts").asArray()) {
             for (const JsonValue &v : *a)

@@ -241,6 +241,19 @@ JsonlSink::toJson(const QuantumRecord &rec)
     appendNumber(js, rec.gmeanBips);
     js += "}";
 
+    // The decision group is optional: legacy schedulers (and the
+    // stability gate's fastPath=false mode) leave decisionPath at
+    // None and emit no group, keeping pre-gate traces bitwise.
+    if (rec.decisionPath != DecisionPath::None) {
+        js += ",\"decision\":{\"path\":";
+        appendEscaped(js, decisionPathName(rec.decisionPath));
+        js += ",\"invalidation\":";
+        appendEscaped(js, invalidationReasonName(rec.invalidationReason));
+        js += ",\"since_full\":";
+        appendNumber(js, rec.quantaSinceFull);
+        js += "}";
+    }
+
     // Tenancy is an optional group: hand-built records (tests, older
     // tools) leave the slot maps empty and emit no group, and old
     // traces without one parse back with empty maps.

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Determinism tests for the fleet schedule memo cache.
+ *
+ * The memo table only keeps cluster traces bitwise if its pieces are
+ * pure: the hash/bin functions must be functions of their arguments
+ * alone (safe to evaluate from any pool worker), the direct-mapped
+ * table must behave identically under identical store orders, and a
+ * fleet run with the cache on must replay itself exactly. The
+ * property tests run the parallel key scan at 1024 nodes — the
+ * controller scale ceiling — against the serial loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/trace_diff.hh"
+#include "cluster/fleet.hh"
+#include "cluster/memo.hh"
+#include "common/thread_pool.hh"
+#include "power/power_model.hh"
+#include "telemetry/trace_sink.hh"
+#include "../core/core_fixture.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace {
+
+TEST(MemoHashTest, StringHashIsPureAndNameSensitive)
+{
+    EXPECT_EQ(memoHashString("masstree"), memoHashString("masstree"));
+    EXPECT_NE(memoHashString("masstree"), memoHashString("xapian"));
+    EXPECT_NE(memoHashString(""), memoHashString("a"));
+    // FNV-1a offset basis for the empty string.
+    EXPECT_EQ(memoHashString(""), 14695981039346656037ull);
+}
+
+TEST(MemoHashTest, CombineIsPureAndOrderSensitive)
+{
+    const std::uint64_t a = memoHashCombine(0, 1);
+    EXPECT_EQ(a, memoHashCombine(0, 1));
+    EXPECT_NE(memoHashCombine(a, 2), memoHashCombine(a, 3));
+    EXPECT_NE(memoHashCombine(memoHashCombine(0, 1), 2),
+              memoHashCombine(memoHashCombine(0, 2), 1));
+}
+
+TEST(MemoHashTest, BinClampsAndQuantizes)
+{
+    EXPECT_EQ(memoBin(-0.5, 16), 0u);
+    EXPECT_EQ(memoBin(0.0, 16), 0u);
+    EXPECT_EQ(memoBin(1.0, 16), 15u);
+    EXPECT_EQ(memoBin(2.0, 16), 15u);
+    EXPECT_EQ(memoBin(0.5, 2), 1u);
+    EXPECT_LT(memoBin(0.49, 2), memoBin(0.51, 2) + 1);
+    // Monotone in the value.
+    std::size_t prev = 0;
+    for (double v = 0.0; v <= 1.0; v += 0.01) {
+        const std::size_t b = memoBin(v, 16);
+        EXPECT_GE(b, prev);
+        prev = b;
+    }
+}
+
+TEST(MemoCacheTest, DirectMappedExactKeyMatch)
+{
+    ScheduleMemoCache memo(64, 4);
+    EXPECT_EQ(memo.buckets(), 64u);
+    EXPECT_EQ(memo.width(), 4u);
+    EXPECT_EQ(memo.occupied(), 0u);
+
+    const std::uint16_t point[4] = {3, 1, 4, 1};
+    memo.store(100, point);
+    const std::uint16_t *hit = memo.find(100);
+    ASSERT_NE(hit, nullptr);
+    for (std::size_t j = 0; j < 4; ++j)
+        EXPECT_EQ(hit[j], point[j]);
+
+    // Same bucket, different full key: a miss, never a false seed.
+    EXPECT_EQ(memo.find(100 + 64), nullptr);
+
+    // Collision evicts — last store in node order wins.
+    const std::uint16_t other[4] = {2, 7, 1, 8};
+    memo.store(100 + 64, other);
+    EXPECT_EQ(memo.find(100), nullptr);
+    ASSERT_NE(memo.find(100 + 64), nullptr);
+    EXPECT_EQ(memo.find(100 + 64)[1], 7);
+    EXPECT_EQ(memo.stores(), 2u);
+    EXPECT_EQ(memo.occupied(), 1u);
+}
+
+/** The per-node key recipe the controller uses, reduced to its pure
+ *  ingredients: slot-wise name hashes folded with the quantized load
+ *  and budget bins. */
+std::uint64_t
+syntheticKey(std::size_t node, const std::vector<std::string> &names)
+{
+    std::uint64_t h = 0xc5731563u;
+    for (std::size_t s = 0; s < 8; ++s) {
+        const std::string &name = names[(node + s) % names.size()];
+        h = memoHashCombine(h, memoHashString(name) | 1u);
+    }
+    const double load =
+        0.2 + 0.6 * static_cast<double>(node % 97) / 96.0;
+    const double budget =
+        0.3 + 0.5 * static_cast<double>(node % 53) / 52.0;
+    h = memoHashCombine(h, memoBin(load, 16));
+    h = memoHashCombine(h, memoBin(budget, 16));
+    return h;
+}
+
+TEST(MemoCacheTest, ParallelKeyScanMatchesSerialAt1024Nodes)
+{
+    const std::size_t kNodes = 1024;
+    const std::vector<std::string> names = {
+        "masstree", "xapian", "img-dnn", "moses", "sphinx", "shore"};
+
+    std::vector<std::uint64_t> serial(kNodes), parallel(kNodes);
+    for (std::size_t i = 0; i < kNodes; ++i)
+        serial[i] = syntheticKey(i, names);
+    // The controller's seed phase: every worker computes disjoint
+    // per-node keys from shared read-only state.
+    ThreadPool::global().parallelFor(kNodes, [&](std::size_t i) {
+        parallel[i] = syntheticKey(i, names);
+    });
+    EXPECT_EQ(parallel, serial);
+
+    // And a second scan reproduces the first bit for bit.
+    std::vector<std::uint64_t> again(kNodes);
+    ThreadPool::global().parallelFor(kNodes, [&](std::size_t i) {
+        again[i] = syntheticKey(i, names);
+    });
+    EXPECT_EQ(again, serial);
+}
+
+TEST(MemoCacheTest, NodeOrderStoresReproduceTheTableAt1024Nodes)
+{
+    // Two tables fed the identical node-order store sequence — with
+    // collisions, since 1024 keys share 128 buckets — must agree on
+    // every probe.
+    const std::vector<std::string> names = {
+        "masstree", "xapian", "img-dnn", "moses", "sphinx", "shore"};
+    ScheduleMemoCache a(128, 4), b(128, 4);
+    std::vector<std::uint64_t> keys(1024);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        keys[i] = syntheticKey(i, names);
+        const std::uint16_t point[4] = {
+            static_cast<std::uint16_t>(i % 11),
+            static_cast<std::uint16_t>(i % 7),
+            static_cast<std::uint16_t>(i % 5),
+            static_cast<std::uint16_t>(i % 3)};
+        a.store(keys[i], point);
+        b.store(keys[i], point);
+    }
+    EXPECT_EQ(a.stores(), b.stores());
+    EXPECT_EQ(a.occupied(), b.occupied());
+    for (const std::uint64_t key : keys) {
+        const std::uint16_t *pa = a.find(key);
+        const std::uint16_t *pb = b.find(key);
+        ASSERT_EQ(pa == nullptr, pb == nullptr);
+        if (pa != nullptr) {
+            for (std::size_t j = 0; j < 4; ++j)
+                EXPECT_EQ(pa[j], pb[j]);
+        }
+    }
+}
+
+FleetOptions
+memoFleetOptions()
+{
+    FleetOptions opts;
+    opts.numNodes = 4;
+    opts.batchSlotsPerNode = 8;
+    opts.seed = 7;
+    opts.scenario.daySeconds = 0.5;
+    opts.scenario.peakWindowStartSec = 0.2;
+    opts.scenario.peakWindowEndSec = 0.35;
+    opts.churn.departureProbability = 0.1;
+    opts.churn.meanArrivalsPerQuantum = 1.0;
+    return opts;
+}
+
+struct MemoFleet
+{
+    SystemParams params;
+    TrainTestSplit split = splitSpecGallery();
+    AppProfile lc = calibratedTailbench()[0];
+    double nodeMaxW = systemMaxPower(split.test, params);
+    BackfillBinPack placement;
+    FleetController fleet;
+
+    explicit MemoFleet(FleetOptions opts)
+        : fleet(params, testTrainingTables(), lc, split.test, nodeMaxW,
+                placement, opts)
+    {
+    }
+};
+
+TEST(MemoCacheTest, FleetRepeatRunReplaysBitwiseWithMemoOn)
+{
+    telemetry::MemorySink sink1, sink2;
+    FleetOptions opts = memoFleetOptions();
+    opts.sink = &sink1;
+    MemoFleet f1(opts);
+    const FleetSummary s1 = f1.fleet.run();
+    opts.sink = &sink2;
+    MemoFleet f2(opts);
+    const FleetSummary s2 = f2.fleet.run();
+
+    const check::TraceDiff diff =
+        check::diffDecisionTraces(sink1.records(), sink2.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
+    EXPECT_EQ(s1.fastPathHits, s2.fastPathHits);
+    EXPECT_EQ(s1.fullQuanta, s2.fullQuanta);
+    EXPECT_EQ(s1.memoSeededQuanta, s2.memoSeededQuanta);
+    EXPECT_EQ(s1.memoLookups, s2.memoLookups);
+    EXPECT_EQ(s1.memoHits, s2.memoHits);
+    EXPECT_EQ(s1.memoStores, s2.memoStores);
+    // The decision split covers every node-quantum exactly once.
+    EXPECT_EQ(s1.fastPathHits + s1.fullQuanta,
+              s1.quanta * s1.numNodes);
+}
+
+TEST(MemoCacheTest, UniformReplicasSeedEachOtherThroughTheMemo)
+{
+    // True replicas in lockstep: identical mixes, identical diurnal
+    // phase, no churn. Every node shares one memo signature, so after
+    // the cold quantum each forced refresh finds a sibling's point.
+    FleetOptions opts = memoFleetOptions();
+    opts.uniformMixes = true;
+    opts.staggerPhases = false;
+    opts.loadScaleMin = 1.0;
+    opts.loadScaleMax = 1.0;
+    opts.churn.departureProbability = 0.0;
+    opts.churn.meanArrivalsPerQuantum = 0.0;
+    opts.scheduler.fastPathRefreshQuanta = 2;
+    MemoFleet f(opts);
+    const FleetSummary s = f.fleet.run();
+
+    EXPECT_GT(s.memoLookups, 0u);
+    EXPECT_GT(s.memoHits, 0u);
+    EXPECT_GT(s.memoStores, 0u);
+    EXPECT_GT(s.memoSeededQuanta, 0u);
+    EXPECT_GT(f.fleet.memoCache().occupied(), 0u);
+}
+
+TEST(MemoCacheTest, DisablingFastPathDisablesTheMemo)
+{
+    FleetOptions opts = memoFleetOptions();
+    opts.scheduler.fastPath = false;
+    MemoFleet f(opts);
+    const FleetSummary s = f.fleet.run();
+    EXPECT_EQ(s.fastPathHits, 0u);
+    EXPECT_EQ(s.memoLookups, 0u);
+    EXPECT_EQ(s.memoHits, 0u);
+    EXPECT_EQ(s.memoStores, 0u);
+    EXPECT_EQ(s.memoSeededQuanta, 0u);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace cuttlesys

@@ -21,6 +21,7 @@
 #include "cf/engine.hh"
 #include "cluster/accounting.hh"
 #include "cluster/churn.hh"
+#include "cluster/memo.hh"
 #include "cluster/node.hh"
 #include "cluster/placement.hh"
 #include "cluster/power_manager.hh"
@@ -181,6 +182,10 @@ TEST(ZeroAlloc, FleetNodeSteadyStateQuantumIsHeapFree)
     // noise, so widen it — the gate measures the no-churn quantum.
     CuttleSysOptions sched;
     sched.loadChangeThreshold = 1.0;
+    // This gate covers the FULL pipeline (reconstruct + DDS) every
+    // measured quantum; the stability gate would skip most of it.
+    // The fast-reuse path has its own gate below.
+    sched.fastPath = false;
     cluster::ClusterNode node(params, testTrainingTables(),
                               makeTestMix(), 21, opts, 3, sched);
 
@@ -198,6 +203,61 @@ TEST(ZeroAlloc, FleetNodeSteadyStateQuantumIsHeapFree)
     EXPECT_EQ(allocs, 0u)
         << "steady-state fleet-node quantum touched the heap "
         << allocs << " times over " << kMeasured << " quanta";
+}
+
+TEST(ZeroAlloc, FastReuseQuantumIsHeapFree)
+{
+    // The incremental-decision gate: with the stability gate enabled,
+    // steady-state quanta alternate fast-reuse with the forced
+    // K-quantum refresh, and neither leg may touch the heap — the
+    // fast path's revalidation, decision copy-out, and cache refresh
+    // all reuse capacity sized during warm-up.
+    setInformEnabled(false);
+    const SystemParams params;
+    DriverOptions opts;
+    opts.durationSec = 10.0;
+    opts.loadPattern = LoadPattern::constant(0.45);
+    opts.powerPattern = LoadPattern::constant(0.7);
+    opts.maxPowerW = 150.0;
+    opts.keepSliceRecords = false;
+    CuttleSysOptions sched;
+    sched.loadChangeThreshold = 1.0;
+    cluster::ClusterNode node(params, testTrainingTables(),
+                              makeTestMix(), 21, opts, 3, sched);
+
+    for (int q = 0; q < 12; ++q)
+        node.step();
+    ASSERT_GT(node.scheduler().fastPathHits(), 0u)
+        << "constant-load warm-up must engage the fast path";
+
+    constexpr int kMeasured = 8;
+    const std::uint64_t hitsBefore = node.scheduler().fastPathHits();
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int q = 0; q < kMeasured; ++q)
+        node.step();
+    const std::uint64_t allocs = AllocProbe::newCount() - before;
+
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state fast-reuse quantum touched the heap "
+        << allocs << " times over " << kMeasured << " quanta";
+    EXPECT_GT(node.scheduler().fastPathHits(), hitsBefore)
+        << "the measured window must contain fast-reuse quanta";
+}
+
+TEST(ZeroAlloc, MemoCacheFindAndStoreAreHeapFree)
+{
+    // The fleet memo table allocates only in reset(); the per-quantum
+    // find/store pair is pure array arithmetic.
+    cluster::ScheduleMemoCache memo(64, 16);
+    std::uint16_t point[16] = {};
+    const std::uint64_t before = AllocProbe::newCount();
+    for (std::uint64_t k = 1; k <= 256; ++k) {
+        point[0] = static_cast<std::uint16_t>(k);
+        memo.store(k * 0x9e3779b97f4a7c15ULL, point);
+        memo.find(k * 0x9e3779b97f4a7c15ULL);
+        memo.find(k);
+    }
+    EXPECT_EQ(AllocProbe::newCount() - before, 0u);
 }
 
 /**

@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for the batch-side policy helpers: the greedy knapsack warm
- * start's feasibility invariants and the cap-enforcement pass's way
- * reclamation.
+ * start's feasibility invariants, the cap-enforcement pass's way
+ * reclamation, and the graded power repair / budget re-fit the
+ * incremental fast path uses to track budget wiggles.
  */
 
 #include <gtest/gtest.h>
@@ -245,6 +246,165 @@ TEST(CapEnforcementTest, GatesEverythingWhenBudgetBelowFloor)
     EXPECT_EQ(result.victims.size(), 2u);
     EXPECT_FALSE(d.batchActive[0]);
     EXPECT_FALSE(d.batchActive[1]);
+}
+
+double
+pointPower(const Point &x, const Matrix &power)
+{
+    double w = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j)
+        w += power(j, x[j]);
+    return w;
+}
+
+/** Power grows with the allocation (1 + ways per job). */
+Matrix
+waysPower(std::size_t jobs)
+{
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 1.0 + JobConfig::fromIndex(c).cacheWays();
+    }
+    return power;
+}
+
+TEST(PowerRepairTest, UnderBudgetPointIsUntouched)
+{
+    const std::size_t jobs = 4;
+    const Matrix bips = waysBips(jobs);
+    const Matrix power = waysPower(jobs);
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(), 1).index()));
+    const Point before = x;
+    const PowerRepair repair = repairPowerOvercommit(
+        x, bips, power, /*power_budget=*/1e6, /*cache_budget=*/16.0);
+
+    EXPECT_EQ(x, before);
+    EXPECT_TRUE(repair.feasible);
+    EXPECT_DOUBLE_EQ(repair.shavedPowerW, 0.0);
+    EXPECT_NEAR(repair.usedPowerW, pointPower(x, power), 1e-9);
+    EXPECT_NEAR(repair.usedWays, pointWays(x), 1e-9);
+}
+
+TEST(PowerRepairTest, ShedsWattsThroughGradedDowngrades)
+{
+    // Every job at the largest allocation (5 W each, 20 W total)
+    // against an 18 W budget: the graded repair must shed the ~2 W
+    // through config downgrades — no job gated, every job still
+    // holding a real allocation.
+    const std::size_t jobs = 4;
+    const Matrix bips = waysBips(jobs);
+    const Matrix power = waysPower(jobs);
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(),
+                                kNumCacheAllocs - 1).index()));
+    const double before_power = pointPower(x, power);
+    const double power_budget = 18.0;
+    const PowerRepair repair = repairPowerOvercommit(
+        x, bips, power, power_budget, /*cache_budget=*/16.0);
+
+    EXPECT_TRUE(repair.feasible);
+    EXPECT_LE(repair.usedPowerW, power_budget + 1e-9);
+    EXPECT_NEAR(repair.usedPowerW, pointPower(x, power), 1e-9);
+    EXPECT_NEAR(repair.shavedPowerW, before_power - repair.usedPowerW,
+                1e-9);
+    EXPECT_GT(repair.shavedPowerW, 0.0);
+    // Graded, not gated: every job keeps a positive predicted bips.
+    for (std::size_t j = 0; j < jobs; ++j)
+        EXPECT_GT(bips(j, x[j]), 0.0);
+}
+
+TEST(PowerRepairTest, InfeasibleWhenFloorExceedsBudget)
+{
+    // Even each job's cheapest configuration burns 1 W; a 0.5 W
+    // budget cannot be repaired by downgrading. The repair must say
+    // so instead of looping or lying.
+    const std::size_t jobs = 2;
+    const Matrix bips = waysBips(jobs);
+    const Matrix power = waysPower(jobs);
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(), 1).index()));
+    const PowerRepair repair = repairPowerOvercommit(
+        x, bips, power, /*power_budget=*/0.5, /*cache_budget=*/16.0);
+    EXPECT_FALSE(repair.feasible);
+}
+
+TEST(PowerRepairTest, NeverTradesPowerForWayOvercommit)
+{
+    // Power decreases with the allocation (cheap watts = many ways),
+    // and the way budget is exactly the point's current usage: every
+    // power downgrade would overcommit the LLC, so none is legal and
+    // the repair must report infeasibility with the point untouched.
+    const std::size_t jobs = 2;
+    const Matrix bips = waysBips(jobs);
+    Matrix power(jobs, kNumJobConfigs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        for (std::size_t c = 0; c < kNumJobConfigs; ++c)
+            power(j, c) = 10.0 - JobConfig::fromIndex(c).cacheWays();
+    }
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(), 0).index()));
+    const Point before = x;
+    const PowerRepair repair = repairPowerOvercommit(
+        x, bips, power, /*power_budget=*/1.0,
+        /*cache_budget=*/pointWays(x));
+    EXPECT_FALSE(repair.feasible);
+    EXPECT_EQ(x, before);
+}
+
+TEST(RefitTest, SpendsHeadroomWhenBudgetAllows)
+{
+    // A modest point under a generous budget: the re-fit's upgrade
+    // rounds must grow it toward the budgets instead of leaving the
+    // headroom idle (the full search would have spent it).
+    const std::size_t jobs = 4;
+    const Matrix bips = waysBips(jobs);
+    const Matrix power = waysPower(jobs);
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(), 0).index()));
+    const double before_power = pointPower(x, power);
+    const double power_budget = 16.0;
+    const double cache_budget = 12.0;
+    const PowerRepair refit = refitPointToBudgets(
+        x, bips, power, power_budget, cache_budget);
+
+    EXPECT_TRUE(refit.feasible);
+    EXPECT_GT(refit.usedPowerW, before_power);
+    EXPECT_LE(refit.usedPowerW, power_budget + 1e-9);
+    EXPECT_LE(refit.usedWays, cache_budget + 1e-9);
+    EXPECT_NEAR(refit.usedPowerW, pointPower(x, power), 1e-9);
+    EXPECT_NEAR(refit.usedWays, pointWays(x), 1e-9);
+}
+
+TEST(RefitTest, BudgetDipThenRecoveryRegrowsThePoint)
+{
+    // Shrink under a dipped budget, then re-fit the shrunken point
+    // under the recovered budget: allocations must grow back instead
+    // of staying pinned at the dip's configs.
+    const std::size_t jobs = 4;
+    const Matrix bips = waysBips(jobs);
+    const Matrix power = waysPower(jobs);
+
+    Point x(jobs, static_cast<std::uint16_t>(
+                      JobConfig(CoreConfig::widest(),
+                                kNumCacheAllocs - 1).index()));
+    const double high_budget = pointPower(x, power);
+    const PowerRepair dipped = refitPointToBudgets(
+        x, bips, power, 0.9 * high_budget, /*cache_budget=*/16.0);
+    ASSERT_TRUE(dipped.feasible);
+    EXPECT_LE(dipped.usedPowerW, 0.9 * high_budget + 1e-9);
+
+    const PowerRepair recovered = refitPointToBudgets(
+        x, bips, power, high_budget, /*cache_budget=*/16.0);
+    EXPECT_TRUE(recovered.feasible);
+    EXPECT_GT(recovered.usedPowerW, dipped.usedPowerW);
+    EXPECT_LE(recovered.usedPowerW, high_budget + 1e-9);
 }
 
 } // namespace

@@ -1,0 +1,20 @@
+// Seeded violation: RNG use inside fast-path revalidation code. Note
+// that BOTH uses below are legal elsewhere in the tree — Rng(42) is
+// explicitly seeded and rand() is not covered by wall-clock — but the
+// fast path must be a pure function of replayable state, so the
+// stricter fastpath-purity rule bans them in these files only.
+// cslint-path: src/core/fastpath.cc
+// cslint-expect: fastpath-purity
+
+#include <cstdlib>
+
+#include "common/rng.hh"
+
+bool
+revalidateWithJitter(double objective)
+{
+    Rng gen(42); // seeded, so unseeded-rng stays quiet
+    const double jitter =
+        static_cast<double>(rand()) / 2147483647.0;
+    return objective + 0.01 * (jitter + gen.uniform()) > 0.0;
+}

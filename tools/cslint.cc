@@ -389,6 +389,7 @@ class Linter
         checkFloatReduction(file);
         checkUnordered(file);
         checkWallClock(file);
+        checkFastPathPurity(file);
         checkMutableStatic(file);
         checkRawMutex(file);
     }
@@ -635,6 +636,66 @@ class Linter
                        "wall-clock/environment read outside bench+"
                        "tools (" + s + "): decisions must depend "
                        "only on seeds and configuration");
+        }
+    }
+
+    /**
+     * The incremental fast path reuses a cached schedule instead of
+     * re-searching, so its revalidation must be a pure function of
+     * replayable state: the same trace replayed on any machine, at any
+     * time, with any CS_POOL_THREADS must reproduce every reuse
+     * decision bitwise. This rule therefore bans, in the fast-path
+     * revalidation files only, every wall-clock/environment read AND
+     * all RNG use — even explicitly seeded generators, which the rest
+     * of the tree allows, would make reuse depend on draw order rather
+     * than on the decision history.
+     */
+    void
+    checkFastPathPurity(const FileInfo &file)
+    {
+        if (file.path != "src/core/fastpath.cc" &&
+            file.path != "src/cluster/memo.cc")
+            return;
+        const auto &t = file.tokens;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const std::string &s = t[i].text;
+            const bool clockNow =
+                (s == "steady_clock" || s == "system_clock" ||
+                 s == "high_resolution_clock") &&
+                tok(t, i + 1, "::") && tok(t, i + 2, "now");
+            const bool memberAccess =
+                i > 0 && (t[i - 1].text == "." ||
+                          t[i - 1].text == "->" ||
+                          (t[i - 1].text == "::" &&
+                           !(i >= 2 && t[i - 2].text == "std")));
+            const bool cTime =
+                (s == "time" || s == "clock_gettime" ||
+                 s == "gettimeofday") &&
+                tok(t, i + 1, "(") && !memberAccess;
+            const bool env = s == "getenv" && tok(t, i + 1, "(");
+            const bool cRand =
+                (s == "rand" || s == "srand" || s == "random" ||
+                 s == "drand48") &&
+                tok(t, i + 1, "(") && !memberAccess;
+            // Any use of the project RNG or <random> machinery — a
+            // declaration, member, or call — not just default-seeded
+            // construction.
+            const bool rng =
+                (s == "Rng" && !memberAccess) ||
+                (tok(t, i, "std") && tok(t, i + 1, "::") &&
+                 (tok(t, i + 2, "mt19937") ||
+                  tok(t, i + 2, "mt19937_64") ||
+                  tok(t, i + 2, "minstd_rand") ||
+                  tok(t, i + 2, "random_device") ||
+                  tok(t, i + 2, "uniform_int_distribution") ||
+                  tok(t, i + 2, "uniform_real_distribution") ||
+                  tok(t, i + 2, "normal_distribution") ||
+                  tok(t, i + 2, "bernoulli_distribution")));
+            if (clockNow || cTime || env || cRand || rng)
+                report(file, t[i].line, "fastpath-purity",
+                       "wall-clock/RNG read in fast-path revalidation "
+                       "code (" + s + "): schedule reuse must be a "
+                       "pure function of replayable state");
         }
     }
 
