@@ -35,12 +35,20 @@
  * quantum, the fast-path hit rate, and the QoS / batch-Ginstr deltas
  * the reuse costs.
  *
+ * A dag data-gravity section runs the real fleet with churned DAG
+ * workflow arrivals twice — locality-aware placement vs the
+ * locality-blind baseline (transfers modeled and charged in both) —
+ * and reports completed workflows, gmean makespan, artifact hit
+ * rate, transfer volume, and the QoS / Ginstr deltas.
+ *
  * --smoke: exit nonzero unless the N=256 combined controller-phase
  * speedup is >= 3x, the width digests agree, the steady state is
- * allocation-free, and the incremental A/B shows >= 2.5x mean
+ * allocation-free, the incremental A/B shows >= 2.5x mean
  * decision-time reduction at a >= 50% hit rate with QoS within 1
- * point and batch Ginstr within 1%. Emits BENCH_fleet.json next to
- * stdout.
+ * point and batch Ginstr within 1%, and the dag A/B completes
+ * workflows with locality-aware gmean makespan strictly below blind
+ * at unchanged QoS and batch throughput. Emits BENCH_fleet.json
+ * next to stdout.
  */
 
 #include <algorithm>
@@ -970,6 +978,88 @@ measureIncremental(const RealStack &stack, std::size_t n,
     return pt;
 }
 
+/**
+ * One arm of the data-gravity A/B: the same calm diurnal fleet, but
+ * churn also submits DAG workflows whose tasks publish and consume
+ * content-addressed artifacts through the per-node caches. The two
+ * arms differ only in dag.localityAware — whether placement sees the
+ * per-node resident-byte deltas — so any makespan gap is the gravity
+ * term's doing.
+ */
+FleetSummary
+runDagArm(const RealStack &stack, std::size_t n, std::size_t quanta,
+          bool aware)
+{
+    // The fleet_sim --dag configuration: churn hot enough that slots
+    // free every few quanta (workflow tasks need somewhere to land)
+    // and a scarce rack budget so placement quality matters. Only
+    // the scheduler iteration caps differ, to keep the A/B benchable
+    // at 256 nodes.
+    FleetOptions opts;
+    opts.numNodes = n;
+    opts.seed = 2026;
+    opts.scenario.daySeconds =
+        static_cast<double>(quanta) * stack.params.timesliceSec;
+    opts.scenario.peakWindowStartSec =
+        0.375 * opts.scenario.daySeconds;
+    opts.scenario.peakWindowEndSec = 0.75 * opts.scenario.daySeconds;
+    opts.rackBudgetFrac = 0.55;
+    opts.churn.departureProbability = 0.06;
+    opts.churn.meanArrivalsPerQuantum =
+        0.5 * static_cast<double>(n);
+    opts.scheduler.sgdBips.maxIterations = 40;
+    opts.scheduler.sgdPower.maxIterations = 40;
+    opts.scheduler.sgdLatency.maxIterations = 40;
+    opts.scheduler.dds.maxIterations = 25;
+    opts.scheduler.dds.threads = 4;
+    opts.dag.enable = true;
+    opts.dag.maxLiveWorkflows = 2 * n;
+    opts.dag.localityAware = aware;
+    opts.churn.meanWorkflowArrivalsPerQuantum =
+        0.05 * static_cast<double>(n);
+
+    BackfillBinPack backfill;
+    FleetController fleet(stack.params, stack.tables, stack.lc,
+                          stack.split.test, stack.nodeMaxW, backfill,
+                          opts);
+    fleet.run();
+    return fleet.summary();
+}
+
+/** One fleet size's data-gravity A/B outcome. */
+struct DagPoint
+{
+    std::size_t nodes = 0;
+    std::size_t quanta = 0;
+    FleetSummary aware;
+    FleetSummary blind;
+    double makespanRelDelta = 0.0; //!< aware/blind - 1 (neg = win)
+    double qosDeltaPts = 0.0;      //!< aware - blind, pct points
+    double ginstrRelDelta = 0.0;   //!< aware/blind - 1, signed
+};
+
+DagPoint
+measureDag(const RealStack &stack, std::size_t n, std::size_t quanta)
+{
+    DagPoint pt;
+    pt.nodes = n;
+    pt.quanta = quanta;
+    pt.blind = runDagArm(stack, n, quanta, /*aware=*/false);
+    pt.aware = runDagArm(stack, n, quanta, /*aware=*/true);
+    pt.makespanRelDelta = pt.blind.gmeanMakespanQuanta > 0.0
+        ? pt.aware.gmeanMakespanQuanta /
+                pt.blind.gmeanMakespanQuanta - 1.0
+        : 0.0;
+    pt.qosDeltaPts =
+        pt.aware.clusterQosPct - pt.blind.clusterQosPct;
+    pt.ginstrRelDelta = pt.blind.totalBatchInstructions > 0.0
+        ? pt.aware.totalBatchInstructions /
+                pt.blind.totalBatchInstructions -
+            1.0
+        : 0.0;
+    return pt;
+}
+
 } // namespace
 
 int
@@ -1013,6 +1103,18 @@ main(int argc, char **argv)
         ab.push_back(measureIncremental(stack, 1024, 12));
     }
     const AbPoint &gatePt = ab.front();
+
+    // The DAG data-gravity A/B: locality-aware vs blind placement on
+    // the same diurnal fleet with churned workflow arrivals.
+    std::vector<DagPoint> dagPts;
+    if (smoke) {
+        dagPts.push_back(measureDag(stack, 16, 40));
+    } else {
+        dagPts.push_back(measureDag(stack, 16, 40));
+        dagPts.push_back(measureDag(stack, 64, 40));
+        dagPts.push_back(measureDag(stack, 256, 24));
+    }
+    const DagPoint &dagGate = dagPts.front();
 
     std::printf("%8s %14s %14s %9s\n", "nodes", "serial us/q",
                 "parallel us/q", "speedup");
@@ -1095,6 +1197,26 @@ main(int argc, char **argv)
                 gatePt.on.summary.fullQuanta +
                     gatePt.on.summary.fastPathHits);
 
+    std::printf("\n-----------------------------------------------"
+                "-------------------------\n");
+    std::printf("dag workflows — data gravity: locality-aware vs "
+                "locality-blind placement\n");
+    std::printf("%7s %6s %5s %10s %10s %8s %6s %9s %9s %9s\n",
+                "nodes", "quanta", "wfs", "gmean(aw)", "gmean(bl)",
+                "dMk%", "hit%", "xfer(MB)", "dQoS(pt)", "dGinstr%");
+    for (const DagPoint &pt : dagPts) {
+        std::printf("%7zu %6zu %5zu %10.2f %10.2f %+7.2f %5.1f%% "
+                    "%9.2f %+9.2f %+9.3f\n",
+                    pt.nodes, pt.quanta,
+                    pt.aware.workflowsCompleted,
+                    pt.aware.gmeanMakespanQuanta,
+                    pt.blind.gmeanMakespanQuanta,
+                    100.0 * pt.makespanRelDelta,
+                    100.0 * pt.aware.artifactHitRate,
+                    pt.aware.transferBytes / (1024.0 * 1024.0),
+                    pt.qosDeltaPts, 100.0 * pt.ginstrRelDelta);
+    }
+
     if (FILE *f = std::fopen("BENCH_fleet.json", "w")) {
         std::fprintf(f,
                      "{\n"
@@ -1143,6 +1265,36 @@ main(int argc, char **argv)
                 pt.on.summary.totalBatchInstructions,
                 pt.off.summary.totalBatchInstructions,
                 pt.ginstrRelDelta, i + 1 < ab.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n"
+                     "  \"dag\": [\n");
+        for (std::size_t i = 0; i < dagPts.size(); ++i) {
+            const DagPoint &pt = dagPts[i];
+            std::fprintf(
+                f,
+                "    {\"nodes\": %zu, \"quanta\": %zu, "
+                "\"workflows_completed_aware\": %zu, "
+                "\"workflows_completed_blind\": %zu, "
+                "\"gmean_makespan_aware\": %.4f, "
+                "\"gmean_makespan_blind\": %.4f, "
+                "\"makespan_rel_delta\": %.5f, "
+                "\"artifact_hit_rate_aware\": %.4f, "
+                "\"artifact_hit_rate_blind\": %.4f, "
+                "\"transfer_bytes_aware\": %.0f, "
+                "\"transfer_bytes_blind\": %.0f, "
+                "\"qos_delta_pts\": %.3f, "
+                "\"ginstr_aware\": %.1f, \"ginstr_blind\": %.1f, "
+                "\"ginstr_rel_delta\": %.5f}%s\n",
+                pt.nodes, pt.quanta, pt.aware.workflowsCompleted,
+                pt.blind.workflowsCompleted,
+                pt.aware.gmeanMakespanQuanta,
+                pt.blind.gmeanMakespanQuanta, pt.makespanRelDelta,
+                pt.aware.artifactHitRate, pt.blind.artifactHitRate,
+                pt.aware.transferBytes, pt.blind.transferBytes,
+                pt.qosDeltaPts, pt.aware.totalBatchInstructions,
+                pt.blind.totalBatchInstructions, pt.ginstrRelDelta,
+                i + 1 < dagPts.size() ? "," : "");
         }
         std::fprintf(f,
                      "  ],\n"
@@ -1201,6 +1353,35 @@ main(int argc, char **argv)
             std::printf("SMOKE FAIL: batch Ginstr drifts %.2f%% vs "
                         "always-full (tol 1%%)\n",
                         100.0 * gatePt.ginstrRelDelta);
+            ok = false;
+        }
+        if (dagGate.aware.workflowsCompleted == 0) {
+            std::printf("SMOKE FAIL: dag A/B completed no "
+                        "workflows\n");
+            ok = false;
+        }
+        if (dagGate.makespanRelDelta >= 0.0) {
+            std::printf("SMOKE FAIL: locality-aware gmean makespan "
+                        "%.2f not below blind %.2f (dag win "
+                        "missing)\n",
+                        dagGate.aware.gmeanMakespanQuanta,
+                        dagGate.blind.gmeanMakespanQuanta);
+            ok = false;
+        }
+        if (std::fabs(dagGate.qosDeltaPts) > 1.0) {
+            std::printf("SMOKE FAIL: dag QoS delta %+.2f points vs "
+                        "blind (|tol| 1.0)\n", dagGate.qosDeltaPts);
+            ok = false;
+        }
+        // Asymmetric tolerance: the gravity term finishing MORE
+        // batch work than blind placement is the win mechanism
+        // (fewer slot-quanta burned on transfers); the regression
+        // the gate guards against is locality bias starving batch
+        // throughput.
+        if (dagGate.ginstrRelDelta < -0.01) {
+            std::printf("SMOKE FAIL: dag batch Ginstr %.2f%% below "
+                        "blind placement (tol -1%%)\n",
+                        100.0 * dagGate.ginstrRelDelta);
             ok = false;
         }
         if (ok)

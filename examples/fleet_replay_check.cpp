@@ -29,7 +29,16 @@
  * committed PR 8 reference (tests/data/fleet_ref_pr8.jsonl) at
  * several pool widths.
  *
- * Usage: fleet_replay_check [day_seconds] [runs] [--tenants]
+ * With --dag the churn stream also submits DAG workflows (frontier
+ * release, artifact caches, data-gravity placement), so the gate
+ * proves the whole workflow path — completion order, artifact
+ * eviction, the parallel residency scan, and placeBest commits —
+ * replays bitwise; the dag trace group (per-slot workflow/task ids,
+ * cache hit/miss counts, completions) is part of the structural
+ * diff. CI holds the --dag --no-fastpath trace against the committed
+ * reference (tests/data/fleet_ref_dag.jsonl) at several pool widths.
+ *
+ * Usage: fleet_replay_check [day_seconds] [runs] [--tenants] [--dag]
  *                           [--no-fastpath] [--nodes N]
  *                           [--save P] [--against P]
  */
@@ -62,7 +71,7 @@ std::vector<telemetry::QuantumRecord>
 runOnce(const SystemParams &params, const TrainingTables &tables,
         const AppProfile &lc, const std::vector<AppProfile> &pool,
         double node_max_w, double day_seconds, std::size_t nodes,
-        bool tenants, bool no_fastpath)
+        bool tenants, bool dag, bool no_fastpath)
 {
     telemetry::MemorySink sink;
     FleetOptions opts;
@@ -104,6 +113,16 @@ runOnce(const SystemParams &params, const TrainingTables &tables,
         };
     }
 
+    if (dag) {
+        // The fleet_sim --dag configuration at gate scale: workflows
+        // heavy enough that completions, artifact evictions, and the
+        // data-gravity commit path all appear in the trace.
+        opts.dag.enable = true;
+        opts.dag.maxLiveWorkflows = 2 * nodes;
+        opts.churn.meanWorkflowArrivalsPerQuantum =
+            0.05 * static_cast<double>(nodes);
+    }
+
     BackfillBinPack backfill;
     FleetController fleet(params, tables, lc, pool, node_max_w,
                           backfill, opts);
@@ -130,6 +149,7 @@ main(int argc, char **argv)
     std::size_t runs = 2;
     std::size_t nodes = 256;
     bool tenants = false;
+    bool dag = false;
     bool no_fastpath = false;
     std::string savePath, againstPath;
     std::size_t positional = 0;
@@ -144,6 +164,8 @@ main(int argc, char **argv)
             nodes = static_cast<std::size_t>(std::atoi(argv[++a]));
         } else if (std::strcmp(argv[a], "--tenants") == 0) {
             tenants = true;
+        } else if (std::strcmp(argv[a], "--dag") == 0) {
+            dag = true;
         } else if (std::strcmp(argv[a], "--no-fastpath") == 0) {
             no_fastpath = true;
         } else if (positional == 0) {
@@ -156,7 +178,7 @@ main(int argc, char **argv)
     }
     CS_ASSERT(day_seconds > 0.0 && runs >= 2 && nodes > 0,
               "usage: fleet_replay_check [day_seconds>0] [runs>=2] "
-              "[--tenants] [--no-fastpath] [--nodes N>0] "
+              "[--tenants] [--dag] [--no-fastpath] [--nodes N>0] "
               "[--save PATH] [--against PATH]");
 
     const SystemParams params;
@@ -174,10 +196,12 @@ main(int argc, char **argv)
 
     const std::vector<telemetry::QuantumRecord> reference =
         runOnce(params, tables, lc, split.test, node_max_w,
-                day_seconds, nodes, tenants, no_fastpath);
-    std::printf("run 1/%zu: %zu records (%zu nodes%s%s, reference)\n",
+                day_seconds, nodes, tenants, dag, no_fastpath);
+    std::printf("run 1/%zu: %zu records (%zu nodes%s%s%s, "
+                "reference)\n",
                 runs, reference.size(), nodes,
                 tenants ? ", 3 tenants" : "",
+                dag ? ", dag workflows" : "",
                 no_fastpath ? ", fastpath off" : "");
     if (!savePath.empty()) {
         dumpTrace(savePath, reference);
@@ -189,7 +213,7 @@ main(int argc, char **argv)
     for (std::size_t r = 2; r <= runs; ++r) {
         const std::vector<telemetry::QuantumRecord> replay =
             runOnce(params, tables, lc, split.test, node_max_w,
-                    day_seconds, nodes, tenants, no_fastpath);
+                    day_seconds, nodes, tenants, dag, no_fastpath);
         const check::TraceDiff diff =
             check::diffDecisionTraces(reference, replay);
         std::printf("run %zu/%zu: %zu records, %zu fields compared, "

@@ -15,9 +15,12 @@
  * fleet_trace.jsonl (one record per node per quantum, stamped with
  * the node index) for CI to archive.
  *
- * Usage: fleet_sim [--tenants] [--no-fastpath] [nodes] [day_seconds]
+ * Usage: fleet_sim [--tenants] [--dag] [--no-fastpath]
+ *                  [nodes] [day_seconds]
  *   nodes        fleet size (default 256; scales to 1024)
- *   day_seconds  compressed-day length (default 0.5 = 5 quanta)
+ *   day_seconds  compressed-day length (default 0.5 = 5 quanta;
+ *                --dag defaults to 4.0 = 40 quanta so multi-task
+ *                workflows actually run to completion)
  *
  * --no-fastpath disables the stability gate AND the fleet memo cache:
  * every quantum runs the full reconstruct + DDS pipeline, which
@@ -33,6 +36,16 @@
  * per-tenant accounting table shows what each account got; the
  * fair-share run's trace lands in fleet_tenants_trace.jsonl (feed it
  * to tools/sacct for the offline accounting view).
+ *
+ * With --dag the churn stream also submits DAG workflows (chains,
+ * diamonds, map/reduce fans from dag::standardWorkflowTemplates())
+ * whose tasks produce and consume content-addressed artifacts, and
+ * the comparison becomes a data-gravity A/B: the same fleet and the
+ * same workflow stream run once with locality-blind backfill (every
+ * non-resident input pays its modeled transfer quanta) and once with
+ * the locality-aware scorer terms steering tasks toward the nodes
+ * already holding their inputs. The headline is the gmean workflow
+ * makespan; the aware run's trace lands in fleet_dag_trace.jsonl.
  *
  * The per-node table is printed only for small fleets; at 256+ nodes
  * the cluster line and the policy comparison carry the story.
@@ -129,6 +142,22 @@ printAccounts(const FleetSummary &s)
 }
 
 void
+printDag(const FleetSummary &s)
+{
+    std::printf("dag: workflows %zu submitted / %zu completed "
+                "(%zu dropped)  tasks %zu\n"
+                "     artifacts %zu hit / %zu miss (%.1f%% hit, "
+                "%zu evictions)  transfer %.1f MB\n"
+                "     makespan gmean %.2f quanta (mean %.2f)\n",
+                s.workflowsSubmitted, s.workflowsCompleted,
+                s.workflowsDropped, s.dagTasksCompleted,
+                s.artifactHits, s.artifactMisses,
+                100.0 * s.artifactHitRate, s.artifactEvictions,
+                s.transferBytes / (1024.0 * 1024.0),
+                s.gmeanMakespanQuanta, s.meanMakespanQuanta);
+}
+
+void
 printSummary(const FleetSummary &s)
 {
     std::printf("placement=%s power=%s rack=%.0fW\n",
@@ -176,6 +205,7 @@ main(int argc, char **argv)
 {
     setInformEnabled(false);
     bool tenantsMode = false;
+    bool dagMode = false;
     std::size_t nodes = 256;
     double day_seconds = 0.5;
     std::size_t positional = 0;
@@ -183,6 +213,8 @@ main(int argc, char **argv)
         const std::string_view arg = argv[i];
         if (arg == "--tenants") {
             tenantsMode = true;
+        } else if (arg == "--dag") {
+            dagMode = true;
         } else if (arg == "--no-fastpath") {
             gNoFastPath = true;
         } else if (positional == 0) {
@@ -193,8 +225,13 @@ main(int argc, char **argv)
             ++positional;
         }
     }
+    // Multi-task workflows need tens of quanta to finish; give the
+    // dag A/B a longer default day than the placement comparison.
+    if (dagMode && positional < 2)
+        day_seconds = 4.0;
     CS_ASSERT(nodes > 0 && day_seconds > 0.0,
-              "usage: fleet_sim [--tenants] [nodes>0] [day_seconds>0]");
+              "usage: fleet_sim [--tenants] [--dag] [nodes>0] "
+              "[day_seconds>0]");
 
     const SystemParams params;
     const TrainTestSplit split = splitSpecGallery();
@@ -282,6 +319,70 @@ main(int argc, char **argv)
         sink.flush();
         std::printf("\nwrote fleet_tenants_trace.jsonl (%zu records, "
                     "fair-share run)\n", sink.written());
+        return 0;
+    }
+
+    if (dagMode) {
+        // Same fleet, same workflow stream, two placement brains:
+        // locality-blind backfill (transfers modeled and charged but
+        // invisible to placement) against the locality-aware scorer
+        // terms. The win mechanism: a blind placement of a successor
+        // away from its producer pays ceil(missing/bandwidth) extra
+        // quanta of effective service time, holding its slot longer
+        // and finishing the workflow later.
+        BackfillBinPack backfill;
+        const auto makeDagOptions =
+            [&](telemetry::TraceSink *sink, bool aware) {
+                FleetOptions o =
+                    makeFleetOptions(nodes, day_seconds, sink);
+                o.dag.enable = true;
+                o.dag.maxLiveWorkflows = 2 * nodes;
+                o.dag.localityAware = aware;
+                o.churn.meanWorkflowArrivalsPerQuantum =
+                    0.05 * static_cast<double>(nodes);
+                return o;
+            };
+        FleetController blindFleet(params, tables, lc, split.test,
+                                   node_max_w, backfill,
+                                   makeDagOptions(nullptr, false));
+        const FleetSummary blind = blindFleet.run();
+        std::printf("--- locality-blind placement (baseline) ---\n");
+        printSummary(blind);
+        printDag(blind);
+
+        telemetry::JsonlSink sink("fleet_dag_trace.jsonl");
+        FleetController awareFleet(params, tables, lc, split.test,
+                                   node_max_w, backfill,
+                                   makeDagOptions(&sink, true));
+        const FleetSummary aware = awareFleet.run();
+        std::printf("\n--- data-gravity placement (aware) ---\n");
+        printSummary(aware);
+        printDag(aware);
+
+        const double makespanDelta = blind.gmeanMakespanQuanta > 0.0
+            ? 100.0 *
+                (aware.gmeanMakespanQuanta /
+                     blind.gmeanMakespanQuanta -
+                 1.0)
+            : 0.0;
+        const double transferDelta = blind.transferBytes > 0.0
+            ? 100.0 * (aware.transferBytes / blind.transferBytes -
+                       1.0)
+            : 0.0;
+        const double ginstrDelta = blind.totalBatchInstructions > 0.0
+            ? 100.0 *
+                (aware.totalBatchInstructions /
+                     blind.totalBatchInstructions -
+                 1.0)
+            : 0.0;
+        std::printf("\ngmean makespan vs blind: %+.2f%%  transfer "
+                    "bytes: %+.2f%%  batch Ginstr: %+.2f%%  QoS "
+                    "%.1f%% -> %.1f%%\n",
+                    makespanDelta, transferDelta, ginstrDelta,
+                    blind.clusterQosPct, aware.clusterQosPct);
+        sink.flush();
+        std::printf("\nwrote fleet_dag_trace.jsonl (%zu records, "
+                    "aware run)\n", sink.written());
         return 0;
     }
 

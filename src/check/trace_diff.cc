@@ -45,6 +45,19 @@ formatVector(const std::vector<std::int32_t> &v)
 }
 
 std::string
+formatVector(const std::vector<std::int64_t> &v)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(v[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::string
 formatVector(const std::vector<double> &v)
 {
     std::string out = "[";
@@ -103,6 +116,12 @@ class RecordDiffer
 
     void cmp(const char *field, const std::vector<std::int32_t> &a,
              const std::vector<std::int32_t> &b)
+    {
+        note(field, a == b, formatVector(a), formatVector(b));
+    }
+
+    void cmp(const char *field, const std::vector<std::int64_t> &a,
+             const std::vector<std::int64_t> &b)
     {
         note(field, a == b, formatVector(a), formatVector(b));
     }
@@ -239,6 +258,23 @@ diffDecisionTraces(const std::vector<telemetry::QuantumRecord> &a,
         d.cmp("tenancy.cores", ra.slotCores, rb.slotCores);
         d.cmp("tenancy.preempted", ra.preemptedAccounts,
               rb.preemptedAccounts);
+
+        // DAG workflows: which instance/task held each slot, the
+        // artifact-cache outcome of this quantum's placements, and
+        // which workflows finished — all products of the deterministic
+        // completion/release/placement order, so replay must match.
+        d.cmp("dag.workflows", ra.slotWorkflows, rb.slotWorkflows);
+        d.cmp("dag.tasks", ra.slotDagTasks, rb.slotDagTasks);
+        d.cmp("dag.hits", ra.artifactHits, rb.artifactHits);
+        d.cmp("dag.misses", ra.artifactMisses, rb.artifactMisses);
+        d.cmp("dag.transfer_bytes", ra.transferBytes,
+              rb.transferBytes);
+        d.cmp("dag.done", ra.completedWorkflows,
+              rb.completedWorkflows);
+        d.cmp("dag.done_accounts", ra.completedAccounts,
+              rb.completedAccounts);
+        d.cmp("dag.done_makespans", ra.completedMakespans,
+              rb.completedMakespans);
     }
     return diff;
 }

@@ -1,5 +1,6 @@
 #include "cluster/accounting.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -97,6 +98,28 @@ AccountingLedger::gmeanBips(std::size_t account) const
     const AccountUsage &u = usage_[account];
     return u.slotQuanta > 0
         ? std::exp(u.logBipsSum / static_cast<double>(u.slotQuanta))
+        : 0.0;
+}
+
+void
+AccountingLedger::recordWorkflowDone(std::size_t account,
+                                     std::uint64_t makespan_quanta)
+{
+    AccountUsage &u = usage_[account];
+    const double m = static_cast<double>(
+        std::max<std::uint64_t>(makespan_quanta, 1));
+    ++u.workflowsCompleted;
+    u.makespanQuantaSum += m;
+    u.logMakespanSum += std::log(m);
+}
+
+double
+AccountingLedger::gmeanMakespan(std::size_t account) const
+{
+    const AccountUsage &u = usage_[account];
+    return u.workflowsCompleted > 0
+        ? std::exp(u.logMakespanSum /
+                   static_cast<double>(u.workflowsCompleted))
         : 0.0;
 }
 

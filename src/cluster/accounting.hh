@@ -103,6 +103,11 @@ struct AccountUsage
     std::size_t dropsQueued = 0; //!< evicted from the pending queue
     std::size_t preemptionsWon = 0;
     std::size_t preemptionsSuffered = 0;
+
+    // DAG workflow outcomes (submit -> final-task departure).
+    std::size_t workflowsCompleted = 0;
+    double makespanQuantaSum = 0.0;
+    double logMakespanSum = 0.0; //!< drives the per-account gmean
 };
 
 /**
@@ -206,6 +211,10 @@ class AccountingLedger
         ++usage_[winner].preemptionsWon;
         ++usage_[victim].preemptionsSuffered;
     }
+    /** A workflow of @p account finished with the given submit->done
+     *  makespan (>= 1 quantum; floored for the log accumulation). */
+    void recordWorkflowDone(std::size_t account,
+                            std::uint64_t makespan_quanta);
 
     const AccountUsage &usage(std::size_t account) const
     {
@@ -217,6 +226,9 @@ class AccountingLedger
 
     /** Per-account gmean BIPS over charged slot-quanta (0 if none). */
     double gmeanBips(std::size_t account) const;
+
+    /** Per-account gmean workflow makespan in quanta (0 if none). */
+    double gmeanMakespan(std::size_t account) const;
 
   private:
     std::vector<TenantSpec> tenants_;

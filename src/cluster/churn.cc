@@ -15,6 +15,10 @@ constexpr std::uint64_t kArrivalStream = 0x2;
 constexpr std::uint64_t kJobPickStream = 0x3;
 constexpr std::uint64_t kJobSeedStream = 0x4;
 constexpr std::uint64_t kAccountStream = 0x5;
+constexpr std::uint64_t kWorkflowArrivalStream = 0x6;
+constexpr std::uint64_t kWorkflowPickStream = 0x7;
+constexpr std::uint64_t kWorkflowSeedStream = 0x8;
+constexpr std::uint64_t kWorkflowAccountStream = 0x9;
 
 /** SplitMix64 finalizer: full-avalanche 64-bit mix. */
 constexpr std::uint64_t
@@ -54,6 +58,14 @@ JobChurnEngine::JobChurnEngine(std::vector<AppProfile> pool,
         static_cast<std::size_t>(std::floor(per_node));
     fracArrivalsPerNode_ =
         per_node - static_cast<double>(wholeArrivalsPerNode_);
+    CS_ASSERT(opts_.meanWorkflowArrivalsPerQuantum >= 0.0,
+              "negative workflow arrival rate");
+    const double wf_per_node = opts_.meanWorkflowArrivalsPerQuantum /
+        static_cast<double>(numNodes_);
+    wholeWorkflowsPerNode_ =
+        static_cast<std::size_t>(std::floor(wf_per_node));
+    fracWorkflowsPerNode_ =
+        wf_per_node - static_cast<double>(wholeWorkflowsPerNode_);
 
     if (!opts_.tenantArrivalWeights.empty()) {
         double total = 0.0;
@@ -135,12 +147,8 @@ JobChurnEngine::drawJobAt(std::uint64_t quantum, std::size_t node,
 }
 
 std::size_t
-JobChurnEngine::accountAt(std::uint64_t quantum, std::size_t node,
-                          std::size_t k) const
+JobChurnEngine::accountFromUnit(double u) const
 {
-    if (cumTenantWeights_.empty())
-        return 0;
-    const double u = toUnit(draw(kAccountStream, quantum, node, k));
     // Linear scan: tenant counts are single digits, and the branch-
     // free simplicity keeps the draw pure and order-independent.
     for (std::size_t a = 0; a + 1 < cumTenantWeights_.size(); ++a) {
@@ -148,6 +156,52 @@ JobChurnEngine::accountAt(std::uint64_t quantum, std::size_t node,
             return a;
     }
     return cumTenantWeights_.size() - 1;
+}
+
+std::size_t
+JobChurnEngine::accountAt(std::uint64_t quantum, std::size_t node,
+                          std::size_t k) const
+{
+    if (cumTenantWeights_.empty())
+        return 0;
+    return accountFromUnit(
+        toUnit(draw(kAccountStream, quantum, node, k)));
+}
+
+std::size_t
+JobChurnEngine::workflowArrivalsAt(std::uint64_t quantum,
+                                   std::size_t node) const
+{
+    // Same exact-mean split as arrivalsAt, on the workflow stream.
+    const bool extra =
+        toUnit(draw(kWorkflowArrivalStream, quantum, node, 0)) <
+        fracWorkflowsPerNode_;
+    return wholeWorkflowsPerNode_ + (extra ? 1 : 0);
+}
+
+std::uint64_t
+JobChurnEngine::workflowPickAt(std::uint64_t quantum,
+                               std::size_t node, std::size_t k) const
+{
+    return draw(kWorkflowPickStream, quantum, node, k);
+}
+
+std::uint64_t
+JobChurnEngine::workflowSeedAt(std::uint64_t quantum,
+                               std::size_t node, std::size_t k) const
+{
+    return draw(kWorkflowSeedStream, quantum, node, k);
+}
+
+std::size_t
+JobChurnEngine::workflowAccountAt(std::uint64_t quantum,
+                                  std::size_t node,
+                                  std::size_t k) const
+{
+    if (cumTenantWeights_.empty())
+        return 0;
+    return accountFromUnit(
+        toUnit(draw(kWorkflowAccountStream, quantum, node, k)));
 }
 
 } // namespace cluster

@@ -56,6 +56,15 @@ struct ChurnOptions
      *  draws its account from this distribution on its own pure
      *  counter-hash substream. Empty = every arrival is account 0. */
     std::vector<double> tenantArrivalWeights;
+
+    /**
+     * Mean cluster-wide *workflow* (DAG) arrivals per quantum, split
+     * and Bernoulli-rounded exactly like meanArrivalsPerQuantum but
+     * on its own stream family — so enabling DAG churn consumes no
+     * draw any legacy stream ever sees, and a rate of 0 (the default)
+     * reproduces the pre-DAG fleet bitwise.
+     */
+    double meanWorkflowArrivalsPerQuantum = 0.0;
 };
 
 /** The seeded, counter-based churn event source. */
@@ -115,9 +124,43 @@ class JobChurnEngine
     static constexpr std::uint64_t kResidentQuantum =
         ~static_cast<std::uint64_t>(0);
 
+    // --- DAG workflow arrivals (streams 6..9; replay-safe: the ---
+    // --- legacy stream bases are untouched and a zero rate draws ---
+    // --- nothing) ------------------------------------------------
+
+    /** Workflow arrivals submitted through @p node's share of the
+     *  cluster workflow stream at @p quantum. Pure in its
+     *  coordinates; 0 whenever the rate is 0. */
+    std::size_t workflowArrivalsAt(std::uint64_t quantum,
+                                   std::size_t node) const;
+
+    /** Template-pick hash of the k-th workflow arriving at
+     *  (@p quantum, @p node); the caller reduces it modulo its
+     *  template count. Pure in its coordinates. */
+    std::uint64_t workflowPickAt(std::uint64_t quantum,
+                                 std::size_t node,
+                                 std::size_t k) const;
+
+    /** Instance seed of the k-th workflow arriving at (@p quantum,
+     *  @p node): the pure hash every per-task draw (duration jitter,
+     *  profile pick) folds from. */
+    std::uint64_t workflowSeedAt(std::uint64_t quantum,
+                                 std::size_t node,
+                                 std::size_t k) const;
+
+    /** Account identity of the k-th workflow arriving at (@p quantum,
+     *  @p node), on its own stream so DAG tenancy never perturbs the
+     *  per-job account draws. */
+    std::size_t workflowAccountAt(std::uint64_t quantum,
+                                  std::size_t node,
+                                  std::size_t k) const;
+
   private:
-    /** Stream tags 0 (unused) .. 5; see churn.cc. */
-    static constexpr std::size_t kNumStreams = 6;
+    /** Stream tags 0 (unused) .. 9; see churn.cc. */
+    static constexpr std::size_t kNumStreams = 10;
+
+    /** Weighted account pick shared by accountAt/workflowAccountAt. */
+    std::size_t accountFromUnit(double u) const;
 
     std::uint64_t draw(std::uint64_t stream, std::uint64_t quantum,
                        std::uint64_t node, std::uint64_t slot) const;
@@ -128,6 +171,8 @@ class JobChurnEngine
     ChurnOptions opts_;
     std::size_t wholeArrivalsPerNode_;
     double fracArrivalsPerNode_;
+    std::size_t wholeWorkflowsPerNode_ = 0;
+    double fracWorkflowsPerNode_ = 0.0;
     /** Cumulative normalized tenant weights; empty = single account. */
     std::vector<double> cumTenantWeights_;
     /** Per-stream hash bases, avalanched once at construction. */

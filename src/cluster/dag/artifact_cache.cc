@@ -1,0 +1,101 @@
+#include "cluster/dag/artifact_cache.hh"
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace dag {
+
+ArtifactCache::ArtifactCache(double capacity_bytes,
+                             std::size_t max_entries)
+{
+    reset(capacity_bytes, max_entries);
+}
+
+void
+ArtifactCache::reset(double capacity_bytes, std::size_t max_entries)
+{
+    CS_ASSERT(capacity_bytes >= 0.0, "negative cache capacity");
+    CS_ASSERT(max_entries > 0, "artifact cache needs entries");
+    capacityBytes_ = capacity_bytes;
+    residentBytes_ = 0.0;
+    entries_.clear();
+    entries_.reserve(max_entries);
+    evictions_ = 0;
+    insertions_ = 0;
+}
+
+std::size_t
+ArtifactCache::indexOf(ArtifactId id) const
+{
+    // Linear scan: the cache holds tens of entries, ids are unique,
+    // and the flat array keeps find() trivially safe for the parallel
+    // locality probes (no rehash, no pointer chasing).
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].id == id)
+            return i;
+    }
+    return entries_.size();
+}
+
+const ArtifactEntry *
+ArtifactCache::find(ArtifactId id) const
+{
+    const std::size_t i = indexOf(id);
+    return i < entries_.size() ? &entries_[i] : nullptr;
+}
+
+void
+ArtifactCache::evictOne()
+{
+    CS_ASSERT(!entries_.empty(), "evicting from an empty cache");
+    // Strict total order (lastTouch asc, id asc): the victim choice
+    // is independent of the array's insertion history, so it replays
+    // bitwise no matter how the entries got here.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const ArtifactEntry &e = entries_[i];
+        const ArtifactEntry &v = entries_[victim];
+        if (e.lastTouch < v.lastTouch ||
+            (e.lastTouch == v.lastTouch && e.id < v.id))
+            victim = i;
+    }
+    residentBytes_ -= entries_[victim].bytes;
+    entries_[victim] = entries_.back();
+    entries_.pop_back();
+    ++evictions_;
+}
+
+bool
+ArtifactCache::insert(ArtifactId id, double bytes,
+                      std::uint64_t quantum)
+{
+    CS_ASSERT(id != 0, "inserting the invalid artifact id");
+    CS_ASSERT(bytes >= 0.0, "negative artifact size");
+    const std::size_t i = indexOf(id);
+    if (i < entries_.size()) {
+        entries_[i].lastTouch = quantum;
+        return true;
+    }
+    if (bytes > capacityBytes_)
+        return false; // larger than the whole cache: never resident
+    while (entries_.size() >= entries_.capacity() ||
+           residentBytes_ + bytes > capacityBytes_)
+        evictOne();
+    entries_.push_back(ArtifactEntry{id, bytes, quantum});
+    residentBytes_ += bytes;
+    ++insertions_;
+    return true;
+}
+
+void
+ArtifactCache::touch(ArtifactId id, std::uint64_t quantum)
+{
+    const std::size_t i = indexOf(id);
+    if (i < entries_.size())
+        entries_[i].lastTouch = quantum;
+}
+
+} // namespace dag
+} // namespace cluster
+} // namespace cuttlesys

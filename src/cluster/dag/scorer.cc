@@ -1,0 +1,103 @@
+#include "cluster/dag/scorer.hh"
+
+#include "common/logging.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace dag {
+
+const char *
+scoreTermKindName(ScoreTermKind kind)
+{
+    switch (kind) {
+    case ScoreTermKind::Headroom:
+        return "headroom";
+    case ScoreTermKind::QosPenalty:
+        return "qos-penalty";
+    case ScoreTermKind::OfferedLoad:
+        return "offered-load";
+    case ScoreTermKind::SpreadBonus:
+        return "spread-bonus";
+    case ScoreTermKind::Locality:
+        return "locality";
+    case ScoreTermKind::TransferPenalty:
+        return "transfer-penalty";
+    }
+    return "unknown";
+}
+
+PlacementScorer::PlacementScorer(std::string name,
+                                 std::vector<ScoreTerm> terms)
+    : name_(std::move(name)), terms_(std::move(terms))
+{
+    nodeTerms_.reserve(terms_.size());
+    for (const ScoreTerm &t : terms_) {
+        switch (t.kind) {
+        case ScoreTermKind::Locality:
+            localityW_ += t.weight;
+            break;
+        case ScoreTermKind::TransferPenalty:
+            transferW_ += t.weight;
+            break;
+        default:
+            nodeTerms_.push_back(t);
+            break;
+        }
+    }
+}
+
+double
+PlacementScorer::score(const NodeView &view) const
+{
+    // Left-to-right accumulation in pipeline order: with the standard
+    // term list this is bit-for-bit the legacy backfill formula (see
+    // the file header's IEEE argument).
+    double s = 0.0;
+    for (const ScoreTerm &t : nodeTerms_) {
+        double v = 0.0;
+        switch (t.kind) {
+        case ScoreTermKind::Headroom:
+            v = view.headroomW;
+            break;
+        case ScoreTermKind::QosPenalty:
+            v = view.qosViolated ? 1.0 : 0.0;
+            break;
+        case ScoreTermKind::OfferedLoad:
+            v = view.loadFraction;
+            break;
+        case ScoreTermKind::SpreadBonus:
+            v = static_cast<double>(view.freeSlots);
+            break;
+        case ScoreTermKind::Locality:
+        case ScoreTermKind::TransferPenalty:
+            CS_ASSERT(false, "job term in the node-term list");
+            break;
+        }
+        s += t.weight * v;
+    }
+    return s;
+}
+
+PlacementScorer
+PlacementScorer::backfill(double qos_penalty_w, double load_penalty_w,
+                          double spread_bonus_w,
+                          double locality_bonus_w,
+                          double transfer_penalty_w)
+{
+    std::vector<ScoreTerm> terms = {
+        {ScoreTermKind::Headroom, 1.0},
+        {ScoreTermKind::QosPenalty, -qos_penalty_w},
+        {ScoreTermKind::OfferedLoad, -load_penalty_w},
+        {ScoreTermKind::SpreadBonus, spread_bonus_w},
+    };
+    if (locality_bonus_w != 0.0 || transfer_penalty_w != 0.0) {
+        terms.push_back({ScoreTermKind::Locality, locality_bonus_w});
+        terms.push_back(
+            {ScoreTermKind::TransferPenalty, transfer_penalty_w});
+    }
+    return PlacementScorer("backfill", std::move(terms));
+}
+
+} // namespace dag
+} // namespace cluster
+} // namespace cuttlesys

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The composable placement-scoring pipeline.
+ *
+ * BackfillBinPack's monolithic formula is refactored here into a
+ * pipeline of weighted terms evaluated left-to-right:
+ *
+ *   score(view) = sum_k weight_k * value_k(view)
+ *
+ * Node terms read the NodeView (headroom, QoS penalty, offered load,
+ * spread bonus); job terms (locality, transfer penalty) read the
+ * job's input-residency fraction and enter the score as a per-node
+ * *delta* the fleet hands PlacementRound::placeBest — they cannot
+ * live in score() because PlacementRound caches one job-agnostic
+ * score per node per quantum. The remaining factor the issue's
+ * pipeline names — fair-share priority — composes as the *ordering*
+ * term: it decides which job commits next (fleet.cc's priority sort),
+ * not which node wins, so it never appears in a node score.
+ *
+ * Bitwise compatibility contract: with the standard four node terms
+ * in their canonical order (headroom, qos-penalty, offered-load,
+ * spread-bonus) the left-to-right accumulation reproduces the legacy
+ * BackfillBinPack formula exactly. Subtraction is addition of the
+ * negated operand in IEEE arithmetic, (-w) * x == -(w * x) is a sign
+ * flip, and a skipped conditional penalty differs from adding
+ * (-w) * 0.0 only in the sign of a zero the running sum cannot carry
+ * — so every double matches bit for bit, a property the placement
+ * tests assert to 1024 nodes.
+ *
+ * Nothing here reads a clock or an RNG (cslint's fastpath-purity rule
+ * gates this file): scores are pure functions of the view, which is
+ * what lets the round scan nodes in parallel at any pool width.
+ */
+
+#ifndef CUTTLESYS_CLUSTER_DAG_SCORER_HH
+#define CUTTLESYS_CLUSTER_DAG_SCORER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hh"
+
+namespace cuttlesys {
+namespace cluster {
+namespace dag {
+
+/** What one pipeline term measures. */
+enum class ScoreTermKind : std::uint8_t
+{
+    // Node terms: value_k is a pure function of the NodeView.
+    Headroom = 0,  //!< budgetW - measuredPowerW, watts
+    QosPenalty,    //!< 1 when the node violated QoS last quantum
+    OfferedLoad,   //!< the node's offered LC load fraction
+    SpreadBonus,   //!< vacant batch slots
+    // Job terms: value_k is a function of the placing job's
+    // input-residency fraction on the node (localityDelta()).
+    Locality,        //!< resident input-byte fraction, [0, 1]
+    TransferPenalty, //!< non-resident input-byte fraction, [0, 1]
+};
+
+inline constexpr std::size_t kNumScoreTermKinds = 6;
+
+/** Printable name of a term kind ("headroom", "locality", ...). */
+const char *scoreTermKindName(ScoreTermKind kind);
+
+/** One weighted term of the pipeline. */
+struct ScoreTerm
+{
+    ScoreTermKind kind = ScoreTermKind::Headroom;
+    /** Watts of headroom at the term's reference point; negative
+     *  weights are penalties. */
+    double weight = 0.0;
+};
+
+/**
+ * An ordered list of weighted terms (see file header).
+ *
+ * score() folds the node terms; localityDelta() folds the job terms.
+ * Construction splits the two families once so the per-node hot path
+ * never branches on kind.
+ */
+class PlacementScorer
+{
+  public:
+    PlacementScorer() = default;
+
+    PlacementScorer(std::string name, std::vector<ScoreTerm> terms);
+
+    const std::string &name() const { return name_; }
+    const std::vector<ScoreTerm> &terms() const { return terms_; }
+
+    /** Left-to-right weighted sum of the node terms over @p view. */
+    double score(const NodeView &view) const;
+
+    /** True when the pipeline carries any job (locality) term. */
+    bool hasLocalityTerms() const
+    {
+        return localityW_ != 0.0 || transferW_ != 0.0;
+    }
+
+    /**
+     * The job-side score delta for a node holding @p resident_frac of
+     * the placing job's input bytes: the Locality term credits the
+     * resident fraction, the TransferPenalty term charges the
+     * missing fraction. Constant (0 at weight 0) for input-free jobs.
+     */
+    double localityDelta(double resident_frac) const
+    {
+        return localityW_ * resident_frac -
+            transferW_ * (1.0 - resident_frac);
+    }
+
+    /**
+     * The standard backfill pipeline: headroom at weight 1, the three
+     * legacy knobs, and — when nonzero — the locality pair. The node
+     * terms reproduce the legacy BackfillBinPack formula bitwise.
+     */
+    static PlacementScorer backfill(double qos_penalty_w,
+                                    double load_penalty_w,
+                                    double spread_bonus_w,
+                                    double locality_bonus_w = 0.0,
+                                    double transfer_penalty_w = 0.0);
+
+  private:
+    std::string name_ = "empty";
+    std::vector<ScoreTerm> terms_;
+    /** Node terms in pipeline order (job terms filtered out). */
+    std::vector<ScoreTerm> nodeTerms_;
+    double localityW_ = 0.0;
+    double transferW_ = 0.0;
+};
+
+} // namespace dag
+} // namespace cluster
+} // namespace cuttlesys
+
+#endif // CUTTLESYS_CLUSTER_DAG_SCORER_HH

@@ -15,6 +15,10 @@ namespace {
 /** Nodes per parallel block (see ThreadPool::parallelChunks). */
 constexpr std::size_t kNodeChunk = 32;
 
+/** Salts for a dag task's profile draws (taskDrawHash domains). */
+constexpr std::uint64_t kDagPickSalt = 0x11;
+constexpr std::uint64_t kDagSeedSalt = 0x12;
+
 /** Tenant arrival weights flow into the churn engine's account draw
  *  (overriding any manually configured weights, so the two layers can
  *  never disagree about who account k is). */
@@ -175,17 +179,51 @@ FleetController::FleetController(const SystemParams &params,
     loads_.assign(n, 0.0);
     loadExtra_.assign(n, 0.0);
 
+    // DAG workflows: the engine, the per-node artifact caches, and
+    // the locality term pipeline exist only when enabled — disabled,
+    // no dag state is built and no workflow draw is ever consumed, so
+    // the legacy fleet replays bitwise.
+    if (opts_.dag.enable) {
+        std::vector<dag::WorkflowSpec> templates =
+            opts_.dag.templates.empty()
+            ? dag::standardWorkflowTemplates()
+            : opts_.dag.templates;
+        engine_ = std::make_unique<dag::WorkflowEngine>(
+            std::move(templates), opts_.dag.maxLiveWorkflows);
+        caches_.resize(n);
+        for (dag::ArtifactCache &c : caches_) {
+            c.reset(opts_.dag.cacheCapacityBytes,
+                    opts_.dag.cacheMaxEntries);
+        }
+        dagPool_ = batch_pool;
+        CS_ASSERT(!dagPool_.empty(), "dag tasks need a profile pool");
+        localityTerms_ = dag::PlacementScorer(
+            "locality",
+            {{dag::ScoreTermKind::Locality, opts_.dag.localityBonusW},
+             {dag::ScoreTermKind::TransferPenalty,
+              opts_.dag.transferPenaltyW}});
+        dagReady_.reserve(engine_->capacityTasks());
+    }
+
     // The queue is bounded by the admission cap plus one quantum's
     // worth of re-queued preemption victims (unplaced entries compact
-    // in place, so the backing vector never grows past that bound);
+    // in place, so the backing vector never grows past that bound),
+    // plus — with dag on — the engine's released-task capacity (dag
+    // entries ride the queue but never count against the churn cap);
     // reserving it up front makes the steady-state quantum provably
     // realloc-free. The priority scratch follows the same bound.
     const std::size_t queueBound = opts_.churn.maxPendingJobs +
-        opts_.maxPreemptionsPerQuantum + 1;
+        opts_.maxPreemptionsPerQuantum + 1 +
+        (dagEnabled() ? engine_->capacityTasks() : 0);
     pending_.reserve(queueBound);
     prio_.reserve(queueBound);
     order_.reserve(queueBound);
     placed_.reserve(queueBound);
+    if (dagEnabled()) {
+        dagDeltas_.assign(queueBound * n, 0.0);
+        dagRow_.reserve(queueBound);
+        dagRowPending_.reserve(queueBound);
+    }
 
     // Pre-grow every worker's staging arena to the worst case — one
     // worker staging the entire fleet's departure scan. Which worker
@@ -224,7 +262,13 @@ FleetController::applyChurn()
                     arena.alloc<std::uint16_t>(slots);
                 std::uint16_t count = 0;
                 for (std::size_t s = 0; s < slots; ++s) {
+                    // DAG tasks depart at their deterministic
+                    // deadline, never through the Bernoulli stream;
+                    // skipping the draw is bitwise-safe because every
+                    // draw is pure in its coordinates, not a shared
+                    // sequence position.
                     if (node.slotPlannedOccupied(s) &&
+                        runningAt(i, s).wfSlot < 0 &&
                         churn_.departs(quantum_, i, s)) {
                         stage[count++] =
                             static_cast<std::uint16_t>(s);
@@ -234,8 +278,17 @@ FleetController::applyChurn()
                 churnPlan_[i].numDeparts = count;
                 churnPlan_[i].arrivals = static_cast<std::uint16_t>(
                     churn_.arrivalsAt(quantum_, i));
+                churnPlan_[i].workflowArrivals = dagEnabled()
+                    ? static_cast<std::uint16_t>(
+                          churn_.workflowArrivalsAt(quantum_, i))
+                    : 0;
             }
         });
+
+    // DAG completions commit before this quantum's churn events: a
+    // departing task publishes its artifact and may release
+    // successors, which enter the queue ahead of today's arrivals.
+    applyDagCompletions();
 
     // Serial merge in node-index order: queue the departure events
     // and admit arrivals — each stamped with its deterministic
@@ -263,13 +316,119 @@ FleetController::applyChurn()
                 static_cast<std::size_t>(job.account));
             admitArrival(std::move(job));
         }
+        for (std::uint16_t k = 0; k < plan.workflowArrivals; ++k) {
+            const std::size_t tpl = static_cast<std::size_t>(
+                churn_.workflowPickAt(quantum_, i, k) %
+                engine_->numTemplates());
+            const std::uint64_t seed =
+                churn_.workflowSeedAt(quantum_, i, k);
+            const std::size_t account =
+                churn_.workflowAccountAt(quantum_, i, k);
+            dagReady_.clear();
+            const std::size_t wf = engine_->admit(
+                tpl, seed, static_cast<std::int32_t>(account),
+                quantum_, nextWorkflowId_, dagReady_);
+            if (wf == dag::WorkflowEngine::kNoWorkflow) {
+                ++workflowsDropped_;
+                continue;
+            }
+            ++nextWorkflowId_;
+            ++workflowsSubmitted_;
+            enqueueReadyTasks(quantum_);
+        }
     }
+}
+
+void
+FleetController::applyDagCompletions()
+{
+    if (!dagEnabled())
+        return;
+
+    // Strict (node, slot) order: artifact publication, successor
+    // release, and every sequence number a released task draws replay
+    // bitwise. The Bernoulli departure scan above skipped dag slots,
+    // so no slot departs twice.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (std::size_t s = 0; s < slotsPerNode_; ++s) {
+            RunningJob &r = runningAt(i, s);
+            if (r.wfSlot < 0 || r.dagDeadline != quantum_)
+                continue;
+            const std::size_t wf =
+                static_cast<std::size_t>(r.wfSlot);
+            const std::size_t task =
+                static_cast<std::size_t>(r.wfTask);
+
+            JobEvent event;
+            event.slot = s;
+            event.departure = true;
+            event.workflowId =
+                static_cast<std::int64_t>(engine_->workflowId(wf));
+            event.workflowTask = static_cast<std::int32_t>(task);
+
+            // Publish the output on the node that ran the task, then
+            // let the engine release whatever the artifact unblocks.
+            const dag::ArtifactRef out = engine_->taskOutput(wf, task);
+            caches_[i].insert(out.id, out.bytes, quantum_);
+            dagReady_.clear();
+            if (engine_->onTaskCompleted(wf, task, quantum_,
+                                         dagReady_, dagDone_)) {
+                event.workflowMakespan = static_cast<std::int64_t>(
+                    dagDone_.makespanQuanta);
+                ledger_.recordWorkflowDone(
+                    static_cast<std::size_t>(dagDone_.account),
+                    dagDone_.makespanQuanta);
+            }
+            nodes_[i]->queueJobEvent(event);
+            r.account = -1;
+            r.wfSlot = -1;
+            r.wfTask = -1;
+            r.dagDeadline = 0;
+            ++departures_;
+            enqueueReadyTasks(quantum_);
+        }
+    }
+}
+
+void
+FleetController::enqueueReadyTasks(std::uint64_t submit_quantum)
+{
+    for (const dag::WorkflowEngine::ReadyTask &t : dagReady_) {
+        const std::size_t wf = t.workflow;
+        const std::size_t task = t.task;
+        PendingJob job;
+        // The task's compute identity is a pure counter hash of the
+        // instance seed: a profile pick from the churn pool plus a
+        // per-task residual seed, so re-running the same workflow
+        // instance replays the same jobs.
+        job.profile = dagPool_[engine_->taskDrawHash(
+                                   wf, task, kDagPickSalt) %
+                               dagPool_.size()];
+        job.profile.seed ^=
+            engine_->taskDrawHash(wf, task, kDagSeedSalt);
+        job.submitSlice = submit_quantum;
+        job.account = engine_->account(wf);
+        job.qosClass = ledger_.qosClass(
+            static_cast<std::size_t>(job.account));
+        job.arrivalSeq = nextArrivalSeq_++;
+        job.wfSlot = static_cast<std::int32_t>(wf);
+        job.wfTask = static_cast<std::int16_t>(task);
+        ledger_.recordArrival(static_cast<std::size_t>(job.account));
+        ++arrivals_;
+        ++pendingDag_;
+        pending_.push_back(std::move(job));
+    }
+    dagReady_.clear();
 }
 
 void
 FleetController::admitArrival(PendingJob &&job)
 {
-    if (pending_.size() < opts_.churn.maxPendingJobs) {
+    // DAG entries occupy reserved queue capacity: they neither count
+    // against the churn admission cap nor compete in the drop-lowest
+    // scan (a released task must eventually run or its workflow
+    // deadlocks). With dag off, pendingDag_ is always 0.
+    if (pending_.size() - pendingDag_ < opts_.churn.maxPendingJobs) {
         ++arrivals_;
         pending_.push_back(std::move(job));
         return;
@@ -291,21 +450,23 @@ FleetController::admitArrival(PendingJob &&job)
     const double newPrio = ledger_.priority(
         static_cast<std::size_t>(job.account), job.qosClass,
         job.submitSlice, quantum_);
-    std::size_t worst = 0;
+    std::size_t worst = pending_.size();
     double worstPrio = 0.0;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         const PendingJob &p = pending_[i];
+        if (p.wfSlot >= 0)
+            continue; // dag entries are not displacement candidates
         const double prio = ledger_.priority(
             static_cast<std::size_t>(p.account), p.qosClass,
             p.submitSlice, quantum_);
-        if (i == 0 || prio < worstPrio ||
+        if (worst == pending_.size() || prio < worstPrio ||
             (prio == worstPrio &&
              p.arrivalSeq > pending_[worst].arrivalSeq)) {
             worst = i;
             worstPrio = prio;
         }
     }
-    if (worstPrio < newPrio) {
+    if (worst != pending_.size() && worstPrio < newPrio) {
         ledger_.recordDropQueued(
             static_cast<std::size_t>(pending_[worst].account));
         ++droppedQueued_;
@@ -370,14 +531,87 @@ FleetController::placePending()
     // else: admission never reorders pending_, so the identity order
     // is the submission (FIFO) order.
 
+    // Data-gravity deltas: for every pending dag task with inputs,
+    // score each node's resident input-byte fraction into a delta row
+    // (block-parallel — cache find() is read-only and every row/node
+    // write is disjoint). Locality-blind runs skip the fill entirely:
+    // transfers are still charged at commit, placement just cannot
+    // see them coming.
+    const std::size_t numNodes = views_.size();
+    if (dagEnabled() && pendingDag_ > 0) {
+        dagRow_.assign(n, -1);
+        dagRowPending_.clear();
+        if (opts_.dag.localityAware) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const PendingJob &p = pending_[i];
+                if (p.wfSlot < 0 ||
+                    engine_->taskInputs(
+                               static_cast<std::size_t>(p.wfSlot),
+                               static_cast<std::size_t>(p.wfTask))
+                        .empty())
+                    continue;
+                dagRow_[i] = static_cast<std::int32_t>(
+                    dagRowPending_.size());
+                dagRowPending_.push_back(
+                    static_cast<std::uint32_t>(i));
+            }
+        }
+        if (!dagRowPending_.empty()) {
+            ThreadPool::global().parallelChunks(
+                numNodes, kNodeChunk,
+                [this, numNodes](std::size_t, std::size_t begin,
+                                 std::size_t end) {
+                    for (std::size_t node = begin; node < end;
+                         ++node) {
+                        const dag::ArtifactCache &cache =
+                            caches_[node];
+                        for (std::size_t row = 0;
+                             row < dagRowPending_.size(); ++row) {
+                            const PendingJob &p =
+                                pending_[dagRowPending_[row]];
+                            const std::vector<dag::ArtifactRef>
+                                &inputs = engine_->taskInputs(
+                                    static_cast<std::size_t>(
+                                        p.wfSlot),
+                                    static_cast<std::size_t>(
+                                        p.wfTask));
+                            double total = 0.0;
+                            double resident = 0.0;
+                            for (const dag::ArtifactRef &in :
+                                 inputs) {
+                                total += in.bytes;
+                                if (cache.find(in.id))
+                                    resident += in.bytes;
+                            }
+                            const double frac = total > 0.0
+                                ? resident / total
+                                : 1.0;
+                            dagDeltas_[row * numNodes + node] =
+                                localityTerms_.localityDelta(frac);
+                        }
+                    }
+                });
+        }
+    }
+
     for (std::size_t oi = 0; oi < n; ++oi) {
         const std::size_t idx = order_[oi];
         // By value: a preemption below re-queues its victim into
         // pending_, which may move the storage under a reference.
         const PendingJob job = pending_[idx];
-        const std::size_t target = round_.placeOne();
+        const bool dagJob = job.wfSlot >= 0;
+        const std::int32_t row =
+            dagJob && idx < dagRow_.size() ? dagRow_[idx] : -1;
+        const std::size_t target = row >= 0
+            ? round_.placeBest(
+                  &dagDeltas_[static_cast<std::size_t>(row) *
+                              numNodes])
+            : round_.placeOne();
         if (target == PlacementPolicy::kNoNode) {
-            if (opts_.fairShareOrdering &&
+            // DAG tasks never initiate preemption: their class comes
+            // from their tenant, but releasing compute by evicting
+            // compute would thrash the frontier. They wait.
+            if (opts_.fairShareOrdering && !dagJob &&
                 tryPreempt(job, prio_[idx])) {
                 placed_[idx] = 1;
             } else if (!opts_.fairShareOrdering) {
@@ -394,6 +628,49 @@ FleetController::placePending()
         event.slot = slot;
         event.arrival = job.profile;
         event.account = job.account;
+        std::uint64_t transferQuanta = 0;
+        if (dagJob) {
+            const std::size_t wf =
+                static_cast<std::size_t>(job.wfSlot);
+            const std::size_t task =
+                static_cast<std::size_t>(job.wfTask);
+            // Settle the inputs on the chosen node: resident ones are
+            // touched (they are being read), missing ones start their
+            // modeled transfer — inserted now, paid for in extra
+            // effective service quanta below.
+            dag::ArtifactCache &cache = caches_[target];
+            std::uint32_t hits = 0;
+            std::uint32_t misses = 0;
+            double missingBytes = 0.0;
+            for (const dag::ArtifactRef &in :
+                 engine_->taskInputs(wf, task)) {
+                if (cache.find(in.id)) {
+                    ++hits;
+                    cache.touch(in.id, quantum_);
+                } else {
+                    ++misses;
+                    missingBytes += in.bytes;
+                    cache.insert(in.id, in.bytes, quantum_);
+                }
+            }
+            if (missingBytes > 0.0 &&
+                opts_.dag.transferBytesPerQuantum > 0.0) {
+                transferQuanta = static_cast<std::uint64_t>(
+                    std::ceil(missingBytes /
+                              opts_.dag.transferBytesPerQuantum));
+            }
+            event.workflowId =
+                static_cast<std::int64_t>(engine_->workflowId(wf));
+            event.workflowTask = static_cast<std::int32_t>(task);
+            event.artifactHits = hits;
+            event.artifactMisses = misses;
+            event.transferBytes = missingBytes;
+            artifactHits_ += hits;
+            artifactMisses_ += misses;
+            transferBytes_ += missingBytes;
+            engine_->onTaskPlaced(wf, task);
+            --pendingDag_;
+        }
         node.queueJobEvent(event);
         RunningJob &r = runningAt(target, slot);
         r.profile = job.profile;
@@ -401,6 +678,15 @@ FleetController::placePending()
         r.arrivalSeq = job.arrivalSeq;
         r.account = job.account;
         r.qosClass = job.qosClass;
+        r.wfSlot = job.wfSlot;
+        r.wfTask = job.wfTask;
+        r.dagDeadline = dagJob
+            ? quantum_ +
+                engine_->durationQuanta(
+                    static_cast<std::size_t>(job.wfSlot),
+                    static_cast<std::size_t>(job.wfTask)) +
+                transferQuanta
+            : 0;
         ledger_.recordPlacement(static_cast<std::size_t>(job.account));
         ++placements_;
         placed_[idx] = 1;
@@ -465,13 +751,23 @@ FleetController::tryPreempt(const PendingJob &job, double job_priority)
                              static_cast<std::size_t>(r.account));
 
     // Re-queue the victim before its registry entry is overwritten,
-    // keeping its submit quantum and sequence number.
+    // keeping its submit quantum and sequence number. A dag victim
+    // goes back to Ready — it restarts (and re-pays its transfers)
+    // when re-placed.
     PendingJob requeued;
     requeued.profile = r.profile;
     requeued.submitSlice = r.submitSlice;
     requeued.account = r.account;
     requeued.qosClass = r.qosClass;
     requeued.arrivalSeq = r.arrivalSeq;
+    requeued.wfSlot = r.wfSlot;
+    requeued.wfTask = r.wfTask;
+    if (r.wfSlot >= 0) {
+        engine_->onTaskPreempted(
+            static_cast<std::size_t>(r.wfSlot),
+            static_cast<std::size_t>(r.wfTask));
+        ++pendingDag_;
+    }
     pending_.push_back(std::move(requeued));
 
     // Vacate the victim's slot in the round's view and re-book it
@@ -501,6 +797,9 @@ FleetController::tryPreempt(const PendingJob &job, double job_priority)
     r.arrivalSeq = job.arrivalSeq;
     r.account = job.account;
     r.qosClass = job.qosClass;
+    r.wfSlot = -1; // preemptors are plain jobs (dag tasks never preempt)
+    r.wfTask = -1;
+    r.dagDeadline = 0;
 
     ledger_.recordPlacement(static_cast<std::size_t>(job.account));
     ++placements_;
@@ -796,6 +1095,43 @@ FleetController::summary()
     s.memoHits = memoHits_;
     s.memoStores = static_cast<std::size_t>(memo_.stores());
 
+    if (dagEnabled()) {
+        s.workflowsSubmitted = workflowsSubmitted_;
+        s.workflowsCompleted =
+            static_cast<std::size_t>(engine_->completed());
+        s.workflowsDropped = workflowsDropped_;
+        s.dagTasksCompleted =
+            static_cast<std::size_t>(engine_->tasksCompleted());
+        s.artifactHits = artifactHits_;
+        s.artifactMisses = artifactMisses_;
+        for (const dag::ArtifactCache &c : caches_) {
+            s.artifactEvictions +=
+                static_cast<std::size_t>(c.evictions());
+        }
+        const std::size_t probes = artifactHits_ + artifactMisses_;
+        s.artifactHitRate = probes
+            ? static_cast<double>(artifactHits_) /
+                static_cast<double>(probes)
+            : 0.0;
+        s.transferBytes = transferBytes_;
+        double logMakespanSum = 0.0;
+        double makespanSum = 0.0;
+        std::size_t doneWorkflows = 0;
+        for (std::size_t a = 0; a < ledger_.numAccounts(); ++a) {
+            const AccountUsage &u = ledger_.usage(a);
+            logMakespanSum += u.logMakespanSum;
+            makespanSum += u.makespanQuantaSum;
+            doneWorkflows += u.workflowsCompleted;
+        }
+        s.gmeanMakespanQuanta = doneWorkflows
+            ? std::exp(logMakespanSum /
+                       static_cast<double>(doneWorkflows))
+            : 0.0;
+        s.meanMakespanQuanta = doneWorkflows
+            ? makespanSum / static_cast<double>(doneWorkflows)
+            : 0.0;
+    }
+
     s.accounts.reserve(ledger_.numAccounts());
     for (std::size_t a = 0; a < ledger_.numAccounts(); ++a) {
         const TenantSpec &t = ledger_.tenant(a);
@@ -815,6 +1151,8 @@ FleetController::summary()
         as.ginstr = u.ginstr;
         as.gmeanBips = ledger_.gmeanBips(a);
         as.fairShare = ledger_.fairShare(a);
+        as.workflowsCompleted = u.workflowsCompleted;
+        as.gmeanMakespanQuanta = ledger_.gmeanMakespan(a);
         s.accounts.push_back(std::move(as));
     }
     s.meanClusterPowerW = clusterPowerSum_ / q;

@@ -59,6 +59,8 @@
 
 #include "cluster/accounting.hh"
 #include "cluster/churn.hh"
+#include "cluster/dag/artifact_cache.hh"
+#include "cluster/dag/workflow.hh"
 #include "cluster/memo.hh"
 #include "cluster/node.hh"
 #include "cluster/placement.hh"
@@ -107,6 +109,15 @@ struct FleetOptions
     double qosBoostW = 10.0;
 
     ChurnOptions churn;
+
+    /**
+     * DAG batch workflows (dag/workflow.hh): when dag.enable is set
+     * and churn.meanWorkflowArrivalsPerQuantum > 0, churned arrivals
+     * include small task DAGs whose placements feel data gravity
+     * through the per-node artifact caches. Disabled (the default)
+     * the fleet replays the legacy trace bitwise.
+     */
+    dag::DagOptions dag;
 
     /**
      * The accounts submitting into the churned arrival stream. Empty
@@ -205,6 +216,10 @@ struct AccountSummary
     double ginstr = 0.0;      //!< giga-instructions retired
     double gmeanBips = 0.0;   //!< gmean over charged slot-quanta
     double fairShare = 1.0;   //!< factor at the last quantum
+    /** DAG workflows of this account that ran to completion, and the
+     *  gmean of their submit->finish makespans (quanta; 0 if none). */
+    std::size_t workflowsCompleted = 0;
+    double gmeanMakespanQuanta = 0.0;
 };
 
 /** Cluster-wide outcome of one fleet run. */
@@ -240,6 +255,20 @@ struct FleetSummary
     std::size_t memoLookups = 0;     //!< memo probes (node-quanta)
     std::size_t memoHits = 0;        //!< probes that found a sibling
     std::size_t memoStores = 0;      //!< serial-merge table commits
+    // --- DAG workflow outcome (all 0 with dag disabled) --------------
+    std::size_t workflowsSubmitted = 0;
+    std::size_t workflowsCompleted = 0;
+    std::size_t workflowsDropped = 0; //!< live pool full at arrival
+    std::size_t dagTasksCompleted = 0;
+    std::size_t artifactHits = 0;     //!< inputs found resident
+    std::size_t artifactMisses = 0;   //!< inputs transferred in
+    std::size_t artifactEvictions = 0;
+    double artifactHitRate = 0.0;     //!< hits / (hits + misses)
+    double transferBytes = 0.0;       //!< modeled interconnect traffic
+    /** Gmean over completed workflows of submit->finish quanta — the
+     *  headline the locality A/B moves. 0 when none completed. */
+    double gmeanMakespanQuanta = 0.0;
+    double meanMakespanQuanta = 0.0;
     std::string placementPolicy;
     std::string powerPolicy;
     /** Per-account accounting, in account order (always at least the
@@ -298,6 +327,17 @@ class FleetController
     /** The fleet memo cache (exposed for determinism tests). */
     const ScheduleMemoCache &memoCache() const { return memo_; }
 
+    /** The workflow engine (null with dag disabled; tests only). */
+    const dag::WorkflowEngine *workflowEngine() const
+    {
+        return engine_.get();
+    }
+    /** Node @p i's artifact cache (dag-enabled fleets only). */
+    const dag::ArtifactCache &artifactCache(std::size_t i) const
+    {
+        return caches_[i];
+    }
+
   private:
     void applyChurn();
     void gatherViews();
@@ -326,6 +366,14 @@ class FleetController
      *  true when the eviction and placement both committed. */
     bool tryPreempt(const PendingJob &job, double job_priority);
 
+    bool dagEnabled() const { return engine_ != nullptr; }
+    /** Serial head of applyChurn(): depart DAG tasks whose deadline
+     *  is this quantum, publish their artifacts, release successors. */
+    void applyDagCompletions();
+    /** Drain dagReady_ into the pending queue (reserved capacity:
+     *  released tasks never contend with the churn admission cap). */
+    void enqueueReadyTasks(std::uint64_t submit_quantum);
+
     /** One node's staged churn draws (filled by the parallel scan,
      *  consumed by the serial merge; spans live in churnArenas_). */
     struct ChurnNodePlan
@@ -333,6 +381,7 @@ class FleetController
         std::uint16_t *departSlots = nullptr;
         std::uint16_t numDeparts = 0;
         std::uint16_t arrivals = 0;
+        std::uint16_t workflowArrivals = 0;
     };
 
     /**
@@ -349,6 +398,14 @@ class FleetController
         std::uint32_t arrivalSeq = 0;
         std::int32_t account = -1;
         QosClass qosClass = QosClass::Batch;
+        /** DAG identity: live workflow slot and task index, or -1 for
+         *  plain churned jobs. A DAG task departs deterministically
+         *  when the quantum reaches dagDeadline (duration plus the
+         *  modeled transfer quanta), never through the Bernoulli
+         *  departure stream. */
+        std::int32_t wfSlot = -1;
+        std::int16_t wfTask = -1;
+        std::uint64_t dagDeadline = 0;
     };
 
     RunningJob &runningAt(std::size_t node, std::size_t slot)
@@ -396,6 +453,25 @@ class FleetController
     std::uint32_t nextArrivalSeq_ = 0;
     std::size_t preemptionsThisQuantum_ = 0;
 
+    // --- DAG workflow state (all empty/null with dag disabled) -------
+    std::unique_ptr<dag::WorkflowEngine> engine_;
+    std::vector<dag::ArtifactCache> caches_; //!< one per node
+    /** Profile pool task draws pick from (the churn pool's copy). */
+    std::vector<AppProfile> dagPool_;
+    /** Job-side locality weights (localityDelta source). */
+    dag::PlacementScorer localityTerms_;
+    std::vector<dag::WorkflowEngine::ReadyTask> dagReady_;
+    dag::WorkflowEngine::Completion dagDone_;
+    /** Per-(dag row, node) score deltas for placeBest, row-major;
+     *  sized queueBound x nodes at construction. */
+    std::vector<double> dagDeltas_;
+    /** Pending index -> delta row (-1 = not a data-gravity commit). */
+    std::vector<std::int32_t> dagRow_;
+    /** Delta row -> pending index (the parallel fill's work list). */
+    std::vector<std::uint32_t> dagRowPending_;
+    std::size_t pendingDag_ = 0; //!< DAG entries in pending_
+    std::uint64_t nextWorkflowId_ = 1;
+
     // Cluster counters.
     std::size_t arrivals_ = 0;
     std::size_t droppedArrivals_ = 0;
@@ -407,6 +483,11 @@ class FleetController
     std::size_t loadShifts_ = 0;
     std::size_t memoLookups_ = 0;
     std::size_t memoHits_ = 0;
+    std::size_t workflowsSubmitted_ = 0;
+    std::size_t workflowsDropped_ = 0;
+    std::size_t artifactHits_ = 0;
+    std::size_t artifactMisses_ = 0;
+    double transferBytes_ = 0.0;
     double clusterPowerSum_ = 0.0;   //!< sum over node-quanta
     double clusterBudgetSum_ = 0.0;
     std::vector<double> nodeBudgetSum_;

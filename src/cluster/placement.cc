@@ -46,16 +46,14 @@ double
 BackfillBinPack::score(const NodeView &node) const
 {
     // The one formula, on the one scale (watts of headroom) — see the
-    // class comment in placement.hh. An unstepped node's view carries
-    // measuredPowerW = 0, so headroomW is its full opening budget: no
-    // special case, and the penalty/bonus knobs keep their units from
-    // the very first quantum.
-    double score = node.headroomW;
-    if (node.qosViolated)
-        score -= qosPenaltyW_;
-    score -= loadPenaltyW_ * node.loadFraction;
-    score += spreadBonusW_ * static_cast<double>(node.freeSlots);
-    return score;
+    // class comment in placement.hh — now evaluated as the canonical
+    // term pipeline, whose left-to-right accumulation reproduces the
+    // retired monolithic expression bit for bit (scorer.hh). An
+    // unstepped node's view carries measuredPowerW = 0, so headroomW
+    // is its full opening budget: no special case, and the
+    // penalty/bonus knobs keep their units from the very first
+    // quantum.
+    return pipeline_.score(node);
 }
 
 bool
@@ -181,11 +179,45 @@ PlacementRound::placeOne()
     // re-enter with any score, stale or fresh, until refresh()
     // reports a new vacancy.
     if (view.freeSlots > 0) {
-        heap_.front() = Entry{policy_->score(view), top.idx};
+        const double s = policy_->score(view);
+        scores_[top.idx] = s; // keep the flat scan fresh (placeBest)
+        heap_.front() = Entry{s, top.idx};
         siftDown(0);
     } else {
         removeAt(0);
     }
+    return view.node;
+}
+
+std::size_t
+PlacementRound::placeBest(const double *delta)
+{
+    CS_ASSERT(views_ != nullptr, "placeBest() before begin()");
+    CS_ASSERT(delta != nullptr, "placeBest() without deltas");
+    // Flat scan over the cached base scores plus the job's per-node
+    // delta: the exact serial-oracle order (score desc, index asc by
+    // first-strict-argmax), so the data-gravity path keeps the same
+    // bitwise contract the heap path has. The cached scores are
+    // trustworthy because every booking — placeOne, placeBest,
+    // refresh — re-scores the node it touched.
+    const std::vector<NodeView> &views = *views_;
+    std::size_t best = PlacementPolicy::kNoNode;
+    double bestScore = 0.0;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+        if (views[i].freeSlots == 0)
+            continue;
+        const double s = scores_[i] + delta[i];
+        if (best == PlacementPolicy::kNoNode || s > bestScore) {
+            best = i;
+            bestScore = s;
+        }
+    }
+    if (best == PlacementPolicy::kNoNode)
+        return PlacementPolicy::kNoNode;
+    NodeView &view = (*views_)[best];
+    --view.freeSlots;
+    ++view.occupiedSlots;
+    refresh(best); // re-score; removes the node when it filled up
     return view.node;
 }
 

@@ -41,10 +41,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "apps/app_profile.hh"
 #include "cluster/accounting.hh"
+#include "cluster/dag/scorer.hh"
 #include "cluster/node.hh"
 
 namespace cuttlesys {
@@ -66,6 +68,13 @@ struct PendingJob
     /** Global submission sequence number: the deterministic
      *  tie-breaker of the priority order (priority desc, seq asc). */
     std::uint32_t arrivalSeq = 0;
+    /** DAG identity: the live workflow slot and task index of a
+     *  released workflow task, or -1 for plain churned jobs. DAG
+     *  entries ride the same queue and priority order but occupy
+     *  reserved capacity (never the churn admission cap) and — when
+     *  they carry inputs — commit through the data-gravity path. */
+    std::int32_t wfSlot = -1;
+    std::int16_t wfTask = -1;
 };
 
 /** Strategy interface: pick a node for one pending job. */
@@ -129,25 +138,49 @@ class FifoFirstFit final : public PlacementPolicy
  * which silently demoted the knobs from watts to unitless "points"
  * for the whole first quantum — the comparison tables in
  * EXPERIMENTS.md are regenerated against this normalized formula.)
+ *
+ * The formula is no longer hand-rolled: it is the canonical
+ * configuration of the composable dag::PlacementScorer term pipeline
+ * (headroom, qos-penalty, offered-load, spread-bonus, each a weighted
+ * term), which reproduces the monolithic accumulation bit for bit —
+ * see cluster/dag/scorer.hh for the IEEE argument and the property
+ * test asserting it. The optional locality pair (inputs-resident
+ * bonus vs. transfer-latency charge) rides the same pipeline: it is
+ * job-dependent, so it enters placement as the per-node delta the
+ * fleet hands PlacementRound::placeBest(), never through the cached
+ * job-agnostic score().
  */
 class BackfillBinPack final : public PlacementPolicy
 {
   public:
     /**
-     * All three knobs are in watts of headroom at their reference
-     * point, so they trade off against each other directly:
+     * All knobs are in watts of headroom at their reference point, so
+     * they trade off against each other directly:
      * @param qos_penalty_w headroom a QoS-violating node forfeits
      * @param load_penalty_w headroom forfeited at full offered LC
      *        load (scales linearly with the load fraction), steering
      *        arrivals toward replicas in their diurnal trough
      * @param spread_bonus_w headroom credited per vacant slot,
      *        nudging the pack toward emptier nodes when headrooms tie
+     * @param locality_bonus_w headroom credited at fully-resident
+     *        inputs (data gravity; 0 keeps the policy job-agnostic)
+     * @param transfer_penalty_w headroom charged at fully-remote
+     *        inputs (the modeled transfer latency's placement cost)
      */
     explicit BackfillBinPack(double qos_penalty_w = 15.0,
                              double load_penalty_w = 80.0,
-                             double spread_bonus_w = 0.5)
-        : qosPenaltyW_(qos_penalty_w), loadPenaltyW_(load_penalty_w),
-          spreadBonusW_(spread_bonus_w)
+                             double spread_bonus_w = 0.5,
+                             double locality_bonus_w = 0.0,
+                             double transfer_penalty_w = 0.0)
+        : pipeline_(dag::PlacementScorer::backfill(
+              qos_penalty_w, load_penalty_w, spread_bonus_w,
+              locality_bonus_w, transfer_penalty_w))
+    {
+    }
+
+    /** Wrap an arbitrary term pipeline as a placement policy. */
+    explicit BackfillBinPack(dag::PlacementScorer pipeline)
+        : pipeline_(std::move(pipeline))
     {
     }
 
@@ -155,10 +188,11 @@ class BackfillBinPack final : public PlacementPolicy
 
     double score(const NodeView &node) const override;
 
+    /** The term pipeline (job-side locality weights included). */
+    const dag::PlacementScorer &pipeline() const { return pipeline_; }
+
   private:
-    double qosPenaltyW_;
-    double loadPenaltyW_;
-    double spreadBonusW_;
+    dag::PlacementScorer pipeline_;
 };
 
 /**
@@ -209,6 +243,21 @@ class PlacementRound
      * updated, or PlacementPolicy::kNoNode when the fleet is full.
      */
     std::size_t placeOne();
+
+    /**
+     * Commit the next job under a per-node score *delta* (the
+     * data-gravity path): choose the first strict argmax of
+     * score(view) + delta[idx] over the vacant nodes in index order
+     * (ties therefore break toward the lowest index, exactly like the
+     * serial oracle), book the slot, and re-sync the winner's heap
+     * entry. O(N) against placeOne()'s O(log N): the delta reshuffles
+     * the order per job, so the cached heap cannot answer it — but
+     * the base scores are still the round's cached scan, kept fresh
+     * by every placeOne()/placeBest()/refresh() booking, so no score
+     * is ever recomputed twice. @p delta must hold one entry per
+     * view; kNoNode when the fleet is full.
+     */
+    std::size_t placeBest(const double *delta);
 
     /**
      * Re-sync node @p idx after the caller mutated its view outside

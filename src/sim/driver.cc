@@ -53,6 +53,8 @@ ColocationRun::ColocationRun(MulticoreSim &sim, Scheduler &scheduler,
     slotAccounts_.resize(sim_.numBatchJobs());
     for (std::size_t j = 0; j < slotAccounts_.size(); ++j)
         slotAccounts_[j] = sim_.batchSlotOccupied(j) ? 0 : -1;
+    slotWorkflows_.assign(sim_.numBatchJobs(), -1);
+    slotDagTasks_.assign(sim_.numBatchJobs(), -1);
 
     // The trace object lives inside this run; schedulers only borrow
     // a pointer, so the destructor detaches.
@@ -113,6 +115,12 @@ void
 ColocationRun::applyJobEvents()
 {
     preemptedScratch_.clear();
+    completedWorkflows_.clear();
+    completedAccounts_.clear();
+    completedMakespans_.clear();
+    dagHits_ = 0;
+    dagMisses_ = 0;
+    dagTransferBytes_ = 0.0;
     if (opts_.jobEventHook) {
         hookEvents_.clear();
         opts_.jobEventHook(slice_, hookEvents_);
@@ -128,13 +136,29 @@ ColocationRun::applyJobEvents()
             ++result_.jobPreemptions;
             preemptedScratch_.push_back(slotAccounts_[e.slot]);
         }
+        if (e.workflowId >= 0)
+            dagSeen_ = true;
+        // A departing DAG task that finishes its workflow is recorded
+        // before the slot maps change hands below.
+        if (e.departure && e.workflowMakespan >= 0) {
+            completedWorkflows_.push_back(e.workflowId);
+            completedAccounts_.push_back(slotAccounts_[e.slot]);
+            completedMakespans_.push_back(e.workflowMakespan);
+        }
         if (e.arrival) {
             sim_.replaceBatchJob(e.slot, *e.arrival);
             slotAccounts_[e.slot] = e.account;
+            slotWorkflows_[e.slot] = e.workflowId;
+            slotDagTasks_[e.slot] = e.workflowTask;
+            dagHits_ += e.artifactHits;
+            dagMisses_ += e.artifactMisses;
+            dagTransferBytes_ += e.transferBytes;
             ++result_.jobArrivals;
         } else if (e.departure) {
             sim_.setBatchSlotOccupied(e.slot, false);
             slotAccounts_[e.slot] = -1;
+            slotWorkflows_[e.slot] = -1;
+            slotDagTasks_[e.slot] = -1;
         }
         if (e.departure)
             ++result_.jobDepartures;
@@ -252,6 +276,18 @@ ColocationRun::step()
                 : 0.0;
         }
         rec.preemptedAccounts = preemptedScratch_;
+        // DAG stamping only once a DAG event has been seen: non-DAG
+        // runs leave the group empty and their JSONL bitwise-legacy.
+        if (dagSeen_) {
+            rec.slotWorkflows = slotWorkflows_;
+            rec.slotDagTasks = slotDagTasks_;
+            rec.artifactHits = dagHits_;
+            rec.artifactMisses = dagMisses_;
+            rec.transferBytes = dagTransferBytes_;
+            rec.completedWorkflows = completedWorkflows_;
+            rec.completedAccounts = completedAccounts_;
+            rec.completedMakespans = completedMakespans_;
+        }
         trace_.end();
     }
 

@@ -60,6 +60,23 @@ struct JobEvent
      *  CF state drops, so the preemptor never inherits the victim's
      *  observations. */
     bool preemption = false;
+
+    // --- DAG workflow identity (fleet controller side; the defaults
+    // --- mark a plain non-DAG job and change nothing) ----------------
+    /** Workflow instance the arriving/departing task belongs to;
+     *  -1 for plain churned jobs. */
+    std::int64_t workflowId = -1;
+    /** Task index within that workflow; -1 for plain jobs. */
+    std::int32_t workflowTask = -1;
+    /** Input artifacts the placement found resident / had to pull in
+     *  (arrivals only; stamped into the quantum record). */
+    std::uint32_t artifactHits = 0;
+    std::uint32_t artifactMisses = 0;
+    /** Modeled bytes transferred for the misses. */
+    double transferBytes = 0.0;
+    /** On the departure that finishes a workflow: its submit->finish
+     *  makespan in cluster quanta; -1 otherwise. */
+    std::int64_t workflowMakespan = -1;
 };
 
 /**
@@ -284,6 +301,18 @@ class ColocationRun
     std::vector<std::int32_t> slotAccounts_;
     /** Victim accounts of this quantum's preemptions (trace only). */
     std::vector<std::int32_t> preemptedScratch_;
+    /** Per-slot DAG identity (-1 = not a DAG task) and this quantum's
+     *  cache/completion telemetry; all stay at their defaults — and
+     *  out of the trace — until a DAG-stamped JobEvent arrives. */
+    std::vector<std::int64_t> slotWorkflows_;
+    std::vector<std::int32_t> slotDagTasks_;
+    bool dagSeen_ = false;
+    std::size_t dagHits_ = 0;
+    std::size_t dagMisses_ = 0;
+    double dagTransferBytes_ = 0.0;
+    std::vector<std::int64_t> completedWorkflows_;
+    std::vector<std::int32_t> completedAccounts_;
+    std::vector<std::int64_t> completedMakespans_;
 
     double lastLoadFraction_ = 0.0;
     double lastBudgetW_ = 0.0;

@@ -195,6 +195,26 @@ struct QuantumRecord
     /** Victim accounts of this quantum's preemption evictions. */
     std::vector<std::int32_t> preemptedAccounts;
 
+    // --- DAG workflows (driver side; all empty/zero outside a DAG
+    // --- fleet run, so legacy traces stay bitwise) --------------------
+    /** Workflow instance holding each batch slot; -1 = not a DAG
+     *  task (vacant or a plain churned job). */
+    std::vector<std::int64_t> slotWorkflows;
+    /** Task index within the slot's workflow; -1 = not a DAG task. */
+    std::vector<std::int32_t> slotDagTasks;
+    /** Input artifacts found resident by this quantum's DAG
+     *  placements on this node. */
+    std::size_t artifactHits = 0;
+    /** Input artifacts that had to be transferred in. */
+    std::size_t artifactMisses = 0;
+    /** Modeled bytes moved for those misses. */
+    double transferBytes = 0.0;
+    /** Workflows whose final task departed this quantum, with the
+     *  submitting account and the submit->finish makespan (quanta). */
+    std::vector<std::int64_t> completedWorkflows;
+    std::vector<std::int32_t> completedAccounts;
+    std::vector<std::int64_t> completedMakespans;
+
     // --- phase timers, seconds (indexed by Phase) ---------------------
     std::array<double, kNumPhases> phaseSec{};
 

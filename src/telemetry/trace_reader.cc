@@ -379,6 +379,38 @@ parseRecord(std::string_view line)
         }
     }
 
+    if (const JsonObject *dg = field(*top, "dag").asObject()) {
+        if (const JsonArray *a = field(*dg, "workflows").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.slotWorkflows.push_back(
+                    static_cast<std::int64_t>(v.asNumber(-1.0)));
+        }
+        if (const JsonArray *a = field(*dg, "tasks").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.slotDagTasks.push_back(
+                    static_cast<std::int32_t>(v.asNumber(-1.0)));
+        }
+        rec.artifactHits = asIndex(field(*dg, "hits"));
+        rec.artifactMisses = asIndex(field(*dg, "misses"));
+        rec.transferBytes = field(*dg, "transfer_bytes").asNumber();
+        if (const JsonArray *a = field(*dg, "done").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.completedWorkflows.push_back(
+                    static_cast<std::int64_t>(v.asNumber(-1.0)));
+        }
+        if (const JsonArray *a = field(*dg, "done_accounts").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.completedAccounts.push_back(
+                    static_cast<std::int32_t>(v.asNumber(-1.0)));
+        }
+        if (const JsonArray *a =
+                field(*dg, "done_makespans").asArray()) {
+            for (const JsonValue &v : *a)
+                rec.completedMakespans.push_back(
+                    static_cast<std::int64_t>(v.asNumber(-1.0)));
+        }
+    }
+
     if (const JsonObject *ph = field(*top, "phase_ms").asObject()) {
         for (std::size_t p = 0; p < kNumPhases; ++p) {
             rec.phaseSec[p] =

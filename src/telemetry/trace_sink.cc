@@ -72,6 +72,22 @@ appendNumber(std::string &out, int v)
 }
 
 void
+appendInt64Array(std::string &out,
+                 const std::vector<std::int64_t> &values)
+{
+    out += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ',';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(values[i]));
+        out += buf;
+    }
+    out += ']';
+}
+
+void
 appendIntArray(std::string &out,
                const std::vector<std::int32_t> &values)
 {
@@ -266,6 +282,29 @@ JsonlSink::toJson(const QuantumRecord &rec)
         appendDoubleArray(js, rec.slotCores);
         js += ",\"preempted\":";
         appendIntArray(js, rec.preemptedAccounts);
+        js += "}";
+    }
+
+    // The DAG group is optional too: non-DAG runs never fill the
+    // workflow slot maps, so their traces — including every frozen
+    // pre-DAG reference — keep emitting byte-identical lines.
+    if (!rec.slotWorkflows.empty() || !rec.completedWorkflows.empty()) {
+        js += ",\"dag\":{\"workflows\":";
+        appendInt64Array(js, rec.slotWorkflows);
+        js += ",\"tasks\":";
+        appendIntArray(js, rec.slotDagTasks);
+        js += ",\"hits\":";
+        appendNumber(js, rec.artifactHits);
+        js += ",\"misses\":";
+        appendNumber(js, rec.artifactMisses);
+        js += ",\"transfer_bytes\":";
+        appendNumber(js, rec.transferBytes);
+        js += ",\"done\":";
+        appendInt64Array(js, rec.completedWorkflows);
+        js += ",\"done_accounts\":";
+        appendIntArray(js, rec.completedAccounts);
+        js += ",\"done_makespans\":";
+        appendInt64Array(js, rec.completedMakespans);
         js += "}";
     }
 

@@ -285,6 +285,135 @@ TEST(FleetTest, SingleTenantFairShareDegeneratesToFifo)
     EXPECT_TRUE(diff.identical()) << diff.toString();
 }
 
+// ---------------------------------------------------------------------
+// DAG workflows: the engine/cache/gravity path threaded through the
+// fleet. Subsystem unit tests live in dag_test.cc; these pin the
+// integration invariants and the bitwise-compatibility contracts.
+// ---------------------------------------------------------------------
+
+/** A small fleet with churned workflow arrivals and a day long
+ *  enough for whole workflows to finish. */
+FleetOptions
+dagFleetOptions()
+{
+    FleetOptions opts = smallFleetOptions();
+    opts.scenario.daySeconds = 2.0;
+    opts.scenario.peakWindowStartSec = 0.75;
+    opts.scenario.peakWindowEndSec = 1.5;
+    opts.dag.enable = true;
+    opts.dag.maxLiveWorkflows = 8;
+    opts.churn.meanWorkflowArrivalsPerQuantum = 0.5;
+    return opts;
+}
+
+TEST(FleetTest, DagAtRateZeroKeepsTheLegacyTraceBitwise)
+{
+    // dag.enable consumes its churn draws from dedicated counter
+    // streams, so a dag-enabled fleet that happens to see no workflow
+    // arrivals must reproduce the dag-disabled trace bit for bit —
+    // the replay-safety property the stream split exists for.
+    telemetry::MemorySink sinkLegacy, sinkDag;
+    FleetOptions opts = smallFleetOptions();
+    opts.sink = &sinkLegacy;
+    SmallFleet legacy(opts);
+    legacy.fleet.run();
+    opts.dag.enable = true;
+    opts.churn.meanWorkflowArrivalsPerQuantum = 0.0;
+    opts.sink = &sinkDag;
+    SmallFleet dag(opts);
+    const FleetSummary s = dag.fleet.run();
+    EXPECT_EQ(s.workflowsSubmitted, 0u);
+    const check::TraceDiff diff = check::diffDecisionTraces(
+        sinkLegacy.records(), sinkDag.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
+}
+
+TEST(FleetTest, DagFleetReplaysBitIdentically)
+{
+    telemetry::MemorySink sinkA, sinkB;
+    FleetOptions opts = dagFleetOptions();
+    opts.sink = &sinkA;
+    SmallFleet a(opts);
+    const FleetSummary sa = a.fleet.run();
+    opts.sink = &sinkB;
+    SmallFleet b(opts);
+    const FleetSummary sb = b.fleet.run();
+    EXPECT_EQ(sa.workflowsSubmitted, sb.workflowsSubmitted);
+    EXPECT_EQ(sa.workflowsCompleted, sb.workflowsCompleted);
+    EXPECT_EQ(sa.artifactHits, sb.artifactHits);
+    const check::TraceDiff diff =
+        check::diffDecisionTraces(sinkA.records(), sinkB.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
+    // The dag groups (slot workflow ids, completions) are part of the
+    // compared surface, not skipped fields.
+    bool sawWorkflowSlots = false, sawCompletions = false;
+    for (const telemetry::QuantumRecord &rec : sinkA.records()) {
+        for (std::int64_t wf : rec.slotWorkflows)
+            sawWorkflowSlots = sawWorkflowSlots || wf >= 0;
+        sawCompletions =
+            sawCompletions || !rec.completedWorkflows.empty();
+    }
+    EXPECT_TRUE(sawWorkflowSlots);
+    EXPECT_TRUE(sawCompletions);
+}
+
+TEST(FleetTest, DagWorkflowCountersAreConsistent)
+{
+    SmallFleet f(dagFleetOptions());
+    const FleetSummary s = f.fleet.run();
+    expectCountersConserved(f.fleet, s);
+    EXPECT_GT(s.workflowsSubmitted, 0u);
+    EXPECT_GT(s.workflowsCompleted, 0u);
+    EXPECT_GT(s.dagTasksCompleted, 0u);
+    // Every submission is finished, dropped at the full pool, or
+    // still live when the day ends.
+    EXPECT_EQ(s.workflowsSubmitted,
+              s.workflowsCompleted +
+                  f.fleet.workflowEngine()->liveWorkflows());
+    EXPECT_GT(s.gmeanMakespanQuanta, 0.0);
+    EXPECT_GE(s.meanMakespanQuanta, s.gmeanMakespanQuanta);
+    if (s.artifactHits + s.artifactMisses > 0) {
+        EXPECT_DOUBLE_EQ(
+            s.artifactHitRate,
+            static_cast<double>(s.artifactHits) /
+                static_cast<double>(s.artifactHits +
+                                    s.artifactMisses));
+    }
+    // The ledger's per-account makespans aggregate to the cluster
+    // counters (single anonymous account in this config).
+    std::size_t accountWorkflows = 0;
+    for (const AccountSummary &a : s.accounts)
+        accountWorkflows += a.workflowsCompleted;
+    EXPECT_EQ(accountWorkflows, s.workflowsCompleted);
+}
+
+TEST(FleetTest, SingleTaskWorkflowsMakeAwareMatchBlindBitwise)
+{
+    // Input-free tasks have no data gravity: with every workflow a
+    // one-task DAG the locality-aware fleet must produce the
+    // locality-blind trace bit for bit (the aware path only engages
+    // on jobs that carry inputs).
+    dag::WorkflowSpec single;
+    single.name = "single";
+    single.tasks.push_back({"work", {}, 16.0 * 1024.0 * 1024.0, 2, 2});
+
+    telemetry::MemorySink sinkAware, sinkBlind;
+    FleetOptions opts = dagFleetOptions();
+    opts.dag.templates = {single};
+    opts.dag.localityAware = true;
+    opts.sink = &sinkAware;
+    SmallFleet aware(opts);
+    const FleetSummary sa = aware.fleet.run();
+    opts.dag.localityAware = false;
+    opts.sink = &sinkBlind;
+    SmallFleet blind(opts);
+    blind.fleet.run();
+    EXPECT_GT(sa.workflowsCompleted, 0u);
+    const check::TraceDiff diff = check::diffDecisionTraces(
+        sinkAware.records(), sinkBlind.records());
+    EXPECT_TRUE(diff.identical()) << diff.toString();
+}
+
 TEST(FleetTest, StepQuantumAdvancesOneQuantum)
 {
     SmallFleet f;

@@ -451,6 +451,141 @@ TEST(PlacementRoundTest, ReusableAcrossQuanta)
         EXPECT_EQ(round.placeOne(), expect[j]);
 }
 
+// ---------------------------------------------------------------------
+// placeBest: the data-gravity commit. Same contract as placeOne —
+// first strict argmax, ties to the lowest index — but over
+// score(view) + delta[node], where delta carries the placing job's
+// locality terms.
+// ---------------------------------------------------------------------
+
+/** Per-(job, node) locality deltas, including ties and zeros. */
+std::vector<double>
+syntheticDeltas(std::size_t n, std::size_t job, std::uint64_t seed)
+{
+    std::vector<double> delta(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t h = mixBits(seed ^ (job * 8191 + i));
+        // A small signed grid (multiples of 6 in [-48, 24]) so delta
+        // frequently creates and breaks score ties.
+        delta[i] = static_cast<double>(h % 13) * 6.0 - 48.0;
+    }
+    return delta;
+}
+
+/** Serial oracle for placeBest: fresh scan, manual bookkeeping. */
+std::size_t
+serialBest(const PlacementPolicy &policy,
+           std::vector<NodeView> &views, const std::vector<double> &d)
+{
+    std::size_t best = PlacementPolicy::kNoNode;
+    double bestScore = 0.0;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+        if (views[i].freeSlots == 0)
+            continue;
+        const double s = policy.score(views[i]) + d[i];
+        if (best == PlacementPolicy::kNoNode || s > bestScore) {
+            best = i;
+            bestScore = s;
+        }
+    }
+    if (best != PlacementPolicy::kNoNode) {
+        --views[best].freeSlots;
+        ++views[best].occupiedSlots;
+    }
+    return best;
+}
+
+void
+expectPlaceBestMatchesSerial(std::size_t n, std::size_t pool_threads)
+{
+    BackfillBinPack backfill;
+    ThreadPool pool(pool_threads);
+    std::vector<NodeView> serial_views = syntheticFleet(n, 0xdadULL + n);
+    std::vector<NodeView> round_views = serial_views;
+    std::size_t capacity = 0;
+    for (const NodeView &v : round_views)
+        capacity += v.freeSlots;
+    const std::size_t jobs = capacity + 8;
+
+    PlacementRound round;
+    round.begin(backfill, round_views, pool);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        const std::vector<double> delta =
+            syntheticDeltas(n, j, 0xabcULL);
+        const std::size_t expect =
+            serialBest(backfill, serial_views, delta);
+        ASSERT_EQ(round.placeBest(delta.data()), expect)
+            << "diverged at job " << j << " (n=" << n
+            << ", threads=" << pool_threads << ")";
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(round_views[i].freeSlots, serial_views[i].freeSlots);
+}
+
+TEST(PlacementRoundTest, PlaceBestMatchesSerialUpTo1024Nodes)
+{
+    for (const std::size_t n : {1u, 3u, 16u, 64u, 257u, 1024u})
+        expectPlaceBestMatchesSerial(n, 4);
+}
+
+TEST(PlacementRoundTest, PlaceBestIndependentOfPoolWidth)
+{
+    for (const std::size_t threads : {1u, 4u, 8u})
+        expectPlaceBestMatchesSerial(1024, threads);
+}
+
+TEST(PlacementRoundTest, ZeroDeltaPlaceBestMatchesPlaceOne)
+{
+    // A job with no inputs (or a locality-blind fleet) hands placeBest
+    // an all-zero delta row; the choice sequence must be placeOne's,
+    // bit for bit — including its tie-breaking through the heap.
+    BackfillBinPack backfill;
+    ThreadPool pool(4);
+    std::vector<NodeView> heap_views = syntheticFleet(257, 0xbeef);
+    std::vector<NodeView> flat_views = heap_views;
+    const std::vector<double> zero(257, 0.0);
+
+    PlacementRound heap_round, flat_round;
+    heap_round.begin(backfill, heap_views, pool);
+    flat_round.begin(backfill, flat_views, pool);
+    std::size_t capacity = 0;
+    for (const NodeView &v : heap_views)
+        capacity += v.freeSlots;
+    for (std::size_t j = 0; j < capacity + 8; ++j) {
+        ASSERT_EQ(flat_round.placeBest(zero.data()),
+                  heap_round.placeOne())
+            << "diverged at job " << j;
+    }
+}
+
+TEST(PlacementRoundTest, PlaceBestInterleavesWithPlaceOne)
+{
+    // The fleet's commit loop alternates: plain jobs go through the
+    // heap (placeOne), dag jobs with inputs through the flat scan
+    // (placeBest). Both must keep each other's cached scores fresh.
+    BackfillBinPack backfill;
+    ThreadPool pool(2);
+    std::vector<NodeView> serial_views = syntheticFleet(64, 0x5ca1e);
+    std::vector<NodeView> round_views = serial_views;
+    const std::vector<double> zero(64, 0.0);
+
+    PlacementRound round;
+    round.begin(backfill, round_views, pool);
+    for (std::size_t j = 0; j < 96; ++j) {
+        if (j % 3 == 1) {
+            const std::vector<double> delta =
+                syntheticDeltas(64, j, 0x77ULL);
+            ASSERT_EQ(round.placeBest(delta.data()),
+                      serialBest(backfill, serial_views, delta))
+                << "job " << j;
+        } else {
+            ASSERT_EQ(round.placeOne(),
+                      serialBest(backfill, serial_views, zero))
+                << "job " << j;
+        }
+    }
+}
+
 } // namespace
 } // namespace cluster
 } // namespace cuttlesys

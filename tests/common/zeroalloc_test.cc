@@ -21,6 +21,8 @@
 #include "cf/engine.hh"
 #include "cluster/accounting.hh"
 #include "cluster/churn.hh"
+#include "cluster/dag/artifact_cache.hh"
+#include "cluster/dag/workflow.hh"
 #include "cluster/memo.hh"
 #include "cluster/node.hh"
 #include "cluster/placement.hh"
@@ -586,6 +588,74 @@ TEST(ZeroAlloc, ControllerQuantumAt256NodesIsHeapFree)
         << "steady-state 256-node controller quantum touched the "
         << "heap " << allocs << " times over " << kMeasured
         << " quanta";
+}
+
+TEST(ZeroAlloc, DagWorkflowQuantumIsHeapFree)
+{
+    // The DAG overlay's serial-merge mutations — admit (artifact-id
+    // pass over reserved per-slot storage), place, cache
+    // insert/touch/evict, complete-with-release — must not touch the
+    // heap once every template has cycled through every live slot.
+    // The cache is sized below the mapred working set so eviction
+    // runs inside the measured window, not just insertion.
+    using cluster::dag::ArtifactCache;
+    using cluster::dag::WorkflowEngine;
+
+    WorkflowEngine engine(cluster::dag::standardWorkflowTemplates(),
+                          /*max_live=*/8);
+    ArtifactCache cache(96.0 * 1024.0 * 1024.0, /*max_entries=*/6);
+    std::vector<WorkflowEngine::ReadyTask> ready;
+    ready.reserve(engine.capacityTasks());
+
+    std::uint64_t quantum = 0;
+    std::uint64_t wfId = 0;
+    auto step = [&] {
+        // One admission per quantum, rotating templates; then drain
+        // the frontier by placing and completing every released task
+        // in release order, exactly the mutations the controller's
+        // merge phases perform (compressed: tasks depart the quantum
+        // they start, which exercises the full release chain).
+        engine.admit(wfId % engine.numTemplates(),
+                     0x9e3779b97f4a7c15ULL * (wfId + 1), /*account=*/0,
+                     quantum, wfId, ready);
+        ++wfId;
+        while (!ready.empty()) {
+            const WorkflowEngine::ReadyTask t = ready.back();
+            ready.pop_back();
+            engine.onTaskPlaced(t.workflow, t.task);
+            for (const cluster::dag::ArtifactRef &in :
+                 engine.taskInputs(t.workflow, t.task)) {
+                if (cache.find(in.id) != nullptr)
+                    cache.touch(in.id, quantum);
+                else
+                    cache.insert(in.id, in.bytes, quantum);
+            }
+            const cluster::dag::ArtifactRef out =
+                engine.taskOutput(t.workflow, t.task);
+            WorkflowEngine::Completion done;
+            engine.onTaskCompleted(t.workflow, t.task, quantum, ready,
+                                   done);
+            cache.insert(out.id, out.bytes, quantum);
+        }
+        ++quantum;
+    };
+
+    // Warm-up: enough admissions that every template's task/input
+    // high-water mark has visited every pool slot.
+    for (int q = 0; q < 32; ++q)
+        step();
+
+    constexpr int kMeasured = 16;
+    const std::uint64_t before = AllocProbe::newCount();
+    for (int q = 0; q < kMeasured; ++q)
+        step();
+    const std::uint64_t allocs = AllocProbe::newCount() - before;
+
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state DAG workflow quantum touched the heap "
+        << allocs << " times over " << kMeasured << " quanta";
+    EXPECT_GT(cache.evictions(), 0u)
+        << "cache never evicted — the gate missed the eviction path";
 }
 
 TEST(ZeroAlloc, ParallelForSteadyStateIsHeapFree)

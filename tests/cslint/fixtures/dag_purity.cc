@@ -1,0 +1,25 @@
+// Seeded violation: wall-clock and RNG use inside the DAG commit
+// path. Workflow release order, artifact eviction, and locality
+// scores all feed the fleet's bitwise-replay contract, so the
+// fastpath-purity rule gates the dag/ commit files exactly like the
+// fast-path revalidation code: no clocks, no environment, no RNG —
+// even seeded ones. Durations and profile picks must come from pure
+// counter hashes of the instance seed instead.
+// cslint-path: src/cluster/dag/workflow.cc
+// cslint-expect: fastpath-purity
+// cslint-expect: fastpath-purity
+// cslint-expect: wall-clock
+
+#include <chrono>
+
+#include "common/rng.hh"
+
+unsigned
+drawTaskDuration(unsigned base)
+{
+    Rng gen(2026); // seeded, so unseeded-rng stays quiet
+    const auto now = std::chrono::steady_clock::now();
+    return base + static_cast<unsigned>(gen.uniform() * 4.0) +
+        static_cast<unsigned>(
+            now.time_since_epoch().count() & 1);
+}

@@ -37,6 +37,9 @@ struct AccountRow
     double ginstr = 0.0;
     double logBipsSum = 0.0;
     std::size_t preemptionsSuffered = 0;
+    // DAG workflow outcomes (the "dag" trace group; 0 without it).
+    std::size_t workflowsDone = 0;
+    double logMakespanSum = 0.0;
 };
 
 void
@@ -114,7 +117,8 @@ main(int argc, char **argv)
         quanta += recs.size();
         for (const cuttlesys::telemetry::QuantumRecord &rec : recs) {
             if (rec.slotAccounts.empty() &&
-                rec.preemptedAccounts.empty())
+                rec.preemptedAccounts.empty() &&
+                rec.completedAccounts.empty())
                 continue;
             ++tenancyQuanta;
             for (std::size_t s = 0; s < rec.slotAccounts.size();
@@ -139,22 +143,45 @@ main(int argc, char **argv)
                     ++rowFor(static_cast<std::size_t>(account))
                           .preemptionsSuffered;
             }
+            for (std::size_t w = 0;
+                 w < rec.completedAccounts.size(); ++w) {
+                const std::int32_t account = rec.completedAccounts[w];
+                if (account < 0)
+                    continue;
+                AccountRow &row =
+                    rowFor(static_cast<std::size_t>(account));
+                ++row.workflowsDone;
+                const double makespan = static_cast<double>(
+                    std::max<std::int64_t>(
+                        w < rec.completedMakespans.size()
+                            ? rec.completedMakespans[w]
+                            : 1,
+                        1));
+                row.logMakespanSum += std::log(makespan);
+            }
         }
     }
 
     std::printf("# %zu quanta read (%zu with tenancy), timeslice %g s\n",
                 quanta, tenancyQuanta, timesliceSec);
-    std::printf("%-12s %12s %14s %12s %12s %10s\n", "Account",
-                "SlotQuanta", "CoreSeconds", "GInstr", "GmeanBIPS",
-                "Preempted");
+    std::printf("%-12s %12s %14s %12s %12s %10s %10s %13s\n",
+                "Account", "SlotQuanta", "CoreSeconds", "GInstr",
+                "GmeanBIPS", "Preempted", "Workflows",
+                "GmeanMakespan");
     for (const AccountRow &row : rows) {
         const double gmean = row.slotQuanta > 0
             ? std::exp(row.logBipsSum /
                        static_cast<double>(row.slotQuanta))
             : 0.0;
-        std::printf("%-12s %12zu %14.2f %12.2f %12.4f %10zu\n",
-                    row.name.c_str(), row.slotQuanta, row.coreSeconds,
-                    row.ginstr, gmean, row.preemptionsSuffered);
+        const double gmeanMakespan = row.workflowsDone > 0
+            ? std::exp(row.logMakespanSum /
+                       static_cast<double>(row.workflowsDone))
+            : 0.0;
+        std::printf(
+            "%-12s %12zu %14.2f %12.2f %12.4f %10zu %10zu %13.2f\n",
+            row.name.c_str(), row.slotQuanta, row.coreSeconds,
+            row.ginstr, gmean, row.preemptionsSuffered,
+            row.workflowsDone, gmeanMakespan);
     }
     if (rows.empty())
         std::printf("(no tenancy records found)\n");
